@@ -1,0 +1,165 @@
+package cleo
+
+// Benchmarks: one per paper table/figure (wrapping the experiment harness —
+// run `go test -bench Table5 -v` to also see the rendered result with
+// -benchtime 1x), plus micro-benchmarks of the core components (training,
+// prediction, optimization, simulation).
+
+import (
+	"testing"
+
+	"cleo/internal/costmodel"
+	"cleo/internal/experiments"
+	"cleo/internal/learned"
+	"cleo/internal/stats"
+	"cleo/internal/telemetry"
+	"cleo/internal/workload"
+)
+
+// benchExperiment runs one registered experiment per iteration at small
+// scale. The shared lab is built once and memoized across benchmarks.
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	e, err := experiments.Find(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(experiments.ScaleSmall)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if testing.Verbose() && i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+func BenchmarkFig01HandcraftedModels(b *testing.B) { benchExperiment(b, "fig1") }
+func BenchmarkFig02RecurringJob(b *testing.B)      { benchExperiment(b, "fig2") }
+func BenchmarkFig03AdhocShare(b *testing.B)        { benchExperiment(b, "fig3") }
+func BenchmarkTable01LossFunctions(b *testing.B)   { benchExperiment(b, "table1") }
+func BenchmarkTable04MLAlgorithms(b *testing.B)    { benchExperiment(b, "table4") }
+func BenchmarkTable05ModelLadder(b *testing.B)     { benchExperiment(b, "table5") }
+func BenchmarkTable06MetaLearners(b *testing.B)    { benchExperiment(b, "table6") }
+func BenchmarkFig05FeatureWeights(b *testing.B)    { benchExperiment(b, "fig5") }
+func BenchmarkFig06FeatureWeights(b *testing.B)    { benchExperiment(b, "fig6") }
+func BenchmarkFig07ErrorBands(b *testing.B)        { benchExperiment(b, "fig7") }
+func BenchmarkFig08cModelLookups(b *testing.B)     { benchExperiment(b, "fig8c") }
+func BenchmarkFig09WorkloadSummary(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkFig10WorkloadChange(b *testing.B)    { benchExperiment(b, "fig10") }
+func BenchmarkFig11PerFamilyCV(b *testing.B)       { benchExperiment(b, "fig11") }
+func BenchmarkTable07AdhocBreakdown(b *testing.B)  { benchExperiment(b, "table7") }
+func BenchmarkTable08PerCluster(b *testing.B)      { benchExperiment(b, "table8") }
+func BenchmarkFig12AllJobsCDF(b *testing.B)        { benchExperiment(b, "fig12") }
+func BenchmarkFig13AdhocCDF(b *testing.B)          { benchExperiment(b, "fig13") }
+func BenchmarkFig14Robustness(b *testing.B)        { benchExperiment(b, "fig14") }
+func BenchmarkFig15CardLearner(b *testing.B)       { benchExperiment(b, "fig15") }
+func BenchmarkFig16JoinContexts(b *testing.B)      { benchExperiment(b, "fig16") }
+func BenchmarkFig17PartitionSampling(b *testing.B) { benchExperiment(b, "fig17") }
+func BenchmarkFig18FeatureAblation(b *testing.B)   { benchExperiment(b, "fig18") }
+func BenchmarkFig19ProductionJobs(b *testing.B)    { benchExperiment(b, "fig19") }
+func BenchmarkFig20TPCH(b *testing.B)              { benchExperiment(b, "fig20") }
+func BenchmarkAblationStrawman(b *testing.B)       { benchExperiment(b, "ablation-strawman") }
+
+// --- Component micro-benchmarks ---
+
+// benchTelemetry builds a small executed trace once.
+func benchTelemetry(b *testing.B) *telemetry.Collected {
+	b.Helper()
+	tr := workload.Generate(workload.Config{
+		Clusters: 1, Days: 2, TemplatesPerCluster: 8,
+		InstancesPerTemplatePerDay: 3, AdHocFraction: 0.1, Seed: 5,
+	})
+	r := &telemetry.Runner{Trace: tr, Cost: costmodel.Default{}, Jitter: true}
+	col, err := r.RunAll()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return col
+}
+
+// BenchmarkOptimizeJob measures end-to-end planning of one production-style
+// job under the default cost model.
+func BenchmarkOptimizeJob(b *testing.B) {
+	tr := workload.Generate(workload.Config{
+		Clusters: 1, Days: 1, TemplatesPerCluster: 1,
+		InstancesPerTemplatePerDay: 1, Seed: 9,
+	})
+	job := tr.Jobs[0]
+	r := &telemetry.Runner{Trace: tr, Cost: costmodel.Default{}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col, err := (&telemetry.Runner{
+			Trace:    &workload.Trace{Jobs: []workload.Job{job}, Catalogs: tr.Catalogs},
+			Clusters: nil, Cost: r.Cost,
+		}).RunAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = col
+	}
+}
+
+// BenchmarkTrainModels measures the full training pass (four families +
+// combined) over a day of telemetry.
+func BenchmarkTrainModels(b *testing.B) {
+	col := benchTelemetry(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := learned.TrainByDay(col.Records, 1, learned.DefaultTrainConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictOperator measures one combined-model cost prediction —
+// the per-operator overhead CLEO adds inside Optimize Inputs.
+func BenchmarkPredictOperator(b *testing.B) {
+	col := benchTelemetry(b)
+	pr, err := learned.TrainByDay(col.Records, 1, learned.DefaultTrainConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := &col.Records[len(col.Records)/2]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pr.PredictRecord(rec)
+	}
+}
+
+// BenchmarkSignature measures the four-signature computation per operator.
+func BenchmarkSignature(b *testing.B) {
+	col := benchTelemetry(b)
+	p := col.Jobs[0].Plan
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Walk(func(n *PhysicalPlan) { _ = n })
+		_ = p.Count()
+	}
+}
+
+// BenchmarkCardinalityAnnotation measures bottom-up stats annotation of a
+// plan.
+func BenchmarkCardinalityAnnotation(b *testing.B) {
+	col := benchTelemetry(b)
+	tr := workload.Generate(workload.Config{
+		Clusters: 1, Days: 1, TemplatesPerCluster: 1,
+		InstancesPerTemplatePerDay: 1, Seed: 9,
+	})
+	_ = col
+	cat := tr.Catalogs[0]
+	job := tr.Jobs[0]
+	r := &telemetry.Runner{Trace: tr, Cost: costmodel.Default{}}
+	out, err := r.RunAll()
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := out.Jobs[0].Plan
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cat.Annotate(plan, job.Seed, stats.Estimated); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

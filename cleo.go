@@ -1,0 +1,107 @@
+// Package cleo is a from-scratch reproduction of "Cost Models for Big Data
+// Query Processing: Learning, Retrofitting, and Our Findings" (Siddiqui et
+// al., SIGMOD 2020): CLEO, a CLoud LEarning Optimizer that learns a large
+// collection of specialized cost models from workload telemetry, combines
+// them with a FastTree meta-ensemble, and retrofits them — together with
+// resource-aware partition exploration — into a Cascades-style query
+// optimizer over a simulated SCOPE-like big-data cluster.
+//
+// The typical loop mirrors the paper's feedback loop (Section 5.1):
+//
+//	sys := cleo.NewSystem(cleo.SystemConfig{Seed: 1})
+//	sys.RegisterTable("clicks_2026_06_12", cleo.TableStats{Rows: 1e8, RowLength: 120})
+//	q := cleo.NewOutput(cleo.NewAggregate(cleo.NewSelect(
+//	        cleo.NewGet("clicks_2026_06_12", "clicks_"), "market=us"), "user"))
+//	res, _ := sys.Run(q, cleo.RunOptions{Seed: 42})   // plan + execute + log
+//	_ = sys.Retrain()                                  // learn cost models
+//	res2, _ := sys.Run(q, cleo.RunOptions{Seed: 43, UseLearnedModels: true,
+//	        ResourceAware: true})                      // CLEO-optimized plan
+//	fmt.Println(res.Latency, res2.Latency)
+package cleo
+
+import (
+	"cleo/internal/exec"
+	"cleo/internal/learned"
+	"cleo/internal/ml"
+	"cleo/internal/plan"
+	"cleo/internal/stats"
+	"cleo/internal/telemetry"
+	"cleo/internal/workload"
+)
+
+// Re-exported core types. These alias the implementation packages so the
+// whole public surface lives under the cleo package.
+type (
+	// Query is a logical query-plan tree.
+	Query = plan.Logical
+	// Column names a column.
+	Column = plan.Column
+	// PhysicalPlan is an optimized physical operator tree.
+	PhysicalPlan = plan.Physical
+	// PlanSummary describes a physical plan's operator mix.
+	PlanSummary = plan.PlanSummary
+	// Signature is a 64-bit operator-subgraph hash.
+	Signature = plan.Signature
+	// TableStats describes a stored input.
+	TableStats = stats.TableStats
+	// Catalog resolves statistics.
+	Catalog = stats.Catalog
+	// Record is one per-operator telemetry observation.
+	Record = telemetry.Record
+	// Predictor is a trained CLEO model set.
+	Predictor = learned.Predictor
+	// Accuracy summarises prediction quality.
+	Accuracy = ml.Accuracy
+	// Job is one workload query instance.
+	Job = workload.Job
+	// WorkloadConfig sizes a generated production-style trace.
+	WorkloadConfig = workload.Config
+	// Trace is a generated workload.
+	Trace = workload.Trace
+)
+
+// Logical plan builders (re-exported from the plan algebra).
+
+// NewGet builds a scan of a stored input; template is the normalized
+// (date-stripped) input name shared by recurring instances.
+func NewGet(table, template string) *Query { return plan.NewGet(table, template) }
+
+// NewSelect builds a filter; pred identifies the predicate for statistics.
+func NewSelect(child *Query, pred string) *Query { return plan.NewSelect(child, pred) }
+
+// NewProject builds a projection onto keys.
+func NewProject(child *Query, keys ...Column) *Query { return plan.NewProject(child, keys...) }
+
+// NewJoin builds an inner equi-join on keys.
+func NewJoin(l, r *Query, pred string, keys ...Column) *Query {
+	return plan.NewJoin(l, r, pred, keys...)
+}
+
+// NewAggregate builds a group-by (global aggregate when keys are empty).
+func NewAggregate(child *Query, keys ...Column) *Query { return plan.NewAggregate(child, keys...) }
+
+// NewSort builds an order-by.
+func NewSort(child *Query, keys ...Column) *Query { return plan.NewSort(child, keys...) }
+
+// NewTopN builds a top-n on keys.
+func NewTopN(child *Query, n int, keys ...Column) *Query { return plan.NewTopN(child, n, keys...) }
+
+// NewUnion builds a union-all.
+func NewUnion(children ...*Query) *Query { return plan.NewUnion(children...) }
+
+// NewProcess builds a user-defined processor (black-box UDF).
+func NewProcess(child *Query, udf string) *Query { return plan.NewProcess(child, udf) }
+
+// NewOutput builds the output sink; every query needs one at the root.
+func NewOutput(child *Query) *Query { return plan.NewOutput(child) }
+
+// GenerateWorkload builds a production-style multi-cluster trace of
+// recurring and ad-hoc jobs (Section 2.2 of the paper).
+func GenerateWorkload(cfg WorkloadConfig) *Trace { return workload.Generate(cfg) }
+
+// DefaultWorkloadConfig returns a small but structurally faithful trace
+// configuration.
+func DefaultWorkloadConfig() WorkloadConfig { return workload.DefaultConfig() }
+
+// ExecConfig re-exports the simulated cluster's configuration.
+type ExecConfig = exec.Config

@@ -1,0 +1,187 @@
+package cleo
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// demoQuery builds a small aggregation query over a registered table.
+func demoSystem(t *testing.T) (*System, *Query) {
+	t.Helper()
+	sys := NewSystem(SystemConfig{Seed: 5})
+	sys.RegisterTable("clicks_2026_06_12", TableStats{Rows: 2e7, RowLength: 120})
+	q := NewOutput(NewAggregate(NewSelect(
+		NewGet("clicks_2026_06_12", "clicks_"), "market=us"), "user"))
+	return sys, q
+}
+
+func TestRunProducesResultAndLogs(t *testing.T) {
+	sys, q := demoSystem(t)
+	res, err := sys.Run(q, RunOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency <= 0 || res.TotalProcessingTime <= 0 || res.Plan == nil {
+		t.Fatalf("result = %+v", res)
+	}
+	if len(res.Records) == 0 || sys.LogSize() != len(res.Records) {
+		t.Fatalf("telemetry: %d records, log %d", len(res.Records), sys.LogSize())
+	}
+}
+
+func TestFeedbackLoopEndToEnd(t *testing.T) {
+	sys, q := demoSystem(t)
+	// Recurring instances with drifting seeds feed the loop.
+	for seed := int64(1); seed <= 40; seed++ {
+		if _, err := sys.Run(q, RunOptions{Seed: seed, Param: float64(seed % 7)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Models() == nil || sys.Models().NumModels() == 0 {
+		t.Fatal("no models trained")
+	}
+	// Evaluate on fresh runs.
+	var test []Record
+	for seed := int64(100); seed < 110; seed++ {
+		res, err := sys.Run(q, RunOptions{Seed: seed, SkipLogging: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		test = append(test, res.Records...)
+	}
+	acc, err := sys.EvaluateModels(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Pearson < 0.5 {
+		t.Fatalf("learned accuracy too low: %+v", acc)
+	}
+	// Learned, resource-aware run must work end to end.
+	res, err := sys.Run(q, RunOptions{Seed: 200, UseLearnedModels: true, ResourceAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency <= 0 {
+		t.Fatal("no latency")
+	}
+}
+
+func TestUseLearnedModelsRequiresTraining(t *testing.T) {
+	sys, q := demoSystem(t)
+	if _, err := sys.Run(q, RunOptions{Seed: 1, UseLearnedModels: true}); err == nil {
+		t.Fatal("expected error without trained models")
+	}
+}
+
+func TestSaveLoadModels(t *testing.T) {
+	sys, q := demoSystem(t)
+	for seed := int64(1); seed <= 25; seed++ {
+		if _, err := sys.Run(q, RunOptions{Seed: seed}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "models.json")
+	if err := sys.SaveModels(path); err != nil {
+		t.Fatal(err)
+	}
+	sys2 := NewSystem(SystemConfig{Seed: 5})
+	if err := sys2.LoadModels(path); err != nil {
+		t.Fatal(err)
+	}
+	if sys2.Models().NumModels() != sys.Models().NumModels() {
+		t.Fatal("model counts differ after reload")
+	}
+}
+
+func TestSaveModelsWithoutTraining(t *testing.T) {
+	sys, _ := demoSystem(t)
+	if err := sys.SaveModels("/tmp/x.json"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestExplainDiff(t *testing.T) {
+	sys, q := demoSystem(t)
+	for seed := int64(1); seed <= 25; seed++ {
+		if _, err := sys.Run(q, RunOptions{Seed: seed}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+	defPlan, cleoPlan, _, err := sys.ExplainDiff(q, RunOptions{Seed: 99, ResourceAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defPlan == nil || cleoPlan == nil {
+		t.Fatal("nil plans")
+	}
+	if Summarize(defPlan).NumOps == 0 {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestGenerateWorkloadViaFacade(t *testing.T) {
+	cfg := DefaultWorkloadConfig()
+	cfg.Clusters = 1
+	cfg.Days = 1
+	cfg.TemplatesPerCluster = 3
+	tr := GenerateWorkload(cfg)
+	if len(tr.Jobs) == 0 {
+		t.Fatal("no jobs")
+	}
+}
+
+func TestQueryBuilders(t *testing.T) {
+	a := NewGet("t1", "t_")
+	b := NewGet("t2", "t_")
+	q := NewOutput(NewTopN(NewSort(NewAggregate(NewProcess(NewProject(NewUnion(
+		NewJoin(NewSelect(a, "p"), b, "jp", "k"),
+	), "k"), "udf1"), "k"), "k"), 5, "k"))
+	// Get, Get, Select, Join, Union, Project, Process, Aggregate, Sort,
+	// TopN, Output = 11 operators.
+	if q.Count() != 11 {
+		t.Fatalf("ops = %d, want 11", q.Count())
+	}
+}
+
+func TestSafePlanSelection(t *testing.T) {
+	sys, q := demoSystem(t)
+	for seed := int64(1); seed <= 30; seed++ {
+		if _, err := sys.Run(q, RunOptions{Seed: seed}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+	safe, err := sys.Run(q, RunOptions{
+		Seed: 50, SkipLogging: true,
+		UseLearnedModels: true, ResourceAware: true, SafePlanSelection: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := sys.Run(q, RunOptions{
+		Seed: 50, SkipLogging: true,
+		UseLearnedModels: true, ResourceAware: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Safe selection must never pick a plan the models score worse than
+	// the raw CLEO plan's own score.
+	if safe.PredictedCost > raw.PredictedCost+1e-9 {
+		t.Fatalf("safe plan predicted %v > raw %v", safe.PredictedCost, raw.PredictedCost)
+	}
+	if safe.Latency <= 0 {
+		t.Fatal("safe run did not execute")
+	}
+}

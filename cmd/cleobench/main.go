@@ -1,0 +1,73 @@
+// Command cleobench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	cleobench -list
+//	cleobench [-scale small|full] all
+//	cleobench [-scale small|full] table5 fig19 fig20 ...
+//
+// Each experiment prints a text table with a "paper:" note recording the
+// published numbers for side-by-side comparison (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cleo/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "small", "experiment scale: small or full")
+	list := flag.Bool("list", false, "list available experiments")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-18s %s\n", e.Name, e.Description)
+		}
+		return
+	}
+
+	scale := experiments.ScaleSmall
+	switch *scaleFlag {
+	case "small":
+	case "full":
+		scale = experiments.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "cleobench: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	names := flag.Args()
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "cleobench: pass experiment names or 'all' (-list to enumerate)")
+		os.Exit(2)
+	}
+	var entries []experiments.Entry
+	if len(names) == 1 && names[0] == "all" {
+		entries = experiments.Registry()
+	} else {
+		for _, n := range names {
+			e, err := experiments.Find(n)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cleobench:", err)
+				os.Exit(2)
+			}
+			entries = append(entries, e)
+		}
+	}
+
+	for _, e := range entries {
+		start := time.Now()
+		res, err := e.Run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cleobench: %s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Render())
+		fmt.Printf("[%s completed in %v]\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,106 @@
+// Command cleoexplain optimizes one TPC-H query under the default cost
+// model and under CLEO's learned models and prints both physical plans —
+// the plan-change analysis of Section 6.6.2.
+//
+// Usage:
+//
+//	cleoexplain -q 8 [-sf 1000] [-runs 6]
+//
+// The tool first executes `runs` randomized runs of all 22 queries to
+// collect training telemetry, trains the models, then explains the chosen
+// query.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cleo/internal/cascades"
+	"cleo/internal/costmodel"
+	"cleo/internal/exec"
+	"cleo/internal/learned"
+	"cleo/internal/plan"
+	"cleo/internal/telemetry"
+	"cleo/internal/workload/tpch"
+)
+
+func main() {
+	q := flag.Int("q", 8, "TPC-H query number (1-22)")
+	sf := flag.Float64("sf", 1000, "scale factor")
+	runs := flag.Int("runs", 6, "training runs of the 22-query workload")
+	flag.Parse()
+	if *q < 1 || *q > 22 {
+		fmt.Fprintln(os.Stderr, "cleoexplain: -q must be 1..22")
+		os.Exit(2)
+	}
+
+	tr := tpch.Trace(*sf, *runs, 11)
+	cluster := exec.NewCluster(exec.DefaultConfig(11))
+	runner := &telemetry.Runner{Trace: tr, Clusters: []*exec.Cluster{cluster}, Cost: costmodel.Default{}, Jitter: true}
+	col, err := runner.RunAll()
+	if err != nil {
+		fatal(err)
+	}
+	pr, err := learned.TrainByDay(col.Records, *runs-2, learned.DefaultTrainConfig())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trained %d models from %d records\n\n", pr.NumModels(), len(col.Records))
+
+	query := tpch.Queries()[*q]()
+	cat := tr.Catalogs[0]
+
+	defOpt := &cascades.Optimizer{Catalog: cat, Cost: costmodel.Default{},
+		MaxPartitions: cluster.MaxPartitions(), JobSeed: 99}
+	defRes, err := defOpt.Optimize(query)
+	if err != nil {
+		fatal(err)
+	}
+	coster := &learned.Coster{Predictor: pr, Param: 12, Fallback: costmodel.Default{}}
+	cleoOpt := &cascades.Optimizer{Catalog: cat, Cost: coster,
+		MaxPartitions: cluster.MaxPartitions(), JobSeed: 99,
+		ResourceAware: true, Chooser: &learned.AnalyticalChooser{Cost: coster}}
+	cleoRes, err := cleoOpt.Optimize(query)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("== TPC-H %s (SF %.0f) ==\n\n", tpch.QueryName(*q), *sf)
+	fmt.Println("default plan:")
+	printPlan(defRes.Plan)
+	fmt.Printf("  predicted cost: %.1f s\n\n", defRes.Cost)
+	fmt.Println("CLEO plan (learned models + partition exploration):")
+	printPlan(cleoRes.Plan)
+	fmt.Printf("  predicted cost: %.1f s, model look-ups: %d\n\n", cleoRes.Cost, cleoRes.ModelLookups)
+	if defRes.Plan.String() == cleoRes.Plan.String() {
+		fmt.Println("plans are identical")
+	} else {
+		fmt.Println("plans DIFFER")
+	}
+}
+
+// printPlan renders an indented operator tree with partitions and costs.
+func printPlan(p *plan.Physical) {
+	var walk func(n *plan.Physical, depth int)
+	walk = func(n *plan.Physical, depth int) {
+		for i := 0; i < depth; i++ {
+			fmt.Print("  ")
+		}
+		extra := ""
+		if n.Table != "" {
+			extra = " " + n.Table
+		}
+		fmt.Printf("- %s%s  [partitions=%d, estRows=%.3g, estCost=%.2fs]\n",
+			n.Op, extra, n.Partitions, n.Stats.EstCard, n.ExclusiveCostEst)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(p, 1)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cleoexplain:", err)
+	os.Exit(1)
+}

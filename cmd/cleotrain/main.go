@@ -1,0 +1,77 @@
+// Command cleotrain trains CLEO cost models from a telemetry log.
+//
+// Usage:
+//
+//	cleotrain -in telemetry.jsonl -out models.json [-meta-fraction 0.3]
+//	cleotrain -demo -out models.json      # generate a demo workload first
+//
+// The input is a JSON-lines file of per-operator records (the format
+// telemetry.WriteRecords emits); the output is the serialized model store
+// the optimizer loads (Section 5.1 of the paper).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cleo/internal/costmodel"
+	"cleo/internal/learned"
+	"cleo/internal/telemetry"
+	"cleo/internal/workload"
+)
+
+func main() {
+	in := flag.String("in", "", "input telemetry JSONL file")
+	out := flag.String("out", "models.json", "output model store")
+	metaFraction := flag.Float64("meta-fraction", 0.3, "fraction of records held out for the combined model")
+	demo := flag.Bool("demo", false, "generate and execute a demo workload instead of reading -in")
+	flag.Parse()
+
+	var recs []telemetry.Record
+	switch {
+	case *demo:
+		tr := workload.Generate(workload.Config{
+			Clusters: 1, Days: 3, TemplatesPerCluster: 20,
+			InstancesPerTemplatePerDay: 3, AdHocFraction: 0.1, Seed: 1,
+		})
+		runner := &telemetry.Runner{Trace: tr, Cost: costmodel.Default{}, Jitter: true}
+		col, err := runner.RunAll()
+		if err != nil {
+			fatal(err)
+		}
+		recs = col.Records
+		fmt.Printf("generated %d records from %d demo jobs\n", len(recs), len(col.Jobs))
+	case *in != "":
+		var err error
+		recs, err = telemetry.ReadRecordsFile(*in)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("read %d records from %s\n", len(recs), *in)
+	default:
+		fmt.Fprintln(os.Stderr, "cleotrain: provide -in or -demo")
+		os.Exit(2)
+	}
+
+	cfg := learned.DefaultTrainConfig()
+	cfg.MetaFraction = *metaFraction
+	pr, err := learned.TrainSplit(recs, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := pr.SaveFile(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trained %d individual models (+combined) -> %s\n", pr.NumModels(), *out)
+	for fam := 0; fam < learned.NumFamilies; fam++ {
+		fm := pr.Families[fam]
+		fmt.Printf("  %-20s %d models, coverage %.0f%%\n",
+			fm.Family, fm.NumModels(), 100*fm.Coverage(recs))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cleotrain:", err)
+	os.Exit(1)
+}

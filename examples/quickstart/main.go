@@ -1,0 +1,75 @@
+// Quickstart: build a query, run it on the simulated cluster, close the
+// feedback loop, and watch CLEO's learned cost models beat the default
+// model and pick a cheaper plan.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cleo"
+)
+
+func main() {
+	// A System is one tenant's view: statistics catalog, simulated
+	// cluster, optimizer and feedback loop.
+	sys := cleo.NewSystem(cleo.SystemConfig{Seed: 42})
+
+	// Register today's input. The template name ("clicks_") groups
+	// recurring instances of the same logical input.
+	sys.RegisterTable("clicks_2026_06_12", cleo.TableStats{Rows: 5e7, RowLength: 120})
+	sys.RegisterTable("users_2026_06_12", cleo.TableStats{Rows: 2e6, RowLength: 80})
+
+	// SELECT region, agg(...) FROM clicks JOIN users ON user
+	// WHERE market='us' GROUP BY region ORDER BY region
+	query := cleo.NewOutput(
+		cleo.NewSort(
+			cleo.NewAggregate(
+				cleo.NewJoin(
+					cleo.NewSelect(cleo.NewGet("clicks_2026_06_12", "clicks_"), "market=us"),
+					cleo.NewGet("users_2026_06_12", "users_"),
+					"clicks.user=users.id", "user"),
+				"region"),
+			"region"))
+
+	// Run the recurring job 30 times (instances drift); telemetry is
+	// logged automatically.
+	fmt.Println("running 30 instances under the default cost model...")
+	var lastDefault *cleo.RunResult
+	for seed := int64(1); seed <= 30; seed++ {
+		res, err := sys.Run(query, cleo.RunOptions{Seed: seed, Param: float64(seed%24) + 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		lastDefault = res
+	}
+	fmt.Printf("  last run: latency %.1fs, processing %.0f container-seconds, %d containers\n",
+		lastDefault.Latency, lastDefault.TotalProcessingTime, lastDefault.Containers)
+
+	// Train the learned cost models from the accumulated telemetry.
+	if err := sys.Retrain(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %d individual cost models (+ combined meta-model)\n", sys.Models().NumModels())
+
+	// Re-run with learned models and resource-aware partition planning.
+	res, err := sys.Run(query, cleo.RunOptions{
+		Seed: 31, Param: 8, UseLearnedModels: true, ResourceAware: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CLEO run: latency %.1fs, processing %.0f container-seconds, %d containers\n",
+		res.Latency, res.TotalProcessingTime, res.Containers)
+
+	// Show what changed.
+	defPlan, cleoPlan, changed, err := sys.ExplainDiff(query, cleo.RunOptions{Seed: 31, Param: 8, ResourceAware: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan changed: %v\n", changed)
+	fmt.Printf("  default: %d ops, %d total partitions\n",
+		cleo.Summarize(defPlan).NumOps, cleo.Summarize(defPlan).TotalPartition)
+	fmt.Printf("  CLEO:    %d ops, %d total partitions\n",
+		cleo.Summarize(cleoPlan).NumOps, cleo.Summarize(cleoPlan).TotalPartition)
+}

@@ -1,0 +1,70 @@
+// Resource planning: Section 5.2's motivating example (Figure 8b) on a
+// concrete stage. A shuffle-and-aggregate stage is priced at a range of
+// partition counts to show the locally-optimal vs stage-optimal gap, then
+// the learned analytical strategy finds the stage optimum with 5 model
+// look-ups per operator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cleo"
+)
+
+func main() {
+	sys := cleo.NewSystem(cleo.SystemConfig{Seed: 3})
+	sys.RegisterTable("events_2026_06_12", cleo.TableStats{Rows: 1.2e9, RowLength: 100})
+
+	// Extract -> Filter -> Sort -> Output: one stage whose only degree of
+	// freedom is the partition count, isolating the effect of partition
+	// exploration (Section 5.2) from operator choice.
+	query := cleo.NewOutput(
+		cleo.NewSort(
+			cleo.NewSelect(cleo.NewGet("events_2026_06_12", "events_"), "recent"),
+			"k1"))
+
+	// Collect telemetry so the models know this pipeline.
+	for seed := int64(1); seed <= 80; seed++ {
+		if _, err := sys.Run(query, cleo.RunOptions{Seed: seed, Param: float64(seed % 5)}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := sys.Retrain(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Compare: default heuristic partitioning vs resource-aware planning.
+	defRes, err := sys.Run(query, cleo.RunOptions{Seed: 99, SkipLogging: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cleoRes, err := sys.Run(query, cleo.RunOptions{
+		Seed: 99, SkipLogging: true, UseLearnedModels: true, ResourceAware: true,
+		SafePlanSelection: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("stage partition counts (default heuristic vs resource-aware):")
+	fmt.Printf("  default plan:        %v\n", stagePartitions(defRes.Plan))
+	fmt.Printf("  resource-aware plan: %v\n", stagePartitions(cleoRes.Plan))
+	fmt.Printf("default:        latency %6.1fs, processing %8.0f container-seconds\n",
+		defRes.Latency, defRes.TotalProcessingTime)
+	fmt.Printf("resource-aware: latency %6.1fs, processing %8.0f container-seconds\n",
+		cleoRes.Latency, cleoRes.TotalProcessingTime)
+}
+
+// stagePartitions lists the distinct partition counts along the plan.
+func stagePartitions(p *cleo.PhysicalPlan) []int {
+	var out []int
+	last := -1
+	p.Walk(func(n *cleo.PhysicalPlan) {
+		if n.Partitions != last {
+			out = append(out, n.Partitions)
+			last = n.Partitions
+		}
+	})
+	return out
+}

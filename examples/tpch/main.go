@@ -1,0 +1,66 @@
+// TPC-H: reproduce the paper's Section 6.6.2 analysis on two headline
+// queries — Q8, where CLEO exploits the part table's stored partitioning
+// to skip a shuffle and re-partition more cheaply, and Q17, the
+// partial-aggregation change that regressed in the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cleo"
+)
+
+func main() {
+	sys := cleo.NewSystem(cleo.SystemConfig{Seed: 11})
+	sys.RegisterTPCH(100) // scale factor 100
+
+	// Training: run all 22 queries several times with varying parameters
+	// (the paper runs each 10 times), logging telemetry.
+	fmt.Println("collecting training telemetry from 22 queries x 6 runs...")
+	for run := 0; run < 6; run++ {
+		for q := 1; q <= 22; q++ {
+			query, err := cleo.TPCHQuery(q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			seed := int64(run*100 + q)
+			if _, err := sys.Run(query, cleo.RunOptions{Seed: seed, Param: float64(run + 1)}); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if err := sys.Retrain(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %d models from %d records\n\n", sys.Models().NumModels(), sys.LogSize())
+
+	for _, q := range []int{8, 17} {
+		query, err := cleo.TPCHQuery(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		seed := int64(999 + q)
+
+		defRes, err := sys.Run(query, cleo.RunOptions{Seed: seed, SkipLogging: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cleoRes, err := sys.Run(query, cleo.RunOptions{
+			Seed: seed, SkipLogging: true, UseLearnedModels: true, ResourceAware: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("== Q%d ==\n", q)
+		ds, cs := cleo.Summarize(defRes.Plan), cleo.Summarize(cleoRes.Plan)
+		fmt.Printf("  default: latency %6.1fs  processing %9.0fs  partitions %5d  ops %v\n",
+			defRes.Latency, defRes.TotalProcessingTime, ds.TotalPartition, ds.Operators)
+		fmt.Printf("  CLEO:    latency %6.1fs  processing %9.0fs  partitions %5d  ops %v\n",
+			cleoRes.Latency, cleoRes.TotalProcessingTime, cs.TotalPartition, cs.Operators)
+		fmt.Printf("  latency change: %+.1f%%, processing change: %+.1f%%\n\n",
+			100*(cleoRes.Latency/defRes.Latency-1),
+			100*(cleoRes.TotalProcessingTime/defRes.TotalProcessingTime-1))
+	}
+}

@@ -1,0 +1,372 @@
+package cascades
+
+import (
+	"testing"
+
+	"cleo/internal/costmodel"
+	"cleo/internal/plan"
+	"cleo/internal/stats"
+)
+
+func testCatalog() *stats.Catalog {
+	c := stats.NewCatalog(5)
+	c.PutTable("clicks_d1", stats.TableStats{Rows: 2e7, RowLength: 120})
+	c.PutTable("users_d1", stats.TableStats{Rows: 5e5, RowLength: 80})
+	c.PutTable("parts_d1", stats.TableStats{
+		Rows: 1e6, RowLength: 100, PartitionedOn: "pkey", Partitions: 100,
+	})
+	return c
+}
+
+func defaultOptimizer(c *stats.Catalog) *Optimizer {
+	return &Optimizer{
+		Catalog:       c,
+		Cost:          costmodel.Tuned{},
+		MaxPartitions: 3000,
+		JobSeed:       1,
+	}
+}
+
+func resourceAwareOptimizer(c *stats.Catalog) *Optimizer {
+	o := defaultOptimizer(c)
+	o.ResourceAware = true
+	o.Chooser = &SamplingChooser{Cost: o.Cost, Strategy: Geometric, SkipCoefficient: 2}
+	return o
+}
+
+func simpleQuery() *plan.Logical {
+	g := plan.NewGet("clicks_d1", "clicks_")
+	f := plan.NewSelect(g, "market=us")
+	a := plan.NewAggregate(f, "user")
+	return plan.NewOutput(a)
+}
+
+func joinQuery() *plan.Logical {
+	l := plan.NewSelect(plan.NewGet("clicks_d1", "clicks_"), "recent")
+	r := plan.NewGet("users_d1", "users_")
+	j := plan.NewJoin(l, r, "clicks.user=users.id", "user")
+	a := plan.NewAggregate(j, "region")
+	s := plan.NewSort(a, "region")
+	return plan.NewOutput(s)
+}
+
+func TestOptimizeSimpleQuery(t *testing.T) {
+	o := defaultOptimizer(testCatalog())
+	res, err := o.Optimize(simpleQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan == nil || res.Cost <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	// The plan must contain exactly one aggregation path and an exchange
+	// enforcing hash partitioning for it (or partial+final aggregation).
+	sum := plan.Summarize(res.Plan)
+	aggs := sum.Operators["HashAggregate"] + sum.Operators["StreamAggregate"]
+	if aggs < 1 {
+		t.Fatalf("no aggregate in plan: %v", sum.Operators)
+	}
+	if sum.Operators["Exchange"] < 1 {
+		t.Fatalf("no exchange enforcer: %v", sum.Operators)
+	}
+	// Every operator must carry stats, partitions and a cost.
+	res.Plan.Walk(func(n *plan.Physical) {
+		if n.Partitions < 1 {
+			t.Errorf("%v partitions = %d", n.Op, n.Partitions)
+		}
+		if n.Stats.EstCard <= 0 {
+			t.Errorf("%v est card = %v", n.Op, n.Stats.EstCard)
+		}
+		if n.ExclusiveCostEst < 0 {
+			t.Errorf("%v cost = %v", n.Op, n.ExclusiveCostEst)
+		}
+	})
+}
+
+func TestOptimizeJoinQuery(t *testing.T) {
+	o := defaultOptimizer(testCatalog())
+	res, err := o.Optimize(joinQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := plan.Summarize(res.Plan)
+	joins := sum.Operators["HashJoin"] + sum.Operators["MergeJoin"]
+	if joins != 1 {
+		t.Fatalf("joins = %d: %v", joins, sum.Operators)
+	}
+	// Join children must agree on partition count.
+	res.Plan.Walk(func(n *plan.Physical) {
+		if n.Op == plan.PHashJoin || n.Op == plan.PMergeJoin {
+			if n.Children[0].Partitions != n.Children[1].Partitions {
+				t.Errorf("join children partitions differ: %d vs %d",
+					n.Children[0].Partitions, n.Children[1].Partitions)
+			}
+			if n.Partitions != n.Children[0].Partitions {
+				t.Errorf("join partitions %d != children %d", n.Partitions, n.Children[0].Partitions)
+			}
+		}
+	})
+}
+
+func TestSortRequirementSatisfied(t *testing.T) {
+	o := defaultOptimizer(testCatalog())
+	res, err := o.Optimize(joinQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The query sorts by region after aggregating by region; the plan must
+	// produce that ordering via a Sort or a stream aggregate.
+	sum := plan.Summarize(res.Plan)
+	if sum.Operators["Sort"] == 0 && sum.Operators["StreamAggregate"] == 0 {
+		t.Fatalf("no ordering producer in plan: %v", sum.Operators)
+	}
+}
+
+func TestPrePartitionedInputDeliversPartitioning(t *testing.T) {
+	c := testCatalog()
+	// Join parts (pre-partitioned on pkey) with clicks on pkey.
+	l := plan.NewGet("parts_d1", "parts_")
+	r := plan.NewGet("clicks_d1", "clicks_")
+	j := plan.NewJoin(l, r, "p.pkey=c.pkey", "pkey")
+	q := plan.NewOutput(j)
+
+	o := resourceAwareOptimizer(c)
+	res, err := o.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The parts side should not be re-shuffled when the join adopts its
+	// stored partition count (100).
+	var exchangesOverParts int
+	res.Plan.Walk(func(n *plan.Physical) {
+		if n.Op == plan.PExchange && len(n.Children) == 1 && n.Children[0].Table == "parts_d1" {
+			exchangesOverParts++
+		}
+	})
+	if exchangesOverParts != 0 {
+		t.Errorf("parts side re-shuffled %d times despite matching layout", exchangesOverParts)
+	}
+	var join *plan.Physical
+	res.Plan.Walk(func(n *plan.Physical) {
+		if n.Op == plan.PHashJoin || n.Op == plan.PMergeJoin {
+			join = n
+		}
+	})
+	if join == nil {
+		t.Fatal("no join in plan")
+	}
+	if join.Partitions != 100 {
+		t.Errorf("join partitions = %d, want 100 (stored layout)", join.Partitions)
+	}
+}
+
+func TestResourceAwareUsesLookups(t *testing.T) {
+	o := resourceAwareOptimizer(testCatalog())
+	res, err := o.Optimize(simpleQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ModelLookups == 0 {
+		t.Fatal("resource-aware optimization should spend model look-ups")
+	}
+}
+
+func TestResourceAwareRequiresChooser(t *testing.T) {
+	o := defaultOptimizer(testCatalog())
+	o.ResourceAware = true
+	if _, err := o.Optimize(simpleQuery()); err == nil {
+		t.Fatal("expected error without chooser")
+	}
+}
+
+func TestMemoExploreAddsCommutedJoin(t *testing.T) {
+	m := NewMemo(joinQuery())
+	root := m.Root()
+	m.Explore(root)
+	// Find the join group and check it has two expressions.
+	found := false
+	for i := 0; i < m.NumGroups(); i++ {
+		g := m.Group(GroupID(i))
+		if len(g.Exprs) > 0 && g.Exprs[0].Op == plan.LJoin {
+			if len(g.Exprs) != 2 {
+				t.Fatalf("join group has %d exprs, want 2", len(g.Exprs))
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no join group in memo")
+	}
+}
+
+func TestPropsSatisfaction(t *testing.T) {
+	hashUK := Partitioning{Kind: HashPartition, Keys: []plan.Column{"u", "k"}}
+	hashKU := Partitioning{Kind: HashPartition, Keys: []plan.Column{"k", "u"}}
+	if !hashUK.Satisfies(hashKU) {
+		t.Fatal("hash partitioning should be key-set based")
+	}
+	if (Partitioning{Kind: AnyPartition}).Satisfies(hashUK) {
+		t.Fatal("any should not satisfy hash")
+	}
+	if !(Partitioning{Kind: SinglePartition}).Satisfies(Partitioning{Kind: AnyPartition}) {
+		t.Fatal("anything satisfies any")
+	}
+	if !(Ordering{"a", "b"}).Satisfies(Ordering{"a"}) {
+		t.Fatal("prefix ordering should satisfy")
+	}
+	if (Ordering{"b", "a"}).Satisfies(Ordering{"a"}) {
+		t.Fatal("wrong prefix should not satisfy")
+	}
+}
+
+func TestSamplingChooserCandidates(t *testing.T) {
+	geo := &SamplingChooser{Strategy: Geometric, SkipCoefficient: 1}
+	c := geo.Candidates(100)
+	if c[0] != 1 || c[1] != 2 {
+		t.Fatalf("geometric candidates start %v", c[:2])
+	}
+	for i := 1; i < len(c); i++ {
+		if c[i] <= c[i-1] {
+			t.Fatal("geometric candidates must increase")
+		}
+	}
+	uni := &SamplingChooser{Strategy: Uniform, Samples: 5}
+	u := uni.Candidates(100)
+	if len(u) != 5 || u[0] != 1 || u[len(u)-1] != 100 {
+		t.Fatalf("uniform candidates = %v", u)
+	}
+	rnd := &SamplingChooser{Strategy: Random, Samples: 10, Seed: 3}
+	r := rnd.Candidates(100)
+	if len(r) != 10 {
+		t.Fatalf("random candidates = %v", r)
+	}
+	ex := &SamplingChooser{Strategy: Exhaustive}
+	if len(ex.Candidates(50)) != 50 {
+		t.Fatal("exhaustive should probe all")
+	}
+}
+
+func TestChooserFindsCheaperCount(t *testing.T) {
+	c := testCatalog()
+	// Build a stage: Exchange + HashAggregate whose tuned cost includes a
+	// per-partition overhead, so some interior count is optimal.
+	leaf := plan.NewPhysical(plan.PExtract)
+	leaf.Table = "clicks_d1"
+	leaf.InputTemplate = "clicks_"
+	leaf.Partitions = 50
+	if err := c.AnnotateOne(leaf, 1); err != nil {
+		t.Fatal(err)
+	}
+	x := plan.NewPhysical(plan.PExchange, leaf)
+	x.Keys = []plan.Column{"k"}
+	x.Partitions = 1
+	if err := c.AnnotateOne(x, 1); err != nil {
+		t.Fatal(err)
+	}
+	agg := plan.NewPhysical(plan.PHashAggregate, x)
+	agg.Keys = []plan.Column{"k"}
+	agg.Partitions = 1
+	if err := c.AnnotateOne(agg, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	chooser := &SamplingChooser{Cost: costmodel.Tuned{}, Strategy: Geometric, SkipCoefficient: 4}
+	ops := []*plan.Physical{x, agg}
+	p, lookups := chooser.ChooseStagePartitions(ops, 3000)
+	if lookups == 0 {
+		t.Fatal("no lookups spent")
+	}
+	if p <= 1 || p >= 3000 {
+		t.Fatalf("chosen count %d should be interior", p)
+	}
+	// Partitions must be restored after probing.
+	if x.Partitions != 1 || agg.Partitions != 1 {
+		t.Fatal("chooser mutated the stage")
+	}
+	// The chosen count must be at least as cheap as the probes around it.
+	at := func(pp int) float64 { return StageCostAt(costmodel.Tuned{}, ops, pp) }
+	if at(p) > at(1) || at(p) > at(3000) {
+		t.Fatalf("chosen %d not better than extremes", p)
+	}
+}
+
+func TestOptimizerDeterminism(t *testing.T) {
+	c := testCatalog()
+	r1, err := defaultOptimizer(c).Optimize(joinQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := defaultOptimizer(c).Optimize(joinQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Plan.String() != r2.Plan.String() {
+		t.Fatalf("non-deterministic plans:\n%s\n%s", r1.Plan, r2.Plan)
+	}
+	if r1.Cost != r2.Cost {
+		t.Fatal("non-deterministic costs")
+	}
+}
+
+func TestGlobalAggregateGoesSingleton(t *testing.T) {
+	g := plan.NewGet("users_d1", "users_")
+	a := plan.NewAggregate(g) // no keys: global aggregate
+	q := plan.NewOutput(a)
+	o := defaultOptimizer(testCatalog())
+	res, err := o.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agg *plan.Physical
+	res.Plan.Walk(func(n *plan.Physical) {
+		if n.Op == plan.PHashAggregate || n.Op == plan.PStreamAggregate {
+			agg = n
+		}
+	})
+	if agg == nil {
+		t.Fatal("no aggregate")
+	}
+	if agg.Partitions != 1 {
+		t.Fatalf("global aggregate partitions = %d, want 1", agg.Partitions)
+	}
+}
+
+func TestUnionAndTopN(t *testing.T) {
+	a := plan.NewGet("users_d1", "users_")
+	b := plan.NewGet("users_d1", "users_")
+	u := plan.NewUnion(a, b)
+	top := plan.NewTopN(u, 10, "score")
+	q := plan.NewOutput(top)
+	o := defaultOptimizer(testCatalog())
+	res, err := o.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := plan.Summarize(res.Plan)
+	if sum.Operators["UnionAll"] != 1 || sum.Operators["TopN"] != 1 {
+		t.Fatalf("operators = %v", sum.Operators)
+	}
+	if sum.Operators["Sort"] < 1 {
+		t.Fatalf("top-n should force a sort: %v", sum.Operators)
+	}
+}
+
+func TestProcessUDFPlanned(t *testing.T) {
+	g := plan.NewGet("clicks_d1", "clicks_")
+	p := plan.NewProcess(g, "extractFacts")
+	q := plan.NewOutput(p)
+	o := defaultOptimizer(testCatalog())
+	res, err := o.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	res.Plan.Walk(func(n *plan.Physical) {
+		if n.Op == plan.PProcess && n.UDF == "extractFacts" {
+			found = true
+		}
+	})
+	if !found {
+		t.Fatal("UDF lost during planning")
+	}
+}

@@ -1,0 +1,185 @@
+package cascades
+
+import (
+	"math"
+	"math/rand"
+
+	"cleo/internal/plan"
+)
+
+// SamplingStrategy enumerates the partition-exploration sampling strategies
+// the paper compares (Section 5.3, Figure 17).
+type SamplingStrategy int
+
+const (
+	// Geometric samples partition counts in a geometrically increasing
+	// sequence x_{i+1} = ceil(x_i + x_i/s): dense where costs change fast.
+	Geometric SamplingStrategy = iota
+	// Uniform samples evenly spaced counts.
+	Uniform
+	// Random samples uniformly at random.
+	Random
+	// Exhaustive probes every count from 1 to the cap.
+	Exhaustive
+)
+
+// String names the strategy.
+func (s SamplingStrategy) String() string {
+	switch s {
+	case Geometric:
+		return "Geometric"
+	case Uniform:
+		return "Uniform"
+	case Random:
+		return "Random"
+	case Exhaustive:
+		return "Exhaustive"
+	default:
+		return "Unknown"
+	}
+}
+
+// SamplingChooser performs partition optimization by probing the cost model
+// at sampled partition counts and keeping the count with the lowest total
+// stage cost.
+type SamplingChooser struct {
+	// Cost is the model probed per (operator, count).
+	Cost Coster
+	// Strategy selects the candidate grid.
+	Strategy SamplingStrategy
+	// Samples bounds the number of candidates for Uniform/Random.
+	Samples int
+	// SkipCoefficient is the geometric strategy's s (paper: sample x_{i+1}
+	// = ceil(x_i + x_i/s); larger s → denser grid).
+	SkipCoefficient float64
+	// Seed drives the Random strategy.
+	Seed int64
+}
+
+// Candidates returns the partition counts the strategy would probe for the
+// given cap.
+func (c *SamplingChooser) Candidates(maxPartitions int) []int {
+	if maxPartitions < 1 {
+		maxPartitions = 1
+	}
+	switch c.Strategy {
+	case Exhaustive:
+		out := make([]int, maxPartitions)
+		for i := range out {
+			out[i] = i + 1
+		}
+		return out
+	case Uniform:
+		n := c.Samples
+		if n < 2 {
+			n = 2
+		}
+		var out []int
+		last := 0
+		for i := 0; i < n; i++ {
+			p := 1 + int(float64(i)*float64(maxPartitions-1)/float64(n-1))
+			if p != last {
+				out = append(out, p)
+				last = p
+			}
+		}
+		return out
+	case Random:
+		n := c.Samples
+		if n < 1 {
+			n = 1
+		}
+		rng := rand.New(rand.NewSource(c.Seed))
+		seen := map[int]bool{}
+		var out []int
+		for len(out) < n {
+			p := 1 + rng.Intn(maxPartitions)
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+			if len(seen) >= maxPartitions {
+				break
+			}
+		}
+		return out
+	default: // Geometric
+		s := c.SkipCoefficient
+		if s <= 0 {
+			s = 2
+		}
+		var out []int
+		x := 1
+		out = append(out, 1)
+		if maxPartitions >= 2 {
+			x = 2
+			out = append(out, 2)
+		}
+		for x < maxPartitions {
+			next := int(math.Ceil(float64(x) + float64(x)/s))
+			if next <= x {
+				next = x + 1
+			}
+			if next > maxPartitions {
+				break
+			}
+			out = append(out, next)
+			x = next
+		}
+		return out
+	}
+}
+
+// ChooseStagePartitions implements PartitionChooser: it evaluates the total
+// stage cost at every candidate count and returns the best, along with the
+// number of cost-model look-ups spent.
+func (c *SamplingChooser) ChooseStagePartitions(ops []*plan.Physical, maxPartitions int) (int, int) {
+	if len(ops) == 0 {
+		return 1, 0
+	}
+	saved := make([]int, len(ops))
+	for i, op := range ops {
+		saved[i] = op.Partitions
+	}
+	defer func() {
+		for i, op := range ops {
+			op.Partitions = saved[i]
+		}
+	}()
+
+	bestP, bestCost, lookups := saved[0], math.Inf(1), 0
+	for _, p := range c.Candidates(maxPartitions) {
+		for _, op := range ops {
+			op.Partitions = p
+		}
+		var total float64
+		for _, op := range ops {
+			total += c.Cost.OperatorCost(op)
+			lookups++
+		}
+		if total < bestCost {
+			bestCost = total
+			bestP = p
+		}
+	}
+	return bestP, lookups
+}
+
+// StageCostAt evaluates the total cost of a stage's operators at a given
+// partition count without permanently modifying them. Exposed for the
+// partition-exploration experiments (Figure 17).
+func StageCostAt(cost Coster, ops []*plan.Physical, p int) float64 {
+	saved := make([]int, len(ops))
+	for i, op := range ops {
+		saved[i] = op.Partitions
+		op.Partitions = p
+	}
+	var total float64
+	for _, op := range ops {
+		total += cost.OperatorCost(op)
+	}
+	for i, op := range ops {
+		op.Partitions = saved[i]
+	}
+	return total
+}

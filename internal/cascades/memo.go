@@ -1,0 +1,133 @@
+package cascades
+
+import (
+	"fmt"
+
+	"cleo/internal/plan"
+)
+
+// GroupID identifies a memo group.
+type GroupID int
+
+// Expr is one logical expression in a group: an operator with child groups.
+type Expr struct {
+	Op    plan.LogicalOp
+	Child []GroupID
+
+	// Operator metadata carried from the logical plan.
+	Table         string
+	InputTemplate string
+	Pred          string
+	Keys          []plan.Column
+	UDF           string
+	N             int
+}
+
+// fingerprint renders the expression for duplicate detection within a group.
+func (e *Expr) fingerprint() string {
+	s := fmt.Sprintf("%v|%s|%s|%s|%s|%d|", e.Op, e.Table, e.InputTemplate, e.Pred, e.UDF, e.N)
+	for _, k := range e.Keys {
+		s += string(k) + ","
+	}
+	s += "|"
+	for _, c := range e.Child {
+		s += fmt.Sprintf("%d.", c)
+	}
+	return s
+}
+
+// Group is a set of logically equivalent expressions.
+type Group struct {
+	ID    GroupID
+	Exprs []*Expr
+
+	seen map[string]bool
+	// explored marks that exploration rules have fired for this group.
+	explored bool
+}
+
+// Memo is the Cascades search space: groups of equivalent expressions.
+type Memo struct {
+	groups []*Group
+	root   GroupID
+}
+
+// NewMemo builds a memo from a logical plan tree: one group per node
+// (Cascades' "copy-in").
+func NewMemo(l *plan.Logical) *Memo {
+	m := &Memo{}
+	m.root = m.copyIn(l)
+	return m
+}
+
+// Root returns the root group's ID.
+func (m *Memo) Root() GroupID { return m.root }
+
+// Group returns the group with the given ID.
+func (m *Memo) Group(id GroupID) *Group { return m.groups[id] }
+
+// NumGroups reports the group count.
+func (m *Memo) NumGroups() int { return len(m.groups) }
+
+func (m *Memo) newGroup() *Group {
+	g := &Group{ID: GroupID(len(m.groups)), seen: map[string]bool{}}
+	m.groups = append(m.groups, g)
+	return g
+}
+
+// addExpr inserts e into group g unless an identical expression exists.
+func (m *Memo) addExpr(g *Group, e *Expr) bool {
+	fp := e.fingerprint()
+	if g.seen[fp] {
+		return false
+	}
+	g.seen[fp] = true
+	g.Exprs = append(g.Exprs, e)
+	return true
+}
+
+func (m *Memo) copyIn(l *plan.Logical) GroupID {
+	g := m.newGroup()
+	e := &Expr{
+		Op:            l.Op,
+		Table:         l.Table,
+		InputTemplate: l.InputTemplate,
+		Pred:          l.Pred,
+		Keys:          append([]plan.Column(nil), l.Keys...),
+		UDF:           l.UDF,
+		N:             l.N,
+	}
+	for _, c := range l.Children {
+		e.Child = append(e.Child, m.copyIn(c))
+	}
+	m.addExpr(g, e)
+	return g.ID
+}
+
+// Explore applies transformation rules to the group until fixpoint. The
+// rule set mirrors the paper's setting: physical choices dominate, so
+// exploration is limited to join commutativity (SCOPE scripts pin join
+// order; the paper's plan changes are operator implementations, exchanges
+// and partition counts).
+func (m *Memo) Explore(id GroupID) {
+	g := m.Group(id)
+	if g.explored {
+		return
+	}
+	g.explored = true
+	for i := 0; i < len(g.Exprs); i++ { // Exprs may grow while iterating
+		e := g.Exprs[i]
+		for _, c := range e.Child {
+			m.Explore(c)
+		}
+		if e.Op == plan.LJoin && len(e.Child) == 2 {
+			swapped := &Expr{
+				Op:    plan.LJoin,
+				Child: []GroupID{e.Child[1], e.Child[0]},
+				Pred:  e.Pred,
+				Keys:  e.Keys,
+			}
+			m.addExpr(g, swapped)
+		}
+	}
+}

@@ -1,0 +1,416 @@
+package cascades
+
+import (
+	"fmt"
+
+	"cleo/internal/costmodel"
+	"cleo/internal/plan"
+	"cleo/internal/stats"
+)
+
+// Coster predicts the exclusive latency of one physical operator. Both the
+// hand-crafted models (costmodel.Default, costmodel.Tuned) and CLEO's
+// learned combined model implement it; swapping the implementation is the
+// paper's "minimally invasive" retrofit (step 10 in Figure 8a).
+type Coster interface {
+	Name() string
+	OperatorCost(n *plan.Physical) float64
+}
+
+// PartitionChooser performs the paper's partition optimization (step 9 in
+// Figure 8a): given the operators of one completed stage (ops[0] is the
+// partitioning operator), pick the stage-wide partition count that
+// minimizes total stage cost. It returns the chosen count and the number
+// of cost-model look-ups spent (Figure 8c's metric).
+type PartitionChooser interface {
+	ChooseStagePartitions(ops []*plan.Physical, maxPartitions int) (partitions, lookups int)
+}
+
+// Optimizer is the Cascades-style planner.
+type Optimizer struct {
+	// Catalog supplies statistics; required.
+	Catalog *stats.Catalog
+	// Cost is the cost model invoked in Optimize Inputs; required.
+	Cost Coster
+	// MaxPartitions caps per-stage parallelism.
+	MaxPartitions int
+	// ResourceAware enables partition exploration/optimization with
+	// Chooser. When false, partition counts come from the default local
+	// heuristic (costmodel.DerivePartitions), as in stock SCOPE.
+	ResourceAware bool
+	// Chooser performs partition optimization; required if ResourceAware.
+	Chooser PartitionChooser
+	// JobSeed drives per-instance statistics drift during annotation.
+	JobSeed int64
+	memo    *Memo
+	cache   map[cacheKey]*searchResult
+	lookups int
+}
+
+type cacheKey struct {
+	group GroupID
+	props string
+}
+
+// searchResult is the memoized best plan for (group, required props).
+type searchResult struct {
+	root      *plan.Physical
+	cost      float64
+	delivered Props
+}
+
+// Result reports one optimization run.
+type Result struct {
+	// Plan is the chosen physical plan, annotated with estimated stats,
+	// partition counts and per-operator estimated costs.
+	Plan *plan.Physical
+	// Cost is the plan's total predicted cost.
+	Cost float64
+	// MemoGroups is the memo size, for diagnostics.
+	MemoGroups int
+	// ModelLookups counts cost-model invocations during partition
+	// exploration (0 when not resource-aware).
+	ModelLookups int
+}
+
+// Optimize plans the logical query and returns the best physical plan.
+func (o *Optimizer) Optimize(root *plan.Logical) (*Result, error) {
+	if o.Catalog == nil || o.Cost == nil {
+		return nil, fmt.Errorf("cascades: Catalog and Cost are required")
+	}
+	if o.MaxPartitions <= 0 {
+		o.MaxPartitions = 3000
+	}
+	if o.ResourceAware && o.Chooser == nil {
+		return nil, fmt.Errorf("cascades: ResourceAware requires a Chooser")
+	}
+	o.memo = NewMemo(root)
+	o.cache = map[cacheKey]*searchResult{}
+	o.lookups = 0
+
+	res, err := o.optimizeGroup(o.memo.Root(), Props{})
+	if err != nil {
+		return nil, err
+	}
+	best := res.root.Clone()
+	// The topmost stage never saw a boundary above it; finalize it.
+	o.optimizeTopStage(best)
+	cost := best.TotalCostEst()
+	return &Result{
+		Plan:         best,
+		Cost:         cost,
+		MemoGroups:   o.memo.NumGroups(),
+		ModelLookups: o.lookups,
+	}, nil
+}
+
+// optimizeGroup implements the Optimize Group / Optimize Expression tasks:
+// it returns the cheapest physical plan for the group meeting the required
+// properties, memoized per (group, props).
+func (o *Optimizer) optimizeGroup(id GroupID, req Props) (*searchResult, error) {
+	key := cacheKey{group: id, props: req.key()}
+	if r, ok := o.cache[key]; ok {
+		return r, nil
+	}
+	o.memo.Explore(id)
+	g := o.memo.Group(id)
+
+	var best *searchResult
+	for _, e := range g.Exprs {
+		cands, err := o.implement(e, req)
+		if err != nil {
+			return nil, err
+		}
+		for _, cand := range cands {
+			final, delivered, err := o.enforce(cand.root, cand.delivered, req)
+			if err != nil {
+				return nil, err
+			}
+			cost := final.TotalCostEst()
+			if best == nil || cost < best.cost {
+				best = &searchResult{root: final, cost: cost, delivered: delivered}
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("cascades: no implementation for group %d (%v)", id, g.Exprs[0].Op)
+	}
+	o.cache[key] = best
+	return best, nil
+}
+
+// candidate is a physical alternative before enforcers.
+type candidate struct {
+	root      *plan.Physical
+	delivered Props
+}
+
+// implement applies the implementation rules for one logical expression,
+// producing costed physical candidates.
+func (o *Optimizer) implement(e *Expr, req Props) ([]candidate, error) {
+	switch e.Op {
+	case plan.LGet:
+		return o.implementGet(e)
+	case plan.LSelect:
+		return o.implementPassThrough(e, plan.PFilter, req, true)
+	case plan.LProject:
+		return o.implementPassThrough(e, plan.PProject, req, true)
+	case plan.LProcess:
+		return o.implementPassThrough(e, plan.PProcess, req, false)
+	case plan.LOutput:
+		return o.implementPassThrough(e, plan.POutput, req, true)
+	case plan.LUnion:
+		return o.implementUnion(e)
+	case plan.LSort:
+		return o.implementSort(e, req)
+	case plan.LTopN:
+		return o.implementTopN(e, req)
+	case plan.LAggregate:
+		return o.implementAggregate(e)
+	case plan.LJoin:
+		return o.implementJoin(e)
+	default:
+		return nil, fmt.Errorf("cascades: no implementation rule for %v", e.Op)
+	}
+}
+
+// newNode builds a physical node from an expression, annotates its stats
+// and estimates its cost. Children must already carry partitions.
+func (o *Optimizer) newNode(op plan.PhysicalOp, e *Expr, partitions int, children ...*plan.Physical) (*plan.Physical, error) {
+	n := plan.NewPhysical(op, children...)
+	if e != nil {
+		n.Table = e.Table
+		n.InputTemplate = e.InputTemplate
+		n.Pred = e.Pred
+		n.Keys = append([]plan.Column(nil), e.Keys...)
+		n.UDF = e.UDF
+		n.N = e.N
+	}
+	n.Partitions = partitions
+	if err := o.Catalog.AnnotateOne(n, o.JobSeed); err != nil {
+		return nil, err
+	}
+	n.ExclusiveCostEst = o.Cost.OperatorCost(n)
+	return n, nil
+}
+
+// recost re-computes the estimated cost of one operator (after its
+// partition count changed).
+func (o *Optimizer) recost(n *plan.Physical) {
+	n.ExclusiveCostEst = o.Cost.OperatorCost(n)
+}
+
+func (o *Optimizer) implementGet(e *Expr) ([]candidate, error) {
+	n, err := o.newNode(plan.PExtract, e, 1)
+	if err != nil {
+		return nil, err
+	}
+	delivered := Props{}
+	ts, ok := o.Catalog.Table(e.Table)
+	if ok && ts.PartitionedOn != "" && ts.Partitions > 0 {
+		// Pre-partitioned stored input: partitioning is fixed by layout.
+		n.Partitions = ts.Partitions
+		n.FixedPartitions = true
+		delivered.Part = Partitioning{Kind: HashPartition, Keys: []plan.Column{plan.Column(ts.PartitionedOn)}}
+	} else {
+		n.Partitions = costmodel.DerivePartitions(n, o.MaxPartitions)
+	}
+	o.recost(n)
+	return []candidate{{root: n, delivered: delivered}}, nil
+}
+
+// implementPassThrough covers unary operators that preserve partitioning
+// (and, when keepOrder, ordering): Filter, Project, Process, Output. The
+// parent's requirement is forwarded to the child so enforcers land as low
+// as possible.
+func (o *Optimizer) implementPassThrough(e *Expr, op plan.PhysicalOp, req Props, keepOrder bool) ([]candidate, error) {
+	childReq := Props{Part: req.Part}
+	if keepOrder {
+		childReq.Order = req.Order
+	}
+	child, err := o.optimizeGroup(e.Child[0], childReq)
+	if err != nil {
+		return nil, err
+	}
+	cr := child.root.Clone()
+	n, err := o.newNode(op, e, cr.Partitions, cr)
+	if err != nil {
+		return nil, err
+	}
+	delivered := child.delivered
+	if !keepOrder {
+		delivered.Order = nil
+	}
+	return []candidate{{root: n, delivered: delivered}}, nil
+}
+
+func (o *Optimizer) implementUnion(e *Expr) ([]candidate, error) {
+	var children []*plan.Physical
+	maxP := 1
+	for _, cg := range e.Child {
+		c, err := o.optimizeGroup(cg, Props{})
+		if err != nil {
+			return nil, err
+		}
+		cc := c.root.Clone()
+		children = append(children, cc)
+		if cc.Partitions > maxP {
+			maxP = cc.Partitions
+		}
+	}
+	n, err := o.newNode(plan.PUnionAll, e, maxP, children...)
+	if err != nil {
+		return nil, err
+	}
+	return []candidate{{root: n, delivered: Props{}}}, nil
+}
+
+func (o *Optimizer) implementSort(e *Expr, req Props) ([]candidate, error) {
+	child, err := o.optimizeGroup(e.Child[0], Props{Part: req.Part})
+	if err != nil {
+		return nil, err
+	}
+	cr := child.root.Clone()
+	n, err := o.newNode(plan.PSort, e, cr.Partitions, cr)
+	if err != nil {
+		return nil, err
+	}
+	delivered := Props{Part: child.delivered.Part, Order: Ordering(e.Keys)}
+	return []candidate{{root: n, delivered: delivered}}, nil
+}
+
+func (o *Optimizer) implementTopN(e *Expr, req Props) ([]candidate, error) {
+	// Top-N consumes sorted input; the sort requirement is pushed down.
+	child, err := o.optimizeGroup(e.Child[0], Props{Part: req.Part, Order: Ordering(e.Keys)})
+	if err != nil {
+		return nil, err
+	}
+	cr := child.root.Clone()
+	n, err := o.newNode(plan.PTopN, e, cr.Partitions, cr)
+	if err != nil {
+		return nil, err
+	}
+	delivered := Props{Part: child.delivered.Part, Order: Ordering(e.Keys)}
+	return []candidate{{root: n, delivered: delivered}}, nil
+}
+
+// aggPartitioning is the partitioning an aggregation requires: hash on the
+// group keys, or a single partition for global aggregates.
+func aggPartitioning(keys []plan.Column) Partitioning {
+	if len(keys) == 0 {
+		return Partitioning{Kind: SinglePartition}
+	}
+	return Partitioning{Kind: HashPartition, Keys: keys}
+}
+
+func (o *Optimizer) implementAggregate(e *Expr) ([]candidate, error) {
+	var cands []candidate
+	part := aggPartitioning(e.Keys)
+
+	// Hash aggregate over hash-partitioned input.
+	if child, err := o.optimizeGroup(e.Child[0], Props{Part: part}); err != nil {
+		return nil, err
+	} else {
+		cr := child.root.Clone()
+		n, err := o.newNode(plan.PHashAggregate, e, cr.Partitions, cr)
+		if err != nil {
+			return nil, err
+		}
+		cands = append(cands, candidate{root: n, delivered: Props{Part: part}})
+	}
+
+	// Stream aggregate over hash-partitioned, key-sorted input.
+	if len(e.Keys) > 0 {
+		child, err := o.optimizeGroup(e.Child[0], Props{Part: part, Order: Ordering(e.Keys)})
+		if err != nil {
+			return nil, err
+		}
+		cr := child.root.Clone()
+		n, err := o.newNode(plan.PStreamAggregate, e, cr.Partitions, cr)
+		if err != nil {
+			return nil, err
+		}
+		cands = append(cands, candidate{root: n, delivered: Props{Part: part, Order: Ordering(e.Keys)}})
+	}
+
+	// Two-phase: local partial aggregation before the shuffle, then the
+	// final hash aggregate (the paper's Q17 change).
+	if child, err := o.optimizeGroup(e.Child[0], Props{}); err != nil {
+		return nil, err
+	} else {
+		cr := child.root.Clone()
+		partial, err := o.newNode(plan.PPartialAggregate, e, cr.Partitions, cr)
+		if err != nil {
+			return nil, err
+		}
+		shuffled, err := o.addExchange(partial, part)
+		if err != nil {
+			return nil, err
+		}
+		final, err := o.newNode(plan.PHashAggregate, e, shuffled.Partitions, shuffled)
+		if err != nil {
+			return nil, err
+		}
+		cands = append(cands, candidate{root: final, delivered: Props{Part: part}})
+	}
+	return cands, nil
+}
+
+func (o *Optimizer) implementJoin(e *Expr) ([]candidate, error) {
+	part := Partitioning{Kind: HashPartition, Keys: e.Keys}
+	var cands []candidate
+
+	// Hash join: both sides hash-partitioned on the join keys.
+	{
+		l, err := o.optimizeGroup(e.Child[0], Props{Part: part})
+		if err != nil {
+			return nil, err
+		}
+		r, err := o.optimizeGroup(e.Child[1], Props{Part: part})
+		if err != nil {
+			return nil, err
+		}
+		c, err := o.buildJoin(plan.PHashJoin, e, l, r)
+		if err != nil {
+			return nil, err
+		}
+		cands = append(cands, c)
+	}
+
+	// Merge join: both sides additionally sorted on the join keys.
+	{
+		l, err := o.optimizeGroup(e.Child[0], Props{Part: part, Order: Ordering(e.Keys)})
+		if err != nil {
+			return nil, err
+		}
+		r, err := o.optimizeGroup(e.Child[1], Props{Part: part, Order: Ordering(e.Keys)})
+		if err != nil {
+			return nil, err
+		}
+		c, err := o.buildJoin(plan.PMergeJoin, e, l, r)
+		if err != nil {
+			return nil, err
+		}
+		c.delivered.Order = Ordering(e.Keys)
+		cands = append(cands, c)
+	}
+	return cands, nil
+}
+
+// buildJoin clones the children, aligns their partition counts (children of
+// a co-partitioned join must agree) and constructs the join node.
+func (o *Optimizer) buildJoin(op plan.PhysicalOp, e *Expr, l, r *searchResult) (candidate, error) {
+	lp := l.root.Clone()
+	rp := r.root.Clone()
+	if err := o.alignPartitions(e, &lp, &rp); err != nil {
+		return candidate{}, err
+	}
+	n, err := o.newNode(op, e, lp.Partitions, lp, rp)
+	if err != nil {
+		return candidate{}, err
+	}
+	return candidate{
+		root:      n,
+		delivered: Props{Part: Partitioning{Kind: HashPartition, Keys: e.Keys}},
+	}, nil
+}

@@ -1,0 +1,121 @@
+// Package cascades implements a Cascades-style top-down query optimizer
+// (Graefe [21]) with a memo, logical exploration, physical implementation
+// rules, required/derived physical properties with enforcers, and the
+// paper's three extensions for resource-aware planning: a resource context,
+// partition exploration and partition optimization (Section 5.2).
+package cascades
+
+import "cleo/internal/plan"
+
+// PartitionKind classifies how data is partitioned across containers.
+type PartitionKind int
+
+const (
+	// AnyPartition means no particular partitioning (round-robin).
+	AnyPartition PartitionKind = iota
+	// HashPartition means hash-partitioned on Keys.
+	HashPartition
+	// SinglePartition means all data on one container.
+	SinglePartition
+)
+
+// Partitioning is a physical data-distribution property.
+type Partitioning struct {
+	Kind PartitionKind
+	Keys []plan.Column
+}
+
+// Satisfies reports whether a delivered partitioning meets a requirement.
+// AnyPartition as a requirement is always met; hash requirements need the
+// exact key set; singleton requires singleton.
+func (p Partitioning) Satisfies(req Partitioning) bool {
+	switch req.Kind {
+	case AnyPartition:
+		return true
+	case SinglePartition:
+		return p.Kind == SinglePartition
+	case HashPartition:
+		return p.Kind == HashPartition && sameKeys(p.Keys, req.Keys)
+	default:
+		return false
+	}
+}
+
+// Ordering is a physical sort-order property (column list, major first).
+type Ordering []plan.Column
+
+// Satisfies reports whether a delivered ordering meets a requirement: the
+// delivered order must have the required one as a prefix.
+func (o Ordering) Satisfies(req Ordering) bool {
+	if len(req) == 0 {
+		return true
+	}
+	if len(o) < len(req) {
+		return false
+	}
+	for i, k := range req {
+		if o[i] != k {
+			return false
+		}
+	}
+	return true
+}
+
+// Props bundles the physical properties the optimizer tracks.
+type Props struct {
+	Part  Partitioning
+	Order Ordering
+}
+
+// Satisfies reports whether delivered properties meet required ones.
+func (p Props) Satisfies(req Props) bool {
+	return p.Part.Satisfies(req.Part) && p.Order.Satisfies(req.Order)
+}
+
+// key renders the properties as a cache key.
+func (p Props) key() string {
+	s := ""
+	switch p.Part.Kind {
+	case AnyPartition:
+		s = "any"
+	case SinglePartition:
+		s = "one"
+	case HashPartition:
+		s = "hash("
+		for i, k := range p.Part.Keys {
+			if i > 0 {
+				s += ","
+			}
+			s += string(k)
+		}
+		s += ")"
+	}
+	s += "/ord("
+	for i, k := range p.Order {
+		if i > 0 {
+			s += ","
+		}
+		s += string(k)
+	}
+	return s + ")"
+}
+
+func sameKeys(a, b []plan.Column) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	// Key sets are tiny; quadratic set equality is fine and avoids sorting.
+	for _, x := range a {
+		found := false
+		for _, y := range b {
+			if x == y {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

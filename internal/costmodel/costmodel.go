@@ -1,0 +1,202 @@
+// Package costmodel implements the hand-crafted cost models the paper
+// evaluates against: SCOPE's default model and the manually-tuned variant
+// available "under a flag" (Section 2.4). Both combine estimated statistics
+// with fixed constants; neither knows the cluster's hidden complexity
+// factors, pipeline effects or key skew, which is why their estimates
+// diverge from actual runtimes by orders of magnitude.
+package costmodel
+
+import (
+	"math"
+
+	"cleo/internal/plan"
+)
+
+// Model predicts the exclusive latency (seconds) of one physical operator
+// from estimated statistics. Implementations must be safe for concurrent
+// use.
+type Model interface {
+	// Name identifies the model in reports.
+	Name() string
+	// OperatorCost returns the predicted exclusive cost of n using the
+	// estimated cardinalities in n.Stats and n.Partitions.
+	OperatorCost(n *plan.Physical) float64
+}
+
+// PlanCost sums m's exclusive operator costs over the plan, the way
+// Cascades' Optimize Inputs task combines local costs with children costs.
+func PlanCost(m Model, root *plan.Physical) float64 {
+	var sum float64
+	root.Walk(func(n *plan.Physical) {
+		c := m.OperatorCost(n)
+		n.ExclusiveCostEst = c
+		sum += c
+	})
+	return sum
+}
+
+// Default is SCOPE's default cost model: one generic processing rate for
+// all CPU operators, bandwidth terms for IO and shuffle, no
+// context-sensitivity, no per-partition overheads.
+type Default struct{}
+
+// Name implements Model.
+func (Default) Name() string { return "Default" }
+
+// genericRate is the default model's single CPU processing rate (rows/s).
+const genericRate = 1.0e6
+
+// OperatorCost implements Model.
+func (Default) OperatorCost(n *plan.Physical) float64 {
+	p := float64(n.Partitions)
+	if p < 1 {
+		p = 1
+	}
+	in := n.InputCardinality(true)
+	out := n.Stats.EstCard
+	rowLen := n.Stats.RowLength
+	if rowLen <= 0 {
+		rowLen = 50
+	}
+
+	switch n.Op {
+	case plan.PExtract:
+		return out * rowLen / 100e6 / p
+	case plan.POutput:
+		return out * rowLen / 100e6 / p
+	case plan.PExchange:
+		return in * rowLen / 100e6 / p
+	case plan.PSort:
+		per := in/p + 2
+		return in * math.Log2(per) / genericRate / 20 / p
+	case plan.PHashJoin:
+		probe, build := estChildCards(n)
+		return (probe + 1.5*build) / genericRate / p
+	case plan.PMergeJoin:
+		probe, build := estChildCards(n)
+		return (probe + build) / 1.8e6 / p
+	case plan.PHashAggregate:
+		return in / 0.9e6 / p
+	case plan.PStreamAggregate:
+		return in / 2.5e6 / p
+	case plan.PPartialAggregate:
+		return in / 1.8e6 / p
+	default:
+		return in / genericRate / p
+	}
+}
+
+func estChildCards(n *plan.Physical) (probe, build float64) {
+	if len(n.Children) == 0 {
+		return 0, 0
+	}
+	probe = n.Children[0].Stats.EstCard
+	if len(n.Children) > 1 {
+		build = n.Children[1].Stats.EstCard
+	} else {
+		build = probe
+	}
+	return probe, build
+}
+
+// Tuned is the manually-improved model: per-operator rates closer to the
+// hardware, an exchange connection-overhead term, and a sort
+// materialization penalty. It still misses hidden data complexity, UDF
+// costs and skew, so it improves on Default only modestly — matching the
+// 0.04 → 0.10 correlation gain the paper reports.
+type Tuned struct{}
+
+// Name implements Model.
+func (Tuned) Name() string { return "Manually-Tuned" }
+
+// OperatorCost implements Model.
+func (Tuned) OperatorCost(n *plan.Physical) float64 {
+	p := float64(n.Partitions)
+	if p < 1 {
+		p = 1
+	}
+	in := n.InputCardinality(true)
+	out := n.Stats.EstCard
+	rowLen := n.Stats.RowLength
+	if rowLen <= 0 {
+		rowLen = 50
+	}
+
+	var cost float64
+	switch n.Op {
+	case plan.PExtract:
+		cost = out*rowLen/85e6/p + 0.002*p
+	case plan.POutput:
+		cost = out * rowLen / 75e6 / p
+	case plan.PExchange:
+		cost = in*rowLen/65e6/p + 0.01*p
+	case plan.PFilter:
+		cost = in / 2.0e6 / p
+	case plan.PProject:
+		cost = in / 3.5e6 / p
+	case plan.PSort:
+		per := in/p + 2
+		cost = in * math.Log2(per) / 1.3e6 / math.Log2(1e6) / p * 1.2
+	case plan.PHashJoin:
+		probe, build := tunedChildCards(n)
+		cost = (probe + 1.4*build) / 1.6e6 / p
+	case plan.PMergeJoin:
+		probe, build := tunedChildCards(n)
+		cost = (probe + build) / 2.4e6 / p
+	case plan.PHashAggregate:
+		cost = in / 1.2e6 / p
+	case plan.PStreamAggregate:
+		cost = in / 2.8e6 / p
+	case plan.PPartialAggregate:
+		cost = in / 2.0e6 / p
+	case plan.PTopN:
+		cost = in / 2.4e6 / p
+	case plan.PUnionAll:
+		cost = in / 4.5e6 / p
+	case plan.PProcess:
+		cost = in / 1.0e6 / p // UDFs assumed to cost one generic pass
+	default:
+		cost = in / 1.0e6 / p
+	}
+	return cost + 0.05
+}
+
+func tunedChildCards(n *plan.Physical) (probe, build float64) {
+	if len(n.Children) == 0 {
+		return 0, 0
+	}
+	probe = n.Children[0].Stats.EstCard
+	if len(n.Children) > 1 {
+		build = n.Children[1].Stats.EstCard
+	} else {
+		build = probe
+	}
+	return probe, build
+}
+
+// DerivePartitions is the default partition-count heuristic partitioning
+// operators use (Section 5.2): size the stage so each partition processes
+// about targetBytesPerPartition, clamped to the cluster cap. It looks only
+// at the operator's local estimated statistics — the locally-optimal
+// behaviour the paper's resource-aware planning replaces. The small target
+// reproduces SCOPE's tendency to over-partition and scale out (Section
+// 6.7), which is exactly the headroom resource-aware planning recovers.
+func DerivePartitions(n *plan.Physical, maxPartitions int) int {
+	const targetBytesPerPartition = 64 << 20
+	rowLen := n.Stats.RowLength
+	if rowLen <= 0 {
+		rowLen = 50
+	}
+	card := n.Stats.EstCard
+	if n.Op == plan.PExchange {
+		card = n.InputCardinality(true)
+	}
+	p := int(math.Ceil(card * rowLen / targetBytesPerPartition))
+	if p < 1 {
+		p = 1
+	}
+	if maxPartitions > 0 && p > maxPartitions {
+		p = maxPartitions
+	}
+	return p
+}

@@ -1,0 +1,91 @@
+package costmodel
+
+import (
+	"testing"
+
+	"cleo/internal/plan"
+)
+
+func annotated(op plan.PhysicalOp, card float64, partitions int) *plan.Physical {
+	child := plan.NewPhysical(plan.PExtract)
+	child.Partitions = partitions
+	child.Stats = plan.NodeStats{EstCard: card, ActCard: card, RowLength: 100}
+	n := plan.NewPhysical(op, child)
+	n.Partitions = partitions
+	n.Stats = plan.NodeStats{EstCard: card / 2, ActCard: card / 2, RowLength: 100}
+	return n
+}
+
+func TestModelsReturnPositiveCosts(t *testing.T) {
+	models := []Model{Default{}, Tuned{}}
+	for _, m := range models {
+		for _, op := range plan.AllPhysicalOps() {
+			n := annotated(op, 1e6, 8)
+			if c := m.OperatorCost(n); c < 0 {
+				t.Errorf("%s(%v) = %v, want >= 0", m.Name(), op, c)
+			}
+		}
+	}
+}
+
+func TestCostDecreasesWithPartitionsForDefault(t *testing.T) {
+	m := Default{}
+	lo := m.OperatorCost(annotated(plan.PFilter, 1e7, 1))
+	hi := m.OperatorCost(annotated(plan.PFilter, 1e7, 100))
+	if hi >= lo {
+		t.Fatalf("default model: 100 partitions (%v) should cost less than 1 (%v)", hi, lo)
+	}
+}
+
+func TestTunedHasPartitionOverheadOnExchange(t *testing.T) {
+	m := Tuned{}
+	small := m.OperatorCost(annotated(plan.PExchange, 1e3, 10))
+	big := m.OperatorCost(annotated(plan.PExchange, 1e3, 2000))
+	if big <= small {
+		t.Fatalf("tuned exchange should penalize huge partition counts: %v <= %v", big, small)
+	}
+}
+
+func TestPlanCostSumsAndAnnotates(t *testing.T) {
+	n := annotated(plan.PFilter, 1e6, 4)
+	total := PlanCost(Default{}, n)
+	var sum float64
+	n.Walk(func(x *plan.Physical) {
+		if x.ExclusiveCostEst < 0 {
+			t.Errorf("%v est cost %v", x.Op, x.ExclusiveCostEst)
+		}
+		sum += x.ExclusiveCostEst
+	})
+	if total != sum {
+		t.Fatalf("PlanCost %v != sum %v", total, sum)
+	}
+}
+
+func TestDerivePartitions(t *testing.T) {
+	n := plan.NewPhysical(plan.PExtract)
+	n.Stats = plan.NodeStats{EstCard: 1e9, RowLength: 100} // 100 GB
+	p := DerivePartitions(n, 3000)
+	if p < 100 || p > 3000 {
+		t.Fatalf("partitions = %d for 100GB", p)
+	}
+	// Tiny input: 1 partition.
+	n.Stats = plan.NodeStats{EstCard: 10, RowLength: 100}
+	if p := DerivePartitions(n, 3000); p != 1 {
+		t.Fatalf("tiny input partitions = %d, want 1", p)
+	}
+	// Cap respected.
+	n.Stats = plan.NodeStats{EstCard: 1e12, RowLength: 1000}
+	if p := DerivePartitions(n, 500); p != 500 {
+		t.Fatalf("cap: partitions = %d, want 500", p)
+	}
+}
+
+func TestDerivePartitionsUsesInputForExchange(t *testing.T) {
+	child := plan.NewPhysical(plan.PExtract)
+	child.Stats = plan.NodeStats{EstCard: 1e9, RowLength: 100}
+	x := plan.NewPhysical(plan.PExchange, child)
+	x.Stats = plan.NodeStats{EstCard: 1, RowLength: 100} // output tiny
+	if p := DerivePartitions(x, 3000); p < 100 {
+		t.Fatalf("exchange should size by input: %d", p)
+	}
+}

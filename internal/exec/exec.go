@@ -1,0 +1,163 @@
+// Package exec simulates a massively parallel query processor: the
+// substitute for Microsoft's production SCOPE clusters. Given a physical
+// plan annotated with *actual* cardinalities, it computes each operator's
+// actual exclusive latency from hidden "true" cost functions that are
+// nonlinear in data volumes and partition counts, depend on the operator's
+// pipeline context (what runs beneath it) and on hidden per-input and
+// per-UDF complexity factors, and carry multiplicative lognormal cloud
+// noise plus occasional outliers — exactly the properties the paper blames
+// for hand-crafted cost models being off by orders of magnitude
+// (Sections 1–2) and that make per-subexpression learning effective.
+//
+// Neither the default cost model nor the learned models ever see these
+// functions; learned models only see the telemetry the simulator emits.
+package exec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cleo/internal/plan"
+)
+
+// Config controls the simulated cluster.
+type Config struct {
+	// NoiseSigma is the lognormal sigma of run-to-run latency noise
+	// (cloud variance, [42] in the paper). 0 disables noise.
+	NoiseSigma float64
+	// OutlierProb is the probability an operator hits a straggler or
+	// machine failure, multiplying its latency by OutlierFactor.
+	OutlierProb float64
+	// OutlierFactor is the latency multiplier for outliers.
+	OutlierFactor float64
+	// Seed identifies the cluster: hidden complexity factors (hardware
+	// SKU mix, data formats, UDF costs) derive from it, so different
+	// clusters have genuinely different latency behaviour.
+	Seed uint64
+	// MaxPartitions is the per-virtual-cluster container cap (paper: a
+	// virtual cluster has up to ~3000 containers).
+	MaxPartitions int
+}
+
+// DefaultConfig returns a production-like cluster.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		NoiseSigma:    0.18,
+		OutlierProb:   0.01,
+		OutlierFactor: 6,
+		Seed:          seed,
+		MaxPartitions: 3000,
+	}
+}
+
+// Cluster is a simulated cluster. It is safe for concurrent use once
+// constructed; per-run randomness is passed in by callers.
+type Cluster struct {
+	cfg Config
+}
+
+// NewCluster builds a cluster from cfg.
+func NewCluster(cfg Config) *Cluster {
+	if cfg.MaxPartitions <= 0 {
+		cfg.MaxPartitions = 3000
+	}
+	if cfg.OutlierFactor <= 0 {
+		cfg.OutlierFactor = 6
+	}
+	return &Cluster{cfg: cfg}
+}
+
+// MaxPartitions exposes the container cap.
+func (c *Cluster) MaxPartitions() int { return c.cfg.MaxPartitions }
+
+// Result summarises one executed job.
+type Result struct {
+	// Latency is the end-to-end latency in seconds: the critical path
+	// over stages.
+	Latency float64
+	// TotalProcessingTime is the summed container-seconds (the "total
+	// compute hour" metric of Figure 19b), in seconds.
+	TotalProcessingTime float64
+	// Containers is the summed partition count across stages.
+	Containers int
+}
+
+// Run executes the plan: it fills ExclusiveActual on every operator and
+// returns the job-level result. The plan must already carry actual
+// cardinalities (stats.Catalog.Annotate) and partition counts
+// (plan.SetStagePartitions). rng drives the run's noise.
+func (c *Cluster) Run(root *plan.Physical, rng *rand.Rand) (Result, error) {
+	if err := c.validate(root); err != nil {
+		return Result{}, err
+	}
+	root.Walk(func(n *plan.Physical) {
+		n.ExclusiveActual = c.operatorLatency(n, rng)
+	})
+
+	// End-to-end latency: stages execute respecting data dependencies;
+	// a stage's elapsed time is the sum of its operators' exclusive
+	// latencies (they share containers), and a stage starts when all
+	// stages feeding it finish.
+	stages := plan.Stages(root)
+	stageOf := plan.StageOf(root)
+	finish := make(map[*plan.Stage]float64, len(stages))
+	var res Result
+	for _, st := range stages { // Stages returns bottom-up order
+		var start float64
+		var dur float64
+		for _, op := range st.Ops {
+			dur += op.ExclusiveActual
+			for _, ch := range op.Children {
+				cs := stageOf[ch]
+				if cs != st && finish[cs] > start {
+					start = finish[cs]
+				}
+			}
+		}
+		finish[st] = start + dur
+		if finish[st] > res.Latency {
+			res.Latency = finish[st]
+		}
+		res.TotalProcessingTime += dur * float64(st.Partitions)
+		res.Containers += st.Partitions
+	}
+	return res, nil
+}
+
+func (c *Cluster) validate(root *plan.Physical) error {
+	var err error
+	root.Walk(func(n *plan.Physical) {
+		if err != nil {
+			return
+		}
+		if n.Partitions <= 0 {
+			err = fmt.Errorf("exec: operator %v has no partition count", n.Op)
+		}
+		if n.Partitions > c.cfg.MaxPartitions {
+			err = fmt.Errorf("exec: operator %v exceeds container cap: %d > %d",
+				n.Op, n.Partitions, c.cfg.MaxPartitions)
+		}
+	})
+	return err
+}
+
+// TrueLatency returns the noise-free expected exclusive latency of the
+// operator in its current context — used by tests and by the experiment
+// that probes the partition-cost curve. Production code paths never call
+// this for costing.
+func (c *Cluster) TrueLatency(n *plan.Physical) float64 {
+	return c.baseLatency(n)
+}
+
+// operatorLatency draws the noisy actual latency.
+func (c *Cluster) operatorLatency(n *plan.Physical, rng *rand.Rand) float64 {
+	lat := c.baseLatency(n)
+	if c.cfg.NoiseSigma > 0 {
+		lat *= math.Exp(rng.NormFloat64() * c.cfg.NoiseSigma)
+	}
+	if c.cfg.OutlierProb > 0 && rng.Float64() < c.cfg.OutlierProb {
+		lat *= c.cfg.OutlierFactor * (0.5 + rng.Float64())
+	}
+	return lat
+}

@@ -1,0 +1,214 @@
+package exec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cleo/internal/plan"
+	"cleo/internal/stats"
+)
+
+func testPlan(t *testing.T, seed int64) *plan.Physical {
+	t.Helper()
+	c := stats.NewCatalog(3)
+	c.PutTable("clicks_d", stats.TableStats{Rows: 5e6, RowLength: 100})
+
+	leaf := plan.NewPhysical(plan.PExtract)
+	leaf.Table = "clicks_d"
+	leaf.InputTemplate = "clicks_"
+	leaf.Partitions = 8
+	f := plan.NewPhysical(plan.PFilter, leaf)
+	f.Pred = "x"
+	x := plan.NewPhysical(plan.PExchange, f)
+	x.Keys = []plan.Column{"k"}
+	x.Partitions = 16
+	a := plan.NewPhysical(plan.PHashAggregate, x)
+	a.Keys = []plan.Column{"k"}
+	o := plan.NewPhysical(plan.POutput, a)
+	root := o
+	plan.SetStagePartitions(root)
+	if err := c.Annotate(root, seed, stats.Estimated); err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func noiselessCluster() *Cluster {
+	cfg := DefaultConfig(11)
+	cfg.NoiseSigma = 0
+	cfg.OutlierProb = 0
+	return NewCluster(cfg)
+}
+
+func TestRunFillsActuals(t *testing.T) {
+	cl := NewCluster(DefaultConfig(11))
+	root := testPlan(t, 1)
+	res, err := cl.Run(root, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.Walk(func(n *plan.Physical) {
+		if n.ExclusiveActual <= 0 {
+			t.Errorf("%v latency = %v", n.Op, n.ExclusiveActual)
+		}
+	})
+	if res.Latency <= 0 || res.TotalProcessingTime <= 0 || res.Containers <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	// Latency (critical path) cannot exceed the sum of all latencies and
+	// must be at least the largest stage duration.
+	var sum float64
+	root.Walk(func(n *plan.Physical) { sum += n.ExclusiveActual })
+	if res.Latency > sum+1e-9 {
+		t.Fatalf("latency %v > serial sum %v", res.Latency, sum)
+	}
+}
+
+func TestRunRejectsUnpartitionedPlan(t *testing.T) {
+	cl := NewCluster(DefaultConfig(1))
+	leaf := plan.NewPhysical(plan.PExtract)
+	leaf.Partitions = 0
+	if _, err := cl.Run(leaf, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("expected error for missing partitions")
+	}
+	leaf.Partitions = 10_000
+	if _, err := cl.Run(leaf, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("expected error for exceeding container cap")
+	}
+}
+
+func TestNoiseIsReproducibleAndPresent(t *testing.T) {
+	cl := NewCluster(DefaultConfig(11))
+	r1 := testPlan(t, 1)
+	r2 := testPlan(t, 1)
+	res1, err := cl.Run(r1, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := cl.Run(r2, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Latency != res2.Latency {
+		t.Fatal("same seed should reproduce the run exactly")
+	}
+	res3, err := cl.Run(testPlan(t, 1), rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Latency == res1.Latency {
+		t.Fatal("different run seeds should produce different noise")
+	}
+}
+
+func TestPipelineContextMatters(t *testing.T) {
+	// The paper's example: a hash aggregate over a sort is slower than
+	// over a filter, for identical input cardinalities.
+	cl := noiselessCluster()
+	mk := func(child plan.PhysicalOp) *plan.Physical {
+		leaf := plan.NewPhysical(plan.PExtract)
+		leaf.InputTemplate = "t_"
+		leaf.Partitions = 4
+		leaf.Stats = plan.NodeStats{ActCard: 1e6, EstCard: 1e6, RowLength: 80}
+		mid := plan.NewPhysical(child, leaf)
+		mid.Partitions = 4
+		mid.Stats = plan.NodeStats{ActCard: 1e6, EstCard: 1e6, RowLength: 80}
+		agg := plan.NewPhysical(plan.PHashAggregate, mid)
+		agg.Partitions = 4
+		agg.Keys = []plan.Column{"k"}
+		agg.Stats = plan.NodeStats{ActCard: 1e4, EstCard: 1e4, RowLength: 40}
+		return agg
+	}
+	overSort := cl.TrueLatency(mk(plan.PSort))
+	overFilter := cl.TrueLatency(mk(plan.PFilter))
+	if overSort <= overFilter {
+		t.Fatalf("agg over sort (%v) should cost more than over filter (%v)", overSort, overFilter)
+	}
+}
+
+func TestPartitionCostTradeoff(t *testing.T) {
+	// Latency must first fall with partitions (parallelism) then rise
+	// (overhead): the ∝ θP/P + θc·P structure of Section 5.3.
+	cl := noiselessCluster()
+	lat := func(p int) float64 {
+		leaf := plan.NewPhysical(plan.PExtract)
+		leaf.InputTemplate = "t_"
+		leaf.Partitions = 4
+		leaf.Stats = plan.NodeStats{ActCard: 5e7, EstCard: 5e7, RowLength: 100}
+		x := plan.NewPhysical(plan.PExchange, leaf)
+		x.Keys = []plan.Column{"k"}
+		x.Partitions = p
+		x.Stats = plan.NodeStats{ActCard: 5e7, EstCard: 5e7, RowLength: 100}
+		return cl.TrueLatency(x)
+	}
+	low := lat(1)
+	mid := lat(64)
+	high := lat(3000)
+	if mid >= low {
+		t.Fatalf("64 partitions (%v) should beat 1 (%v)", mid, low)
+	}
+	if high <= mid {
+		t.Fatalf("3000 partitions (%v) should be worse than 64 (%v)", high, mid)
+	}
+}
+
+func TestHiddenFactorsVaryByClusterSeed(t *testing.T) {
+	a := NewCluster(DefaultConfig(1))
+	b := NewCluster(DefaultConfig(2))
+	n := plan.NewPhysical(plan.PProcess)
+	n.UDF = "extractFacts"
+	n.Partitions = 4
+	n.Stats = plan.NodeStats{ActCard: 1e6, EstCard: 1e6, RowLength: 50}
+	child := plan.NewPhysical(plan.PExtract)
+	child.InputTemplate = "t_"
+	child.Partitions = 4
+	child.Stats = plan.NodeStats{ActCard: 1e6, EstCard: 1e6, RowLength: 50}
+	n.Children = []*plan.Physical{child}
+	if a.TrueLatency(n) == b.TrueLatency(n) {
+		t.Fatal("different cluster seeds should hide different UDF costs")
+	}
+}
+
+func TestUDFCostIsHiddenAndLarge(t *testing.T) {
+	cl := noiselessCluster()
+	mk := func(udf string) *plan.Physical {
+		child := plan.NewPhysical(plan.PExtract)
+		child.InputTemplate = "t_"
+		child.Partitions = 4
+		child.Stats = plan.NodeStats{ActCard: 1e6, EstCard: 1e6, RowLength: 50}
+		n := plan.NewPhysical(plan.PProcess, child)
+		n.UDF = udf
+		n.Partitions = 4
+		n.Stats = plan.NodeStats{ActCard: 1e6, EstCard: 1e6, RowLength: 50}
+		return n
+	}
+	// Over many UDFs the cost spread should exceed 4x.
+	lo, hi := math.Inf(1), 0.0
+	for _, u := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		l := cl.TrueLatency(mk(u))
+		if l < lo {
+			lo = l
+		}
+		if l > hi {
+			hi = l
+		}
+	}
+	if hi/lo < 4 {
+		t.Fatalf("UDF cost spread %v too small", hi/lo)
+	}
+}
+
+func TestTotalProcessingTimeAccountsPartitions(t *testing.T) {
+	cl := noiselessCluster()
+	root := testPlan(t, 2)
+	res, err := cl.Run(root, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Processing time is per-container; it must be >= latency for
+	// multi-container plans.
+	if res.TotalProcessingTime < res.Latency {
+		t.Fatalf("processing %v < latency %v", res.TotalProcessingTime, res.Latency)
+	}
+}

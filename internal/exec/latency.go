@@ -1,0 +1,242 @@
+package exec
+
+import (
+	"hash/fnv"
+	"math"
+
+	"cleo/internal/plan"
+)
+
+// Throughput constants of the simulated hardware (rows/s and bytes/s per
+// container). These are the "true" machine characteristics that hand-tuned
+// cost models approximate poorly.
+const (
+	readBandwidth  = 80e6  // bytes/s sequential read
+	writeBandwidth = 70e6  // bytes/s sequential write
+	netBandwidth   = 60e6  // bytes/s shuffle
+	filterRate     = 2.0e6 // rows/s
+	projectRate    = 4.0e6
+	sortRate       = 1.2e6 // rows/s per comparator pass
+	hashJoinRate   = 1.5e6
+	mergeJoinRate  = 2.5e6
+	hashAggRate    = 1.1e6
+	streamAggRate  = 3.0e6
+	partialAggRate = 2.2e6
+	topNRate       = 2.5e6
+	unionRate      = 5.0e6
+	udfBaseRate    = 1.0e6
+)
+
+// Per-partition overhead coefficients (seconds per partition). These give
+// every operator the cost ∝ θ_P/P + θ_c·P structure the paper exploits
+// analytically (Section 5.3): parallelism amortizes work but adds
+// scheduling, connection and straggler overhead.
+const (
+	stragglerCoef   = 0.004 // every operator
+	exchangeConnIn  = 0.020 // per destination partition
+	exchangeConnSrc = 0.012 // per source partition
+	extractNSOver   = 0.004 // namespace overhead per partition
+	startupPartOp   = 0.2   // container launch for partitioning ops
+	startupOther    = 0.05
+	spillThreshold  = 1.0e9 // bytes per partition before spilling
+	spillFactor     = 2.5
+)
+
+// hiddenUnit maps (seed, salt, s) to a uniform [0,1) float. It is the
+// cluster's private randomness: stable per cluster, unknown to cost models.
+func (c *Cluster) hiddenUnit(salt, s string) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(salt))
+	h.Write([]byte{0})
+	h.Write([]byte(s))
+	v := h.Sum64() ^ c.cfg.Seed*0x9e3779b97f4a7c15
+	h2 := fnv.New64a()
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+	h2.Write(b[:])
+	return float64(h2.Sum64()%1_000_000_007) / 1_000_000_007.0
+}
+
+// dataComplexity is the hidden per-input factor (format, compression,
+// column mix) in [0.4, 3.2], log-uniform.
+func (c *Cluster) dataComplexity(template string) float64 {
+	return 0.4 * math.Pow(8, c.hiddenUnit("dc", template))
+}
+
+// udfCost is the hidden per-UDF cost multiplier in [0.5, 20] — user code is
+// a black box to the optimizer (Section 2.4).
+func (c *Cluster) udfCost(udf string) float64 {
+	return 0.5 * math.Pow(40, c.hiddenUnit("udf", udf))
+}
+
+// keySkew is the hidden key-skew multiplier in [1, 4] for hash-partitioned
+// operators: a skewed key makes the slowest partition dominate.
+func (c *Cluster) keySkew(keys []plan.Column) float64 {
+	s := ""
+	for _, k := range keys {
+		s += string(k) + ","
+	}
+	return 1 + 3*c.hiddenUnit("skew", s)
+}
+
+// pipelineFactor captures how the operator's latency depends on what runs
+// beneath it (Section 3.1: a hash operator over a filter is cheaper than
+// over a sort). Blocking children force materialization; streaming children
+// allow pipelined, cheaper execution.
+func (c *Cluster) pipelineFactor(n *plan.Physical) float64 {
+	if len(n.Children) == 0 {
+		return 1
+	}
+	f := 1.0
+	for _, ch := range n.Children {
+		switch {
+		case ch.Op == plan.PSort:
+			f *= 1.40 // sorted runs must be fully materialized
+		case ch.Op.Blocking():
+			f *= 1.20
+		case ch.Op == plan.PExchange:
+			f *= 1.10 // network boundary breaks the pipeline
+		default:
+			f *= 0.92 // pipelined streaming input
+		}
+	}
+	return f
+}
+
+// inputComplexity is the geometric mean of the hidden complexities of the
+// leaf inputs feeding the operator.
+func (c *Cluster) inputComplexity(n *plan.Physical) float64 {
+	templates := n.InputTemplates()
+	if len(templates) == 0 {
+		return 1
+	}
+	logSum := 0.0
+	for _, t := range templates {
+		logSum += math.Log(c.dataComplexity(t))
+	}
+	return math.Exp(logSum / float64(len(templates)))
+}
+
+// baseLatency is the hidden true expected exclusive latency (seconds) of
+// one operator: work/P + overhead·P + startup, with context multipliers.
+func (c *Cluster) baseLatency(n *plan.Physical) float64 {
+	p := float64(n.Partitions)
+	if p < 1 {
+		p = 1
+	}
+	in := n.InputCardinality(false)
+	out := n.Stats.ActCard
+	rowLen := n.Stats.RowLength
+	if rowLen <= 0 {
+		rowLen = 50
+	}
+	childLen := rowLen
+	if len(n.Children) > 0 {
+		childLen = 0
+		for _, ch := range n.Children {
+			childLen += ch.Stats.RowLength
+		}
+		childLen /= float64(len(n.Children))
+	}
+
+	var work float64    // container-seconds of data-dependent work
+	var perPart float64 // seconds per partition of overhead
+	startup := startupOther
+
+	switch n.Op {
+	case plan.PExtract:
+		work = out * rowLen / readBandwidth
+		perPart = extractNSOver
+		startup = startupPartOp
+
+	case plan.PFilter:
+		work = in / filterRate
+
+	case plan.PProject:
+		work = in / projectRate
+
+	case plan.PSort:
+		per := in / p
+		work = in * math.Log2(per+2) / sortRate / math.Log2(1e6)
+
+	case plan.PHashJoin:
+		probe, build := childCards(n)
+		work = (probe + 1.5*build) / hashJoinRate
+		work *= c.keySkew(n.Keys)
+		if build/p*childLen > spillThreshold {
+			work *= spillFactor
+		}
+
+	case plan.PMergeJoin:
+		probe, build := childCards(n)
+		work = (probe + build) / mergeJoinRate
+		work *= c.keySkew(n.Keys)
+
+	case plan.PHashAggregate:
+		work = in / hashAggRate
+		work *= c.keySkew(n.Keys)
+		if in/p*childLen > spillThreshold {
+			work *= spillFactor
+		}
+
+	case plan.PStreamAggregate:
+		work = in / streamAggRate
+
+	case plan.PPartialAggregate:
+		work = in / partialAggRate
+
+	case plan.PExchange:
+		work = in * childLen / netBandwidth
+		srcParts := 0.0
+		for _, ch := range n.Children {
+			srcParts += float64(ch.Partitions)
+		}
+		perPart = exchangeConnIn + exchangeConnSrc*srcParts/maxF(p, 1)
+		work *= c.keySkew(n.Keys)
+		startup = startupPartOp
+
+	case plan.PTopN:
+		work = in / topNRate
+
+	case plan.PUnionAll:
+		work = in / unionRate
+
+	case plan.PProcess:
+		work = in / udfBaseRate * c.udfCost(n.UDF)
+
+	case plan.POutput:
+		work = out * rowLen / writeBandwidth
+
+	default:
+		work = in / filterRate
+	}
+
+	work *= c.pipelineFactor(n) * c.inputComplexity(n)
+	lat := work/p + (perPart+stragglerCoef)*p + startup
+	return lat
+}
+
+// childCards returns (probe, build) cardinalities: by convention child 0 is
+// the probe/left side and child 1 the build/right side; unary inputs build
+// on themselves.
+func childCards(n *plan.Physical) (probe, build float64) {
+	if len(n.Children) == 0 {
+		return 0, 0
+	}
+	probe = n.Children[0].Stats.ActCard
+	if len(n.Children) > 1 {
+		build = n.Children[1].Stats.ActCard
+	} else {
+		build = probe
+	}
+	return probe, build
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

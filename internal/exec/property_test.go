@@ -1,0 +1,95 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cleo/internal/plan"
+)
+
+// mkChain builds Extract -> Filter -> Exchange -> HashAggregate with the
+// given cardinalities and partition counts.
+func mkChain(card float64, pLeaf, pTop int) *plan.Physical {
+	leaf := plan.NewPhysical(plan.PExtract)
+	leaf.InputTemplate = "t_"
+	leaf.Partitions = pLeaf
+	leaf.Stats = plan.NodeStats{EstCard: card, ActCard: card, RowLength: 100}
+	f := plan.NewPhysical(plan.PFilter, leaf)
+	f.Pred = "p"
+	f.Partitions = pLeaf
+	f.Stats = plan.NodeStats{EstCard: card / 2, ActCard: card / 2, RowLength: 100}
+	x := plan.NewPhysical(plan.PExchange, f)
+	x.Keys = []plan.Column{"k"}
+	x.Partitions = pTop
+	x.Stats = f.Stats
+	a := plan.NewPhysical(plan.PHashAggregate, x)
+	a.Keys = []plan.Column{"k"}
+	a.Partitions = pTop
+	a.Stats = plan.NodeStats{EstCard: card / 100, ActCard: card / 100, RowLength: 50}
+	return a
+}
+
+// Property: true latency is strictly positive and finite for any sane
+// cardinality/partition combination.
+func TestLatencyPositiveFinite(t *testing.T) {
+	cl := noiselessCluster()
+	f := func(cardSeed uint32, p1, p2 uint8) bool {
+		card := 1 + float64(cardSeed%10_000_000)
+		pl := 1 + int(p1)%256
+		pt := 1 + int(p2)%256
+		root := mkChain(card, pl, pt)
+		ok := true
+		root.Walk(func(n *plan.Physical) {
+			lat := cl.TrueLatency(n)
+			if !(lat > 0) || lat > 1e9 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: more input data never makes the true latency of a data-bound
+// operator cheaper (holding partitions fixed).
+func TestLatencyMonotoneInData(t *testing.T) {
+	cl := noiselessCluster()
+	f := func(cardSeed uint32, p uint8) bool {
+		card := 1000 + float64(cardSeed%1_000_000)
+		pp := 1 + int(p)%64
+		small := mkChain(card, pp, pp)
+		big := mkChain(card*4, pp, pp)
+		return cl.TrueLatency(big) >= cl.TrueLatency(small)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a run's total processing time always covers latency × 1
+// container and the container count matches the stage sum.
+func TestRunAccountingInvariant(t *testing.T) {
+	cl := NewCluster(DefaultConfig(3))
+	f := func(seed int64, cardSeed uint32) bool {
+		card := 1000 + float64(cardSeed%5_000_000)
+		root := mkChain(card, 4, 8)
+		res, err := cl.Run(root, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		if res.Latency <= 0 || res.TotalProcessingTime < res.Latency {
+			return false
+		}
+		want := 0
+		for _, st := range plan.Stages(root) {
+			want += st.Partitions
+		}
+		return res.Containers == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

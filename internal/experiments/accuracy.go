@@ -1,0 +1,338 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cleo/internal/costmodel"
+	"cleo/internal/learned"
+	"cleo/internal/ml"
+	"cleo/internal/plan"
+	"cleo/internal/stats"
+	"cleo/internal/telemetry"
+	"cleo/internal/workload"
+)
+
+// Fig1Result compares the hand-crafted cost models, with and without
+// perfect cardinalities (Figure 1): correlations stay low and the
+// estimated/actual spread stays wide even with ideal cardinalities.
+type Fig1Result struct {
+	Names     []string
+	Pearson   []float64
+	MedianErr []float64
+	Ratios    [][]float64
+}
+
+// Fig1 runs the experiment on the lab's first cluster: each hand-crafted
+// model plans and prices a full day's jobs, with estimated and with
+// perfect cardinalities.
+func Fig1(lab *Lab) (*Fig1Result, error) {
+	res := &Fig1Result{}
+	run := func(name string, cost cascadesCoster, mode stats.CardinalityMode) error {
+		r := &telemetry.Runner{
+			Trace:    subTrace(lab.Trace, 0, lab.TestDay),
+			Clusters: lab.Clusters[:1],
+			Cost:     cost,
+			Mode:     mode,
+		}
+		col, err := r.RunAll()
+		if err != nil {
+			return err
+		}
+		acc := defaultAccuracy(col.Records)
+		var p, a []float64
+		for _, rec := range col.Records {
+			p = append(p, rec.DefaultCost)
+			a = append(a, rec.ActualLatency)
+		}
+		res.Names = append(res.Names, name)
+		res.Pearson = append(res.Pearson, acc.Pearson)
+		res.MedianErr = append(res.MedianErr, acc.MedianErr)
+		res.Ratios = append(res.Ratios, ml.Ratios(p, a))
+		return nil
+	}
+	if err := run("Default", costmodel.Default{}, stats.Estimated); err != nil {
+		return nil, err
+	}
+	if err := run("Manually-Tuned", costmodel.Tuned{}, stats.Estimated); err != nil {
+		return nil, err
+	}
+	if err := run("Default+ActualCard", costmodel.Default{}, stats.Perfect); err != nil {
+		return nil, err
+	}
+	if err := run("Tuned+ActualCard", costmodel.Tuned{}, stats.Perfect); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// cascadesCoster is the planner cost-model interface (avoids importing
+// cascades just for the type).
+type cascadesCoster interface {
+	Name() string
+	OperatorCost(n *plan.Physical) float64
+}
+
+// Render formats Figure 1.
+func (r *Fig1Result) Render() string {
+	t := &Table{
+		Title:   "Figure 1: hand-crafted cost models (est/actual ratio CDF + Pearson)",
+		Columns: append(ratioCDFColumns("model"), "pearson", "medianErr"),
+	}
+	for i, name := range r.Names {
+		row := ratioCDFRow(name, r.Ratios[i])
+		row = append(row, corr(r.Pearson[i]), pct(r.MedianErr[i]))
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"paper: Pearson 0.04 (default), 0.10 (tuned), 0.09/0.14 with actual cards; ratios spread 100x-under to 1000x-over",
+		"fixing cardinalities alone does not close the gap (ratio spread stays wide)")
+	return t.Render()
+}
+
+// Table5Result evaluates the accuracy–coverage ladder (Table 5).
+type Table5Result struct {
+	Rows []Table5Row
+}
+
+// Table5Row is one model's evaluation.
+type Table5Row struct {
+	Name      string
+	Pearson   float64
+	MedianErr float64
+	P95Err    float64
+	Coverage  float64
+}
+
+// Table5 evaluates the default model, the four families and the combined
+// model on the lab's first cluster's test day.
+func Table5(lab *Lab) *Table5Result {
+	test := lab.TestRecords(0)
+	pr := lab.Predictors[0]
+	out := &Table5Result{}
+
+	def := defaultAccuracy(test)
+	out.Rows = append(out.Rows, Table5Row{"Default", def.Pearson, def.MedianErr, def.P95Err, 1})
+	for fam := 0; fam < learned.NumFamilies; fam++ {
+		fm := pr.Families[fam]
+		acc := fm.Evaluate(test)
+		out.Rows = append(out.Rows, Table5Row{
+			fm.Family.String(), acc.Pearson, acc.MedianErr, acc.P95Err, fm.Coverage(test),
+		})
+	}
+	acc := pr.Evaluate(test)
+	out.Rows = append(out.Rows, Table5Row{"Combined", acc.Pearson, acc.MedianErr, acc.P95Err, 1})
+	return out
+}
+
+// Render formats Table 5.
+func (r *Table5Result) Render() string {
+	t := &Table{
+		Title:   "Table 5: learned models vs actual runtimes (test day)",
+		Columns: []string{"model", "pearson", "medianErr", "p95Err", "coverage"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(accuracyRow(row.Name, ml.Accuracy{
+			Pearson: row.Pearson, MedianErr: row.MedianErr, P95Err: row.P95Err,
+		}, row.Coverage)...)
+	}
+	t.Notes = append(t.Notes,
+		"paper: Default 0.04/258%/100%; Op-Subgraph 0.92/14%/54%; Approx 0.89/16%/76%; Op-Input 0.85/18%/83%; Operator 0.77/42%/100%; Combined 0.84/19%/100%")
+	return t.Render()
+}
+
+// Table7Result breaks accuracy down for all jobs vs ad-hoc jobs (Table 7).
+type Table7Result struct {
+	All   []Table5Row
+	AdHoc []Table5Row
+}
+
+// Table7 evaluates on the lab's first cluster.
+func Table7(lab *Lab) *Table7Result {
+	test := lab.TestRecords(0)
+	var adhoc []telemetry.Record
+	for _, r := range test {
+		if !r.Recurring {
+			adhoc = append(adhoc, r)
+		}
+	}
+	pr := lab.Predictors[0]
+	eval := func(recs []telemetry.Record) []Table5Row {
+		var rows []Table5Row
+		def := defaultAccuracy(recs)
+		rows = append(rows, Table5Row{"Default", def.Pearson, def.MedianErr, def.P95Err, 1})
+		for fam := 0; fam < learned.NumFamilies; fam++ {
+			fm := pr.Families[fam]
+			acc := fm.Evaluate(recs)
+			rows = append(rows, Table5Row{fm.Family.String(), acc.Pearson, acc.MedianErr, acc.P95Err, fm.Coverage(recs)})
+		}
+		acc := pr.Evaluate(recs)
+		rows = append(rows, Table5Row{"Combined", acc.Pearson, acc.MedianErr, acc.P95Err, 1})
+		return rows
+	}
+	return &Table7Result{All: eval(test), AdHoc: eval(adhoc)}
+}
+
+// Render formats Table 7.
+func (r *Table7Result) Render() string {
+	t := &Table{
+		Title: "Table 7: accuracy and coverage, all jobs vs ad-hoc jobs (cluster 1)",
+		Columns: []string{"model", "corr(all)", "medErr(all)", "p95(all)", "cov(all)",
+			"corr(adhoc)", "medErr(adhoc)", "p95(adhoc)", "cov(adhoc)"},
+	}
+	for i := range r.All {
+		a, h := r.All[i], r.AdHoc[i]
+		t.AddRow(a.Name,
+			corr(a.Pearson), pct(a.MedianErr), pct(a.P95Err), pct(a.Coverage),
+			corr(h.Pearson), pct(h.MedianErr), pct(h.P95Err), pct(h.Coverage))
+	}
+	t.Notes = append(t.Notes,
+		"paper: ad-hoc accuracy drops only slightly; subgraph families retain 36-79% coverage on ad-hoc jobs")
+	return t.Render()
+}
+
+// Table8Result compares default vs combined per cluster (Table 8).
+type Table8Result struct {
+	Clusters []Table8Row
+}
+
+// Table8Row is one cluster's evaluation.
+type Table8Row struct {
+	Cluster                   int
+	DefCorr, DefErr           float64
+	LearnedCorr, LearnedErr   float64
+	AdhocCorr, AdhocMedianErr float64
+}
+
+// Table8 evaluates every lab cluster.
+func Table8(lab *Lab) *Table8Result {
+	out := &Table8Result{}
+	for cl := range lab.Predictors {
+		test := lab.TestRecords(cl)
+		var adhoc []telemetry.Record
+		for _, r := range test {
+			if !r.Recurring {
+				adhoc = append(adhoc, r)
+			}
+		}
+		def := defaultAccuracy(test)
+		acc := lab.Predictors[cl].Evaluate(test)
+		adAcc := lab.Predictors[cl].Evaluate(adhoc)
+		out.Clusters = append(out.Clusters, Table8Row{
+			Cluster: cl + 1,
+			DefCorr: def.Pearson, DefErr: def.MedianErr,
+			LearnedCorr: acc.Pearson, LearnedErr: acc.MedianErr,
+			AdhocCorr: adAcc.Pearson, AdhocMedianErr: adAcc.MedianErr,
+		})
+	}
+	return out
+}
+
+// Render formats Table 8.
+func (r *Table8Result) Render() string {
+	t := &Table{
+		Title: "Table 8: default vs combined learned model per cluster",
+		Columns: []string{"cluster", "corr(def)", "medErr(def)",
+			"corr(learned)", "medErr(learned)", "corr(adhoc)", "medErr(adhoc)"},
+	}
+	for _, row := range r.Clusters {
+		t.AddRow(fmt.Sprintf("Cluster %d", row.Cluster),
+			corr(row.DefCorr), pct(row.DefErr),
+			corr(row.LearnedCorr), pct(row.LearnedErr),
+			corr(row.AdhocCorr), pct(row.AdhocMedianErr))
+	}
+	t.Notes = append(t.Notes,
+		"paper: default 0.05-0.15 corr / 153-256% err; learned 0.74-0.83 corr / 15-33% err")
+	return t.Render()
+}
+
+// Fig12_13Result holds per-cluster ratio CDFs for all jobs (Fig 12) and
+// ad-hoc jobs only (Fig 13).
+type Fig12_13Result struct {
+	AdHocOnly bool
+	Clusters  []int
+	Models    []string
+	Ratios    [][][]float64 // [cluster][model][samples]
+}
+
+// Fig12or13 computes est/actual CDFs per cluster; adhocOnly selects Fig 13.
+func Fig12or13(lab *Lab, adhocOnly bool) *Fig12_13Result {
+	models := []string{"Default", "Op-Subgraph", "Op-SubgraphApprox", "Op-Input", "Operator", "Combined"}
+	out := &Fig12_13Result{AdHocOnly: adhocOnly, Models: models}
+	for cl := range lab.Predictors {
+		test := lab.TestRecords(cl)
+		if adhocOnly {
+			var filtered []telemetry.Record
+			for _, r := range test {
+				if !r.Recurring {
+					filtered = append(filtered, r)
+				}
+			}
+			test = filtered
+		}
+		pr := lab.Predictors[cl]
+		act := actuals(test)
+		var byModel [][]float64
+
+		var defPred []float64
+		for _, r := range test {
+			defPred = append(defPred, r.DefaultCost)
+		}
+		byModel = append(byModel, ml.Ratios(defPred, act))
+
+		for fam := 0; fam < learned.NumFamilies; fam++ {
+			var p, a []float64
+			for i := range test {
+				if pred, ok := pr.Families[fam].Predict(&test[i]); ok {
+					p = append(p, pred)
+					a = append(a, test[i].ActualLatency)
+				}
+			}
+			byModel = append(byModel, ml.Ratios(p, a))
+		}
+		var comb []float64
+		for i := range test {
+			comb = append(comb, pr.PredictRecord(&test[i]).Cost)
+		}
+		byModel = append(byModel, ml.Ratios(comb, act))
+
+		out.Clusters = append(out.Clusters, cl+1)
+		out.Ratios = append(out.Ratios, byModel)
+	}
+	return out
+}
+
+// Render formats Figures 12/13.
+func (r *Fig12_13Result) Render() string {
+	title := "Figure 12: est/actual CDFs per cluster (all jobs)"
+	if r.AdHocOnly {
+		title = "Figure 13: est/actual CDFs per cluster (ad-hoc jobs only)"
+	}
+	var out string
+	for ci, cl := range r.Clusters {
+		t := &Table{
+			Title:   fmt.Sprintf("%s — cluster %d", title, cl),
+			Columns: ratioCDFColumns("model"),
+		}
+		for mi, m := range r.Models {
+			if len(r.Ratios[ci][mi]) == 0 {
+				t.AddRow(m, "-", "-", "-", "-", "-")
+				continue
+			}
+			t.AddRow(ratioCDFRow(m, r.Ratios[ci][mi])...)
+		}
+		out += t.Render() + "\n"
+	}
+	return out
+}
+
+// subTrace restricts a trace to cluster 0's jobs on one day, reusing the
+// catalogs (Runner indexes catalogs by the job's cluster id).
+func subTrace(tr *workload.Trace, cluster, day int) *workload.Trace {
+	out := &workload.Trace{Catalogs: tr.Catalogs, Config: tr.Config}
+	for _, j := range tr.Jobs {
+		if j.Cluster == cluster && (day < 0 || j.Day == day) {
+			out.Jobs = append(out.Jobs, j)
+		}
+	}
+	return out
+}

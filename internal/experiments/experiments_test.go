@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunSmall executes every registered experiment at small
+// scale and checks each renders non-empty output. This is the integration
+// test of the whole reproduction pipeline.
+func TestAllExperimentsRunSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	seen := map[string]bool{}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			if seen[e.Name] {
+				t.Fatalf("duplicate experiment name %q", e.Name)
+			}
+			seen[e.Name] = true
+			res, err := e.Run(ScaleSmall)
+			if err != nil {
+				t.Fatalf("%s: %v", e.Name, err)
+			}
+			out := res.Render()
+			if len(out) < 40 {
+				t.Fatalf("%s rendered too little: %q", e.Name, out)
+			}
+			if !strings.Contains(out, "==") {
+				t.Fatalf("%s output has no table header", e.Name)
+			}
+		})
+	}
+}
+
+func TestFindExperiment(t *testing.T) {
+	if _, err := Find("table5"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Find("nope"); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+// TestHeadlineShapes asserts the paper's qualitative claims hold at small
+// scale: learned models beat the default by a wide margin, the
+// accuracy-coverage ladder is ordered, and the combined model covers
+// everything.
+func TestHeadlineShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	lab, err := SharedLab(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t5 := Table5(lab)
+	byName := map[string]Table5Row{}
+	for _, r := range t5.Rows {
+		byName[r.Name] = r
+	}
+	def := byName["Default"]
+	comb := byName["Combined"]
+	sub := byName["Op-Subgraph"]
+	op := byName["Operator"]
+
+	if comb.Pearson <= def.Pearson {
+		t.Errorf("combined corr %v should beat default %v", comb.Pearson, def.Pearson)
+	}
+	if comb.MedianErr >= def.MedianErr {
+		t.Errorf("combined err %v should beat default %v", comb.MedianErr, def.MedianErr)
+	}
+	if sub.Coverage >= 0.999 {
+		t.Errorf("subgraph coverage %v should be partial", sub.Coverage)
+	}
+	if op.Coverage < 0.999 {
+		t.Errorf("operator coverage %v should be full", op.Coverage)
+	}
+	if sub.MedianErr >= op.MedianErr {
+		t.Errorf("subgraph err %v should beat operator err %v (accuracy-coverage tradeoff)",
+			sub.MedianErr, op.MedianErr)
+	}
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cleo/internal/learned"
+	"cleo/internal/telemetry"
+)
+
+// Fig7Result is the textual analogue of the paper's error heat-map over
+// test operators: for every model, the share of operator instances in each
+// relative-error band, plus the uncovered share.
+type Fig7Result struct {
+	Models []string
+	Bands  []string
+	// Shares[model][band] are fractions of all test operators.
+	Shares    [][]float64
+	Uncovered []float64
+	Operators int
+}
+
+// errorBands are the heat-map's color buckets.
+var errorBands = []struct {
+	name string
+	hi   float64
+}{
+	{"<=25%", 0.25},
+	{"<=50%", 0.50},
+	{"<=100%", 1.0},
+	{"<=10x", 10},
+	{">10x", 1e18},
+}
+
+// Fig7 buckets per-operator errors for the four families and the combined
+// model on the test day.
+func Fig7(lab *Lab) *Fig7Result {
+	test := lab.TestRecords(0)
+	pr := lab.Predictors[0]
+	out := &Fig7Result{Operators: len(test)}
+	for _, b := range errorBands {
+		out.Bands = append(out.Bands, b.name)
+	}
+
+	evalModel := func(name string, predict func(r *telemetry.Record) (float64, bool)) {
+		shares := make([]float64, len(errorBands))
+		uncovered := 0
+		for i := range test {
+			pred, ok := predict(&test[i])
+			if !ok {
+				uncovered++
+				continue
+			}
+			act := test[i].ActualLatency
+			rel := relErr(pred, act)
+			for bi, b := range errorBands {
+				if rel <= b.hi {
+					shares[bi]++
+					break
+				}
+			}
+		}
+		n := float64(len(test))
+		for i := range shares {
+			shares[i] /= n
+		}
+		out.Models = append(out.Models, name)
+		out.Shares = append(out.Shares, shares)
+		out.Uncovered = append(out.Uncovered, float64(uncovered)/n)
+	}
+
+	for fam := 0; fam < learned.NumFamilies; fam++ {
+		fm := pr.Families[fam]
+		evalModel(fm.Family.String(), fm.Predict)
+	}
+	evalModel("Combined", func(r *telemetry.Record) (float64, bool) {
+		return pr.PredictRecord(r).Cost, true
+	})
+	return out
+}
+
+func relErr(p, a float64) float64 {
+	if a <= 0 {
+		a = 1e-9
+	}
+	d := p - a
+	if d < 0 {
+		d = -d
+	}
+	return d / a
+}
+
+// Render formats Figure 7.
+func (r *Fig7Result) Render() string {
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 7: error bands over %d test operators (share of all operators)", r.Operators),
+		Columns: append(append([]string{"model"}, r.Bands...), "no-coverage"),
+	}
+	for i, m := range r.Models {
+		cells := []string{m}
+		for _, s := range r.Shares[i] {
+			cells = append(cells, pct(s))
+		}
+		cells = append(cells, pct(r.Uncovered[i]))
+		t.AddRow(cells...)
+	}
+	t.Notes = append(t.Notes,
+		"paper: subgraph models mostly accurate but partial coverage; operator model full coverage but redder; combined keeps specialized accuracy at 100% coverage")
+	return t.Render()
+}

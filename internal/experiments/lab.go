@@ -1,0 +1,180 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6). Each experiment is a function returning a
+// structured result plus a text rendering; cmd/cleobench prints them and
+// bench_test.go wraps them in testing.B benchmarks. DESIGN.md carries the
+// experiment index; EXPERIMENTS.md records paper-vs-measured numbers.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"cleo/internal/costmodel"
+	"cleo/internal/exec"
+	"cleo/internal/learned"
+	"cleo/internal/ml"
+	"cleo/internal/stats"
+	"cleo/internal/telemetry"
+	"cleo/internal/workload"
+)
+
+// Scale selects experiment sizing: Small keeps unit tests and benchmarks
+// fast; Full is what cmd/cleobench uses for the reported numbers.
+type Scale int
+
+// Scales.
+const (
+	ScaleSmall Scale = iota
+	ScaleFull
+)
+
+// labConfig sizes the shared lab.
+type labConfig struct {
+	clusters        int
+	days            int
+	templates       int
+	instancesPerDay int
+	adhocFraction   float64
+	seed            int64
+}
+
+func configFor(scale Scale) labConfig {
+	if scale == ScaleFull {
+		return labConfig{clusters: 4, days: 4, templates: 45, instancesPerDay: 4, adhocFraction: 0.13, seed: 2020}
+	}
+	return labConfig{clusters: 2, days: 4, templates: 10, instancesPerDay: 3, adhocFraction: 0.13, seed: 2020}
+}
+
+// Lab is the shared experiment environment: a multi-cluster trace executed
+// under the default cost model, plus per-cluster CLEO predictors trained on
+// the first days (individual models on days 0–1, the combiner on day 2).
+// Day 3 is the held-out test day.
+type Lab struct {
+	Scale      Scale
+	Trace      *workload.Trace
+	Clusters   []*exec.Cluster
+	Collected  *telemetry.Collected
+	Predictors []*learned.Predictor
+
+	// TestDay is the evaluation day (the last trace day).
+	TestDay int
+}
+
+// NewLab generates, executes and trains the shared environment.
+func NewLab(scale Scale) (*Lab, error) {
+	cfg := configFor(scale)
+	tr := workload.Generate(workload.Config{
+		Clusters:                   cfg.clusters,
+		Days:                       cfg.days,
+		TemplatesPerCluster:        cfg.templates,
+		InstancesPerTemplatePerDay: cfg.instancesPerDay,
+		AdHocFraction:              cfg.adhocFraction,
+		Seed:                       cfg.seed,
+	})
+	var clusters []*exec.Cluster
+	for i := range tr.Catalogs {
+		clusters = append(clusters, exec.NewCluster(exec.DefaultConfig(uint64(i)+77)))
+	}
+	runner := &telemetry.Runner{
+		Trace:    tr,
+		Clusters: clusters,
+		Cost:     costmodel.Default{},
+		Mode:     stats.Estimated,
+		Jitter:   true,
+	}
+	col, err := runner.RunAll()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: telemetry run: %w", err)
+	}
+	lab := &Lab{
+		Scale:     scale,
+		Trace:     tr,
+		Clusters:  clusters,
+		Collected: col,
+		TestDay:   cfg.days - 1,
+	}
+
+	lab.Predictors = make([]*learned.Predictor, cfg.clusters)
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.clusters)
+	for cl := 0; cl < cfg.clusters; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			recs := lab.RecordsFor(cl, -1)
+			lab.Predictors[cl], errs[cl] = learned.TrainByDay(recs, cfg.days-2, learned.DefaultTrainConfig())
+		}(cl)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return lab, nil
+}
+
+// RecordsFor filters telemetry records by cluster (and day when day >= 0).
+func (l *Lab) RecordsFor(cluster, day int) []telemetry.Record {
+	var out []telemetry.Record
+	for _, r := range l.Collected.Records {
+		if r.Cluster == cluster && (day < 0 || r.Day == day) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TestRecords returns the held-out test-day records of a cluster.
+func (l *Lab) TestRecords(cluster int) []telemetry.Record {
+	return l.RecordsFor(cluster, l.TestDay)
+}
+
+// TrainRecords returns records from the training window (all days before
+// the test day) of a cluster.
+func (l *Lab) TrainRecords(cluster int) []telemetry.Record {
+	var out []telemetry.Record
+	for _, r := range l.Collected.Records {
+		if r.Cluster == cluster && r.Day < l.TestDay {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// defaultAccuracy evaluates the planner cost model's predictions stored on
+// the records.
+func defaultAccuracy(recs []telemetry.Record) ml.Accuracy {
+	p := make([]float64, len(recs))
+	a := make([]float64, len(recs))
+	for i, r := range recs {
+		p[i] = r.DefaultCost
+		a[i] = r.ActualLatency
+	}
+	return ml.Evaluate(p, a)
+}
+
+// actuals extracts actual latencies.
+func actuals(recs []telemetry.Record) []float64 {
+	out := make([]float64, len(recs))
+	for i, r := range recs {
+		out[i] = r.ActualLatency
+	}
+	return out
+}
+
+var labCache sync.Map // Scale -> *Lab
+
+// SharedLab memoizes NewLab per scale so benchmarks and the CLI reuse one
+// environment.
+func SharedLab(scale Scale) (*Lab, error) {
+	if v, ok := labCache.Load(scale); ok {
+		return v.(*Lab), nil
+	}
+	lab, err := NewLab(scale)
+	if err != nil {
+		return nil, err
+	}
+	labCache.Store(scale, lab)
+	return lab, nil
+}

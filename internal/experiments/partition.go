@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cleo/internal/cascades"
+	"cleo/internal/learned"
+	"cleo/internal/ml"
+	"cleo/internal/plan"
+)
+
+// Fig8cResult counts cost-model look-ups per partition-exploration
+// strategy as the plan's operator count grows (Figure 8c).
+type Fig8cResult struct {
+	Operators  []int
+	Exhaustive []int
+	GeomHalf   []int // geometric, s = 0.5
+	GeomFive   []int // geometric, s = 5
+	Analytical []int
+}
+
+// Fig8c computes look-up counts for 1..maxOps operators with the cluster
+// partition cap.
+func Fig8c(maxOps, maxPartitions int) *Fig8cResult {
+	if maxOps <= 0 {
+		maxOps = 40
+	}
+	if maxPartitions <= 0 {
+		maxPartitions = 3000
+	}
+	geomCount := func(s float64) int {
+		c := &cascades.SamplingChooser{Strategy: cascades.Geometric, SkipCoefficient: s}
+		return len(c.Candidates(maxPartitions))
+	}
+	gHalf := geomCount(0.5)
+	gFive := geomCount(5)
+	out := &Fig8cResult{}
+	for m := 1; m <= maxOps; m++ {
+		out.Operators = append(out.Operators, m)
+		out.Exhaustive = append(out.Exhaustive, m*maxPartitions)
+		out.GeomHalf = append(out.GeomHalf, m*gHalf)
+		out.GeomFive = append(out.GeomFive, m*gFive)
+		out.Analytical = append(out.Analytical, m*5)
+	}
+	return out
+}
+
+// Render formats Figure 8c at selected sizes.
+func (r *Fig8cResult) Render() string {
+	t := &Table{
+		Title:   "Figure 8c: model look-ups for partition exploration",
+		Columns: []string{"#operators", "exhaustive", "geom(s=0.5)", "geom(s=5)", "analytical"},
+	}
+	for _, m := range []int{1, 10, 20, 40} {
+		if m > len(r.Operators) {
+			break
+		}
+		i := m - 1
+		t.AddRow(count(m), count(r.Exhaustive[i]), count(r.GeomHalf[i]),
+			count(r.GeomFive[i]), count(r.Analytical[i]))
+	}
+	t.Notes = append(t.Notes,
+		"paper: analytical caps at ~200 look-ups for 40 operators; sampling takes thousands")
+	return t.Render()
+}
+
+// Fig17Result evaluates partition-exploration strategies against the
+// exhaustive optimum (Figure 17): median relative cost error vs number of
+// samples, plus the analytical strategy's single point.
+type Fig17Result struct {
+	SampleCounts []int
+	// MedianErr[strategy][sampleCount]; strategies: geometric, uniform,
+	// random.
+	Geometric  []float64
+	Uniform    []float64
+	Random     []float64
+	Analytical float64
+	Stages     int
+}
+
+// Fig17 probes real stages from the lab's test-day plans with the learned
+// cost model.
+func Fig17(lab *Lab, maxStages int) (*Fig17Result, error) {
+	if maxStages <= 0 {
+		maxStages = 200
+	}
+	coster := &learned.Coster{Predictor: lab.Predictors[0], Param: 12}
+	maxP := 3000
+
+	// Collect candidate stages from executed plans.
+	var stages [][]*plan.Physical
+	for _, jr := range lab.Collected.Jobs {
+		if jr.Cluster != 0 || jr.Day != lab.TestDay {
+			continue
+		}
+		for _, st := range plan.Stages(jr.Plan) {
+			if st.Ops[0].FixedPartitions {
+				continue
+			}
+			stages = append(stages, st.Ops)
+			if len(stages) >= maxStages {
+				break
+			}
+		}
+		if len(stages) >= maxStages {
+			break
+		}
+	}
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("experiments: no stages collected")
+	}
+
+	// Exhaustive optimum per stage (coarse grid of every count is costly;
+	// probe every count up to maxP in steps of 1 for small caps, else a
+	// fine grid).
+	optimal := make([]float64, len(stages))
+	for i, ops := range stages {
+		best := math.Inf(1)
+		for p := 1; p <= maxP; p += gridStep(p) {
+			if c := cascades.StageCostAt(coster, ops, p); c < best {
+				best = c
+			}
+		}
+		optimal[i] = best
+	}
+
+	evalChooser := func(ch cascades.PartitionChooser) float64 {
+		var errs []float64
+		for i, ops := range stages {
+			p, _ := ch.ChooseStagePartitions(ops, maxP)
+			c := cascades.StageCostAt(coster, ops, p)
+			if optimal[i] <= 0 {
+				continue
+			}
+			errs = append(errs, (c-optimal[i])/optimal[i])
+		}
+		sort.Float64s(errs)
+		return ml.Quantile(errs, 0.5)
+	}
+
+	out := &Fig17Result{Stages: len(stages)}
+	for _, n := range []int{2, 4, 8, 16, 32, 64, 128} {
+		out.SampleCounts = append(out.SampleCounts, n)
+		// Geometric: pick s so the candidate count is ~n.
+		s := skipForSamples(n, maxP)
+		out.Geometric = append(out.Geometric, evalChooser(&cascades.SamplingChooser{
+			Cost: coster, Strategy: cascades.Geometric, SkipCoefficient: s}))
+		out.Uniform = append(out.Uniform, evalChooser(&cascades.SamplingChooser{
+			Cost: coster, Strategy: cascades.Uniform, Samples: n}))
+		out.Random = append(out.Random, evalChooser(&cascades.SamplingChooser{
+			Cost: coster, Strategy: cascades.Random, Samples: n, Seed: 7}))
+	}
+	out.Analytical = evalChooser(&learned.AnalyticalChooser{Cost: coster})
+	return out, nil
+}
+
+// gridStep makes the exhaustive scan fine at small counts and coarser at
+// large ones (cost curves flatten out).
+func gridStep(p int) int {
+	switch {
+	case p < 64:
+		return 1
+	case p < 512:
+		return 4
+	default:
+		return 16
+	}
+}
+
+// skipForSamples inverts the geometric sequence length to a skipping
+// coefficient yielding about n samples up to maxP.
+func skipForSamples(n, maxP int) float64 {
+	// Sequence length ≈ log(maxP)/log(1+1/s); solve for s.
+	if n < 2 {
+		n = 2
+	}
+	growth := math.Pow(float64(maxP), 1/float64(n)) // per-step factor
+	if growth <= 1 {
+		return 1000
+	}
+	return 1 / (growth - 1)
+}
+
+// Render formats Figure 17.
+func (r *Fig17Result) Render() string {
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 17: partition exploration vs optimal (median cost error, %d stages)", r.Stages),
+		Columns: []string{"#samples", "geometric", "uniform", "random"},
+	}
+	for i, n := range r.SampleCounts {
+		t.AddRow(count(n), pct(r.Geometric[i]), pct(r.Uniform[i]), pct(r.Random[i]))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("analytical (5 look-ups/op): %s median error", pct(r.Analytical)),
+		"paper: analytical beats sampling until ~15-20 samples; geometric beats uniform/random at small budgets")
+	return t.Render()
+}

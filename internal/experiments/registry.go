@@ -1,0 +1,209 @@
+package experiments
+
+import "fmt"
+
+// Result is any experiment output that can render itself for the terminal.
+type Result interface {
+	Render() string
+}
+
+// Entry is one registered experiment.
+type Entry struct {
+	// Name is the CLI identifier (e.g. "table5", "fig19").
+	Name string
+	// Description says what the experiment reproduces.
+	Description string
+	// Run executes the experiment at the given scale.
+	Run func(scale Scale) (Result, error)
+}
+
+// Registry lists every experiment in the paper's order.
+func Registry() []Entry {
+	lab := func(scale Scale) (*Lab, error) { return SharedLab(scale) }
+	return []Entry{
+		{"fig1", "hand-crafted cost models, with and without perfect cardinalities", func(s Scale) (Result, error) {
+			l, err := lab(s)
+			if err != nil {
+				return nil, err
+			}
+			return Fig1(l)
+		}},
+		{"fig2", "150 instances of an hourly recurring job", func(s Scale) (Result, error) {
+			n := 60
+			if s == ScaleFull {
+				n = 150
+			}
+			return Fig2(n, 7)
+		}},
+		{"fig3", "ad-hoc job share per cluster and day", func(s Scale) (Result, error) {
+			l, err := lab(s)
+			if err != nil {
+				return nil, err
+			}
+			return Fig3(l), nil
+		}},
+		{"table1", "loss-function comparison for subgraph models", func(s Scale) (Result, error) {
+			l, err := lab(s)
+			if err != nil {
+				return nil, err
+			}
+			return Table1(l)
+		}},
+		{"table4", "ML algorithms on operator-subgraph models", func(s Scale) (Result, error) {
+			l, err := lab(s)
+			if err != nil {
+				return nil, err
+			}
+			return Table4(l)
+		}},
+		{"table5", "individual learned models: accuracy vs coverage", func(s Scale) (Result, error) {
+			l, err := lab(s)
+			if err != nil {
+				return nil, err
+			}
+			return Table5(l), nil
+		}},
+		{"table6", "meta-learners for the combined model", func(s Scale) (Result, error) {
+			l, err := lab(s)
+			if err != nil {
+				return nil, err
+			}
+			return Table6(l)
+		}},
+		{"fig5", "feature weights per model family (with fig6)", func(s Scale) (Result, error) {
+			l, err := lab(s)
+			if err != nil {
+				return nil, err
+			}
+			return Fig5And6(l), nil
+		}},
+		{"fig6", "feature weights per model family (alias of fig5)", func(s Scale) (Result, error) {
+			l, err := lab(s)
+			if err != nil {
+				return nil, err
+			}
+			return Fig5And6(l), nil
+		}},
+		{"fig7", "error bands per model over test operators", func(s Scale) (Result, error) {
+			l, err := lab(s)
+			if err != nil {
+				return nil, err
+			}
+			return Fig7(l), nil
+		}},
+		{"fig8c", "model look-ups for partition exploration", func(s Scale) (Result, error) {
+			return Fig8c(40, 3000), nil
+		}},
+		{"fig9", "workload summary", func(s Scale) (Result, error) {
+			l, err := lab(s)
+			if err != nil {
+				return nil, err
+			}
+			return Fig9(l), nil
+		}},
+		{"fig10", "day-over-day workload change", func(s Scale) (Result, error) {
+			l, err := lab(s)
+			if err != nil {
+				return nil, err
+			}
+			return Fig10(l), nil
+		}},
+		{"fig11", "ML algorithms per model family (5-fold CV)", func(s Scale) (Result, error) {
+			l, err := lab(s)
+			if err != nil {
+				return nil, err
+			}
+			return Fig11(l)
+		}},
+		{"table7", "accuracy/coverage, all vs ad-hoc jobs", func(s Scale) (Result, error) {
+			l, err := lab(s)
+			if err != nil {
+				return nil, err
+			}
+			return Table7(l), nil
+		}},
+		{"table8", "default vs learned per cluster", func(s Scale) (Result, error) {
+			l, err := lab(s)
+			if err != nil {
+				return nil, err
+			}
+			return Table8(l), nil
+		}},
+		{"fig12", "est/actual CDFs per cluster, all jobs", func(s Scale) (Result, error) {
+			l, err := lab(s)
+			if err != nil {
+				return nil, err
+			}
+			return Fig12or13(l, false), nil
+		}},
+		{"fig13", "est/actual CDFs per cluster, ad-hoc jobs", func(s Scale) (Result, error) {
+			l, err := lab(s)
+			if err != nil {
+				return nil, err
+			}
+			return Fig12or13(l, true), nil
+		}},
+		{"fig14", "robustness over one month", func(s Scale) (Result, error) {
+			return Fig14(s, 2020)
+		}},
+		{"fig15", "CLEO vs CardLearner", func(s Scale) (Result, error) {
+			l, err := lab(s)
+			if err != nil {
+				return nil, err
+			}
+			return Fig15(l)
+		}},
+		{"fig16", "hash-join weights by context", func(s Scale) (Result, error) {
+			l, err := lab(s)
+			if err != nil {
+				return nil, err
+			}
+			return Fig16(l)
+		}},
+		{"fig17", "partition exploration strategies vs optimal", func(s Scale) (Result, error) {
+			l, err := lab(s)
+			if err != nil {
+				return nil, err
+			}
+			stages := 60
+			if s == ScaleFull {
+				stages = 200
+			}
+			return Fig17(l, stages)
+		}},
+		{"fig18", "cumulative feature addition from perfect cardinalities", func(s Scale) (Result, error) {
+			l, err := lab(s)
+			if err != nil {
+				return nil, err
+			}
+			return Fig18(l)
+		}},
+		{"fig19", "production jobs: latency, processing time, overhead", func(s Scale) (Result, error) {
+			l, err := lab(s)
+			if err != nil {
+				return nil, err
+			}
+			return Fig19(l, 17)
+		}},
+		{"fig20", "TPC-H plan changes and improvements", func(s Scale) (Result, error) {
+			return Fig20(s, 2020)
+		}},
+		{"ablation-strawman", "combined meta-model vs most-specialized-first strawman", func(s Scale) (Result, error) {
+			l, err := lab(s)
+			if err != nil {
+				return nil, err
+			}
+			return AblationStrawman(l), nil
+		}},
+	}
+}
+
+// Find returns the registry entry with the given name.
+func Find(name string) (Entry, error) {
+	for _, e := range Registry() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("experiments: unknown experiment %q", name)
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cleo/internal/ml"
+)
+
+// Table is a generic text table used by every experiment's rendering.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render formats the table for the terminal.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+func pct(v float64) string   { return fmt.Sprintf("%.0f%%", v*100) }
+func pct1(v float64) string  { return fmt.Sprintf("%.1f%%", v*100) }
+func corr(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func count(v int) string     { return fmt.Sprintf("%d", v) }
+func flt(v float64) string   { return fmt.Sprintf("%.3g", v) }
+func ratio(v float64) string { return fmt.Sprintf("%.3g", v) }
+
+// ratioCDFRow summarises a set of estimated/actual ratios at the standard
+// quantiles — the textual form of the paper's CDF plots.
+func ratioCDFRow(name string, ratios []float64) []string {
+	sorted := append([]float64(nil), ratios...)
+	sort.Float64s(sorted)
+	cells := []string{name}
+	for _, q := range []float64{0.05, 0.25, 0.50, 0.75, 0.95} {
+		cells = append(cells, ratio(ml.Quantile(sorted, q)))
+	}
+	return cells
+}
+
+// ratioCDFColumns matches ratioCDFRow.
+func ratioCDFColumns(first string) []string {
+	return []string{first, "p05", "p25", "p50", "p75", "p95"}
+}
+
+// accuracyRow renders a model's accuracy in the tables' usual columns.
+func accuracyRow(name string, acc ml.Accuracy, coverage float64) []string {
+	return []string{name, corr(acc.Pearson), pct(acc.MedianErr), pct(acc.P95Err), pct(coverage)}
+}

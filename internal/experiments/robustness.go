@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cleo/internal/costmodel"
+	"cleo/internal/learned"
+	"cleo/internal/stats"
+	"cleo/internal/telemetry"
+	"cleo/internal/workload"
+)
+
+// Fig14Result tracks model robustness over a month (Figure 14): coverage,
+// median error, 95th-percentile error and Pearson correlation per model at
+// growing distances from the training window.
+type Fig14Result struct {
+	Days   []int
+	Models []string
+	// Metric[model][dayIdx]
+	Coverage  [][]float64
+	MedianErr [][]float64
+	P95Err    [][]float64
+	Pearson   [][]float64
+}
+
+// Fig14 generates a month-long trace, trains on the first days (individual
+// models on days 0–1, combiner on day 2) and evaluates at the paper's
+// offsets.
+func Fig14(scale Scale, seed int64) (*Fig14Result, error) {
+	days := 31
+	templates := 8
+	instances := 2
+	if scale == ScaleFull {
+		templates = 25
+		instances = 3
+	}
+	tr := workload.Generate(workload.Config{
+		Clusters:                   1,
+		Days:                       days,
+		TemplatesPerCluster:        templates,
+		InstancesPerTemplatePerDay: instances,
+		AdHocFraction:              0.12,
+		DayGrowth:                  0.02,
+		Seed:                       seed,
+	})
+	runner := &telemetry.Runner{Trace: tr, Cost: costmodel.Default{}, Mode: stats.Estimated, Jitter: true}
+	col, err := runner.RunAll()
+	if err != nil {
+		return nil, err
+	}
+	pr, err := learned.TrainByDay(col.Records, 2, learned.DefaultTrainConfig())
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Fig14Result{Days: []int{2, 7, 14, 21, 28}}
+	for fam := 0; fam < learned.NumFamilies; fam++ {
+		out.Models = append(out.Models, learned.Family(fam).String())
+	}
+	out.Models = append(out.Models, "Combined", "Default")
+
+	for range out.Models {
+		out.Coverage = append(out.Coverage, nil)
+		out.MedianErr = append(out.MedianErr, nil)
+		out.P95Err = append(out.P95Err, nil)
+		out.Pearson = append(out.Pearson, nil)
+	}
+
+	for _, offset := range out.Days {
+		day := 2 + offset // evaluation day: `offset` days after training
+		var recs []telemetry.Record
+		for _, r := range col.Records {
+			if r.Day == day {
+				recs = append(recs, r)
+			}
+		}
+		for fam := 0; fam < learned.NumFamilies; fam++ {
+			fm := pr.Families[fam]
+			acc := fm.Evaluate(recs)
+			out.Coverage[fam] = append(out.Coverage[fam], fm.Coverage(recs))
+			out.MedianErr[fam] = append(out.MedianErr[fam], acc.MedianErr)
+			out.P95Err[fam] = append(out.P95Err[fam], acc.P95Err)
+			out.Pearson[fam] = append(out.Pearson[fam], acc.Pearson)
+		}
+		ci := learned.NumFamilies
+		acc := pr.Evaluate(recs)
+		out.Coverage[ci] = append(out.Coverage[ci], 1)
+		out.MedianErr[ci] = append(out.MedianErr[ci], acc.MedianErr)
+		out.P95Err[ci] = append(out.P95Err[ci], acc.P95Err)
+		out.Pearson[ci] = append(out.Pearson[ci], acc.Pearson)
+
+		di := ci + 1
+		def := defaultAccuracy(recs)
+		out.Coverage[di] = append(out.Coverage[di], 1)
+		out.MedianErr[di] = append(out.MedianErr[di], def.MedianErr)
+		out.P95Err[di] = append(out.P95Err[di], def.P95Err)
+		out.Pearson[di] = append(out.Pearson[di], def.Pearson)
+	}
+	return out, nil
+}
+
+// Render formats Figure 14 as four panels.
+func (r *Fig14Result) Render() string {
+	panel := func(title string, metric [][]float64, fm func(float64) string) string {
+		cols := []string{"model"}
+		for _, d := range r.Days {
+			cols = append(cols, fmt.Sprintf("+%dd", d))
+		}
+		t := &Table{Title: title, Columns: cols}
+		for mi, m := range r.Models {
+			cells := []string{m}
+			for _, v := range metric[mi] {
+				cells = append(cells, fm(v))
+			}
+			t.AddRow(cells...)
+		}
+		return t.Render()
+	}
+	out := panel("Figure 14a: coverage over one month", r.Coverage, pct)
+	out += panel("Figure 14b: median error over one month", r.MedianErr, pct)
+	out += panel("Figure 14c: 95%ile error over one month", r.P95Err, pct)
+	out += panel("Figure 14d: Pearson correlation over one month", r.Pearson, corr)
+	out += "note: paper — subgraph coverage decays 58%->37% over 28 days; combined stays at 100% with graceful error growth; retraining every ~10 days keeps median error ~20%\n"
+	return out
+}

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"cleo/internal/learned"
+	"cleo/internal/linalg"
+	"cleo/internal/ml/elasticnet"
+	"cleo/internal/plan"
+	"cleo/internal/telemetry"
+)
+
+// Fig5_6Result reports per-family normalized feature weights (Figures 5
+// and 6).
+type Fig5_6Result struct {
+	Families []string
+	Names    [][]string
+	Weights  [][]float64
+}
+
+// Fig5And6 aggregates elastic-net weights across each family's models.
+func Fig5And6(lab *Lab) *Fig5_6Result {
+	out := &Fig5_6Result{}
+	for fam := 0; fam < learned.NumFamilies; fam++ {
+		fm := lab.Predictors[0].Families[fam]
+		out.Families = append(out.Families, fm.Family.String())
+		out.Names = append(out.Names, learned.FeatureNames(fm.Family.Extended()))
+		out.Weights = append(out.Weights, fm.AggregateWeights())
+	}
+	return out
+}
+
+// Render formats Figures 5 and 6: top-10 features per family.
+func (r *Fig5_6Result) Render() string {
+	var out string
+	for i, fam := range r.Families {
+		t := &Table{
+			Title:   fmt.Sprintf("Figure 5/6: normalized feature weights — %s (top 10)", fam),
+			Columns: []string{"feature", "normalized weight"},
+		}
+		type fw struct {
+			name string
+			w    float64
+		}
+		var fws []fw
+		for j, n := range r.Names[i] {
+			fws = append(fws, fw{n, r.Weights[i][j]})
+		}
+		sort.Slice(fws, func(a, b int) bool { return fws[a].w > fws[b].w })
+		for _, f := range fws[:min(10, len(fws))] {
+			t.AddRow(f.name, fmt.Sprintf("%.3f", f.w))
+		}
+		if fam == "Op-Subgraph" {
+			t.Notes = append(t.Notes, "paper: specialized models concentrate weight on a few features")
+		}
+		if fam == "Operator" {
+			t.Notes = append(t.Notes, "paper: general models spread weight more evenly")
+		}
+		out += t.Render() + "\n"
+	}
+	return out
+}
+
+// Fig16Result contrasts hash-join feature weights across two context sets
+// (Figure 16): joins directly over scans vs joins over other joins.
+type Fig16Result struct {
+	Names     []string
+	OverScans []float64
+	OverJoins []float64
+	SetSizes  [2]int
+}
+
+// Fig16 trains one elastic net per context set and compares weights.
+func Fig16(lab *Lab) (*Fig16Result, error) {
+	recs := lab.TrainRecords(0)
+	var joins []telemetry.Record
+	for _, r := range recs {
+		if r.Op == plan.PHashJoin {
+			joins = append(joins, r)
+		}
+	}
+	if len(joins) < 10 {
+		return nil, fmt.Errorf("experiments: too few hash-join samples (%d)", len(joins))
+	}
+	// Split by subgraph depth at the median: shallow joins sit directly
+	// over scan chains (the paper's set 1); deep ones have joins beneath
+	// (set 2).
+	depths := make([]int, len(joins))
+	for i, r := range joins {
+		depths[i] = r.Depth
+	}
+	sort.Ints(depths)
+	medianDepth := depths[len(depths)/2]
+	var overScans, overJoins []telemetry.Record
+	for _, r := range joins {
+		if r.Depth <= medianDepth {
+			overScans = append(overScans, r)
+		} else {
+			overJoins = append(overJoins, r)
+		}
+	}
+	fit := func(rs []telemetry.Record) ([]float64, error) {
+		if len(rs) < 5 {
+			return nil, fmt.Errorf("experiments: too few hash-join samples (%d)", len(rs))
+		}
+		x := linalg.NewMatrix(len(rs), learned.NumFeatures(false))
+		y := make([]float64, len(rs))
+		for i := range rs {
+			copy(x.Row(i), learned.FromRecord(&rs[i]).Vector(false))
+			y[i] = rs[i].ActualLatency
+		}
+		cfg := elasticnet.DefaultConfig()
+		// These sets pool many templates, so the signal per feature is
+		// weaker than in per-subgraph models; lighter regularization keeps
+		// the weight profile informative.
+		cfg.Alpha = 0.01
+		m, err := elasticnet.New(cfg).FitModel(x, y)
+		if err != nil {
+			return nil, err
+		}
+		// Normalize |weights|.
+		out := make([]float64, len(m.Weights))
+		var tot float64
+		for i, w := range m.Weights {
+			if w < 0 {
+				w = -w
+			}
+			out[i] = w
+			tot += w
+		}
+		if tot > 0 {
+			for i := range out {
+				out[i] /= tot
+			}
+		}
+		return out, nil
+	}
+	w1, err := fit(overScans)
+	if err != nil {
+		return nil, err
+	}
+	w2, err := fit(overJoins)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig16Result{
+		Names:     learned.FeatureNames(false),
+		OverScans: w1,
+		OverJoins: w2,
+		SetSizes:  [2]int{len(overScans), len(overJoins)},
+	}, nil
+}
+
+// Render formats Figure 16: the top features of both sets side by side.
+func (r *Fig16Result) Render() string {
+	t := &Table{
+		Title: fmt.Sprintf("Figure 16: hash-join feature weights by context (set1: over scans, n=%d; set2: over joins, n=%d)",
+			r.SetSizes[0], r.SetSizes[1]),
+		Columns: []string{"feature", "w(set1)", "w(set2)"},
+	}
+	type fw struct {
+		name   string
+		w1, w2 float64
+	}
+	var fws []fw
+	for i, n := range r.Names {
+		fws = append(fws, fw{n, r.OverScans[i], r.OverJoins[i]})
+	}
+	sort.Slice(fws, func(a, b int) bool {
+		return fws[a].w1+fws[a].w2 > fws[b].w1+fws[b].w2
+	})
+	for _, f := range fws[:min(10, len(fws))] {
+		t.AddRow(f.name, fmt.Sprintf("%.3f", f.w1), fmt.Sprintf("%.3f", f.w2))
+	}
+	t.Notes = append(t.Notes,
+		"paper: partition count is more influential for joins over joins (more network transfer) than joins over scans")
+	return t.Render()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,300 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cleo/internal/costmodel"
+	"cleo/internal/plan"
+	"cleo/internal/stats"
+	"cleo/internal/telemetry"
+	"cleo/internal/workload"
+)
+
+// Fig2Result traces one hourly recurring job across many instances
+// (Figure 2): input size and latency vary several-fold.
+type Fig2Result struct {
+	Instances  int
+	InputGiB   []float64
+	LatencyMin []float64
+}
+
+// Fig2 generates a single recurring template with the given instance count
+// and executes every instance.
+func Fig2(instances int, seed int64) (*Fig2Result, error) {
+	if instances <= 0 {
+		instances = 150
+	}
+	tr := workload.Generate(workload.Config{
+		Clusters:                   1,
+		Days:                       instances,
+		TemplatesPerCluster:        1,
+		InstancesPerTemplatePerDay: 1,
+		AdHocFraction:              0,
+		DayGrowth:                  0.004,
+		Seed:                       seed,
+	})
+	runner := &telemetry.Runner{Trace: tr, Cost: costmodel.Default{}, Mode: stats.Estimated}
+	col, err := runner.RunAll()
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig2Result{Instances: len(col.Jobs)}
+	for i, jr := range col.Jobs {
+		job := tr.Jobs[i]
+		var bytes float64
+		for _, leaf := range job.Query.Leaves() {
+			ts, _ := tr.Catalogs[0].Table(leaf.Table)
+			bytes += ts.Rows * ts.RowLength
+		}
+		out.InputGiB = append(out.InputGiB, bytes/(1<<30))
+		out.LatencyMin = append(out.LatencyMin, jr.Latency/60)
+	}
+	return out, nil
+}
+
+// Render formats Figure 2.
+func (r *Fig2Result) Render() string {
+	minIn, maxIn := minMax(r.InputGiB)
+	minL, maxL := minMax(r.LatencyMin)
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 2: %d instances of an hourly recurring job", r.Instances),
+		Columns: []string{"metric", "min", "max", "spread"},
+	}
+	t.AddRow("total input (GiB)", flt(minIn), flt(maxIn), fmt.Sprintf("%.1fx", maxIn/minIn))
+	t.AddRow("latency (minutes)", flt(minL), flt(maxL), fmt.Sprintf("%.1fx", maxL/minL))
+	t.Notes = append(t.Notes,
+		"paper: input 69,859 -> 118,625 GiB (1.7x); latency 40m50s -> 2h21m (3.5x) over 150 instances")
+	return t.Render()
+}
+
+func minMax(v []float64) (lo, hi float64) {
+	if len(v) == 0 {
+		return 0, 0
+	}
+	lo, hi = v[0], v[0]
+	for _, x := range v {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Fig3Result reports ad-hoc job percentages per cluster and day (Figure 3).
+type Fig3Result struct {
+	Clusters int
+	Days     int
+	// Percent[cluster][day]
+	Percent [][]float64
+}
+
+// Fig3 counts ad-hoc shares in the lab's trace.
+func Fig3(lab *Lab) *Fig3Result {
+	cfg := lab.Trace.Config
+	out := &Fig3Result{Clusters: cfg.Clusters, Days: cfg.Days}
+	for cl := 0; cl < cfg.Clusters; cl++ {
+		var row []float64
+		for d := 0; d < cfg.Days; d++ {
+			jobs := lab.Trace.JobsOn(cl, d)
+			adhoc := 0
+			for _, j := range jobs {
+				if !j.Recurring {
+					adhoc++
+				}
+			}
+			row = append(row, 100*float64(adhoc)/float64(len(jobs)))
+		}
+		out.Percent = append(out.Percent, row)
+	}
+	return out
+}
+
+// Render formats Figure 3.
+func (r *Fig3Result) Render() string {
+	cols := []string{"cluster"}
+	for d := 0; d < r.Days; d++ {
+		cols = append(cols, fmt.Sprintf("day%d", d+1))
+	}
+	t := &Table{Title: "Figure 3: ad-hoc jobs (%) per cluster per day", Columns: cols}
+	for cl, row := range r.Percent {
+		cells := []string{fmt.Sprintf("Cluster%d", cl+1)}
+		for _, v := range row {
+			cells = append(cells, fmt.Sprintf("%.1f", v))
+		}
+		t.AddRow(cells...)
+	}
+	t.Notes = append(t.Notes, "paper: 7-20% ad-hoc across clusters and days")
+	return t.Render()
+}
+
+// Fig9Result summarises the workload (Figure 9).
+type Fig9Result struct {
+	Rows []Fig9Row
+}
+
+// Fig9Row is one (cluster, day) summary.
+type Fig9Row struct {
+	Cluster, Day       int
+	TotalJobs          int
+	RecurringJobs      int
+	RecurringTemplates int
+	TotalSubExpr       int
+	CommonSubExpr      int
+	RecurringSubExpr   int
+	AdhocSubExpr       int
+}
+
+// Fig9 counts jobs and subexpressions. A subexpression is one operator
+// instance; it is "common" when its subgraph template occurs in more than
+// one job.
+func Fig9(lab *Lab) *Fig9Result {
+	out := &Fig9Result{}
+	cfg := lab.Trace.Config
+	for cl := 0; cl < cfg.Clusters; cl++ {
+		for d := 0; d < cfg.Days; d++ {
+			row := Fig9Row{Cluster: cl + 1, Day: d + 1}
+			templates := map[string]bool{}
+			for _, j := range lab.Trace.JobsOn(cl, d) {
+				row.TotalJobs++
+				if j.Recurring {
+					row.RecurringJobs++
+					templates[j.TemplateID] = true
+				}
+			}
+			row.RecurringTemplates = len(templates)
+
+			sigJobs := map[plan.Signature]map[string]bool{}
+			var dayRecs []telemetry.Record
+			for _, rec := range lab.Collected.Records {
+				if rec.Cluster != cl || rec.Day != d {
+					continue
+				}
+				dayRecs = append(dayRecs, rec)
+				if sigJobs[rec.Sigs.Subgraph] == nil {
+					sigJobs[rec.Sigs.Subgraph] = map[string]bool{}
+				}
+				sigJobs[rec.Sigs.Subgraph][rec.JobID] = true
+			}
+			for _, rec := range dayRecs {
+				row.TotalSubExpr++
+				if len(sigJobs[rec.Sigs.Subgraph]) > 1 {
+					row.CommonSubExpr++
+				}
+				if rec.Recurring {
+					row.RecurringSubExpr++
+				} else {
+					row.AdhocSubExpr++
+				}
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// Render formats Figure 9.
+func (r *Fig9Result) Render() string {
+	t := &Table{
+		Title: "Figure 9: workload summary",
+		Columns: []string{"cluster", "day", "jobs", "recurring", "templates",
+			"subexpr", "common", "recurringSub", "adhocSub"},
+	}
+	var tot Fig9Row
+	for _, row := range r.Rows {
+		t.AddRow(fmt.Sprintf("Cluster%d", row.Cluster), count(row.Day),
+			count(row.TotalJobs), count(row.RecurringJobs), count(row.RecurringTemplates),
+			count(row.TotalSubExpr), count(row.CommonSubExpr),
+			count(row.RecurringSubExpr), count(row.AdhocSubExpr))
+		tot.TotalJobs += row.TotalJobs
+		tot.RecurringJobs += row.RecurringJobs
+		tot.RecurringTemplates += row.RecurringTemplates
+		tot.TotalSubExpr += row.TotalSubExpr
+		tot.CommonSubExpr += row.CommonSubExpr
+		tot.RecurringSubExpr += row.RecurringSubExpr
+		tot.AdhocSubExpr += row.AdhocSubExpr
+	}
+	t.AddRow("Overall", "-", count(tot.TotalJobs), count(tot.RecurringJobs),
+		count(tot.RecurringTemplates), count(tot.TotalSubExpr), count(tot.CommonSubExpr),
+		count(tot.RecurringSubExpr), count(tot.AdhocSubExpr))
+	t.Notes = append(t.Notes,
+		"paper (full production scale): 463,799 jobs, 397,824 recurring, 98,395 templates, 22.4M subexpressions, 17.6M common")
+	return t.Render()
+}
+
+// Fig10Result reports day-over-day workload change (Figure 10).
+type Fig10Result struct {
+	Clusters int
+	// Change[cluster][transition] for jobs/recurring/templates.
+	JobsChange      [][]float64
+	RecurringChange [][]float64
+	TemplateChange  [][]float64
+	Transitions     []string
+}
+
+// Fig10 computes percentage changes between consecutive days.
+func Fig10(lab *Lab) *Fig10Result {
+	cfg := lab.Trace.Config
+	out := &Fig10Result{Clusters: cfg.Clusters}
+	for d := 0; d+1 < cfg.Days; d++ {
+		out.Transitions = append(out.Transitions, fmt.Sprintf("Day%d-to-Day%d", d+1, d+2))
+	}
+	for cl := 0; cl < cfg.Clusters; cl++ {
+		var jc, rc, tc []float64
+		for d := 0; d+1 < cfg.Days; d++ {
+			a := summarizeDay(lab, cl, d)
+			b := summarizeDay(lab, cl, d+1)
+			jc = append(jc, pctChange(a[0], b[0]))
+			rc = append(rc, pctChange(a[1], b[1]))
+			tc = append(tc, pctChange(a[2], b[2]))
+		}
+		out.JobsChange = append(out.JobsChange, jc)
+		out.RecurringChange = append(out.RecurringChange, rc)
+		out.TemplateChange = append(out.TemplateChange, tc)
+	}
+	return out
+}
+
+func summarizeDay(lab *Lab, cl, d int) [3]float64 {
+	jobs := lab.Trace.JobsOn(cl, d)
+	templates := map[string]bool{}
+	rec := 0
+	for _, j := range jobs {
+		if j.Recurring {
+			rec++
+			templates[j.TemplateID] = true
+		}
+	}
+	return [3]float64{float64(len(jobs)), float64(rec), float64(len(templates))}
+}
+
+func pctChange(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return 100 * (b - a) / a
+}
+
+// Render formats Figure 10.
+func (r *Fig10Result) Render() string {
+	t := &Table{
+		Title:   "Figure 10: day-over-day workload change (%)",
+		Columns: append([]string{"cluster", "metric"}, r.Transitions...),
+	}
+	for cl := 0; cl < r.Clusters; cl++ {
+		add := func(metric string, vals []float64) {
+			cells := []string{fmt.Sprintf("Cluster%d", cl+1), metric}
+			for _, v := range vals {
+				cells = append(cells, fmt.Sprintf("%+.1f", v))
+			}
+			t.AddRow(cells...)
+		}
+		add("total jobs", r.JobsChange[cl])
+		add("recurring jobs", r.RecurringChange[cl])
+		add("templates", r.TemplateChange[cl])
+	}
+	t.Notes = append(t.Notes, "paper: swings from -30% to +20% across clusters and days")
+	return t.Render()
+}

@@ -1,0 +1,191 @@
+package learned
+
+import (
+	"math"
+
+	"cleo/internal/linalg"
+	"cleo/internal/ml"
+	"cleo/internal/ml/fasttree"
+	"cleo/internal/plan"
+	"cleo/internal/telemetry"
+)
+
+// MetaFeatureNames labels the combined model's inputs: the individual
+// models' predictions (meta-features), their coverage indicators, and the
+// extra statistics of Section 4.3 (cardinalities, per-partition
+// cardinalities, partition count).
+var MetaFeatureNames = []string{
+	"pred(Op-Subgraph)", "pred(Op-SubgraphApprox)", "pred(Op-Input)", "pred(Operator)",
+	"has(Op-Subgraph)", "has(Op-SubgraphApprox)", "has(Op-Input)",
+	"I", "B", "C", "I/P", "B/P", "C/P", "P",
+}
+
+// Predictor bundles the four trained families with the combined
+// meta-ensemble: the full CLEO model set for one cluster.
+type Predictor struct {
+	Families [NumFamilies]*FamilyModels
+	Combined *fasttree.Model
+}
+
+// Prediction is one cost estimate with the per-model breakdown.
+type Prediction struct {
+	// Cost is the final (combined) prediction, seconds.
+	Cost float64
+	// ByFamily holds each family's prediction; Covered marks presence.
+	ByFamily [NumFamilies]float64
+	Covered  [NumFamilies]bool
+}
+
+// metaVector builds the combined model's input from family predictions and
+// features.
+func metaVector(byFamily [NumFamilies]float64, covered [NumFamilies]bool, f OpFeatures) []float64 {
+	p := f.P
+	if p < 1 {
+		p = 1
+	}
+	ind := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	return []float64{
+		byFamily[FamilySubgraph],
+		byFamily[FamilyApprox],
+		byFamily[FamilyInput],
+		byFamily[FamilyOperator],
+		ind(covered[FamilySubgraph]),
+		ind(covered[FamilyApprox]),
+		ind(covered[FamilyInput]),
+		f.I, f.B, f.C,
+		f.I / p, f.B / p, f.C / p,
+		p,
+	}
+}
+
+// predictFamilies runs the four individual models.
+func (pr *Predictor) predictFamilies(sigs plan.Signatures, f OpFeatures) ([NumFamilies]float64, [NumFamilies]bool) {
+	var by [NumFamilies]float64
+	var cov [NumFamilies]bool
+	for fam := 0; fam < NumFamilies; fam++ {
+		if pr.Families[fam] == nil {
+			continue
+		}
+		by[fam], cov[fam] = pr.Families[fam].PredictFeatures(sigs, f)
+	}
+	return by, cov
+}
+
+// PredictRecord produces the full prediction for one telemetry record.
+func (pr *Predictor) PredictRecord(rec *telemetry.Record) Prediction {
+	return pr.predict(rec.Sigs, FromRecord(rec))
+}
+
+// PredictNode produces the prediction for a plan node during optimization.
+func (pr *Predictor) PredictNode(n *plan.Physical, param float64) Prediction {
+	return pr.predict(plan.ComputeSignatures(n), FromNode(n, param))
+}
+
+func (pr *Predictor) predict(sigs plan.Signatures, f OpFeatures) Prediction {
+	by, cov := pr.predictFamilies(sigs, f)
+	out := Prediction{ByFamily: by, Covered: cov}
+	switch {
+	case pr.Combined != nil:
+		out.Cost = pr.Combined.Predict(metaVector(by, cov, f))
+	default:
+		// Strawman fallback: most specialized covered model first.
+		for fam := 0; fam < NumFamilies; fam++ {
+			if cov[fam] {
+				out.Cost = by[fam]
+				break
+			}
+		}
+	}
+	if out.Cost < 0 || math.IsNaN(out.Cost) {
+		out.Cost = 0
+	}
+	return out
+}
+
+// StrawmanPredict implements the paper's strawman baseline (Section 4.3):
+// pick the most specialized covered model, ignoring the meta-ensemble.
+// Returns false only if no family covers the record.
+func (pr *Predictor) StrawmanPredict(rec *telemetry.Record) (float64, bool) {
+	by, cov := pr.predictFamilies(rec.Sigs, FromRecord(rec))
+	for fam := 0; fam < NumFamilies; fam++ {
+		if cov[fam] {
+			return by[fam], true
+		}
+	}
+	return 0, false
+}
+
+// CombinedConfig controls meta-ensemble training.
+type CombinedConfig struct {
+	// FastTree is the boosted-tree configuration (paper: 20 trees, depth
+	// 5, subsample 0.9, MSLE).
+	FastTree fasttree.Config
+}
+
+// DefaultCombinedConfig returns the paper's settings.
+func DefaultCombinedConfig() CombinedConfig {
+	return CombinedConfig{FastTree: fasttree.DefaultConfig()}
+}
+
+// TrainCombined fits the meta-ensemble on records *not* used to train the
+// individual models (the paper trains individual models on two days and the
+// combiner on the next day's predictions).
+func (pr *Predictor) TrainCombined(records []telemetry.Record, cfg CombinedConfig) error {
+	x := linalg.NewMatrix(len(records), len(MetaFeatureNames))
+	y := make([]float64, len(records))
+	for i := range records {
+		f := FromRecord(&records[i])
+		by, cov := pr.predictFamilies(records[i].Sigs, f)
+		copy(x.Row(i), metaVector(by, cov, f))
+		y[i] = records[i].ActualLatency
+	}
+	m, err := fasttree.New(cfg.FastTree).FitModel(x, y)
+	if err != nil {
+		return err
+	}
+	pr.Combined = m
+	return nil
+}
+
+// TrainCombinedWith uses an arbitrary meta-learner instead of FastTree —
+// the Table 6 comparison.
+func (pr *Predictor) TrainCombinedWith(records []telemetry.Record, trainer ml.Trainer) (ml.Regressor, error) {
+	x := linalg.NewMatrix(len(records), len(MetaFeatureNames))
+	y := make([]float64, len(records))
+	for i := range records {
+		f := FromRecord(&records[i])
+		by, cov := pr.predictFamilies(records[i].Sigs, f)
+		copy(x.Row(i), metaVector(by, cov, f))
+		y[i] = records[i].ActualLatency
+	}
+	return trainer.Fit(x, y)
+}
+
+// EvaluateMeta evaluates an arbitrary meta-learner on records.
+func (pr *Predictor) EvaluateMeta(records []telemetry.Record, model ml.Regressor) ml.Accuracy {
+	p := make([]float64, len(records))
+	a := make([]float64, len(records))
+	for i := range records {
+		f := FromRecord(&records[i])
+		by, cov := pr.predictFamilies(records[i].Sigs, f)
+		p[i] = model.Predict(metaVector(by, cov, f))
+		a[i] = records[i].ActualLatency
+	}
+	return ml.Evaluate(p, a)
+}
+
+// Evaluate computes combined-model accuracy over records (full coverage).
+func (pr *Predictor) Evaluate(records []telemetry.Record) ml.Accuracy {
+	p := make([]float64, len(records))
+	a := make([]float64, len(records))
+	for i := range records {
+		p[i] = pr.PredictRecord(&records[i]).Cost
+		a[i] = records[i].ActualLatency
+	}
+	return ml.Evaluate(p, a)
+}

@@ -1,0 +1,62 @@
+package learned
+
+import (
+	"cleo/internal/plan"
+)
+
+// Coster adapts a Predictor to the optimizer's costing interface — the
+// paper's step 10 in Figure 8a: the Optimize Inputs task calls the learned
+// models instead of the default cost model. One Coster is created per job
+// so the job's parameter (PM feature) is available.
+type Coster struct {
+	// Predictor is the trained CLEO model set.
+	Predictor *Predictor
+	// Param is the current job's parameter.
+	Param float64
+	// Fallback, when non-nil, prices operators if the predictor somehow
+	// returns a non-positive cost (the combined model always covers, so
+	// this is a guard rail, mirroring Section 6.7's discussion of
+	// disabling learned models per operator).
+	Fallback interface {
+		OperatorCost(n *plan.Physical) float64
+	}
+}
+
+// Name implements cascades.Coster.
+func (c *Coster) Name() string { return "CLEO" }
+
+// OperatorCost implements cascades.Coster.
+func (c *Coster) OperatorCost(n *plan.Physical) float64 {
+	pred := c.Predictor.PredictNode(n, c.Param)
+	if pred.Cost > 0 {
+		return pred.Cost
+	}
+	if c.Fallback != nil {
+		return c.Fallback.OperatorCost(n)
+	}
+	return 0
+}
+
+// IndividualCost prices the operator with the most specialized covered
+// individual model instead of the combined ensemble. Partition exploration
+// probes this (Section 5.3: "we reuse the individual learned models to
+// directly model the relationship between the partition count and the
+// cost") — the elastic nets' explicit 1/P and P terms give the smooth
+// curves the analytical fit needs, where tree ensembles step.
+func (c *Coster) IndividualCost(n *plan.Physical) float64 {
+	sigs := plan.ComputeSignatures(n)
+	f := FromNode(n, c.Param)
+	for fam := 0; fam < NumFamilies; fam++ {
+		fm := c.Predictor.Families[fam]
+		if fm == nil {
+			continue
+		}
+		if v, ok := fm.PredictFeatures(sigs, f); ok && v > 0 {
+			return v
+		}
+	}
+	if c.Fallback != nil {
+		return c.Fallback.OperatorCost(n)
+	}
+	return 0
+}

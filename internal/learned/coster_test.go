@@ -1,0 +1,75 @@
+package learned
+
+import (
+	"testing"
+
+	"cleo/internal/plan"
+)
+
+// fixedFallback prices every operator at a constant.
+type fixedFallback struct{ v float64 }
+
+func (f fixedFallback) OperatorCost(*plan.Physical) float64 { return f.v }
+
+func trainedCosterNode(t *testing.T) (*Coster, *plan.Physical) {
+	t.Helper()
+	col := collect(t, 2)
+	pr, err := TrainSplit(col.Records, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A plan node resembling the trained distribution.
+	leaf := plan.NewPhysical(plan.PExtract)
+	leaf.InputTemplate = "c0in1_"
+	leaf.Partitions = 8
+	leaf.Stats = plan.NodeStats{EstCard: 1e6, ActCard: 1e6, RowLength: 100}
+	f := plan.NewPhysical(plan.PFilter, leaf)
+	f.Pred = "p"
+	f.Partitions = 8
+	f.Stats = plan.NodeStats{EstCard: 5e5, ActCard: 5e5, RowLength: 100}
+	return &Coster{Predictor: pr, Param: 3}, f
+}
+
+func TestCosterPositiveCost(t *testing.T) {
+	c, n := trainedCosterNode(t)
+	if got := c.OperatorCost(n); got <= 0 {
+		t.Fatalf("cost = %v", got)
+	}
+	if c.Name() != "CLEO" {
+		t.Fatalf("name = %q", c.Name())
+	}
+}
+
+func TestCosterFallback(t *testing.T) {
+	// An untrained (empty) predictor must defer to the fallback.
+	c := &Coster{Predictor: &Predictor{}, Fallback: fixedFallback{v: 7}}
+	n := plan.NewPhysical(plan.PFilter)
+	n.Partitions = 1
+	if got := c.OperatorCost(n); got != 7 {
+		t.Fatalf("fallback cost = %v, want 7", got)
+	}
+	if got := c.IndividualCost(n); got != 7 {
+		t.Fatalf("individual fallback = %v, want 7", got)
+	}
+}
+
+func TestIndividualCostUsesMostSpecialized(t *testing.T) {
+	c, n := trainedCosterNode(t)
+	got := c.IndividualCost(n)
+	if got <= 0 {
+		t.Fatalf("individual cost = %v", got)
+	}
+	// The individual cost should equal the prediction of the most
+	// specialized covered family for this node.
+	pred := c.Predictor.PredictNode(n, c.Param)
+	for fam := 0; fam < NumFamilies; fam++ {
+		if pred.Covered[fam] {
+			if got != pred.ByFamily[fam] {
+				t.Fatalf("individual %v != most specialized family %v (%v)",
+					got, Family(fam), pred.ByFamily[fam])
+			}
+			return
+		}
+	}
+	t.Fatal("no family covered the node")
+}

@@ -1,0 +1,221 @@
+package learned
+
+import (
+	"runtime"
+	"sync"
+
+	"cleo/internal/linalg"
+	"cleo/internal/ml"
+	"cleo/internal/ml/elasticnet"
+	"cleo/internal/plan"
+	"cleo/internal/telemetry"
+)
+
+// Family identifies one of the four individual model families on the
+// accuracy–coverage spectrum (Section 4): Subgraph is the most specialized
+// and accurate, Operator the most general.
+type Family int
+
+// The four families.
+const (
+	FamilySubgraph Family = iota
+	FamilyApprox
+	FamilyInput
+	FamilyOperator
+	numFamilies
+)
+
+// NumFamilies is the family count.
+const NumFamilies = int(numFamilies)
+
+// String names the family as the paper does.
+func (f Family) String() string {
+	switch f {
+	case FamilySubgraph:
+		return "Op-Subgraph"
+	case FamilyApprox:
+		return "Op-SubgraphApprox"
+	case FamilyInput:
+		return "Op-Input"
+	case FamilyOperator:
+		return "Operator"
+	default:
+		return "Unknown"
+	}
+}
+
+// Extended reports whether the family uses the CL/D context features
+// (everything except the strict subgraph model).
+func (f Family) Extended() bool { return f != FamilySubgraph }
+
+// SignatureOf returns the signature keying this family for a record.
+func (f Family) SignatureOf(s plan.Signatures) plan.Signature {
+	switch f {
+	case FamilySubgraph:
+		return s.Subgraph
+	case FamilyApprox:
+		return s.Approx
+	case FamilyInput:
+		return s.Input
+	default:
+		return s.Operator
+	}
+}
+
+// FamilyConfig controls training of one family.
+type FamilyConfig struct {
+	// MinSamples is the occurrence threshold below which a template gets
+	// no model (paper: 5).
+	MinSamples int
+	// Net is the elastic-net configuration (paper: alpha 1.0, l1 0.5,
+	// MSLE).
+	Net elasticnet.Config
+	// Parallelism bounds training goroutines; 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// DefaultFamilyConfig returns the paper's settings.
+func DefaultFamilyConfig() FamilyConfig {
+	return FamilyConfig{MinSamples: 5, Net: elasticnet.DefaultConfig()}
+}
+
+// FamilyModels is a trained family: one elastic net per signature.
+type FamilyModels struct {
+	Family Family
+	Models map[plan.Signature]*elasticnet.Model
+}
+
+// TrainFamily fits one model per signature over the records, in parallel.
+// Signatures with fewer than MinSamples records are skipped (they stay
+// uncovered, which is the coverage side of the accuracy–coverage
+// trade-off).
+func TrainFamily(family Family, records []telemetry.Record, cfg FamilyConfig) *FamilyModels {
+	if cfg.MinSamples < 2 {
+		cfg.MinSamples = 2
+	}
+	groups := map[plan.Signature][]int{}
+	for i := range records {
+		sig := family.SignatureOf(records[i].Sigs)
+		groups[sig] = append(groups[sig], i)
+	}
+
+	type job struct {
+		sig  plan.Signature
+		rows []int
+	}
+	var jobs []job
+	for sig, rows := range groups {
+		if len(rows) >= cfg.MinSamples {
+			jobs = append(jobs, job{sig, rows})
+		}
+	}
+
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	out := &FamilyModels{Family: family, Models: make(map[plan.Signature]*elasticnet.Model, len(jobs))}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, par)
+	extended := family.Extended()
+	for _, j := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(j job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			x := linalg.NewMatrix(len(j.rows), NumFeatures(extended))
+			y := make([]float64, len(j.rows))
+			for i, r := range j.rows {
+				copy(x.Row(i), FromRecord(&records[r]).Vector(extended))
+				y[i] = records[r].ActualLatency
+			}
+			m, err := elasticnet.New(cfg.Net).FitModel(x, y)
+			if err != nil {
+				return // skip degenerate groups
+			}
+			mu.Lock()
+			out.Models[j.sig] = m
+			mu.Unlock()
+		}(j)
+	}
+	wg.Wait()
+	return out
+}
+
+// Predict returns the family's prediction for the record and whether the
+// record's signature is covered.
+func (fm *FamilyModels) Predict(rec *telemetry.Record) (float64, bool) {
+	m, ok := fm.Models[fm.Family.SignatureOf(rec.Sigs)]
+	if !ok {
+		return 0, false
+	}
+	return m.Predict(FromRecord(rec).Vector(fm.Family.Extended())), true
+}
+
+// PredictFeatures predicts from pre-extracted features and signatures.
+func (fm *FamilyModels) PredictFeatures(sigs plan.Signatures, f OpFeatures) (float64, bool) {
+	m, ok := fm.Models[fm.Family.SignatureOf(sigs)]
+	if !ok {
+		return 0, false
+	}
+	return m.Predict(f.Vector(fm.Family.Extended())), true
+}
+
+// Coverage returns the fraction of records whose signature has a model.
+func (fm *FamilyModels) Coverage(records []telemetry.Record) float64 {
+	if len(records) == 0 {
+		return 0
+	}
+	n := 0
+	for i := range records {
+		if _, ok := fm.Models[fm.Family.SignatureOf(records[i].Sigs)]; ok {
+			n++
+		}
+	}
+	return float64(n) / float64(len(records))
+}
+
+// NumModels reports the trained model count.
+func (fm *FamilyModels) NumModels() int { return len(fm.Models) }
+
+// AggregateWeights returns the normalized per-feature influence across all
+// models of the family: nw_i = Σ_n |w_in| / Σ_k Σ_n |w_kn| (Figure 5's
+// metric).
+func (fm *FamilyModels) AggregateWeights() []float64 {
+	n := NumFeatures(fm.Family.Extended())
+	sums := make([]float64, n)
+	var total float64
+	for _, m := range fm.Models {
+		for i, w := range m.Weights {
+			if i >= n {
+				break
+			}
+			a := w
+			if a < 0 {
+				a = -a
+			}
+			sums[i] += a
+			total += a
+		}
+	}
+	if total > 0 {
+		for i := range sums {
+			sums[i] /= total
+		}
+	}
+	return sums
+}
+
+// Evaluate computes accuracy over the covered subset of records.
+func (fm *FamilyModels) Evaluate(records []telemetry.Record) ml.Accuracy {
+	var p, a []float64
+	for i := range records {
+		if pred, ok := fm.Predict(&records[i]); ok {
+			p = append(p, pred)
+			a = append(a, records[i].ActualLatency)
+		}
+	}
+	return ml.Evaluate(p, a)
+}

@@ -1,0 +1,158 @@
+// Package learned implements CLEO's learned cost models — the paper's
+// primary contribution: feature extraction over compile-time statistics
+// (Tables 2 and 3), four mutually-enhancing model families keyed by
+// operator signatures (operator-subgraph, operator-subgraphApprox,
+// operator-input and operator; Sections 3–4), a FastTree meta-ensemble
+// combining them (Section 4.3), a parallel trainer and model store
+// (Section 5.1), and the analytical partition-exploration strategy
+// (Section 5.3).
+package learned
+
+import (
+	"hash/fnv"
+	"math"
+
+	"cleo/internal/plan"
+	"cleo/internal/telemetry"
+)
+
+// OpFeatures is the raw per-operator statistics vectorized for the models:
+// the paper's Table 2 basic features.
+type OpFeatures struct {
+	I      float64 // input cardinality from children
+	B      float64 // base cardinality at the leaves
+	C      float64 // output cardinality
+	L      float64 // average row length (bytes)
+	P      float64 // partition count
+	Inputs string  // normalized input templates (IN)
+	Param  float64 // job parameters (PM)
+	CL     float64 // number of logical operators in the subgraph
+	D      float64 // depth of the operator in the subgraph
+}
+
+// FromRecord extracts features from a telemetry record.
+func FromRecord(r *telemetry.Record) OpFeatures {
+	return OpFeatures{
+		I:      r.InCard,
+		B:      r.BaseCard,
+		C:      r.OutCard,
+		L:      r.RowLength,
+		P:      float64(r.Partitions),
+		Inputs: r.Inputs,
+		Param:  r.Param,
+		CL:     float64(r.NumLogical),
+		D:      float64(r.Depth),
+	}
+}
+
+// FromNode extracts features from a plan node during optimization; param is
+// the job's parameter (the paper's PM), supplied by the caller.
+func FromNode(n *plan.Physical, param float64) OpFeatures {
+	in := n.Stats.EstCard
+	if len(n.Children) > 0 {
+		in = n.InputCardinality(true)
+	}
+	counts := n.LogicalOpCounts()
+	cl := 0
+	for _, c := range counts {
+		cl += c
+	}
+	templates := ""
+	for i, t := range n.InputTemplates() {
+		if i > 0 {
+			templates += "+"
+		}
+		templates += t
+	}
+	return OpFeatures{
+		I:      in,
+		B:      n.BaseCardinality(),
+		C:      n.Stats.EstCard,
+		L:      n.Stats.RowLength,
+		P:      float64(n.Partitions),
+		Inputs: templates,
+		Param:  param,
+		CL:     float64(cl),
+		D:      float64(n.Depth()),
+	}
+}
+
+// baseFeatureNames lists the paper's selected basic + derived features in
+// Figure 5's order.
+var baseFeatureNames = []string{
+	"C", "sqrt(C)", "log(B)*C", "B*log(C)", "B", "I*C", "I*log(C)", "I/P",
+	"sqrt(I)", "L*log(B)", "B*C", "C/P", "sqrt(I)/P", "L", "L*log(I)",
+	"L*log(C)", "I*L/P", "L*B", "C*L/P", "L*I", "sqrt(C)/P", "P",
+	"log(I)/P", "I", "IN", "log(B)*log(C)", "log(I)*log(C)", "PM",
+}
+
+// extendedFeatureNames appends the two context features used by the more
+// general models (Section 4.2): logical-operator count and depth.
+var extendedFeatureNames = append(append([]string(nil), baseFeatureNames...), "CL", "D")
+
+// FeatureNames returns the feature labels. Extended adds CL and D.
+func FeatureNames(extended bool) []string {
+	if extended {
+		return extendedFeatureNames
+	}
+	return baseFeatureNames
+}
+
+// NumFeatures returns the vector length.
+func NumFeatures(extended bool) int { return len(FeatureNames(extended)) }
+
+// hashIN maps the normalized-inputs string to a stable numeric encoding in
+// [0, 1).
+func hashIN(s string) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return float64(h.Sum64()%1_000_000_007) / 1_000_000_007.0
+}
+
+// Vector renders the features as the model input vector. Cardinality
+// magnitudes span many decades, so raw values, square roots, logarithms and
+// products all appear — the transformations the paper found impossible to
+// hand-tune into the default model (Section 6.4).
+func (f OpFeatures) Vector(extended bool) []float64 {
+	p := f.P
+	if p < 1 {
+		p = 1
+	}
+	logI := math.Log1p(f.I)
+	logB := math.Log1p(f.B)
+	logC := math.Log1p(f.C)
+	v := []float64{
+		f.C,
+		math.Sqrt(f.C),
+		logB * f.C,
+		f.B * logC,
+		f.B,
+		f.I * f.C,
+		f.I * logC,
+		f.I / p,
+		math.Sqrt(f.I),
+		f.L * logB,
+		f.B * f.C,
+		f.C / p,
+		math.Sqrt(f.I) / p,
+		f.L,
+		f.L * logI,
+		f.L * logC,
+		f.I * f.L / p,
+		f.L * f.B,
+		f.C * f.L / p,
+		f.L * f.I,
+		math.Sqrt(f.C) / p,
+		p,
+		logI / p,
+		f.I,
+		hashIN(f.Inputs),
+		logB * logC,
+		logI * logC,
+		f.Param,
+	}
+	if extended {
+		v = append(v, f.CL, f.D)
+	}
+	return v
+}

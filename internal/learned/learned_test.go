@@ -1,0 +1,229 @@
+package learned
+
+import (
+	"bytes"
+	"testing"
+
+	"cleo/internal/costmodel"
+	"cleo/internal/ml"
+	"cleo/internal/stats"
+	"cleo/internal/telemetry"
+	"cleo/internal/workload"
+)
+
+// collect runs a small trace and returns its telemetry.
+func collect(t *testing.T, days int) *telemetry.Collected {
+	t.Helper()
+	tr := workload.Generate(workload.Config{
+		Clusters:                   1,
+		Days:                       days,
+		TemplatesPerCluster:        10,
+		InstancesPerTemplatePerDay: 3,
+		AdHocFraction:              0.1,
+		Seed:                       99,
+	})
+	r := &telemetry.Runner{Trace: tr, Cost: costmodel.Default{}, Mode: stats.Estimated, Jitter: true}
+	col, err := r.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col
+}
+
+func splitByDay(recs []telemetry.Record, trainDays int) (train, test []telemetry.Record) {
+	for _, r := range recs {
+		if r.Day < trainDays {
+			train = append(train, r)
+		} else {
+			test = append(test, r)
+		}
+	}
+	return train, test
+}
+
+func TestFeatureVectorShapes(t *testing.T) {
+	f := OpFeatures{I: 100, B: 1000, C: 10, L: 50, P: 4, Inputs: "a+b", Param: 3, CL: 5, D: 2}
+	if got := len(f.Vector(false)); got != NumFeatures(false) {
+		t.Fatalf("base vector len = %d, want %d", got, NumFeatures(false))
+	}
+	if got := len(f.Vector(true)); got != NumFeatures(true) {
+		t.Fatalf("extended vector len = %d, want %d", got, NumFeatures(true))
+	}
+	if NumFeatures(true) != NumFeatures(false)+2 {
+		t.Fatal("extended should add CL and D")
+	}
+	if len(FeatureNames(false)) != NumFeatures(false) {
+		t.Fatal("names/vector mismatch")
+	}
+	// Zero partitions must not divide by zero.
+	f.P = 0
+	for _, v := range f.Vector(true) {
+		if v != v { // NaN check
+			t.Fatal("NaN in feature vector")
+		}
+	}
+}
+
+func TestTrainFamilyCoverageOrdering(t *testing.T) {
+	col := collect(t, 3)
+	train, test := splitByDay(col.Records, 2)
+
+	cfg := DefaultFamilyConfig()
+	sub := TrainFamily(FamilySubgraph, train, cfg)
+	op := TrainFamily(FamilyOperator, train, cfg)
+	inp := TrainFamily(FamilyInput, train, cfg)
+
+	cSub := sub.Coverage(test)
+	cInp := inp.Coverage(test)
+	cOp := op.Coverage(test)
+	// The paper's coverage ladder: subgraph <= input <= operator ≈ 1
+	// (an operator kind never executed in training stays uncovered).
+	if cOp < 0.95 {
+		t.Fatalf("operator coverage = %v, want ~1", cOp)
+	}
+	if cInp > cOp+1e-9 {
+		t.Fatalf("input coverage %v should not exceed operator coverage %v", cInp, cOp)
+	}
+	if cSub > cInp+1e-9 {
+		t.Fatalf("subgraph coverage %v should not exceed input coverage %v", cSub, cInp)
+	}
+	if cSub <= 0.2 {
+		t.Fatalf("subgraph coverage = %v, too low for a recurring workload", cSub)
+	}
+}
+
+func TestLearnedBeatsDefaultModel(t *testing.T) {
+	col := collect(t, 4)
+	train, test := splitByDay(col.Records, 3)
+
+	pr, err := TrainByDay(train, 2, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	learnedAcc := pr.Evaluate(test)
+
+	var defPred, act []float64
+	for _, r := range test {
+		defPred = append(defPred, r.DefaultCost)
+		act = append(act, r.ActualLatency)
+	}
+	defAcc := ml.Evaluate(defPred, act)
+
+	if learnedAcc.MedianErr >= defAcc.MedianErr {
+		t.Fatalf("learned median err %v should beat default %v", learnedAcc.MedianErr, defAcc.MedianErr)
+	}
+	if learnedAcc.Pearson <= defAcc.Pearson {
+		t.Fatalf("learned pearson %v should beat default %v", learnedAcc.Pearson, defAcc.Pearson)
+	}
+	if learnedAcc.Pearson < 0.5 {
+		t.Fatalf("learned pearson %v too low", learnedAcc.Pearson)
+	}
+}
+
+func TestSubgraphMoreAccurateThanOperator(t *testing.T) {
+	col := collect(t, 3)
+	train, test := splitByDay(col.Records, 2)
+	cfg := DefaultFamilyConfig()
+	sub := TrainFamily(FamilySubgraph, train, cfg)
+	op := TrainFamily(FamilyOperator, train, cfg)
+	subAcc := sub.Evaluate(test)
+	opAcc := op.Evaluate(test)
+	if subAcc.MedianErr >= opAcc.MedianErr {
+		t.Fatalf("subgraph median err %v should beat operator %v (accuracy-coverage tradeoff)",
+			subAcc.MedianErr, opAcc.MedianErr)
+	}
+}
+
+func TestCombinedCoversEverything(t *testing.T) {
+	col := collect(t, 3)
+	train, test := splitByDay(col.Records, 2)
+	pr, err := TrainSplit(train, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncovered := 0
+	for i := range test {
+		p := pr.PredictRecord(&test[i])
+		if p.Covered[FamilyOperator] && p.Cost <= 0 {
+			t.Fatalf("combined model returned %v for covered %v", p.Cost, test[i].Op)
+		}
+		if !p.Covered[FamilyOperator] {
+			uncovered++
+		}
+	}
+	if frac := float64(uncovered) / float64(len(test)); frac > 0.05 {
+		t.Fatalf("operator family left %.1f%% uncovered", 100*frac)
+	}
+}
+
+func TestStrawmanPredict(t *testing.T) {
+	col := collect(t, 2)
+	pr, err := TrainSplit(col.Records, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := pr.StrawmanPredict(&col.Records[0])
+	if !ok || got < 0 {
+		t.Fatalf("strawman = %v, %v", got, ok)
+	}
+}
+
+func TestAggregateWeightsNormalized(t *testing.T) {
+	col := collect(t, 2)
+	fm := TrainFamily(FamilySubgraph, col.Records, DefaultFamilyConfig())
+	w := fm.AggregateWeights()
+	if len(w) != NumFeatures(false) {
+		t.Fatalf("weights len = %d", len(w))
+	}
+	var sum float64
+	for _, v := range w {
+		if v < 0 {
+			t.Fatal("normalized weights must be non-negative")
+		}
+		sum += v
+	}
+	if sum > 1.0001 || sum < 0.99 {
+		t.Fatalf("weights sum = %v, want 1", sum)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	col := collect(t, 2)
+	pr, err := TrainSplit(col.Records, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumModels() != pr.NumModels() {
+		t.Fatalf("model counts: %d vs %d", back.NumModels(), pr.NumModels())
+	}
+	for i := range col.Records[:50] {
+		a := pr.PredictRecord(&col.Records[i]).Cost
+		b := back.PredictRecord(&col.Records[i]).Cost
+		if a != b {
+			t.Fatalf("record %d: %v != %v after round trip", i, a, b)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("{")); err == nil {
+		t.Fatal("expected decode error")
+	}
+	if _, err := Load(bytes.NewBufferString(`{"version":9}`)); err == nil {
+		t.Fatal("expected version error")
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, nil, DefaultTrainConfig()); err == nil {
+		t.Fatal("expected error for empty training data")
+	}
+}

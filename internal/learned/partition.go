@@ -1,0 +1,175 @@
+package learned
+
+import (
+	"math"
+
+	"cleo/internal/plan"
+)
+
+// AnalyticalChooser implements the paper's analytical partition-exploration
+// strategy (Section 5.3). Instead of probing the cost model at many
+// candidate partition counts, it models each operator's cost as
+//
+//	cost(P) ≈ θP/P + θC·P + θ0
+//
+// — the only terms through which P enters the feature set — recovers the
+// coefficients from a handful of model probes per operator (5, matching
+// the paper's 5·m look-up bound), sums them across the stage's operators,
+// and solves for the optimum in closed form:
+//
+//	ΣθP > 0, ΣθC < 0 → use the maximum partition count,
+//	ΣθP < 0, ΣθC > 0 → use the minimum,
+//	otherwise        → P* = sqrt(ΣθP / ΣθC).
+type AnalyticalChooser struct {
+	// Cost prices one operator (typically the CLEO Coster).
+	Cost interface {
+		OperatorCost(n *plan.Physical) float64
+	}
+}
+
+// numProbes is the per-operator probe budget (5, matching the paper's
+// 5·m look-up bound for the analytical strategy).
+const numProbes = 5
+
+// probePoints spreads the probes geometrically from 1 to the partition cap
+// so the fit sees both the parallelism and the overhead regime.
+func probePoints(maxPartitions int) [numProbes]float64 {
+	if maxPartitions < numProbes {
+		maxPartitions = numProbes
+	}
+	var out [numProbes]float64
+	for i := 0; i < numProbes; i++ {
+		out[i] = math.Round(math.Pow(float64(maxPartitions), float64(i)/(numProbes-1)))
+	}
+	return out
+}
+
+// ChooseStagePartitions implements cascades.PartitionChooser.
+func (a *AnalyticalChooser) ChooseStagePartitions(ops []*plan.Physical, maxPartitions int) (int, int) {
+	if len(ops) == 0 {
+		return 1, 0
+	}
+	var sumP, sumC, scale, lookups float64
+	for _, op := range ops {
+		tp, tc, mean := a.fitOperator(op, maxPartitions)
+		sumP += tp
+		sumC += tc
+		scale += mean
+		lookups += numProbes
+	}
+	// Coefficients whose contribution is negligible at a mid-range count
+	// are noise from the least-squares fit; zero them so flat curves hit
+	// the degenerate branch instead of an arbitrary extreme.
+	mid := math.Sqrt(float64(maxPartitions))
+	eps := 1e-6 * (scale + 1e-12)
+	if math.Abs(sumP)/mid < eps {
+		sumP = 0
+	}
+	if math.Abs(sumC)*mid < eps {
+		sumC = 0
+	}
+
+	var best float64
+	switch {
+	case sumP > 0 && sumC <= 0:
+		best = float64(maxPartitions)
+	case sumP <= 0 && sumC > 0:
+		best = 1
+	case sumP <= 0 && sumC <= 0:
+		// Degenerate: cost insensitive to P; keep the current count.
+		return clampInt(ops[0].Partitions, 1, maxPartitions), int(lookups)
+	default:
+		best = math.Sqrt(sumP / sumC)
+	}
+	return clampInt(int(math.Round(best)), 1, maxPartitions), int(lookups)
+}
+
+// individualCoster is implemented by cost models that can price an
+// operator from the individual (per-signature) models; partition
+// exploration prefers those smooth curves over the combined ensemble.
+type individualCoster interface {
+	IndividualCost(n *plan.Physical) float64
+}
+
+// fitOperator least-squares fits cost(P) = θP/P + θC·P + θ0 through the
+// probe points for one operator, also reporting the mean probed cost for
+// noise thresholds.
+func (a *AnalyticalChooser) fitOperator(op *plan.Physical, maxPartitions int) (thetaP, thetaC, meanCost float64) {
+	saved := op.Partitions
+	defer func() { op.Partitions = saved }()
+	price := a.Cost.OperatorCost
+	if ic, ok := a.Cost.(individualCoster); ok {
+		price = ic.IndividualCost
+	}
+
+	// Design matrix columns: 1/P, P, 1. Solve the 3x3 normal equations.
+	var m [3][3]float64
+	var rhs [3]float64
+	for _, p := range probePoints(maxPartitions) {
+		if int(p) > maxPartitions {
+			p = float64(maxPartitions)
+		}
+		op.Partitions = int(p)
+		cost := price(op)
+		meanCost += cost / numProbes
+		row := [3]float64{1 / p, p, 1}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				m[i][j] += row[i] * row[j]
+			}
+			rhs[i] += row[i] * cost
+		}
+	}
+	sol, ok := solve3(m, rhs)
+	if !ok {
+		return 0, 0, meanCost
+	}
+	return sol[0], sol[1], meanCost
+}
+
+// solve3 solves a 3x3 linear system by Gaussian elimination with partial
+// pivoting.
+func solve3(m [3][3]float64, b [3]float64) ([3]float64, bool) {
+	a := m
+	x := b
+	for col := 0; col < 3; col++ {
+		// Pivot.
+		piv := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-12 {
+			return [3]float64{}, false
+		}
+		a[col], a[piv] = a[piv], a[col]
+		x[col], x[piv] = x[piv], x[col]
+		for r := col + 1; r < 3; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < 3; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	var out [3]float64
+	for r := 2; r >= 0; r-- {
+		s := x[r]
+		for c := r + 1; c < 3; c++ {
+			s -= a[r][c] * out[c]
+		}
+		out[r] = s / a[r][r]
+	}
+	return out, true
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

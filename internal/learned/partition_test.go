@@ -1,0 +1,145 @@
+package learned
+
+import (
+	"math"
+	"testing"
+
+	"cleo/internal/plan"
+)
+
+// quadraticCoster prices operators with a known cost(P) = A/P + B*P + C
+// curve so the analytical fit can be verified exactly.
+type quadraticCoster struct{ A, B, C float64 }
+
+func (q quadraticCoster) OperatorCost(n *plan.Physical) float64 {
+	p := float64(n.Partitions)
+	if p < 1 {
+		p = 1
+	}
+	return q.A/p + q.B*p + q.C
+}
+
+func mkOp(partitions int) *plan.Physical {
+	n := plan.NewPhysical(plan.PExchange)
+	n.Partitions = partitions
+	n.Stats = plan.NodeStats{EstCard: 1e6, ActCard: 1e6, RowLength: 100}
+	return n
+}
+
+func TestAnalyticalChooserRecoversOptimum(t *testing.T) {
+	// cost = 1000/P + 0.1*P: optimum at sqrt(1000/0.1) = 100.
+	c := &AnalyticalChooser{Cost: quadraticCoster{A: 1000, B: 0.1}}
+	ops := []*plan.Physical{mkOp(10)}
+	p, lookups := c.ChooseStagePartitions(ops, 3000)
+	if lookups != numProbes {
+		t.Fatalf("lookups = %d, want %d", lookups, numProbes)
+	}
+	if p < 80 || p > 125 {
+		t.Fatalf("chosen %d, want ~100", p)
+	}
+	// Partitions restored.
+	if ops[0].Partitions != 10 {
+		t.Fatal("chooser mutated operator")
+	}
+}
+
+func TestAnalyticalChooserSumsAcrossOps(t *testing.T) {
+	// Two ops: 1000/P+0.1P and 4000/P+0.3P → optimum sqrt(5000/0.4)≈112.
+	c := &AnalyticalChooser{Cost: quadraticCoster{A: 1000, B: 0.1}}
+	c2 := quadraticCoster{A: 4000, B: 0.3}
+	// Use a multi-coster wrapper: price by op identity.
+	ops := []*plan.Physical{mkOp(10), mkOp(10)}
+	mc := multiCoster{ops[0]: quadraticCoster{A: 1000, B: 0.1}, ops[1]: c2}
+	chooser := &AnalyticalChooser{Cost: mc}
+	p, _ := chooser.ChooseStagePartitions(ops, 3000)
+	want := math.Sqrt(5000 / 0.4)
+	if math.Abs(float64(p)-want) > want*0.25 {
+		t.Fatalf("chosen %d, want ~%.0f", p, want)
+	}
+	_ = c
+}
+
+type multiCoster map[*plan.Physical]quadraticCoster
+
+func (m multiCoster) OperatorCost(n *plan.Physical) float64 { return m[n].OperatorCost(n) }
+
+func TestAnalyticalChooserMonotoneDecreasing(t *testing.T) {
+	// Pure parallelism benefit (B=0): paper case (i) — maximum count.
+	c := &AnalyticalChooser{Cost: quadraticCoster{A: 1000, B: 0}}
+	p, _ := c.ChooseStagePartitions([]*plan.Physical{mkOp(5)}, 500)
+	if p != 500 {
+		t.Fatalf("chosen %d, want max 500", p)
+	}
+}
+
+func TestAnalyticalChooserMonotoneIncreasing(t *testing.T) {
+	// Pure overhead (A=0): paper case (ii) — minimum count.
+	c := &AnalyticalChooser{Cost: quadraticCoster{A: 0, B: 1}}
+	p, _ := c.ChooseStagePartitions([]*plan.Physical{mkOp(5)}, 500)
+	if p != 1 {
+		t.Fatalf("chosen %d, want 1", p)
+	}
+}
+
+func TestAnalyticalChooserConstantCost(t *testing.T) {
+	// Flat curve: keep the current count (degenerate case).
+	c := &AnalyticalChooser{Cost: quadraticCoster{C: 7}}
+	p, _ := c.ChooseStagePartitions([]*plan.Physical{mkOp(42)}, 500)
+	if p != 42 {
+		t.Fatalf("chosen %d, want current 42", p)
+	}
+}
+
+func TestAnalyticalChooserEmptyStage(t *testing.T) {
+	c := &AnalyticalChooser{Cost: quadraticCoster{}}
+	p, lookups := c.ChooseStagePartitions(nil, 500)
+	if p != 1 || lookups != 0 {
+		t.Fatalf("empty stage: %d, %d", p, lookups)
+	}
+}
+
+func TestProbePointsSpanRange(t *testing.T) {
+	pts := probePoints(3000)
+	if pts[0] != 1 {
+		t.Fatalf("first probe = %v", pts[0])
+	}
+	if pts[numProbes-1] != 3000 {
+		t.Fatalf("last probe = %v", pts[numProbes-1])
+	}
+	for i := 1; i < numProbes; i++ {
+		if pts[i] <= pts[i-1] {
+			t.Fatalf("probes not increasing: %v", pts)
+		}
+	}
+}
+
+func TestSolve3(t *testing.T) {
+	// x + y + z = 6; 2x + y = 5; x - z = -1 → x=1.25? Solve a known system:
+	// 2x + y + z = 9; x + 3y + 2z = 17; x + y + 4z = 15 → x=1?, verify by
+	// residual instead of hand-solving.
+	m := [3][3]float64{{2, 1, 1}, {1, 3, 2}, {1, 1, 4}}
+	b := [3]float64{9, 17, 15}
+	x, ok := solve3(m, b)
+	if !ok {
+		t.Fatal("singular?")
+	}
+	for i := 0; i < 3; i++ {
+		got := m[i][0]*x[0] + m[i][1]*x[1] + m[i][2]*x[2]
+		if math.Abs(got-b[i]) > 1e-9 {
+			t.Fatalf("row %d residual: %v vs %v", i, got, b[i])
+		}
+	}
+}
+
+func TestSolve3Singular(t *testing.T) {
+	m := [3][3]float64{{1, 2, 3}, {2, 4, 6}, {1, 1, 1}} // rows 1,2 dependent
+	if _, ok := solve3(m, [3]float64{1, 2, 3}); ok {
+		t.Fatal("singular system should fail")
+	}
+}
+
+func TestClampInt(t *testing.T) {
+	if clampInt(5, 1, 10) != 5 || clampInt(-1, 1, 10) != 1 || clampInt(99, 1, 10) != 10 {
+		t.Fatal("clampInt wrong")
+	}
+}

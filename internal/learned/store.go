@@ -1,0 +1,132 @@
+package learned
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"cleo/internal/ml"
+	"cleo/internal/ml/dtree"
+	"cleo/internal/ml/elasticnet"
+	"cleo/internal/ml/fasttree"
+	"cleo/internal/plan"
+)
+
+// The serialized model format (Section 5.1: models are serialized and fed
+// back to the optimizer, served from a file or a model service).
+
+type storedNet struct {
+	Weights   []float64 `json:"w"`
+	Intercept float64   `json:"b"`
+	Loss      int       `json:"loss"`
+	ClampLo   float64   `json:"lo,omitempty"`
+	ClampHi   float64   `json:"hi,omitempty"`
+}
+
+type storedFamily struct {
+	Family int                           `json:"family"`
+	Models map[plan.Signature]*storedNet `json:"models"`
+}
+
+type storedCombined struct {
+	Base         float64            `json:"base"`
+	LearningRate float64            `json:"lr"`
+	Loss         int                `json:"loss"`
+	Trees        [][]dtree.NodeSpec `json:"trees"`
+}
+
+type storedPredictor struct {
+	Version  int             `json:"version"`
+	Families []*storedFamily `json:"families"`
+	Combined *storedCombined `json:"combined,omitempty"`
+}
+
+// Save serializes the predictor as JSON to w.
+func (pr *Predictor) Save(w io.Writer) error {
+	sp := &storedPredictor{Version: 1}
+	for fam := 0; fam < NumFamilies; fam++ {
+		fm := pr.Families[fam]
+		if fm == nil {
+			sp.Families = append(sp.Families, nil)
+			continue
+		}
+		sf := &storedFamily{Family: fam, Models: map[plan.Signature]*storedNet{}}
+		for sig, m := range fm.Models {
+			sf.Models[sig] = &storedNet{Weights: m.Weights, Intercept: m.Intercept, Loss: int(m.Loss), ClampLo: m.ClampLo, ClampHi: m.ClampHi}
+		}
+		sp.Families = append(sp.Families, sf)
+	}
+	if pr.Combined != nil {
+		sc := &storedCombined{
+			Base:         pr.Combined.Base,
+			LearningRate: pr.Combined.LearningRate,
+			Loss:         int(pr.Combined.Loss),
+		}
+		for _, t := range pr.Combined.Trees {
+			sc.Trees = append(sc.Trees, t.Export())
+		}
+		sp.Combined = sc
+	}
+	return json.NewEncoder(w).Encode(sp)
+}
+
+// Load deserializes a predictor previously written by Save.
+func Load(r io.Reader) (*Predictor, error) {
+	var sp storedPredictor
+	if err := json.NewDecoder(r).Decode(&sp); err != nil {
+		return nil, fmt.Errorf("learned: decode model store: %w", err)
+	}
+	if sp.Version != 1 {
+		return nil, fmt.Errorf("learned: unsupported model store version %d", sp.Version)
+	}
+	pr := &Predictor{}
+	for _, sf := range sp.Families {
+		if sf == nil {
+			continue
+		}
+		if sf.Family < 0 || sf.Family >= NumFamilies {
+			return nil, fmt.Errorf("learned: bad family id %d", sf.Family)
+		}
+		fm := &FamilyModels{Family: Family(sf.Family), Models: map[plan.Signature]*elasticnet.Model{}}
+		for sig, sn := range sf.Models {
+			fm.Models[sig] = &elasticnet.Model{Weights: sn.Weights, Intercept: sn.Intercept, Loss: ml.Loss(sn.Loss), ClampLo: sn.ClampLo, ClampHi: sn.ClampHi}
+		}
+		pr.Families[sf.Family] = fm
+	}
+	if sp.Combined != nil {
+		m := &fasttree.Model{
+			Base:         sp.Combined.Base,
+			LearningRate: sp.Combined.LearningRate,
+			Loss:         ml.Loss(sp.Combined.Loss),
+		}
+		for _, t := range sp.Combined.Trees {
+			m.Trees = append(m.Trees, dtree.FromSpec(t, m.Loss))
+		}
+		pr.Combined = m
+	}
+	return pr, nil
+}
+
+// SaveFile writes the model store to path.
+func (pr *Predictor) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := pr.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a model store from path.
+func LoadFile(path string) (*Predictor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,95 @@
+package learned
+
+import (
+	"fmt"
+	"sync"
+
+	"cleo/internal/telemetry"
+)
+
+// TrainConfig controls the full feedback-loop training pass.
+type TrainConfig struct {
+	// Family configures the individual elastic-net models.
+	Family FamilyConfig
+	// Combined configures the meta-ensemble.
+	Combined CombinedConfig
+	// MetaFraction is the tail fraction of the training records held out
+	// to fit the combiner (the paper trains individual models on earlier
+	// days and the combiner on the following day). When the caller has an
+	// explicit split, use Train with two slices instead.
+	MetaFraction float64
+}
+
+// DefaultTrainConfig returns the paper's settings.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		Family:       DefaultFamilyConfig(),
+		Combined:     DefaultCombinedConfig(),
+		MetaFraction: 0.3,
+	}
+}
+
+// Train fits all four families on base records (in parallel, one goroutine
+// per family on top of per-signature parallelism) and the combined model on
+// meta records.
+func Train(base, meta []telemetry.Record, cfg TrainConfig) (*Predictor, error) {
+	if len(base) == 0 {
+		return nil, fmt.Errorf("learned: no training records")
+	}
+	pr := &Predictor{}
+	var wg sync.WaitGroup
+	for fam := 0; fam < NumFamilies; fam++ {
+		wg.Add(1)
+		go func(fam int) {
+			defer wg.Done()
+			pr.Families[fam] = TrainFamily(Family(fam), base, cfg.Family)
+		}(fam)
+	}
+	wg.Wait()
+	if len(meta) > 0 {
+		if err := pr.TrainCombined(meta, cfg.Combined); err != nil {
+			return nil, err
+		}
+	}
+	return pr, nil
+}
+
+// TrainSplit splits records chronologically per MetaFraction and trains.
+func TrainSplit(records []telemetry.Record, cfg TrainConfig) (*Predictor, error) {
+	if cfg.MetaFraction <= 0 || cfg.MetaFraction >= 1 {
+		cfg.MetaFraction = 0.3
+	}
+	cut := int(float64(len(records)) * (1 - cfg.MetaFraction))
+	if cut < 1 {
+		cut = len(records)
+	}
+	return Train(records[:cut], records[cut:], cfg)
+}
+
+// TrainByDay trains the individual families on records from days strictly
+// before metaDay and the combined model on day metaDay — the paper's
+// feedback-loop schedule (individual models on a two-day window, the
+// combiner on the following day's predictions).
+func TrainByDay(records []telemetry.Record, metaDay int, cfg TrainConfig) (*Predictor, error) {
+	var base, meta []telemetry.Record
+	for _, r := range records {
+		switch {
+		case r.Day < metaDay:
+			base = append(base, r)
+		case r.Day == metaDay:
+			meta = append(meta, r)
+		}
+	}
+	return Train(base, meta, cfg)
+}
+
+// NumModels reports the total individual-model count.
+func (pr *Predictor) NumModels() int {
+	n := 0
+	for _, f := range pr.Families {
+		if f != nil {
+			n += f.NumModels()
+		}
+	}
+	return n
+}

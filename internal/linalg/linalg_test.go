@@ -1,0 +1,162 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+	if got := Dot(nil, nil); got != 0 {
+		t.Fatalf("Dot(nil) = %v, want 0", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestAxpy(t *testing.T) {
+	y := []float64{1, 1}
+	Axpy(2, []float64{3, 4}, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Fatalf("Axpy = %v, want [7 9]", y)
+	}
+}
+
+func TestScale(t *testing.T) {
+	x := []float64{1, -2}
+	Scale(-3, x)
+	if x[0] != -3 || x[1] != 6 {
+		t.Fatalf("Scale = %v", x)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	x := []float64{3, 4}
+	if got := Norm2(x); got != 5 {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+	if got := Norm1(x); got != 7 {
+		t.Fatalf("Norm1 = %v, want 7", got)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(x); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	if got := Variance(x); got != 4 {
+		t.Fatalf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(x); got != 2 {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("degenerate inputs should report 0")
+	}
+}
+
+func TestSoftThreshold(t *testing.T) {
+	cases := []struct{ z, g, want float64 }{
+		{3, 1, 2},
+		{-3, 1, -2},
+		{0.5, 1, 0},
+		{-0.5, 1, 0},
+		{1, 1, 0},
+	}
+	for _, c := range cases {
+		if got := SoftThreshold(c.z, c.g); got != c.want {
+			t.Errorf("SoftThreshold(%v,%v) = %v, want %v", c.z, c.g, got, c.want)
+		}
+	}
+}
+
+// Property: soft-thresholding shrinks magnitude and never flips sign.
+func TestSoftThresholdProperties(t *testing.T) {
+	f := func(z, g float64) bool {
+		g = math.Abs(math.Mod(g, 1e6))
+		z = math.Mod(z, 1e6)
+		s := SoftThreshold(z, g)
+		if math.Abs(s) > math.Abs(z)+1e-12 {
+			return false
+		}
+		return s == 0 || (s > 0) == (z > 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("dims = %dx%d", m.Rows, m.Cols)
+	}
+	if m.At(1, 1) != 4 {
+		t.Fatalf("At(1,1) = %v", m.At(1, 1))
+	}
+	m.Set(1, 1, 10)
+	if m.At(1, 1) != 10 {
+		t.Fatal("Set failed")
+	}
+	col := m.Col(0)
+	if col[0] != 1 || col[1] != 3 || col[2] != 5 {
+		t.Fatalf("Col = %v", col)
+	}
+	clone := m.Clone()
+	clone.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	got := m.MulVec([]float64{1, 1})
+	if got[0] != 3 || got[1] != 7 {
+		t.Fatalf("MulVec = %v", got)
+	}
+}
+
+func TestColMeansStdDevs(t *testing.T) {
+	m := FromRows([][]float64{{1, 10}, {3, 10}})
+	means := m.ColMeans()
+	if means[0] != 2 || means[1] != 10 {
+		t.Fatalf("ColMeans = %v", means)
+	}
+	stds := m.ColStdDevs()
+	if !almostEq(stds[0], 1, 1e-12) || stds[1] != 0 {
+		t.Fatalf("ColStdDevs = %v", stds)
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {1}})
+}
+
+func TestEmptyMatrix(t *testing.T) {
+	m := FromRows(nil)
+	if m.Rows != 0 || m.Cols != 0 {
+		t.Fatalf("empty dims = %dx%d", m.Rows, m.Cols)
+	}
+	if got := m.ColMeans(); len(got) != 0 {
+		t.Fatalf("ColMeans on empty = %v", got)
+	}
+}

@@ -1,0 +1,103 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cleo/internal/linalg"
+)
+
+// FoldResult carries the evaluation of one cross-validation fold.
+type FoldResult struct {
+	Fold     int
+	Accuracy Accuracy
+}
+
+// CVResult aggregates k-fold cross-validation.
+type CVResult struct {
+	Folds []FoldResult
+	// Pooled accuracy over the concatenated out-of-fold predictions; this
+	// is what the paper's "5-fold CV median error" figures report.
+	Pooled Accuracy
+	// OutOfFold holds the out-of-fold prediction for every sample, indexed
+	// like the input rows.
+	OutOfFold []float64
+}
+
+// KFold runs k-fold cross-validation of trainer on (x, y) with the given
+// RNG driving the row shuffle. Targets are raw (untransformed); the trainer
+// is responsible for its own target transformation.
+func KFold(trainer Trainer, x *linalg.Matrix, y []float64, k int, rng *rand.Rand) (CVResult, error) {
+	if err := ValidateTrainingData(x, y); err != nil {
+		return CVResult{}, err
+	}
+	if k < 2 {
+		return CVResult{}, fmt.Errorf("ml: k-fold requires k >= 2, got %d", k)
+	}
+	n := x.Rows
+	if k > n {
+		k = n
+	}
+	perm := rng.Perm(n)
+	foldOf := make([]int, n)
+	for i, p := range perm {
+		foldOf[p] = i % k
+	}
+
+	oof := make([]float64, n)
+	res := CVResult{OutOfFold: oof}
+	for fold := 0; fold < k; fold++ {
+		var trainRows, testRows []int
+		for i := 0; i < n; i++ {
+			if foldOf[i] == fold {
+				testRows = append(testRows, i)
+			} else {
+				trainRows = append(trainRows, i)
+			}
+		}
+		if len(testRows) == 0 || len(trainRows) == 0 {
+			continue
+		}
+		trX, trY := subset(x, y, trainRows)
+		model, err := trainer.Fit(trX, trY)
+		if err != nil {
+			return CVResult{}, fmt.Errorf("ml: fold %d: %w", fold, err)
+		}
+		var p, a []float64
+		for _, r := range testRows {
+			pred := model.Predict(x.Row(r))
+			oof[r] = pred
+			p = append(p, pred)
+			a = append(a, y[r])
+		}
+		res.Folds = append(res.Folds, FoldResult{Fold: fold, Accuracy: Evaluate(p, a)})
+	}
+	res.Pooled = Evaluate(oof, y)
+	return res, nil
+}
+
+func subset(x *linalg.Matrix, y []float64, rows []int) (*linalg.Matrix, []float64) {
+	sx := linalg.NewMatrix(len(rows), x.Cols)
+	sy := make([]float64, len(rows))
+	for i, r := range rows {
+		copy(sx.Row(i), x.Row(r))
+		sy[i] = y[r]
+	}
+	return sx, sy
+}
+
+// TrainTestSplit partitions rows into train and test sets with testFraction
+// of rows in the test set, shuffled by rng.
+func TrainTestSplit(x *linalg.Matrix, y []float64, testFraction float64, rng *rand.Rand) (trX *linalg.Matrix, trY []float64, teX *linalg.Matrix, teY []float64) {
+	n := x.Rows
+	perm := rng.Perm(n)
+	nTest := int(float64(n) * testFraction)
+	if nTest < 1 && n > 1 {
+		nTest = 1
+	}
+	testRows := perm[:nTest]
+	trainRows := perm[nTest:]
+	trX, trY = subset(x, y, trainRows)
+	teX, teY = subset(x, y, testRows)
+	return trX, trY, teX, teY
+}

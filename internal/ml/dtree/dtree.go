@@ -1,0 +1,281 @@
+// Package dtree implements a CART regression tree with variance-reduction
+// splitting. The paper evaluates a depth-15 decision tree on the individual
+// cost models (Section 3.4) and uses shallow (depth-5) trees inside the
+// random-forest and FastTree ensembles.
+package dtree
+
+import (
+	"sort"
+
+	"cleo/internal/linalg"
+	"cleo/internal/ml"
+)
+
+// Config controls tree growth.
+type Config struct {
+	// MaxDepth bounds tree depth; the root is depth 0. Paper: 15 for the
+	// standalone tree, 5 inside ensembles.
+	MaxDepth int
+	// MinSamplesLeaf is the minimum sample count in a leaf.
+	MinSamplesLeaf int
+	// MinVariance stops splitting nodes whose target variance falls below
+	// this threshold.
+	MinVariance float64
+	// MaxFeatures, when >0, restricts each split to a random subset of
+	// this many features (used by random forests). Feature subsets are
+	// chosen by the FeaturePicker, injected so the tree itself stays
+	// deterministic.
+	MaxFeatures int
+	// FeaturePicker returns the feature indices to consider at one split.
+	// nil means "all features".
+	FeaturePicker func(numFeatures int) []int
+	// Loss selects the target transformation (paper: MSLE).
+	Loss ml.Loss
+}
+
+// DefaultConfig returns the paper's standalone-tree settings.
+func DefaultConfig() Config {
+	return Config{MaxDepth: 15, MinSamplesLeaf: 2, MinVariance: 1e-12, Loss: ml.MSLE}
+}
+
+// node is one tree node; leaves have feature == -1.
+type node struct {
+	feature     int
+	threshold   float64
+	left, right int32 // child indices into Model.nodes
+	value       float64
+}
+
+// Model is a fitted regression tree stored as a flat node slice.
+type Model struct {
+	nodes []node
+	Loss  ml.Loss
+	depth int
+}
+
+// Predict implements ml.Regressor.
+func (m *Model) Predict(features []float64) float64 {
+	idx := int32(0)
+	for {
+		n := &m.nodes[idx]
+		if n.feature < 0 {
+			return m.Loss.InverseTarget(n.value)
+		}
+		v := 0.0
+		if n.feature < len(features) {
+			v = features[n.feature]
+		}
+		if v <= n.threshold {
+			idx = n.left
+		} else {
+			idx = n.right
+		}
+	}
+}
+
+// PredictTransformed returns the leaf value in the transformed target space,
+// used by gradient boosting where residuals live in log space.
+func (m *Model) PredictTransformed(features []float64) float64 {
+	idx := int32(0)
+	for {
+		n := &m.nodes[idx]
+		if n.feature < 0 {
+			return n.value
+		}
+		v := 0.0
+		if n.feature < len(features) {
+			v = features[n.feature]
+		}
+		if v <= n.threshold {
+			idx = n.left
+		} else {
+			idx = n.right
+		}
+	}
+}
+
+// Depth reports the fitted tree's depth.
+func (m *Model) Depth() int { return m.depth }
+
+// NumNodes reports the node count.
+func (m *Model) NumNodes() int { return len(m.nodes) }
+
+// Trainer fits Models with a fixed Config.
+type Trainer struct{ Config Config }
+
+// New returns a Trainer with the given config.
+func New(cfg Config) *Trainer { return &Trainer{Config: cfg} }
+
+// Fit implements ml.Trainer.
+func (t *Trainer) Fit(x *linalg.Matrix, y []float64) (ml.Regressor, error) {
+	m, err := t.FitModel(x, y)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// FitModel trains on raw targets, transforming them per the configured loss.
+func (t *Trainer) FitModel(x *linalg.Matrix, y []float64) (*Model, error) {
+	if err := ml.ValidateTrainingData(x, y); err != nil {
+		return nil, err
+	}
+	ty := t.Config.Loss.TransformAll(y)
+	rows := make([]int, x.Rows)
+	for i := range rows {
+		rows[i] = i
+	}
+	return t.FitTransformed(x, ty, rows)
+}
+
+// FitTransformed grows a tree directly on already-transformed targets over
+// the given row subset. Gradient boosting calls this with residuals.
+func (t *Trainer) FitTransformed(x *linalg.Matrix, ty []float64, rows []int) (*Model, error) {
+	if x == nil || len(rows) == 0 {
+		return nil, ml.ErrNoData
+	}
+	cfg := t.Config
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 15
+	}
+	if cfg.MinSamplesLeaf <= 0 {
+		cfg.MinSamplesLeaf = 1
+	}
+	m := &Model{Loss: cfg.Loss}
+	b := &builder{x: x, y: ty, cfg: cfg, model: m}
+	local := append([]int(nil), rows...)
+	b.grow(local, 0)
+	return m, nil
+}
+
+type builder struct {
+	x     *linalg.Matrix
+	y     []float64
+	cfg   Config
+	model *Model
+}
+
+// grow recursively builds the subtree over rows and returns its node index.
+func (b *builder) grow(rows []int, depth int) int32 {
+	if depth > b.model.depth {
+		b.model.depth = depth
+	}
+	mean, variance := meanVar(b.y, rows)
+	idx := int32(len(b.model.nodes))
+	b.model.nodes = append(b.model.nodes, node{feature: -1, value: mean})
+
+	if depth >= b.cfg.MaxDepth || len(rows) < 2*b.cfg.MinSamplesLeaf || variance <= b.cfg.MinVariance {
+		return idx
+	}
+	feat, thresh, gain := b.bestSplit(rows, variance)
+	if gain <= 0 {
+		return idx
+	}
+	var left, right []int
+	for _, r := range rows {
+		if b.x.At(r, feat) <= thresh {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+	if len(left) < b.cfg.MinSamplesLeaf || len(right) < b.cfg.MinSamplesLeaf {
+		return idx
+	}
+	l := b.grow(left, depth+1)
+	r := b.grow(right, depth+1)
+	n := &b.model.nodes[idx]
+	n.feature = feat
+	n.threshold = thresh
+	n.left = l
+	n.right = r
+	return idx
+}
+
+// bestSplit scans candidate features for the variance-minimizing threshold.
+func (b *builder) bestSplit(rows []int, parentVar float64) (feature int, threshold, gain float64) {
+	feats := b.candidateFeatures()
+	bestGain := 0.0
+	bestFeat := -1
+	bestThresh := 0.0
+	n := float64(len(rows))
+
+	vals := make([]float64, len(rows))
+	targets := make([]float64, len(rows))
+	order := make([]int, len(rows))
+
+	for _, f := range feats {
+		for i, r := range rows {
+			vals[i] = b.x.At(r, f)
+			targets[i] = b.y[r]
+			order[i] = i
+		}
+		sort.Slice(order, func(a, c int) bool { return vals[order[a]] < vals[order[c]] })
+
+		// Prefix sums over the sorted order for O(n) threshold scan.
+		var sumL, sumSqL float64
+		var sumR, sumSqR float64
+		for i := range order {
+			v := targets[order[i]]
+			sumR += v
+			sumSqR += v * v
+		}
+		for i := 0; i < len(order)-1; i++ {
+			v := targets[order[i]]
+			sumL += v
+			sumSqL += v * v
+			sumR -= v
+			sumSqR -= v * v
+			// Can't split between equal feature values.
+			cur, next := vals[order[i]], vals[order[i+1]]
+			if cur == next {
+				continue
+			}
+			nl := float64(i + 1)
+			nr := n - nl
+			if int(nl) < b.cfg.MinSamplesLeaf || int(nr) < b.cfg.MinSamplesLeaf {
+				continue
+			}
+			varL := sumSqL/nl - (sumL/nl)*(sumL/nl)
+			varR := sumSqR/nr - (sumR/nr)*(sumR/nr)
+			childVar := (nl*varL + nr*varR) / n
+			g := parentVar - childVar
+			if g > bestGain {
+				bestGain = g
+				bestFeat = f
+				bestThresh = (cur + next) / 2
+			}
+		}
+	}
+	return bestFeat, bestThresh, bestGain
+}
+
+func (b *builder) candidateFeatures() []int {
+	p := b.x.Cols
+	if b.cfg.MaxFeatures > 0 && b.cfg.MaxFeatures < p && b.cfg.FeaturePicker != nil {
+		return b.cfg.FeaturePicker(p)
+	}
+	feats := make([]int, p)
+	for i := range feats {
+		feats[i] = i
+	}
+	return feats
+}
+
+func meanVar(y []float64, rows []int) (mean, variance float64) {
+	if len(rows) == 0 {
+		return 0, 0
+	}
+	var s, sq float64
+	for _, r := range rows {
+		s += y[r]
+		sq += y[r] * y[r]
+	}
+	n := float64(len(rows))
+	mean = s / n
+	variance = sq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, variance
+}

@@ -1,0 +1,140 @@
+package dtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cleo/internal/linalg"
+	"cleo/internal/ml"
+)
+
+func TestFitsStepFunction(t *testing.T) {
+	n := 200
+	x := linalg.NewMatrix(n, 1)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := float64(i) / float64(n)
+		x.Set(i, 0, v)
+		if v < 0.5 {
+			y[i] = 10
+		} else {
+			y[i] = 100
+		}
+	}
+	m, err := New(DefaultConfig()).FitModel(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{0.2}); math.Abs(got-10) > 0.5 {
+		t.Fatalf("Predict(0.2) = %v, want ~10", got)
+	}
+	if got := m.Predict([]float64{0.8}); math.Abs(got-100) > 2 {
+		t.Fatalf("Predict(0.8) = %v, want ~100", got)
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 500
+	x := linalg.NewMatrix(n, 2)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, rng.Float64())
+		x.Set(i, 1, rng.Float64())
+		y[i] = rng.Float64() * 100
+	}
+	cfg := DefaultConfig()
+	cfg.MaxDepth = 3
+	m, err := New(cfg).FitModel(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Depth() > 3 {
+		t.Fatalf("depth = %d, want <= 3", m.Depth())
+	}
+}
+
+func TestConstantTargetSingleLeaf(t *testing.T) {
+	n := 50
+	x := linalg.NewMatrix(n, 1)
+	y := make([]float64, n)
+	for i := range y {
+		x.Set(i, 0, float64(i))
+		y[i] = 42
+	}
+	m, err := New(DefaultConfig()).FitModel(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumNodes() != 1 {
+		t.Fatalf("nodes = %d, want 1 (no split on constant target)", m.NumNodes())
+	}
+	if got := m.Predict([]float64{3}); math.Abs(got-42) > 1e-6 {
+		t.Fatalf("Predict = %v, want 42", got)
+	}
+}
+
+func TestMinSamplesLeaf(t *testing.T) {
+	n := 10
+	x := linalg.NewMatrix(n, 1)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, float64(i))
+		y[i] = float64(i * i)
+	}
+	cfg := DefaultConfig()
+	cfg.MinSamplesLeaf = 6 // cannot split 10 rows into two >=6 leaves
+	m, err := New(cfg).FitModel(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumNodes() != 1 {
+		t.Fatalf("nodes = %d, want 1", m.NumNodes())
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	tr := New(DefaultConfig())
+	if _, err := tr.FitModel(nil, nil); err != ml.ErrNoData {
+		t.Fatalf("nil: %v", err)
+	}
+	if _, err := tr.FitTransformed(linalg.NewMatrix(1, 1), []float64{1}, nil); err != ml.ErrNoData {
+		t.Fatalf("empty rows: %v", err)
+	}
+}
+
+func TestPredictTransformedMatchesLeafValue(t *testing.T) {
+	n := 100
+	x := linalg.NewMatrix(n, 1)
+	ty := make([]float64, n)
+	rows := make([]int, n)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, float64(i))
+		ty[i] = -5.0 // residuals can be negative in boosting
+		rows[i] = i
+	}
+	m, err := New(DefaultConfig()).FitTransformed(x, ty, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.PredictTransformed([]float64{50}); math.Abs(got+5) > 1e-9 {
+		t.Fatalf("PredictTransformed = %v, want -5", got)
+	}
+}
+
+func TestShortFeatureVectorDoesNotPanic(t *testing.T) {
+	n := 60
+	x := linalg.NewMatrix(n, 2)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, float64(i%2))
+		x.Set(i, 1, float64(i))
+		y[i] = float64(i)
+	}
+	m, err := New(DefaultConfig()).FitModel(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = m.Predict([]float64{1}) // fewer features than trained with
+}

@@ -1,0 +1,31 @@
+package dtree
+
+import "cleo/internal/ml"
+
+// NodeSpec is the serializable form of one tree node. Feature < 0 marks a
+// leaf with Value as its prediction (in the transformed target space).
+type NodeSpec struct {
+	Feature   int     `json:"f"`
+	Threshold float64 `json:"t,omitempty"`
+	Left      int32   `json:"l,omitempty"`
+	Right     int32   `json:"r,omitempty"`
+	Value     float64 `json:"v"`
+}
+
+// Export renders the tree for serialization.
+func (m *Model) Export() []NodeSpec {
+	out := make([]NodeSpec, len(m.nodes))
+	for i, n := range m.nodes {
+		out[i] = NodeSpec{Feature: n.feature, Threshold: n.threshold, Left: n.left, Right: n.right, Value: n.value}
+	}
+	return out
+}
+
+// FromSpec rebuilds a tree from its serialized form.
+func FromSpec(nodes []NodeSpec, loss ml.Loss) *Model {
+	m := &Model{Loss: loss, nodes: make([]node, len(nodes))}
+	for i, n := range nodes {
+		m.nodes[i] = node{feature: n.Feature, threshold: n.Threshold, left: n.Left, right: n.Right, value: n.Value}
+	}
+	return m
+}

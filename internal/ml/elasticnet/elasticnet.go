@@ -1,0 +1,224 @@
+// Package elasticnet implements L1+L2 regularized linear regression fitted
+// by cyclic coordinate descent, the learner the paper selects for all four
+// individual cost models (Section 3.4: alpha=1.0, l1_ratio=0.5, fit
+// intercept). Features are standardized internally and the target is fitted
+// in the loss's transformed space (log1p for MSLE), so predictions are
+// always non-negative latencies.
+package elasticnet
+
+import (
+	"math"
+
+	"cleo/internal/linalg"
+	"cleo/internal/ml"
+)
+
+// Config mirrors the scikit-learn/paper hyper-parameters.
+type Config struct {
+	// Alpha is the overall regularization strength (paper: 1.0).
+	Alpha float64
+	// L1Ratio balances L1 vs L2 (paper: 0.5). 1 is lasso, 0 is ridge.
+	L1Ratio float64
+	// FitIntercept enables the bias term (paper: true).
+	FitIntercept bool
+	// MaxIter bounds coordinate-descent sweeps.
+	MaxIter int
+	// Tol stops iteration when the max coefficient update falls below it.
+	Tol float64
+	// Loss selects the target transformation (paper: MSLE).
+	Loss ml.Loss
+}
+
+// DefaultConfig returns the paper's settings.
+func DefaultConfig() Config {
+	return Config{
+		Alpha:        1.0,
+		L1Ratio:      0.5,
+		FitIntercept: true,
+		MaxIter:      300,
+		Tol:          1e-5,
+		Loss:         ml.MSLE,
+	}
+}
+
+// Model is a fitted elastic net. Weights are expressed in the original
+// (unstandardized) feature space so Predict is a plain dot product.
+//
+// Predictions are clamped to a widened envelope of the training targets
+// (ClampLo, ClampHi): linear models in log-target space otherwise
+// extrapolate explosively on feature vectors far outside the training
+// distribution — exactly what happens when the optimizer prices candidate
+// plan shapes never executed before.
+type Model struct {
+	Weights   []float64 // per original feature
+	Intercept float64
+	Loss      ml.Loss
+	// ClampLo/ClampHi bound predictions; both zero disables clamping.
+	ClampLo float64
+	ClampHi float64
+}
+
+// Predict implements ml.Regressor.
+func (m *Model) Predict(features []float64) float64 {
+	z := m.Intercept
+	n := len(m.Weights)
+	if len(features) < n {
+		n = len(features)
+	}
+	for j := 0; j < n; j++ {
+		z += m.Weights[j] * features[j]
+	}
+	out := m.Loss.InverseTarget(z)
+	if m.ClampHi > 0 {
+		if out < m.ClampLo {
+			out = m.ClampLo
+		}
+		if out > m.ClampHi {
+			out = m.ClampHi
+		}
+	}
+	return out
+}
+
+// NonZeroWeights returns the count of non-zero coefficients; elastic net's
+// automatic feature selection (Section 3.4) shows up here.
+func (m *Model) NonZeroWeights() int {
+	n := 0
+	for _, w := range m.Weights {
+		if w != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Trainer fits Models with a fixed Config.
+type Trainer struct{ Config Config }
+
+// New returns a Trainer with the given config.
+func New(cfg Config) *Trainer { return &Trainer{Config: cfg} }
+
+// Fit implements ml.Trainer.
+func (t *Trainer) Fit(x *linalg.Matrix, y []float64) (ml.Regressor, error) {
+	m, err := t.FitModel(x, y)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// FitModel trains and returns the concrete *Model.
+func (t *Trainer) FitModel(x *linalg.Matrix, y []float64) (*Model, error) {
+	if err := ml.ValidateTrainingData(x, y); err != nil {
+		return nil, err
+	}
+	cfg := t.Config
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 300
+	}
+	if cfg.Tol <= 0 {
+		cfg.Tol = 1e-5
+	}
+
+	n, p := x.Rows, x.Cols
+	ty := cfg.Loss.TransformAll(y)
+
+	// Standardize features; constant columns get weight 0.
+	means := x.ColMeans()
+	stds := x.ColStdDevs()
+	xs := linalg.NewMatrix(n, p)
+	for i := 0; i < n; i++ {
+		src := x.Row(i)
+		dst := xs.Row(i)
+		for j := 0; j < p; j++ {
+			if stds[j] > 0 {
+				dst[j] = (src[j] - means[j]) / stds[j]
+			}
+		}
+	}
+	// Standardize the target as well, so the regularization strength is
+	// scale-free: transformed latencies of one subgraph template often
+	// span less than one log-unit, and an absolute-scale penalty would
+	// zero every coefficient.
+	yMean := 0.0
+	if cfg.FitIntercept {
+		yMean = linalg.Mean(ty)
+	}
+	yStd := linalg.StdDev(ty)
+	if yStd <= 0 {
+		yStd = 1
+	}
+	resid := make([]float64, n) // residual = (y - yMean)/yStd - Xs·w
+	for i := range resid {
+		resid[i] = (ty[i] - yMean) / yStd
+	}
+
+	w := make([]float64, p)
+	// Precompute per-column squared norms (constant since standardized,
+	// but cheap insurance against zero-variance columns).
+	colSq := make([]float64, p)
+	for j := 0; j < p; j++ {
+		for i := 0; i < n; i++ {
+			v := xs.At(i, j)
+			colSq[j] += v * v
+		}
+	}
+	l1 := cfg.Alpha * cfg.L1Ratio * float64(n)
+	l2 := cfg.Alpha * (1 - cfg.L1Ratio) * float64(n)
+
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		maxDelta := 0.0
+		for j := 0; j < p; j++ {
+			if colSq[j] == 0 {
+				continue
+			}
+			// rho = X_j · (resid + X_j*w_j)
+			var rho float64
+			for i := 0; i < n; i++ {
+				rho += xs.At(i, j) * resid[i]
+			}
+			rho += colSq[j] * w[j]
+			newW := linalg.SoftThreshold(rho, l1) / (colSq[j] + l2)
+			delta := newW - w[j]
+			if delta != 0 {
+				for i := 0; i < n; i++ {
+					resid[i] -= delta * xs.At(i, j)
+				}
+				w[j] = newW
+				if ad := math.Abs(delta); ad > maxDelta {
+					maxDelta = ad
+				}
+			}
+		}
+		if maxDelta < cfg.Tol {
+			break
+		}
+	}
+
+	// Fold feature and target standardization back into original-space
+	// weights.
+	outW := make([]float64, p)
+	intercept := yMean
+	for j := 0; j < p; j++ {
+		if stds[j] > 0 {
+			outW[j] = w[j] * yStd / stds[j]
+			intercept -= w[j] * yStd * means[j] / stds[j]
+		}
+	}
+	lo, hi := y[0], y[0]
+	for _, v := range y {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return &Model{
+		Weights:   outW,
+		Intercept: intercept,
+		Loss:      cfg.Loss,
+		ClampLo:   lo / 8,
+		ClampHi:   hi*8 + 1e-9,
+	}, nil
+}

@@ -1,0 +1,170 @@
+package elasticnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cleo/internal/linalg"
+	"cleo/internal/ml"
+)
+
+// fitOn builds a simple synthetic regression problem in log space:
+// y = exp(w·x + b) - 1, which MSLE-space elastic net can fit exactly.
+func synth(n int, rng *rand.Rand) (*linalg.Matrix, []float64) {
+	x := linalg.NewMatrix(n, 3)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a := rng.Float64() * 5
+		b := rng.Float64() * 5
+		c := rng.Float64() * 5
+		x.Set(i, 0, a)
+		x.Set(i, 1, b)
+		x.Set(i, 2, c)
+		y[i] = math.Expm1(0.8*a + 0.3*b + 0.1)
+	}
+	return x, y
+}
+
+func TestFitRecoversSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := synth(400, rng)
+	cfg := DefaultConfig()
+	cfg.Alpha = 0.001 // light regularization to recover the signal
+	m, err := New(cfg).FitModel(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := make([]float64, x.Rows)
+	for i := range preds {
+		preds[i] = m.Predict(x.Row(i))
+	}
+	acc := ml.Evaluate(preds, y)
+	if acc.MedianErr > 0.05 {
+		t.Fatalf("median error %v too high", acc.MedianErr)
+	}
+	if acc.Pearson < 0.98 {
+		t.Fatalf("pearson %v too low", acc.Pearson)
+	}
+}
+
+func TestPredictionsNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, y := synth(100, rng)
+	m, err := New(DefaultConfig()).FitModel(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{-100, -100, -100}
+	if got := m.Predict(probe); got < 0 {
+		t.Fatalf("MSLE-space prediction %v is negative", got)
+	}
+}
+
+func TestRegularizationSparsifies(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// 10 features, only the first matters.
+	n := 200
+	x := linalg.NewMatrix(n, 10)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < 10; j++ {
+			x.Set(i, j, rng.Float64())
+		}
+		y[i] = math.Expm1(3 * x.At(i, 0))
+	}
+	light := DefaultConfig()
+	light.Alpha = 0.0001
+	heavy := DefaultConfig()
+	heavy.Alpha = 0.5
+
+	mLight, err := New(light).FitModel(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mHeavy, err := New(heavy).FitModel(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mHeavy.NonZeroWeights() > mLight.NonZeroWeights() {
+		t.Fatalf("heavier L1 kept more weights: %d > %d",
+			mHeavy.NonZeroWeights(), mLight.NonZeroWeights())
+	}
+}
+
+func TestConstantColumnGetsZeroWeight(t *testing.T) {
+	n := 50
+	x := linalg.NewMatrix(n, 2)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, float64(i))
+		x.Set(i, 1, 7) // constant
+		y[i] = float64(i)
+	}
+	m, err := New(DefaultConfig()).FitModel(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Weights[1] != 0 {
+		t.Fatalf("constant column weight = %v, want 0", m.Weights[1])
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	tr := New(DefaultConfig())
+	if _, err := tr.FitModel(nil, nil); err != ml.ErrNoData {
+		t.Fatalf("nil data: %v", err)
+	}
+	if _, err := tr.FitModel(linalg.NewMatrix(2, 1), []float64{1}); err != ml.ErrDimMismatch {
+		t.Fatalf("mismatch: %v", err)
+	}
+}
+
+func TestPredictShortFeatureVector(t *testing.T) {
+	m := &Model{Weights: []float64{1, 2, 3}, Intercept: 0, Loss: ml.MSE}
+	// Shorter feature vector: missing features treated as absent.
+	if got := m.Predict([]float64{1}); got != 1 {
+		t.Fatalf("short predict = %v", got)
+	}
+}
+
+func TestTrainerImplementsInterface(t *testing.T) {
+	var _ ml.Trainer = New(DefaultConfig())
+	x := linalg.NewMatrix(10, 1)
+	y := make([]float64, 10)
+	for i := range y {
+		x.Set(i, 0, float64(i))
+		y[i] = float64(2 * i)
+	}
+	r, err := New(DefaultConfig()).Fit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r == nil {
+		t.Fatal("nil regressor")
+	}
+}
+
+func TestMSELossMode(t *testing.T) {
+	// With MSE loss, fitting a plain linear target should be near exact.
+	n := 100
+	x := linalg.NewMatrix(n, 1)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, float64(i))
+		y[i] = 3*float64(i) + 1
+	}
+	cfg := DefaultConfig()
+	cfg.Loss = ml.MSE
+	cfg.Alpha = 1e-6
+	m, err := New(cfg).FitModel(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Weights[0]-3) > 0.05 {
+		t.Fatalf("slope = %v, want ~3", m.Weights[0])
+	}
+	if math.Abs(m.Intercept-1) > 2 {
+		t.Fatalf("intercept = %v, want ~1", m.Intercept)
+	}
+}

@@ -1,0 +1,153 @@
+// Package fasttree implements MART-style gradient-boosted regression trees
+// with stochastic subsampling — a from-scratch equivalent of the ML.NET
+// FastTree learner the paper uses as its meta-ensemble (Section 4.3:
+// 20 trees, depth 5, MSLE loss, subsampling rate 0.9).
+//
+// Each successive tree fits the residuals of the ensemble so far in the
+// transformed (log) target space, which makes squared loss there equivalent
+// to MSLE on raw targets.
+package fasttree
+
+import (
+	"math/rand"
+
+	"cleo/internal/linalg"
+	"cleo/internal/ml"
+	"cleo/internal/ml/dtree"
+)
+
+// Config mirrors the paper's FastTree hyper-parameters.
+type Config struct {
+	// NumTrees is the boosting round count (paper: 20).
+	NumTrees int
+	// MaxDepth bounds each tree (paper: 5).
+	MaxDepth int
+	// LearningRate shrinks each tree's contribution.
+	LearningRate float64
+	// SubsampleRate is the per-round row sampling fraction (paper: 0.9);
+	// sub-sampling is what makes the combined model resilient to noisy
+	// execution times (Section 4.3).
+	SubsampleRate float64
+	// MinSamplesLeaf is passed through to each tree.
+	MinSamplesLeaf int
+	// Seed drives subsampling.
+	Seed int64
+	// Loss selects the target transformation (paper: MSLE).
+	Loss ml.Loss
+}
+
+// DefaultConfig returns the paper's settings.
+func DefaultConfig() Config {
+	return Config{
+		NumTrees:       20,
+		MaxDepth:       5,
+		LearningRate:   0.2,
+		SubsampleRate:  0.9,
+		MinSamplesLeaf: 2,
+		Seed:           1,
+		Loss:           ml.MSLE,
+	}
+}
+
+// Model is a fitted boosted ensemble.
+type Model struct {
+	Base         float64 // initial prediction in transformed space
+	Trees        []*dtree.Model
+	LearningRate float64
+	Loss         ml.Loss
+}
+
+// Predict implements ml.Regressor.
+func (m *Model) Predict(features []float64) float64 {
+	z := m.Base
+	for _, t := range m.Trees {
+		z += m.LearningRate * t.PredictTransformed(features)
+	}
+	return m.Loss.InverseTarget(z)
+}
+
+// NumTrees reports the fitted round count.
+func (m *Model) NumTrees() int { return len(m.Trees) }
+
+// Trainer fits Models with a fixed Config.
+type Trainer struct{ Config Config }
+
+// New returns a Trainer with the given config.
+func New(cfg Config) *Trainer { return &Trainer{Config: cfg} }
+
+// Fit implements ml.Trainer.
+func (t *Trainer) Fit(x *linalg.Matrix, y []float64) (ml.Regressor, error) {
+	m, err := t.FitModel(x, y)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// FitModel trains the boosted ensemble.
+func (t *Trainer) FitModel(x *linalg.Matrix, y []float64) (*Model, error) {
+	if err := ml.ValidateTrainingData(x, y); err != nil {
+		return nil, err
+	}
+	cfg := t.Config
+	if cfg.NumTrees <= 0 {
+		cfg.NumTrees = 20
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 5
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 0.2
+	}
+	if cfg.SubsampleRate <= 0 || cfg.SubsampleRate > 1 {
+		cfg.SubsampleRate = 0.9
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	n := x.Rows
+	ty := cfg.Loss.TransformAll(y)
+	base := linalg.Mean(ty)
+	pred := make([]float64, n)
+	for i := range pred {
+		pred[i] = base
+	}
+	resid := make([]float64, n)
+
+	model := &Model{Base: base, LearningRate: cfg.LearningRate, Loss: cfg.Loss}
+	treeCfg := dtree.Config{
+		MaxDepth:       cfg.MaxDepth,
+		MinSamplesLeaf: cfg.MinSamplesLeaf,
+		Loss:           cfg.Loss,
+	}
+	for round := 0; round < cfg.NumTrees; round++ {
+		for i := range resid {
+			resid[i] = ty[i] - pred[i]
+		}
+		rows := sampleRows(n, cfg.SubsampleRate, rng)
+		tree, err := dtree.New(treeCfg).FitTransformed(x, resid, rows)
+		if err != nil {
+			return nil, err
+		}
+		model.Trees = append(model.Trees, tree)
+		for i := 0; i < n; i++ {
+			pred[i] += cfg.LearningRate * tree.PredictTransformed(x.Row(i))
+		}
+	}
+	return model, nil
+}
+
+// sampleRows draws a without-replacement subset of about rate*n rows.
+func sampleRows(n int, rate float64, rng *rand.Rand) []int {
+	k := int(rate * float64(n))
+	if k < 1 {
+		k = 1
+	}
+	if k >= n {
+		rows := make([]int, n)
+		for i := range rows {
+			rows[i] = i
+		}
+		return rows
+	}
+	return rng.Perm(n)[:k]
+}

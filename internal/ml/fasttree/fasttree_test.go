@@ -1,0 +1,115 @@
+package fasttree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cleo/internal/linalg"
+	"cleo/internal/ml"
+	"cleo/internal/ml/dtree"
+)
+
+func synth(n int, rng *rand.Rand) (*linalg.Matrix, []float64) {
+	x := linalg.NewMatrix(n, 3)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a, b, c := rng.Float64(), rng.Float64(), rng.Float64()
+		x.Set(i, 0, a)
+		x.Set(i, 1, b)
+		x.Set(i, 2, c)
+		y[i] = math.Expm1(2*a + b*c)
+	}
+	return x, y
+}
+
+func TestBoostingImprovesOverSingleTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	x, y := synth(500, rng)
+
+	tcfg := dtree.DefaultConfig()
+	tcfg.MaxDepth = 5
+	single, err := dtree.New(tcfg).FitModel(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boosted, err := New(DefaultConfig()).FitModel(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sAcc := ml.Evaluate(ml.PredictAll(single, x), y)
+	bAcc := ml.Evaluate(ml.PredictAll(boosted, x), y)
+	if bAcc.MedianErr >= sAcc.MedianErr {
+		t.Fatalf("boosting median err %v >= single-tree %v", bAcc.MedianErr, sAcc.MedianErr)
+	}
+}
+
+func TestNumTreesRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	x, y := synth(100, rng)
+	cfg := DefaultConfig()
+	cfg.NumTrees = 7
+	m, err := New(cfg).FitModel(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumTrees() != 7 {
+		t.Fatalf("trees = %d, want 7", m.NumTrees())
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	x, y := synth(100, rng)
+	m1, err := New(DefaultConfig()).FitModel(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := New(DefaultConfig()).FitModel(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Predict(x.Row(3)) != m2.Predict(x.Row(3)) {
+		t.Fatal("same seed produced different ensembles")
+	}
+}
+
+func TestSubsamplingUsed(t *testing.T) {
+	// With subsample < 1 and two different seeds the fits should differ.
+	rng := rand.New(rand.NewSource(24))
+	x, y := synth(200, rng)
+	cfg1 := DefaultConfig()
+	cfg1.Seed = 1
+	cfg2 := DefaultConfig()
+	cfg2.Seed = 2
+	m1, _ := New(cfg1).FitModel(x, y)
+	m2, _ := New(cfg2).FitModel(x, y)
+	diff := false
+	for i := 0; i < x.Rows && !diff; i++ {
+		if m1.Predict(x.Row(i)) != m2.Predict(x.Row(i)) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical subsampled ensembles")
+	}
+}
+
+func TestPredictionsNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	x, y := synth(100, rng)
+	m, err := New(DefaultConfig()).FitModel(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{-10, -10, -10}); got < 0 {
+		t.Fatalf("prediction %v < 0 under MSLE", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := New(DefaultConfig()).FitModel(nil, nil); err != ml.ErrNoData {
+		t.Fatalf("nil: %v", err)
+	}
+}

@@ -1,0 +1,122 @@
+// Package forest implements a random-forest regressor: bootstrap-aggregated
+// CART trees with per-split feature subsampling. The paper's configuration
+// (Section 3.4) is 20 trees of depth 5.
+package forest
+
+import (
+	"math"
+	"math/rand"
+
+	"cleo/internal/linalg"
+	"cleo/internal/ml"
+	"cleo/internal/ml/dtree"
+)
+
+// Config controls the ensemble.
+type Config struct {
+	// NumTrees is the ensemble size (paper: 20).
+	NumTrees int
+	// MaxDepth bounds each tree (paper: 5).
+	MaxDepth int
+	// MinSamplesLeaf is passed through to each tree.
+	MinSamplesLeaf int
+	// MaxFeaturesFrac is the fraction of features considered per split;
+	// <=0 uses the sqrt(p) heuristic.
+	MaxFeaturesFrac float64
+	// Seed drives bootstrap sampling and feature subsets.
+	Seed int64
+	// Loss selects the target transformation (paper: MSLE).
+	Loss ml.Loss
+}
+
+// DefaultConfig returns the paper's settings.
+func DefaultConfig() Config {
+	return Config{NumTrees: 20, MaxDepth: 5, MinSamplesLeaf: 2, Seed: 1, Loss: ml.MSLE}
+}
+
+// Model is a fitted forest; predictions average trees in the transformed
+// target space then invert the transformation.
+type Model struct {
+	Trees []*dtree.Model
+	Loss  ml.Loss
+}
+
+// Predict implements ml.Regressor.
+func (m *Model) Predict(features []float64) float64 {
+	if len(m.Trees) == 0 {
+		return 0
+	}
+	var s float64
+	for _, t := range m.Trees {
+		s += t.PredictTransformed(features)
+	}
+	return m.Loss.InverseTarget(s / float64(len(m.Trees)))
+}
+
+// Trainer fits Models with a fixed Config.
+type Trainer struct{ Config Config }
+
+// New returns a Trainer with the given config.
+func New(cfg Config) *Trainer { return &Trainer{Config: cfg} }
+
+// Fit implements ml.Trainer.
+func (t *Trainer) Fit(x *linalg.Matrix, y []float64) (ml.Regressor, error) {
+	m, err := t.FitModel(x, y)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// FitModel trains the forest.
+func (t *Trainer) FitModel(x *linalg.Matrix, y []float64) (*Model, error) {
+	if err := ml.ValidateTrainingData(x, y); err != nil {
+		return nil, err
+	}
+	cfg := t.Config
+	if cfg.NumTrees <= 0 {
+		cfg.NumTrees = 20
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 5
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ty := cfg.Loss.TransformAll(y)
+	n := x.Rows
+
+	maxFeatures := int(cfg.MaxFeaturesFrac * float64(x.Cols))
+	if cfg.MaxFeaturesFrac <= 0 {
+		maxFeatures = int(math.Ceil(math.Sqrt(float64(x.Cols))))
+	}
+	if maxFeatures < 1 {
+		maxFeatures = 1
+	}
+	if maxFeatures > x.Cols {
+		maxFeatures = x.Cols
+	}
+
+	model := &Model{Loss: cfg.Loss}
+	for k := 0; k < cfg.NumTrees; k++ {
+		// Bootstrap sample with replacement.
+		rows := make([]int, n)
+		for i := range rows {
+			rows[i] = rng.Intn(n)
+		}
+		treeRng := rand.New(rand.NewSource(rng.Int63()))
+		tcfg := dtree.Config{
+			MaxDepth:       cfg.MaxDepth,
+			MinSamplesLeaf: cfg.MinSamplesLeaf,
+			MaxFeatures:    maxFeatures,
+			FeaturePicker: func(p int) []int {
+				return treeRng.Perm(p)[:maxFeatures]
+			},
+			Loss: cfg.Loss,
+		}
+		tree, err := dtree.New(tcfg).FitTransformed(x, ty, rows)
+		if err != nil {
+			return nil, err
+		}
+		model.Trees = append(model.Trees, tree)
+	}
+	return model, nil
+}

@@ -1,0 +1,72 @@
+package forest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cleo/internal/linalg"
+	"cleo/internal/ml"
+)
+
+func friedman(n int, rng *rand.Rand) (*linalg.Matrix, []float64) {
+	x := linalg.NewMatrix(n, 5)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < 5; j++ {
+			x.Set(i, j, rng.Float64())
+		}
+		y[i] = 10*math.Sin(math.Pi*x.At(i, 0)*x.At(i, 1)) +
+			20*math.Pow(x.At(i, 2)-0.5, 2) + 10*x.At(i, 3) + 5*x.At(i, 4) + 10
+	}
+	return x, y
+}
+
+func TestForestBeatsMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x, y := friedman(400, rng)
+	m, err := New(DefaultConfig()).FitModel(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := ml.PredictAll(m, x)
+	acc := ml.Evaluate(preds, y)
+	if acc.Pearson < 0.7 {
+		t.Fatalf("forest pearson = %v, want > 0.7", acc.Pearson)
+	}
+	if len(m.Trees) != 20 {
+		t.Fatalf("trees = %d, want 20", len(m.Trees))
+	}
+}
+
+func TestForestDeterministicWithSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	x, y := friedman(100, rng)
+	cfg := DefaultConfig()
+	cfg.Seed = 99
+	m1, err := New(cfg).FitModel(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := New(cfg).FitModel(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := x.Row(0)
+	if m1.Predict(probe) != m2.Predict(probe) {
+		t.Fatal("same seed produced different forests")
+	}
+}
+
+func TestForestEmptyModelPredictsZero(t *testing.T) {
+	m := &Model{Loss: ml.MSLE}
+	if got := m.Predict([]float64{1}); got != 0 {
+		t.Fatalf("empty forest predict = %v", got)
+	}
+}
+
+func TestForestErrors(t *testing.T) {
+	if _, err := New(DefaultConfig()).FitModel(nil, nil); err != ml.ErrNoData {
+		t.Fatalf("nil: %v", err)
+	}
+}

@@ -1,0 +1,111 @@
+package ml
+
+import (
+	"math"
+	"sort"
+)
+
+// Loss identifies a regression loss function. The paper compares four
+// (Table 1) and settles on mean-squared-log error.
+type Loss int
+
+const (
+	// MSLE is mean squared log error: mean((log(p+1)-log(a+1))^2).
+	// It optimizes relative error, penalizes under-estimation more than
+	// over-estimation, and keeps predictions positive (Section 3.2).
+	MSLE Loss = iota
+	// MSE is mean squared error.
+	MSE
+	// MAE is mean absolute error.
+	MAE
+	// MedAE is median absolute error.
+	MedAE
+)
+
+// String returns the paper's name for the loss.
+func (l Loss) String() string {
+	switch l {
+	case MSLE:
+		return "Mean Squared-Log Error"
+	case MSE:
+		return "Mean Squared Error"
+	case MAE:
+		return "Mean Absolute Error"
+	case MedAE:
+		return "Median Absolute Error"
+	default:
+		return "unknown"
+	}
+}
+
+// Eval computes the loss between predictions p and actuals a.
+func (l Loss) Eval(p, a []float64) float64 {
+	if len(p) != len(a) || len(p) == 0 {
+		return math.NaN()
+	}
+	switch l {
+	case MSLE:
+		var s float64
+		for i := range p {
+			d := Log1p(p[i]) - Log1p(a[i])
+			s += d * d
+		}
+		return s / float64(len(p))
+	case MSE:
+		var s float64
+		for i := range p {
+			d := p[i] - a[i]
+			s += d * d
+		}
+		return s / float64(len(p))
+	case MAE:
+		var s float64
+		for i := range p {
+			s += math.Abs(p[i] - a[i])
+		}
+		return s / float64(len(p))
+	case MedAE:
+		diffs := make([]float64, len(p))
+		for i := range p {
+			diffs[i] = math.Abs(p[i] - a[i])
+		}
+		sort.Float64s(diffs)
+		return Quantile(diffs, 0.5)
+	default:
+		return math.NaN()
+	}
+}
+
+// TransformTarget maps a raw target into the space the loss is optimized in.
+// Learners in this repository always fit in the transformed space and
+// predictions are mapped back with InverseTarget.
+func (l Loss) TransformTarget(v float64) float64 {
+	switch l {
+	case MSLE:
+		return Log1p(v)
+	case MedAE, MAE, MSE:
+		return v
+	default:
+		return v
+	}
+}
+
+// InverseTarget inverts TransformTarget.
+func (l Loss) InverseTarget(v float64) float64 {
+	switch l {
+	case MSLE:
+		return Expm1(v)
+	default:
+		return v
+	}
+}
+
+// TransformAll applies TransformTarget to every element, returning a new
+// slice.
+func (l Loss) TransformAll(y []float64) []float64 {
+	out := make([]float64, len(y))
+	for i, v := range y {
+		out[i] = l.TransformTarget(v)
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package ml
+
+import (
+	"math"
+	"sort"
+)
+
+// Pearson returns the Pearson correlation coefficient between x and y.
+// It returns 0 when either input is constant or the lengths mismatch, which
+// mirrors how the paper reports near-zero correlation for degenerate
+// predictors.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0
+	}
+	var mx, my float64
+	for i := range x {
+		mx += x[i]
+		my += y[i]
+	}
+	n := float64(len(x))
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx := x[i] - mx
+		dy := y[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Quantile returns the q-quantile (0<=q<=1) of sorted using linear
+// interpolation. The input must already be sorted ascending.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := lo + 1
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// RelativeErrors returns |p-a|/max(a, eps) for each pair, the paper's
+// "error percentage" (e.g. a prediction 14% off reports 0.14).
+func RelativeErrors(p, a []float64) []float64 {
+	const eps = 1e-9
+	out := make([]float64, len(p))
+	for i := range p {
+		den := math.Abs(a[i])
+		if den < eps {
+			den = eps
+		}
+		out[i] = math.Abs(p[i]-a[i]) / den
+	}
+	return out
+}
+
+// MedianRelativeError returns the median of RelativeErrors(p, a).
+func MedianRelativeError(p, a []float64) float64 {
+	errs := RelativeErrors(p, a)
+	sort.Float64s(errs)
+	return Quantile(errs, 0.5)
+}
+
+// PercentileRelativeError returns the q-quantile of the relative errors.
+func PercentileRelativeError(p, a []float64, q float64) float64 {
+	errs := RelativeErrors(p, a)
+	sort.Float64s(errs)
+	return Quantile(errs, q)
+}
+
+// Ratios returns p[i]/max(a[i], eps) — the estimated/actual ratios plotted
+// as CDFs throughout the paper's evaluation (Figures 1, 12, 13, 15).
+func Ratios(p, a []float64) []float64 {
+	const eps = 1e-9
+	out := make([]float64, len(p))
+	for i := range p {
+		den := a[i]
+		if den < eps {
+			den = eps
+		}
+		num := p[i]
+		if num < eps {
+			num = eps
+		}
+		out[i] = num / den
+	}
+	return out
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value    float64 // the x-axis value
+	Fraction float64 // fraction of samples <= Value
+}
+
+// CDF computes an empirical CDF of values sampled at the given quantiles
+// (e.g. 0.01..0.99). Values are copied and sorted internally.
+func CDF(values []float64, quantiles []float64) []CDFPoint {
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	out := make([]CDFPoint, 0, len(quantiles))
+	for _, q := range quantiles {
+		out = append(out, CDFPoint{Value: Quantile(sorted, q), Fraction: q})
+	}
+	return out
+}
+
+// StandardQuantiles is the default grid used when printing CDFs.
+var StandardQuantiles = []float64{0.01, 0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99}
+
+// Accuracy summarises prediction quality the way the paper's tables do.
+type Accuracy struct {
+	Pearson     float64 // correlation between predicted and actual
+	MedianErr   float64 // median relative error (0.14 == 14%)
+	P95Err      float64 // 95th-percentile relative error
+	Samples     int     // number of (prediction, actual) pairs
+	MedianRatio float64 // median of estimated/actual
+}
+
+// Evaluate computes Accuracy for predictions p against actuals a.
+func Evaluate(p, a []float64) Accuracy {
+	ratios := Ratios(p, a)
+	sort.Float64s(ratios)
+	return Accuracy{
+		Pearson:     Pearson(p, a),
+		MedianErr:   MedianRelativeError(p, a),
+		P95Err:      PercentileRelativeError(p, a, 0.95),
+		Samples:     len(p),
+		MedianRatio: Quantile(ratios, 0.5),
+	}
+}

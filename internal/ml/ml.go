@@ -1,0 +1,81 @@
+// Package ml defines the regression interfaces, loss functions, evaluation
+// metrics and cross-validation utilities shared by all learners in this
+// repository (elastic net, regression trees, random forests, gradient-boosted
+// trees and the MLP).
+//
+// All learners implement Regressor; learners that can be retrained from
+// scratch implement Trainer. The paper (Section 3.2) trains every model with
+// mean-squared-log error, which is exposed here as the MSLE loss together
+// with the alternatives compared in Table 1.
+package ml
+
+import (
+	"errors"
+	"math"
+
+	"cleo/internal/linalg"
+)
+
+// Regressor predicts a scalar target from a feature vector.
+type Regressor interface {
+	// Predict returns the model output for a single feature vector.
+	Predict(features []float64) float64
+}
+
+// Trainer fits a fresh model on a design matrix X (row per sample) and
+// target vector y. Implementations must not retain X or y.
+type Trainer interface {
+	// Fit trains on (X, y) and returns the fitted model.
+	Fit(x *linalg.Matrix, y []float64) (Regressor, error)
+}
+
+// TrainerFunc adapts a function to the Trainer interface.
+type TrainerFunc func(x *linalg.Matrix, y []float64) (Regressor, error)
+
+// Fit implements Trainer.
+func (f TrainerFunc) Fit(x *linalg.Matrix, y []float64) (Regressor, error) { return f(x, y) }
+
+// ErrNoData is returned by trainers invoked with zero samples.
+var ErrNoData = errors.New("ml: no training data")
+
+// ErrDimMismatch is returned when X and y disagree on the sample count.
+var ErrDimMismatch = errors.New("ml: rows of X and len(y) differ")
+
+// ValidateTrainingData performs the shared sanity checks for Fit
+// implementations.
+func ValidateTrainingData(x *linalg.Matrix, y []float64) error {
+	if x == nil || x.Rows == 0 {
+		return ErrNoData
+	}
+	if x.Rows != len(y) {
+		return ErrDimMismatch
+	}
+	return nil
+}
+
+// PredictAll applies the regressor to every row of x.
+func PredictAll(r Regressor, x *linalg.Matrix) []float64 {
+	out := make([]float64, x.Rows)
+	for i := 0; i < x.Rows; i++ {
+		out[i] = r.Predict(x.Row(i))
+	}
+	return out
+}
+
+// Log1p returns log(v+1), clamping tiny negatives that arise from float
+// noise. Targets in this repo (latencies) are non-negative.
+func Log1p(v float64) float64 {
+	if v < 0 {
+		v = 0
+	}
+	return math.Log1p(v)
+}
+
+// Expm1 inverts Log1p.
+func Expm1(v float64) float64 {
+	out := math.Expm1(v)
+	if out < 0 {
+		return 0
+	}
+	return out
+}

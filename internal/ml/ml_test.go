@@ -1,0 +1,238 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cleo/internal/linalg"
+)
+
+func TestLossStrings(t *testing.T) {
+	want := map[Loss]string{
+		MSLE:  "Mean Squared-Log Error",
+		MSE:   "Mean Squared Error",
+		MAE:   "Mean Absolute Error",
+		MedAE: "Median Absolute Error",
+	}
+	for l, s := range want {
+		if l.String() != s {
+			t.Errorf("%d.String() = %q, want %q", l, l.String(), s)
+		}
+	}
+}
+
+func TestLossEval(t *testing.T) {
+	p := []float64{1, 2, 3}
+	a := []float64{1, 2, 3}
+	for _, l := range []Loss{MSLE, MSE, MAE, MedAE} {
+		if got := l.Eval(p, a); got != 0 {
+			t.Errorf("%v.Eval(perfect) = %v, want 0", l, got)
+		}
+	}
+	if got := MSE.Eval([]float64{0, 0}, []float64{1, 3}); got != 5 {
+		t.Errorf("MSE = %v, want 5", got)
+	}
+	if got := MAE.Eval([]float64{0, 0}, []float64{1, 3}); got != 2 {
+		t.Errorf("MAE = %v, want 2", got)
+	}
+	if got := MedAE.Eval([]float64{0, 0, 0}, []float64{1, 2, 9}); got != 2 {
+		t.Errorf("MedAE = %v, want 2", got)
+	}
+}
+
+func TestMSLEPenalizesUnderEstimationMore(t *testing.T) {
+	// Under-estimating by a factor k is penalized like over-estimating by
+	// factor k (symmetric in log space) but more than over-estimating by
+	// the same absolute amount. The paper's argument is in ratios.
+	actual := []float64{100}
+	under := MSLE.Eval([]float64{50}, actual) // half
+	overAbs := MSLE.Eval([]float64{150}, actual)
+	if under <= overAbs {
+		t.Fatalf("under-estimation %v should exceed equal-absolute over-estimation %v", under, overAbs)
+	}
+}
+
+func TestTargetTransformRoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		v = math.Abs(math.Mod(v, 1e9))
+		got := MSLE.InverseTarget(MSLE.TransformTarget(v))
+		return math.Abs(got-v) <= 1e-6*(1+v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	if got := Pearson(x, x); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("self correlation = %v", got)
+	}
+	y := []float64{4, 3, 2, 1}
+	if got := Pearson(x, y); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("anti correlation = %v", got)
+	}
+	if got := Pearson(x, []float64{5, 5, 5, 5}); got != 0 {
+		t.Fatalf("constant input correlation = %v, want 0", got)
+	}
+	if got := Pearson(x, x[:2]); got != 0 {
+		t.Fatalf("length mismatch correlation = %v, want 0", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5}
+	if got := Quantile(s, 0.5); got != 3 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := Quantile(s, 0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := Quantile(s, 1); got != 5 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := Quantile(s, 0.25); got != 2 {
+		t.Fatalf("q.25 = %v", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+	if got := Quantile([]float64{7}, 0.9); got != 7 {
+		t.Fatalf("singleton quantile = %v", got)
+	}
+}
+
+func TestRelativeErrors(t *testing.T) {
+	errs := RelativeErrors([]float64{110, 90}, []float64{100, 100})
+	if math.Abs(errs[0]-0.1) > 1e-12 || math.Abs(errs[1]-0.1) > 1e-12 {
+		t.Fatalf("errs = %v", errs)
+	}
+	if got := MedianRelativeError([]float64{110, 90}, []float64{100, 100}); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("median rel err = %v", got)
+	}
+}
+
+func TestRatios(t *testing.T) {
+	r := Ratios([]float64{200, 50}, []float64{100, 100})
+	if r[0] != 2 || r[1] != 0.5 {
+		t.Fatalf("ratios = %v", r)
+	}
+	// Zero actuals must not divide by zero.
+	r = Ratios([]float64{1}, []float64{0})
+	if math.IsInf(r[0], 0) || math.IsNaN(r[0]) {
+		t.Fatalf("ratio with zero actual = %v", r[0])
+	}
+}
+
+func TestCDF(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	pts := CDF(vals, []float64{0.5})
+	if len(pts) != 1 || pts[0].Fraction != 0.5 {
+		t.Fatalf("pts = %v", pts)
+	}
+	if pts[0].Value < 5 || pts[0].Value > 6 {
+		t.Fatalf("median = %v", pts[0].Value)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	acc := Evaluate([]float64{100, 200, 300}, []float64{100, 200, 300})
+	if acc.MedianErr != 0 || acc.Pearson < 0.999 || acc.Samples != 3 {
+		t.Fatalf("acc = %+v", acc)
+	}
+	if math.Abs(acc.MedianRatio-1) > 1e-9 {
+		t.Fatalf("median ratio = %v", acc.MedianRatio)
+	}
+}
+
+// meanTrainer is a trivial Trainer predicting the training mean.
+type meanTrainer struct{}
+
+type meanModel struct{ mean float64 }
+
+func (m meanModel) Predict([]float64) float64 { return m.mean }
+
+func (meanTrainer) Fit(x *linalg.Matrix, y []float64) (Regressor, error) {
+	if err := ValidateTrainingData(x, y); err != nil {
+		return nil, err
+	}
+	return meanModel{mean: linalg.Mean(y)}, nil
+}
+
+func TestKFold(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	x := linalg.NewMatrix(50, 1)
+	y := make([]float64, 50)
+	for i := range y {
+		y[i] = 10
+	}
+	res, err := KFold(meanTrainer{}, x, y, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Folds) != 5 {
+		t.Fatalf("folds = %d", len(res.Folds))
+	}
+	if res.Pooled.MedianErr > 1e-9 {
+		t.Fatalf("constant target CV err = %v", res.Pooled.MedianErr)
+	}
+	if len(res.OutOfFold) != 50 {
+		t.Fatalf("oof len = %d", len(res.OutOfFold))
+	}
+}
+
+func TestKFoldErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := KFold(meanTrainer{}, linalg.NewMatrix(0, 1), nil, 5, rng); err == nil {
+		t.Fatal("expected error for empty data")
+	}
+	x := linalg.NewMatrix(4, 1)
+	if _, err := KFold(meanTrainer{}, x, []float64{1, 2, 3, 4}, 1, rng); err == nil {
+		t.Fatal("expected error for k<2")
+	}
+}
+
+func TestTrainTestSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := linalg.NewMatrix(10, 2)
+	y := make([]float64, 10)
+	for i := range y {
+		y[i] = float64(i)
+		x.Set(i, 0, float64(i))
+	}
+	trX, trY, teX, teY := TrainTestSplit(x, y, 0.3, rng)
+	if trX.Rows+teX.Rows != 10 || len(trY)+len(teY) != 10 {
+		t.Fatalf("split sizes: %d + %d", trX.Rows, teX.Rows)
+	}
+	if teX.Rows != 3 {
+		t.Fatalf("test rows = %d, want 3", teX.Rows)
+	}
+	// Rows must keep features aligned with targets.
+	for i := 0; i < trX.Rows; i++ {
+		if trX.At(i, 0) != trY[i] {
+			t.Fatal("split misaligned features and targets")
+		}
+	}
+}
+
+func TestPredictAll(t *testing.T) {
+	x := linalg.NewMatrix(3, 1)
+	got := PredictAll(meanModel{mean: 2.5}, x)
+	if len(got) != 3 || got[0] != 2.5 {
+		t.Fatalf("PredictAll = %v", got)
+	}
+}
+
+func TestValidateTrainingData(t *testing.T) {
+	if err := ValidateTrainingData(nil, nil); err != ErrNoData {
+		t.Fatalf("nil X: %v", err)
+	}
+	if err := ValidateTrainingData(linalg.NewMatrix(2, 1), []float64{1}); err != ErrDimMismatch {
+		t.Fatalf("dim mismatch: %v", err)
+	}
+	if err := ValidateTrainingData(linalg.NewMatrix(2, 1), []float64{1, 2}); err != nil {
+		t.Fatalf("valid data: %v", err)
+	}
+}

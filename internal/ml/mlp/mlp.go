@@ -1,0 +1,270 @@
+// Package mlp implements a fully connected multilayer-perceptron regressor:
+// the paper's neural-network baseline (Section 3.4: 3 layers, hidden size
+// 30, ReLU activations, Adam optimizer, L2 regularization 0.005).
+package mlp
+
+import (
+	"math"
+	"math/rand"
+
+	"cleo/internal/linalg"
+	"cleo/internal/ml"
+)
+
+// Config mirrors the paper's MLP hyper-parameters.
+type Config struct {
+	// HiddenSizes lists hidden-layer widths (paper: one hidden layer of 30
+	// between input and output = "3 layers").
+	HiddenSizes []int
+	// L2 is the weight-decay coefficient (paper: 0.005).
+	L2 float64
+	// LearningRate is Adam's step size.
+	LearningRate float64
+	// Epochs is the number of full passes.
+	Epochs int
+	// BatchSize for mini-batch Adam.
+	BatchSize int
+	// Seed drives weight init and shuffling.
+	Seed int64
+	// Loss selects the target transformation (paper: MSLE).
+	Loss ml.Loss
+}
+
+// DefaultConfig returns the paper's settings.
+func DefaultConfig() Config {
+	return Config{
+		HiddenSizes:  []int{30},
+		L2:           0.005,
+		LearningRate: 1e-3,
+		Epochs:       200,
+		BatchSize:    32,
+		Seed:         1,
+		Loss:         ml.MSLE,
+	}
+}
+
+// layer holds weights (out×in) and biases for one dense layer.
+type layer struct {
+	w        *linalg.Matrix
+	b        []float64
+	mw, vw   *linalg.Matrix // Adam moments for weights
+	mb, vb   []float64      // Adam moments for biases
+	lastRelu bool           // whether ReLU follows this layer
+}
+
+// Model is a fitted MLP. Inputs are standardized with the training-set
+// statistics stored on the model.
+type Model struct {
+	layers []layer
+	means  []float64
+	stds   []float64
+	Loss   ml.Loss
+}
+
+// Predict implements ml.Regressor.
+func (m *Model) Predict(features []float64) float64 {
+	in := make([]float64, len(m.means))
+	for j := range in {
+		var v float64
+		if j < len(features) {
+			v = features[j]
+		}
+		if m.stds[j] > 0 {
+			in[j] = (v - m.means[j]) / m.stds[j]
+		}
+	}
+	for li := range m.layers {
+		l := &m.layers[li]
+		out := l.w.MulVec(in)
+		for i := range out {
+			out[i] += l.b[i]
+			if l.lastRelu && out[i] < 0 {
+				out[i] = 0
+			}
+		}
+		in = out
+	}
+	out := m.Loss.InverseTarget(in[0])
+	if math.IsNaN(out) || math.IsInf(out, 0) {
+		return 0 // a diverged network must not poison evaluations
+	}
+	return out
+}
+
+// Trainer fits Models with a fixed Config.
+type Trainer struct{ Config Config }
+
+// New returns a Trainer with the given config.
+func New(cfg Config) *Trainer { return &Trainer{Config: cfg} }
+
+// Fit implements ml.Trainer.
+func (t *Trainer) Fit(x *linalg.Matrix, y []float64) (ml.Regressor, error) {
+	m, err := t.FitModel(x, y)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// FitModel trains with mini-batch Adam on squared loss in the transformed
+// target space.
+func (t *Trainer) FitModel(x *linalg.Matrix, y []float64) (*Model, error) {
+	if err := ml.ValidateTrainingData(x, y); err != nil {
+		return nil, err
+	}
+	cfg := t.Config
+	if len(cfg.HiddenSizes) == 0 {
+		cfg.HiddenSizes = []int{30}
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 200
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 1e-3
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	n, p := x.Rows, x.Cols
+	ty := cfg.Loss.TransformAll(y)
+
+	means := x.ColMeans()
+	stds := x.ColStdDevs()
+	xs := linalg.NewMatrix(n, p)
+	for i := 0; i < n; i++ {
+		for j := 0; j < p; j++ {
+			if stds[j] > 0 {
+				xs.Set(i, j, (x.At(i, j)-means[j])/stds[j])
+			}
+		}
+	}
+
+	sizes := append([]int{p}, cfg.HiddenSizes...)
+	sizes = append(sizes, 1)
+	m := &Model{means: means, stds: stds, Loss: cfg.Loss}
+	for li := 0; li+1 < len(sizes); li++ {
+		in, out := sizes[li], sizes[li+1]
+		l := layer{
+			w:        linalg.NewMatrix(out, in),
+			b:        make([]float64, out),
+			mw:       linalg.NewMatrix(out, in),
+			vw:       linalg.NewMatrix(out, in),
+			mb:       make([]float64, out),
+			vb:       make([]float64, out),
+			lastRelu: li+2 < len(sizes), // ReLU on all but the output layer
+		}
+		// He initialization for ReLU layers.
+		scale := math.Sqrt(2.0 / float64(in))
+		for k := range l.w.Data {
+			l.w.Data[k] = rng.NormFloat64() * scale
+		}
+		m.layers = append(m.layers, l)
+	}
+
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+	step := 0
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+
+	// Per-layer activation buffers for backprop.
+	acts := make([][]float64, len(m.layers)+1)
+	preacts := make([][]float64, len(m.layers))
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < n; start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			batch := order[start:end]
+			step++
+			// Accumulate gradients over the batch.
+			gw := make([]*linalg.Matrix, len(m.layers))
+			gb := make([][]float64, len(m.layers))
+			for li := range m.layers {
+				gw[li] = linalg.NewMatrix(m.layers[li].w.Rows, m.layers[li].w.Cols)
+				gb[li] = make([]float64, len(m.layers[li].b))
+			}
+			for _, r := range batch {
+				// Forward.
+				acts[0] = xs.Row(r)
+				for li := range m.layers {
+					l := &m.layers[li]
+					z := l.w.MulVec(acts[li])
+					for i := range z {
+						z[i] += l.b[i]
+					}
+					preacts[li] = z
+					a := make([]float64, len(z))
+					copy(a, z)
+					if l.lastRelu {
+						for i := range a {
+							if a[i] < 0 {
+								a[i] = 0
+							}
+						}
+					}
+					acts[li+1] = a
+				}
+				// Backward: dL/dz at output = 2*(pred - target)/batch.
+				out := acts[len(m.layers)][0]
+				delta := []float64{2 * (out - ty[r]) / float64(len(batch))}
+				for li := len(m.layers) - 1; li >= 0; li-- {
+					l := &m.layers[li]
+					// Gradients for this layer.
+					for i := range delta {
+						gb[li][i] += delta[i]
+						for j := 0; j < l.w.Cols; j++ {
+							gw[li].Set(i, j, gw[li].At(i, j)+delta[i]*acts[li][j])
+						}
+					}
+					if li == 0 {
+						break
+					}
+					// Propagate delta to previous layer.
+					prev := make([]float64, l.w.Cols)
+					for j := 0; j < l.w.Cols; j++ {
+						var s float64
+						for i := range delta {
+							s += delta[i] * l.w.At(i, j)
+						}
+						// ReLU derivative of the previous layer's preact.
+						if m.layers[li-1].lastRelu && preacts[li-1][j] <= 0 {
+							s = 0
+						}
+						prev[j] = s
+					}
+					delta = prev
+				}
+			}
+			// Adam update with L2.
+			bc1 := 1 - math.Pow(beta1, float64(step))
+			bc2 := 1 - math.Pow(beta2, float64(step))
+			for li := range m.layers {
+				l := &m.layers[li]
+				for k := range l.w.Data {
+					g := gw[li].Data[k] + cfg.L2*l.w.Data[k]
+					l.mw.Data[k] = beta1*l.mw.Data[k] + (1-beta1)*g
+					l.vw.Data[k] = beta2*l.vw.Data[k] + (1-beta2)*g*g
+					mhat := l.mw.Data[k] / bc1
+					vhat := l.vw.Data[k] / bc2
+					l.w.Data[k] -= cfg.LearningRate * mhat / (math.Sqrt(vhat) + eps)
+				}
+				for i := range l.b {
+					g := gb[li][i]
+					l.mb[i] = beta1*l.mb[i] + (1-beta1)*g
+					l.vb[i] = beta2*l.vb[i] + (1-beta2)*g*g
+					mhat := l.mb[i] / bc1
+					vhat := l.vb[i] / bc2
+					l.b[i] -= cfg.LearningRate * mhat / (math.Sqrt(vhat) + eps)
+				}
+			}
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,98 @@
+package mlp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cleo/internal/linalg"
+	"cleo/internal/ml"
+)
+
+func TestLearnsLinearFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := 300
+	x := linalg.NewMatrix(n, 2)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		x.Set(i, 0, a)
+		x.Set(i, 1, b)
+		y[i] = math.Expm1(1.5*a + 0.5*b)
+	}
+	cfg := DefaultConfig()
+	cfg.Epochs = 150
+	m, err := New(cfg).FitModel(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := ml.Evaluate(ml.PredictAll(m, x), y)
+	if acc.Pearson < 0.9 {
+		t.Fatalf("pearson = %v, want > 0.9", acc.Pearson)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	n := 50
+	x := linalg.NewMatrix(n, 2)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, rng.Float64())
+		x.Set(i, 1, rng.Float64())
+		y[i] = x.At(i, 0) * 10
+	}
+	cfg := DefaultConfig()
+	cfg.Epochs = 5
+	m1, _ := New(cfg).FitModel(x, y)
+	m2, _ := New(cfg).FitModel(x, y)
+	if m1.Predict(x.Row(0)) != m2.Predict(x.Row(0)) {
+		t.Fatal("same seed produced different networks")
+	}
+}
+
+func TestPredictionsNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	n := 60
+	x := linalg.NewMatrix(n, 1)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, rng.Float64())
+		y[i] = 5
+	}
+	cfg := DefaultConfig()
+	cfg.Epochs = 20
+	m, err := New(cfg).FitModel(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{-50}); got < 0 {
+		t.Fatalf("prediction %v < 0 under MSLE", got)
+	}
+}
+
+func TestShortFeatureVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	n := 40
+	x := linalg.NewMatrix(n, 3)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < 3; j++ {
+			x.Set(i, j, rng.Float64())
+		}
+		y[i] = 1
+	}
+	cfg := DefaultConfig()
+	cfg.Epochs = 3
+	m, err := New(cfg).FitModel(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = m.Predict([]float64{0.5}) // must not panic
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := New(DefaultConfig()).FitModel(nil, nil); err != ml.ErrNoData {
+		t.Fatalf("nil: %v", err)
+	}
+}

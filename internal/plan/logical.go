@@ -1,0 +1,174 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column names a column. Columns are plain strings; schema tracking beyond
+// names is not needed for cost modeling.
+type Column string
+
+// Logical is a node of a logical plan tree.
+type Logical struct {
+	Op       LogicalOp
+	Children []*Logical
+
+	// Table is the stored-input name for LGet leaves (raw name including
+	// dates/numbers, e.g. "clicks_2026_06_11").
+	Table string
+	// InputTemplate is the normalized input name with dates and numbers
+	// stripped (e.g. "clicks_"), shared across recurring instances.
+	InputTemplate string
+	// Pred identifies the predicate for LSelect/LJoin so the statistics
+	// catalog can look up selectivities consistently across instances.
+	Pred string
+	// Keys are the join/group-by/sort columns.
+	Keys []Column
+	// UDF names the user-defined processor for LProcess nodes.
+	UDF string
+	// N is the limit for LTopN.
+	N int
+}
+
+// NewGet builds a scan leaf.
+func NewGet(table, template string) *Logical {
+	return &Logical{Op: LGet, Table: table, InputTemplate: template}
+}
+
+// NewSelect builds a filter over child.
+func NewSelect(child *Logical, pred string) *Logical {
+	return &Logical{Op: LSelect, Children: []*Logical{child}, Pred: pred}
+}
+
+// NewProject builds a projection over child.
+func NewProject(child *Logical, keys ...Column) *Logical {
+	return &Logical{Op: LProject, Children: []*Logical{child}, Keys: keys}
+}
+
+// NewJoin builds an inner equi-join of left and right on keys.
+func NewJoin(left, right *Logical, pred string, keys ...Column) *Logical {
+	return &Logical{Op: LJoin, Children: []*Logical{left, right}, Pred: pred, Keys: keys}
+}
+
+// NewAggregate builds a group-by aggregation over child.
+func NewAggregate(child *Logical, keys ...Column) *Logical {
+	return &Logical{Op: LAggregate, Children: []*Logical{child}, Keys: keys}
+}
+
+// NewSort builds an order-by over child.
+func NewSort(child *Logical, keys ...Column) *Logical {
+	return &Logical{Op: LSort, Children: []*Logical{child}, Keys: keys}
+}
+
+// NewTopN builds a top-n over child.
+func NewTopN(child *Logical, n int, keys ...Column) *Logical {
+	return &Logical{Op: LTopN, Children: []*Logical{child}, Keys: keys, N: n}
+}
+
+// NewUnion builds a union-all of the children.
+func NewUnion(children ...*Logical) *Logical {
+	return &Logical{Op: LUnion, Children: children}
+}
+
+// NewProcess builds a UDF processor over child.
+func NewProcess(child *Logical, udf string) *Logical {
+	return &Logical{Op: LProcess, Children: []*Logical{child}, UDF: udf}
+}
+
+// NewOutput builds the sink above child.
+func NewOutput(child *Logical) *Logical {
+	return &Logical{Op: LOutput, Children: []*Logical{child}}
+}
+
+// Walk visits the subtree rooted at l in post-order.
+func (l *Logical) Walk(fn func(*Logical)) {
+	for _, c := range l.Children {
+		c.Walk(fn)
+	}
+	fn(l)
+}
+
+// Count returns the number of nodes in the subtree.
+func (l *Logical) Count() int {
+	n := 0
+	l.Walk(func(*Logical) { n++ })
+	return n
+}
+
+// Leaves returns the LGet leaves in left-to-right order.
+func (l *Logical) Leaves() []*Logical {
+	var out []*Logical
+	l.Walk(func(n *Logical) {
+		if n.Op == LGet {
+			out = append(out, n)
+		}
+	})
+	return out
+}
+
+// InputTemplates returns the sorted, de-duplicated normalized input names
+// under the subtree. These group recurring jobs that run on the same input
+// schema over different sessions (Section 4.2).
+func (l *Logical) InputTemplates() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, leaf := range l.Leaves() {
+		if !seen[leaf.InputTemplate] {
+			seen[leaf.InputTemplate] = true
+			out = append(out, leaf.InputTemplate)
+		}
+	}
+	sortStrings(out)
+	return out
+}
+
+// String renders a compact one-line form, for debugging and tests.
+func (l *Logical) String() string {
+	var b strings.Builder
+	l.format(&b)
+	return b.String()
+}
+
+func (l *Logical) format(b *strings.Builder) {
+	b.WriteString(l.Op.String())
+	switch {
+	case l.Op == LGet:
+		fmt.Fprintf(b, "(%s)", l.Table)
+	case l.Pred != "":
+		fmt.Fprintf(b, "[%s]", l.Pred)
+	case l.UDF != "":
+		fmt.Fprintf(b, "[%s]", l.UDF)
+	case len(l.Keys) > 0:
+		fmt.Fprintf(b, "[%v]", l.Keys)
+	}
+	if len(l.Children) > 0 {
+		b.WriteString("(")
+		for i, c := range l.Children {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			c.format(b)
+		}
+		b.WriteString(")")
+	}
+}
+
+// Clone deep-copies the subtree.
+func (l *Logical) Clone() *Logical {
+	out := *l
+	out.Keys = append([]Column(nil), l.Keys...)
+	out.Children = make([]*Logical, len(l.Children))
+	for i, c := range l.Children {
+		out.Children[i] = c.Clone()
+	}
+	return &out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package plan defines the logical and physical query-plan algebra used
+// throughout the repository: operator kinds, plan trees, partitioning and
+// sorting properties, stage decomposition, and the 64-bit recursive operator
+// signatures (Section 5.1 of the paper) that key the learned cost models.
+package plan
+
+// LogicalOp enumerates logical operators. They mirror the relational
+// operators in SCOPE scripts: extract/scan, filter, project, join,
+// aggregation, sort, top-k, union and user-defined processors.
+type LogicalOp int
+
+// Logical operator kinds.
+const (
+	LGet LogicalOp = iota // scan of a stored input
+	LSelect
+	LProject
+	LJoin
+	LAggregate
+	LSort
+	LTopN
+	LUnion
+	LProcess // user-defined processor (black-box UDF)
+	LOutput
+	numLogicalOps
+)
+
+// String returns the operator name.
+func (op LogicalOp) String() string {
+	switch op {
+	case LGet:
+		return "Get"
+	case LSelect:
+		return "Select"
+	case LProject:
+		return "Project"
+	case LJoin:
+		return "Join"
+	case LAggregate:
+		return "Aggregate"
+	case LSort:
+		return "Sort"
+	case LTopN:
+		return "TopN"
+	case LUnion:
+		return "Union"
+	case LProcess:
+		return "Process"
+	case LOutput:
+		return "Output"
+	default:
+		return "UnknownLogical"
+	}
+}
+
+// NumLogicalOps is the count of logical operator kinds, used when building
+// frequency vectors for the approximate subgraph signature.
+const NumLogicalOps = int(numLogicalOps)
+
+// PhysicalOp enumerates physical operators (the paper's Extract, Filter,
+// Exchange a.k.a. Shuffle, hash/merge joins, hash/stream aggregates, etc.).
+type PhysicalOp int
+
+// Physical operator kinds.
+const (
+	PExtract PhysicalOp = iota
+	PFilter
+	PProject
+	PHashJoin
+	PMergeJoin
+	PHashAggregate
+	PStreamAggregate
+	PPartialAggregate // local (per-partition) pre-aggregation
+	PSort
+	PExchange // shuffle / repartition
+	PTopN
+	PUnionAll
+	PProcess // UDF executor
+	POutput
+	numPhysicalOps
+)
+
+// NumPhysicalOps is the count of physical operator kinds.
+const NumPhysicalOps = int(numPhysicalOps)
+
+// String returns the operator name.
+func (op PhysicalOp) String() string {
+	switch op {
+	case PExtract:
+		return "Extract"
+	case PFilter:
+		return "Filter"
+	case PProject:
+		return "Project"
+	case PHashJoin:
+		return "HashJoin"
+	case PMergeJoin:
+		return "MergeJoin"
+	case PHashAggregate:
+		return "HashAggregate"
+	case PStreamAggregate:
+		return "StreamAggregate"
+	case PPartialAggregate:
+		return "PartialAggregate"
+	case PSort:
+		return "Sort"
+	case PExchange:
+		return "Exchange"
+	case PTopN:
+		return "TopN"
+	case PUnionAll:
+		return "UnionAll"
+	case PProcess:
+		return "Process"
+	case POutput:
+		return "Output"
+	default:
+		return "UnknownPhysical"
+	}
+}
+
+// Logical returns the logical operator a physical operator implements.
+func (op PhysicalOp) Logical() LogicalOp {
+	switch op {
+	case PExtract:
+		return LGet
+	case PFilter:
+		return LSelect
+	case PProject:
+		return LProject
+	case PHashJoin, PMergeJoin:
+		return LJoin
+	case PHashAggregate, PStreamAggregate, PPartialAggregate:
+		return LAggregate
+	case PSort:
+		return LSort
+	case PExchange:
+		return LProject // exchanges are physical-only; counted as data movement
+	case PTopN:
+		return LTopN
+	case PUnionAll:
+		return LUnion
+	case PProcess:
+		return LProcess
+	case POutput:
+		return LOutput
+	default:
+		return LProject
+	}
+}
+
+// Blocking reports whether the operator must consume all input before
+// producing output (blocks pipelining). This drives the context-sensitive
+// latency behaviour the paper highlights: a hash operator over a filter is
+// cheaper than over a sort (Section 3.1).
+func (op PhysicalOp) Blocking() bool {
+	switch op {
+	case PSort, PHashAggregate, PTopN, PHashJoin: // hash join blocks on build side
+		return true
+	default:
+		return false
+	}
+}
+
+// AllPhysicalOps lists every physical operator kind, for iteration.
+func AllPhysicalOps() []PhysicalOp {
+	ops := make([]PhysicalOp, NumPhysicalOps)
+	for i := range ops {
+		ops[i] = PhysicalOp(i)
+	}
+	return ops
+}

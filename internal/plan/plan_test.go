@@ -1,0 +1,275 @@
+package plan
+
+import (
+	"testing"
+)
+
+// buildLogical returns Output(Aggregate(Select(Get))).
+func buildLogical() *Logical {
+	g := NewGet("clicks_2026_06_11", "clicks_")
+	f := NewSelect(g, "market=us")
+	a := NewAggregate(f, "user")
+	return NewOutput(a)
+}
+
+func TestLogicalBuildersAndWalk(t *testing.T) {
+	l := buildLogical()
+	if l.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", l.Count())
+	}
+	leaves := l.Leaves()
+	if len(leaves) != 1 || leaves[0].Table != "clicks_2026_06_11" {
+		t.Fatalf("leaves = %v", leaves)
+	}
+	if got := l.InputTemplates(); len(got) != 1 || got[0] != "clicks_" {
+		t.Fatalf("templates = %v", got)
+	}
+}
+
+func TestLogicalClone(t *testing.T) {
+	l := buildLogical()
+	c := l.Clone()
+	c.Children[0].Keys = append(c.Children[0].Keys, "extra")
+	if len(l.Children[0].Keys) == len(c.Children[0].Keys) {
+		t.Fatal("Clone aliases keys")
+	}
+	if l.String() == "" || c.String() == "" {
+		t.Fatal("String should render")
+	}
+}
+
+func TestLogicalString(t *testing.T) {
+	l := NewJoin(NewGet("a", "a"), NewGet("b", "b"), "a.k=b.k", "k")
+	s := l.String()
+	if s != "Join[a.k=b.k](Get(a), Get(b))" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+// buildPhysical returns Output <- Reduce(HashAgg) <- Exchange <- Filter <- Extract.
+func buildPhysical() *Physical {
+	ex := NewPhysical(PExtract)
+	ex.Table = "clicks_2026_06_11"
+	ex.InputTemplate = "clicks_"
+	ex.Partitions = 8
+	ex.Stats = NodeStats{EstCard: 1e6, ActCard: 1.2e6, RowLength: 100}
+
+	f := NewPhysical(PFilter, ex)
+	f.Pred = "market=us"
+	f.Stats = NodeStats{EstCard: 5e5, ActCard: 6e5, RowLength: 100}
+
+	xc := NewPhysical(PExchange, f)
+	xc.Keys = []Column{"user"}
+	xc.Partitions = 16
+	xc.Stats = f.Stats
+
+	agg := NewPhysical(PHashAggregate, xc)
+	agg.Keys = []Column{"user"}
+	agg.Stats = NodeStats{EstCard: 1e4, ActCard: 1.5e4, RowLength: 40}
+
+	out := NewPhysical(POutput, agg)
+	out.Stats = agg.Stats
+	return out
+}
+
+func TestPhysicalTraversals(t *testing.T) {
+	p := buildPhysical()
+	if p.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", p.Count())
+	}
+	if p.Depth() != 5 {
+		t.Fatalf("Depth = %d, want 5", p.Depth())
+	}
+	if got := p.BaseCardinality(); got != 1.2e6 {
+		t.Fatalf("BaseCardinality = %v", got)
+	}
+	if got := p.InputCardinality(true); got != 1e4 {
+		t.Fatalf("InputCardinality(est) = %v", got)
+	}
+	if got := p.InputCardinality(false); got != 1.5e4 {
+		t.Fatalf("InputCardinality(act) = %v", got)
+	}
+	if got := p.InputTemplates(); len(got) != 1 || got[0] != "clicks_" {
+		t.Fatalf("templates = %v", got)
+	}
+}
+
+func TestStages(t *testing.T) {
+	p := buildPhysical()
+	stages := Stages(p)
+	if len(stages) != 2 {
+		t.Fatalf("stages = %d, want 2", len(stages))
+	}
+	// Leaf stage: Extract, Filter.
+	if stages[0].PartitioningOp().Op != PExtract || len(stages[0].Ops) != 2 {
+		t.Fatalf("stage0 = %v", stages[0].Ops)
+	}
+	// Upper stage: Exchange, HashAgg, Output.
+	if stages[1].PartitioningOp().Op != PExchange || len(stages[1].Ops) != 3 {
+		t.Fatalf("stage1 = %v", stages[1].Ops)
+	}
+}
+
+func TestSetStagePartitions(t *testing.T) {
+	p := buildPhysical()
+	SetStagePartitions(p)
+	// Filter inherits Extract's 8; HashAgg and Output inherit Exchange's 16.
+	var filter, agg, out *Physical
+	p.Walk(func(n *Physical) {
+		switch n.Op {
+		case PFilter:
+			filter = n
+		case PHashAggregate:
+			agg = n
+		case POutput:
+			out = n
+		}
+	})
+	if filter.Partitions != 8 {
+		t.Fatalf("filter partitions = %d, want 8", filter.Partitions)
+	}
+	if agg.Partitions != 16 || out.Partitions != 16 {
+		t.Fatalf("agg/out partitions = %d/%d, want 16", agg.Partitions, out.Partitions)
+	}
+}
+
+func TestStagesOfJoinPlan(t *testing.T) {
+	l := NewPhysical(PExtract)
+	l.Partitions = 4
+	r := NewPhysical(PExtract)
+	r.Partitions = 4
+	xl := NewPhysical(PExchange, l)
+	xl.Partitions = 8
+	xr := NewPhysical(PExchange, r)
+	xr.Partitions = 8
+	j := NewPhysical(PMergeJoin, xl, xr)
+	root := NewPhysical(POutput, j)
+	stages := Stages(root)
+	// Stages: leaf-l, leaf-r, xl(+join+output), xr.
+	if len(stages) != 4 {
+		t.Fatalf("stages = %d, want 4", len(stages))
+	}
+	som := StageOf(root)
+	if som[j] != som[xl] {
+		t.Fatal("join should share the left exchange's stage")
+	}
+	if som[root] != som[j] {
+		t.Fatal("output should share the join's stage")
+	}
+}
+
+func TestSignaturesDistinguishSubgraphs(t *testing.T) {
+	p1 := buildPhysical()
+	p2 := buildPhysical()
+	s1 := ComputeSignatures(p1)
+	s2 := ComputeSignatures(p2)
+	if s1 != s2 {
+		t.Fatal("identical plans must share signatures")
+	}
+
+	// Change a descendant's predicate: subgraph changes, input unchanged.
+	p2.Children[0].Children[0].Children[0].Pred = "market=eu"
+	s2 = ComputeSignatures(p2)
+	if s1.Subgraph == s2.Subgraph {
+		t.Fatal("subgraph signature should change with predicate")
+	}
+	if s1.Input != s2.Input {
+		t.Fatal("input signature should not depend on predicates")
+	}
+	if s1.Operator != s2.Operator {
+		t.Fatal("operator signature should not change")
+	}
+}
+
+func TestApproxSignatureIgnoresOrder(t *testing.T) {
+	// Filter(Project(Get)) vs Project(Filter(Get)) with the same root op
+	// above them must share the approx signature but not the subgraph one.
+	mk := func(inner, outer PhysicalOp) *Physical {
+		leaf := NewPhysical(PExtract)
+		leaf.InputTemplate = "t_"
+		a := NewPhysical(inner, leaf)
+		b := NewPhysical(outer, a)
+		return NewPhysical(PHashAggregate, b)
+	}
+	x := mk(PFilter, PProject)
+	y := mk(PProject, PFilter)
+	if ApproxSignature(x) != ApproxSignature(y) {
+		t.Fatal("approx signature should ignore operator order")
+	}
+	if SubgraphSignature(x) == SubgraphSignature(y) {
+		t.Fatal("subgraph signature should depend on operator order")
+	}
+}
+
+func TestApproxSignatureUsesLogicalOps(t *testing.T) {
+	// HashJoin vs MergeJoin below the root map to the same logical Join,
+	// so approx signatures match while subgraph signatures differ.
+	mk := func(join PhysicalOp) *Physical {
+		l := NewPhysical(PExtract)
+		l.InputTemplate = "a_"
+		r := NewPhysical(PExtract)
+		r.InputTemplate = "b_"
+		j := NewPhysical(join, l, r)
+		j.Keys = []Column{"k"}
+		return NewPhysical(POutput, j)
+	}
+	x, y := mk(PHashJoin), mk(PMergeJoin)
+	if ApproxSignature(x) != ApproxSignature(y) {
+		t.Fatal("approx signature should treat physical join variants alike")
+	}
+	if SubgraphSignature(x) == SubgraphSignature(y) {
+		t.Fatal("subgraph signature should distinguish physical join variants")
+	}
+}
+
+func TestOperatorProperties(t *testing.T) {
+	if !PSort.Blocking() || PFilter.Blocking() {
+		t.Fatal("blocking classification wrong")
+	}
+	if PHashJoin.Logical() != LJoin || PExtract.Logical() != LGet {
+		t.Fatal("logical mapping wrong")
+	}
+	if len(AllPhysicalOps()) != NumPhysicalOps {
+		t.Fatal("AllPhysicalOps length")
+	}
+	for _, op := range AllPhysicalOps() {
+		if op.String() == "UnknownPhysical" {
+			t.Fatalf("missing String for %d", op)
+		}
+	}
+	for i := 0; i < NumLogicalOps; i++ {
+		if LogicalOp(i).String() == "UnknownLogical" {
+			t.Fatalf("missing String for logical %d", i)
+		}
+	}
+}
+
+func TestPhysicalCloneAndSummary(t *testing.T) {
+	p := buildPhysical()
+	c := p.Clone()
+	c.Children[0].Partitions = 999
+	if p.Children[0].Partitions == 999 {
+		t.Fatal("Clone aliases children")
+	}
+	s := Summarize(p)
+	if s.NumOps != 5 || s.NumStages != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Operators["Extract"] != 1 {
+		t.Fatalf("operators = %v", s.Operators)
+	}
+}
+
+func TestTotalCosts(t *testing.T) {
+	p := buildPhysical()
+	p.Walk(func(n *Physical) {
+		n.ExclusiveCostEst = 2
+		n.ExclusiveActual = 3
+	})
+	if p.TotalCostEst() != 10 {
+		t.Fatalf("TotalCostEst = %v", p.TotalCostEst())
+	}
+	if p.TotalActual() != 15 {
+		t.Fatalf("TotalActual = %v", p.TotalActual())
+	}
+}

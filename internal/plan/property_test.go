@@ -1,0 +1,149 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomPlan builds a random physical tree from a seed, for property tests.
+func randomPlan(rng *rand.Rand, depth int) *Physical {
+	if depth <= 0 || rng.Float64() < 0.3 {
+		leaf := NewPhysical(PExtract)
+		leaf.Table = string(rune('a' + rng.Intn(5)))
+		leaf.InputTemplate = leaf.Table + "_"
+		leaf.Partitions = 1 + rng.Intn(64)
+		leaf.Stats = NodeStats{EstCard: float64(1 + rng.Intn(1e6)), ActCard: float64(1 + rng.Intn(1e6)), RowLength: 50}
+		return leaf
+	}
+	ops := []PhysicalOp{PFilter, PProject, PSort, PExchange, PHashAggregate, PTopN, PProcess}
+	if rng.Float64() < 0.3 {
+		l := randomPlan(rng, depth-1)
+		r := randomPlan(rng, depth-1)
+		j := NewPhysical(PHashJoin, l, r)
+		j.Pred = "p" + string(rune('0'+rng.Intn(8)))
+		j.Keys = []Column{"k"}
+		j.Partitions = l.Partitions
+		j.Stats = NodeStats{EstCard: 100, ActCard: 100, RowLength: 80}
+		return j
+	}
+	child := randomPlan(rng, depth-1)
+	n := NewPhysical(ops[rng.Intn(len(ops))], child)
+	n.Partitions = child.Partitions
+	if n.Op == PFilter {
+		n.Pred = "f" + string(rune('0'+rng.Intn(8)))
+	}
+	if n.Op == PProcess {
+		n.UDF = "u" + string(rune('0'+rng.Intn(4)))
+	}
+	n.Keys = []Column{"k"}
+	n.Stats = NodeStats{EstCard: 50, ActCard: 60, RowLength: 40}
+	return n
+}
+
+// Property: signatures are deterministic and Clone preserves them.
+func TestSignatureCloneInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPlan(rng, 4)
+		s1 := ComputeSignatures(p)
+		s2 := ComputeSignatures(p.Clone())
+		return s1 == s2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every operator belongs to exactly one stage and stage ops are
+// connected bottom-up (ops[0] is a boundary).
+func TestStagePartitionInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPlan(rng, 5)
+		stages := Stages(p)
+		seen := map[*Physical]int{}
+		for _, st := range stages {
+			if len(st.Ops) == 0 {
+				return false
+			}
+			if !isStageBoundary(st.Ops[0].Op) && len(st.Ops[0].Children) > 0 {
+				return false
+			}
+			for _, op := range st.Ops {
+				seen[op]++
+			}
+		}
+		count := 0
+		p.Walk(func(n *Physical) { count++ })
+		if len(seen) != count {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SetStagePartitions makes every stage internally uniform.
+func TestSetStagePartitionsUniform(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPlan(rng, 5)
+		SetStagePartitions(p)
+		for _, st := range Stages(p) {
+			for _, op := range st.Ops {
+				if op.Partitions != st.Ops[0].Partitions {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: subgraph signature changes when any descendant predicate
+// changes, but operator signature never does.
+func TestSignatureSensitivity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPlan(rng, 4)
+		before := ComputeSignatures(p)
+		// Mutate the left-most leaf's template.
+		leaf := p.Leaves()[0]
+		leaf.InputTemplate += "x"
+		after := ComputeSignatures(p)
+		if before.Operator != after.Operator {
+			return false
+		}
+		// Subgraph and input signatures must both change (leaf template
+		// feeds both).
+		return before.Subgraph != after.Subgraph && before.Input != after.Input
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Count equals number of Walk visits; Depth <= Count.
+func TestTraversalConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPlan(rng, 5)
+		visits := 0
+		p.Walk(func(*Physical) { visits++ })
+		return visits == p.Count() && p.Depth() <= p.Count() && p.Depth() >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package plan
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// Signature is the 64-bit hash query optimizers annotate operators with
+// (Section 5.1). Four signature flavours key the four learned cost models:
+//
+//   - Subgraph: root operator + the exact operator tree beneath it
+//     (operator-subgraph model).
+//   - Approx: root operator + leaf input templates + the *frequency* of
+//     logical operators beneath, ignoring order and physical choices
+//     (operator-subgraphApprox model).
+//   - Input: root operator + leaf input templates
+//     (operator-input model).
+//   - Operator: the root physical operator alone (operator model).
+type Signature uint64
+
+// Signatures bundles all four flavours for one operator instance. All four
+// are computed in one bottom-up recursion, mirroring how SCOPE computes
+// them simultaneously to keep overhead minimal.
+type Signatures struct {
+	Subgraph Signature
+	Approx   Signature
+	Input    Signature
+	Operator Signature
+}
+
+// hash64 hashes a list of byte-chunks with FNV-1a.
+func hash64(chunks ...[]byte) Signature {
+	h := fnv.New64a()
+	for _, c := range chunks {
+		h.Write(c)
+		h.Write([]byte{0}) // chunk separator
+	}
+	return Signature(h.Sum64())
+}
+
+func u64bytes(v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// OperatorSignature returns the signature of the bare physical operator.
+func OperatorSignature(op PhysicalOp) Signature {
+	return hash64([]byte("op"), []byte(op.String()))
+}
+
+// ComputeSignatures computes all four signatures for node p.
+func ComputeSignatures(p *Physical) Signatures {
+	return Signatures{
+		Subgraph: SubgraphSignature(p),
+		Approx:   ApproxSignature(p),
+		Input:    InputSignature(p),
+		Operator: OperatorSignature(p.Op),
+	}
+}
+
+// SubgraphSignature recursively hashes the root physical operator, its
+// logical properties (predicate, keys, UDF, input template for leaves) and
+// the subgraph signatures of its children, in order.
+func SubgraphSignature(p *Physical) Signature {
+	chunks := [][]byte{
+		[]byte("sub"),
+		[]byte(p.Op.String()),
+		[]byte(p.Pred),
+		[]byte(p.UDF),
+		[]byte(p.InputTemplate),
+	}
+	for _, k := range p.Keys {
+		chunks = append(chunks, []byte(k))
+	}
+	for _, c := range p.Children {
+		chunks = append(chunks, u64bytes(uint64(SubgraphSignature(c))))
+	}
+	return hash64(chunks...)
+}
+
+// InputSignature hashes the root operator together with the sorted leaf
+// input templates: one model per operator × input-template combination.
+func InputSignature(p *Physical) Signature {
+	chunks := [][]byte{[]byte("in"), []byte(p.Op.String())}
+	for _, t := range p.InputTemplates() {
+		chunks = append(chunks, []byte(t))
+	}
+	return hash64(chunks...)
+}
+
+// ApproxSignature hashes the root operator, sorted leaf input templates,
+// and the frequency vector of logical operators in the subtree — the
+// paper's two relaxations (logical instead of physical operators, order
+// ignored).
+func ApproxSignature(p *Physical) Signature {
+	chunks := [][]byte{[]byte("apx"), []byte(p.Op.String())}
+	for _, t := range p.InputTemplates() {
+		chunks = append(chunks, []byte(t))
+	}
+	counts := p.LogicalOpCounts()
+	for _, c := range counts {
+		chunks = append(chunks, u64bytes(uint64(c)))
+	}
+	return hash64(chunks...)
+}

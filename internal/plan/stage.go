@@ -1,0 +1,90 @@
+package plan
+
+// Stage is a maximal set of physical operators that run over the same set
+// of partitions on the same containers (Section 2.1). A stage starts at a
+// partitioning operator — Extract for leaf stages, Exchange elsewhere — and
+// extends upward until the next stage boundary.
+type Stage struct {
+	// Ops lists the stage's operators bottom-up; Ops[0] is the
+	// partitioning operator that sets the stage's partition count.
+	Ops []*Physical
+	// Partitions is the stage-wide partition count.
+	Partitions int
+}
+
+// PartitioningOp returns the operator that decides the stage's partition
+// count (its first, bottom-most operator).
+func (s *Stage) PartitioningOp() *Physical {
+	if len(s.Ops) == 0 {
+		return nil
+	}
+	return s.Ops[0]
+}
+
+// isStageBoundary reports whether op starts a new stage.
+func isStageBoundary(op PhysicalOp) bool {
+	return op == PExchange || op == PExtract
+}
+
+// Stages decomposes the plan into stages, bottom-up. Operators between two
+// Exchange operators (exclusive of the upper one) share a stage with the
+// lower Exchange; Extract leaves start leaf stages. Binary operators (joins,
+// unions) join the stage of their left-most non-boundary child unless all
+// children end in boundaries, in which case they join the stage of the
+// first child.
+func Stages(root *Physical) []*Stage {
+	var stages []*Stage
+	stageOf := map[*Physical]*Stage{}
+
+	var visit func(n *Physical)
+	visit = func(n *Physical) {
+		for _, c := range n.Children {
+			visit(c)
+		}
+		if isStageBoundary(n.Op) || len(n.Children) == 0 {
+			st := &Stage{Ops: []*Physical{n}}
+			stages = append(stages, st)
+			stageOf[n] = st
+			return
+		}
+		// Continue the stage of the first child (SCOPE pipelines an
+		// operator with the input whose partitioning it consumes).
+		st := stageOf[n.Children[0]]
+		st.Ops = append(st.Ops, n)
+		stageOf[n] = st
+	}
+	visit(root)
+
+	for _, st := range stages {
+		st.Partitions = st.Ops[0].Partitions
+	}
+	return stages
+}
+
+// StageOf returns the stage containing each operator of the plan.
+func StageOf(root *Physical) map[*Physical]*Stage {
+	out := map[*Physical]*Stage{}
+	for _, st := range Stages(root) {
+		for _, op := range st.Ops {
+			out[op] = st
+		}
+	}
+	return out
+}
+
+// SetStagePartitions assigns the partition count of every operator to its
+// stage's partitioning operator's count, mirroring SCOPE's partition-count
+// derivation (Section 5.2).
+func SetStagePartitions(root *Physical) {
+	for _, st := range Stages(root) {
+		p := st.Ops[0].Partitions
+		if p <= 0 {
+			p = 1
+			st.Ops[0].Partitions = 1
+		}
+		for _, op := range st.Ops[1:] {
+			op.Partitions = p
+		}
+		st.Partitions = p
+	}
+}

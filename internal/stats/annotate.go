@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"cleo/internal/plan"
+)
+
+// CardinalityMode selects how estimated cardinalities are produced.
+type CardinalityMode int
+
+const (
+	// Estimated uses the biased selectivity estimator; errors compound
+	// multiplicatively up the plan, as in production SCOPE.
+	Estimated CardinalityMode = iota
+	// Perfect feeds actual runtime cardinalities back as estimates — the
+	// best any cardinality estimator could achieve (Figure 1's dotted
+	// lines).
+	Perfect
+)
+
+// Annotate fills Stats (EstCard, ActCard, RowLength) for every node of the
+// physical plan bottom-up. jobSeed drives the per-instance drift of true
+// selectivities. Leaf Extract nodes must reference tables registered in
+// the catalog.
+func (c *Catalog) Annotate(root *plan.Physical, jobSeed int64, mode CardinalityMode) error {
+	var visit func(n *plan.Physical) error
+	visit = func(n *plan.Physical) error {
+		for _, ch := range n.Children {
+			if err := visit(ch); err != nil {
+				return err
+			}
+		}
+		return c.annotateNode(n, jobSeed)
+	}
+	if err := visit(root); err != nil {
+		return err
+	}
+	if mode == Perfect {
+		root.Walk(func(n *plan.Physical) { n.Stats.EstCard = n.Stats.ActCard })
+	}
+	return nil
+}
+
+// AnnotateOne computes a single node's stats from its already-annotated
+// children — the incremental form the optimizer uses while constructing
+// candidate operators.
+func (c *Catalog) AnnotateOne(n *plan.Physical, jobSeed int64) error {
+	return c.annotateNode(n, jobSeed)
+}
+
+// annotateNode computes n's stats from its (already annotated) children.
+func (c *Catalog) annotateNode(n *plan.Physical, jobSeed int64) error {
+	sumAct, sumEst, maxAct, maxEst := 0.0, 0.0, 0.0, 0.0
+	var childLen float64
+	for _, ch := range n.Children {
+		sumAct += ch.Stats.ActCard
+		sumEst += ch.Stats.EstCard
+		if ch.Stats.ActCard > maxAct {
+			maxAct = ch.Stats.ActCard
+		}
+		if ch.Stats.EstCard > maxEst {
+			maxEst = ch.Stats.EstCard
+		}
+		childLen += ch.Stats.RowLength
+	}
+	if len(n.Children) > 0 {
+		childLen /= float64(len(n.Children))
+	}
+
+	switch n.Op {
+	case plan.PExtract:
+		ts, ok := c.Table(n.Table)
+		if !ok {
+			return fmt.Errorf("stats: unknown table %q", n.Table)
+		}
+		n.Stats.ActCard = ts.Rows
+		n.Stats.EstCard = ts.Rows // input sizes are known to the optimizer
+		n.Stats.RowLength = ts.RowLength
+
+	case plan.PFilter:
+		sel := c.TrueFilterSelectivity(n.Pred) * c.Drift(n.Pred, jobSeed)
+		n.Stats.ActCard = sumAct * clamp(sel, 0, 1)
+		n.Stats.EstCard = sumEst * c.EstFilterSelectivity(n.Pred)
+		n.Stats.RowLength = childLen
+
+	case plan.PProject:
+		n.Stats.ActCard = sumAct
+		n.Stats.EstCard = sumEst
+		n.Stats.RowLength = childLen * c.ProjectWidthFactor(keysFP(n))
+
+	case plan.PHashJoin, plan.PMergeJoin:
+		fan := c.TrueJoinFanout(n.Pred) * c.Drift(n.Pred, jobSeed)
+		n.Stats.ActCard = maxAct * fan
+		n.Stats.EstCard = maxEst * c.EstJoinFanout(n.Pred)
+		// Joined rows carry both sides' columns.
+		n.Stats.RowLength = childLen * 2 * 0.8
+
+	case plan.PHashAggregate, plan.PStreamAggregate:
+		key := aggKey(n)
+		red := c.TrueAggReduction(key) * c.Drift(key, jobSeed)
+		n.Stats.ActCard = sumAct * clamp(red, 0, 1)
+		n.Stats.EstCard = sumEst * c.EstAggReduction(key)
+		n.Stats.RowLength = childLen * 0.6
+
+	case plan.PPartialAggregate:
+		// Local pre-aggregation reduces less than the global aggregate:
+		// each partition sees only part of the key space.
+		key := aggKey(n)
+		red := clamp(c.TrueAggReduction(key)*8, 0.05, 1) * c.Drift(key+"#l", jobSeed)
+		n.Stats.ActCard = sumAct * clamp(red, 0, 1)
+		n.Stats.EstCard = sumEst * clamp(c.EstAggReduction(key)*8, 0.05, 1)
+		n.Stats.RowLength = childLen * 0.8
+
+	case plan.PSort, plan.PExchange:
+		n.Stats.ActCard = sumAct
+		n.Stats.EstCard = sumEst
+		n.Stats.RowLength = childLen
+
+	case plan.PTopN:
+		lim := float64(n.N)
+		if lim <= 0 {
+			lim = 100
+		}
+		n.Stats.ActCard = minF(sumAct, lim)
+		n.Stats.EstCard = minF(sumEst, lim)
+		n.Stats.RowLength = childLen
+
+	case plan.PUnionAll:
+		n.Stats.ActCard = sumAct
+		n.Stats.EstCard = sumEst
+		n.Stats.RowLength = childLen
+
+	case plan.PProcess:
+		fan := c.TrueProcessFanout(n.UDF) * c.Drift(n.UDF, jobSeed)
+		n.Stats.ActCard = sumAct * fan
+		n.Stats.EstCard = sumEst * c.EstProcessFanout(n.UDF)
+		n.Stats.RowLength = childLen
+
+	case plan.POutput:
+		n.Stats.ActCard = sumAct
+		n.Stats.EstCard = sumEst
+		n.Stats.RowLength = childLen
+
+	default:
+		return fmt.Errorf("stats: unhandled operator %v", n.Op)
+	}
+	if n.Stats.RowLength <= 0 {
+		n.Stats.RowLength = 10
+	}
+	return nil
+}
+
+// aggKey identifies an aggregation for reduction lookup: the explicit
+// predicate id when the workload pinned one, otherwise a fingerprint of
+// the group keys and inputs.
+func aggKey(n *plan.Physical) string {
+	if n.Pred != "" {
+		return n.Pred
+	}
+	return keysFP(n)
+}
+
+func keysFP(n *plan.Physical) string {
+	parts := make([]string, 0, len(n.Keys)+1)
+	for _, k := range n.Keys {
+		parts = append(parts, string(k))
+	}
+	parts = append(parts, strings.Join(n.InputTemplates(), "+"))
+	return strings.Join(parts, ",")
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+
+	"cleo/internal/plan"
+)
+
+// CardLearner is the cardinality-learning baseline the paper compares
+// against (Figure 15): per operator-subgraph template, a Poisson regression
+// predicts the actual output cardinality from the optimizer's estimate and
+// the base input cardinality. Learned corrections replace EstCard; the cost
+// model itself is unchanged.
+type CardLearner struct {
+	models map[plan.Signature]*poissonModel
+	// minSamples is the occurrence threshold below which no model is
+	// learned for a template.
+	minSamples int
+}
+
+// NewCardLearner returns an empty learner requiring minSamples occurrences
+// per template (the paper uses 5 for subgraph models).
+func NewCardLearner(minSamples int) *CardLearner {
+	if minSamples < 2 {
+		minSamples = 2
+	}
+	return &CardLearner{models: map[plan.Signature]*poissonModel{}, minSamples: minSamples}
+}
+
+// CardSample is one training observation for a subgraph template.
+type CardSample struct {
+	Signature plan.Signature
+	EstCard   float64
+	BaseCard  float64
+	ActCard   float64
+}
+
+// Train fits one Poisson regression per subgraph template with enough
+// samples.
+func (cl *CardLearner) Train(samples []CardSample) {
+	grouped := map[plan.Signature][]CardSample{}
+	for _, s := range samples {
+		grouped[s.Signature] = append(grouped[s.Signature], s)
+	}
+	for sig, group := range grouped {
+		if len(group) < cl.minSamples {
+			continue
+		}
+		m := fitPoisson(group)
+		if m != nil {
+			cl.models[sig] = m
+		}
+	}
+}
+
+// NumModels reports how many templates have learned corrections.
+func (cl *CardLearner) NumModels() int { return len(cl.models) }
+
+// Correct returns the corrected cardinality estimate for a subgraph with
+// the given signature, falling back to est when no model exists.
+func (cl *CardLearner) Correct(sig plan.Signature, est, base float64) float64 {
+	m, ok := cl.models[sig]
+	if !ok {
+		return est
+	}
+	return m.predict(est, base)
+}
+
+// Apply rewrites EstCard throughout the plan using learned corrections.
+// Signatures are recomputed per node.
+func (cl *CardLearner) Apply(root *plan.Physical) {
+	base := root.BaseCardinality()
+	root.Walk(func(n *plan.Physical) {
+		sig := plan.SubgraphSignature(n)
+		n.Stats.EstCard = cl.Correct(sig, n.Stats.EstCard, base)
+	})
+}
+
+// poissonModel is a Poisson GLM: E[act] = exp(w0 + w1*(log1p(est)-c1) +
+// w2*(log1p(base)-c2)), with features centered at the training means for
+// numerical stability.
+type poissonModel struct {
+	w      [3]float64
+	center [2]float64
+}
+
+func (m *poissonModel) predict(est, base float64) float64 {
+	z := m.w[0] + m.w[1]*(math.Log1p(est)-m.center[0]) + m.w[2]*(math.Log1p(base)-m.center[1])
+	if z > 40 {
+		z = 40
+	}
+	return math.Expm1(z) + 1
+}
+
+// fitPoisson runs gradient ascent on the Poisson log-likelihood with
+// centered features and mean-scaled targets to keep exp() stable; both fold
+// back into the stored model.
+func fitPoisson(samples []CardSample) *poissonModel {
+	n := len(samples)
+	if n == 0 {
+		return nil
+	}
+	xs := make([][3]float64, n)
+	ys := make([]float64, n)
+	var meanY, m1, m2 float64
+	for i, s := range samples {
+		xs[i] = [3]float64{1, math.Log1p(s.EstCard), math.Log1p(s.BaseCard)}
+		ys[i] = s.ActCard
+		meanY += s.ActCard
+		m1 += xs[i][1]
+		m2 += xs[i][2]
+	}
+	meanY /= float64(n)
+	m1 /= float64(n)
+	m2 /= float64(n)
+	if meanY <= 0 {
+		meanY = 1
+	}
+	for i := range xs {
+		xs[i][1] -= m1
+		xs[i][2] -= m2
+		ys[i] /= meanY
+	}
+	m := &poissonModel{center: [2]float64{m1, m2}}
+	lr := 0.05
+	for iter := 0; iter < 800; iter++ {
+		var grad [3]float64
+		for i := range xs {
+			z := m.w[0]*xs[i][0] + m.w[1]*xs[i][1] + m.w[2]*xs[i][2]
+			if z > 20 {
+				z = 20
+			}
+			mu := math.Exp(z)
+			d := ys[i] - mu
+			for k := 0; k < 3; k++ {
+				grad[k] += d * xs[i][k]
+			}
+		}
+		for k := 0; k < 3; k++ {
+			g := grad[k] / float64(n)
+			// Clip to keep the ascent stable on heavy-tailed counts.
+			if g > 5 {
+				g = 5
+			} else if g < -5 {
+				g = -5
+			}
+			m.w[k] += lr * g
+		}
+	}
+	// Fold the target scale back into the intercept.
+	m.w[0] += math.Log(meanY)
+	return m
+}

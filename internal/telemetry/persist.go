@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteRecords streams records as JSON lines — the on-disk form of the
+// query logs the paper's trainer consumes.
+func WriteRecords(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			return fmt.Errorf("telemetry: encode record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRecords parses a JSON-lines record stream.
+func ReadRecords(r io.Reader) ([]Record, error) {
+	dec := json.NewDecoder(r)
+	var out []Record
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("telemetry: decode record %d: %w", len(out), err)
+		}
+		out = append(out, rec)
+	}
+}
+
+// WriteRecordsFile writes records to path.
+func WriteRecordsFile(path string, recs []Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteRecords(f, recs); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadRecordsFile reads records from path.
+func ReadRecordsFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadRecords(f)
+}

@@ -1,0 +1,76 @@
+package telemetry
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"cleo/internal/costmodel"
+)
+
+func TestRecordsRoundTrip(t *testing.T) {
+	tr := smallTrace()
+	r := &Runner{Trace: tr, Cost: costmodel.Default{}}
+	col, err := r.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteRecords(&buf, col.Records); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(col.Records) {
+		t.Fatalf("records: %d vs %d", len(back), len(col.Records))
+	}
+	for i := range back {
+		if back[i] != col.Records[i] {
+			t.Fatalf("record %d differs after round trip:\n%+v\n%+v", i, back[i], col.Records[i])
+		}
+	}
+}
+
+func TestRecordsFileRoundTrip(t *testing.T) {
+	tr := smallTrace()
+	r := &Runner{Trace: tr, Cost: costmodel.Default{}}
+	col, err := r.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "telemetry.jsonl")
+	if err := WriteRecordsFile(path, col.Records[:100]); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRecordsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 100 {
+		t.Fatalf("read %d records", len(back))
+	}
+}
+
+func TestReadRecordsRejectsGarbage(t *testing.T) {
+	if _, err := ReadRecords(bytes.NewBufferString("{not json")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestReadRecordsEmpty(t *testing.T) {
+	recs, err := ReadRecords(bytes.NewBuffer(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("empty input gave %d records", len(recs))
+	}
+}
+
+func TestReadRecordsFileMissing(t *testing.T) {
+	if _, err := ReadRecordsFile("/nonexistent/file.jsonl"); err == nil {
+		t.Fatal("expected error")
+	}
+}

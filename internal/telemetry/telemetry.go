@@ -1,0 +1,256 @@
+// Package telemetry implements the instrumentation-and-logging leg of the
+// paper's feedback loop (Section 5.1): it runs workload jobs through the
+// optimizer and the execution simulator and emits one record per operator
+// instance, carrying the compile-time statistics (the learned models'
+// features) together with the observed actual exclusive latency (the
+// training target) and actual cardinalities (for the cardinality
+// experiments).
+package telemetry
+
+import (
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+
+	"cleo/internal/cascades"
+	"cleo/internal/exec"
+	"cleo/internal/plan"
+	"cleo/internal/stats"
+	"cleo/internal/workload"
+)
+
+// Record is one operator observation from one job run.
+type Record struct {
+	JobID     string
+	Cluster   int
+	Day       int
+	Recurring bool
+
+	// Sigs keys the four learned model families.
+	Sigs plan.Signatures
+	Op   plan.PhysicalOp
+
+	// Compile-time statistics (estimated, as the optimizer saw them).
+	InCard     float64 // I: total input cardinality from children
+	BaseCard   float64 // B: total input cardinality at the leaves
+	OutCard    float64 // C: output cardinality
+	RowLength  float64 // L
+	Partitions int     // P
+	Inputs     string  // IN: normalized input templates, joined
+	Param      float64 // PM: job parameter
+	NumLogical int     // CL: logical operators in the subgraph
+	Depth      int     // D: operator depth in the subgraph
+
+	// Actual (runtime) observations.
+	ActualLatency float64 // exclusive latency, seconds — the target
+	ActInCard     float64
+	ActBaseCard   float64
+	ActOutCard    float64
+
+	// DefaultCost is the planner cost model's prediction, kept for
+	// baseline comparisons.
+	DefaultCost float64
+}
+
+// JobResult is the job-level outcome.
+type JobResult struct {
+	JobID               string
+	Cluster             int
+	Day                 int
+	Recurring           bool
+	Latency             float64
+	TotalProcessingTime float64
+	Containers          int
+	PlanOps             int
+	Plan                *plan.Physical
+}
+
+// Runner executes a trace and collects telemetry.
+type Runner struct {
+	// Trace is the workload to run.
+	Trace *workload.Trace
+	// Clusters supplies one simulator per trace cluster; built from
+	// DefaultClusterSeed if nil.
+	Clusters []*exec.Cluster
+	// Cost is the cost model used for planning (stock SCOPE: the default
+	// model). Required.
+	Cost cascades.Coster
+	// Mode selects estimated or perfect cardinalities.
+	Mode stats.CardinalityMode
+	// ResourceAware and Chooser configure the optimizer's partition
+	// exploration.
+	ResourceAware bool
+	Chooser       cascades.PartitionChooser
+	// MaxPartitions caps stage parallelism.
+	MaxPartitions int
+	// Parallelism bounds worker goroutines; 0 means GOMAXPROCS.
+	Parallelism int
+	// Jitter perturbs the final plan's partition counts per stage so the
+	// collected telemetry covers a range of counts per template (see
+	// cascades.JitterPlanPartitions). Enable for training-data collection.
+	Jitter bool
+	// Corrector, when set, rewrites the plan's estimated cardinalities
+	// after planning and before logging — the hook the CardLearner
+	// comparison (Figure 15) uses. Costs are re-derived afterwards.
+	Corrector func(root *plan.Physical)
+}
+
+// Collected bundles a run's outputs.
+type Collected struct {
+	Records []Record
+	Jobs    []JobResult
+}
+
+// RunAll executes every job in the trace and returns per-operator records
+// and per-job results, in trace order.
+func (r *Runner) RunAll() (*Collected, error) {
+	clusters := r.Clusters
+	if clusters == nil {
+		for i := range r.Trace.Catalogs {
+			clusters = append(clusters, exec.NewCluster(exec.DefaultConfig(uint64(i)+77)))
+		}
+	}
+	par := r.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+
+	jobs := r.Trace.Jobs
+	recs := make([][]Record, len(jobs))
+	results := make([]JobResult, len(jobs))
+	errs := make([]error, len(jobs))
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, par)
+	for i := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			recs[i], results[i], errs[i] = r.runJob(&jobs[i], clusters[jobs[i].Cluster])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := &Collected{}
+	for i := range jobs {
+		out.Records = append(out.Records, recs[i]...)
+		out.Jobs = append(out.Jobs, results[i])
+	}
+	return out, nil
+}
+
+// runJob optimizes, annotates and executes one job, then extracts records.
+func (r *Runner) runJob(job *workload.Job, cluster *exec.Cluster) ([]Record, JobResult, error) {
+	maxP := r.MaxPartitions
+	if maxP <= 0 {
+		maxP = cluster.MaxPartitions()
+	}
+	opt := &cascades.Optimizer{
+		Catalog:       r.Trace.Catalogs[job.Cluster],
+		Cost:          r.Cost,
+		MaxPartitions: maxP,
+		ResourceAware: r.ResourceAware,
+		Chooser:       r.Chooser,
+		JobSeed:       job.Seed,
+	}
+	res, err := opt.Optimize(job.Query)
+	if err != nil {
+		return nil, JobResult{}, err
+	}
+	p := res.Plan
+	if r.Jitter {
+		cascades.JitterPlanPartitions(p, job.Seed, maxP, r.Cost)
+	}
+	if r.Mode == stats.Perfect {
+		// Feed actual cardinalities back as estimates before logging.
+		p.Walk(func(n *plan.Physical) { n.Stats.EstCard = n.Stats.ActCard })
+	}
+	if r.Corrector != nil {
+		r.Corrector(p)
+	}
+	if r.Mode == stats.Perfect || r.Corrector != nil {
+		// Estimates changed after planning; refresh per-operator costs.
+		p.Walk(func(n *plan.Physical) { n.ExclusiveCostEst = r.Cost.OperatorCost(n) })
+	}
+	runRes, err := cluster.Run(p, rand.New(rand.NewSource(job.Seed)))
+	if err != nil {
+		return nil, JobResult{}, err
+	}
+	records := Extract(job, p)
+	jr := JobResult{
+		JobID:               job.ID,
+		Cluster:             job.Cluster,
+		Day:                 job.Day,
+		Recurring:           job.Recurring,
+		Latency:             runRes.Latency,
+		TotalProcessingTime: runRes.TotalProcessingTime,
+		Containers:          runRes.Containers,
+		PlanOps:             p.Count(),
+		Plan:                p,
+	}
+	return records, jr, nil
+}
+
+// Extract converts an executed plan into per-operator records.
+func Extract(job *workload.Job, root *plan.Physical) []Record {
+	var out []Record
+	actBase := actualBase(root)
+	estBase := root.BaseCardinality()
+	root.Walk(func(n *plan.Physical) {
+		counts := n.LogicalOpCounts()
+		numLogical := 0
+		for _, c := range counts {
+			numLogical += c
+		}
+		out = append(out, Record{
+			JobID:         job.ID,
+			Cluster:       job.Cluster,
+			Day:           job.Day,
+			Recurring:     job.Recurring,
+			Sigs:          plan.ComputeSignatures(n),
+			Op:            n.Op,
+			InCard:        inCard(n, true),
+			BaseCard:      estBase,
+			OutCard:       n.Stats.EstCard,
+			RowLength:     n.Stats.RowLength,
+			Partitions:    n.Partitions,
+			Inputs:        strings.Join(n.InputTemplates(), "+"),
+			Param:         job.Param,
+			NumLogical:    numLogical,
+			Depth:         n.Depth(),
+			ActualLatency: n.ExclusiveActual,
+			ActInCard:     inCard(n, false),
+			ActBaseCard:   actBase,
+			ActOutCard:    n.Stats.ActCard,
+			DefaultCost:   n.ExclusiveCostEst,
+		})
+	})
+	return out
+}
+
+// inCard returns input cardinality; leaves use their own output (the data
+// they read).
+func inCard(n *plan.Physical, est bool) float64 {
+	if len(n.Children) == 0 {
+		if est {
+			return n.Stats.EstCard
+		}
+		return n.Stats.ActCard
+	}
+	return n.InputCardinality(est)
+}
+
+func actualBase(root *plan.Physical) float64 {
+	var sum float64
+	for _, leaf := range root.Leaves() {
+		sum += leaf.Stats.ActCard
+	}
+	return sum
+}

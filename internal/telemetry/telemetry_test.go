@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"testing"
+
+	"cleo/internal/costmodel"
+	"cleo/internal/stats"
+	"cleo/internal/workload"
+)
+
+func smallTrace() *workload.Trace {
+	return workload.Generate(workload.Config{
+		Clusters:                   1,
+		Days:                       2,
+		TemplatesPerCluster:        5,
+		InstancesPerTemplatePerDay: 2,
+		AdHocFraction:              0.1,
+		Seed:                       7,
+	})
+}
+
+func TestRunAllProducesRecords(t *testing.T) {
+	tr := smallTrace()
+	r := &Runner{Trace: tr, Cost: costmodel.Default{}, Mode: stats.Estimated}
+	col, err := r.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(col.Jobs) != len(tr.Jobs) {
+		t.Fatalf("jobs = %d, want %d", len(col.Jobs), len(tr.Jobs))
+	}
+	if len(col.Records) == 0 {
+		t.Fatal("no records")
+	}
+	for _, rec := range col.Records[:50] {
+		if rec.ActualLatency <= 0 {
+			t.Fatalf("record %s/%v latency = %v", rec.JobID, rec.Op, rec.ActualLatency)
+		}
+		if rec.Partitions < 1 {
+			t.Fatalf("record partitions = %d", rec.Partitions)
+		}
+		if rec.OutCard <= 0 || rec.BaseCard <= 0 {
+			t.Fatalf("record cards: out=%v base=%v", rec.OutCard, rec.BaseCard)
+		}
+	}
+	for _, jr := range col.Jobs {
+		if jr.Latency <= 0 || jr.TotalProcessingTime <= 0 || jr.PlanOps < 2 {
+			t.Fatalf("job result %+v", jr)
+		}
+	}
+}
+
+func TestRecurringInstancesShareSignatures(t *testing.T) {
+	tr := smallTrace()
+	r := &Runner{Trace: tr, Cost: costmodel.Default{}}
+	col, err := r.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group subgraph signatures by (template, op position count); records
+	// of the same recurring template across days must reuse signatures.
+	sigCount := map[uint64]int{}
+	for _, rec := range col.Records {
+		if rec.Recurring {
+			sigCount[uint64(rec.Sigs.Subgraph)]++
+		}
+	}
+	repeated := 0
+	for _, c := range sigCount {
+		if c >= 4 { // 2 days × 2 instances
+			repeated++
+		}
+	}
+	if repeated == 0 {
+		t.Fatal("no subgraph signatures repeat across recurring instances")
+	}
+}
+
+func TestPerfectModeEqualizesCards(t *testing.T) {
+	tr := smallTrace()
+	r := &Runner{Trace: tr, Cost: costmodel.Default{}, Mode: stats.Perfect}
+	col, err := r.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range col.Records {
+		if rec.OutCard != rec.ActOutCard {
+			t.Fatalf("perfect mode: est %v != act %v", rec.OutCard, rec.ActOutCard)
+		}
+	}
+}
+
+func TestRunAllDeterministic(t *testing.T) {
+	run := func() *Collected {
+		r := &Runner{Trace: smallTrace(), Cost: costmodel.Default{}, Parallelism: 4}
+		col, err := r.RunAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return col
+	}
+	a, b := run(), run()
+	if len(a.Records) != len(b.Records) {
+		t.Fatal("record counts differ")
+	}
+	for i := range a.Records {
+		if a.Records[i].ActualLatency != b.Records[i].ActualLatency {
+			t.Fatalf("record %d latency differs", i)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cleo/internal/plan"
+)
+
+// planShape is a job template's structural blueprint: a logical plan with
+// input slots instead of concrete table names. Every instance of the
+// template builds the same operator tree (hence shares subgraph
+// signatures) over that day's tables.
+type planShape struct {
+	root *shapeNode
+}
+
+// shapeNode mirrors plan.Logical with an input slot for leaves.
+type shapeNode struct {
+	op            plan.LogicalOp
+	children      []*shapeNode
+	inputSlot     int
+	inputTemplate string
+	pred          string
+	keys          []plan.Column
+	udf           string
+	n             int
+}
+
+// build instantiates the shape over concrete table names (one per slot).
+func (s planShape) build(tables []string) *plan.Logical {
+	var conv func(n *shapeNode) *plan.Logical
+	conv = func(n *shapeNode) *plan.Logical {
+		l := &plan.Logical{
+			Op:            n.op,
+			InputTemplate: n.inputTemplate,
+			Pred:          n.pred,
+			Keys:          append([]plan.Column(nil), n.keys...),
+			UDF:           n.udf,
+			N:             n.n,
+		}
+		if n.op == plan.LGet {
+			l.Table = tables[n.inputSlot]
+		}
+		for _, c := range n.children {
+			l.Children = append(l.Children, conv(c))
+		}
+		return l
+	}
+	return conv(s.root)
+}
+
+// joinKeys is the column pool for join/group/sort keys. A small pool means
+// different templates aggregate on the same columns, with shared hidden
+// skew — realistic for production schemas.
+var joinKeys = []plan.Column{"k0", "k1", "k2", "k3", "k4", "k5", "k6", "k7"}
+
+// newShape draws a random plan shape for template t. When sharedFrom is
+// non-nil, the first input chain replicates sharedFrom's first chain
+// (operators, predicates and UDFs), creating a common subexpression.
+func (g *clusterGen) newShape(t *template, sharedFrom *template) planShape {
+	rng := g.rng
+	var chains []*shapeNode
+	for slot := range t.inputs {
+		if slot == 0 && sharedFrom != nil && len(sharedFrom.chains) > 0 {
+			chains = append(chains, cloneShape(sharedFrom.chains[0]))
+			continue
+		}
+		chains = append(chains, g.newChain(t.id, slot, t.inputs[slot].template, rng))
+	}
+	t.chains = chains
+
+	// Left-deep joins across chains.
+	cur := chains[0]
+	for i := 1; i < len(chains); i++ {
+		key := joinKeys[rng.Intn(len(joinKeys))]
+		cur = &shapeNode{
+			op:       plan.LJoin,
+			children: []*shapeNode{cur, chains[i]},
+			pred:     fmt.Sprintf("%s.j%d", t.id, i),
+			keys:     []plan.Column{key},
+		}
+	}
+	// Optional aggregate.
+	if rng.Float64() < 0.75 {
+		key := joinKeys[rng.Intn(len(joinKeys))]
+		cur = &shapeNode{op: plan.LAggregate, children: []*shapeNode{cur}, keys: []plan.Column{key}}
+		// Occasionally a second-level rollup.
+		if rng.Float64() < 0.2 {
+			key2 := joinKeys[rng.Intn(len(joinKeys))]
+			cur = &shapeNode{op: plan.LAggregate, children: []*shapeNode{cur}, keys: []plan.Column{key2}}
+		}
+	}
+	// Optional ordering.
+	switch r := rng.Float64(); {
+	case r < 0.2:
+		cur = &shapeNode{op: plan.LSort, children: []*shapeNode{cur}, keys: []plan.Column{joinKeys[rng.Intn(len(joinKeys))]}}
+	case r < 0.35:
+		cur = &shapeNode{op: plan.LTopN, children: []*shapeNode{cur}, keys: []plan.Column{joinKeys[rng.Intn(len(joinKeys))]}, n: 10 + rng.Intn(990)}
+	}
+	root := &shapeNode{op: plan.LOutput, children: []*shapeNode{cur}}
+	return planShape{root: root}
+}
+
+// newChain builds one input's scan chain: Get → 0–2 filters → optional UDF
+// → optional projection.
+func (g *clusterGen) newChain(templateID string, slot int, inputTemplate string, rng *rand.Rand) *shapeNode {
+	cur := &shapeNode{op: plan.LGet, inputSlot: slot, inputTemplate: inputTemplate}
+	nFilters := rng.Intn(3)
+	for f := 0; f < nFilters; f++ {
+		cur = &shapeNode{
+			op:       plan.LSelect,
+			children: []*shapeNode{cur},
+			pred:     fmt.Sprintf("%s.s%d.%d", templateID, slot, f),
+		}
+	}
+	if rng.Float64() < 0.3 {
+		cur = &shapeNode{
+			op:       plan.LProcess,
+			children: []*shapeNode{cur},
+			udf:      fmt.Sprintf("udf%d", rng.Intn(12)),
+		}
+	}
+	if rng.Float64() < 0.4 {
+		cur = &shapeNode{
+			op:       plan.LProject,
+			children: []*shapeNode{cur},
+			keys:     []plan.Column{joinKeys[rng.Intn(len(joinKeys))]},
+		}
+	}
+	return cur
+}
+
+func cloneShape(n *shapeNode) *shapeNode {
+	out := *n
+	out.keys = append([]plan.Column(nil), n.keys...)
+	out.children = make([]*shapeNode, len(n.children))
+	for i, c := range n.children {
+		out.children[i] = cloneShape(c)
+	}
+	return &out
+}

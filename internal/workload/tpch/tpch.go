@@ -1,0 +1,450 @@
+// Package tpch builds the TPC-H benchmark workload the paper evaluates in
+// Section 6.6.2: the eight table schemas with scale-factor-scaled
+// statistics, and logical plan templates for all 22 queries. Queries are
+// structural approximations — the same scan/filter/join/aggregate shapes
+// over the same tables and join keys the official queries use — since the
+// simulator prices plans from statistics rather than executing SQL.
+//
+// lineitem, orders and part are registered as stored hash-partitioned
+// inputs (as the paper's SCOPE deployment had them), which is what enables
+// the Q8/Q9 shuffle eliminations CLEO finds.
+package tpch
+
+import (
+	"fmt"
+
+	"cleo/internal/plan"
+	"cleo/internal/stats"
+)
+
+// Table names.
+const (
+	Lineitem = "lineitem"
+	Orders   = "orders"
+	Customer = "customer"
+	Part     = "part"
+	Supplier = "supplier"
+	PartSupp = "partsupp"
+	Nation   = "nation"
+	Region   = "region"
+)
+
+// tableSpec gives per-scale-factor cardinality and layout.
+type tableSpec struct {
+	rowsPerSF float64 // rows at SF=1; nation/region are fixed
+	fixed     bool
+	rowLen    float64
+	partKey   string // stored partitioning column, if any
+	partCount int
+}
+
+// specs mirror the TPC-H specification's table cardinalities.
+var specs = map[string]tableSpec{
+	Lineitem: {rowsPerSF: 6_001_215, rowLen: 112, partKey: "l_orderkey", partCount: 200},
+	Orders:   {rowsPerSF: 1_500_000, rowLen: 104, partKey: "o_orderkey", partCount: 200},
+	Customer: {rowsPerSF: 150_000, rowLen: 160},
+	Part:     {rowsPerSF: 200_000, rowLen: 120, partKey: "p_partkey", partCount: 100},
+	Supplier: {rowsPerSF: 10_000, rowLen: 140},
+	PartSupp: {rowsPerSF: 800_000, rowLen: 144},
+	Nation:   {rowsPerSF: 25, fixed: true, rowLen: 108},
+	Region:   {rowsPerSF: 5, fixed: true, rowLen: 116},
+}
+
+// Register installs the SF-scaled tables into the catalog and pins the
+// selectivities of the standard predicates to their spec values.
+func Register(cat *stats.Catalog, scaleFactor float64) {
+	if scaleFactor <= 0 {
+		scaleFactor = 1
+	}
+	for name, s := range specs {
+		rows := s.rowsPerSF
+		if !s.fixed {
+			rows *= scaleFactor
+		}
+		cat.PutTable(name, stats.TableStats{
+			Rows:          rows,
+			RowLength:     s.rowLen,
+			PartitionedOn: s.partKey,
+			Partitions:    s.partCount,
+		})
+	}
+	pinSelectivities(cat, scaleFactor)
+}
+
+// pinSelectivities fixes the true selectivities of the well-known TPC-H
+// predicates (estimates keep realistic biases: range predicates estimated
+// reasonably, correlated ones under-estimated).
+func pinSelectivities(cat *stats.Catalog, sf float64) {
+	// Filters: (pred, true, est).
+	filters := []struct {
+		pred     string
+		tru, est float64
+	}{
+		{"q1.shipdate", 0.98, 0.95},
+		{"q2.region", 0.20, 0.25},
+		{"q2.size", 0.02, 0.01},
+		{"q3.custseg", 0.20, 0.22},
+		{"q3.orderdate", 0.48, 0.40},
+		{"q4.orderdate", 0.038, 0.05},
+		{"q5.region", 0.20, 0.18},
+		{"q5.orderdate", 0.15, 0.18},
+		{"q6.range", 0.019, 0.005},
+		{"q7.nations", 0.08, 0.03},
+		{"q8.region", 0.20, 0.23},
+		{"q8.type", 0.0067, 0.004},
+		{"q9.name", 0.055, 0.02},
+		{"q10.returnflag", 0.25, 0.30},
+		{"q10.orderdate", 0.031, 0.04},
+		{"q11.nation", 0.04, 0.05},
+		{"q12.shipmode", 0.0086, 0.01},
+		{"q13.comment", 0.98, 0.80},
+		{"q14.shipdate", 0.0125, 0.02},
+		{"q15.shipdate", 0.0385, 0.05},
+		{"q16.partfilter", 0.10, 0.06},
+		{"q17.brandcontainer", 0.001, 0.0005},
+		{"q18.having", 0.0001, 0.001},
+		{"q19.quantity", 0.002, 0.0005},
+		{"q20.name", 0.011, 0.02},
+		{"q20.shipdate", 0.15, 0.20},
+		{"q21.nation", 0.04, 0.05},
+		{"q21.late", 0.50, 0.30},
+		{"q22.cntry", 0.25, 0.30},
+		{"q22.noorders", 0.36, 0.20},
+	}
+	for _, f := range filters {
+		cat.OverrideFilter(f.pred, f.tru, f.est)
+	}
+
+	// Joins: fanout f makes |join| = max(L, R)·f. PK-FK joins over the
+	// full key space have fanout ≈ 1 on the FK side; selective probes
+	// shrink it. Estimates under-estimate the multi-join chains.
+	joins := []struct {
+		pred     string
+		tru, est float64
+	}{
+		{"j.lineitem.orders", 1.0, 0.8},
+		{"j.lineitem.part", 1.0, 0.5},
+		{"j.lineitem.supplier", 1.0, 0.6},
+		{"j.lineitem.partsupp", 1.0, 0.4},
+		{"j.orders.customer", 1.0, 0.9},
+		{"j.customer.nation", 1.0, 0.9},
+		{"j.supplier.nation", 1.0, 0.9},
+		{"j.nation.region", 1.0, 1.0},
+		{"j.partsupp.part", 1.0, 0.8},
+		{"j.partsupp.supplier", 1.0, 0.7},
+	}
+	for _, j := range joins {
+		cat.OverrideJoinFanout(j.pred, j.tru, j.est)
+	}
+
+	// Aggregations: reductions reflect group counts relative to input.
+	groupReductions := []struct {
+		key      string
+		tru, est float64
+	}{
+		{"g.flagstatus", 1e-6 / sf, 1e-5 / sf},
+		{"g.orderkey", 0.25, 0.10},
+		{"g.orderpriority", 5e-6 / sf, 1e-5 / sf},
+		{"g.nation", 2e-5 / sf, 1e-4 / sf},
+		{"g.year", 1e-5 / sf, 1e-4 / sf},
+		{"g.nationyear", 1e-4 / sf, 1e-3 / sf},
+		{"g.custkey", 0.30, 0.10},
+		{"g.partkey", 0.80, 0.30},
+		{"g.shipmode", 2e-5 / sf, 1e-4 / sf},
+		{"g.custcount", 1e-4, 1e-3},
+		{"g.suppkey", 0.012, 0.005},
+		{"g.brandtypesize", 0.15, 0.05},
+		{"g.suppname", 0.012, 0.004},
+		{"g.cntrycode", 1e-4, 1e-3},
+	}
+	for _, g := range groupReductions {
+		cat.OverrideAggReduction(g.key, g.tru, g.est)
+	}
+}
+
+// QueryBuilder constructs one TPC-H query's logical plan.
+type QueryBuilder func() *plan.Logical
+
+// Queries returns builders for all 22 queries, indexed 1..22.
+func Queries() map[int]QueryBuilder {
+	return map[int]QueryBuilder{
+		1: Q1, 2: Q2, 3: Q3, 4: Q4, 5: Q5, 6: Q6, 7: Q7, 8: Q8,
+		9: Q9, 10: Q10, 11: Q11, 12: Q12, 13: Q13, 14: Q14, 15: Q15,
+		16: Q16, 17: Q17, 18: Q18, 19: Q19, 20: Q20, 21: Q21, 22: Q22,
+	}
+}
+
+// scan builds a Get over a TPC-H table (table name == input template).
+func scan(table string) *plan.Logical { return plan.NewGet(table, table) }
+
+func join(l, r *plan.Logical, pred string, key plan.Column) *plan.Logical {
+	return plan.NewJoin(l, r, pred, key)
+}
+
+// Q1: pricing summary report — scan lineitem, filter by shipdate,
+// aggregate by (returnflag, linestatus), sort.
+func Q1() *plan.Logical {
+	l := plan.NewSelect(scan(Lineitem), "q1.shipdate")
+	a := plan.NewAggregate(l, "l_returnflag", "l_linestatus")
+	a.Pred = "g.flagstatus"
+	s := plan.NewSort(a, "l_returnflag", "l_linestatus")
+	return plan.NewOutput(s)
+}
+
+// Q2: minimum cost supplier — part ⋈ partsupp ⋈ supplier ⋈ nation ⋈
+// region with size/region filters and top-100.
+func Q2() *plan.Logical {
+	p := plan.NewSelect(scan(Part), "q2.size")
+	ps := join(p, scan(PartSupp), "j.partsupp.part", "p_partkey")
+	s := join(ps, scan(Supplier), "j.partsupp.supplier", "s_suppkey")
+	n := join(s, scan(Nation), "j.supplier.nation", "n_nationkey")
+	r := join(n, plan.NewSelect(scan(Region), "q2.region"), "j.nation.region", "r_regionkey")
+	t := plan.NewTopN(r, 100, "s_acctbal")
+	return plan.NewOutput(t)
+}
+
+// Q3: shipping priority — customer ⋈ orders ⋈ lineitem, aggregate by
+// orderkey, top-10 by revenue.
+func Q3() *plan.Logical {
+	c := plan.NewSelect(scan(Customer), "q3.custseg")
+	o := plan.NewSelect(scan(Orders), "q3.orderdate")
+	co := join(o, c, "j.orders.customer", "o_custkey")
+	col := join(scan(Lineitem), co, "j.lineitem.orders", "l_orderkey")
+	a := plan.NewAggregate(col, "l_orderkey")
+	a.Pred = "g.orderkey"
+	t := plan.NewTopN(a, 10, "revenue")
+	return plan.NewOutput(t)
+}
+
+// Q4: order priority checking — orders filtered by date, semi-joined with
+// late lineitems, aggregated by priority.
+func Q4() *plan.Logical {
+	o := plan.NewSelect(scan(Orders), "q4.orderdate")
+	l := join(o, scan(Lineitem), "j.lineitem.orders", "o_orderkey")
+	a := plan.NewAggregate(l, "o_orderpriority")
+	a.Pred = "g.orderpriority"
+	s := plan.NewSort(a, "o_orderpriority")
+	return plan.NewOutput(s)
+}
+
+// Q5: local supplier volume — six-way join down to region, aggregated by
+// nation.
+func Q5() *plan.Logical {
+	o := plan.NewSelect(scan(Orders), "q5.orderdate")
+	co := join(o, scan(Customer), "j.orders.customer", "o_custkey")
+	lo := join(scan(Lineitem), co, "j.lineitem.orders", "l_orderkey")
+	ls := join(lo, scan(Supplier), "j.lineitem.supplier", "l_suppkey")
+	n := join(ls, scan(Nation), "j.supplier.nation", "s_nationkey")
+	r := join(n, plan.NewSelect(scan(Region), "q5.region"), "j.nation.region", "n_regionkey")
+	a := plan.NewAggregate(r, "n_name")
+	a.Pred = "g.nation"
+	s := plan.NewSort(a, "revenue")
+	return plan.NewOutput(s)
+}
+
+// Q6: forecasting revenue change — single-table filter and global
+// aggregate.
+func Q6() *plan.Logical {
+	l := plan.NewSelect(scan(Lineitem), "q6.range")
+	a := plan.NewAggregate(l)
+	return plan.NewOutput(a)
+}
+
+// Q7: volume shipping — lineitem ⋈ supplier ⋈ orders ⋈ customer with two
+// nation joins, aggregated by (nation, nation, year).
+func Q7() *plan.Logical {
+	ls := join(scan(Lineitem), scan(Supplier), "j.lineitem.supplier", "l_suppkey")
+	lo := join(ls, scan(Orders), "j.lineitem.orders", "l_orderkey")
+	lc := join(lo, scan(Customer), "j.orders.customer", "o_custkey")
+	n := plan.NewSelect(join(lc, scan(Nation), "j.supplier.nation", "s_nationkey"), "q7.nations")
+	a := plan.NewAggregate(n, "supp_nation", "cust_nation", "l_year")
+	a.Pred = "g.nationyear"
+	s := plan.NewSort(a, "supp_nation", "cust_nation", "l_year")
+	return plan.NewOutput(s)
+}
+
+// Q8: national market share — the paper's headline plan-change query:
+// part ⋈ lineitem on partkey (part is stored pre-partitioned on p_partkey),
+// then orders, customer, nation, region; aggregated by year.
+func Q8() *plan.Logical {
+	p := plan.NewSelect(scan(Part), "q8.type")
+	pl := join(p, scan(Lineitem), "j.lineitem.part", "p_partkey")
+	po := join(pl, scan(Orders), "j.lineitem.orders", "l_orderkey")
+	pc := join(po, scan(Customer), "j.orders.customer", "o_custkey")
+	pn := join(pc, scan(Nation), "j.customer.nation", "c_nationkey")
+	pr := join(pn, plan.NewSelect(scan(Region), "q8.region"), "j.nation.region", "n_regionkey")
+	ps := join(pr, scan(Supplier), "j.lineitem.supplier", "l_suppkey")
+	a := plan.NewAggregate(ps, "o_year")
+	a.Pred = "g.year"
+	s := plan.NewSort(a, "o_year")
+	return plan.NewOutput(s)
+}
+
+// Q9: product type profit — part ⋈ lineitem ⋈ supplier ⋈ partsupp ⋈
+// orders ⋈ nation, aggregated by (nation, year).
+func Q9() *plan.Logical {
+	p := plan.NewSelect(scan(Part), "q9.name")
+	ls := join(scan(Lineitem), scan(Supplier), "j.lineitem.supplier", "l_suppkey")
+	pl := join(p, ls, "j.lineitem.part", "p_partkey")
+	pps := join(pl, scan(PartSupp), "j.lineitem.partsupp", "ps_partkey")
+	po := join(pps, scan(Orders), "j.lineitem.orders", "l_orderkey")
+	pn := join(po, scan(Nation), "j.supplier.nation", "s_nationkey")
+	a := plan.NewAggregate(pn, "n_name", "o_year")
+	a.Pred = "g.nationyear"
+	s := plan.NewSort(a, "n_name", "o_year")
+	return plan.NewOutput(s)
+}
+
+// Q10: returned item reporting — customer ⋈ orders ⋈ lineitem ⋈ nation,
+// aggregate by customer, top-20.
+func Q10() *plan.Logical {
+	o := plan.NewSelect(scan(Orders), "q10.orderdate")
+	l := plan.NewSelect(scan(Lineitem), "q10.returnflag")
+	lo := join(l, o, "j.lineitem.orders", "l_orderkey")
+	lc := join(lo, scan(Customer), "j.orders.customer", "o_custkey")
+	ln := join(lc, scan(Nation), "j.customer.nation", "c_nationkey")
+	a := plan.NewAggregate(ln, "c_custkey")
+	a.Pred = "g.custkey"
+	t := plan.NewTopN(a, 20, "revenue")
+	return plan.NewOutput(t)
+}
+
+// Q11: important stock identification — partsupp ⋈ supplier ⋈ nation,
+// aggregate by partkey, filter (having), sort.
+func Q11() *plan.Logical {
+	s := join(scan(PartSupp), scan(Supplier), "j.partsupp.supplier", "ps_suppkey")
+	n := plan.NewSelect(join(s, scan(Nation), "j.supplier.nation", "s_nationkey"), "q11.nation")
+	a := plan.NewAggregate(n, "ps_partkey")
+	a.Pred = "g.partkey"
+	srt := plan.NewSort(a, "value")
+	return plan.NewOutput(srt)
+}
+
+// Q12: shipping modes — orders ⋈ lineitem filtered by shipmode, aggregate.
+func Q12() *plan.Logical {
+	l := plan.NewSelect(scan(Lineitem), "q12.shipmode")
+	lo := join(l, scan(Orders), "j.lineitem.orders", "l_orderkey")
+	a := plan.NewAggregate(lo, "l_shipmode")
+	a.Pred = "g.shipmode"
+	s := plan.NewSort(a, "l_shipmode")
+	return plan.NewOutput(s)
+}
+
+// Q13: customer distribution — customer ⋈ orders, per-customer counts,
+// then count-of-counts.
+func Q13() *plan.Logical {
+	o := plan.NewSelect(scan(Orders), "q13.comment")
+	co := join(scan(Customer), o, "j.orders.customer", "c_custkey")
+	a1 := plan.NewAggregate(co, "c_custkey")
+	a1.Pred = "g.custkey"
+	a2 := plan.NewAggregate(a1, "c_count")
+	a2.Pred = "g.custcount"
+	s := plan.NewSort(a2, "custdist")
+	return plan.NewOutput(s)
+}
+
+// Q14: promotion effect — lineitem ⋈ part with a shipdate filter, global
+// aggregate.
+func Q14() *plan.Logical {
+	l := plan.NewSelect(scan(Lineitem), "q14.shipdate")
+	lp := join(l, scan(Part), "j.lineitem.part", "l_partkey")
+	a := plan.NewAggregate(lp)
+	return plan.NewOutput(a)
+}
+
+// Q15: top supplier — revenue view (filtered lineitem aggregated by
+// supplier) joined with supplier.
+func Q15() *plan.Logical {
+	l := plan.NewSelect(scan(Lineitem), "q15.shipdate")
+	rev := plan.NewAggregate(l, "l_suppkey")
+	rev.Pred = "g.suppkey"
+	s := join(rev, scan(Supplier), "j.lineitem.supplier", "l_suppkey")
+	srt := plan.NewSort(s, "s_suppkey")
+	return plan.NewOutput(srt)
+}
+
+// Q16: parts/supplier relationship — partsupp ⋈ part with filters,
+// aggregate by (brand, type, size), sort — the paper's repartitioning
+// change (250 → 100 partitions).
+func Q16() *plan.Logical {
+	p := plan.NewSelect(scan(Part), "q16.partfilter")
+	pp := join(scan(PartSupp), p, "j.partsupp.part", "ps_partkey")
+	a := plan.NewAggregate(pp, "p_brand", "p_type", "p_size")
+	a.Pred = "g.brandtypesize"
+	s := plan.NewSort(a, "supplier_cnt")
+	return plan.NewOutput(s)
+}
+
+// Q17: small-quantity-order revenue — lineitem ⋈ part (brand/container
+// filter), per-part average then global aggregate — the query whose
+// partial-aggregation change regressed in the paper.
+func Q17() *plan.Logical {
+	p := plan.NewSelect(scan(Part), "q17.brandcontainer")
+	lp := join(scan(Lineitem), p, "j.lineitem.part", "l_partkey")
+	perPart := plan.NewAggregate(lp, "l_partkey")
+	perPart.Pred = "g.partkey"
+	a := plan.NewAggregate(perPart)
+	return plan.NewOutput(a)
+}
+
+// Q18: large volume customer — customer ⋈ orders ⋈ lineitem, per-order
+// aggregation with a having filter, top-100.
+func Q18() *plan.Logical {
+	lo := join(scan(Lineitem), scan(Orders), "j.lineitem.orders", "l_orderkey")
+	a1 := plan.NewAggregate(lo, "l_orderkey")
+	a1.Pred = "g.orderkey"
+	hav := plan.NewSelect(a1, "q18.having")
+	c := join(hav, scan(Customer), "j.orders.customer", "o_custkey")
+	t := plan.NewTopN(c, 100, "o_totalprice")
+	return plan.NewOutput(t)
+}
+
+// Q19: discounted revenue — lineitem ⋈ part with a disjunctive predicate,
+// global aggregate.
+func Q19() *plan.Logical {
+	l := plan.NewSelect(scan(Lineitem), "q19.quantity")
+	lp := join(l, scan(Part), "j.lineitem.part", "l_partkey")
+	a := plan.NewAggregate(lp)
+	return plan.NewOutput(a)
+}
+
+// Q20: potential part promotion — supplier ⋈ nation joined against an
+// aggregated partsupp ⋈ part subquery — the paper's merge-join change.
+func Q20() *plan.Logical {
+	p := plan.NewSelect(scan(Part), "q20.name")
+	ps := join(scan(PartSupp), p, "j.partsupp.part", "ps_partkey")
+	l := plan.NewSelect(scan(Lineitem), "q20.shipdate")
+	agg := plan.NewAggregate(l, "l_partkey", "l_suppkey")
+	agg.Pred = "g.partkey"
+	sub := join(ps, agg, "j.lineitem.partsupp", "ps_partkey")
+	sn := join(scan(Supplier), scan(Nation), "j.supplier.nation", "s_nationkey")
+	out := join(sub, sn, "j.partsupp.supplier", "ps_suppkey")
+	s := plan.NewSort(out, "s_name")
+	return plan.NewOutput(s)
+}
+
+// Q21: suppliers who kept orders waiting — supplier ⋈ lineitem ⋈ orders ⋈
+// nation with late-delivery filters, aggregate by supplier name, top-100.
+func Q21() *plan.Logical {
+	l := plan.NewSelect(scan(Lineitem), "q21.late")
+	ls := join(l, scan(Supplier), "j.lineitem.supplier", "l_suppkey")
+	lo := join(ls, scan(Orders), "j.lineitem.orders", "l_orderkey")
+	ln := plan.NewSelect(join(lo, scan(Nation), "j.supplier.nation", "s_nationkey"), "q21.nation")
+	a := plan.NewAggregate(ln, "s_name")
+	a.Pred = "g.suppname"
+	t := plan.NewTopN(a, 100, "numwait")
+	return plan.NewOutput(t)
+}
+
+// Q22: global sales opportunity — customers without orders by country
+// code.
+func Q22() *plan.Logical {
+	c := plan.NewSelect(plan.NewSelect(scan(Customer), "q22.cntry"), "q22.noorders")
+	a := plan.NewAggregate(c, "cntrycode")
+	a.Pred = "g.cntrycode"
+	s := plan.NewSort(a, "cntrycode")
+	return plan.NewOutput(s)
+}
+
+// QueryName renders "Q<n>".
+func QueryName(n int) string { return fmt.Sprintf("Q%d", n) }

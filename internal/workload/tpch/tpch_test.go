@@ -1,0 +1,113 @@
+package tpch
+
+import (
+	"testing"
+
+	"cleo/internal/cascades"
+	"cleo/internal/costmodel"
+	"cleo/internal/plan"
+	"cleo/internal/stats"
+)
+
+func TestRegisterTables(t *testing.T) {
+	cat := stats.NewCatalog(1)
+	Register(cat, 1000)
+	li, ok := cat.Table(Lineitem)
+	if !ok {
+		t.Fatal("lineitem missing")
+	}
+	if li.Rows < 6e9 || li.Rows > 6.1e9 {
+		t.Fatalf("lineitem rows at SF1000 = %v", li.Rows)
+	}
+	n, _ := cat.Table(Nation)
+	if n.Rows != 25 {
+		t.Fatalf("nation rows = %v, want 25 (fixed)", n.Rows)
+	}
+	p, _ := cat.Table(Part)
+	if p.PartitionedOn != "p_partkey" || p.Partitions != 100 {
+		t.Fatalf("part layout = %+v", p)
+	}
+}
+
+func TestPinnedSelectivities(t *testing.T) {
+	cat := stats.NewCatalog(1)
+	Register(cat, 1)
+	if got := cat.TrueFilterSelectivity("q1.shipdate"); got != 0.98 {
+		t.Fatalf("q1 selectivity = %v", got)
+	}
+	if got := cat.EstFilterSelectivity("q6.range"); got != 0.005 {
+		t.Fatalf("q6 est = %v", got)
+	}
+	if got := cat.TrueJoinFanout("j.lineitem.orders"); got != 1.0 {
+		t.Fatalf("join fanout = %v", got)
+	}
+}
+
+func TestAll22QueriesBuild(t *testing.T) {
+	builders := Queries()
+	if len(builders) != 22 {
+		t.Fatalf("queries = %d", len(builders))
+	}
+	for q, b := range builders {
+		l := b()
+		if l == nil || l.Op != plan.LOutput {
+			t.Fatalf("Q%d root = %v", q, l)
+		}
+		if l.Count() < 3 {
+			t.Fatalf("Q%d too small: %d ops", q, l.Count())
+		}
+		for _, leaf := range l.Leaves() {
+			if _, ok := specs[leaf.Table]; !ok {
+				t.Fatalf("Q%d scans unknown table %q", q, leaf.Table)
+			}
+		}
+	}
+}
+
+func TestAll22QueriesOptimizeAndAnnotate(t *testing.T) {
+	cat := stats.NewCatalog(1)
+	Register(cat, 1)
+	for q, b := range Queries() {
+		o := &cascades.Optimizer{Catalog: cat, Cost: costmodel.Tuned{}, MaxPartitions: 3000, JobSeed: int64(q)}
+		res, err := o.Optimize(b())
+		if err != nil {
+			t.Fatalf("Q%d: %v", q, err)
+		}
+		res.Plan.Walk(func(n *plan.Physical) {
+			if n.Stats.EstCard <= 0 || n.Partitions < 1 {
+				t.Fatalf("Q%d %v: card=%v partitions=%d", q, n.Op, n.Stats.EstCard, n.Partitions)
+			}
+		})
+	}
+}
+
+func TestTraceBuilds(t *testing.T) {
+	tr := Trace(1, 3, 42)
+	if len(tr.Jobs) != 66 {
+		t.Fatalf("jobs = %d, want 66", len(tr.Jobs))
+	}
+	if len(tr.Catalogs) != 1 {
+		t.Fatal("one catalog expected")
+	}
+	for _, j := range tr.Jobs {
+		if q := QueryNumber(j.TemplateID); q < 1 || q > 22 {
+			t.Fatalf("bad template id %q", j.TemplateID)
+		}
+	}
+	if tr.Jobs[0].Day != 0 || tr.Jobs[len(tr.Jobs)-1].Day != 2 {
+		t.Fatal("runs should map to days")
+	}
+}
+
+func TestQ8JoinsPartWithLineitemOnPartkey(t *testing.T) {
+	q := Q8()
+	found := false
+	q.Walk(func(n *plan.Logical) {
+		if n.Op == plan.LJoin && n.Pred == "j.lineitem.part" {
+			found = true
+		}
+	})
+	if !found {
+		t.Fatal("Q8 must join part with lineitem on partkey")
+	}
+}

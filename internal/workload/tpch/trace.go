@@ -1,0 +1,47 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cleo/internal/stats"
+	"cleo/internal/workload"
+)
+
+// Trace builds a workload trace of `runs` executions of all 22 queries at
+// the given scale factor (the paper uses SF 1000 and 10 training runs with
+// randomized parameters). Each run is mapped to a trace "day" so the usual
+// train-on-early-days / test-on-late-days split applies.
+func Trace(scaleFactor float64, runs int, seed int64) *workload.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	cat := stats.NewCatalog(uint64(seed)*31 + 17)
+	Register(cat, scaleFactor)
+
+	builders := Queries()
+	tr := &workload.Trace{Catalogs: []*stats.Catalog{cat}}
+	for run := 0; run < runs; run++ {
+		for q := 1; q <= 22; q++ {
+			tr.Jobs = append(tr.Jobs, workload.Job{
+				ID:         fmt.Sprintf("tpch_q%d_r%d", q, run),
+				Cluster:    0,
+				Day:        run,
+				TemplateID: "tpch" + QueryName(q),
+				Recurring:  true,
+				Seed:       rng.Int63(),
+				Param:      1 + rng.Float64()*23,
+				Query:      builders[q](),
+			})
+		}
+	}
+	return tr
+}
+
+// QueryNumber parses the query index from a TPC-H job's template ID,
+// returning 0 when the ID is not a TPC-H template.
+func QueryNumber(templateID string) int {
+	var q int
+	if _, err := fmt.Sscanf(templateID, "tpchQ%d", &q); err != nil {
+		return 0
+	}
+	return q
+}

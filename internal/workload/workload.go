@@ -1,0 +1,227 @@
+// Package workload generates production-style query workloads: recurring
+// job templates whose instances run every day on drifting inputs and
+// parameters, plus ad-hoc jobs, across multiple simulated clusters — the
+// shape of the SCOPE traces in Section 2.2 and Figures 2, 3, 9 and 10 of
+// the paper. Subpackage tpch builds the TPC-H benchmark workload.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cleo/internal/plan"
+	"cleo/internal/stats"
+)
+
+// Job is one query instance.
+type Job struct {
+	// ID uniquely identifies the instance.
+	ID string
+	// Cluster indexes the cluster the job ran on.
+	Cluster int
+	// Day is the trace day (0-based).
+	Day int
+	// TemplateID identifies the recurring template; ad-hoc jobs get a
+	// unique template ID.
+	TemplateID string
+	// Recurring marks instances of recurring templates.
+	Recurring bool
+	// Seed drives the instance's statistics drift and execution noise.
+	Seed int64
+	// Param is the job's parameter (the paper's PM feature): recurring
+	// instances run with varying parameters, e.g. a lookback window.
+	Param float64
+	// Query is the logical plan.
+	Query *plan.Logical
+}
+
+// Config sizes the generated trace.
+type Config struct {
+	// Clusters is the number of simulated clusters.
+	Clusters int
+	// Days is the trace length in days.
+	Days int
+	// TemplatesPerCluster is the recurring-template count per cluster.
+	TemplatesPerCluster int
+	// InstancesPerTemplatePerDay is how often each template recurs daily.
+	InstancesPerTemplatePerDay int
+	// AdHocFraction is the ad-hoc share of daily jobs (paper: 7–20%).
+	AdHocFraction float64
+	// DayGrowth is the mean relative input growth per day (default 0.15,
+	// echoing the paper's 20–30% day-over-day swings; long traces such as
+	// the robustness experiment use smaller values).
+	DayGrowth float64
+	// Seed drives all generation.
+	Seed int64
+}
+
+// DefaultConfig returns a small but structurally faithful trace
+// configuration (scaled-down from the paper's 0.5M jobs).
+func DefaultConfig() Config {
+	return Config{
+		Clusters:                   4,
+		Days:                       3,
+		TemplatesPerCluster:        40,
+		InstancesPerTemplatePerDay: 3,
+		AdHocFraction:              0.12,
+		Seed:                       2020,
+	}
+}
+
+// Trace is a generated workload.
+type Trace struct {
+	Jobs []Job
+	// Catalogs holds one statistics catalog per cluster, with every table
+	// instance registered.
+	Catalogs []*stats.Catalog
+	// Config echoes the generating configuration.
+	Config Config
+}
+
+// JobsOn filters jobs by cluster and day (day < 0 matches all days).
+func (t *Trace) JobsOn(cluster, day int) []Job {
+	var out []Job
+	for _, j := range t.Jobs {
+		if j.Cluster == cluster && (day < 0 || j.Day == day) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// template is a recurring job's blueprint.
+type template struct {
+	id string
+	// build constructs the logical plan for one instance given the
+	// instance's input tables.
+	inputs []inputRef
+	shape  planShape
+	// chains holds the per-input scan chains, kept so other templates can
+	// share the first chain (common subexpressions).
+	chains []*shapeNode
+	// baseRows is the day-0 expected row count per input.
+	baseRows []float64
+	rowLen   []float64
+}
+
+// inputRef names one input template used by a job template.
+type inputRef struct {
+	template string
+}
+
+// Generate builds the full trace.
+func Generate(cfg Config) *Trace {
+	if cfg.Clusters <= 0 {
+		cfg.Clusters = 1
+	}
+	if cfg.Days <= 0 {
+		cfg.Days = 1
+	}
+	tr := &Trace{Config: cfg}
+	for cl := 0; cl < cfg.Clusters; cl++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(cl)*7919))
+		cat := stats.NewCatalog(uint64(cfg.Seed) + uint64(cl)*104729)
+		tr.Catalogs = append(tr.Catalogs, cat)
+		gen := &clusterGen{cfg: cfg, cluster: cl, rng: rng, cat: cat}
+		gen.run(tr)
+	}
+	return tr
+}
+
+// clusterGen generates one cluster's jobs.
+type clusterGen struct {
+	cfg     Config
+	cluster int
+	rng     *rand.Rand
+	cat     *stats.Catalog
+
+	inputPool []string
+	templates []*template
+	jobSerial int
+}
+
+func (g *clusterGen) run(tr *Trace) {
+	// Input-template pool: shared inputs are what make operator-input
+	// models useful, so keep the pool smaller than the template count.
+	nInputs := g.cfg.TemplatesPerCluster/2 + 3
+	for i := 0; i < nInputs; i++ {
+		g.inputPool = append(g.inputPool, fmt.Sprintf("c%din%d_", g.cluster, i))
+	}
+	for i := 0; i < g.cfg.TemplatesPerCluster; i++ {
+		g.templates = append(g.templates, g.newTemplate(fmt.Sprintf("c%dt%d", g.cluster, i)))
+	}
+	for day := 0; day < g.cfg.Days; day++ {
+		for _, t := range g.templates {
+			for inst := 0; inst < g.cfg.InstancesPerTemplatePerDay; inst++ {
+				tr.Jobs = append(tr.Jobs, g.instantiate(t, day, inst, true))
+			}
+		}
+		// Ad-hoc jobs on top of the recurring base.
+		recurring := g.cfg.TemplatesPerCluster * g.cfg.InstancesPerTemplatePerDay
+		nAdhoc := int(math.Round(g.cfg.AdHocFraction / (1 - g.cfg.AdHocFraction) * float64(recurring)))
+		for i := 0; i < nAdhoc; i++ {
+			t := g.newTemplate(fmt.Sprintf("c%dadhoc_d%d_%d", g.cluster, day, i))
+			tr.Jobs = append(tr.Jobs, g.instantiate(t, day, 0, false))
+		}
+	}
+}
+
+// newTemplate draws a fresh job template. With some probability it shares
+// its first input chain with an existing template, creating the common
+// subexpressions of Figure 4.
+func (g *clusterGen) newTemplate(id string) *template {
+	t := &template{id: id}
+	numInputs := 1 + g.rng.Intn(3)
+	share := len(g.templates) > 0 && g.rng.Float64() < 0.45
+	var sharedFrom *template
+	if share {
+		sharedFrom = g.templates[g.rng.Intn(len(g.templates))]
+	}
+	for i := 0; i < numInputs; i++ {
+		var in inputRef
+		if i == 0 && sharedFrom != nil {
+			in = sharedFrom.inputs[0]
+		} else {
+			in = inputRef{template: g.inputPool[g.rng.Intn(len(g.inputPool))]}
+		}
+		t.inputs = append(t.inputs, in)
+		t.baseRows = append(t.baseRows, math.Pow(10, 5+4*g.rng.Float64())) // 1e5..1e9
+		t.rowLen = append(t.rowLen, 30+g.rng.Float64()*220)
+	}
+	t.shape = g.newShape(t, sharedFrom)
+	return t
+}
+
+// instantiate creates one dated instance of a template: tables registered
+// with drifted sizes, a fresh parameter, and the logical plan built.
+func (g *clusterGen) instantiate(t *template, day, inst int, recurring bool) Job {
+	g.jobSerial++
+	seed := g.rng.Int63()
+	param := 1 + g.rng.Float64()*23 // e.g. lookback hours
+
+	growth := g.cfg.DayGrowth
+	if growth == 0 {
+		growth = 0.15
+	}
+	tables := make([]string, len(t.inputs))
+	for i, in := range t.inputs {
+		// Per-day drift (random walk around base) plus parameter scaling:
+		// longer lookback reads more data.
+		drift := math.Exp(0.25*g.rng.NormFloat64()) * (1 + growth*float64(day))
+		rows := t.baseRows[i] * drift * (0.5 + param/24)
+		name := fmt.Sprintf("%sd%d_i%d_%d", in.template, day, inst, g.jobSerial)
+		g.cat.PutTable(name, stats.TableStats{Rows: rows, RowLength: t.rowLen[i]})
+		tables[i] = name
+	}
+	return Job{
+		ID:         fmt.Sprintf("%s_d%d_i%d", t.id, day, inst),
+		Cluster:    g.cluster,
+		Day:        day,
+		TemplateID: t.id,
+		Recurring:  recurring,
+		Seed:       seed,
+		Param:      param,
+		Query:      t.shape.build(tables),
+	}
+}

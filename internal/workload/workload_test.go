@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"testing"
+
+	"cleo/internal/plan"
+)
+
+func smallConfig() Config {
+	return Config{
+		Clusters:                   2,
+		Days:                       2,
+		TemplatesPerCluster:        6,
+		InstancesPerTemplatePerDay: 2,
+		AdHocFraction:              0.15,
+		Seed:                       42,
+	}
+}
+
+func TestGenerateCounts(t *testing.T) {
+	tr := Generate(smallConfig())
+	if len(tr.Catalogs) != 2 {
+		t.Fatalf("catalogs = %d", len(tr.Catalogs))
+	}
+	recurring, adhoc := 0, 0
+	for _, j := range tr.Jobs {
+		if j.Recurring {
+			recurring++
+		} else {
+			adhoc++
+		}
+	}
+	// 2 clusters × 2 days × 6 templates × 2 instances = 48 recurring.
+	if recurring != 48 {
+		t.Fatalf("recurring = %d, want 48", recurring)
+	}
+	if adhoc == 0 {
+		t.Fatal("no ad-hoc jobs generated")
+	}
+	frac := float64(adhoc) / float64(adhoc+recurring)
+	if frac < 0.05 || frac > 0.35 {
+		t.Fatalf("ad-hoc fraction = %v, want near 0.15", frac)
+	}
+}
+
+func TestTablesRegistered(t *testing.T) {
+	tr := Generate(smallConfig())
+	for _, j := range tr.Jobs {
+		cat := tr.Catalogs[j.Cluster]
+		for _, leaf := range j.Query.Leaves() {
+			ts, ok := cat.Table(leaf.Table)
+			if !ok {
+				t.Fatalf("job %s: table %s not in catalog", j.ID, leaf.Table)
+			}
+			if ts.Rows <= 0 || ts.RowLength <= 0 {
+				t.Fatalf("table %s has stats %+v", leaf.Table, ts)
+			}
+		}
+	}
+}
+
+func TestRecurringInstancesShareStructure(t *testing.T) {
+	tr := Generate(smallConfig())
+	// All instances of one template must have identical plan structure
+	// except for the leaf table names.
+	byTemplate := map[string][]Job{}
+	for _, j := range tr.Jobs {
+		if j.Recurring {
+			byTemplate[j.TemplateID] = append(byTemplate[j.TemplateID], j)
+		}
+	}
+	for id, jobs := range byTemplate {
+		if len(jobs) < 2 {
+			continue
+		}
+		strip := func(l *plan.Logical) string {
+			c := l.Clone()
+			c.Walk(func(n *plan.Logical) { n.Table = "" })
+			return c.String()
+		}
+		base := strip(jobs[0].Query)
+		for _, j := range jobs[1:] {
+			if strip(j.Query) != base {
+				t.Fatalf("template %s instances differ structurally", id)
+			}
+		}
+	}
+}
+
+func TestInstancesDrift(t *testing.T) {
+	tr := Generate(smallConfig())
+	// Table sizes of the same template must vary across instances.
+	byTemplate := map[string][]Job{}
+	for _, j := range tr.Jobs {
+		if j.Recurring {
+			byTemplate[j.TemplateID] = append(byTemplate[j.TemplateID], j)
+		}
+	}
+	for _, jobs := range byTemplate {
+		if len(jobs) < 2 {
+			continue
+		}
+		cat := tr.Catalogs[jobs[0].Cluster]
+		r0, _ := cat.Table(jobs[0].Query.Leaves()[0].Table)
+		r1, _ := cat.Table(jobs[1].Query.Leaves()[0].Table)
+		if r0.Rows != r1.Rows {
+			return // found drift, good
+		}
+	}
+	t.Fatal("no input-size drift across instances")
+}
+
+func TestCommonSubexpressionsExist(t *testing.T) {
+	cfg := smallConfig()
+	cfg.TemplatesPerCluster = 20
+	tr := Generate(cfg)
+	// Some pair of distinct templates must share a scan-chain predicate
+	// (the Figure 4 pattern).
+	predOwners := map[string]map[string]bool{}
+	for _, j := range tr.Jobs {
+		j.Query.Walk(func(n *plan.Logical) {
+			if n.Op == plan.LSelect && n.Pred != "" {
+				if predOwners[n.Pred] == nil {
+					predOwners[n.Pred] = map[string]bool{}
+				}
+				predOwners[n.Pred][j.TemplateID] = true
+			}
+		})
+	}
+	for _, owners := range predOwners {
+		if len(owners) > 1 {
+			return // shared subexpression found
+		}
+	}
+	t.Fatal("no cross-template shared subexpressions")
+}
+
+func TestJobsOnFilter(t *testing.T) {
+	tr := Generate(smallConfig())
+	day0 := tr.JobsOn(0, 0)
+	all := tr.JobsOn(0, -1)
+	if len(day0) == 0 || len(all) <= len(day0) {
+		t.Fatalf("filtering: day0=%d all=%d", len(day0), len(all))
+	}
+	for _, j := range day0 {
+		if j.Cluster != 0 || j.Day != 0 {
+			t.Fatal("filter returned wrong jobs")
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := Generate(smallConfig())
+	b := Generate(smallConfig())
+	if len(a.Jobs) != len(b.Jobs) {
+		t.Fatal("job counts differ")
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i].ID != b.Jobs[i].ID || a.Jobs[i].Query.String() != b.Jobs[i].Query.String() {
+			t.Fatalf("job %d differs between runs", i)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package cleo
+
+import (
+	"fmt"
+
+	"cleo/internal/workload/tpch"
+)
+
+// RegisterTPCH installs the TPC-H tables (at the given scale factor) and
+// the standard predicate selectivities into the system's catalog.
+// lineitem, orders and part are registered as stored hash-partitioned
+// inputs, as in the paper's SCOPE deployment.
+func (s *System) RegisterTPCH(scaleFactor float64) {
+	tpch.Register(s.Catalog(), scaleFactor)
+}
+
+// TPCHQuery returns the logical plan of TPC-H query n (1..22).
+func TPCHQuery(n int) (*Query, error) {
+	b, ok := tpch.Queries()[n]
+	if !ok {
+		return nil, fmt.Errorf("cleo: no TPC-H query %d", n)
+	}
+	return b(), nil
+}
