@@ -6,6 +6,7 @@ package cleo
 // prediction, optimization, simulation).
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"cleo/internal/costmodel"
@@ -137,6 +138,123 @@ func BenchmarkSignature(b *testing.B) {
 		p.Walk(func(n *PhysicalPlan) { _ = n })
 		_ = p.Count()
 	}
+}
+
+// --- Serving benchmarks (internal/serve + the prediction cache) ---
+
+// benchQuery is the recurring aggregation query the serving benchmarks
+// re-optimize.
+func benchQuery() *Query {
+	return NewOutput(NewAggregate(NewSelect(
+		NewGet("clicks_2026_06_12", "clicks_"), "market=us"), "user"))
+}
+
+// benchTrainedSystem returns a System with telemetry collected and models
+// trained, ready for learned optimization.
+func benchTrainedSystem(b *testing.B) *System {
+	b.Helper()
+	sys := NewSystem(SystemConfig{Seed: 5})
+	sys.RegisterTable("clicks_2026_06_12", TableStats{Rows: 2e7, RowLength: 120})
+	q := benchQuery()
+	for seed := int64(1); seed <= 30; seed++ {
+		if _, err := sys.Run(q, RunOptions{Seed: seed, Param: float64(seed%5) + 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := sys.Retrain(); err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// benchOptimizeLearned measures repeated recurring-job optimization under
+// the learned coster, with or without the signature-keyed prediction
+// cache. Compare:
+//
+//	go test -bench 'OptimizeLearned' -benchtime 2s
+func benchOptimizeLearned(b *testing.B, cache *PredictionCache) {
+	sys := benchTrainedSystem(b)
+	q := benchQuery()
+	opts := RunOptions{
+		Seed: 7, Param: 2,
+		UseLearnedModels: true, ResourceAware: true, SkipLogging: true,
+		Models: sys.Models(), // a cache is only active with a pinned predictor
+		Cache:  cache,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sys.Optimize(q, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if cache != nil {
+		st := cache.Stats()
+		b.ReportMetric(st.HitRatio(), "hit-ratio")
+	}
+}
+
+func BenchmarkOptimizeLearnedUncached(b *testing.B) { benchOptimizeLearned(b, nil) }
+func BenchmarkOptimizeLearnedCached(b *testing.B) {
+	benchOptimizeLearned(b, NewPredictionCache())
+}
+
+// benchServeTenant builds a single-tenant service with a published model
+// version (so the registry's cache is on the hot path).
+func benchServeTenant(b *testing.B) (*Service, *Tenant) {
+	b.Helper()
+	svc := NewService(ServeConfig{})
+	tn := svc.Tenant("bench")
+	tn.System().RegisterTable("clicks_2026_06_12", TableStats{Rows: 2e7, RowLength: 120})
+	q := benchQuery()
+	for seed := int64(1); seed <= 30; seed++ {
+		if _, err := tn.Run(q, RunOptions{Seed: seed, Param: float64(seed%5) + 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Retrain's internal flush barrier covers the runs above.
+	if _, err := tn.Retrain(); err != nil {
+		b.Fatal(err)
+	}
+	return svc, tn
+}
+
+// BenchmarkServeConcurrentRun measures multi-goroutine learned Run
+// throughput through the serving layer (session lookup, version pinning,
+// prediction cache, execution, telemetry ingestion skipped for stability).
+func BenchmarkServeConcurrentRun(b *testing.B) {
+	svc, tn := benchServeTenant(b)
+	defer svc.Close()
+	q := benchQuery()
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			seed := seq.Add(1) % 16 // recurring instances repeat
+			opts := RunOptions{Seed: seed, Param: float64(seed%4) + 1,
+				UseLearnedModels: true, SkipLogging: true}
+			if _, err := tn.Run(q, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkServeTenantLookup measures the sharded session map under
+// parallel get-or-create traffic.
+func BenchmarkServeTenantLookup(b *testing.B) {
+	svc := NewService(ServeConfig{})
+	defer svc.Close()
+	names := [8]string{"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7"}
+	for _, n := range names {
+		svc.Tenant(n)
+	}
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			_ = svc.Tenant(names[seq.Add(1)%8])
+		}
+	})
 }
 
 // BenchmarkCardinalityAnnotation measures bottom-up stats annotation of a

@@ -1,0 +1,77 @@
+// Command cleoserve runs the multi-tenant CLEO optimizer service: an
+// HTTP/JSON API over named optimizer sessions with telemetry ingestion,
+// threshold-triggered background retraining and versioned model hot-swap
+// (the paper's Section 5.1 feedback loop as a long-lived server).
+//
+// Usage:
+//
+//	cleoserve [-addr :8080] [-retrain-threshold 500] [-ingest-buffer 128]
+//
+// Endpoints:
+//
+//	POST /v1/query    {"tenant":"ads","mode":"run","plan":{...},"tables":{...}}
+//	POST /v1/retrain  {"tenant":"ads"}
+//	GET  /v1/models?tenant=ads
+//	GET  /v1/stats[?tenant=ads]
+//	GET  /healthz
+//
+// Example:
+//
+//	curl -s localhost:8080/v1/query -d '{
+//	  "tenant": "ads", "seed": 1,
+//	  "tables": {"clicks_2026_06_12": {"Rows": 2e7, "RowLength": 120}},
+//	  "plan": {"op":"Output","children":[{"op":"Aggregate","keys":["user"],
+//	    "children":[{"op":"Select","pred":"market=us","children":[
+//	      {"op":"Get","table":"clicks_2026_06_12","template":"clicks_"}]}]}]}}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cleo/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	retrainThreshold := flag.Int("retrain-threshold", 500,
+		"new telemetry records that trigger a background retrain (0 disables)")
+	ingestBuffer := flag.Int("ingest-buffer", 128, "per-tenant telemetry channel capacity")
+	flag.Parse()
+
+	svc := serve.NewService(serve.Config{
+		RetrainThreshold: *retrainThreshold,
+		IngestBuffer:     *ingestBuffer,
+	})
+	server := &http.Server{Addr: *addr, Handler: serve.NewHandler(svc)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = server.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Printf("cleoserve listening on %s (retrain threshold %d)\n", *addr, *retrainThreshold)
+	if err := server.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "cleoserve:", err)
+		os.Exit(1)
+	}
+	// ListenAndServe returns as soon as Shutdown *starts*; wait for
+	// in-flight requests to drain before closing the service, so no
+	// request's telemetry is dropped by a closed ingestion pipeline.
+	<-shutdownDone
+	svc.Close()
+	fmt.Println("cleoserve: drained and stopped")
+}

@@ -1,0 +1,148 @@
+// Serving demo: runs the multi-tenant optimizer service in-process,
+// drives two tenants with concurrent HTTP traffic, retrains and hot-swaps
+// a model version mid-traffic, then prints the model registries and
+// serving stats — the paper's Section 5.1 feedback loop end to end over
+// the wire.
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+
+	"cleo"
+)
+
+const planJSON = `{
+  "op": "Output", "children": [
+    {"op": "Aggregate", "keys": ["user"], "children": [
+      {"op": "Select", "pred": "market=us", "children": [
+        {"op": "Get", "table": "clicks_2026_06_12", "template": "clicks_"}]}]}]}`
+
+const tablesJSON = `{"clicks_2026_06_12": {"Rows": 2e7, "RowLength": 120}}`
+
+func post(base, path, body string) (map[string]any, error) {
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %d: %v", path, resp.StatusCode, out["error"])
+	}
+	return out, nil
+}
+
+func get(base, path string, out any) error {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func queryBody(tenant string, seed int) string {
+	return fmt.Sprintf(`{"tenant":%q,"seed":%d,"param":%d,"tables":%s,"plan":%s}`,
+		tenant, seed, seed%5+1, tablesJSON, planJSON)
+}
+
+func main() {
+	// The service behind its HTTP handler, on an ephemeral local port —
+	// exactly what cmd/cleoserve serves.
+	svc := cleo.NewService(cleo.ServeConfig{})
+	defer svc.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = http.Serve(ln, cleo.NewServeHandler(svc)) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("cleoserve demo listening on", base)
+
+	tenants := []string{"ads", "search"}
+
+	// Phase 1: 32 concurrent default-model queries per tenant feed the
+	// telemetry log.
+	fmt.Println("\n» phase 1: concurrent telemetry traffic (default cost model)")
+	hammer := func(phase int) {
+		var wg sync.WaitGroup
+		for _, tenant := range tenants {
+			for i := 0; i < 32; i++ {
+				wg.Add(1)
+				go func(tenant string, seed int) {
+					defer wg.Done()
+					if _, err := post(base, "/v1/query", queryBody(tenant, seed)); err != nil {
+						log.Fatal(err)
+					}
+				}(tenant, phase*32+i+1)
+			}
+		}
+		wg.Wait()
+	}
+	hammer(0)
+
+	// Phase 2: retrain both tenants — each publishes model version 1 and
+	// hot-swaps it in while the service stays up.
+	fmt.Println("» phase 2: retrain + hot-swap model version 1")
+	for _, tenant := range tenants {
+		out, err := post(base, "/v1/retrain", fmt.Sprintf(`{"tenant":%q}`, tenant))
+		if err != nil {
+			log.Fatal(err)
+		}
+		v := out["version"].(map[string]any)
+		fmt.Printf("  %-7s version %v trained on %v records (%v models)\n",
+			tenant, v["id"], v["train_records"], v["num_models"])
+	}
+
+	// Phase 3: the same traffic now plans with the learned models (auto
+	// mode) and fills the per-version prediction cache; a second retrain
+	// swaps version 2 mid-traffic.
+	fmt.Println("» phase 3: learned traffic + mid-traffic hot-swap to version 2")
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		hammer(1)
+		hammer(1) // repeat the same recurring instances → cache hits
+	}()
+	if _, err := post(base, "/v1/retrain", `{"tenant":"ads"}`); err != nil {
+		log.Fatal(err)
+	}
+	wg.Wait()
+
+	// Wrap-up: registries and serving stats.
+	fmt.Println("\n» model registries")
+	for _, tenant := range tenants {
+		var models struct {
+			Current  int64            `json:"current"`
+			Versions []map[string]any `json:"versions"`
+		}
+		if err := get(base, "/v1/models?tenant="+tenant, &models); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-7s current=v%d, %d version(s) published\n",
+			tenant, models.Current, len(models.Versions))
+	}
+
+	fmt.Println("\n» serving stats")
+	var stats []cleo.TenantStats
+	if err := get(base, "/v1/stats", &stats); err != nil {
+		log.Fatal(err)
+	}
+	for _, st := range stats {
+		fmt.Printf("  %-7s queries=%d errors=%d retrains=%d log=%d model=v%d cache: %d hits / %d misses (%.0f%%)\n",
+			st.Tenant, st.Queries, st.Errors, st.Retrains, st.LogSize,
+			st.ModelVersion, st.Cache.Hits, st.Cache.Misses, 100*st.Cache.HitRatio())
+	}
+}

@@ -1,0 +1,3 @@
+module cleo
+
+go 1.22

@@ -1,0 +1,381 @@
+// Package engine bundles the statistics catalog, the simulated cluster,
+// the optimizer and the learned-model feedback loop into a single-tenant
+// System — the per-tenant unit of work the root cleo package re-exports
+// and the serving layer (internal/serve) multiplexes.
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"cleo/internal/cascades"
+	"cleo/internal/costmodel"
+	"cleo/internal/exec"
+	"cleo/internal/learned"
+	"cleo/internal/ml"
+	"cleo/internal/plan"
+	"cleo/internal/stats"
+	"cleo/internal/telemetry"
+	"cleo/internal/workload"
+	"cleo/internal/workload/tpch"
+)
+
+// SystemConfig configures a System.
+type SystemConfig struct {
+	// Seed identifies the simulated cluster: its hidden hardware and data
+	// complexity factors derive from it.
+	Seed uint64
+	// MaxPartitions caps per-stage parallelism (default 3000).
+	MaxPartitions int
+	// NoiseSigma is the cloud latency noise (default 0.18; 0 keeps the
+	// default, use Exec to disable noise entirely).
+	NoiseSigma float64
+	// Exec, when non-nil, overrides the full cluster configuration.
+	Exec *exec.Config
+}
+
+// System bundles a statistics catalog, a simulated cluster, the optimizer
+// and the learned-model feedback loop — everything a single tenant needs.
+// All methods are safe for concurrent use: Retrain and SetModels publish
+// the new predictor with an atomic hot-swap, so they may freely race with
+// Run — in-flight optimizations keep pricing with the predictor they
+// started with and later calls observe the new version.
+type System struct {
+	catalog *stats.Catalog
+	cluster *exec.Cluster
+	maxP    int
+
+	mu  sync.Mutex // guards log
+	log []telemetry.Record
+
+	models atomic.Pointer[learned.Predictor]
+}
+
+// NewSystem builds a System.
+func NewSystem(cfg SystemConfig) *System {
+	ec := exec.DefaultConfig(cfg.Seed)
+	if cfg.NoiseSigma > 0 {
+		ec.NoiseSigma = cfg.NoiseSigma
+	}
+	if cfg.Exec != nil {
+		ec = *cfg.Exec
+	}
+	if cfg.MaxPartitions > 0 {
+		ec.MaxPartitions = cfg.MaxPartitions
+	}
+	return &System{
+		catalog: stats.NewCatalog(cfg.Seed),
+		cluster: exec.NewCluster(ec),
+		maxP:    ec.MaxPartitions,
+	}
+}
+
+// defaultParam applies the job-parameter default: the PM feature is 1 when
+// the caller leaves it unset.
+func defaultParam(p float64) float64 {
+	if p == 0 {
+		return 1
+	}
+	return p
+}
+
+// Catalog exposes the statistics catalog for table registration and
+// selectivity overrides.
+func (s *System) Catalog() *stats.Catalog { return s.catalog }
+
+// RegisterTable installs a stored input's statistics.
+func (s *System) RegisterTable(name string, ts stats.TableStats) { s.catalog.PutTable(name, ts) }
+
+// RegisterTPCH installs the TPC-H tables (at the given scale factor) and
+// the standard predicate selectivities into the system's catalog.
+// lineitem, orders and part are registered as stored hash-partitioned
+// inputs, as in the paper's SCOPE deployment.
+func (s *System) RegisterTPCH(scaleFactor float64) {
+	tpch.Register(s.catalog, scaleFactor)
+}
+
+// RunOptions controls one query execution.
+type RunOptions struct {
+	// Seed drives per-instance statistics drift and execution noise.
+	Seed int64
+	// Param is the job parameter (the PM feature); defaults to 1.
+	Param float64
+	// UseLearnedModels prices operators with the trained CLEO models
+	// instead of the default cost model. Requires a prior Retrain or
+	// LoadModels.
+	UseLearnedModels bool
+	// ResourceAware enables partition exploration during planning, using
+	// the analytical strategy over the active cost model.
+	ResourceAware bool
+	// SafePlanSelection applies the paper's Section 6.7 regression
+	// mitigation: the query is optimized twice — with the default cost
+	// model and with the learned models — and the plan whose latency the
+	// learned models predict to be lower is executed. Requires
+	// UseLearnedModels.
+	SafePlanSelection bool
+	// SkipLogging suppresses telemetry entirely: nothing is appended to
+	// the feedback log (or sent to LogSink), and the run is treated as an
+	// evaluation run (no partition jitter).
+	SkipLogging bool
+	// LogSink, when non-nil, receives the run's telemetry records instead
+	// of the system's internal log — the serving layer batches them
+	// through its ingestion channel. Unlike SkipLogging, the run still
+	// counts as a telemetry-collection run (partition jitter applies).
+	LogSink func([]telemetry.Record)
+	// Models, when non-nil, prices with this predictor instead of the
+	// system's current one. The serving layer reads one registry version
+	// atomically and pins its predictor and cache here together, so a
+	// concurrent hot-swap cannot mix a new predictor with an old cache.
+	Models *learned.Predictor
+	// Cache, when non-nil, memoizes learned-coster predictions across
+	// optimizations keyed by operator signature and statistics (the
+	// serving layer's recurring-job hot path). A cache is only coherent
+	// with the one predictor that fills it, so it takes effect only when
+	// Models pins that predictor — otherwise it is ignored, ensuring a
+	// Retrain hot-swap can never serve another version's cached costs.
+	Cache *learned.PredictionCache
+}
+
+// RunResult is one executed query.
+type RunResult struct {
+	Plan                *plan.Physical
+	PredictedCost       float64
+	Latency             float64
+	TotalProcessingTime float64
+	Containers          int
+	Records             []telemetry.Record
+}
+
+// Optimize plans the query without executing it.
+func (s *System) Optimize(q *plan.Logical, opts RunOptions) (*plan.Physical, float64, error) {
+	coster, chooser, err := s.costing(opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	opt := &cascades.Optimizer{
+		Catalog:       s.catalog,
+		Cost:          coster,
+		MaxPartitions: s.maxP,
+		ResourceAware: opts.ResourceAware,
+		Chooser:       chooser,
+		JobSeed:       opts.Seed,
+	}
+	res, err := opt.Optimize(q)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !opts.UseLearnedModels && !opts.SkipLogging {
+		// Telemetry-collection runs (logged, default-model-planned) jitter
+		// the plan's partition counts, emulating production heuristic
+		// variability so the learned models see a range of counts per
+		// template. Evaluation runs (SkipLogging) and learned runs keep
+		// clean optimized counts.
+		cascades.JitterPlanPartitions(res.Plan, opts.Seed, s.maxP, coster)
+	}
+	return res.Plan, res.Plan.TotalCostEst(), nil
+}
+
+func (s *System) costing(opts RunOptions) (cascades.Coster, cascades.PartitionChooser, error) {
+	var coster cascades.Coster = costmodel.Default{}
+	if opts.UseLearnedModels {
+		m := s.predictor(opts)
+		if m == nil {
+			return nil, nil, fmt.Errorf("cleo: no trained models; call Retrain or LoadModels first")
+		}
+		var cache *learned.PredictionCache
+		if opts.Models != nil {
+			cache = opts.Cache // coherent only with a pinned predictor
+		}
+		coster = &learned.Coster{
+			Predictor: m,
+			Param:     defaultParam(opts.Param),
+			Fallback:  costmodel.Default{},
+			Cache:     cache,
+		}
+	}
+	var chooser cascades.PartitionChooser
+	if opts.ResourceAware {
+		chooser = &learned.AnalyticalChooser{Cost: coster}
+	}
+	return coster, chooser, nil
+}
+
+// Run optimizes and executes the query, logging telemetry into the
+// feedback loop (unless opts.SkipLogging).
+func (s *System) Run(q *plan.Logical, opts RunOptions) (*RunResult, error) {
+	var p *plan.Physical
+	var cost float64
+	var err error
+	if opts.SafePlanSelection && opts.UseLearnedModels {
+		p, cost, err = s.optimizeSafe(q, opts)
+	} else {
+		p, cost, err = s.Optimize(q, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	execRes, err := s.cluster.Run(p, rand.New(rand.NewSource(opts.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	job := &workload.Job{
+		ID:    fmt.Sprintf("run-%d", opts.Seed),
+		Seed:  opts.Seed,
+		Param: defaultParam(opts.Param),
+	}
+	records := telemetry.Extract(job, p)
+	if !opts.SkipLogging {
+		if opts.LogSink != nil {
+			opts.LogSink(records)
+		} else {
+			s.mu.Lock()
+			s.log = append(s.log, records...)
+			s.mu.Unlock()
+		}
+	}
+	return &RunResult{
+		Plan:                p,
+		PredictedCost:       cost,
+		Latency:             execRes.Latency,
+		TotalProcessingTime: execRes.TotalProcessingTime,
+		Containers:          execRes.Containers,
+		Records:             records,
+	}, nil
+}
+
+// optimizeSafe implements the paper's optimize-twice mitigation
+// (Section 6.7): plan with the default model and with the learned models,
+// then keep the plan the learned models predict to be cheaper — they are
+// the accurate judge even when the default model found the plan.
+func (s *System) optimizeSafe(q *plan.Logical, opts RunOptions) (*plan.Physical, float64, error) {
+	// Pin the predictor up front so the learned optimization and the
+	// default-plan scoring below use the same model version even when a
+	// Retrain hot-swap lands mid-flight.
+	opts.Models = s.predictor(opts)
+	defOpts := opts
+	defOpts.UseLearnedModels = false
+	defOpts.ResourceAware = false
+	defPlan, _, err := s.Optimize(q, defOpts)
+	if err != nil {
+		return nil, 0, err
+	}
+	cleoPlan, cleoCost, err := s.Optimize(q, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	m := opts.Models
+	param := defaultParam(opts.Param)
+	// Score the default plan with the learned models.
+	var defScore float64
+	defPlan.Walk(func(n *plan.Physical) { defScore += m.PredictNode(n, param).Cost })
+	if defScore < cleoCost {
+		return defPlan, defScore, nil
+	}
+	return cleoPlan, cleoCost, nil
+}
+
+// predictor resolves the predictor for one optimization: the pinned
+// opts.Models when set, else the system's current hot-swapped models.
+func (s *System) predictor(opts RunOptions) *learned.Predictor {
+	if opts.Models != nil {
+		return opts.Models
+	}
+	return s.models.Load()
+}
+
+// LogSize reports the telemetry log length.
+func (s *System) LogSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.log)
+}
+
+// TelemetryLog returns a copy of the accumulated telemetry.
+func (s *System) TelemetryLog() []telemetry.Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]telemetry.Record(nil), s.log...)
+}
+
+// AppendTelemetry merges externally collected records (e.g. from a
+// workload trace run) into the feedback log.
+func (s *System) AppendTelemetry(recs []telemetry.Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.log = append(s.log, recs...)
+}
+
+// Retrain fits the four individual model families and the combined
+// meta-ensemble from the accumulated telemetry (the paper's periodic
+// training, Section 5.1) and atomically hot-swaps the result in, so it is
+// safe to call while Run traffic is in flight.
+func (s *System) Retrain() error {
+	recs := s.TelemetryLog()
+	pr, err := learned.TrainSplit(recs, learned.DefaultTrainConfig())
+	if err != nil {
+		return err
+	}
+	s.models.Store(pr)
+	return nil
+}
+
+// Models returns the trained predictor (nil before training).
+func (s *System) Models() *learned.Predictor {
+	return s.models.Load()
+}
+
+// SetModels installs an externally trained predictor with an atomic swap.
+func (s *System) SetModels(pr *learned.Predictor) {
+	s.models.Store(pr)
+}
+
+// SaveModels serializes the trained models to a file.
+func (s *System) SaveModels(path string) error {
+	m := s.Models()
+	if m == nil {
+		return fmt.Errorf("cleo: no trained models to save")
+	}
+	return m.SaveFile(path)
+}
+
+// LoadModels reads models from a file written by SaveModels.
+func (s *System) LoadModels(path string) error {
+	pr, err := learned.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	s.SetModels(pr)
+	return nil
+}
+
+// EvaluateModels scores the trained models against records (e.g. a held-out
+// day of telemetry).
+func (s *System) EvaluateModels(recs []telemetry.Record) (ml.Accuracy, error) {
+	m := s.Models()
+	if m == nil {
+		return ml.Accuracy{}, fmt.Errorf("cleo: no trained models")
+	}
+	return m.Evaluate(recs), nil
+}
+
+// ExplainDiff optimizes q under the default cost model and under the
+// learned models and reports both plans — the paper's plan-change analysis
+// (Section 6.6).
+func (s *System) ExplainDiff(q *plan.Logical, opts RunOptions) (defPlan, cleoPlan *plan.Physical, changed bool, err error) {
+	defOpts := opts
+	defOpts.UseLearnedModels = false
+	defOpts.ResourceAware = false
+	defPlan, _, err = s.Optimize(q, defOpts)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	cleoOpts := opts
+	cleoOpts.UseLearnedModels = true
+	cleoPlan, _, err = s.Optimize(q, cleoOpts)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return defPlan, cleoPlan, defPlan.String() != cleoPlan.String(), nil
+}

@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"cleo/internal/plan"
+	"cleo/internal/stats"
+)
+
+// TestRetrainRacesRunSafely exercises the contract the serving layer
+// depends on: Retrain hot-swaps the predictor atomically and may race
+// with learned Run traffic (run under -race).
+func TestRetrainRacesRunSafely(t *testing.T) {
+	sys := NewSystem(SystemConfig{Seed: 5})
+	sys.RegisterTable("clicks_2026_06_12", stats.TableStats{Rows: 2e7, RowLength: 120})
+	q := plan.NewOutput(plan.NewAggregate(plan.NewSelect(
+		plan.NewGet("clicks_2026_06_12", "clicks_"), "market=us"), "user"))
+	for seed := int64(1); seed <= 30; seed++ {
+		if _, err := sys.Run(q, RunOptions{Seed: seed, Param: float64(seed%5) + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 9)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				_, err := sys.Run(q, RunOptions{
+					Seed: int64(w*15 + i), Param: float64(i%4) + 1,
+					UseLearnedModels: true, SafePlanSelection: i%3 == 0,
+				})
+				if err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			if err := sys.Retrain(); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if sys.Models() == nil {
+		t.Fatal("no models after concurrent retrains")
+	}
+}
+
+// TestDefaultParam pins the extracted defaulting helper.
+func TestDefaultParam(t *testing.T) {
+	if got := defaultParam(0); got != 1 {
+		t.Fatalf("defaultParam(0) = %v", got)
+	}
+	if got := defaultParam(3.5); got != 3.5 {
+		t.Fatalf("defaultParam(3.5) = %v", got)
+	}
+}

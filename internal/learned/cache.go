@@ -1,0 +1,155 @@
+package learned
+
+import (
+	"encoding/binary"
+	"hash/maphash"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"cleo/internal/plan"
+)
+
+// PredictionCache memoizes learned-coster operator costs on the serving
+// hot path. Recurring jobs re-optimize structurally identical plans over
+// and over (Section 2.2: most cluster hours come from recurring
+// templates), so the optimizer keeps asking the predictor the same
+// questions; the cache answers them with one signature hash instead of
+// four signature computations plus family lookups plus a FastTree pass.
+//
+// Keys combine the operator-subgraph signature (which pins the physical
+// operator tree, predicates, keys and input templates below the node)
+// with a hash of every remaining cost input: the compile-time statistics
+// (I, B, C, L), the partition count and the job-parameter bucket. Two
+// lookups disagree on a cost input only if they disagree on the key, so a
+// hit always returns exactly what the predictor would have computed —
+// with one deliberate exception: the job parameter is quantized to
+// 1/16-unit buckets, so params inside one bucket share a prediction
+// (params in practice are small integers, which bucket exactly).
+//
+// A cache is only valid for the predictor it was filled by. Publish a
+// fresh cache with every new model version (internal/serve's registry
+// does this) instead of invalidating in place.
+//
+// The cache is sharded to keep concurrent optimizations from serializing
+// on one mutex, and each shard resets wholesale when it outgrows its
+// entry budget — recurring workloads refill it within one optimization.
+type PredictionCache struct {
+	shards [cacheShardCount]cacheShard
+	seed   maphash.Seed
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+const (
+	cacheShardCount = 32
+	// cacheShardLimit bounds per-shard entries (~128k entries total);
+	// beyond it the shard resets.
+	cacheShardLimit = 4096
+)
+
+type cacheKey struct {
+	sig plan.Signature // subgraph signature of the node
+	fh  uint64         // hash of stats, partitions and param bucket
+}
+
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[cacheKey]float64
+}
+
+// NewPredictionCache builds an empty cache.
+func NewPredictionCache() *PredictionCache {
+	c := &PredictionCache{seed: maphash.MakeSeed()}
+	for i := range c.shards {
+		c.shards[i].m = make(map[cacheKey]float64)
+	}
+	return c
+}
+
+// ParamBucket quantizes a job parameter to its cache bucket (1/16-unit
+// resolution; integral params map to distinct buckets exactly).
+func ParamBucket(param float64) int64 {
+	return int64(math.Round(param * 16))
+}
+
+// keyFor derives the cache key for pricing node n at param. It hashes
+// every per-instance statistic either cost model reads: the learned
+// features' B/C/L/P (I is the sum of the hashed child cardinalities) and
+// the per-child cardinalities the default fallback model's probe/build
+// split depends on. CL, D and the input templates are functions of the
+// subtree and so already pinned by the subgraph signature.
+func (c *PredictionCache) keyFor(n *plan.Physical, param float64) cacheKey {
+	var h maphash.Hash
+	h.SetSeed(c.seed)
+	write := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	write(math.Float64bits(n.BaseCardinality()))
+	write(math.Float64bits(n.Stats.EstCard))
+	write(math.Float64bits(n.Stats.RowLength))
+	write(uint64(n.Partitions))
+	write(uint64(ParamBucket(param)))
+	for _, ch := range n.Children {
+		write(math.Float64bits(ch.Stats.EstCard))
+	}
+	return cacheKey{sig: plan.SubgraphSignature(n), fh: h.Sum64()}
+}
+
+func (c *PredictionCache) shard(k cacheKey) *cacheShard {
+	return &c.shards[(uint64(k.sig)^k.fh)%cacheShardCount]
+}
+
+func (c *PredictionCache) lookup(k cacheKey) (float64, bool) {
+	sh := c.shard(k)
+	sh.mu.RLock()
+	v, ok := sh.m[k]
+	sh.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+func (c *PredictionCache) store(k cacheKey, v float64) {
+	sh := c.shard(k)
+	sh.mu.Lock()
+	if len(sh.m) >= cacheShardLimit {
+		sh.m = make(map[cacheKey]float64, cacheShardLimit)
+	}
+	sh.m[k] = v
+	sh.mu.Unlock()
+}
+
+// CacheStats snapshots the cache counters.
+type CacheStats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
+}
+
+// Stats reports hit/miss counters and the current entry count.
+func (c *PredictionCache) Stats() CacheStats {
+	s := CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		s.Entries += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return s
+}
+
+// HitRatio reports hits/(hits+misses), 0 before any lookup.
+func (s CacheStats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}

@@ -1,0 +1,127 @@
+package learned
+
+import (
+	"sync"
+	"testing"
+
+	"cleo/internal/plan"
+)
+
+// TestCacheCostsIdentical verifies the core cache contract: a cached
+// coster returns exactly the costs an uncached one computes, node for
+// node, across params.
+func TestCacheCostsIdentical(t *testing.T) {
+	c, _ := trainedCosterNode(t)
+	col := collect(t, 2)
+	cache := NewPredictionCache()
+	for _, param := range []float64{1, 2, 3, 5} {
+		plain := &Coster{Predictor: c.Predictor, Param: param}
+		cached := &Coster{Predictor: c.Predictor, Param: param, Cache: cache}
+		for pass := 0; pass < 2; pass++ { // pass 1 hits pass 0's entries
+			for _, job := range col.Jobs {
+				job.Plan.Walk(func(n *plan.Physical) {
+					want := plain.OperatorCost(n)
+					got := cached.OperatorCost(n)
+					if got != want {
+						t.Fatalf("param %v pass %d: cached %v != uncached %v for %s",
+							param, pass, got, want, n.Op)
+					}
+				})
+			}
+		}
+	}
+	st := cache.Stats()
+	if st.Hits == 0 || st.Misses == 0 || st.Entries == 0 {
+		t.Fatalf("cache stats = %+v, want activity", st)
+	}
+	// Every second-pass lookup must hit: misses == distinct entries-ish,
+	// and hits at least equal misses (4 params × 2 passes).
+	if st.Hits < st.Misses {
+		t.Fatalf("hits %d < misses %d; repeated pricing should hit", st.Hits, st.Misses)
+	}
+	if r := st.HitRatio(); r <= 0 || r >= 1 {
+		t.Fatalf("hit ratio = %v", r)
+	}
+}
+
+// TestCacheKeySensitivity verifies that cost inputs outside the subgraph
+// signature — partitions, statistics, param bucket — key distinct entries.
+func TestCacheKeySensitivity(t *testing.T) {
+	cache := NewPredictionCache()
+	n := plan.NewPhysical(plan.PFilter, plan.NewPhysical(plan.PExtract))
+	n.Pred = "p"
+	n.Partitions = 8
+	n.Stats = plan.NodeStats{EstCard: 100, RowLength: 10}
+
+	base := cache.keyFor(n, 1)
+	if k := cache.keyFor(n, 1); k != base {
+		t.Fatal("key not deterministic")
+	}
+	if k := cache.keyFor(n, 2); k == base {
+		t.Fatal("param change did not change key")
+	}
+	n.Partitions = 16
+	if k := cache.keyFor(n, 1); k == base {
+		t.Fatal("partition change did not change key")
+	}
+	n.Partitions = 8
+	n.Stats.EstCard = 200
+	if k := cache.keyFor(n, 1); k == base {
+		t.Fatal("cardinality change did not change key")
+	}
+	n.Stats.EstCard = 100
+	n.Pred = "q" // changes the subgraph signature
+	if k := cache.keyFor(n, 1); k == base {
+		t.Fatal("predicate change did not change key")
+	}
+}
+
+func TestParamBucket(t *testing.T) {
+	if ParamBucket(1) == ParamBucket(2) {
+		t.Fatal("integral params must bucket apart")
+	}
+	if ParamBucket(1) != ParamBucket(1.01) {
+		t.Fatal("near-identical params should share a bucket")
+	}
+}
+
+// TestCacheConcurrent hammers one cache from many goroutines (run under
+// -race).
+func TestCacheConcurrent(t *testing.T) {
+	c, n := trainedCosterNode(t)
+	cache := NewPredictionCache()
+	want := c.OperatorCost(n)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cc := &Coster{Predictor: c.Predictor, Param: c.Param, Cache: cache}
+			for i := 0; i < 200; i++ {
+				if got := cc.OperatorCost(n); got != want {
+					t.Errorf("concurrent cached cost %v != %v", got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := cache.Stats(); st.Hits == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestCacheShardReset verifies the shard entry budget triggers a reset
+// instead of unbounded growth.
+func TestCacheShardReset(t *testing.T) {
+	cache := NewPredictionCache()
+	n := plan.NewPhysical(plan.PFilter)
+	n.Partitions = 1
+	for i := 0; i < cacheShardCount*cacheShardLimit*2; i++ {
+		n.Stats.EstCard = float64(i)
+		cache.store(cache.keyFor(n, 1), 1)
+	}
+	if got := cache.Stats().Entries; got > cacheShardCount*cacheShardLimit {
+		t.Fatalf("entries = %d, want ≤ %d", got, cacheShardCount*cacheShardLimit)
+	}
+}

@@ -20,6 +20,11 @@ type Coster struct {
 	Fallback interface {
 		OperatorCost(n *plan.Physical) float64
 	}
+	// Cache, when non-nil, memoizes OperatorCost by operator signature and
+	// statistics — the serving layer's recurring-job hot path. The cache
+	// must have been filled by this same Predictor (pair one cache with
+	// each published model version).
+	Cache *PredictionCache
 }
 
 // Name implements cascades.Coster.
@@ -27,6 +32,21 @@ func (c *Coster) Name() string { return "CLEO" }
 
 // OperatorCost implements cascades.Coster.
 func (c *Coster) OperatorCost(n *plan.Physical) float64 {
+	if c.Cache == nil {
+		return c.predictCost(n)
+	}
+	k := c.Cache.keyFor(n, c.Param)
+	if v, ok := c.Cache.lookup(k); ok {
+		return v
+	}
+	v := c.predictCost(n)
+	c.Cache.store(k, v)
+	return v
+}
+
+// predictCost prices the operator with the combined model, falling back to
+// the default cost model on non-positive predictions.
+func (c *Coster) predictCost(n *plan.Physical) float64 {
 	pred := c.Predictor.PredictNode(n, c.Param)
 	if pred.Cost > 0 {
 		return pred.Cost

@@ -1,0 +1,140 @@
+package plan
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// JSON wire format for logical plans — the serving API's query
+// representation (cmd/cleoserve's POST /v1/query body carries one). A node
+// is an object with an "op" name and operator-specific fields:
+//
+//	{"op": "Output", "children": [
+//	  {"op": "Aggregate", "keys": ["user"], "children": [
+//	    {"op": "Select", "pred": "market=us", "children": [
+//	      {"op": "Get", "table": "clicks_2026_06_12", "template": "clicks_"}]}]}]}
+//
+// Unmarshalling validates operator names and arity, so a decoded plan is
+// safe to hand straight to the optimizer.
+
+// logicalWire is the JSON shape of one Logical node.
+type logicalWire struct {
+	Op       string     `json:"op"`
+	Table    string     `json:"table,omitempty"`
+	Template string     `json:"template,omitempty"`
+	Pred     string     `json:"pred,omitempty"`
+	Keys     []Column   `json:"keys,omitempty"`
+	UDF      string     `json:"udf,omitempty"`
+	N        int        `json:"n,omitempty"`
+	Children []*Logical `json:"children,omitempty"`
+}
+
+// ParseLogicalOp is the inverse of LogicalOp.String.
+func ParseLogicalOp(s string) (LogicalOp, error) {
+	for op := LogicalOp(0); op < numLogicalOps; op++ {
+		if op.String() == s {
+			return op, nil
+		}
+	}
+	return 0, fmt.Errorf("plan: unknown logical operator %q", s)
+}
+
+// MarshalJSON encodes the subtree in the wire format.
+func (l *Logical) MarshalJSON() ([]byte, error) {
+	return json.Marshal(logicalWire{
+		Op:       l.Op.String(),
+		Table:    l.Table,
+		Template: l.InputTemplate,
+		Pred:     l.Pred,
+		Keys:     l.Keys,
+		UDF:      l.UDF,
+		N:        l.N,
+		Children: l.Children,
+	})
+}
+
+// UnmarshalJSON decodes the wire format and validates the node. Unknown
+// fields are rejected — a misspelled "pred" must not silently plan a
+// different query. (An enclosing decoder's DisallowUnknownFields does not
+// propagate into custom unmarshallers, so strictness lives here.)
+func (l *Logical) UnmarshalJSON(data []byte) error {
+	var w logicalWire
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&w); err != nil {
+		return err
+	}
+	op, err := ParseLogicalOp(w.Op)
+	if err != nil {
+		return err
+	}
+	*l = Logical{
+		Op:            op,
+		Children:      w.Children,
+		Table:         w.Table,
+		InputTemplate: w.Template,
+		Pred:          w.Pred,
+		Keys:          w.Keys,
+		UDF:           w.UDF,
+		N:             w.N,
+	}
+	return l.validateNode()
+}
+
+// validateNode checks this node's arity and required fields (children are
+// validated by their own UnmarshalJSON calls).
+func (l *Logical) validateNode() error {
+	arityErr := func(want string) error {
+		return fmt.Errorf("plan: %s wants %s children, got %d", l.Op, want, len(l.Children))
+	}
+	switch l.Op {
+	case LGet:
+		if len(l.Children) != 0 {
+			return arityErr("no")
+		}
+		if l.Table == "" {
+			return fmt.Errorf("plan: Get needs a table name")
+		}
+	case LJoin:
+		if len(l.Children) != 2 {
+			return arityErr("2")
+		}
+	case LUnion:
+		if len(l.Children) < 1 {
+			return arityErr("≥1")
+		}
+	case LTopN:
+		if len(l.Children) != 1 {
+			return arityErr("1")
+		}
+		if l.N <= 0 {
+			return fmt.Errorf("plan: TopN needs n > 0, got %d", l.N)
+		}
+	default: // Select, Project, Aggregate, Sort, Process, Output
+		if len(l.Children) != 1 {
+			return arityErr("1")
+		}
+	}
+	for _, c := range l.Children {
+		if c == nil {
+			return fmt.Errorf("plan: %s has a null child", l.Op)
+		}
+	}
+	return nil
+}
+
+// Validate re-checks arity and required fields over the whole subtree —
+// for plans built programmatically rather than decoded from JSON. It
+// validates pre-order so a nil child is reported, not recursed into.
+func (l *Logical) Validate() error {
+	if err := l.validateNode(); err != nil {
+		return err
+	}
+	for _, c := range l.Children {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

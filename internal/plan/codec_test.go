@@ -1,0 +1,154 @@
+package plan
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// allOpsPlan builds one plan containing every logical operator.
+func allOpsPlan() *Logical {
+	join := NewJoin(
+		NewSelect(NewGet("clicks_2026_06_12", "clicks_"), "market=us"),
+		NewGet("users_2026_06_12", "users_"),
+		"clicks.user=users.id", "user")
+	union := NewUnion(join, NewGet("clicks_2026_06_11", "clicks_"))
+	return NewOutput(NewTopN(NewSort(NewAggregate(NewProcess(NewProject(
+		union, "user", "market"), "udf1"), "user"), "user"), 10, "user"))
+}
+
+// TestJSONRoundTripAllOperators round-trips a plan containing all ten
+// logical operators and checks structural identity.
+func TestJSONRoundTripAllOperators(t *testing.T) {
+	q := allOpsPlan()
+	// Confirm every operator kind is present.
+	var present [NumLogicalOps]bool
+	q.Walk(func(n *Logical) { present[n.Op] = true })
+	for op := LogicalOp(0); op < numLogicalOps; op++ {
+		if !present[op] {
+			t.Fatalf("test plan misses operator %s", op)
+		}
+	}
+
+	data, err := json.Marshal(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Logical
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != q.String() {
+		t.Fatalf("round trip changed plan:\n got %s\nwant %s", got.String(), q.String())
+	}
+	// Field-level spot checks beyond String coverage.
+	if got.Count() != q.Count() {
+		t.Fatalf("count %d != %d", got.Count(), q.Count())
+	}
+	var topn *Logical
+	got.Walk(func(n *Logical) {
+		if n.Op == LTopN {
+			topn = n
+		}
+	})
+	if topn == nil || topn.N != 10 {
+		t.Fatalf("TopN.N lost: %+v", topn)
+	}
+	if tmpl := got.InputTemplates(); len(tmpl) != 2 {
+		t.Fatalf("templates = %v", tmpl)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A second marshal must be byte-stable (deterministic encoder).
+	data2, err := json.Marshal(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatal("re-marshal not stable")
+	}
+}
+
+// TestJSONRoundTripEachOperator round-trips a minimal plan per operator so
+// a codec regression names the operator it broke.
+func TestJSONRoundTripEachOperator(t *testing.T) {
+	leaf := func() *Logical { return NewGet("t_2026_06_12", "t_") }
+	cases := map[string]*Logical{
+		"Get":       leaf(),
+		"Select":    NewSelect(leaf(), "a=1"),
+		"Project":   NewProject(leaf(), "a", "b"),
+		"Join":      NewJoin(leaf(), leaf(), "l.a=r.a", "a"),
+		"Aggregate": NewAggregate(leaf(), "a"),
+		"Sort":      NewSort(leaf(), "a"),
+		"TopN":      NewTopN(leaf(), 7, "a"),
+		"Union":     NewUnion(leaf(), leaf(), leaf()),
+		"Process":   NewProcess(leaf(), "udf"),
+		"Output":    NewOutput(leaf()),
+	}
+	for name, q := range cases {
+		data, err := json.Marshal(q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(string(data), `"op":"`+name+`"`) {
+			t.Fatalf("%s: wire %s misses op name", name, data)
+		}
+		var got Logical
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.String() != q.String() {
+			t.Fatalf("%s: got %s want %s", name, got.String(), q.String())
+		}
+	}
+}
+
+func TestJSONDecodeErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown op":       `{"op":"Scan"}`,
+		"get with child":   `{"op":"Get","table":"t","children":[{"op":"Get","table":"u"}]}`,
+		"get sans table":   `{"op":"Get"}`,
+		"join arity":       `{"op":"Join","children":[{"op":"Get","table":"t"}]}`,
+		"select arity":     `{"op":"Select"}`,
+		"union empty":      `{"op":"Union"}`,
+		"topn zero":        `{"op":"TopN","children":[{"op":"Get","table":"t"}]}`,
+		"topn child count": `{"op":"TopN","n":3}`,
+		"null child":       `{"op":"Output","children":[null]}`,
+		"not json":         `{"op":`,
+		"misspelled field": `{"op":"Select","predicate":"market=us","children":[{"op":"Get","table":"t"}]}`,
+		"nested unknown":   `{"op":"Output","children":[{"op":"Get","table":"t","tmplate":"t_"}]}`,
+	}
+	for name, in := range cases {
+		var got Logical
+		if err := json.Unmarshal([]byte(in), &got); err == nil {
+			t.Fatalf("%s: decode of %s succeeded, want error", name, in)
+		}
+	}
+}
+
+func TestParseLogicalOp(t *testing.T) {
+	for op := LogicalOp(0); op < numLogicalOps; op++ {
+		got, err := ParseLogicalOp(op.String())
+		if err != nil || got != op {
+			t.Fatalf("ParseLogicalOp(%s) = %v, %v", op, got, err)
+		}
+	}
+	if _, err := ParseLogicalOp("UnknownLogical"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestValidateProgrammaticPlan(t *testing.T) {
+	if err := allOpsPlan().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := NewOutput(nil)
+	bad.Children = []*Logical{nil}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("nil child must fail validation")
+	}
+	if err := (&Logical{Op: LJoin, Children: []*Logical{NewGet("t", "t_")}}).Validate(); err == nil {
+		t.Fatal("join arity must fail validation")
+	}
+}

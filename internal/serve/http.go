@@ -1,0 +1,259 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"cleo/internal/engine"
+	"cleo/internal/plan"
+	"cleo/internal/stats"
+)
+
+// HTTP/JSON API (stdlib net/http only):
+//
+//	POST /v1/query    optimize or run a JSON-encoded logical plan
+//	POST /v1/retrain  train + hot-swap a new model version for a tenant
+//	GET  /v1/models   list a tenant's model versions
+//	GET  /v1/stats    serving counters (all tenants, or ?tenant=)
+//	GET  /healthz     liveness probe
+//
+// Errors are returned as {"error": "..."} with a 4xx/5xx status.
+
+// QueryRequest is the POST /v1/query body.
+type QueryRequest struct {
+	// Tenant names the session; created on first use.
+	Tenant string `json:"tenant"`
+	// Mode is "run" (optimize + execute, the default) or "optimize"
+	// (plan only).
+	Mode string `json:"mode,omitempty"`
+	// Seed drives per-instance statistics drift and execution noise.
+	Seed int64 `json:"seed,omitempty"`
+	// Param is the job parameter (PM feature); defaults to 1.
+	Param float64 `json:"param,omitempty"`
+	// UseLearned selects the learned cost models; omitted/null means
+	// "auto": use them whenever the tenant has a live model version.
+	UseLearned *bool `json:"use_learned,omitempty"`
+	// ResourceAware enables partition exploration.
+	ResourceAware bool `json:"resource_aware,omitempty"`
+	// Safe applies the optimize-twice regression mitigation (implies
+	// learned models).
+	Safe bool `json:"safe,omitempty"`
+	// SkipLogging keeps the run out of the telemetry feedback loop.
+	SkipLogging bool `json:"skip_logging,omitempty"`
+	// Tables registers stored-input statistics before planning
+	// (idempotent; later requests may omit already-registered tables).
+	Tables map[string]stats.TableStats `json:"tables,omitempty"`
+	// Plan is the JSON-encoded logical plan (see internal/plan codec).
+	Plan *plan.Logical `json:"plan"`
+}
+
+// QueryResponse is the POST /v1/query response.
+type QueryResponse struct {
+	Tenant              string           `json:"tenant"`
+	Mode                string           `json:"mode"`
+	UsedLearned         bool             `json:"used_learned"`
+	ModelVersion        int64            `json:"model_version,omitempty"`
+	Plan                string           `json:"plan"`
+	Summary             plan.PlanSummary `json:"summary"`
+	PredictedCost       float64          `json:"predicted_cost"`
+	Latency             float64          `json:"latency,omitempty"`
+	TotalProcessingTime float64          `json:"total_processing_time,omitempty"`
+	Containers          int              `json:"containers,omitempty"`
+	Records             int              `json:"records,omitempty"`
+}
+
+// RetrainRequest is the POST /v1/retrain body.
+type RetrainRequest struct {
+	Tenant string `json:"tenant"`
+}
+
+// ModelsResponse is the GET /v1/models response.
+type ModelsResponse struct {
+	Tenant   string             `json:"tenant"`
+	Current  int64              `json:"current"` // 0 = none live
+	Versions []ModelVersionInfo `json:"versions"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// NewHandler builds the service's HTTP handler.
+func NewHandler(svc *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
+		handleQuery(svc, w, r)
+	})
+	mux.HandleFunc("POST /v1/retrain", func(w http.ResponseWriter, r *http.Request) {
+		handleRetrain(svc, w, r)
+	})
+	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, r *http.Request) {
+		handleModels(svc, w, r)
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		handleStats(svc, w, r)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// maxBodyBytes bounds request bodies (plans are small; telemetry never
+// flows inbound).
+const maxBodyBytes = 1 << 20
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func handleQuery(svc *Service, w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Tenant == "" {
+		writeError(w, http.StatusBadRequest, "missing tenant")
+		return
+	}
+	if req.Plan == nil {
+		writeError(w, http.StatusBadRequest, "missing plan")
+		return
+	}
+	mode := req.Mode
+	if mode == "" {
+		mode = "run"
+	}
+	if mode != "run" && mode != "optimize" {
+		writeError(w, http.StatusBadRequest, "bad mode %q (want run or optimize)", mode)
+		return
+	}
+
+	t := svc.Tenant(req.Tenant)
+	for name, ts := range req.Tables {
+		t.System().RegisterTable(name, ts)
+	}
+
+	useLearned := t.HasModels() // auto
+	if req.UseLearned != nil {
+		useLearned = *req.UseLearned
+	}
+	opts := engine.RunOptions{
+		Seed:              req.Seed,
+		Param:             req.Param,
+		UseLearnedModels:  useLearned || req.Safe,
+		ResourceAware:     req.ResourceAware,
+		SafePlanSelection: req.Safe,
+		SkipLogging:       req.SkipLogging,
+	}
+	resp := QueryResponse{Tenant: req.Tenant, Mode: mode, UsedLearned: opts.UseLearnedModels}
+
+	switch mode {
+	case "optimize":
+		p, cost, version, err := t.OptimizeWithVersion(req.Plan, opts)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "optimize: %v", err)
+			return
+		}
+		resp.ModelVersion = version
+		resp.Plan = p.String()
+		resp.Summary = plan.Summarize(p)
+		resp.PredictedCost = cost
+	case "run":
+		res, version, err := t.RunWithVersion(req.Plan, opts)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "run: %v", err)
+			return
+		}
+		resp.ModelVersion = version
+		resp.Plan = res.Plan.String()
+		resp.Summary = plan.Summarize(res.Plan)
+		resp.PredictedCost = res.PredictedCost
+		resp.Latency = res.Latency
+		resp.TotalProcessingTime = res.TotalProcessingTime
+		resp.Containers = res.Containers
+		resp.Records = len(res.Records)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func handleRetrain(svc *Service, w http.ResponseWriter, r *http.Request) {
+	var req RetrainRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Tenant == "" {
+		writeError(w, http.StatusBadRequest, "missing tenant")
+		return
+	}
+	t, ok := svc.Lookup(req.Tenant)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown tenant %q", req.Tenant)
+		return
+	}
+	info, err := t.Retrain()
+	switch {
+	case errors.Is(err, ErrRetrainInProgress):
+		writeError(w, http.StatusConflict, "%v", err)
+	case err != nil:
+		writeError(w, http.StatusUnprocessableEntity, "retrain: %v", err)
+	default:
+		writeJSON(w, http.StatusOK, map[string]ModelVersionInfo{"version": info})
+	}
+}
+
+func handleModels(svc *Service, w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("tenant")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "missing tenant query parameter")
+		return
+	}
+	t, ok := svc.Lookup(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown tenant %q", name)
+		return
+	}
+	resp := ModelsResponse{Tenant: name, Versions: t.Registry().Versions()}
+	if v := t.Registry().Current(); v != nil {
+		resp.Current = v.Info.ID
+	}
+	if resp.Versions == nil {
+		resp.Versions = []ModelVersionInfo{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func handleStats(svc *Service, w http.ResponseWriter, r *http.Request) {
+	if name := r.URL.Query().Get("tenant"); name != "" {
+		t, ok := svc.Lookup(name)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown tenant %q", name)
+			return
+		}
+		writeJSON(w, http.StatusOK, t.Stats())
+		return
+	}
+	stats := svc.Stats()
+	if stats == nil {
+		stats = []TenantStats{}
+	}
+	writeJSON(w, http.StatusOK, stats)
+}

@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+const demoPlanJSON = `{"op":"Output","children":[{"op":"Aggregate","keys":["user"],"children":[
+  {"op":"Select","pred":"market=us","children":[
+    {"op":"Get","table":"clicks_2026_06_12","template":"clicks_"}]}]}]}`
+
+const demoTablesJSON = `{"clicks_2026_06_12": {"Rows": 2e7, "RowLength": 120}}`
+
+func queryBody(tenant string, seed int64, extra string) string {
+	return fmt.Sprintf(`{"tenant":%q,"seed":%d,"tables":%s,"plan":%s%s}`,
+		tenant, seed, demoTablesJSON, demoPlanJSON, extra)
+}
+
+func postJSON(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+func getJSON(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+// TestHTTPServingLifecycle walks the full API: concurrent queries against
+// two tenants, a retrain that hot-swaps a version mid-traffic, learned
+// queries against the new version, model listing and stats.
+func TestHTTPServingLifecycle(t *testing.T) {
+	svc := NewService(Config{})
+	defer svc.Close()
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+
+	// ≥32 concurrent queries across two tenants (the acceptance bar).
+	const concurrent = 32
+	var wg sync.WaitGroup
+	errc := make(chan error, concurrent)
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tenant := "ads"
+			if i%2 == 1 {
+				tenant = "search"
+			}
+			status, body := postJSON(t, srv.URL+"/v1/query", queryBody(tenant, int64(i), ""))
+			if status != http.StatusOK {
+				errc <- fmt.Errorf("query %d: status %d: %s", i, status, body)
+				return
+			}
+			var qr QueryResponse
+			if err := json.Unmarshal(body, &qr); err != nil {
+				errc <- err
+				return
+			}
+			if qr.Latency <= 0 || qr.UsedLearned || qr.Summary.NumOps == 0 {
+				errc <- fmt.Errorf("query %d: bad response %+v", i, qr)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// The flusher must have drained each tenant's 16 runs before training.
+	for _, tenant := range []string{"ads", "search"} {
+		tn, _ := svc.Lookup(tenant)
+		waitForLog(t, tn, 16)
+	}
+
+	// Retrain both tenants over HTTP.
+	for _, tenant := range []string{"ads", "search"} {
+		status, body := postJSON(t, srv.URL+"/v1/retrain", fmt.Sprintf(`{"tenant":%q}`, tenant))
+		if status != http.StatusOK {
+			t.Fatalf("retrain %s: status %d: %s", tenant, status, body)
+		}
+		var vr map[string]ModelVersionInfo
+		if err := json.Unmarshal(body, &vr); err != nil {
+			t.Fatal(err)
+		}
+		if v := vr["version"]; v.ID != 1 || v.NumModels == 0 || v.TrainRecords == 0 {
+			t.Fatalf("retrain %s: version %+v", tenant, v)
+		}
+	}
+
+	// Learned (auto) query now reports the model version it used.
+	status, body := postJSON(t, srv.URL+"/v1/query", queryBody("ads", 500, ""))
+	if status != http.StatusOK {
+		t.Fatalf("learned query: %d: %s", status, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if !qr.UsedLearned || qr.ModelVersion != 1 {
+		t.Fatalf("learned query response: %+v", qr)
+	}
+
+	// Optimize-only mode returns a plan without executing.
+	status, body = postJSON(t, srv.URL+"/v1/query",
+		queryBody("ads", 501, `,"mode":"optimize","resource_aware":true`))
+	if status != http.StatusOK {
+		t.Fatalf("optimize: %d: %s", status, body)
+	}
+	qr = QueryResponse{} // omitempty fields survive re-unmarshal otherwise
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Latency != 0 || qr.PredictedCost <= 0 || qr.Plan == "" {
+		t.Fatalf("optimize response: %+v", qr)
+	}
+
+	// Models listing.
+	status, body = getJSON(t, srv.URL+"/v1/models?tenant=ads")
+	if status != http.StatusOK {
+		t.Fatalf("models: %d: %s", status, body)
+	}
+	var mr ModelsResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Current != 1 || len(mr.Versions) != 1 {
+		t.Fatalf("models response: %+v", mr)
+	}
+
+	// Stats for all tenants and for one.
+	status, body = getJSON(t, srv.URL+"/v1/stats")
+	if status != http.StatusOK {
+		t.Fatalf("stats: %d: %s", status, body)
+	}
+	var all []TenantStats
+	if err := json.Unmarshal(body, &all); err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 || all[0].Tenant != "ads" || all[1].Tenant != "search" {
+		t.Fatalf("stats response: %+v", all)
+	}
+	status, body = getJSON(t, srv.URL+"/v1/stats?tenant=search")
+	if status != http.StatusOK {
+		t.Fatalf("tenant stats: %d: %s", status, body)
+	}
+	var one TenantStats
+	if err := json.Unmarshal(body, &one); err != nil {
+		t.Fatal(err)
+	}
+	if one.Tenant != "search" || one.Queries == 0 {
+		t.Fatalf("tenant stats response: %+v", one)
+	}
+
+	// Health.
+	if status, _ := getJSON(t, srv.URL+"/healthz"); status != http.StatusOK {
+		t.Fatalf("healthz: %d", status)
+	}
+}
+
+// TestHTTPErrors covers the API's failure modes.
+func TestHTTPErrors(t *testing.T) {
+	svc := NewService(Config{})
+	defer svc.Close()
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+
+	cases := []struct {
+		name, method, path, body string
+		want                     int
+	}{
+		{"missing tenant", "POST", "/v1/query", `{"plan":` + demoPlanJSON + `}`, http.StatusBadRequest},
+		{"missing plan", "POST", "/v1/query", `{"tenant":"x"}`, http.StatusBadRequest},
+		{"bad mode", "POST", "/v1/query", `{"tenant":"x","mode":"explain","plan":` + demoPlanJSON + `}`, http.StatusBadRequest},
+		{"unknown operator", "POST", "/v1/query", `{"tenant":"x","plan":{"op":"Scan"}}`, http.StatusBadRequest},
+		{"bad arity", "POST", "/v1/query", `{"tenant":"x","plan":{"op":"Join","children":[{"op":"Get","table":"t"}]}}`, http.StatusBadRequest},
+		{"unknown field", "POST", "/v1/query", `{"tenant":"x","nope":1,"plan":` + demoPlanJSON + `}`, http.StatusBadRequest},
+		{"not json", "POST", "/v1/query", `{{{`, http.StatusBadRequest},
+		{"unknown table", "POST", "/v1/query", `{"tenant":"x","plan":` + demoPlanJSON + `}`, http.StatusUnprocessableEntity},
+		{"learned sans models", "POST", "/v1/query", queryBody("x", 1, `,"use_learned":true`), http.StatusUnprocessableEntity},
+		{"retrain unknown tenant", "POST", "/v1/retrain", `{"tenant":"ghost"}`, http.StatusNotFound},
+		{"retrain missing tenant", "POST", "/v1/retrain", `{}`, http.StatusBadRequest},
+		{"models missing tenant", "GET", "/v1/models", "", http.StatusBadRequest},
+		{"models unknown tenant", "GET", "/v1/models?tenant=ghost", "", http.StatusNotFound},
+		{"stats unknown tenant", "GET", "/v1/stats?tenant=ghost", "", http.StatusNotFound},
+		{"wrong method", "GET", "/v1/query", "", http.StatusMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		var status int
+		var body []byte
+		if tc.method == "POST" {
+			status, body = postJSON(t, srv.URL+tc.path, tc.body)
+		} else {
+			status, body = getJSON(t, srv.URL+tc.path)
+		}
+		if status != tc.want {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, status, tc.want, body)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Package serve is the multi-tenant optimizer service: it multiplexes
+// named engine.System instances behind a sharded session map, versions
+// their learned models in a hot-swappable registry, memoizes predictions
+// on the recurring-job hot path, batches telemetry ingestion through a
+// flusher goroutine with threshold-triggered background retraining, and
+// exposes the whole thing over an HTTP/JSON API (NewHandler) that
+// cmd/cleoserve binds to a socket. It is the paper's Section 5.1
+// deployment shape: a long-lived serving layer whose models are retrained
+// from live telemetry and swapped in without stopping query traffic.
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cleo/internal/learned"
+	"cleo/internal/ml"
+)
+
+// ModelVersionInfo is the metadata of one published model version.
+type ModelVersionInfo struct {
+	// ID increments per publish, starting at 1.
+	ID int64 `json:"id"`
+	// TrainedAt is the publish wall-clock time.
+	TrainedAt time.Time `json:"trained_at"`
+	// TrainRecords is the telemetry log size the version was trained on.
+	TrainRecords int `json:"train_records"`
+	// NumModels counts the individual learned models in the version.
+	NumModels int `json:"num_models"`
+	// Accuracy snapshots prediction quality on the most recent telemetry
+	// at training time.
+	Accuracy ml.Accuracy `json:"accuracy"`
+}
+
+// ModelVersion pairs a published predictor with its metadata and the
+// prediction cache that is valid for exactly this predictor.
+type ModelVersion struct {
+	Info      ModelVersionInfo
+	Predictor *learned.Predictor
+	Cache     *learned.PredictionCache
+}
+
+// Registry versions a tenant's learned models. Publish atomically swaps
+// the current version, so retraining can race with serving: optimizations
+// in flight keep the version (predictor + cache) they started with, and
+// the next request observes the new one. Old versions' metadata is kept
+// for GET /v1/models; their predictors are dropped once unreferenced.
+type Registry struct {
+	seq atomic.Int64
+	cur atomic.Pointer[ModelVersion]
+
+	mu      sync.Mutex
+	history []ModelVersionInfo
+}
+
+// Current returns the live version (nil before the first Publish).
+func (r *Registry) Current() *ModelVersion {
+	return r.cur.Load()
+}
+
+// Publish installs pr as the new current version with a fresh prediction
+// cache and records its metadata.
+func (r *Registry) Publish(pr *learned.Predictor, trainRecords int, acc ml.Accuracy) *ModelVersion {
+	v := &ModelVersion{
+		Info: ModelVersionInfo{
+			ID:           r.seq.Add(1),
+			TrainedAt:    time.Now().UTC(),
+			TrainRecords: trainRecords,
+			NumModels:    pr.NumModels(),
+			Accuracy:     acc,
+		},
+		Predictor: pr,
+		Cache:     learned.NewPredictionCache(),
+	}
+	r.mu.Lock()
+	r.history = append(r.history, v.Info)
+	r.mu.Unlock()
+	r.cur.Store(v)
+	return v
+}
+
+// Versions lists the metadata of every published version, oldest first.
+func (r *Registry) Versions() []ModelVersionInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]ModelVersionInfo(nil), r.history...)
+}

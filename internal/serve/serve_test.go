@@ -1,0 +1,323 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cleo/internal/engine"
+	"cleo/internal/plan"
+	"cleo/internal/stats"
+)
+
+// demoPlan builds the recurring aggregation query used across tests.
+func demoPlan() *plan.Logical {
+	return plan.NewOutput(plan.NewAggregate(plan.NewSelect(
+		plan.NewGet("clicks_2026_06_12", "clicks_"), "market=us"), "user"))
+}
+
+// newTestTenant returns a tenant with the demo table registered.
+func newTestTenant(svc *Service, name string) *Tenant {
+	t := svc.Tenant(name)
+	t.System().RegisterTable("clicks_2026_06_12", stats.TableStats{Rows: 2e7, RowLength: 120})
+	return t
+}
+
+// seedTelemetry runs enough default-model queries to make training viable.
+func seedTelemetry(t *testing.T, tn *Tenant, runs int) {
+	t.Helper()
+	q := demoPlan()
+	for seed := int64(1); seed <= int64(runs); seed++ {
+		if _, err := tn.Run(q, engine.RunOptions{Seed: seed, Param: float64(seed%5) + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitForLog(t, tn, runs)
+}
+
+// waitForLog waits for the flusher to drain at least minRuns runs' worth
+// of records into the system log.
+func waitForLog(t *testing.T, tn *Tenant, minRuns int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for tn.System().LogSize() < minRuns {
+		if time.Now().After(deadline) {
+			t.Fatalf("flusher drained only %d records", tn.System().LogSize())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestConcurrentRunRetrainHotSwap hammers two tenants with concurrent Run
+// traffic while model versions are retrained and hot-swapped mid-flight.
+// Run under -race; the acceptance bar is zero dropped or erroring
+// requests.
+func TestConcurrentRunRetrainHotSwap(t *testing.T) {
+	svc := NewService(Config{})
+	defer svc.Close()
+
+	tenants := []*Tenant{newTestTenant(svc, "ads"), newTestTenant(svc, "search")}
+	for _, tn := range tenants {
+		seedTelemetry(t, tn, 30)
+		if _, err := tn.Retrain(); err != nil {
+			t.Fatalf("%s: initial retrain: %v", tn.Name, err)
+		}
+	}
+
+	const workers, queriesPerWorker, swaps = 6, 20, 3
+	var wg sync.WaitGroup
+	errc := make(chan error, len(tenants)*(workers+1))
+	for _, tn := range tenants {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(tn *Tenant, w int) {
+				defer wg.Done()
+				q := demoPlan()
+				for i := 0; i < queriesPerWorker; i++ {
+					opts := engine.RunOptions{
+						Seed:             int64(w*queriesPerWorker + i),
+						Param:            float64(i%4) + 1,
+						UseLearnedModels: true,
+						ResourceAware:    i%2 == 0,
+					}
+					res, err := tn.Run(q, opts)
+					if err != nil {
+						errc <- fmt.Errorf("%s worker %d: %w", tn.Name, w, err)
+						return
+					}
+					if res.Latency <= 0 || res.Plan == nil {
+						errc <- fmt.Errorf("%s worker %d: bad result %+v", tn.Name, w, res)
+						return
+					}
+				}
+			}(tn, w)
+		}
+		wg.Add(1)
+		go func(tn *Tenant) {
+			defer wg.Done()
+			for i := 0; i < swaps; i++ {
+				time.Sleep(5 * time.Millisecond)
+				if _, err := tn.Retrain(); err != nil && !errors.Is(err, ErrRetrainInProgress) {
+					errc <- fmt.Errorf("%s retrain %d: %w", tn.Name, i, err)
+					return
+				}
+			}
+		}(tn)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	for _, tn := range tenants {
+		st := tn.Stats()
+		if st.Errors != 0 {
+			t.Fatalf("%s: %d serving errors", tn.Name, st.Errors)
+		}
+		if st.Runs != workers*queriesPerWorker+30 {
+			t.Fatalf("%s: runs = %d", tn.Name, st.Runs)
+		}
+		if st.ModelVersion < 2 {
+			t.Fatalf("%s: no hot-swap happened (version %d)", tn.Name, st.ModelVersion)
+		}
+		versions := tn.Registry().Versions()
+		if int64(len(versions)) != tn.Registry().Current().Info.ID {
+			t.Fatalf("%s: history %d != current id %d", tn.Name, len(versions), tn.Registry().Current().Info.ID)
+		}
+		// A repeated identical optimization (the recurring-job case) must
+		// hit the final version's cache.
+		q := demoPlan()
+		opts := engine.RunOptions{Seed: 999, Param: 2, UseLearnedModels: true, SkipLogging: true}
+		for i := 0; i < 2; i++ {
+			if _, _, err := tn.Optimize(q, opts); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if st := tn.Stats().Cache; st.Hits == 0 {
+			t.Fatalf("%s: recurring optimization never hit the prediction cache: %+v", tn.Name, st)
+		}
+	}
+}
+
+// TestCachedCostsMatchUncached verifies end-to-end (through Optimize) that
+// the prediction cache changes nothing about the chosen plan or its cost.
+func TestCachedCostsMatchUncached(t *testing.T) {
+	svc := NewService(Config{})
+	defer svc.Close()
+	tn := newTestTenant(svc, "ads")
+	seedTelemetry(t, tn, 30)
+	if _, err := tn.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+	v := tn.Registry().Current()
+	q := demoPlan()
+	// Two passes over the same (seed, param) grid: the second prices every
+	// operator from the cache and must still match the uncached coster.
+	for pass := 0; pass < 2; pass++ {
+		for seed := int64(1); seed <= 5; seed++ {
+			for _, param := range []float64{1, 2, 3} {
+				opts := engine.RunOptions{Seed: seed, Param: param, UseLearnedModels: true, SkipLogging: true}
+				uncached := opts
+				uncached.Models = v.Predictor // pin version, no cache
+				pPlain, cPlain, err := tn.System().Optimize(q, uncached)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pCached, cCached, err := tn.Optimize(q, opts) // tenant path attaches the cache
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cPlain != cCached {
+					t.Fatalf("seed %d param %v: cached cost %v != uncached %v", seed, param, cCached, cPlain)
+				}
+				if pPlain.String() != pCached.String() {
+					t.Fatalf("seed %d param %v: plans diverge:\n%s\n%s", seed, param, pPlain, pCached)
+				}
+			}
+		}
+	}
+	if st := v.Cache.Stats(); st.Hits == 0 {
+		t.Fatalf("cache never hit: %+v", st)
+	}
+}
+
+// TestBackgroundRetrainLoop verifies the telemetry threshold triggers a
+// background retrain that publishes a version without any explicit call.
+func TestBackgroundRetrainLoop(t *testing.T) {
+	svc := NewService(Config{RetrainThreshold: 80})
+	defer svc.Close()
+	tn := newTestTenant(svc, "ads")
+	q := demoPlan()
+	deadline := time.Now().Add(30 * time.Second)
+	for seed := int64(1); tn.Registry().Current() == nil; seed++ {
+		if _, err := tn.Run(q, engine.RunOptions{Seed: seed, Param: float64(seed%3) + 1}); err != nil {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no background retrain after %d runs (log %d)", seed, tn.System().LogSize())
+		}
+	}
+	// The published version must be live for serving.
+	st := tn.Stats()
+	if st.Retrains == 0 || st.ModelVersion == 0 || st.NumModels == 0 {
+		t.Fatalf("stats after background retrain: %+v", st)
+	}
+	if !tn.HasModels() {
+		t.Fatal("HasModels false after background retrain")
+	}
+}
+
+// TestRetrainSingleFlight verifies explicit retrains refuse to stack.
+func TestRetrainSingleFlight(t *testing.T) {
+	svc := NewService(Config{})
+	defer svc.Close()
+	tn := newTestTenant(svc, "ads")
+	tn.training.Store(true)
+	if _, err := tn.Retrain(); !errors.Is(err, ErrRetrainInProgress) {
+		t.Fatalf("err = %v, want ErrRetrainInProgress", err)
+	}
+	tn.training.Store(false)
+	if _, err := tn.Retrain(); err == nil {
+		t.Fatal("retrain with no telemetry must fail")
+	}
+}
+
+// TestConcurrentTableRegistration mirrors the HTTP idiom of sending
+// "tables" on every request: concurrent registration of the same table
+// while queries plan against it must be race-free (run under -race).
+func TestConcurrentTableRegistration(t *testing.T) {
+	svc := NewService(Config{})
+	defer svc.Close()
+	tn := newTestTenant(svc, "ads")
+	q := demoPlan()
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				tn.System().RegisterTable("clicks_2026_06_12",
+					stats.TableStats{Rows: 2e7, RowLength: 120})
+				if _, err := tn.Run(q, engine.RunOptions{Seed: int64(w*20 + i), SkipLogging: true}); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestRetrainSeesCompletedTraffic pins the flush barrier: a retrain issued
+// right after the last query returns must train on all of its telemetry.
+func TestRetrainSeesCompletedTraffic(t *testing.T) {
+	svc := NewService(Config{})
+	defer svc.Close()
+	tn := newTestTenant(svc, "ads")
+	q := demoPlan()
+	ran := 0
+	for seed := int64(1); seed <= 25; seed++ {
+		res, err := tn.Run(q, engine.RunOptions{Seed: seed, Param: float64(seed%5) + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ran += len(res.Records)
+	}
+	// No waiting: the retrain's internal flush barrier must cover every
+	// record already enqueued by the completed runs.
+	info, err := tn.Retrain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.TrainRecords != ran {
+		t.Fatalf("trained on %d records, %d were offered", info.TrainRecords, ran)
+	}
+}
+
+// TestSessionMapSharding exercises concurrent get-or-create across many
+// tenant names and checks instance identity.
+func TestSessionMapSharding(t *testing.T) {
+	svc := NewService(Config{})
+	defer svc.Close()
+	const names = 40
+	var wg sync.WaitGroup
+	got := make([][]*Tenant, names)
+	for i := 0; i < names; i++ {
+		got[i] = make([]*Tenant, 8)
+		for j := 0; j < 8; j++ {
+			wg.Add(1)
+			go func(i, j int) {
+				defer wg.Done()
+				got[i][j] = svc.Tenant(fmt.Sprintf("tenant-%02d", i))
+			}(i, j)
+		}
+	}
+	wg.Wait()
+	for i := range got {
+		for j := 1; j < len(got[i]); j++ {
+			if got[i][j] != got[i][0] {
+				t.Fatalf("tenant %d: distinct instances from concurrent create", i)
+			}
+		}
+	}
+	if n := len(svc.TenantNames()); n != names {
+		t.Fatalf("tenant names = %d, want %d", n, names)
+	}
+	if _, ok := svc.Lookup("tenant-00"); !ok {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := svc.Lookup("nope"); ok {
+		t.Fatal("lookup invented a tenant")
+	}
+	if st := svc.Stats(); len(st) != names {
+		t.Fatalf("stats = %d entries", len(st))
+	}
+}

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"cleo/internal/engine"
+)
+
+// Config configures a Service.
+type Config struct {
+	// SeedOf derives the simulated-cluster seed for a new tenant's System
+	// (default: FNV-1a of the tenant name, so distinct tenants get
+	// distinct hidden hardware/data factors).
+	SeedOf func(name string) uint64
+	// NewSystem, when non-nil, fully overrides System construction for
+	// new tenants (takes precedence over SeedOf).
+	NewSystem func(name string) *engine.System
+	// RetrainThreshold is the number of new telemetry records since the
+	// last published version that triggers a background retrain; 0
+	// disables the background loop (explicit Retrain still works).
+	RetrainThreshold int
+	// IngestBuffer is the per-tenant telemetry channel capacity in
+	// batches (default 128).
+	IngestBuffer int
+}
+
+// sessionShards sizes the sharded session map; tenants hash across shards
+// so lookups under concurrent traffic do not serialize on one lock.
+const sessionShards = 16
+
+type tenantShard struct {
+	mu sync.RWMutex
+	m  map[string]*Tenant
+}
+
+// Service is the multi-tenant optimizer service: a sharded session map of
+// named Tenants, each a System plus model registry plus ingestion
+// pipeline. All methods are safe for concurrent use.
+type Service struct {
+	cfg    Config
+	shards [sessionShards]tenantShard
+
+	closeOnce sync.Once
+}
+
+// NewService builds a Service.
+func NewService(cfg Config) *Service {
+	s := &Service{cfg: cfg}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]*Tenant)
+	}
+	return s
+}
+
+// shard picks the session shard by an inline FNV-1a over the name (no
+// allocation on the per-request lookup path).
+func (s *Service) shard(name string) *tenantShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint32(name[i])) * 16777619
+	}
+	return &s.shards[h%sessionShards]
+}
+
+// Tenant returns the named tenant, creating it on first use.
+func (s *Service) Tenant(name string) *Tenant {
+	sh := s.shard(name)
+	sh.mu.RLock()
+	t := sh.m[name]
+	sh.mu.RUnlock()
+	if t != nil {
+		return t
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if t := sh.m[name]; t != nil {
+		return t
+	}
+	t = newTenant(name, s.newSystem(name), s.cfg.RetrainThreshold, s.cfg.IngestBuffer)
+	sh.m[name] = t
+	return t
+}
+
+func (s *Service) newSystem(name string) *engine.System {
+	if s.cfg.NewSystem != nil {
+		return s.cfg.NewSystem(name)
+	}
+	seedOf := s.cfg.SeedOf
+	if seedOf == nil {
+		seedOf = func(name string) uint64 {
+			h := fnv.New64a()
+			h.Write([]byte(name))
+			return h.Sum64()
+		}
+	}
+	return engine.NewSystem(engine.SystemConfig{Seed: seedOf(name)})
+}
+
+// Lookup returns the named tenant without creating it.
+func (s *Service) Lookup(name string) (*Tenant, bool) {
+	sh := s.shard(name)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	t, ok := sh.m[name]
+	return t, ok
+}
+
+// TenantNames lists the live tenants, sorted.
+func (s *Service) TenantNames() []string {
+	var names []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for name := range sh.m {
+			names = append(names, name)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Stats snapshots every tenant's serving counters, sorted by tenant name.
+func (s *Service) Stats() []TenantStats {
+	names := s.TenantNames()
+	out := make([]TenantStats, 0, len(names))
+	for _, name := range names {
+		if t, ok := s.Lookup(name); ok {
+			out = append(out, t.Stats())
+		}
+	}
+	return out
+}
+
+// Close drains every tenant's ingestion pipeline and waits for in-flight
+// background retrains. The service must not be used afterwards.
+func (s *Service) Close() {
+	s.closeOnce.Do(func() {
+		for i := range s.shards {
+			sh := &s.shards[i]
+			sh.mu.Lock()
+			for _, t := range sh.m {
+				t.close()
+			}
+			sh.mu.Unlock()
+		}
+	})
+}

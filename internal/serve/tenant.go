@@ -1,0 +1,309 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"cleo/internal/engine"
+	"cleo/internal/learned"
+	"cleo/internal/plan"
+	"cleo/internal/telemetry"
+)
+
+// ErrRetrainInProgress is returned when a retrain is requested while one
+// is already running for the tenant.
+var ErrRetrainInProgress = errors.New("serve: retrain already in progress")
+
+// Tenant is one named optimizer session: a System, its model registry,
+// and the telemetry ingestion pipeline. All methods are safe for
+// concurrent use; Run/Optimize traffic keeps flowing while Retrain (or
+// the background retraining loop) hot-swaps model versions underneath.
+type Tenant struct {
+	// Name is the tenant's session key.
+	Name string
+
+	sys *engine.System
+	reg *Registry
+
+	// Telemetry batches flow from Run through ingest to one flusher
+	// goroutine, which appends them to the system log in merged batches
+	// and checks the retraining threshold — Runs never block on the log
+	// mutex behind a training pass. flushReq carries flush barriers:
+	// the flusher drains everything queued ahead of the barrier, then
+	// closes the ack channel.
+	ingest   chan []telemetry.Record
+	flushReq chan chan struct{}
+	done     chan struct{}
+	wg       sync.WaitGroup
+
+	retrainThreshold int
+	lastTrain        atomic.Int64 // log size at the last publish
+	training         atomic.Bool  // single-flight retrain guard
+
+	queries   atomic.Uint64
+	runs      atomic.Uint64
+	optimizes atomic.Uint64
+	errors    atomic.Uint64
+	retrains  atomic.Uint64
+}
+
+func newTenant(name string, sys *engine.System, retrainThreshold, ingestBuffer int) *Tenant {
+	if ingestBuffer <= 0 {
+		ingestBuffer = 128
+	}
+	t := &Tenant{
+		Name:             name,
+		sys:              sys,
+		reg:              &Registry{},
+		ingest:           make(chan []telemetry.Record, ingestBuffer),
+		flushReq:         make(chan chan struct{}),
+		done:             make(chan struct{}),
+		retrainThreshold: retrainThreshold,
+	}
+	t.wg.Add(1)
+	go t.flusher()
+	return t
+}
+
+// System exposes the underlying engine (catalog access, model save/load).
+func (t *Tenant) System() *engine.System { return t.sys }
+
+// Registry exposes the tenant's model-version registry.
+func (t *Tenant) Registry() *Registry { return t.reg }
+
+// HasModels reports whether a learned model version is live.
+func (t *Tenant) HasModels() bool {
+	return t.reg.Current() != nil || t.sys.Models() != nil
+}
+
+// prepare pins the current model version's predictor and prediction cache
+// into opts so one optimization never mixes versions, and returns the
+// version id it pinned (0 when none).
+func (t *Tenant) prepare(opts *engine.RunOptions) int64 {
+	if !opts.UseLearnedModels {
+		return 0
+	}
+	v := t.reg.Current()
+	if v == nil {
+		return 0 // fall through to the system's own models (LoadModels path)
+	}
+	opts.Models = v.Predictor
+	opts.Cache = v.Cache
+	return v.Info.ID
+}
+
+// Run optimizes and executes q, routing telemetry through the ingestion
+// pipeline (unless opts.SkipLogging).
+func (t *Tenant) Run(q *plan.Logical, opts engine.RunOptions) (*engine.RunResult, error) {
+	res, _, err := t.RunWithVersion(q, opts)
+	return res, err
+}
+
+// RunWithVersion is Run, additionally reporting the model version id the
+// request was priced with (0 when the default cost model was used).
+func (t *Tenant) RunWithVersion(q *plan.Logical, opts engine.RunOptions) (*engine.RunResult, int64, error) {
+	t.queries.Add(1)
+	t.runs.Add(1)
+	version := t.prepare(&opts)
+	// The flusher owns log appends; a caller-supplied sink still sees
+	// every batch.
+	if callerSink := opts.LogSink; callerSink != nil {
+		opts.LogSink = func(recs []telemetry.Record) {
+			t.offer(recs)
+			callerSink(recs)
+		}
+	} else {
+		opts.LogSink = t.offer
+	}
+	res, err := t.sys.Run(q, opts)
+	if err != nil {
+		t.errors.Add(1)
+		return nil, version, err
+	}
+	return res, version, nil
+}
+
+// Optimize plans q without executing it.
+func (t *Tenant) Optimize(q *plan.Logical, opts engine.RunOptions) (*plan.Physical, float64, error) {
+	p, cost, _, err := t.OptimizeWithVersion(q, opts)
+	return p, cost, err
+}
+
+// OptimizeWithVersion is Optimize, additionally reporting the model
+// version id the plan was priced with (0 when the default cost model was
+// used).
+func (t *Tenant) OptimizeWithVersion(q *plan.Logical, opts engine.RunOptions) (*plan.Physical, float64, int64, error) {
+	t.queries.Add(1)
+	t.optimizes.Add(1)
+	version := t.prepare(&opts)
+	opts.SkipLogging = true // planning-only calls leave no telemetry
+	p, cost, err := t.sys.Optimize(q, opts)
+	if err != nil {
+		t.errors.Add(1)
+	}
+	return p, cost, version, err
+}
+
+// offer hands a telemetry batch to the flusher, blocking only if the
+// ingest buffer is full (backpressure rather than record loss).
+func (t *Tenant) offer(recs []telemetry.Record) {
+	select {
+	case t.ingest <- recs:
+	case <-t.done:
+	}
+}
+
+// flusher drains the ingest channel, merging queued batches into one
+// append, then checks the background-retraining threshold.
+func (t *Tenant) flusher() {
+	defer t.wg.Done()
+	for {
+		select {
+		case recs := <-t.ingest:
+			batch := recs
+		merge:
+			for {
+				select {
+				case more := <-t.ingest:
+					batch = append(batch, more...)
+				default:
+					break merge
+				}
+			}
+			t.sys.AppendTelemetry(batch)
+			t.maybeRetrain()
+		case ack := <-t.flushReq:
+			t.drain()
+			close(ack)
+		case <-t.done:
+			t.drain()
+			return
+		}
+	}
+}
+
+// drain appends everything currently queued on ingest to the system log.
+func (t *Tenant) drain() {
+	for {
+		select {
+		case recs := <-t.ingest:
+			t.sys.AppendTelemetry(recs)
+		default:
+			return
+		}
+	}
+}
+
+// flush blocks until every telemetry batch enqueued before the call has
+// reached the system log.
+func (t *Tenant) flush() {
+	ack := make(chan struct{})
+	select {
+	case t.flushReq <- ack:
+		<-ack
+	case <-t.done:
+	}
+}
+
+// maybeRetrain launches a single-flight background retrain once the log
+// has grown past the threshold since the last publish.
+func (t *Tenant) maybeRetrain() {
+	if t.retrainThreshold <= 0 {
+		return
+	}
+	if int64(t.sys.LogSize())-t.lastTrain.Load() < int64(t.retrainThreshold) {
+		return
+	}
+	if !t.training.CompareAndSwap(false, true) {
+		return
+	}
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		defer t.training.Store(false)
+		if _, err := t.retrain(); err != nil {
+			t.errors.Add(1)
+		}
+	}()
+}
+
+// Retrain trains a new model version from the accumulated telemetry and
+// hot-swaps it in. It returns ErrRetrainInProgress when a (background or
+// explicit) retrain is already running.
+func (t *Tenant) Retrain() (ModelVersionInfo, error) {
+	if !t.training.CompareAndSwap(false, true) {
+		return ModelVersionInfo{}, ErrRetrainInProgress
+	}
+	defer t.training.Store(false)
+	info, err := t.retrain()
+	if err != nil {
+		t.errors.Add(1)
+	}
+	return info, err
+}
+
+// accuracySnapshotCap bounds the per-publish accuracy evaluation.
+const accuracySnapshotCap = 2000
+
+func (t *Tenant) retrain() (ModelVersionInfo, error) {
+	// Barrier: completed queries ack to the client after enqueueing their
+	// records, so an explicit retrain right behind them must train on
+	// everything already offered, not on whatever the flusher got to.
+	t.flush()
+	recs := t.sys.TelemetryLog()
+	pr, err := learned.TrainSplit(recs, learned.DefaultTrainConfig())
+	if err != nil {
+		return ModelVersionInfo{}, err
+	}
+	eval := recs
+	if len(eval) > accuracySnapshotCap {
+		eval = eval[len(eval)-accuracySnapshotCap:]
+	}
+	acc := pr.Evaluate(eval)
+	t.sys.SetModels(pr) // keep direct System access (Save/Evaluate) current
+	v := t.reg.Publish(pr, len(recs), acc)
+	t.lastTrain.Store(int64(len(recs)))
+	t.retrains.Add(1)
+	return v.Info, nil
+}
+
+// TenantStats snapshots one tenant's serving counters.
+type TenantStats struct {
+	Tenant       string             `json:"tenant"`
+	Queries      uint64             `json:"queries"`
+	Runs         uint64             `json:"runs"`
+	Optimizes    uint64             `json:"optimizes"`
+	Errors       uint64             `json:"errors"`
+	Retrains     uint64             `json:"retrains"`
+	LogSize      int                `json:"log_size"`
+	ModelVersion int64              `json:"model_version"` // 0 = none live
+	NumModels    int                `json:"num_models"`
+	Cache        learned.CacheStats `json:"cache"`
+}
+
+// Stats snapshots the tenant's counters and the live version's cache.
+func (t *Tenant) Stats() TenantStats {
+	s := TenantStats{
+		Tenant:    t.Name,
+		Queries:   t.queries.Load(),
+		Runs:      t.runs.Load(),
+		Optimizes: t.optimizes.Load(),
+		Errors:    t.errors.Load(),
+		Retrains:  t.retrains.Load(),
+		LogSize:   t.sys.LogSize(),
+	}
+	if v := t.reg.Current(); v != nil {
+		s.ModelVersion = v.Info.ID
+		s.NumModels = v.Info.NumModels
+		s.Cache = v.Cache.Stats()
+	}
+	return s
+}
+
+// close stops the flusher after draining queued telemetry and waits for
+// any in-flight background retrain.
+func (t *Tenant) close() {
+	close(t.done)
+	t.wg.Wait()
+}

@@ -14,6 +14,7 @@ package stats
 import (
 	"hash/fnv"
 	"math"
+	"sync"
 )
 
 // TableStats describes one stored input instance.
@@ -32,8 +33,11 @@ type TableStats struct {
 }
 
 // Catalog resolves table statistics and operator selectivities. The zero
-// value is unusable; construct with NewCatalog.
+// value is unusable; construct with NewCatalog. Methods are safe for
+// concurrent use: the serving layer registers tables on live tenants
+// while optimizations read them.
 type Catalog struct {
+	mu     sync.RWMutex // guards tables and the override maps
 	tables map[string]TableStats
 	// seed perturbs the deterministic selectivity functions so different
 	// simulated clusters have different data distributions.
@@ -58,26 +62,47 @@ func NewCatalog(seed uint64) *Catalog {
 
 // OverrideFilter pins a predicate's true and estimated selectivity.
 func (c *Catalog) OverrideFilter(pred string, trueSel, estSel float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.filterOv[pred] = [2]float64{trueSel, estSel}
 }
 
 // OverrideJoinFanout pins a join predicate's true and estimated fanout.
 func (c *Catalog) OverrideJoinFanout(pred string, trueFan, estFan float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.joinOv[pred] = [2]float64{trueFan, estFan}
 }
 
 // OverrideAggReduction pins a group-by key's true and estimated reduction.
 func (c *Catalog) OverrideAggReduction(key string, trueRed, estRed float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.aggOv[key] = [2]float64{trueRed, estRed}
 }
 
 // PutTable registers (or updates) the statistics of a stored input.
-func (c *Catalog) PutTable(name string, ts TableStats) { c.tables[name] = ts }
+func (c *Catalog) PutTable(name string, ts TableStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tables[name] = ts
+}
 
 // Table returns the statistics for the named input and whether it exists.
 func (c *Catalog) Table(name string) (TableStats, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	ts, ok := c.tables[name]
 	return ts, ok
+}
+
+// override reads one override map entry under the read lock. Callers must
+// not hold the lock (reads are not nested, keeping RLock non-reentrant).
+func (c *Catalog) override(m map[string][2]float64, key string) ([2]float64, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ov, ok := m[key]
+	return ov, ok
 }
 
 // hashUnit maps a string (plus the catalog seed and a salt) to a uniform
@@ -105,7 +130,7 @@ func logUniform(u, lo, hi float64) float64 {
 // TrueFilterSelectivity returns the actual selectivity of predicate pred,
 // stable across job instances, in [0.02, 0.9].
 func (c *Catalog) TrueFilterSelectivity(pred string) float64 {
-	if ov, ok := c.filterOv[pred]; ok {
+	if ov, ok := c.override(c.filterOv, pred); ok {
 		return ov[0]
 	}
 	return logUniform(c.hashUnit("fsel", pred), 0.02, 0.9)
@@ -114,7 +139,7 @@ func (c *Catalog) TrueFilterSelectivity(pred string) float64 {
 // EstFilterSelectivity returns the optimizer's (biased) selectivity
 // estimate: the true value distorted log-uniformly by up to ~6x either way.
 func (c *Catalog) EstFilterSelectivity(pred string) float64 {
-	if ov, ok := c.filterOv[pred]; ok {
+	if ov, ok := c.override(c.filterOv, pred); ok {
 		return ov[1]
 	}
 	bias := logUniform(c.hashUnit("fbias", pred), 1.0/6, 6)
@@ -125,7 +150,7 @@ func (c *Catalog) EstFilterSelectivity(pred string) float64 {
 // TrueJoinFanout returns the actual join fanout f: the join of inputs of
 // cardinality L and R produces max(L,R)*f rows, with f in [0.05, 2.5].
 func (c *Catalog) TrueJoinFanout(pred string) float64 {
-	if ov, ok := c.joinOv[pred]; ok {
+	if ov, ok := c.override(c.joinOv, pred); ok {
 		return ov[0]
 	}
 	return logUniform(c.hashUnit("jfan", pred), 0.05, 2.5)
@@ -135,7 +160,7 @@ func (c *Catalog) TrueJoinFanout(pred string) float64 {
 // under-estimated (independence assumption), so the bias is skewed low and
 // wide: up to ~20x under, ~5x over.
 func (c *Catalog) EstJoinFanout(pred string) float64 {
-	if ov, ok := c.joinOv[pred]; ok {
+	if ov, ok := c.override(c.joinOv, pred); ok {
 		return ov[1]
 	}
 	bias := logUniform(c.hashUnit("jbias", pred), 1.0/20, 5)
@@ -145,7 +170,7 @@ func (c *Catalog) EstJoinFanout(pred string) float64 {
 // TrueAggReduction returns the actual group-count reduction r: the
 // aggregation of N rows produces N*r groups, r in [0.0005, 0.3].
 func (c *Catalog) TrueAggReduction(key string) float64 {
-	if ov, ok := c.aggOv[key]; ok {
+	if ov, ok := c.override(c.aggOv, key); ok {
 		return ov[0]
 	}
 	return logUniform(c.hashUnit("ared", key), 5e-4, 0.3)
@@ -153,7 +178,7 @@ func (c *Catalog) TrueAggReduction(key string) float64 {
 
 // EstAggReduction returns the estimated reduction, biased up to ~4x.
 func (c *Catalog) EstAggReduction(key string) float64 {
-	if ov, ok := c.aggOv[key]; ok {
+	if ov, ok := c.override(c.aggOv, key); ok {
 		return ov[1]
 	}
 	bias := logUniform(c.hashUnit("abias", key), 0.25, 4)

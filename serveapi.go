@@ -1,0 +1,47 @@
+package cleo
+
+import (
+	"net/http"
+
+	"cleo/internal/learned"
+	"cleo/internal/serve"
+)
+
+// Re-exports of the multi-tenant serving layer (internal/serve): named
+// optimizer sessions behind a sharded session map, versioned model
+// hot-swap, prediction caching and the HTTP/JSON API cmd/cleoserve binds.
+
+type (
+	// Service is the multi-tenant optimizer service.
+	Service = serve.Service
+	// ServeConfig configures a Service.
+	ServeConfig = serve.Config
+	// Tenant is one named optimizer session.
+	Tenant = serve.Tenant
+	// ModelVersionInfo is one published model version's metadata.
+	ModelVersionInfo = serve.ModelVersionInfo
+	// TenantStats snapshots one tenant's serving counters.
+	TenantStats = serve.TenantStats
+	// QueryRequest is the POST /v1/query body.
+	QueryRequest = serve.QueryRequest
+	// QueryResponse is the POST /v1/query response.
+	QueryResponse = serve.QueryResponse
+	// PredictionCache memoizes learned-coster predictions (RunOptions.Cache).
+	PredictionCache = learned.PredictionCache
+	// CacheStats snapshots prediction-cache counters.
+	CacheStats = learned.CacheStats
+)
+
+// NewService builds a multi-tenant optimizer service.
+func NewService(cfg ServeConfig) *Service { return serve.NewService(cfg) }
+
+// NewServeHandler builds the service's HTTP handler (the cmd/cleoserve
+// API), for embedding the service in another server.
+func NewServeHandler(svc *Service) http.Handler { return serve.NewHandler(svc) }
+
+// NewPredictionCache builds an empty learned-coster prediction cache for
+// direct (non-service) System use. Set it on RunOptions.Cache together
+// with RunOptions.Models pinning the predictor it belongs to — without a
+// pinned predictor the cache is ignored, so a Retrain hot-swap can never
+// serve another version's cached costs.
+func NewPredictionCache() *PredictionCache { return learned.NewPredictionCache() }

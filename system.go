@@ -1,332 +1,30 @@
 package cleo
 
 import (
-	"fmt"
-	"math/rand"
-	"sync"
-
-	"cleo/internal/cascades"
-	"cleo/internal/costmodel"
-	"cleo/internal/exec"
-	"cleo/internal/learned"
+	"cleo/internal/engine"
 	"cleo/internal/plan"
-	"cleo/internal/stats"
-	"cleo/internal/telemetry"
-	"cleo/internal/workload"
 )
 
-// SystemConfig configures a System.
-type SystemConfig struct {
-	// Seed identifies the simulated cluster: its hidden hardware and data
-	// complexity factors derive from it.
-	Seed uint64
-	// MaxPartitions caps per-stage parallelism (default 3000).
-	MaxPartitions int
-	// NoiseSigma is the cloud latency noise (default 0.18; 0 keeps the
-	// default, use Exec to disable noise entirely).
-	NoiseSigma float64
-	// Exec, when non-nil, overrides the full cluster configuration.
-	Exec *ExecConfig
-}
+// The single-tenant engine lives in internal/engine; these aliases keep the
+// whole public surface under the cleo package. The multi-tenant serving
+// layer over it is re-exported in serveapi.go.
 
-// System bundles a statistics catalog, a simulated cluster, the optimizer
-// and the learned-model feedback loop — everything a single tenant needs.
-// Methods are safe for concurrent use except Retrain, which must not race
-// with Run.
-type System struct {
-	catalog *stats.Catalog
-	cluster *exec.Cluster
-	maxP    int
-
-	mu     sync.Mutex
-	log    []telemetry.Record
-	models *learned.Predictor
-}
+type (
+	// SystemConfig configures a System.
+	SystemConfig = engine.SystemConfig
+	// System bundles a statistics catalog, a simulated cluster, the
+	// optimizer and the learned-model feedback loop — everything a single
+	// tenant needs. All methods are safe for concurrent use: Retrain and
+	// SetModels hot-swap the predictor atomically and may race with Run.
+	System = engine.System
+	// RunOptions controls one query execution.
+	RunOptions = engine.RunOptions
+	// RunResult is one executed query.
+	RunResult = engine.RunResult
+)
 
 // NewSystem builds a System.
-func NewSystem(cfg SystemConfig) *System {
-	ec := exec.DefaultConfig(cfg.Seed)
-	if cfg.NoiseSigma > 0 {
-		ec.NoiseSigma = cfg.NoiseSigma
-	}
-	if cfg.Exec != nil {
-		ec = *cfg.Exec
-	}
-	if cfg.MaxPartitions > 0 {
-		ec.MaxPartitions = cfg.MaxPartitions
-	}
-	return &System{
-		catalog: stats.NewCatalog(cfg.Seed),
-		cluster: exec.NewCluster(ec),
-		maxP:    ec.MaxPartitions,
-	}
-}
-
-// Catalog exposes the statistics catalog for table registration and
-// selectivity overrides.
-func (s *System) Catalog() *Catalog { return s.catalog }
-
-// RegisterTable installs a stored input's statistics.
-func (s *System) RegisterTable(name string, ts TableStats) { s.catalog.PutTable(name, ts) }
-
-// RunOptions controls one query execution.
-type RunOptions struct {
-	// Seed drives per-instance statistics drift and execution noise.
-	Seed int64
-	// Param is the job parameter (the PM feature); defaults to 1.
-	Param float64
-	// UseLearnedModels prices operators with the trained CLEO models
-	// instead of the default cost model. Requires a prior Retrain or
-	// LoadModels.
-	UseLearnedModels bool
-	// ResourceAware enables partition exploration during planning, using
-	// the analytical strategy over the active cost model.
-	ResourceAware bool
-	// SafePlanSelection applies the paper's Section 6.7 regression
-	// mitigation: the query is optimized twice — with the default cost
-	// model and with the learned models — and the plan whose latency the
-	// learned models predict to be lower is executed. Requires
-	// UseLearnedModels.
-	SafePlanSelection bool
-	// SkipLogging suppresses appending telemetry to the feedback log.
-	SkipLogging bool
-}
-
-// RunResult is one executed query.
-type RunResult struct {
-	Plan                *PhysicalPlan
-	PredictedCost       float64
-	Latency             float64
-	TotalProcessingTime float64
-	Containers          int
-	Records             []Record
-}
-
-// Optimize plans the query without executing it.
-func (s *System) Optimize(q *Query, opts RunOptions) (*PhysicalPlan, float64, error) {
-	coster, chooser, err := s.costing(opts)
-	if err != nil {
-		return nil, 0, err
-	}
-	opt := &cascades.Optimizer{
-		Catalog:       s.catalog,
-		Cost:          coster,
-		MaxPartitions: s.maxP,
-		ResourceAware: opts.ResourceAware,
-		Chooser:       chooser,
-		JobSeed:       opts.Seed,
-	}
-	res, err := opt.Optimize(q)
-	if err != nil {
-		return nil, 0, err
-	}
-	if !opts.UseLearnedModels && !opts.SkipLogging {
-		// Telemetry-collection runs (logged, default-model-planned) jitter
-		// the plan's partition counts, emulating production heuristic
-		// variability so the learned models see a range of counts per
-		// template. Evaluation runs (SkipLogging) and learned runs keep
-		// clean optimized counts.
-		cascades.JitterPlanPartitions(res.Plan, opts.Seed, s.maxP, coster)
-	}
-	return res.Plan, res.Plan.TotalCostEst(), nil
-}
-
-func (s *System) costing(opts RunOptions) (cascades.Coster, cascades.PartitionChooser, error) {
-	var coster cascades.Coster = costmodel.Default{}
-	if opts.UseLearnedModels {
-		s.mu.Lock()
-		m := s.models
-		s.mu.Unlock()
-		if m == nil {
-			return nil, nil, fmt.Errorf("cleo: no trained models; call Retrain or LoadModels first")
-		}
-		param := opts.Param
-		if param == 0 {
-			param = 1
-		}
-		coster = &learned.Coster{Predictor: m, Param: param, Fallback: costmodel.Default{}}
-	}
-	var chooser cascades.PartitionChooser
-	if opts.ResourceAware {
-		chooser = &learned.AnalyticalChooser{Cost: coster}
-	}
-	return coster, chooser, nil
-}
-
-// Run optimizes and executes the query, logging telemetry into the
-// feedback loop (unless opts.SkipLogging).
-func (s *System) Run(q *Query, opts RunOptions) (*RunResult, error) {
-	var p *PhysicalPlan
-	var cost float64
-	var err error
-	if opts.SafePlanSelection && opts.UseLearnedModels {
-		p, cost, err = s.optimizeSafe(q, opts)
-	} else {
-		p, cost, err = s.Optimize(q, opts)
-	}
-	if err != nil {
-		return nil, err
-	}
-	execRes, err := s.cluster.Run(p, rand.New(rand.NewSource(opts.Seed)))
-	if err != nil {
-		return nil, err
-	}
-	param := opts.Param
-	if param == 0 {
-		param = 1
-	}
-	job := &workload.Job{
-		ID:    fmt.Sprintf("run-%d", opts.Seed),
-		Seed:  opts.Seed,
-		Param: param,
-	}
-	records := telemetry.Extract(job, p)
-	if !opts.SkipLogging {
-		s.mu.Lock()
-		s.log = append(s.log, records...)
-		s.mu.Unlock()
-	}
-	return &RunResult{
-		Plan:                p,
-		PredictedCost:       cost,
-		Latency:             execRes.Latency,
-		TotalProcessingTime: execRes.TotalProcessingTime,
-		Containers:          execRes.Containers,
-		Records:             records,
-	}, nil
-}
-
-// optimizeSafe implements the paper's optimize-twice mitigation
-// (Section 6.7): plan with the default model and with the learned models,
-// then keep the plan the learned models predict to be cheaper — they are
-// the accurate judge even when the default model found the plan.
-func (s *System) optimizeSafe(q *Query, opts RunOptions) (*PhysicalPlan, float64, error) {
-	defOpts := opts
-	defOpts.UseLearnedModels = false
-	defOpts.ResourceAware = false
-	defPlan, _, err := s.Optimize(q, defOpts)
-	if err != nil {
-		return nil, 0, err
-	}
-	cleoPlan, cleoCost, err := s.Optimize(q, opts)
-	if err != nil {
-		return nil, 0, err
-	}
-	m := s.Models()
-	param := opts.Param
-	if param == 0 {
-		param = 1
-	}
-	// Score the default plan with the learned models.
-	var defScore float64
-	defPlan.Walk(func(n *PhysicalPlan) { defScore += m.PredictNode(n, param).Cost })
-	if defScore < cleoCost {
-		return defPlan, defScore, nil
-	}
-	return cleoPlan, cleoCost, nil
-}
-
-// LogSize reports the telemetry log length.
-func (s *System) LogSize() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.log)
-}
-
-// TelemetryLog returns a copy of the accumulated telemetry.
-func (s *System) TelemetryLog() []Record {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return append([]Record(nil), s.log...)
-}
-
-// AppendTelemetry merges externally collected records (e.g. from a
-// workload trace run) into the feedback log.
-func (s *System) AppendTelemetry(recs []Record) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.log = append(s.log, recs...)
-}
-
-// Retrain fits the four individual model families and the combined
-// meta-ensemble from the accumulated telemetry (the paper's periodic
-// training, Section 5.1).
-func (s *System) Retrain() error {
-	s.mu.Lock()
-	recs := append([]telemetry.Record(nil), s.log...)
-	s.mu.Unlock()
-	pr, err := learned.TrainSplit(recs, learned.DefaultTrainConfig())
-	if err != nil {
-		return err
-	}
-	s.mu.Lock()
-	s.models = pr
-	s.mu.Unlock()
-	return nil
-}
-
-// Models returns the trained predictor (nil before training).
-func (s *System) Models() *Predictor {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.models
-}
-
-// SetModels installs an externally trained predictor.
-func (s *System) SetModels(pr *Predictor) {
-	s.mu.Lock()
-	s.models = pr
-	s.mu.Unlock()
-}
-
-// SaveModels serializes the trained models to a file.
-func (s *System) SaveModels(path string) error {
-	m := s.Models()
-	if m == nil {
-		return fmt.Errorf("cleo: no trained models to save")
-	}
-	return m.SaveFile(path)
-}
-
-// LoadModels reads models from a file written by SaveModels.
-func (s *System) LoadModels(path string) error {
-	pr, err := learned.LoadFile(path)
-	if err != nil {
-		return err
-	}
-	s.SetModels(pr)
-	return nil
-}
-
-// EvaluateModels scores the trained models against records (e.g. a held-out
-// day of telemetry).
-func (s *System) EvaluateModels(recs []Record) (Accuracy, error) {
-	m := s.Models()
-	if m == nil {
-		return Accuracy{}, fmt.Errorf("cleo: no trained models")
-	}
-	return m.Evaluate(recs), nil
-}
-
-// ExplainDiff optimizes q under the default cost model and under the
-// learned models and reports both plans — the paper's plan-change analysis
-// (Section 6.6).
-func (s *System) ExplainDiff(q *Query, opts RunOptions) (defPlan, cleoPlan *PhysicalPlan, changed bool, err error) {
-	defOpts := opts
-	defOpts.UseLearnedModels = false
-	defOpts.ResourceAware = false
-	defPlan, _, err = s.Optimize(q, defOpts)
-	if err != nil {
-		return nil, nil, false, err
-	}
-	cleoOpts := opts
-	cleoOpts.UseLearnedModels = true
-	cleoPlan, _, err = s.Optimize(q, cleoOpts)
-	if err != nil {
-		return nil, nil, false, err
-	}
-	return defPlan, cleoPlan, defPlan.String() != cleoPlan.String(), nil
-}
+func NewSystem(cfg SystemConfig) *System { return engine.NewSystem(cfg) }
 
 // Summarize re-exports plan summarization.
 func Summarize(p *PhysicalPlan) PlanSummary { return plan.Summarize(p) }

@@ -6,13 +6,9 @@ import (
 	"cleo/internal/workload/tpch"
 )
 
-// RegisterTPCH installs the TPC-H tables (at the given scale factor) and
-// the standard predicate selectivities into the system's catalog.
-// lineitem, orders and part are registered as stored hash-partitioned
-// inputs, as in the paper's SCOPE deployment.
-func (s *System) RegisterTPCH(scaleFactor float64) {
-	tpch.Register(s.Catalog(), scaleFactor)
-}
+// TPC-H workload access. Table registration lives on the System itself
+// (System.RegisterTPCH, defined in internal/engine) so the serving layer
+// can bootstrap TPC-H tenants too.
 
 // TPCHQuery returns the logical plan of TPC-H query n (1..22).
 func TPCHQuery(n int) (*Query, error) {
