@@ -1,0 +1,167 @@
+// Command benchjson runs a set of Go benchmarks and writes their results
+// as JSON, seeding the repository's performance trajectory: committed
+// baselines (BENCH_baseline.json) let future changes diff recorded numbers
+// instead of re-measuring the past.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson -bench 'OptimizeLearned|ExprFingerprint' -pkgs ./... -o BENCH_baseline.json
+//
+// ns/op, B/op and allocs/op of repeated runs of the same benchmark are
+// averaged; custom metrics are snapshotted from the first run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's recorded numbers.
+type Result struct {
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp   float64 `json:"bytes_per_op,omitempty"`
+	Runs         int     `json:"runs"`
+	ExtraMetrics string  `json:"extra_metrics,omitempty"`
+}
+
+// Baseline is the file format: environment plus per-benchmark results.
+type Baseline struct {
+	GoVersion  string            `json:"go_version"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	Bench      string            `json:"bench"`
+	BenchTime  string            `json:"benchtime"`
+	Note       string            `json:"note,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// benchLine matches `BenchmarkName-8  1234  567 ns/op  89 B/op  3 allocs/op  0.5 extra`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+func main() {
+	bench := flag.String("bench", "OptimizeLearned|ExprFingerprint|PredictOperator|TrainModels", "benchmark regex passed to go test -bench")
+	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")
+	pkgs := flag.String("pkgs", "./...", "package pattern to benchmark")
+	count := flag.Int("count", 1, "go test -count value")
+	out := flag.String("o", "BENCH_baseline.json", "output JSON path")
+	note := flag.String("note", "", "free-form note recorded in the baseline")
+	benchmem := flag.Bool("benchmem", true, "pass -benchmem")
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *bench,
+		"-benchtime", *benchtime, "-count", strconv.Itoa(*count)}
+	if *benchmem {
+		args = append(args, "-benchmem")
+	}
+	args = append(args, *pkgs)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go %s: %v\n", strings.Join(args, " "), err)
+		os.Exit(1)
+	}
+
+	sums := map[string]*Result{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r := sums[name]
+		if r == nil {
+			r = &Result{}
+			sums[name] = r
+		}
+		r.Runs++
+		r.NsPerOp += ns
+		rest := strings.TrimSpace(m[4])
+		for _, metric := range splitMetrics(rest) {
+			switch {
+			case strings.HasSuffix(metric, " B/op"):
+				v, _ := strconv.ParseFloat(strings.TrimSuffix(metric, " B/op"), 64)
+				r.BytesPerOp += v
+			case strings.HasSuffix(metric, " allocs/op"):
+				v, _ := strconv.ParseFloat(strings.TrimSuffix(metric, " allocs/op"), 64)
+				r.AllocsPerOp += v
+			default:
+				// Custom metrics (e.g. hit-ratio) are snapshotted from the
+				// first run; only ns/op, B/op and allocs/op are averaged.
+				if r.ExtraMetrics == "" {
+					r.ExtraMetrics = metric
+				}
+			}
+		}
+	}
+	if len(sums) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines parsed")
+		os.Exit(1)
+	}
+
+	b := Baseline{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Bench:      *bench,
+		BenchTime:  *benchtime,
+		Note:       *note,
+		Benchmarks: map[string]Result{},
+	}
+	for name, r := range sums {
+		n := float64(r.Runs)
+		b.Benchmarks[name] = Result{
+			NsPerOp:      round1(r.NsPerOp / n),
+			AllocsPerOp:  round1(r.AllocsPerOp / n),
+			BytesPerOp:   round1(r.BytesPerOp / n),
+			Runs:         r.Runs,
+			ExtraMetrics: r.ExtraMetrics,
+		}
+	}
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	var names []string
+	for n := range b.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("%-55s %12.0f ns/op  (%d run(s))\n", n, b.Benchmarks[n].NsPerOp, b.Benchmarks[n].Runs)
+	}
+	fmt.Println("wrote", *out)
+}
+
+// splitMetrics splits the tail of a benchmark line ("8 B/op\t3 allocs/op")
+// into individual metrics.
+func splitMetrics(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, "\t") {
+		f = strings.TrimSpace(f)
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func round1(v float64) float64 {
+	return float64(int64(v*10+0.5)) / 10
+}

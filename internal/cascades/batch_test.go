@@ -1,0 +1,83 @@
+package cascades
+
+import (
+	"fmt"
+	"testing"
+
+	"cleo/internal/costmodel"
+	"cleo/internal/plan"
+)
+
+// batchShim upgrades any scalar Coster with a CostBatch method, so the
+// chooser's batched grid pricing can be compared against the scalar loop
+// over the exact same model.
+type batchShim struct{ Coster }
+
+func (b batchShim) CostBatch(ops []*plan.Physical, out []float64) {
+	for i, op := range ops {
+		out[i] = b.OperatorCost(op)
+	}
+}
+
+func chooserStage(partitions int) []*plan.Physical {
+	leaf := plan.NewPhysical(plan.PExtract)
+	leaf.InputTemplate = "in1"
+	leaf.Partitions = partitions
+	leaf.Stats = plan.NodeStats{EstCard: 2e6, RowLength: 80}
+	x := plan.NewPhysical(plan.PExchange, leaf)
+	x.Partitions = partitions
+	x.Stats = plan.NodeStats{EstCard: 2e6, RowLength: 80}
+	agg := plan.NewPhysical(plan.PHashAggregate, x)
+	agg.Partitions = partitions
+	agg.Stats = plan.NodeStats{EstCard: 1e4, RowLength: 40}
+	return []*plan.Physical{x, agg}
+}
+
+func TestChooseStagePartitionsBatchMatchesScalar(t *testing.T) {
+	for _, strat := range []SamplingStrategy{Geometric, Uniform, Random, Exhaustive} {
+		t.Run(strat.String(), func(t *testing.T) {
+			scalar := &SamplingChooser{Cost: costmodel.Default{}, Strategy: strat, Samples: 6, Seed: 3}
+			batch := &SamplingChooser{Cost: batchShim{costmodel.Default{}}, Strategy: strat, Samples: 6, Seed: 3}
+
+			ops := chooserStage(8)
+			savedParts := []int{ops[0].Partitions, ops[1].Partitions}
+			wantP, wantLookups := scalar.ChooseStagePartitions(ops, 300)
+			gotP, gotLookups := batch.ChooseStagePartitions(ops, 300)
+			if gotP != wantP || gotLookups != wantLookups {
+				t.Fatalf("batch (p=%d lookups=%d) != scalar (p=%d lookups=%d)",
+					gotP, gotLookups, wantP, wantLookups)
+			}
+			// The batch path must not mutate the source operators.
+			if ops[0].Partitions != savedParts[0] || ops[1].Partitions != savedParts[1] {
+				t.Fatalf("batch path mutated operators: %d,%d", ops[0].Partitions, ops[1].Partitions)
+			}
+		})
+	}
+}
+
+func TestStageCostsAtMatchesStageCostAt(t *testing.T) {
+	ops := chooserStage(8)
+	counts := []int{1, 2, 8, 32, 128}
+	totals := StageCostsAt(costmodel.Default{}, ops, counts)
+	for i, p := range counts {
+		if want := StageCostAt(costmodel.Default{}, ops, p); totals[i] != want {
+			t.Fatalf("count %d: batched total %v != scalar %v", p, totals[i], want)
+		}
+	}
+}
+
+// BenchmarkExprFingerprint pins the strings.Builder rewrite of Expr
+// fingerprinting: run with -benchmem to see the allocation drop vs the old
+// quadratic += concatenation on wide expressions.
+func BenchmarkExprFingerprint(b *testing.B) {
+	e := &Expr{Op: plan.LJoin, Table: "wide_table", InputTemplate: "tpl", Pred: "a=b"}
+	for i := 0; i < 24; i++ {
+		e.Keys = append(e.Keys, plan.Column(fmt.Sprintf("col_%02d", i)))
+		e.Child = append(e.Child, GroupID(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.fingerprint()
+	}
+}

@@ -3,9 +3,47 @@ package cascades
 import (
 	"math"
 	"math/rand"
+	"sync"
 
 	"cleo/internal/plan"
 )
+
+// gridBuf recycles one candidate grid: the (operator, count) variant
+// nodes, their pointers, and the costs written by the batch coster.
+type gridBuf struct {
+	variants []plan.Physical
+	refs     []*plan.Physical
+	costs    []float64
+}
+
+var gridPool = sync.Pool{New: func() any { return new(gridBuf) }}
+
+// materialize builds shallow per-count copies of every operator (children
+// shared — no cost input reads a child's partition count, so a variant
+// prices exactly like the mutated-in-place original). Layout is op-major:
+// refs[oi*len(counts)+ci] is operator oi at counts[ci], so one operator's
+// variants are contiguous and a batch coster can reuse subtree work across
+// them.
+func (g *gridBuf) materialize(ops []*plan.Physical, counts []int) {
+	n := len(ops) * len(counts)
+	if cap(g.variants) < n {
+		g.variants = make([]plan.Physical, n)
+		g.refs = make([]*plan.Physical, n)
+		g.costs = make([]float64, n)
+	}
+	g.variants = g.variants[:n]
+	g.refs = g.refs[:n]
+	g.costs = g.costs[:n]
+	idx := 0
+	for _, op := range ops {
+		for _, p := range counts {
+			g.variants[idx] = *op
+			g.variants[idx].Partitions = p
+			g.refs[idx] = &g.variants[idx]
+			idx++
+		}
+	}
+}
 
 // SamplingStrategy enumerates the partition-exploration sampling strategies
 // the paper compares (Section 5.3, Figure 17).
@@ -133,9 +171,17 @@ func (c *SamplingChooser) Candidates(maxPartitions int) []int {
 // ChooseStagePartitions implements PartitionChooser: it evaluates the total
 // stage cost at every candidate count and returns the best, along with the
 // number of cost-model look-ups spent.
+//
+// With a batch-capable coster, the whole candidate grid — every (operator,
+// count) variant — is materialized and priced in ONE CostBatch call; the
+// scalar loop below only remains for costers without a batch path.
 func (c *SamplingChooser) ChooseStagePartitions(ops []*plan.Physical, maxPartitions int) (int, int) {
 	if len(ops) == 0 {
 		return 1, 0
+	}
+	counts := c.Candidates(maxPartitions)
+	if _, ok := c.Cost.(BatchCoster); ok {
+		return c.chooseBatch(ops, counts)
 	}
 	saved := make([]int, len(ops))
 	for i, op := range ops {
@@ -148,7 +194,7 @@ func (c *SamplingChooser) ChooseStagePartitions(ops []*plan.Physical, maxPartiti
 	}()
 
 	bestP, bestCost, lookups := saved[0], math.Inf(1), 0
-	for _, p := range c.Candidates(maxPartitions) {
+	for _, p := range counts {
 		for _, op := range ops {
 			op.Partitions = p
 		}
@@ -165,21 +211,59 @@ func (c *SamplingChooser) ChooseStagePartitions(ops []*plan.Physical, maxPartiti
 	return bestP, lookups
 }
 
+// chooseBatch materializes every (operator, candidate count) variant into
+// a pooled grid, prices the whole grid in one CostBatch call, and reduces
+// per-count totals. The source operators are never mutated. Results match
+// the scalar loop exactly: counts are scanned in the same order with the
+// same per-count summation order, so ties break identically.
+func (c *SamplingChooser) chooseBatch(ops []*plan.Physical, counts []int) (int, int) {
+	g := gridPool.Get().(*gridBuf)
+	g.materialize(ops, counts)
+	costBatch(c.Cost, g.refs, g.costs)
+
+	bestP, bestCost := ops[0].Partitions, math.Inf(1)
+	for ci, p := range counts {
+		var total float64
+		for oi := range ops {
+			total += g.costs[oi*len(counts)+ci]
+		}
+		if total < bestCost {
+			bestCost = total
+			bestP = p
+		}
+	}
+	lookups := len(g.refs)
+	gridPool.Put(g)
+	return bestP, lookups
+}
+
 // StageCostAt evaluates the total cost of a stage's operators at a given
 // partition count without permanently modifying them. Exposed for the
 // partition-exploration experiments (Figure 17).
 func StageCostAt(cost Coster, ops []*plan.Physical, p int) float64 {
-	saved := make([]int, len(ops))
-	for i, op := range ops {
-		saved[i] = op.Partitions
-		op.Partitions = p
+	counts := [1]int{p}
+	var totals [1]float64
+	stageCostsInto(cost, ops, counts[:], totals[:])
+	return totals[0]
+}
+
+// StageCostsAt evaluates the total stage cost at each candidate count with
+// one batched pricing call (falling back to scalar calls for costers
+// without a batch path). The operators are never mutated.
+func StageCostsAt(cost Coster, ops []*plan.Physical, counts []int) []float64 {
+	totals := make([]float64, len(counts))
+	stageCostsInto(cost, ops, counts, totals)
+	return totals
+}
+
+func stageCostsInto(cost Coster, ops []*plan.Physical, counts []int, totals []float64) {
+	g := gridPool.Get().(*gridBuf)
+	g.materialize(ops, counts)
+	costBatch(cost, g.refs, g.costs)
+	for ci := range counts {
+		for oi := range ops {
+			totals[ci] += g.costs[oi*len(counts)+ci]
+		}
 	}
-	var total float64
-	for _, op := range ops {
-		total += cost.OperatorCost(op)
-	}
-	for i, op := range ops {
-		op.Partitions = saved[i]
-	}
-	return total
+	gridPool.Put(g)
 }

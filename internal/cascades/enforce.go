@@ -78,9 +78,7 @@ func (o *Optimizer) optimizeTopStage(root *plan.Physical) {
 		for _, st := range stages {
 			if !st.Ops[0].FixedPartitions {
 				setStagePartitions(st, fixed)
-				for _, op := range st.Ops {
-					o.recost(op)
-				}
+				o.recostAll(st.Ops)
 			}
 		}
 		return
@@ -125,19 +123,21 @@ func (o *Optimizer) optimizeTopStage(root *plan.Physical) {
 		p = explMax
 	}
 	// Final arbitration: accept the explored count only if the cost model
-	// prices the stage cheaper there than at the anchor.
+	// prices the stage cheaper there than at the anchor. Both counts are
+	// priced in one batched call.
 	if p != cur && cur <= explMax {
 		o.lookups += 2 * len(ops)
-		if StageCostAt(o.Cost, ops, p) > StageCostAt(o.Cost, ops, cur) {
+		counts := [2]int{p, cur}
+		var totals [2]float64
+		stageCostsInto(o.Cost, ops, counts[:], totals[:])
+		if totals[0] > totals[1] {
 			p = cur
 		}
 	}
 	for _, st := range stages {
 		setStagePartitions(st, p)
-		for _, op := range st.Ops {
-			o.recost(op)
-		}
 	}
+	o.recostAll(ops)
 }
 
 // coupledStages returns the transitive set of stages that must share a
@@ -277,9 +277,7 @@ func (o *Optimizer) retarget(root *plan.Physical, part Partitioning, target int)
 	if root.Op == plan.PExchange && !root.FixedPartitions {
 		stage := plan.StageOf(root)[root]
 		setStagePartitions(stage, target)
-		for _, op := range stage.Ops {
-			o.recost(op)
-		}
+		o.recostAll(stage.Ops)
 		return root, nil
 	}
 	x, err := o.addExchange(root, part)
@@ -288,8 +286,6 @@ func (o *Optimizer) retarget(root *plan.Physical, part Partitioning, target int)
 	}
 	stage := plan.StageOf(x)[x]
 	setStagePartitions(stage, target)
-	for _, op := range stage.Ops {
-		o.recost(op)
-	}
+	o.recostAll(stage.Ops)
 	return x, nil
 }

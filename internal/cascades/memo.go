@@ -2,6 +2,7 @@ package cascades
 
 import (
 	"fmt"
+	"strings"
 
 	"cleo/internal/plan"
 )
@@ -23,17 +24,23 @@ type Expr struct {
 	N             int
 }
 
-// fingerprint renders the expression for duplicate detection within a group.
+// fingerprint renders the expression for duplicate detection within a
+// group. It builds the string in one strings.Builder pass — the previous
+// += concatenation re-copied the prefix per key and per child, going
+// quadratic on wide expressions.
 func (e *Expr) fingerprint() string {
-	s := fmt.Sprintf("%v|%s|%s|%s|%s|%d|", e.Op, e.Table, e.InputTemplate, e.Pred, e.UDF, e.N)
+	var b strings.Builder
+	b.Grow(32 + 8*len(e.Keys) + 4*len(e.Child))
+	fmt.Fprintf(&b, "%v|%s|%s|%s|%s|%d|", e.Op, e.Table, e.InputTemplate, e.Pred, e.UDF, e.N)
 	for _, k := range e.Keys {
-		s += string(k) + ","
+		b.WriteString(string(k))
+		b.WriteByte(',')
 	}
-	s += "|"
+	b.WriteByte('|')
 	for _, c := range e.Child {
-		s += fmt.Sprintf("%d.", c)
+		fmt.Fprintf(&b, "%d.", c)
 	}
-	return s
+	return b.String()
 }
 
 // Group is a set of logically equivalent expressions.

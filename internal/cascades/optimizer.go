@@ -17,6 +17,31 @@ type Coster interface {
 	OperatorCost(n *plan.Physical) float64
 }
 
+// BatchCoster is an optional Coster upgrade: implementations price a whole
+// slice of operators in one call, writing len(ops) costs into out. The
+// optimizer's partition exploration materializes every candidate
+// partition-count variant of a stage and prices them in one CostBatch call
+// instead of counts × operators scalar calls; costers detect-upgrade via
+// type assertion, so scalar-only models (costmodel.Default, costmodel.Tuned)
+// keep working unchanged. Batched costs must equal scalar OperatorCost
+// results row for row.
+type BatchCoster interface {
+	Coster
+	CostBatch(ops []*plan.Physical, out []float64)
+}
+
+// costBatch prices ops into out, taking the batch path when the coster has
+// one and falling back to operator-at-a-time calls otherwise.
+func costBatch(c Coster, ops []*plan.Physical, out []float64) {
+	if bc, ok := c.(BatchCoster); ok {
+		bc.CostBatch(ops, out)
+		return
+	}
+	for i, op := range ops {
+		out[i] = c.OperatorCost(op)
+	}
+}
+
 // PartitionChooser performs the paper's partition optimization (step 9 in
 // Figure 8a): given the operators of one completed stage (ops[0] is the
 // partitioning operator), pick the stage-wide partition count that
@@ -198,6 +223,24 @@ func (o *Optimizer) newNode(op plan.PhysicalOp, e *Expr, partitions int, childre
 // partition count changed).
 func (o *Optimizer) recost(n *plan.Physical) {
 	n.ExclusiveCostEst = o.Cost.OperatorCost(n)
+}
+
+// recostAll re-prices a slice of operators (after a stage-wide partition
+// change) in one batched call, borrowing a pooled cost buffer.
+func (o *Optimizer) recostAll(ops []*plan.Physical) {
+	if len(ops) == 0 {
+		return
+	}
+	g := gridPool.Get().(*gridBuf)
+	if cap(g.costs) < len(ops) {
+		g.costs = make([]float64, len(ops))
+	}
+	costs := g.costs[:len(ops)]
+	costBatch(o.Cost, ops, costs)
+	for i, op := range ops {
+		op.ExclusiveCostEst = costs[i]
+	}
+	gridPool.Put(g)
 }
 
 func (o *Optimizer) implementGet(e *Expr) ([]candidate, error) {

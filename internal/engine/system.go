@@ -177,6 +177,12 @@ func (s *System) Optimize(q *plan.Logical, opts RunOptions) (*plan.Physical, flo
 	return res.Plan, res.Plan.TotalCostEst(), nil
 }
 
+// costing assembles the coster and partition chooser for one optimization.
+// The learned Coster implements the batch-costing upgrades (CostBatch,
+// IndividualCostBatch), which the optimizer and choosers detect via type
+// assertion — so wiring it here puts every Run/Optimize/tenant query on
+// the batched matrix-inference path automatically, while the hand-crafted
+// default model keeps the scalar path.
 func (s *System) costing(opts RunOptions) (cascades.Coster, cascades.PartitionChooser, error) {
 	var coster cascades.Coster = costmodel.Default{}
 	if opts.UseLearnedModels {
@@ -267,9 +273,14 @@ func (s *System) optimizeSafe(q *plan.Logical, opts RunOptions) (*plan.Physical,
 	}
 	m := opts.Models
 	param := defaultParam(opts.Param)
-	// Score the default plan with the learned models.
+	// Score the default plan with the learned models, pricing every
+	// operator in one batched pass.
+	nodes := make([]*plan.Physical, 0, defPlan.Count())
+	defPlan.Walk(func(n *plan.Physical) { nodes = append(nodes, n) })
 	var defScore float64
-	defPlan.Walk(func(n *plan.Physical) { defScore += m.PredictNode(n, param).Cost })
+	for _, c := range m.PredictNodes(nodes, param) {
+		defScore += c
+	}
 	if defScore < cleoCost {
 		return defPlan, defScore, nil
 	}

@@ -1,0 +1,351 @@
+package learned
+
+import (
+	"sync"
+
+	"cleo/internal/plan"
+	"cleo/internal/telemetry"
+)
+
+// This file is the batched costing hot path: the optimizer's partition
+// exploration prices counts × operators candidate variants per stage, and
+// pricing them row-at-a-time re-does the expensive per-operator work —
+// four signature subtree walks, feature extraction, per-family vector
+// allocation — for every variant. The batch path instead extracts features
+// into one pooled matrix, computes subtree-dependent work once per
+// distinct operator (variants that differ only in partition count reuse
+// it), and runs the combined FastTree ensemble tree-major over the whole
+// matrix in a single pass.
+
+// batchScratch is the reusable working set of one batched pricing call.
+// A sync.Pool recycles them so steady-state batches allocate nothing.
+type batchScratch struct {
+	sigs  []plan.Signatures
+	feats []OpFeatures
+	x     []float64   // extended feature matrix backing, row-major
+	rows  [][]float64 // row views into x
+	meta  []float64   // combined-model input matrix backing
+	mrows [][]float64 // row views into meta
+	by    [][NumFamilies]float64
+	cov   [][NumFamilies]bool
+	keys  []cacheKey
+	subs  []plan.Signature // subgraph signatures of the cache-probe pass
+	base  []float64        // base cardinalities of the cache-probe pass
+	miss  []int
+	vals  []float64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// variantBuf recycles the probe-variant materialization of one partition
+// exploration (the chooser prices ops × probes shallow copies per stage).
+type variantBuf struct {
+	variants []plan.Physical
+	refs     []*plan.Physical
+	costs    []float64
+}
+
+var variantPool = sync.Pool{New: func() any { return new(variantBuf) }}
+
+func (v *variantBuf) resize(n int) {
+	if cap(v.variants) < n {
+		v.variants = make([]plan.Physical, n)
+		v.refs = make([]*plan.Physical, n)
+		v.costs = make([]float64, n)
+	}
+	v.variants = v.variants[:n]
+	v.refs = v.refs[:n]
+	v.costs = v.costs[:n]
+}
+
+// resize readies the scratch for an n-row batch, growing buffers only when
+// a bigger batch than ever before arrives.
+func (s *batchScratch) resize(n int) {
+	if cap(s.sigs) < n {
+		s.sigs = make([]plan.Signatures, n)
+		s.feats = make([]OpFeatures, n)
+		s.by = make([][NumFamilies]float64, n)
+		s.cov = make([][NumFamilies]bool, n)
+		s.keys = make([]cacheKey, n)
+		s.subs = make([]plan.Signature, n)
+		s.base = make([]float64, n)
+		s.vals = make([]float64, n)
+		s.x = make([]float64, n*NumFeatures(true))
+		s.rows = make([][]float64, n)
+		s.meta = make([]float64, n*len(MetaFeatureNames))
+		s.mrows = make([][]float64, n)
+	}
+	s.sigs = s.sigs[:n]
+	s.feats = s.feats[:n]
+	s.by = s.by[:n]
+	s.cov = s.cov[:n]
+	s.keys = s.keys[:n]
+	s.subs = s.subs[:n]
+	s.base = s.base[:n]
+	s.vals = s.vals[:n]
+	s.rows = s.rows[:n]
+	s.mrows = s.mrows[:n]
+	fw, mw := NumFeatures(true), len(MetaFeatureNames)
+	for i := 0; i < n; i++ {
+		s.rows[i] = s.x[i*fw : (i+1)*fw]
+		s.mrows[i] = s.meta[i*mw : (i+1)*mw]
+	}
+	s.miss = s.miss[:0]
+}
+
+// sameShape reports whether two plan nodes are identical in everything the
+// cost features and signatures depend on — i.e. they may differ only in
+// partition count (and cost annotations). The partition chooser lays out
+// candidate variants of one operator contiguously, so comparing each row
+// against its predecessor catches the runs; a matching row reuses the
+// predecessor's signatures and subtree-derived features instead of walking
+// the subtree again.
+func sameShape(a, b *plan.Physical) bool {
+	if a.Op != b.Op || a.Stats != b.Stats || a.Table != b.Table ||
+		a.InputTemplate != b.InputTemplate || a.Pred != b.Pred ||
+		a.UDF != b.UDF || a.N != b.N ||
+		len(a.Keys) != len(b.Keys) || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Keys {
+		if a.Keys[i] != b.Keys[i] {
+			return false
+		}
+	}
+	for i := range a.Children {
+		if a.Children[i] != b.Children[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// extract fills sigs and feats for every node, reusing the previous row's
+// subtree work across runs of partition-count variants.
+func (s *batchScratch) extract(nodes []*plan.Physical, param float64) {
+	for i, n := range nodes {
+		if i > 0 && sameShape(nodes[i-1], n) {
+			s.sigs[i] = s.sigs[i-1]
+			s.feats[i] = s.feats[i-1]
+			s.feats[i].P = float64(n.Partitions)
+			continue
+		}
+		s.sigs[i] = plan.ComputeSignatures(n)
+		s.feats[i] = FromNode(n, param)
+	}
+}
+
+// predictInto runs the full prediction pipeline over the scratch's first
+// len(out) rows: feature matrix fill, per-family individual models, and
+// one tree-major pass of the combined ensemble.
+func (pr *Predictor) predictInto(s *batchScratch, out []float64) {
+	n := len(out)
+	rows := s.rows[:n]
+	for i := 0; i < n; i++ {
+		s.feats[i].Fill(rows[i], true)
+	}
+	// Individual families: model choice is a per-signature map lookup, but
+	// the feature row is shared — the base features are a prefix of the
+	// extended row, and the elastic nets only read as many features as
+	// they have weights.
+	for i := 0; i < n; i++ {
+		s.by[i] = [NumFamilies]float64{}
+		s.cov[i] = [NumFamilies]bool{}
+		for fam := 0; fam < NumFamilies; fam++ {
+			fm := pr.Families[fam]
+			if fm == nil {
+				continue
+			}
+			m, ok := fm.Models[fm.Family.SignatureOf(s.sigs[i])]
+			if !ok {
+				continue
+			}
+			s.by[i][fam] = m.Predict(rows[i])
+			s.cov[i][fam] = true
+		}
+	}
+	switch {
+	case pr.Combined != nil:
+		for i := 0; i < n; i++ {
+			fillMetaVector(s.mrows[i], s.by[i], s.cov[i], &s.feats[i])
+		}
+		pr.Combined.PredictBatch(s.mrows[:n], out)
+	default:
+		for i := 0; i < n; i++ {
+			out[i] = 0
+			for fam := 0; fam < NumFamilies; fam++ {
+				if s.cov[i][fam] {
+					out[i] = s.by[i][fam]
+					break
+				}
+			}
+		}
+	}
+	for i := range out {
+		if out[i] < 0 || out[i] != out[i] { // negative or NaN
+			out[i] = 0
+		}
+	}
+}
+
+// PredictNodes prices a slice of plan nodes in one batched pass and
+// returns the combined-model cost per node. Predictions are identical to
+// calling PredictNode per node; the batch path just does the work as
+// matrix passes instead of repeated scalar walks.
+func (pr *Predictor) PredictNodes(nodes []*plan.Physical, param float64) []float64 {
+	out := make([]float64, len(nodes))
+	pr.PredictNodesInto(nodes, param, out)
+	return out
+}
+
+// PredictNodesInto is PredictNodes writing into a caller buffer (len(out)
+// must equal len(nodes)).
+func (pr *Predictor) PredictNodesInto(nodes []*plan.Physical, param float64, out []float64) {
+	if len(nodes) == 0 {
+		return
+	}
+	s := scratchPool.Get().(*batchScratch)
+	s.resize(len(nodes))
+	s.extract(nodes, param)
+	pr.predictInto(s, out[:len(nodes)])
+	scratchPool.Put(s)
+}
+
+// PredictRecords prices telemetry records in one batched pass — the
+// serving layer's per-publish accuracy snapshot goes through here instead
+// of record-at-a-time scalar walks.
+func (pr *Predictor) PredictRecords(records []telemetry.Record) []float64 {
+	out := make([]float64, len(records))
+	if len(records) == 0 {
+		return out
+	}
+	s := scratchPool.Get().(*batchScratch)
+	s.resize(len(records))
+	for i := range records {
+		s.sigs[i] = records[i].Sigs
+		s.feats[i] = FromRecord(&records[i])
+	}
+	pr.predictInto(s, out)
+	scratchPool.Put(s)
+	return out
+}
+
+// CostBatch implements the optimizer's batch-costing upgrade
+// (cascades.BatchCoster): it prices a whole slice of operators in one
+// call, consulting the prediction cache per row and filling every miss
+// from a single batched model inference. Costs are identical to calling
+// OperatorCost per operator.
+//
+// With a cache, the probe pass extracts only what cache keys need — the
+// subgraph signature and base cardinality, run-shared across partition
+// variants — so a fully warm batch (the recurring-job serving hot path)
+// never pays for the remaining signatures or features; those are
+// extracted only for the miss rows.
+func (c *Coster) CostBatch(ops []*plan.Physical, out []float64) {
+	if len(ops) == 0 {
+		return
+	}
+	n := len(ops)
+	out = out[:n]
+	s := scratchPool.Get().(*batchScratch)
+	defer scratchPool.Put(s)
+	s.resize(n)
+
+	miss := s.miss
+	if c.Cache == nil {
+		s.extract(ops, c.Param)
+		for i := range ops {
+			miss = append(miss, i)
+		}
+	} else {
+		for i, op := range ops {
+			if i > 0 && sameShape(ops[i-1], op) {
+				s.subs[i] = s.subs[i-1]
+				s.base[i] = s.base[i-1]
+			} else {
+				s.subs[i] = plan.SubgraphSignature(op)
+				s.base[i] = op.BaseCardinality()
+			}
+			s.keys[i] = c.Cache.keyForSig(s.subs[i], op, c.Param, s.base[i])
+			if v, ok := c.Cache.lookup(s.keys[i]); ok {
+				out[i] = v
+			} else {
+				miss = append(miss, i)
+			}
+		}
+		// Full extraction for the miss rows only, compacted to the front
+		// of the scratch, still sharing subtree work across runs of
+		// partition-count variants (miss order preserves adjacency).
+		for k, i := range miss {
+			if k > 0 && sameShape(ops[miss[k-1]], ops[i]) {
+				s.sigs[k] = s.sigs[k-1]
+				s.feats[k] = s.feats[k-1]
+				s.feats[k].P = float64(ops[i].Partitions)
+				continue
+			}
+			s.sigs[k] = plan.SignaturesWithSubgraph(ops[i], s.subs[i])
+			s.feats[k] = FromNode(ops[i], c.Param)
+		}
+	}
+	s.miss = miss // keep the grown capacity with the pooled scratch
+	if len(miss) == 0 {
+		return
+	}
+	vals := s.vals[:len(miss)]
+	c.Predictor.predictInto(s, vals)
+	for k, i := range miss {
+		v := vals[k]
+		if v <= 0 && c.Fallback != nil {
+			v = c.Fallback.OperatorCost(ops[i])
+		}
+		out[i] = v
+		if c.Cache != nil {
+			c.Cache.store(s.keys[i], v)
+		}
+	}
+	if c.Cache != nil {
+		c.Cache.batchFills.Add(uint64(len(miss)))
+	}
+}
+
+// IndividualCostBatch is the batched IndividualCost: partition exploration
+// probes every stage operator at several candidate counts, and the probes
+// of one operator share signatures and all features but the count. Costs
+// are identical to calling IndividualCost per operator.
+func (c *Coster) IndividualCostBatch(ops []*plan.Physical, out []float64) {
+	if len(ops) == 0 {
+		return
+	}
+	n := len(ops)
+	out = out[:n]
+	s := scratchPool.Get().(*batchScratch)
+	defer scratchPool.Put(s)
+	s.resize(n)
+	s.extract(ops, c.Param)
+	rows := s.rows[:n]
+	for i := 0; i < n; i++ {
+		s.feats[i].Fill(rows[i], true)
+	}
+	for i, op := range ops {
+		out[i] = 0
+		covered := false
+		for fam := 0; fam < NumFamilies; fam++ {
+			fm := c.Predictor.Families[fam]
+			if fm == nil {
+				continue
+			}
+			m, ok := fm.Models[fm.Family.SignatureOf(s.sigs[i])]
+			if !ok {
+				continue
+			}
+			if v := m.Predict(rows[i]); v > 0 {
+				out[i] = v
+				covered = true
+				break
+			}
+		}
+		if !covered && c.Fallback != nil {
+			out[i] = c.Fallback.OperatorCost(op)
+		}
+	}
+}

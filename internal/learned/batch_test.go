@@ -1,0 +1,162 @@
+package learned
+
+import (
+	"math"
+	"testing"
+
+	"cleo/internal/plan"
+)
+
+// buildStage assembles a small extract→filter→aggregate chain resembling
+// the trained distribution, returning its operators bottom-up.
+func buildStage(partitions int) []*plan.Physical {
+	leaf := plan.NewPhysical(plan.PExtract)
+	leaf.InputTemplate = "c0in1_"
+	leaf.Partitions = partitions
+	leaf.Stats = plan.NodeStats{EstCard: 1e6, ActCard: 1e6, RowLength: 100}
+	f := plan.NewPhysical(plan.PFilter, leaf)
+	f.Pred = "p"
+	f.Partitions = partitions
+	f.Stats = plan.NodeStats{EstCard: 5e5, ActCard: 5e5, RowLength: 100}
+	agg := plan.NewPhysical(plan.PHashAggregate, f)
+	agg.Keys = []plan.Column{"k"}
+	agg.Partitions = partitions
+	agg.Stats = plan.NodeStats{EstCard: 1e4, ActCard: 1e4, RowLength: 60}
+	return []*plan.Physical{leaf, f, agg}
+}
+
+// variantsOf materializes per-count shallow copies of each op, op-major —
+// the same layout the partition chooser prices.
+func variantsOf(ops []*plan.Physical, counts []int) []*plan.Physical {
+	var out []*plan.Physical
+	for _, op := range ops {
+		for _, p := range counts {
+			v := *op
+			v.Partitions = p
+			out = append(out, &v)
+		}
+	}
+	return out
+}
+
+func trainedBatchCoster(t *testing.T, cache *PredictionCache) *Coster {
+	t.Helper()
+	col := collect(t, 2)
+	pr, err := TrainSplit(col.Records, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Coster{Predictor: pr, Param: 3, Fallback: fixedFallback{v: 7}, Cache: cache}
+}
+
+func TestCostBatchMatchesScalar(t *testing.T) {
+	c := trainedBatchCoster(t, nil)
+	ops := variantsOf(buildStage(8), []int{1, 2, 4, 8, 16, 64, 256})
+	got := make([]float64, len(ops))
+	c.CostBatch(ops, got)
+	for i, op := range ops {
+		want := c.OperatorCost(op)
+		if math.Abs(got[i]-want) > 1e-9 {
+			t.Fatalf("row %d (%v p=%d): batch %v != scalar %v", i, op.Op, op.Partitions, got[i], want)
+		}
+	}
+}
+
+func TestCostBatchWithCacheMatchesScalarAndCounts(t *testing.T) {
+	cache := NewPredictionCache()
+	c := trainedBatchCoster(t, cache)
+	ops := variantsOf(buildStage(8), []int{1, 4, 16})
+
+	got := make([]float64, len(ops))
+	c.CostBatch(ops, got) // all misses → one batch fill
+	st := cache.Stats()
+	if st.Misses != uint64(len(ops)) || st.BatchFills != uint64(len(ops)) {
+		t.Fatalf("after cold batch: misses=%d batch_fills=%d, want %d each", st.Misses, st.BatchFills, len(ops))
+	}
+
+	again := make([]float64, len(ops))
+	c.CostBatch(ops, again) // all hits
+	st = cache.Stats()
+	if st.Hits != uint64(len(ops)) {
+		t.Fatalf("after warm batch: hits=%d, want %d", st.Hits, len(ops))
+	}
+	if st.Lookups != st.Hits+st.Misses {
+		t.Fatalf("lookups=%d, want hits+misses=%d", st.Lookups, st.Hits+st.Misses)
+	}
+	for i := range ops {
+		if again[i] != got[i] {
+			t.Fatalf("row %d: warm %v != cold %v", i, again[i], got[i])
+		}
+	}
+
+	// The scalar path must observe the same cached values.
+	for i, op := range ops {
+		if v := c.OperatorCost(op); v != got[i] {
+			t.Fatalf("row %d: scalar-on-warm %v != batch %v", i, v, got[i])
+		}
+	}
+}
+
+func TestPredictNodesMatchesPredictNode(t *testing.T) {
+	c := trainedBatchCoster(t, nil)
+	nodes := variantsOf(buildStage(8), []int{1, 3, 9, 27})
+	got := c.Predictor.PredictNodes(nodes, c.Param)
+	for i, n := range nodes {
+		want := c.Predictor.PredictNode(n, c.Param).Cost
+		if math.Abs(got[i]-want) > 1e-9 {
+			t.Fatalf("node %d: batch %v != scalar %v", i, got[i], want)
+		}
+	}
+}
+
+func TestIndividualCostBatchMatchesScalar(t *testing.T) {
+	c := trainedBatchCoster(t, nil)
+	ops := variantsOf(buildStage(8), []int{1, 5, 25, 125})
+	got := make([]float64, len(ops))
+	c.IndividualCostBatch(ops, got)
+	for i, op := range ops {
+		want := c.IndividualCost(op)
+		if math.Abs(got[i]-want) > 1e-9 {
+			t.Fatalf("row %d: batch individual %v != scalar %v", i, got[i], want)
+		}
+	}
+}
+
+func TestPredictRecordsMatchesPredictRecord(t *testing.T) {
+	col := collect(t, 2)
+	pr, err := TrainSplit(col.Records, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := col.Records
+	if len(recs) > 200 {
+		recs = recs[:200]
+	}
+	got := pr.PredictRecords(recs)
+	for i := range recs {
+		want := pr.PredictRecord(&recs[i]).Cost
+		if math.Abs(got[i]-want) > 1e-9 {
+			t.Fatalf("record %d: batch %v != scalar %v", i, got[i], want)
+		}
+	}
+}
+
+func TestSameShapeDetectsPartitionOnlyVariants(t *testing.T) {
+	ops := buildStage(8)
+	a := *ops[2]
+	b := *ops[2]
+	b.Partitions = 99
+	if !sameShape(&a, &b) {
+		t.Fatal("partition-only variants should share shape")
+	}
+	c := b
+	c.Stats.EstCard++
+	if sameShape(&a, &c) {
+		t.Fatal("stats change must break shape sharing")
+	}
+	d := b
+	d.Children = []*plan.Physical{plan.NewPhysical(plan.PFilter)}
+	if sameShape(&a, &d) {
+		t.Fatal("different children must break shape sharing")
+	}
+}

@@ -38,8 +38,9 @@ type PredictionCache struct {
 	shards [cacheShardCount]cacheShard
 	seed   maphash.Seed
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	batchFills atomic.Uint64
 }
 
 const (
@@ -81,6 +82,14 @@ func ParamBucket(param float64) int64 {
 // split depends on. CL, D and the input templates are functions of the
 // subtree and so already pinned by the subgraph signature.
 func (c *PredictionCache) keyFor(n *plan.Physical, param float64) cacheKey {
+	return c.keyForSig(plan.SubgraphSignature(n), n, param, n.BaseCardinality())
+}
+
+// keyForSig is keyFor with the subgraph signature and base cardinality
+// already in hand — the batch path computes both once per operator and
+// reuses them across every partition-count variant, so it must not redo
+// the subtree walks per cache probe.
+func (c *PredictionCache) keyForSig(sig plan.Signature, n *plan.Physical, param, baseCard float64) cacheKey {
 	var h maphash.Hash
 	h.SetSeed(c.seed)
 	write := func(v uint64) {
@@ -88,7 +97,7 @@ func (c *PredictionCache) keyFor(n *plan.Physical, param float64) cacheKey {
 		binary.LittleEndian.PutUint64(b[:], v)
 		h.Write(b[:])
 	}
-	write(math.Float64bits(n.BaseCardinality()))
+	write(math.Float64bits(baseCard))
 	write(math.Float64bits(n.Stats.EstCard))
 	write(math.Float64bits(n.Stats.RowLength))
 	write(uint64(n.Partitions))
@@ -96,7 +105,7 @@ func (c *PredictionCache) keyFor(n *plan.Physical, param float64) cacheKey {
 	for _, ch := range n.Children {
 		write(math.Float64bits(ch.Stats.EstCard))
 	}
-	return cacheKey{sig: plan.SubgraphSignature(n), fh: h.Sum64()}
+	return cacheKey{sig: sig, fh: h.Sum64()}
 }
 
 func (c *PredictionCache) shard(k cacheKey) *cacheShard {
@@ -128,14 +137,22 @@ func (c *PredictionCache) store(k cacheKey, v float64) {
 
 // CacheStats snapshots the cache counters.
 type CacheStats struct {
-	Hits    uint64 `json:"hits"`
-	Misses  uint64 `json:"misses"`
-	Entries int    `json:"entries"`
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Lookups is the total number of cost look-ups that went through the
+	// cache (hits + misses) — the serving-side view of Figure 8c's metric.
+	Lookups uint64 `json:"lookups"`
+	// BatchFills counts misses that were priced through the batched
+	// prediction path (one matrix inference shared by the whole batch)
+	// rather than a scalar model walk.
+	BatchFills uint64 `json:"batch_fills"`
+	Entries    int    `json:"entries"`
 }
 
 // Stats reports hit/miss counters and the current entry count.
 func (c *PredictionCache) Stats() CacheStats {
-	s := CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	s := CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), BatchFills: c.batchFills.Load()}
+	s.Lookups = s.Hits + s.Misses
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.RLock()

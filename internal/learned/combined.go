@@ -1,8 +1,6 @@
 package learned
 
 import (
-	"math"
-
 	"cleo/internal/linalg"
 	"cleo/internal/ml"
 	"cleo/internal/ml/fasttree"
@@ -39,6 +37,15 @@ type Prediction struct {
 // metaVector builds the combined model's input from family predictions and
 // features.
 func metaVector(byFamily [NumFamilies]float64, covered [NumFamilies]bool, f OpFeatures) []float64 {
+	out := make([]float64, len(MetaFeatureNames))
+	fillMetaVector(out, byFamily, covered, &f)
+	return out
+}
+
+// fillMetaVector writes the combined model's input into dst (length
+// len(MetaFeatureNames)) without allocating; the batch path fills whole
+// meta-matrix rows through it.
+func fillMetaVector(dst []float64, byFamily [NumFamilies]float64, covered [NumFamilies]bool, f *OpFeatures) {
 	p := f.P
 	if p < 1 {
 		p = 1
@@ -49,18 +56,20 @@ func metaVector(byFamily [NumFamilies]float64, covered [NumFamilies]bool, f OpFe
 		}
 		return 0
 	}
-	return []float64{
-		byFamily[FamilySubgraph],
-		byFamily[FamilyApprox],
-		byFamily[FamilyInput],
-		byFamily[FamilyOperator],
-		ind(covered[FamilySubgraph]),
-		ind(covered[FamilyApprox]),
-		ind(covered[FamilyInput]),
-		f.I, f.B, f.C,
-		f.I / p, f.B / p, f.C / p,
-		p,
-	}
+	dst[0] = byFamily[FamilySubgraph]
+	dst[1] = byFamily[FamilyApprox]
+	dst[2] = byFamily[FamilyInput]
+	dst[3] = byFamily[FamilyOperator]
+	dst[4] = ind(covered[FamilySubgraph])
+	dst[5] = ind(covered[FamilyApprox])
+	dst[6] = ind(covered[FamilyInput])
+	dst[7] = f.I
+	dst[8] = f.B
+	dst[9] = f.C
+	dst[10] = f.I / p
+	dst[11] = f.B / p
+	dst[12] = f.C / p
+	dst[13] = p
 }
 
 // predictFamilies runs the four individual models.
@@ -86,24 +95,18 @@ func (pr *Predictor) PredictNode(n *plan.Physical, param float64) Prediction {
 	return pr.predict(plan.ComputeSignatures(n), FromNode(n, param))
 }
 
+// predict is the scalar prediction: a thin wrapper over the batched
+// pipeline with a pooled one-row scratch, so scalar and batched paths
+// share one implementation (and scalar calls stop allocating feature and
+// meta vectors).
 func (pr *Predictor) predict(sigs plan.Signatures, f OpFeatures) Prediction {
-	by, cov := pr.predictFamilies(sigs, f)
-	out := Prediction{ByFamily: by, Covered: cov}
-	switch {
-	case pr.Combined != nil:
-		out.Cost = pr.Combined.Predict(metaVector(by, cov, f))
-	default:
-		// Strawman fallback: most specialized covered model first.
-		for fam := 0; fam < NumFamilies; fam++ {
-			if cov[fam] {
-				out.Cost = by[fam]
-				break
-			}
-		}
-	}
-	if out.Cost < 0 || math.IsNaN(out.Cost) {
-		out.Cost = 0
-	}
+	s := scratchPool.Get().(*batchScratch)
+	s.resize(1)
+	s.sigs[0] = sigs
+	s.feats[0] = f
+	pr.predictInto(s, s.vals[:1])
+	out := Prediction{Cost: s.vals[0], ByFamily: s.by[0], Covered: s.cov[0]}
+	scratchPool.Put(s)
 	return out
 }
 
@@ -141,7 +144,7 @@ func (pr *Predictor) TrainCombined(records []telemetry.Record, cfg CombinedConfi
 	for i := range records {
 		f := FromRecord(&records[i])
 		by, cov := pr.predictFamilies(records[i].Sigs, f)
-		copy(x.Row(i), metaVector(by, cov, f))
+		fillMetaVector(x.Row(i), by, cov, &f)
 		y[i] = records[i].ActualLatency
 	}
 	m, err := fasttree.New(cfg.FastTree).FitModel(x, y)
@@ -160,7 +163,7 @@ func (pr *Predictor) TrainCombinedWith(records []telemetry.Record, trainer ml.Tr
 	for i := range records {
 		f := FromRecord(&records[i])
 		by, cov := pr.predictFamilies(records[i].Sigs, f)
-		copy(x.Row(i), metaVector(by, cov, f))
+		fillMetaVector(x.Row(i), by, cov, &f)
 		y[i] = records[i].ActualLatency
 	}
 	return trainer.Fit(x, y)
@@ -179,12 +182,12 @@ func (pr *Predictor) EvaluateMeta(records []telemetry.Record, model ml.Regressor
 	return ml.Evaluate(p, a)
 }
 
-// Evaluate computes combined-model accuracy over records (full coverage).
+// Evaluate computes combined-model accuracy over records (full coverage)
+// through the batched prediction path.
 func (pr *Predictor) Evaluate(records []telemetry.Record) ml.Accuracy {
-	p := make([]float64, len(records))
+	p := pr.PredictRecords(records)
 	a := make([]float64, len(records))
 	for i := range records {
-		p[i] = pr.PredictRecord(&records[i]).Cost
 		a[i] = records[i].ActualLatency
 	}
 	return ml.Evaluate(p, a)

@@ -128,7 +128,8 @@ func TrainFamily(family Family, records []telemetry.Record, cfg FamilyConfig) *F
 			x := linalg.NewMatrix(len(j.rows), NumFeatures(extended))
 			y := make([]float64, len(j.rows))
 			for i, r := range j.rows {
-				copy(x.Row(i), FromRecord(&records[r]).Vector(extended))
+				f := FromRecord(&records[r])
+				f.Fill(x.Row(i), extended)
 				y[i] = records[r].ActualLatency
 			}
 			m, err := elasticnet.New(cfg.Net).FitModel(x, y)

@@ -114,6 +114,19 @@ func hashIN(s string) float64 {
 // products all appear — the transformations the paper found impossible to
 // hand-tune into the default model (Section 6.4).
 func (f OpFeatures) Vector(extended bool) []float64 {
+	v := make([]float64, NumFeatures(extended))
+	f.Fill(v, extended)
+	return v
+}
+
+// Fill writes the feature vector into dst without allocating; dst must
+// have length NumFeatures(extended). Vector is a thin wrapper over it; the
+// batch costing path fills whole feature-matrix rows through it instead.
+//
+// The base features are a prefix of the extended ones, so one extended row
+// truncates to the base vector — the batch path fills every row extended
+// and hands family models the prefix they expect.
+func (f *OpFeatures) Fill(dst []float64, extended bool) {
 	p := f.P
 	if p < 1 {
 		p = 1
@@ -121,38 +134,36 @@ func (f OpFeatures) Vector(extended bool) []float64 {
 	logI := math.Log1p(f.I)
 	logB := math.Log1p(f.B)
 	logC := math.Log1p(f.C)
-	v := []float64{
-		f.C,
-		math.Sqrt(f.C),
-		logB * f.C,
-		f.B * logC,
-		f.B,
-		f.I * f.C,
-		f.I * logC,
-		f.I / p,
-		math.Sqrt(f.I),
-		f.L * logB,
-		f.B * f.C,
-		f.C / p,
-		math.Sqrt(f.I) / p,
-		f.L,
-		f.L * logI,
-		f.L * logC,
-		f.I * f.L / p,
-		f.L * f.B,
-		f.C * f.L / p,
-		f.L * f.I,
-		math.Sqrt(f.C) / p,
-		p,
-		logI / p,
-		f.I,
-		hashIN(f.Inputs),
-		logB * logC,
-		logI * logC,
-		f.Param,
-	}
+	dst[0] = f.C
+	dst[1] = math.Sqrt(f.C)
+	dst[2] = logB * f.C
+	dst[3] = f.B * logC
+	dst[4] = f.B
+	dst[5] = f.I * f.C
+	dst[6] = f.I * logC
+	dst[7] = f.I / p
+	dst[8] = math.Sqrt(f.I)
+	dst[9] = f.L * logB
+	dst[10] = f.B * f.C
+	dst[11] = f.C / p
+	dst[12] = math.Sqrt(f.I) / p
+	dst[13] = f.L
+	dst[14] = f.L * logI
+	dst[15] = f.L * logC
+	dst[16] = f.I * f.L / p
+	dst[17] = f.L * f.B
+	dst[18] = f.C * f.L / p
+	dst[19] = f.L * f.I
+	dst[20] = math.Sqrt(f.C) / p
+	dst[21] = p
+	dst[22] = logI / p
+	dst[23] = f.I
+	dst[24] = hashIN(f.Inputs)
+	dst[25] = logB * logC
+	dst[26] = logI * logC
+	dst[27] = f.Param
 	if extended {
-		v = append(v, f.CL, f.D)
+		dst[28] = f.CL
+		dst[29] = f.D
 	}
-	return v
 }

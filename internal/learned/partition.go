@@ -50,12 +50,24 @@ func (a *AnalyticalChooser) ChooseStagePartitions(ops []*plan.Physical, maxParti
 		return 1, 0
 	}
 	var sumP, sumC, scale, lookups float64
-	for _, op := range ops {
-		tp, tc, mean := a.fitOperator(op, maxPartitions)
-		sumP += tp
-		sumC += tc
-		scale += mean
-		lookups += numProbes
+	if buf, ok := a.probeBatch(ops, maxPartitions); ok {
+		points := probePoints(maxPartitions)
+		for i := range ops {
+			tp, tc, mean := fitProbes(points, buf.costs[i*numProbes:(i+1)*numProbes], maxPartitions)
+			sumP += tp
+			sumC += tc
+			scale += mean
+			lookups += numProbes
+		}
+		variantPool.Put(buf)
+	} else {
+		for _, op := range ops {
+			tp, tc, mean := a.fitOperator(op, maxPartitions)
+			sumP += tp
+			sumC += tc
+			scale += mean
+			lookups += numProbes
+		}
 	}
 	// Coefficients whose contribution is negligible at a mid-range count
 	// are noise from the least-squares fit; zero them so flat curves hit
@@ -91,6 +103,55 @@ type individualCoster interface {
 	IndividualCost(n *plan.Physical) float64
 }
 
+// batchPricer and individualBatchPricer are the batch upgrades of the two
+// pricing interfaces (structurally matched by the learned Coster's
+// CostBatch / IndividualCostBatch methods).
+type batchPricer interface {
+	CostBatch(ops []*plan.Physical, out []float64)
+}
+
+type individualBatchPricer interface {
+	IndividualCostBatch(ops []*plan.Physical, out []float64)
+}
+
+// probeBatch materializes every operator's probe-point variants (op-major,
+// so consecutive variants of one operator share subtree work inside the
+// batch coster) into a pooled buffer and prices all ops × numProbes of
+// them in one call. The caller returns the buffer to variantPool. It
+// returns false when the coster offers no batch path for the pricing mode
+// the scalar path would use, so behaviour never silently changes.
+func (a *AnalyticalChooser) probeBatch(ops []*plan.Physical, maxPartitions int) (*variantBuf, bool) {
+	var price func(ops []*plan.Physical, out []float64)
+	if _, isIndividual := a.Cost.(individualCoster); isIndividual {
+		ib, ok := a.Cost.(individualBatchPricer)
+		if !ok {
+			return nil, false
+		}
+		price = ib.IndividualCostBatch
+	} else if b, ok := a.Cost.(batchPricer); ok {
+		price = b.CostBatch
+	} else {
+		return nil, false
+	}
+	points := probePoints(maxPartitions)
+	buf := variantPool.Get().(*variantBuf)
+	buf.resize(len(ops) * numProbes)
+	idx := 0
+	for _, op := range ops {
+		for _, p := range points {
+			if int(p) > maxPartitions {
+				p = float64(maxPartitions)
+			}
+			buf.variants[idx] = *op
+			buf.variants[idx].Partitions = int(p)
+			buf.refs[idx] = &buf.variants[idx]
+			idx++
+		}
+	}
+	price(buf.refs, buf.costs)
+	return buf, true
+}
+
 // fitOperator least-squares fits cost(P) = θP/P + θC·P + θ0 through the
 // probe points for one operator, also reporting the mean probed cost for
 // noise thresholds.
@@ -101,16 +162,28 @@ func (a *AnalyticalChooser) fitOperator(op *plan.Physical, maxPartitions int) (t
 	if ic, ok := a.Cost.(individualCoster); ok {
 		price = ic.IndividualCost
 	}
-
-	// Design matrix columns: 1/P, P, 1. Solve the 3x3 normal equations.
-	var m [3][3]float64
-	var rhs [3]float64
-	for _, p := range probePoints(maxPartitions) {
+	points := probePoints(maxPartitions)
+	var costs [numProbes]float64
+	for k, p := range points {
 		if int(p) > maxPartitions {
 			p = float64(maxPartitions)
 		}
 		op.Partitions = int(p)
-		cost := price(op)
+		costs[k] = price(op)
+	}
+	return fitProbes(points, costs[:], maxPartitions)
+}
+
+// fitProbes solves the 3x3 normal equations of the 1/P, P, 1 design
+// through the probe points and their costs.
+func fitProbes(points [numProbes]float64, costs []float64, maxPartitions int) (thetaP, thetaC, meanCost float64) {
+	var m [3][3]float64
+	var rhs [3]float64
+	for k, p := range points {
+		if int(p) > maxPartitions {
+			p = float64(maxPartitions)
+		}
+		cost := costs[k]
 		meanCost += cost / numProbes
 		row := [3]float64{1 / p, p, 1}
 		for i := 0; i < 3; i++ {

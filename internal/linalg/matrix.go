@@ -55,12 +55,32 @@ func (m *Matrix) Col(j int) []float64 {
 
 // MulVec computes m · x and returns a freshly allocated result vector.
 func (m *Matrix) MulVec(x []float64) []float64 {
+	out := make([]float64, m.Rows)
+	m.MulVecInto(x, out)
+	return out
+}
+
+// MulVecInto computes m · x into out without allocating. out must have
+// length m.Rows; the batched prediction kernels reuse one buffer across
+// many calls.
+func (m *Matrix) MulVecInto(x, out []float64) {
 	if len(x) != m.Cols {
 		panic(fmt.Sprintf("linalg: MulVec dims %dx%d with vec %d", m.Rows, m.Cols, len(x)))
 	}
-	out := make([]float64, m.Rows)
+	if len(out) != m.Rows {
+		panic(fmt.Sprintf("linalg: MulVecInto out length %d, want %d", len(out), m.Rows))
+	}
 	for i := 0; i < m.Rows; i++ {
 		out[i] = Dot(m.Row(i), x)
+	}
+}
+
+// RowViews returns per-row views (not copies) of m, the [][]float64 shape
+// the batch predictors consume.
+func (m *Matrix) RowViews() [][]float64 {
+	out := make([][]float64, m.Rows)
+	for i := range out {
+		out[i] = m.Row(i)
 	}
 	return out
 }

@@ -1,0 +1,127 @@
+package ml_test
+
+// Property test: for every model type, PredictBatch over a randomized
+// feature matrix must agree with scalar Predict row by row (within 1e-9 —
+// in practice the kernels share the same row arithmetic and agree
+// bit-for-bit). This pins the batched costing pipeline to the scalar
+// semantics it replaced.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cleo/internal/linalg"
+	"cleo/internal/ml"
+	"cleo/internal/ml/dtree"
+	"cleo/internal/ml/elasticnet"
+	"cleo/internal/ml/fasttree"
+	"cleo/internal/ml/forest"
+	"cleo/internal/ml/mlp"
+)
+
+const batchEquivTol = 1e-9
+
+// trainers enumerates the five model types with small configurations so
+// every trial trains quickly.
+func trainers() map[string]ml.Trainer {
+	mlpCfg := mlp.DefaultConfig()
+	mlpCfg.Epochs = 20
+	return map[string]ml.Trainer{
+		"elasticnet": elasticnet.New(elasticnet.DefaultConfig()),
+		"dtree":      dtree.New(dtree.DefaultConfig()),
+		"forest":     forest.New(forest.DefaultConfig()),
+		"fasttree":   fasttree.New(fasttree.DefaultConfig()),
+		"mlp":        mlp.New(mlpCfg),
+	}
+}
+
+// randomTrainingSet draws a feature matrix with the wide dynamic range the
+// cost features have (cardinalities spanning decades) and a positive
+// latency-like target.
+func randomTrainingSet(rng *rand.Rand, n, p int) (*linalg.Matrix, []float64) {
+	x := linalg.NewMatrix(n, p)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		for j := range row {
+			row[j] = math.Pow(10, rng.Float64()*6-2) // 1e-2 .. 1e4
+			if rng.Intn(4) == 0 {
+				row[j] = 0
+			}
+		}
+		y[i] = math.Abs(rng.NormFloat64()) * (1 + row[0]/1e3)
+	}
+	return x, y
+}
+
+func TestBatchPredictionsMatchScalar(t *testing.T) {
+	for name, tr := range trainers() {
+		tr := tr
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(len(name)) * 17))
+			for trial := 0; trial < 5; trial++ {
+				n := 10 + rng.Intn(60)
+				p := 3 + rng.Intn(28)
+				x, y := randomTrainingSet(rng, n, p)
+				model, err := tr.Fit(x, y)
+				if err != nil {
+					t.Fatalf("trial %d: Fit: %v", trial, err)
+				}
+				br, ok := model.(ml.BatchRegressor)
+				if !ok {
+					t.Fatalf("trial %d: %T does not implement ml.BatchRegressor", trial, model)
+				}
+				// Query on a fresh random matrix, including ragged rows
+				// (shorter and longer than the training width) since the
+				// scalar path tolerates both.
+				qn := 1 + rng.Intn(50)
+				rows := make([][]float64, qn)
+				for i := range rows {
+					w := p
+					switch rng.Intn(4) {
+					case 0:
+						w = rng.Intn(p + 1)
+					case 1:
+						w = p + rng.Intn(3)
+					}
+					rows[i] = make([]float64, w)
+					for j := range rows[i] {
+						rows[i][j] = math.Pow(10, rng.Float64()*6-2)
+					}
+				}
+				got := make([]float64, qn)
+				br.PredictBatch(rows, got)
+				for i, row := range rows {
+					want := model.Predict(row)
+					if math.Abs(got[i]-want) > batchEquivTol {
+						t.Fatalf("trial %d row %d: batch %v != scalar %v (width %d)",
+							trial, i, got[i], want, len(row))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPredictBatchHelperFallsBack covers the helper's scalar fallback for
+// models without a batch kernel.
+func TestPredictBatchHelperFallsBack(t *testing.T) {
+	scalarOnly := scalarRegressor{}
+	rows := [][]float64{{1, 2}, {3, 4}}
+	out := make([]float64, 2)
+	ml.PredictBatch(scalarOnly, rows, out)
+	if out[0] != 3 || out[1] != 7 {
+		t.Fatalf("fallback predictions = %v, want [3 7]", out)
+	}
+}
+
+type scalarRegressor struct{}
+
+func (scalarRegressor) Predict(f []float64) float64 {
+	var s float64
+	for _, v := range f {
+		s += v
+	}
+	return s
+}

@@ -53,29 +53,39 @@ type Model struct {
 	depth int
 }
 
-// Predict implements ml.Regressor.
+// Predict implements ml.Regressor; it is a thin wrapper over the shared
+// leaf-walk kernel the batch path uses.
 func (m *Model) Predict(features []float64) float64 {
-	idx := int32(0)
-	for {
-		n := &m.nodes[idx]
-		if n.feature < 0 {
-			return m.Loss.InverseTarget(n.value)
-		}
-		v := 0.0
-		if n.feature < len(features) {
-			v = features[n.feature]
-		}
-		if v <= n.threshold {
-			idx = n.left
-		} else {
-			idx = n.right
-		}
+	return m.Loss.InverseTarget(m.leafValue(features))
+}
+
+// PredictBatch implements ml.BatchRegressor: the flat node array stays hot
+// while every row walks it, with zero per-row allocations.
+func (m *Model) PredictBatch(x [][]float64, out []float64) {
+	for i, row := range x {
+		out[i] = m.Loss.InverseTarget(m.leafValue(row))
 	}
 }
 
 // PredictTransformed returns the leaf value in the transformed target space,
 // used by gradient boosting where residuals live in log space.
 func (m *Model) PredictTransformed(features []float64) float64 {
+	return m.leafValue(features)
+}
+
+// AddTransformedBatch adds scale times the transformed-space prediction of
+// every row of x to out — the inner loop of the batched ensemble kernels
+// (forest, fasttree), which iterate tree-major so one tree's node array
+// stays in cache while all rows stream through it.
+func (m *Model) AddTransformedBatch(x [][]float64, scale float64, out []float64) {
+	for i, row := range x {
+		out[i] += scale * m.leafValue(row)
+	}
+}
+
+// leafValue walks the tree to the row's leaf and returns its value in the
+// transformed target space.
+func (m *Model) leafValue(features []float64) float64 {
 	idx := int32(0)
 	for {
 		n := &m.nodes[idx]

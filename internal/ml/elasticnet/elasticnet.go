@@ -58,15 +58,28 @@ type Model struct {
 	ClampHi float64
 }
 
-// Predict implements ml.Regressor.
+// Predict implements ml.Regressor; it is a thin wrapper over the shared
+// row kernel the batch path uses.
 func (m *Model) Predict(features []float64) float64 {
-	z := m.Intercept
-	n := len(m.Weights)
-	if len(features) < n {
-		n = len(features)
+	return m.predictRow(features)
+}
+
+// PredictBatch implements ml.BatchRegressor: one pass over the matrix,
+// one dot product per row, zero allocations.
+func (m *Model) PredictBatch(x [][]float64, out []float64) {
+	for i, row := range x {
+		out[i] = m.predictRow(row)
 	}
-	for j := 0; j < n; j++ {
-		z += m.Weights[j] * features[j]
+}
+
+func (m *Model) predictRow(features []float64) float64 {
+	z := m.Intercept
+	w := m.Weights
+	if len(features) < len(w) {
+		w = w[:len(features)]
+	}
+	for j, wj := range w {
+		z += wj * features[j]
 	}
 	out := m.Loss.InverseTarget(z)
 	if m.ClampHi > 0 {

@@ -66,6 +66,23 @@ func (m *Model) Predict(features []float64) float64 {
 	return m.Loss.InverseTarget(z)
 }
 
+// PredictBatch implements ml.BatchRegressor. It iterates tree-major — each
+// boosting round's node array is walked by every row before moving on —
+// accumulating shrunken contributions directly into out, with zero per-row
+// allocations.
+func (m *Model) PredictBatch(x [][]float64, out []float64) {
+	out = out[:len(x)]
+	for i := range out {
+		out[i] = m.Base
+	}
+	for _, t := range m.Trees {
+		t.AddTransformedBatch(x, m.LearningRate, out)
+	}
+	for i := range out {
+		out[i] = m.Loss.InverseTarget(out[i])
+	}
+}
+
 // NumTrees reports the fitted round count.
 func (m *Model) NumTrees() int { return len(m.Trees) }
 

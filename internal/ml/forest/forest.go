@@ -53,6 +53,26 @@ func (m *Model) Predict(features []float64) float64 {
 	return m.Loss.InverseTarget(s / float64(len(m.Trees)))
 }
 
+// PredictBatch implements ml.BatchRegressor. It iterates tree-major — each
+// tree's node array is walked by every row before moving on — accumulating
+// transformed-space sums directly into out, with zero per-row allocations.
+func (m *Model) PredictBatch(x [][]float64, out []float64) {
+	out = out[:len(x)]
+	for i := range out {
+		out[i] = 0
+	}
+	if len(m.Trees) == 0 {
+		return
+	}
+	for _, t := range m.Trees {
+		t.AddTransformedBatch(x, 1, out)
+	}
+	n := float64(len(m.Trees))
+	for i := range out {
+		out[i] = m.Loss.InverseTarget(out[i] / n)
+	}
+}
+
 // Trainer fits Models with a fixed Config.
 type Trainer struct{ Config Config }
 

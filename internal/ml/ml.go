@@ -22,6 +22,29 @@ type Regressor interface {
 	Predict(features []float64) float64
 }
 
+// BatchRegressor is a Regressor that can additionally price a whole batch
+// of feature vectors in one pass. Implementations must write exactly
+// len(x) predictions into out (which callers size to len(x)) and must not
+// allocate per row, so the optimizer's batched costing path can stream
+// matrices through without GC pressure. Batched predictions must match
+// the scalar Predict bit-for-bit (or within 1e-9) on every row.
+type BatchRegressor interface {
+	Regressor
+	PredictBatch(x [][]float64, out []float64)
+}
+
+// PredictBatch prices every row of x into out, using r's batch kernel when
+// it has one and falling back to row-at-a-time Predict otherwise.
+func PredictBatch(r Regressor, x [][]float64, out []float64) {
+	if br, ok := r.(BatchRegressor); ok {
+		br.PredictBatch(x, out)
+		return
+	}
+	for i, row := range x {
+		out[i] = r.Predict(row)
+	}
+}
+
 // Trainer fits a fresh model on a design matrix X (row per sample) and
 // target vector y. Implementations must not retain X or y.
 type Trainer interface {
@@ -53,12 +76,11 @@ func ValidateTrainingData(x *linalg.Matrix, y []float64) error {
 	return nil
 }
 
-// PredictAll applies the regressor to every row of x.
+// PredictAll applies the regressor to every row of x, taking the batch
+// path when the model has one.
 func PredictAll(r Regressor, x *linalg.Matrix) []float64 {
 	out := make([]float64, x.Rows)
-	for i := 0; i < x.Rows; i++ {
-		out[i] = r.Predict(x.Row(i))
-	}
+	PredictBatch(r, x.RowViews(), out)
 	return out
 }
 

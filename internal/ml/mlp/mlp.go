@@ -61,34 +61,59 @@ type Model struct {
 	Loss   ml.Loss
 }
 
-// Predict implements ml.Regressor.
+// Predict implements ml.Regressor; it is a thin wrapper over the batch
+// forward pass.
 func (m *Model) Predict(features []float64) float64 {
-	in := make([]float64, len(m.means))
-	for j := range in {
-		var v float64
-		if j < len(features) {
-			v = features[j]
-		}
-		if m.stds[j] > 0 {
-			in[j] = (v - m.means[j]) / m.stds[j]
+	rows := [1][]float64{features}
+	var out [1]float64
+	m.PredictBatch(rows[:], out[:])
+	return out[0]
+}
+
+// PredictBatch implements ml.BatchRegressor: the standardization buffer and
+// the two layer activation buffers are allocated once per batch and reused
+// by every row, so the per-row forward pass is allocation-free.
+func (m *Model) PredictBatch(x [][]float64, out []float64) {
+	width := len(m.means)
+	for li := range m.layers {
+		if w := m.layers[li].w.Rows; w > width {
+			width = w
 		}
 	}
-	for li := range m.layers {
-		l := &m.layers[li]
-		out := l.w.MulVec(in)
-		for i := range out {
-			out[i] += l.b[i]
-			if l.lastRelu && out[i] < 0 {
-				out[i] = 0
+	in := make([]float64, width)
+	act := make([]float64, width)
+	for r, features := range x {
+		cur := in[:len(m.means)]
+		for j := range cur {
+			var v float64
+			if j < len(features) {
+				v = features[j]
+			}
+			if m.stds[j] > 0 {
+				cur[j] = (v - m.means[j]) / m.stds[j]
+			} else {
+				cur[j] = 0
 			}
 		}
-		in = out
+		next := act
+		for li := range m.layers {
+			l := &m.layers[li]
+			z := next[:l.w.Rows]
+			l.w.MulVecInto(cur, z)
+			for i := range z {
+				z[i] += l.b[i]
+				if l.lastRelu && z[i] < 0 {
+					z[i] = 0
+				}
+			}
+			cur, next = z, cur[:cap(cur)]
+		}
+		v := m.Loss.InverseTarget(cur[0])
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 0 // a diverged network must not poison evaluations
+		}
+		out[r] = v
 	}
-	out := m.Loss.InverseTarget(in[0])
-	if math.IsNaN(out) || math.IsInf(out, 0) {
-		return 0 // a diverged network must not poison evaluations
-	}
-	return out
 }
 
 // Trainer fits Models with a fixed Config.

@@ -91,15 +91,20 @@ func (p *Physical) Leaves() []*Physical {
 }
 
 // BaseCardinality returns the summed actual (or, if unset, estimated)
-// cardinality of the leaf inputs — the paper's feature B.
+// cardinality of the leaf inputs — the paper's feature B. It recurses
+// directly rather than materializing the leaf list: the costing hot path
+// extracts this feature for every priced operator variant.
 func (p *Physical) BaseCardinality() float64 {
-	var sum float64
-	for _, leaf := range p.Leaves() {
-		c := leaf.Stats.ActCard
+	if len(p.Children) == 0 {
+		c := p.Stats.ActCard
 		if c == 0 {
-			c = leaf.Stats.EstCard
+			c = p.Stats.EstCard
 		}
-		sum += c
+		return c
+	}
+	var sum float64
+	for _, c := range p.Children {
+		sum += c.BaseCardinality()
 	}
 	return sum
 }
@@ -119,17 +124,31 @@ func (p *Physical) InputCardinality(est bool) float64 {
 }
 
 // InputTemplates returns sorted, de-duplicated leaf input templates.
+// Plans have a handful of distinct templates, so de-duplication scans the
+// output slice instead of allocating a set.
 func (p *Physical) InputTemplates() []string {
-	seen := map[string]bool{}
 	var out []string
-	for _, leaf := range p.Leaves() {
-		if leaf.InputTemplate != "" && !seen[leaf.InputTemplate] {
-			seen[leaf.InputTemplate] = true
-			out = append(out, leaf.InputTemplate)
-		}
-	}
+	p.collectTemplates(&out)
 	sortStrings(out)
 	return out
+}
+
+func (p *Physical) collectTemplates(out *[]string) {
+	if len(p.Children) == 0 {
+		if p.InputTemplate == "" {
+			return
+		}
+		for _, t := range *out {
+			if t == p.InputTemplate {
+				return
+			}
+		}
+		*out = append(*out, p.InputTemplate)
+		return
+	}
+	for _, c := range p.Children {
+		c.collectTemplates(out)
+	}
 }
 
 // LogicalOpCounts returns the multiset of logical operator kinds in the
@@ -137,13 +156,18 @@ func (p *Physical) InputTemplates() []string {
 // approximate subgraph signature hashes this vector (Section 4.2).
 func (p *Physical) LogicalOpCounts() [NumLogicalOps]int {
 	var counts [NumLogicalOps]int
-	p.Walk(func(n *Physical) {
-		if n.Op == PExchange {
-			return // physical-only; excluded from logical frequency
-		}
-		counts[n.Op.Logical()]++
-	})
+	p.addOpCounts(&counts)
 	return counts
+}
+
+func (p *Physical) addOpCounts(counts *[NumLogicalOps]int) {
+	for _, c := range p.Children {
+		c.addOpCounts(counts)
+	}
+	if p.Op == PExchange {
+		return // physical-only; excluded from logical frequency
+	}
+	counts[p.Op.Logical()]++
 }
 
 // TotalCostEst sums predicted exclusive costs over the subtree.

@@ -28,7 +28,44 @@ type Signatures struct {
 	Operator Signature
 }
 
-// hash64 hashes a list of byte-chunks with FNV-1a.
+// hasher is an allocation-free streaming FNV-1a accumulator. It produces
+// exactly the hashes hash/fnv would with the chunk-separator convention
+// (each chunk followed by one zero byte) — signatures key persisted models,
+// so the byte stream must stay stable. Signature computation sits on the
+// batched costing hot path (every cost prediction needs four of them), so
+// it must not allocate hash objects or chunk slices.
+type hasher uint64
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func newHasher() hasher { return fnvOffset64 }
+
+// chunkString hashes one string chunk plus the separator byte.
+func (h *hasher) chunkString(s string) {
+	x := uint64(*h)
+	for i := 0; i < len(s); i++ {
+		x = (x ^ uint64(s[i])) * fnvPrime64
+	}
+	x = (x ^ 0) * fnvPrime64 // chunk separator
+	*h = hasher(x)
+}
+
+// chunkU64 hashes one little-endian uint64 chunk plus the separator byte.
+func (h *hasher) chunkU64(v uint64) {
+	x := uint64(*h)
+	for i := 0; i < 8; i++ {
+		x = (x ^ (v & 0xff)) * fnvPrime64
+		v >>= 8
+	}
+	x = (x ^ 0) * fnvPrime64 // chunk separator
+	*h = hasher(x)
+}
+
+// hash64 hashes a list of byte-chunks with FNV-1a. Kept as the reference
+// implementation the streaming hasher is tested against.
 func hash64(chunks ...[]byte) Signature {
 	h := fnv.New64a()
 	for _, c := range chunks {
@@ -46,15 +83,29 @@ func u64bytes(v uint64) []byte {
 
 // OperatorSignature returns the signature of the bare physical operator.
 func OperatorSignature(op PhysicalOp) Signature {
-	return hash64([]byte("op"), []byte(op.String()))
+	h := newHasher()
+	h.chunkString("op")
+	h.chunkString(op.String())
+	return Signature(h)
 }
 
-// ComputeSignatures computes all four signatures for node p.
+// ComputeSignatures computes all four signatures for node p. The leaf
+// input templates are gathered once and shared by the Input and Approx
+// flavours.
 func ComputeSignatures(p *Physical) Signatures {
+	return SignaturesWithSubgraph(p, SubgraphSignature(p))
+}
+
+// SignaturesWithSubgraph fills the remaining signature flavours around an
+// already-computed subgraph signature — the batched costing path derives
+// cache keys from the subgraph signature alone and only needs the other
+// three for cache misses.
+func SignaturesWithSubgraph(p *Physical, sub Signature) Signatures {
+	templates := p.InputTemplates()
 	return Signatures{
-		Subgraph: SubgraphSignature(p),
-		Approx:   ApproxSignature(p),
-		Input:    InputSignature(p),
+		Subgraph: sub,
+		Approx:   approxSignature(p, templates),
+		Input:    inputSignature(p, templates),
 		Operator: OperatorSignature(p.Op),
 	}
 }
@@ -63,30 +114,35 @@ func ComputeSignatures(p *Physical) Signatures {
 // logical properties (predicate, keys, UDF, input template for leaves) and
 // the subgraph signatures of its children, in order.
 func SubgraphSignature(p *Physical) Signature {
-	chunks := [][]byte{
-		[]byte("sub"),
-		[]byte(p.Op.String()),
-		[]byte(p.Pred),
-		[]byte(p.UDF),
-		[]byte(p.InputTemplate),
-	}
+	h := newHasher()
+	h.chunkString("sub")
+	h.chunkString(p.Op.String())
+	h.chunkString(p.Pred)
+	h.chunkString(p.UDF)
+	h.chunkString(p.InputTemplate)
 	for _, k := range p.Keys {
-		chunks = append(chunks, []byte(k))
+		h.chunkString(string(k))
 	}
 	for _, c := range p.Children {
-		chunks = append(chunks, u64bytes(uint64(SubgraphSignature(c))))
+		h.chunkU64(uint64(SubgraphSignature(c)))
 	}
-	return hash64(chunks...)
+	return Signature(h)
 }
 
 // InputSignature hashes the root operator together with the sorted leaf
 // input templates: one model per operator × input-template combination.
 func InputSignature(p *Physical) Signature {
-	chunks := [][]byte{[]byte("in"), []byte(p.Op.String())}
-	for _, t := range p.InputTemplates() {
-		chunks = append(chunks, []byte(t))
+	return inputSignature(p, p.InputTemplates())
+}
+
+func inputSignature(p *Physical, templates []string) Signature {
+	h := newHasher()
+	h.chunkString("in")
+	h.chunkString(p.Op.String())
+	for _, t := range templates {
+		h.chunkString(t)
 	}
-	return hash64(chunks...)
+	return Signature(h)
 }
 
 // ApproxSignature hashes the root operator, sorted leaf input templates,
@@ -94,13 +150,19 @@ func InputSignature(p *Physical) Signature {
 // paper's two relaxations (logical instead of physical operators, order
 // ignored).
 func ApproxSignature(p *Physical) Signature {
-	chunks := [][]byte{[]byte("apx"), []byte(p.Op.String())}
-	for _, t := range p.InputTemplates() {
-		chunks = append(chunks, []byte(t))
+	return approxSignature(p, p.InputTemplates())
+}
+
+func approxSignature(p *Physical, templates []string) Signature {
+	h := newHasher()
+	h.chunkString("apx")
+	h.chunkString(p.Op.String())
+	for _, t := range templates {
+		h.chunkString(t)
 	}
 	counts := p.LogicalOpCounts()
 	for _, c := range counts {
-		chunks = append(chunks, u64bytes(uint64(c)))
+		h.chunkU64(uint64(c))
 	}
-	return hash64(chunks...)
+	return Signature(h)
 }

@@ -1,0 +1,97 @@
+package plan
+
+import "testing"
+
+// The streaming hasher must reproduce hash/fnv's chunked hashes exactly:
+// signatures key persisted models, so the refactor to allocation-free
+// hashing must not move a single bit.
+func TestStreamingHasherMatchesReference(t *testing.T) {
+	cases := [][]string{
+		{},
+		{""},
+		{"sub"},
+		{"sub", "HashJoin", "a=b", "", "tpl"},
+		{"in", "Extract", "clicks_", "orders_"},
+	}
+	for _, chunks := range cases {
+		var bs [][]byte
+		h := newHasher()
+		for _, c := range chunks {
+			bs = append(bs, []byte(c))
+			h.chunkString(c)
+		}
+		if want := hash64(bs...); Signature(h) != want {
+			t.Fatalf("chunks %q: streaming %x != reference %x", chunks, uint64(h), uint64(want))
+		}
+	}
+	for _, v := range []uint64{0, 1, 0xdeadbeef, ^uint64(0)} {
+		h := newHasher()
+		h.chunkString("x")
+		h.chunkU64(v)
+		if want := hash64([]byte("x"), u64bytes(v)); Signature(h) != want {
+			t.Fatalf("u64 %x: streaming %x != reference %x", v, uint64(h), uint64(want))
+		}
+	}
+}
+
+// The node-level signature functions must agree with a reference
+// recomputation through hash64 on a representative tree.
+func TestNodeSignaturesMatchReference(t *testing.T) {
+	leaf1 := NewPhysical(PExtract)
+	leaf1.InputTemplate = "clicks_"
+	leaf2 := NewPhysical(PExtract)
+	leaf2.InputTemplate = "users_"
+	j := NewPhysical(PHashJoin, leaf1, leaf2)
+	j.Pred = "a=b"
+	j.Keys = []Column{"a", "b"}
+	root := NewPhysical(POutput, j)
+
+	for _, n := range []*Physical{leaf1, leaf2, j, root} {
+		sigs := ComputeSignatures(n)
+		if sigs.Subgraph != refSubgraph(n) {
+			t.Fatalf("%v: subgraph mismatch", n.Op)
+		}
+		if sigs.Input != refInput(n) {
+			t.Fatalf("%v: input mismatch", n.Op)
+		}
+		if sigs.Approx != refApprox(n) {
+			t.Fatalf("%v: approx mismatch", n.Op)
+		}
+		if sigs.Operator != hash64([]byte("op"), []byte(n.Op.String())) {
+			t.Fatalf("%v: operator mismatch", n.Op)
+		}
+	}
+}
+
+func refSubgraph(p *Physical) Signature {
+	chunks := [][]byte{
+		[]byte("sub"), []byte(p.Op.String()), []byte(p.Pred), []byte(p.UDF), []byte(p.InputTemplate),
+	}
+	for _, k := range p.Keys {
+		chunks = append(chunks, []byte(k))
+	}
+	for _, c := range p.Children {
+		chunks = append(chunks, u64bytes(uint64(refSubgraph(c))))
+	}
+	return hash64(chunks...)
+}
+
+func refInput(p *Physical) Signature {
+	chunks := [][]byte{[]byte("in"), []byte(p.Op.String())}
+	for _, t := range p.InputTemplates() {
+		chunks = append(chunks, []byte(t))
+	}
+	return hash64(chunks...)
+}
+
+func refApprox(p *Physical) Signature {
+	chunks := [][]byte{[]byte("apx"), []byte(p.Op.String())}
+	for _, t := range p.InputTemplates() {
+		chunks = append(chunks, []byte(t))
+	}
+	counts := p.LogicalOpCounts()
+	for _, c := range counts {
+		chunks = append(chunks, u64bytes(uint64(c)))
+	}
+	return hash64(chunks...)
+}

@@ -127,10 +127,12 @@ func TestConcurrentRunRetrainHotSwap(t *testing.T) {
 		if int64(len(versions)) != tn.Registry().Current().Info.ID {
 			t.Fatalf("%s: history %d != current id %d", tn.Name, len(versions), tn.Registry().Current().Info.ID)
 		}
-		// A repeated identical optimization (the recurring-job case) must
-		// hit the final version's cache.
+		// A repeated identical resource-aware optimization (the
+		// recurring-job case) must hit the final version's cache, and its
+		// misses must have been filled through the batched costing path.
 		q := demoPlan()
-		opts := engine.RunOptions{Seed: 999, Param: 2, UseLearnedModels: true, SkipLogging: true}
+		opts := engine.RunOptions{Seed: 999, Param: 2, UseLearnedModels: true,
+			ResourceAware: true, SkipLogging: true}
 		for i := 0; i < 2; i++ {
 			if _, _, err := tn.Optimize(q, opts); err != nil {
 				t.Fatal(err)
@@ -138,6 +140,10 @@ func TestConcurrentRunRetrainHotSwap(t *testing.T) {
 		}
 		if st := tn.Stats().Cache; st.Hits == 0 {
 			t.Fatalf("%s: recurring optimization never hit the prediction cache: %+v", tn.Name, st)
+		} else if st.BatchFills == 0 {
+			// The batched costing pipeline fills cache misses in batches;
+			// /v1/stats surfaces the per-tenant counters.
+			t.Fatalf("%s: learned optimizations never batch-filled the cache: %+v", tn.Name, st)
 		}
 	}
 }

@@ -161,7 +161,11 @@ func (t *Tenant) flusher() {
 	for {
 		select {
 		case recs := <-t.ingest:
-			batch := recs
+			// Copy before merging: the first batch's slice is shared with
+			// the caller's RunResult.Records, and appending other runs'
+			// records into its spare capacity would mutate a buffer the
+			// API caller also owns.
+			batch := append([]telemetry.Record(nil), recs...)
 		merge:
 			for {
 				select {
