@@ -6,6 +6,7 @@ package cleo
 // prediction, optimization, simulation).
 
 import (
+	"fmt"
 	"sync/atomic"
 	"testing"
 
@@ -246,6 +247,61 @@ func BenchmarkOptimizeLearnedResourceAwareScalar(b *testing.B) {
 		if _, err := opt.Optimize(q); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchParallelQueries is the multi-query workload BenchmarkOptimizeParallelJobs
+// pushes through one shared search pool: distinct recurring shapes over the
+// trained tenant's table (aggregations, joins, unions, top-n).
+func benchParallelQueries() []*Query {
+	clicks := func() *Query { return NewGet("clicks_2026_06_12", "clicks_") }
+	return []*Query{
+		benchQuery(),
+		NewOutput(NewAggregate(NewSelect(clicks(), "market=eu"), "region")),
+		NewOutput(NewSort(NewAggregate(clicks(), "user"), "user")),
+		NewOutput(NewTopN(NewAggregate(NewSelect(clicks(), "recent"), "user"), 10, "score")),
+		NewOutput(NewAggregate(NewJoin(NewSelect(clicks(), "market=us"), clicks(), "c.user=d.user", "user"), "region")),
+		NewOutput(NewUnion(NewAggregate(NewSelect(clicks(), "market=us"), "user"), NewAggregate(NewSelect(clicks(), "market=eu"), "user"))),
+		NewOutput(NewAggregate(NewProcess(clicks(), "extractFacts"), "user")),
+		NewOutput(NewAggregate(NewSelect(clicks(), "device=mobile"), "user")),
+	}
+}
+
+// BenchmarkOptimizeParallelJobs measures multi-query optimizer throughput:
+// one iteration plans the whole workload through OptimizeAll, whose
+// queries' group-optimization tasks share a single bounded worker pool.
+// Sub-benchmarks pin the parallelism knob — par=1 runs the searches fully
+// inline (the sequential baseline), par=4 fans them across four workers;
+// the throughput ratio is the concurrent search's win and only shows on
+// multi-core hardware (GOMAXPROCS caps the effective width). Plans are
+// equivalence-tested against sequential search in TestParallelOptimize*.
+func BenchmarkOptimizeParallelJobs(b *testing.B) {
+	sys := benchTrainedSystem(b)
+	queries := benchParallelQueries()
+	coster := &learned.Coster{
+		Predictor: sys.Models(),
+		Param:     2,
+		Fallback:  costmodel.Default{},
+	}
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			opt := &cascades.Optimizer{
+				Catalog:       sys.Catalog(),
+				Cost:          coster,
+				MaxPartitions: exec.DefaultConfig(5).MaxPartitions,
+				ResourceAware: true,
+				Chooser:       &learned.AnalyticalChooser{Cost: coster},
+				JobSeed:       7,
+				Parallelism:   par,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := opt.OptimizeAll(queries); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(queries))*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+		})
 	}
 }
 

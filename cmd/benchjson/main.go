@@ -9,6 +9,13 @@
 //
 // ns/op, B/op and allocs/op of repeated runs of the same benchmark are
 // averaged; custom metrics are snapshotted from the first run.
+//
+// Compare mode turns the committed baseline into a regression gate: run
+// the benchmarks, diff ns/op against the baseline, and exit 1 when any
+// benchmark tracked by both regresses beyond the threshold (nothing is
+// written in this mode):
+//
+//	go run ./cmd/benchjson -compare BENCH_baseline.json -threshold 0.2
 package main
 
 import (
@@ -55,6 +62,8 @@ func main() {
 	out := flag.String("o", "BENCH_baseline.json", "output JSON path")
 	note := flag.String("note", "", "free-form note recorded in the baseline")
 	benchmem := flag.Bool("benchmem", true, "pass -benchmem")
+	compare := flag.String("compare", "", "baseline JSON to diff against instead of writing; exit 1 on regression")
+	threshold := flag.Float64("threshold", 0.20, "allowed fractional ns/op regression in -compare mode (0.20 = 20%)")
 	flag.Parse()
 
 	args := []string{"test", "-run", "^$", "-bench", *bench,
@@ -109,6 +118,10 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *compare != "" {
+		os.Exit(compareBaseline(*compare, sums, *threshold))
+	}
+
 	b := Baseline{
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -147,6 +160,60 @@ func main() {
 		fmt.Printf("%-55s %12.0f ns/op  (%d run(s))\n", n, b.Benchmarks[n].NsPerOp, b.Benchmarks[n].Runs)
 	}
 	fmt.Println("wrote", *out)
+}
+
+// compareBaseline diffs freshly measured sums against the baseline file
+// and returns the process exit code: 1 when any benchmark present in both
+// regresses its ns/op beyond the threshold, 0 otherwise. Benchmarks only
+// on one side are reported but never gate — a fresh benchmark has no
+// history and a retired one no measurement.
+func compareBaseline(path string, sums map[string]*Result, threshold float64) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: parse %s: %v\n", path, err)
+		return 1
+	}
+
+	var names []string
+	for n := range sums {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	regressed := 0
+	compared := 0
+	for _, name := range names {
+		got := sums[name].NsPerOp / float64(sums[name].Runs)
+		want, ok := base.Benchmarks[name]
+		if !ok || want.NsPerOp <= 0 {
+			fmt.Printf("%-55s %12.0f ns/op  (not in baseline, skipped)\n", name, got)
+			continue
+		}
+		compared++
+		ratio := got/want.NsPerOp - 1
+		verdict := "ok"
+		if ratio > threshold {
+			verdict = "REGRESSED"
+			regressed++
+		}
+		fmt.Printf("%-55s %12.0f ns/op  baseline %12.0f  %+6.1f%%  %s\n",
+			name, got, want.NsPerOp, ratio*100, verdict)
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmarks matched the baseline")
+		return 1
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%% vs %s\n",
+			regressed, threshold*100, path)
+		return 1
+	}
+	fmt.Printf("no regression beyond %.0f%% across %d benchmark(s)\n", threshold*100, compared)
+	return 0
 }
 
 // splitMetrics splits the tail of a benchmark line ("8 B/op\t3 allocs/op")

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	cleoserve [-addr :8080] [-retrain-threshold 500] [-ingest-buffer 128]
+//	cleoserve [-addr :8080] [-retrain-threshold 500] [-ingest-buffer 128] [-parallelism 0]
 //
 // Endpoints:
 //
@@ -44,11 +44,14 @@ func main() {
 	retrainThreshold := flag.Int("retrain-threshold", 500,
 		"new telemetry records that trigger a background retrain (0 disables)")
 	ingestBuffer := flag.Int("ingest-buffer", 128, "per-tenant telemetry channel capacity")
+	parallelism := flag.Int("parallelism", 0,
+		"per-tenant optimizer search parallelism (0 = 1: rely on request-level concurrency)")
 	flag.Parse()
 
 	svc := serve.NewService(serve.Config{
 		RetrainThreshold: *retrainThreshold,
 		IngestBuffer:     *ingestBuffer,
+		Parallelism:      *parallelism,
 	})
 	server := &http.Server{Addr: *addr, Handler: serve.NewHandler(svc)}
 

@@ -7,11 +7,13 @@ import (
 
 // enforce wraps the candidate with enforcer operators (Exchange for
 // partitioning, Sort for ordering) until the required properties are met,
-// and returns the final root and its delivered properties.
-func (o *Optimizer) enforce(root *plan.Physical, delivered, req Props) (*plan.Physical, Props, error) {
+// and returns the final root and its delivered properties. It mutates only
+// the candidate's private subtree, so independent candidates enforce
+// concurrently.
+func (s *search) enforce(root *plan.Physical, delivered, req Props) (*plan.Physical, Props, error) {
 	var err error
 	if !delivered.Part.Satisfies(req.Part) {
-		root, err = o.addExchange(root, req.Part)
+		root, err = s.addExchange(root, req.Part)
 		if err != nil {
 			return nil, Props{}, err
 		}
@@ -22,10 +24,10 @@ func (o *Optimizer) enforce(root *plan.Physical, delivered, req Props) (*plan.Ph
 		sort := plan.NewPhysical(plan.PSort, root)
 		sort.Keys = append([]plan.Column(nil), req.Order...)
 		sort.Partitions = root.Partitions
-		if err := o.Catalog.AnnotateOne(sort, o.JobSeed); err != nil {
+		if err := s.catalog.AnnotateOne(sort, s.jobSeed); err != nil {
 			return nil, Props{}, err
 		}
-		o.recost(sort)
+		s.recost(sort)
 		root = sort
 		delivered.Order = req.Order
 	}
@@ -36,24 +38,24 @@ func (o *Optimizer) enforce(root *plan.Physical, delivered, req Props) (*plan.Ph
 // partitioning. The exchange's partition count comes from the local
 // heuristic (stock SCOPE); in resource-aware mode, the now-completed stage
 // below the exchange is partition-optimized first (step 9 in Figure 8a).
-func (o *Optimizer) addExchange(child *plan.Physical, part Partitioning) (*plan.Physical, error) {
-	if o.ResourceAware {
-		o.optimizeTopStage(child)
+func (s *search) addExchange(child *plan.Physical, part Partitioning) (*plan.Physical, error) {
+	if s.resourceAware {
+		s.optimizeTopStage(child)
 	}
 	x := plan.NewPhysical(plan.PExchange, child)
 	if part.Kind == HashPartition {
 		x.Keys = append([]plan.Column(nil), part.Keys...)
 	}
-	if err := o.Catalog.AnnotateOne(x, o.JobSeed); err != nil {
+	if err := s.catalog.AnnotateOne(x, s.jobSeed); err != nil {
 		return nil, err
 	}
 	if part.Kind == SinglePartition {
 		x.Partitions = 1
 		x.FixedPartitions = true
 	} else {
-		x.Partitions = costmodel.DerivePartitions(x, o.MaxPartitions)
+		x.Partitions = costmodel.DerivePartitions(x, s.maxPartitions)
 	}
-	o.recost(x)
+	s.recost(x)
 	return x, nil
 }
 
@@ -63,8 +65,8 @@ func (o *Optimizer) addExchange(child *plan.Physical, part Partitioning) (*plan.
 // jointly, and if any coupled partitioning operator is fixed by storage
 // layout, the fixed count is adopted as a required property without
 // exploration (step 2 in Figure 8a).
-func (o *Optimizer) optimizeTopStage(root *plan.Physical) {
-	if !o.ResourceAware {
+func (s *search) optimizeTopStage(root *plan.Physical) {
+	if !s.resourceAware {
 		return
 	}
 	stageOf := plan.StageOf(root)
@@ -78,7 +80,7 @@ func (o *Optimizer) optimizeTopStage(root *plan.Physical) {
 		for _, st := range stages {
 			if !st.Ops[0].FixedPartitions {
 				setStagePartitions(st, fixed)
-				o.recostAll(st.Ops)
+				s.recostAll(st.Ops)
 			}
 		}
 		return
@@ -96,7 +98,7 @@ func (o *Optimizer) optimizeTopStage(root *plan.Physical) {
 	// huge input must size for the huge one.
 	cur := 1
 	for _, st := range stages {
-		if h := costmodel.DerivePartitions(st.Ops[0], o.MaxPartitions); h > cur {
+		if h := costmodel.DerivePartitions(st.Ops[0], s.maxPartitions); h > cur {
 			cur = h
 		}
 	}
@@ -108,11 +110,11 @@ func (o *Optimizer) optimizeTopStage(root *plan.Physical) {
 	if explMax < 16 {
 		explMax = 16
 	}
-	if explMax > o.MaxPartitions {
-		explMax = o.MaxPartitions
+	if explMax > s.maxPartitions {
+		explMax = s.maxPartitions
 	}
-	p, lookups := o.Chooser.ChooseStagePartitions(ops, explMax)
-	o.lookups += lookups
+	p, lookups := s.chooser.ChooseStagePartitions(ops, explMax)
+	s.lookups.Add(int64(lookups))
 	if p < cur/4 {
 		p = cur / 4
 	}
@@ -126,10 +128,10 @@ func (o *Optimizer) optimizeTopStage(root *plan.Physical) {
 	// prices the stage cheaper there than at the anchor. Both counts are
 	// priced in one batched call.
 	if p != cur && cur <= explMax {
-		o.lookups += 2 * len(ops)
+		s.lookups.Add(int64(2 * len(ops)))
 		counts := [2]int{p, cur}
 		var totals [2]float64
-		stageCostsInto(o.Cost, ops, counts[:], totals[:])
+		stageCostsInto(s.cost, ops, counts[:], totals[:])
 		if totals[0] > totals[1] {
 			p = cur
 		}
@@ -137,7 +139,7 @@ func (o *Optimizer) optimizeTopStage(root *plan.Physical) {
 	for _, st := range stages {
 		setStagePartitions(st, p)
 	}
-	o.recostAll(ops)
+	s.recostAll(ops)
 }
 
 // coupledStages returns the transitive set of stages that must share a
@@ -186,14 +188,14 @@ func setStagePartitions(stage *plan.Stage, p int) {
 // optimizer compares concrete alternatives — adopt the left count, adopt
 // the right count — and keeps the cheaper, which lets a pre-partitioned
 // input's layout win and drop a shuffle (the paper's Q8/Q9 improvement).
-func (o *Optimizer) alignPartitions(e *Expr, lp, rp **plan.Physical) error {
+func (s *search) alignPartitions(e *Expr, lp, rp **plan.Physical) error {
 	l, r := *lp, *rp
 	if l.Partitions == r.Partitions {
 		return nil
 	}
 	part := Partitioning{Kind: HashPartition, Keys: e.Keys}
 
-	if !o.ResourceAware {
+	if !s.resourceAware {
 		// Derive the count from the bigger input's statistics, like the
 		// stage-local heuristic would, and force both sides to it.
 		big := l
@@ -202,13 +204,13 @@ func (o *Optimizer) alignPartitions(e *Expr, lp, rp **plan.Physical) error {
 		}
 		probe := plan.NewPhysical(plan.PExchange, big)
 		probe.Stats = big.Stats
-		target := costmodel.DerivePartitions(probe, o.MaxPartitions)
+		target := costmodel.DerivePartitions(probe, s.maxPartitions)
 		var err error
-		*lp, err = o.retarget(l, part, target)
+		*lp, err = s.retarget(l, part, target)
 		if err != nil {
 			return err
 		}
-		*rp, err = o.retarget(r, part, target)
+		*rp, err = s.retarget(r, part, target)
 		return err
 	}
 
@@ -220,7 +222,7 @@ func (o *Optimizer) alignPartitions(e *Expr, lp, rp **plan.Physical) error {
 	heuristic := func(side *plan.Physical) int {
 		probe := plan.NewPhysical(plan.PExchange, side)
 		probe.Stats = side.Stats
-		return costmodel.DerivePartitions(probe, o.MaxPartitions)
+		return costmodel.DerivePartitions(probe, s.maxPartitions)
 	}
 	hL, hR := heuristic(l), heuristic(r)
 	hMax := hL
@@ -237,8 +239,8 @@ func (o *Optimizer) alignPartitions(e *Expr, lp, rp **plan.Physical) error {
 		if c < floor {
 			c = floor
 		}
-		if c > o.MaxPartitions {
-			c = o.MaxPartitions
+		if c > s.maxPartitions {
+			c = s.maxPartitions
 		}
 		if !seen[c] {
 			seen[c] = true
@@ -249,11 +251,11 @@ func (o *Optimizer) alignPartitions(e *Expr, lp, rp **plan.Physical) error {
 	bestCost := 0.0
 	var bestL, bestR *plan.Physical
 	for _, target := range candidates {
-		cl, err := o.retarget(l.Clone(), part, target)
+		cl, err := s.retarget(l.Clone(), part, target)
 		if err != nil {
 			return err
 		}
-		cr, err := o.retarget(r.Clone(), part, target)
+		cr, err := s.retarget(r.Clone(), part, target)
 		if err != nil {
 			return err
 		}
@@ -270,22 +272,22 @@ func (o *Optimizer) alignPartitions(e *Expr, lp, rp **plan.Physical) error {
 // retarget makes the subtree deliver `target` partitions at its top:
 // adjustable tops (non-fixed Exchanges) are re-pointed; otherwise a fresh
 // Exchange is inserted.
-func (o *Optimizer) retarget(root *plan.Physical, part Partitioning, target int) (*plan.Physical, error) {
+func (s *search) retarget(root *plan.Physical, part Partitioning, target int) (*plan.Physical, error) {
 	if root.Partitions == target {
 		return root, nil
 	}
 	if root.Op == plan.PExchange && !root.FixedPartitions {
 		stage := plan.StageOf(root)[root]
 		setStagePartitions(stage, target)
-		o.recostAll(stage.Ops)
+		s.recostAll(stage.Ops)
 		return root, nil
 	}
-	x, err := o.addExchange(root, part)
+	x, err := s.addExchange(root, part)
 	if err != nil {
 		return nil, err
 	}
 	stage := plan.StageOf(x)[x]
 	setStagePartitions(stage, target)
-	o.recostAll(stage.Ops)
+	s.recostAll(stage.Ops)
 	return x, nil
 }

@@ -3,6 +3,7 @@ package cascades
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"cleo/internal/plan"
 )
@@ -43,18 +44,26 @@ func (e *Expr) fingerprint() string {
 	return b.String()
 }
 
-// Group is a set of logically equivalent expressions.
+// Group is a set of logically equivalent expressions. Exprs and seen are
+// written only during copy-in and under the group's explore Once, so
+// concurrent group-optimization tasks read Exprs freely after Explore
+// returns.
 type Group struct {
 	ID    GroupID
 	Exprs []*Expr
 
 	seen map[string]bool
-	// explored marks that exploration rules have fired for this group.
-	explored bool
+	// explore fires the exploration rules exactly once per group;
+	// concurrent callers of Memo.Explore block until it completes, which
+	// orders their Exprs reads after the writes.
+	explore sync.Once
 }
 
 // Memo is the Cascades search space: groups of equivalent expressions.
+// Group registration is guarded so exploration rules may create or extend
+// groups while a parallel search reads them.
 type Memo struct {
+	mu     sync.RWMutex
 	groups []*Group
 	root   GroupID
 }
@@ -71,18 +80,31 @@ func NewMemo(l *plan.Logical) *Memo {
 func (m *Memo) Root() GroupID { return m.root }
 
 // Group returns the group with the given ID.
-func (m *Memo) Group(id GroupID) *Group { return m.groups[id] }
+func (m *Memo) Group(id GroupID) *Group {
+	m.mu.RLock()
+	g := m.groups[id]
+	m.mu.RUnlock()
+	return g
+}
 
 // NumGroups reports the group count.
-func (m *Memo) NumGroups() int { return len(m.groups) }
+func (m *Memo) NumGroups() int {
+	m.mu.RLock()
+	n := len(m.groups)
+	m.mu.RUnlock()
+	return n
+}
 
 func (m *Memo) newGroup() *Group {
+	m.mu.Lock()
 	g := &Group{ID: GroupID(len(m.groups)), seen: map[string]bool{}}
 	m.groups = append(m.groups, g)
+	m.mu.Unlock()
 	return g
 }
 
 // addExpr inserts e into group g unless an identical expression exists.
+// Callers serialize per group (copy-in, or the group's explore Once).
 func (m *Memo) addExpr(g *Group, e *Expr) bool {
 	fp := e.fingerprint()
 	if g.seen[fp] {
@@ -115,26 +137,27 @@ func (m *Memo) copyIn(l *plan.Logical) GroupID {
 // rule set mirrors the paper's setting: physical choices dominate, so
 // exploration is limited to join commutativity (SCOPE scripts pin join
 // order; the paper's plan changes are operator implementations, exchanges
-// and partition counts).
+// and partition counts). Each group explores exactly once; concurrent
+// tasks arriving at the same group wait for the in-flight exploration.
+// Groups form a DAG (children strictly below their parents), so the nested
+// Once calls cannot cycle.
 func (m *Memo) Explore(id GroupID) {
 	g := m.Group(id)
-	if g.explored {
-		return
-	}
-	g.explored = true
-	for i := 0; i < len(g.Exprs); i++ { // Exprs may grow while iterating
-		e := g.Exprs[i]
-		for _, c := range e.Child {
-			m.Explore(c)
-		}
-		if e.Op == plan.LJoin && len(e.Child) == 2 {
-			swapped := &Expr{
-				Op:    plan.LJoin,
-				Child: []GroupID{e.Child[1], e.Child[0]},
-				Pred:  e.Pred,
-				Keys:  e.Keys,
+	g.explore.Do(func() {
+		for i := 0; i < len(g.Exprs); i++ { // Exprs may grow while iterating
+			e := g.Exprs[i]
+			for _, c := range e.Child {
+				m.Explore(c)
 			}
-			m.addExpr(g, swapped)
+			if e.Op == plan.LJoin && len(e.Child) == 2 {
+				swapped := &Expr{
+					Op:    plan.LJoin,
+					Child: []GroupID{e.Child[1], e.Child[0]},
+					Pred:  e.Pred,
+					Keys:  e.Keys,
+				}
+				m.addExpr(g, swapped)
+			}
 		}
-	}
+	})
 }

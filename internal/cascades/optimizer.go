@@ -2,6 +2,9 @@ package cascades
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"cleo/internal/costmodel"
 	"cleo/internal/plan"
@@ -12,6 +15,9 @@ import (
 // hand-crafted models (costmodel.Default, costmodel.Tuned) and CLEO's
 // learned combined model implement it; swapping the implementation is the
 // paper's "minimally invasive" retrofit (step 10 in Figure 8a).
+//
+// Costers must be safe for concurrent use: a parallel search prices
+// candidates from many worker goroutines at once.
 type Coster interface {
 	Name() string
 	OperatorCost(n *plan.Physical) float64
@@ -21,7 +27,8 @@ type Coster interface {
 // slice of operators in one call, writing len(ops) costs into out. The
 // optimizer's partition exploration materializes every candidate
 // partition-count variant of a stage and prices them in one CostBatch call
-// instead of counts × operators scalar calls; costers detect-upgrade via
+// instead of counts × operators scalar calls, and each implementation rule
+// prices its full candidate set the same way; costers detect-upgrade via
 // type assertion, so scalar-only models (costmodel.Default, costmodel.Tuned)
 // keep working unchanged. Batched costs must equal scalar OperatorCost
 // results row for row.
@@ -46,18 +53,23 @@ func costBatch(c Coster, ops []*plan.Physical, out []float64) {
 // Figure 8a): given the operators of one completed stage (ops[0] is the
 // partitioning operator), pick the stage-wide partition count that
 // minimizes total stage cost. It returns the chosen count and the number
-// of cost-model look-ups spent (Figure 8c's metric).
+// of cost-model look-ups spent (Figure 8c's metric). Implementations must
+// be safe for concurrent use.
 type PartitionChooser interface {
 	ChooseStagePartitions(ops []*plan.Physical, maxPartitions int) (partitions, lookups int)
 }
 
-// Optimizer is the Cascades-style planner.
+// Optimizer is the Cascades-style planner. It is pure configuration: all
+// per-run state lives in a search created by Optimize, so one Optimizer
+// value may be shared and its Optimize/OptimizeAll methods called from many
+// goroutines concurrently. Optimize never writes the receiver — defaults
+// (MaxPartitions, Parallelism) are resolved into locals per run.
 type Optimizer struct {
 	// Catalog supplies statistics; required.
 	Catalog *stats.Catalog
 	// Cost is the cost model invoked in Optimize Inputs; required.
 	Cost Coster
-	// MaxPartitions caps per-stage parallelism.
+	// MaxPartitions caps per-stage parallelism (default 3000).
 	MaxPartitions int
 	// ResourceAware enables partition exploration/optimization with
 	// Chooser. When false, partition counts come from the default local
@@ -67,21 +79,12 @@ type Optimizer struct {
 	Chooser PartitionChooser
 	// JobSeed drives per-instance statistics drift during annotation.
 	JobSeed int64
-	memo    *Memo
-	cache   map[cacheKey]*searchResult
-	lookups int
-}
-
-type cacheKey struct {
-	group GroupID
-	props string
-}
-
-// searchResult is the memoized best plan for (group, required props).
-type searchResult struct {
-	root      *plan.Physical
-	cost      float64
-	delivered Props
+	// Parallelism bounds the worker goroutines one search (or one
+	// OptimizeAll batch) fans group-optimization tasks across; 0 means
+	// GOMAXPROCS. At 1 the search runs fully inline — no goroutines, no
+	// channels — and parallel runs produce plans cost-identical to that
+	// sequential search (deterministic tie-breaking).
+	Parallelism int
 }
 
 // Result reports one optimization run.
@@ -98,56 +101,362 @@ type Result struct {
 	ModelLookups int
 }
 
-// Optimize plans the logical query and returns the best physical plan.
-func (o *Optimizer) Optimize(root *plan.Logical) (*Result, error) {
-	if o.Catalog == nil || o.Cost == nil {
-		return nil, fmt.Errorf("cascades: Catalog and Cost are required")
+// newSem builds the shared worker-pool semaphore for one search (or one
+// OptimizeAll batch). The caller's goroutine is the first worker, so the
+// semaphore holds Parallelism-1 extra slots; nil means "run everything
+// inline".
+func (o *Optimizer) newSem() chan struct{} {
+	par := o.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
 	}
-	if o.MaxPartitions <= 0 {
-		o.MaxPartitions = 3000
+	if par <= 1 {
+		return nil
+	}
+	return make(chan struct{}, par-1)
+}
+
+// validate checks required configuration once per run.
+func (o *Optimizer) validate() error {
+	if o.Catalog == nil || o.Cost == nil {
+		return fmt.Errorf("cascades: Catalog and Cost are required")
 	}
 	if o.ResourceAware && o.Chooser == nil {
-		return nil, fmt.Errorf("cascades: ResourceAware requires a Chooser")
+		return fmt.Errorf("cascades: ResourceAware requires a Chooser")
 	}
-	o.memo = NewMemo(root)
-	o.cache = map[cacheKey]*searchResult{}
-	o.lookups = 0
+	return nil
+}
 
-	res, err := o.optimizeGroup(o.memo.Root(), Props{})
+// Optimize plans the logical query and returns the best physical plan.
+func (o *Optimizer) Optimize(root *plan.Logical) (*Result, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	return o.newSearch(o.newSem()).run(root)
+}
+
+// OptimizeAll plans several independent queries through one shared worker
+// pool: each query gets its own memoized search, but their group tasks
+// compete for the same Parallelism slots, so a serving instance can push a
+// batch of queries through the optimizer at full machine width. results[i]
+// corresponds to queries[i] and each is identical to a standalone
+// Optimize(queries[i]) call; on error the first failure (in query order) is
+// returned.
+func (o *Optimizer) OptimizeAll(queries []*plan.Logical) ([]*Result, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	sem := o.newSem()
+	results := make([]*Result, len(queries))
+	fns := make([]func() error, len(queries))
+	for i, q := range queries {
+		fns[i] = func() error {
+			res, err := o.newSearch(sem).run(q)
+			if err != nil {
+				return err
+			}
+			results[i] = res
+			return nil
+		}
+	}
+	if err := fanOut(sem, fns...); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// search is the per-run state of one query optimization: resolved
+// configuration, the memo, the concurrency-safe task table, and the shared
+// worker-pool semaphore. Keeping it off the Optimizer makes a shared
+// Optimizer config race-free to reuse.
+type search struct {
+	catalog       *stats.Catalog
+	cost          Coster
+	chooser       PartitionChooser
+	resourceAware bool
+	maxPartitions int
+	jobSeed       int64
+
+	memo *Memo
+
+	// table memoizes (group, required-props) tasks as futures: the first
+	// goroutine to claim a key computes it, duplicates wait on the
+	// in-flight future instead of re-searching.
+	mu    sync.Mutex
+	table map[taskKey]*future
+
+	// sem is the shared bounded worker pool (nil = fully inline).
+	sem chan struct{}
+
+	lookups atomic.Int64
+}
+
+func (o *Optimizer) newSearch(sem chan struct{}) *search {
+	maxP := o.MaxPartitions
+	if maxP <= 0 {
+		maxP = 3000
+	}
+	return &search{
+		catalog:       o.Catalog,
+		cost:          o.Cost,
+		chooser:       o.Chooser,
+		resourceAware: o.ResourceAware,
+		maxPartitions: maxP,
+		jobSeed:       o.JobSeed,
+		table:         map[taskKey]*future{},
+		sem:           sem,
+	}
+}
+
+func (s *search) run(root *plan.Logical) (*Result, error) {
+	s.memo = NewMemo(root)
+	res, err := s.optimizeGroup(s.memo.Root(), Props{})
 	if err != nil {
 		return nil, err
 	}
 	best := res.root.Clone()
 	// The topmost stage never saw a boundary above it; finalize it.
-	o.optimizeTopStage(best)
+	s.optimizeTopStage(best)
 	cost := best.TotalCostEst()
 	return &Result{
 		Plan:         best,
 		Cost:         cost,
-		MemoGroups:   o.memo.NumGroups(),
-		ModelLookups: o.lookups,
+		MemoGroups:   s.memo.NumGroups(),
+		ModelLookups: int(s.lookups.Load()),
 	}, nil
+}
+
+type taskKey struct {
+	group GroupID
+	props string
+}
+
+// searchResult is the memoized best plan for (group, required props). Once
+// published through a future it is immutable: consumers Clone the root
+// before mutating.
+type searchResult struct {
+	root      *plan.Physical
+	cost      float64
+	delivered Props
+}
+
+// future is one in-flight or completed (group, props) task. res/err are
+// written exactly once, before done closes.
+type future struct {
+	done chan struct{}
+	res  *searchResult
+	err  error
+}
+
+// fanOut runs fns, spawning each onto the bounded worker pool when a slot
+// is free and running it inline on the caller's goroutine otherwise (the
+// last one always runs inline — the caller is a worker too). The
+// non-blocking acquire means a saturated pool degrades to sequential
+// execution instead of deadlocking, even though tasks recursively fan out.
+// It returns the first error in argument order.
+//
+// A panic in a spawned worker is captured and re-raised on the caller's
+// goroutine after every worker finishes — exactly where inline execution
+// would have panicked — so a panicking cost model unwinds the request that
+// triggered it (where net/http's per-connection recover can contain it)
+// instead of crashing the whole process from a bare goroutine.
+func fanOut(sem chan struct{}, fns ...func() error) error {
+	if len(fns) == 0 {
+		return nil
+	}
+	if sem == nil {
+		for _, fn := range fns {
+			if err := fn(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(fns))
+	panics := make([]any, len(fns))
+	var wg sync.WaitGroup
+	// Fail fast like the sequential path: once any task fails — inline or
+	// spawned — the batch's outcome is decided, so tasks not yet started
+	// stay unstarted (in-flight workers still run to completion).
+	var failed atomic.Bool
+	func() {
+		// Wait for spawned workers even when an inline call panics, so no
+		// worker outlives this frame or its result slices.
+		defer wg.Wait()
+		for i, fn := range fns[:len(fns)-1] {
+			if failed.Load() {
+				return
+			}
+			select {
+			case sem <- struct{}{}:
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer func() { <-sem }()
+					defer func() {
+						if panics[i] = recover(); panics[i] != nil {
+							failed.Store(true)
+						}
+					}()
+					if errs[i] = fn(); errs[i] != nil {
+						failed.Store(true)
+					}
+				}()
+			default:
+				if errs[i] = fn(); errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}
+		if !failed.Load() {
+			errs[len(fns)-1] = fns[len(fns)-1]()
+		}
+	}()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// childTask names one child optimization an implementation rule needs:
+// optimize (id, req) into *dst.
+type childTask struct {
+	dst **searchResult
+	id  GroupID
+	req Props
+}
+
+// optimizeChildren runs a rule's independent child optimizations. With a
+// worker pool they fan out through fanOut; inline mode (sem == nil — the
+// sequential default) runs them directly with no closures or goroutine
+// scaffolding, keeping the hot path allocation-lean.
+func (s *search) optimizeChildren(tasks []childTask) error {
+	if s.sem == nil {
+		for i := range tasks {
+			var err error
+			if *tasks[i].dst, err = s.optimizeGroup(tasks[i].id, tasks[i].req); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	fns := make([]func() error, len(tasks))
+	for i := range tasks {
+		t := &tasks[i]
+		fns[i] = func() error {
+			var err error
+			*t.dst, err = s.optimizeGroup(t.id, t.req)
+			return err
+		}
+	}
+	return fanOut(s.sem, fns...)
 }
 
 // optimizeGroup implements the Optimize Group / Optimize Expression tasks:
 // it returns the cheapest physical plan for the group meeting the required
-// properties, memoized per (group, props).
-func (o *Optimizer) optimizeGroup(id GroupID, req Props) (*searchResult, error) {
-	key := cacheKey{group: id, props: req.key()}
-	if r, ok := o.cache[key]; ok {
-		return r, nil
+// properties, memoized per (group, props). Concurrent requests for the same
+// key dedupe by waiting on the in-flight future; group dependencies follow
+// the memo DAG, so future waits cannot cycle.
+func (s *search) optimizeGroup(id GroupID, req Props) (*searchResult, error) {
+	key := taskKey{group: id, props: req.key()}
+	if s.sem == nil {
+		// Inline mode: the whole search runs on one goroutine, so the
+		// table needs neither the mutex nor per-task wait channels.
+		if f, ok := s.table[key]; ok {
+			return f.res, f.err
+		}
+		f := &future{}
+		f.res, f.err = s.searchGroup(id, req)
+		s.table[key] = f
+		return f.res, f.err
 	}
-	o.memo.Explore(id)
-	g := o.memo.Group(id)
+	s.mu.Lock()
+	if f, ok := s.table[key]; ok {
+		s.mu.Unlock()
+		<-f.done
+		return f.res, f.err
+	}
+	f := &future{done: make(chan struct{})}
+	s.table[key] = f
+	s.mu.Unlock()
+	defer func() {
+		// Resolve the future even when the task panics (the panic keeps
+		// unwinding): waiters must never block on a task that will not
+		// finish, and they see an error rather than a nil result.
+		if r := recover(); r != nil {
+			f.res, f.err = nil, fmt.Errorf("cascades: panic in search task for group %d: %v", id, r)
+			close(f.done)
+			panic(r)
+		}
+	}()
+	f.res, f.err = s.searchGroup(id, req)
+	close(f.done)
+	return f.res, f.err
+}
 
-	var best *searchResult
-	for _, e := range g.Exprs {
-		cands, err := o.implement(e, req)
+// searchGroup does the actual work of one (group, props) task: explore the
+// group, implement every expression, enforce required properties on every
+// candidate, and keep the cheapest. Implementation rules (one per
+// expression) and candidate enforcement — whose resource-aware partition
+// exploration is the costly part — fan out across the worker pool; the
+// final reduction scans candidates in expression/candidate order with a
+// strict < comparison, so ties break identically to the sequential search.
+func (s *search) searchGroup(id GroupID, req Props) (*searchResult, error) {
+	s.memo.Explore(id)
+	g := s.memo.Group(id)
+	if len(g.Exprs) == 0 {
+		return nil, fmt.Errorf("cascades: empty group %d", id)
+	}
+
+	var cands []candidate
+	switch {
+	case len(g.Exprs) == 1: // the common case: no alternatives to fan out
+		var err error
+		cands, err = s.implement(g.Exprs[0], req)
 		if err != nil {
 			return nil, err
 		}
-		for _, cand := range cands {
-			final, delivered, err := o.enforce(cand.root, cand.delivered, req)
+	case s.sem == nil: // inline mode: no fan-out scaffolding
+		for _, e := range g.Exprs {
+			cs, err := s.implement(e, req)
+			if err != nil {
+				return nil, err
+			}
+			cands = append(cands, cs...)
+		}
+	default:
+		candsByExpr := make([][]candidate, len(g.Exprs))
+		fns := make([]func() error, len(g.Exprs))
+		for i, e := range g.Exprs {
+			fns[i] = func() error {
+				var err error
+				candsByExpr[i], err = s.implement(e, req)
+				return err
+			}
+		}
+		if err := fanOut(s.sem, fns...); err != nil {
+			return nil, err
+		}
+		for _, cs := range candsByExpr {
+			cands = append(cands, cs...)
+		}
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("cascades: no implementation for group %d (%v)", id, g.Exprs[0].Op)
+	}
+
+	if len(cands) == 1 || s.sem == nil {
+		// Single candidate, or inline mode: enforce and reduce directly.
+		var best *searchResult
+		for i := range cands {
+			final, delivered, err := s.enforce(cands[i].root, cands[i].delivered, req)
 			if err != nil {
 				return nil, err
 			}
@@ -156,11 +465,36 @@ func (o *Optimizer) optimizeGroup(id GroupID, req Props) (*searchResult, error) 
 				best = &searchResult{root: final, cost: cost, delivered: delivered}
 			}
 		}
+		return best, nil
 	}
-	if best == nil {
-		return nil, fmt.Errorf("cascades: no implementation for group %d (%v)", id, g.Exprs[0].Op)
+
+	type enforced struct {
+		root      *plan.Physical
+		delivered Props
+		cost      float64
 	}
-	o.cache[key] = best
+	outs := make([]enforced, len(cands))
+	efns := make([]func() error, len(cands))
+	for i, cand := range cands {
+		efns[i] = func() error {
+			final, delivered, err := s.enforce(cand.root, cand.delivered, req)
+			if err != nil {
+				return err
+			}
+			outs[i] = enforced{root: final, delivered: delivered, cost: final.TotalCostEst()}
+			return nil
+		}
+	}
+	if err := fanOut(s.sem, efns...); err != nil {
+		return nil, err
+	}
+
+	var best *searchResult
+	for i := range outs {
+		if best == nil || outs[i].cost < best.cost {
+			best = &searchResult{root: outs[i].root, cost: outs[i].cost, delivered: outs[i].delivered}
+		}
+	}
 	return best, nil
 }
 
@@ -172,36 +506,39 @@ type candidate struct {
 
 // implement applies the implementation rules for one logical expression,
 // producing costed physical candidates.
-func (o *Optimizer) implement(e *Expr, req Props) ([]candidate, error) {
+func (s *search) implement(e *Expr, req Props) ([]candidate, error) {
 	switch e.Op {
 	case plan.LGet:
-		return o.implementGet(e)
+		return s.implementGet(e)
 	case plan.LSelect:
-		return o.implementPassThrough(e, plan.PFilter, req, true)
+		return s.implementPassThrough(e, plan.PFilter, req, true)
 	case plan.LProject:
-		return o.implementPassThrough(e, plan.PProject, req, true)
+		return s.implementPassThrough(e, plan.PProject, req, true)
 	case plan.LProcess:
-		return o.implementPassThrough(e, plan.PProcess, req, false)
+		return s.implementPassThrough(e, plan.PProcess, req, false)
 	case plan.LOutput:
-		return o.implementPassThrough(e, plan.POutput, req, true)
+		return s.implementPassThrough(e, plan.POutput, req, true)
 	case plan.LUnion:
-		return o.implementUnion(e)
+		return s.implementUnion(e)
 	case plan.LSort:
-		return o.implementSort(e, req)
+		return s.implementSort(e, req)
 	case plan.LTopN:
-		return o.implementTopN(e, req)
+		return s.implementTopN(e, req)
 	case plan.LAggregate:
-		return o.implementAggregate(e)
+		return s.implementAggregate(e)
 	case plan.LJoin:
-		return o.implementJoin(e)
+		return s.implementJoin(e)
 	default:
 		return nil, fmt.Errorf("cascades: no implementation rule for %v", e.Op)
 	}
 }
 
-// newNode builds a physical node from an expression, annotates its stats
-// and estimates its cost. Children must already carry partitions.
-func (o *Optimizer) newNode(op plan.PhysicalOp, e *Expr, partitions int, children ...*plan.Physical) (*plan.Physical, error) {
+// newNode builds a physical node from an expression and annotates its
+// stats. Children must already carry partitions. Costing is deferred: the
+// node is appended to pending, and the implementation rule prices its whole
+// candidate set in one batched recostAll call before returning — the memo
+// search's last scalar pricing path, batched.
+func (s *search) newNode(pending *[]*plan.Physical, op plan.PhysicalOp, e *Expr, partitions int, children ...*plan.Physical) (*plan.Physical, error) {
 	n := plan.NewPhysical(op, children...)
 	if e != nil {
 		n.Table = e.Table
@@ -212,23 +549,31 @@ func (o *Optimizer) newNode(op plan.PhysicalOp, e *Expr, partitions int, childre
 		n.N = e.N
 	}
 	n.Partitions = partitions
-	if err := o.Catalog.AnnotateOne(n, o.JobSeed); err != nil {
+	if err := s.catalog.AnnotateOne(n, s.jobSeed); err != nil {
 		return nil, err
 	}
-	n.ExclusiveCostEst = o.Cost.OperatorCost(n)
+	*pending = append(*pending, n)
 	return n, nil
 }
 
 // recost re-computes the estimated cost of one operator (after its
 // partition count changed).
-func (o *Optimizer) recost(n *plan.Physical) {
-	n.ExclusiveCostEst = o.Cost.OperatorCost(n)
+func (s *search) recost(n *plan.Physical) {
+	n.ExclusiveCostEst = s.cost.OperatorCost(n)
 }
 
-// recostAll re-prices a slice of operators (after a stage-wide partition
-// change) in one batched call, borrowing a pooled cost buffer.
-func (o *Optimizer) recostAll(ops []*plan.Physical) {
+// recostAll prices a slice of operators (freshly built candidates, or a
+// stage after a stage-wide partition change) in one batched call, borrowing
+// a pooled cost buffer.
+func (s *search) recostAll(ops []*plan.Physical) {
 	if len(ops) == 0 {
+		return
+	}
+	if len(ops) == 1 {
+		// A batch of one gains nothing from the matrix path but would pay
+		// its scratch management; batched and scalar costs are identical
+		// row for row, so this keeps single-candidate rules cheap.
+		s.recost(ops[0])
 		return
 	}
 	g := gridPool.Get().(*gridBuf)
@@ -236,29 +581,30 @@ func (o *Optimizer) recostAll(ops []*plan.Physical) {
 		g.costs = make([]float64, len(ops))
 	}
 	costs := g.costs[:len(ops)]
-	costBatch(o.Cost, ops, costs)
+	costBatch(s.cost, ops, costs)
 	for i, op := range ops {
 		op.ExclusiveCostEst = costs[i]
 	}
 	gridPool.Put(g)
 }
 
-func (o *Optimizer) implementGet(e *Expr) ([]candidate, error) {
-	n, err := o.newNode(plan.PExtract, e, 1)
+func (s *search) implementGet(e *Expr) ([]candidate, error) {
+	pending := make([]*plan.Physical, 0, 4)
+	n, err := s.newNode(&pending, plan.PExtract, e, 1)
 	if err != nil {
 		return nil, err
 	}
 	delivered := Props{}
-	ts, ok := o.Catalog.Table(e.Table)
+	ts, ok := s.catalog.Table(e.Table)
 	if ok && ts.PartitionedOn != "" && ts.Partitions > 0 {
 		// Pre-partitioned stored input: partitioning is fixed by layout.
 		n.Partitions = ts.Partitions
 		n.FixedPartitions = true
 		delivered.Part = Partitioning{Kind: HashPartition, Keys: []plan.Column{plan.Column(ts.PartitionedOn)}}
 	} else {
-		n.Partitions = costmodel.DerivePartitions(n, o.MaxPartitions)
+		n.Partitions = costmodel.DerivePartitions(n, s.maxPartitions)
 	}
-	o.recost(n)
+	s.recostAll(pending)
 	return []candidate{{root: n, delivered: delivered}}, nil
 }
 
@@ -266,20 +612,22 @@ func (o *Optimizer) implementGet(e *Expr) ([]candidate, error) {
 // (and, when keepOrder, ordering): Filter, Project, Process, Output. The
 // parent's requirement is forwarded to the child so enforcers land as low
 // as possible.
-func (o *Optimizer) implementPassThrough(e *Expr, op plan.PhysicalOp, req Props, keepOrder bool) ([]candidate, error) {
+func (s *search) implementPassThrough(e *Expr, op plan.PhysicalOp, req Props, keepOrder bool) ([]candidate, error) {
 	childReq := Props{Part: req.Part}
 	if keepOrder {
 		childReq.Order = req.Order
 	}
-	child, err := o.optimizeGroup(e.Child[0], childReq)
+	child, err := s.optimizeGroup(e.Child[0], childReq)
 	if err != nil {
 		return nil, err
 	}
 	cr := child.root.Clone()
-	n, err := o.newNode(op, e, cr.Partitions, cr)
+	pending := make([]*plan.Physical, 0, 4)
+	n, err := s.newNode(&pending, op, e, cr.Partitions, cr)
 	if err != nil {
 		return nil, err
 	}
+	s.recostAll(pending)
 	delivered := child.delivered
 	if !keepOrder {
 		delivered.Order = nil
@@ -287,52 +635,64 @@ func (o *Optimizer) implementPassThrough(e *Expr, op plan.PhysicalOp, req Props,
 	return []candidate{{root: n, delivered: delivered}}, nil
 }
 
-func (o *Optimizer) implementUnion(e *Expr) ([]candidate, error) {
-	var children []*plan.Physical
+func (s *search) implementUnion(e *Expr) ([]candidate, error) {
+	// Union branches are independent subtrees: fan their optimizations
+	// across the worker pool.
+	results := make([]*searchResult, len(e.Child))
+	tasks := make([]childTask, len(e.Child))
+	for i, cg := range e.Child {
+		tasks[i] = childTask{dst: &results[i], id: cg, req: Props{}}
+	}
+	if err := s.optimizeChildren(tasks); err != nil {
+		return nil, err
+	}
+	children := make([]*plan.Physical, len(results))
 	maxP := 1
-	for _, cg := range e.Child {
-		c, err := o.optimizeGroup(cg, Props{})
-		if err != nil {
-			return nil, err
-		}
+	for i, c := range results {
 		cc := c.root.Clone()
-		children = append(children, cc)
+		children[i] = cc
 		if cc.Partitions > maxP {
 			maxP = cc.Partitions
 		}
 	}
-	n, err := o.newNode(plan.PUnionAll, e, maxP, children...)
+	pending := make([]*plan.Physical, 0, 4)
+	n, err := s.newNode(&pending, plan.PUnionAll, e, maxP, children...)
 	if err != nil {
 		return nil, err
 	}
+	s.recostAll(pending)
 	return []candidate{{root: n, delivered: Props{}}}, nil
 }
 
-func (o *Optimizer) implementSort(e *Expr, req Props) ([]candidate, error) {
-	child, err := o.optimizeGroup(e.Child[0], Props{Part: req.Part})
+func (s *search) implementSort(e *Expr, req Props) ([]candidate, error) {
+	child, err := s.optimizeGroup(e.Child[0], Props{Part: req.Part})
 	if err != nil {
 		return nil, err
 	}
 	cr := child.root.Clone()
-	n, err := o.newNode(plan.PSort, e, cr.Partitions, cr)
+	pending := make([]*plan.Physical, 0, 4)
+	n, err := s.newNode(&pending, plan.PSort, e, cr.Partitions, cr)
 	if err != nil {
 		return nil, err
 	}
+	s.recostAll(pending)
 	delivered := Props{Part: child.delivered.Part, Order: Ordering(e.Keys)}
 	return []candidate{{root: n, delivered: delivered}}, nil
 }
 
-func (o *Optimizer) implementTopN(e *Expr, req Props) ([]candidate, error) {
+func (s *search) implementTopN(e *Expr, req Props) ([]candidate, error) {
 	// Top-N consumes sorted input; the sort requirement is pushed down.
-	child, err := o.optimizeGroup(e.Child[0], Props{Part: req.Part, Order: Ordering(e.Keys)})
+	child, err := s.optimizeGroup(e.Child[0], Props{Part: req.Part, Order: Ordering(e.Keys)})
 	if err != nil {
 		return nil, err
 	}
 	cr := child.root.Clone()
-	n, err := o.newNode(plan.PTopN, e, cr.Partitions, cr)
+	pending := make([]*plan.Physical, 0, 4)
+	n, err := s.newNode(&pending, plan.PTopN, e, cr.Partitions, cr)
 	if err != nil {
 		return nil, err
 	}
+	s.recostAll(pending)
 	delivered := Props{Part: child.delivered.Part, Order: Ordering(e.Keys)}
 	return []candidate{{root: n, delivered: delivered}}, nil
 }
@@ -346,16 +706,32 @@ func aggPartitioning(keys []plan.Column) Partitioning {
 	return Partitioning{Kind: HashPartition, Keys: keys}
 }
 
-func (o *Optimizer) implementAggregate(e *Expr) ([]candidate, error) {
-	var cands []candidate
+func (s *search) implementAggregate(e *Expr) ([]candidate, error) {
 	part := aggPartitioning(e.Keys)
 
-	// Hash aggregate over hash-partitioned input.
-	if child, err := o.optimizeGroup(e.Child[0], Props{Part: part}); err != nil {
+	// The three aggregation alternatives need three independent child
+	// optimizations (hash-partitioned, additionally key-sorted, and
+	// unconstrained for the two-phase plan): fan them out together.
+	var hashChild, streamChild, localChild *searchResult
+	tasks := make([]childTask, 0, 3)
+	tasks = append(tasks,
+		childTask{dst: &hashChild, id: e.Child[0], req: Props{Part: part}},
+		childTask{dst: &localChild, id: e.Child[0], req: Props{}},
+	)
+	if len(e.Keys) > 0 {
+		tasks = append(tasks, childTask{dst: &streamChild, id: e.Child[0], req: Props{Part: part, Order: Ordering(e.Keys)}})
+	}
+	if err := s.optimizeChildren(tasks); err != nil {
 		return nil, err
-	} else {
-		cr := child.root.Clone()
-		n, err := o.newNode(plan.PHashAggregate, e, cr.Partitions, cr)
+	}
+
+	pending := make([]*plan.Physical, 0, 4)
+	var cands []candidate
+
+	// Hash aggregate over hash-partitioned input.
+	{
+		cr := hashChild.root.Clone()
+		n, err := s.newNode(&pending, plan.PHashAggregate, e, cr.Partitions, cr)
 		if err != nil {
 			return nil, err
 		}
@@ -363,13 +739,9 @@ func (o *Optimizer) implementAggregate(e *Expr) ([]candidate, error) {
 	}
 
 	// Stream aggregate over hash-partitioned, key-sorted input.
-	if len(e.Keys) > 0 {
-		child, err := o.optimizeGroup(e.Child[0], Props{Part: part, Order: Ordering(e.Keys)})
-		if err != nil {
-			return nil, err
-		}
-		cr := child.root.Clone()
-		n, err := o.newNode(plan.PStreamAggregate, e, cr.Partitions, cr)
+	if streamChild != nil {
+		cr := streamChild.root.Clone()
+		n, err := s.newNode(&pending, plan.PStreamAggregate, e, cr.Partitions, cr)
 		if err != nil {
 			return nil, err
 		}
@@ -378,77 +750,70 @@ func (o *Optimizer) implementAggregate(e *Expr) ([]candidate, error) {
 
 	// Two-phase: local partial aggregation before the shuffle, then the
 	// final hash aggregate (the paper's Q17 change).
-	if child, err := o.optimizeGroup(e.Child[0], Props{}); err != nil {
-		return nil, err
-	} else {
-		cr := child.root.Clone()
-		partial, err := o.newNode(plan.PPartialAggregate, e, cr.Partitions, cr)
+	{
+		cr := localChild.root.Clone()
+		partial, err := s.newNode(&pending, plan.PPartialAggregate, e, cr.Partitions, cr)
 		if err != nil {
 			return nil, err
 		}
-		shuffled, err := o.addExchange(partial, part)
+		shuffled, err := s.addExchange(partial, part)
 		if err != nil {
 			return nil, err
 		}
-		final, err := o.newNode(plan.PHashAggregate, e, shuffled.Partitions, shuffled)
+		final, err := s.newNode(&pending, plan.PHashAggregate, e, shuffled.Partitions, shuffled)
 		if err != nil {
 			return nil, err
 		}
 		cands = append(cands, candidate{root: final, delivered: Props{Part: part}})
 	}
+	s.recostAll(pending)
 	return cands, nil
 }
 
-func (o *Optimizer) implementJoin(e *Expr) ([]candidate, error) {
+func (s *search) implementJoin(e *Expr) ([]candidate, error) {
 	part := Partitioning{Kind: HashPartition, Keys: e.Keys}
+	ord := Ordering(e.Keys)
+
+	// Four independent child optimizations back the two join alternatives:
+	// hash join wants both sides hash-partitioned, merge join additionally
+	// key-sorted. Fan all four out across the worker pool.
+	var lh, rh, lm, rm *searchResult
+	tasks := []childTask{
+		{dst: &lh, id: e.Child[0], req: Props{Part: part}},
+		{dst: &rh, id: e.Child[1], req: Props{Part: part}},
+		{dst: &lm, id: e.Child[0], req: Props{Part: part, Order: ord}},
+		{dst: &rm, id: e.Child[1], req: Props{Part: part, Order: ord}},
+	}
+	if err := s.optimizeChildren(tasks); err != nil {
+		return nil, err
+	}
+
+	pending := make([]*plan.Physical, 0, 4)
 	var cands []candidate
-
-	// Hash join: both sides hash-partitioned on the join keys.
-	{
-		l, err := o.optimizeGroup(e.Child[0], Props{Part: part})
-		if err != nil {
-			return nil, err
-		}
-		r, err := o.optimizeGroup(e.Child[1], Props{Part: part})
-		if err != nil {
-			return nil, err
-		}
-		c, err := o.buildJoin(plan.PHashJoin, e, l, r)
-		if err != nil {
-			return nil, err
-		}
-		cands = append(cands, c)
+	hj, err := s.buildJoin(&pending, plan.PHashJoin, e, lh, rh)
+	if err != nil {
+		return nil, err
 	}
-
-	// Merge join: both sides additionally sorted on the join keys.
-	{
-		l, err := o.optimizeGroup(e.Child[0], Props{Part: part, Order: Ordering(e.Keys)})
-		if err != nil {
-			return nil, err
-		}
-		r, err := o.optimizeGroup(e.Child[1], Props{Part: part, Order: Ordering(e.Keys)})
-		if err != nil {
-			return nil, err
-		}
-		c, err := o.buildJoin(plan.PMergeJoin, e, l, r)
-		if err != nil {
-			return nil, err
-		}
-		c.delivered.Order = Ordering(e.Keys)
-		cands = append(cands, c)
+	cands = append(cands, hj)
+	mj, err := s.buildJoin(&pending, plan.PMergeJoin, e, lm, rm)
+	if err != nil {
+		return nil, err
 	}
+	mj.delivered.Order = ord
+	cands = append(cands, mj)
+	s.recostAll(pending)
 	return cands, nil
 }
 
 // buildJoin clones the children, aligns their partition counts (children of
 // a co-partitioned join must agree) and constructs the join node.
-func (o *Optimizer) buildJoin(op plan.PhysicalOp, e *Expr, l, r *searchResult) (candidate, error) {
+func (s *search) buildJoin(pending *[]*plan.Physical, op plan.PhysicalOp, e *Expr, l, r *searchResult) (candidate, error) {
 	lp := l.root.Clone()
 	rp := r.root.Clone()
-	if err := o.alignPartitions(e, &lp, &rp); err != nil {
+	if err := s.alignPartitions(e, &lp, &rp); err != nil {
 		return candidate{}, err
 	}
-	n, err := o.newNode(op, e, lp.Partitions, lp, rp)
+	n, err := s.newNode(pending, op, e, lp.Partitions, lp, rp)
 	if err != nil {
 		return candidate{}, err
 	}

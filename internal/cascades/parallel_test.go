@@ -1,0 +1,228 @@
+package cascades
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cleo/internal/costmodel"
+	"cleo/internal/plan"
+)
+
+// multiJoinQuery builds a three-way join with aggregation — enough
+// independent subtrees (join sides × hash/merge requirements) to exercise
+// real fan-out in the parallel search.
+func multiJoinQuery() *plan.Logical {
+	clicks := plan.NewSelect(plan.NewGet("clicks_d1", "clicks_"), "recent")
+	users := plan.NewGet("users_d1", "users_")
+	parts := plan.NewGet("parts_d1", "parts_")
+	j1 := plan.NewJoin(clicks, users, "c.user=u.id", "user")
+	j2 := plan.NewJoin(j1, parts, "c.pkey=p.pkey", "pkey")
+	a := plan.NewAggregate(j2, "region")
+	return plan.NewOutput(plan.NewSort(a, "region"))
+}
+
+func unionQuery() *plan.Logical {
+	a := plan.NewAggregate(plan.NewGet("clicks_d1", "clicks_"), "user")
+	b := plan.NewAggregate(plan.NewGet("users_d1", "users_"), "user")
+	u := plan.NewUnion(a, b)
+	return plan.NewOutput(plan.NewTopN(u, 10, "score"))
+}
+
+func parallelTestQueries() map[string]*plan.Logical {
+	return map[string]*plan.Logical{
+		"simple":    simpleQuery(),
+		"join":      joinQuery(),
+		"multijoin": multiJoinQuery(),
+		"union":     unionQuery(),
+	}
+}
+
+// TestParallelMatchesSequential pins the tentpole invariant: a parallel
+// search returns plans bit-identical (string, cost, look-ups, memo size)
+// to the sequential search, for both the plain and the resource-aware
+// optimizer.
+func TestParallelMatchesSequential(t *testing.T) {
+	for name, q := range parallelTestQueries() {
+		for _, ra := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/ra=%v", name, ra), func(t *testing.T) {
+				mk := func(par int) *Optimizer {
+					var o *Optimizer
+					if ra {
+						o = resourceAwareOptimizer(testCatalog())
+					} else {
+						o = defaultOptimizer(testCatalog())
+					}
+					o.Parallelism = par
+					return o
+				}
+				seq, err := mk(1).Optimize(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				par, err := mk(8).Optimize(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if seq.Plan.String() != par.Plan.String() {
+					t.Fatalf("plans differ:\nseq: %s\npar: %s", seq.Plan, par.Plan)
+				}
+				if seq.Cost != par.Cost {
+					t.Fatalf("costs differ: seq %v, par %v", seq.Cost, par.Cost)
+				}
+				if seq.ModelLookups != par.ModelLookups {
+					t.Fatalf("lookups differ: seq %d, par %d", seq.ModelLookups, par.ModelLookups)
+				}
+				if seq.MemoGroups != par.MemoGroups {
+					t.Fatalf("memo groups differ: seq %d, par %d", seq.MemoGroups, par.MemoGroups)
+				}
+			})
+		}
+	}
+}
+
+// TestSharedOptimizerConcurrentUse drives many concurrent Optimize calls
+// through ONE shared Optimizer value with unresolved defaults, pinning the
+// receiver-mutation fix: defaults resolve into per-run locals, so the
+// shared config is never written and all runs agree.
+func TestSharedOptimizerConcurrentUse(t *testing.T) {
+	o := &Optimizer{
+		Catalog:       testCatalog(),
+		Cost:          costmodel.Tuned{},
+		ResourceAware: true,
+		Chooser:       &SamplingChooser{Cost: costmodel.Tuned{}, Strategy: Geometric, SkipCoefficient: 2},
+		JobSeed:       1,
+		Parallelism:   4,
+		// MaxPartitions deliberately 0: the default must resolve per run
+		// without being written back.
+	}
+	want, err := o.Optimize(multiJoinQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for i := range errs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := o.Optimize(multiJoinQuery())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if res.Plan.String() != want.Plan.String() || res.Cost != want.Cost {
+				errs[i] = fmt.Errorf("concurrent run diverged: %s", res.Plan)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o.MaxPartitions != 0 {
+		t.Fatalf("Optimize wrote MaxPartitions=%d back into the shared config", o.MaxPartitions)
+	}
+}
+
+// TestOptimizeAllMatchesOptimize pins that the shared-pool batch API
+// returns exactly what per-query Optimize calls return, in order.
+func TestOptimizeAllMatchesOptimize(t *testing.T) {
+	queries := []*plan.Logical{simpleQuery(), joinQuery(), multiJoinQuery(), unionQuery()}
+	o := resourceAwareOptimizer(testCatalog())
+	o.Parallelism = 4
+	batch, err := o.OptimizeAll(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(queries) {
+		t.Fatalf("got %d results, want %d", len(batch), len(queries))
+	}
+	for i, q := range queries {
+		single, err := o.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i].Plan.String() != single.Plan.String() || batch[i].Cost != single.Cost {
+			t.Fatalf("query %d: batch plan diverges from standalone optimize", i)
+		}
+	}
+}
+
+// TestOptimizeAllPropagatesError pins the error contract: a failing query
+// (unknown table) fails the batch.
+func TestOptimizeAllPropagatesError(t *testing.T) {
+	bad := plan.NewOutput(plan.NewGet("no_such_table", "none_"))
+	o := defaultOptimizer(testCatalog())
+	o.Parallelism = 4
+	if _, err := o.OptimizeAll([]*plan.Logical{simpleQuery(), bad}); err == nil {
+		t.Fatal("expected error for unknown table in batch")
+	}
+}
+
+// panickyCoster panics when pricing filters — a stand-in for an invariant
+// violation inside a cost model (e.g. a malformed feature row).
+type panickyCoster struct{ inner Coster }
+
+func (p panickyCoster) Name() string { return "panicky" }
+func (p panickyCoster) OperatorCost(n *plan.Physical) float64 {
+	if n.Op == plan.PFilter {
+		panic("cost model invariant violated")
+	}
+	return p.inner.OperatorCost(n)
+}
+
+// TestParallelSearchContainsPanics pins the failure mode of a panicking
+// cost model under the parallel search: the panic surfaces on the caller's
+// goroutine (where a per-request recover can contain it) instead of
+// crashing the process from a bare worker goroutine or deadlocking
+// siblings waiting on the dead task's future.
+func TestParallelSearchContainsPanics(t *testing.T) {
+	for _, par := range []int{1, 8} {
+		o := &Optimizer{
+			Catalog:     testCatalog(),
+			Cost:        panickyCoster{inner: costmodel.Tuned{}},
+			JobSeed:     1,
+			Parallelism: par,
+		}
+		done := make(chan any, 1)
+		go func() {
+			defer func() { done <- recover() }()
+			_, _ = o.Optimize(multiJoinQuery())
+			done <- nil
+		}()
+		select {
+		case r := <-done:
+			if r == nil {
+				t.Fatalf("par=%d: expected the cost-model panic to reach the caller", par)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("par=%d: optimize deadlocked after a worker panic", par)
+		}
+	}
+}
+
+// TestMemoConcurrentExplore hammers Explore on one shared memo from many
+// goroutines; the per-group Once must yield exactly one exploration (the
+// commuted join appears once) with no races.
+func TestMemoConcurrentExplore(t *testing.T) {
+	m := NewMemo(multiJoinQuery())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Explore(m.Root())
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < m.NumGroups(); i++ {
+		g := m.Group(GroupID(i))
+		if len(g.Exprs) > 0 && g.Exprs[0].Op == plan.LJoin && len(g.Exprs) != 2 {
+			t.Fatalf("join group %d has %d exprs, want 2", i, len(g.Exprs))
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"cleo/internal/plan"
+	"cleo/internal/stats"
+)
+
+// trainedParallelSystem builds a System with the given search parallelism,
+// telemetry collected and models trained.
+func trainedParallelSystem(t *testing.T, parallelism int) (*System, *plan.Logical) {
+	t.Helper()
+	sys := NewSystem(SystemConfig{Seed: 5, Parallelism: parallelism})
+	sys.RegisterTable("clicks_2026_06_12", stats.TableStats{Rows: 2e7, RowLength: 120})
+	sys.RegisterTable("users_2026_06_12", stats.TableStats{Rows: 5e5, RowLength: 80})
+	q := plan.NewOutput(plan.NewAggregate(plan.NewJoin(
+		plan.NewSelect(plan.NewGet("clicks_2026_06_12", "clicks_"), "market=us"),
+		plan.NewGet("users_2026_06_12", "users_"),
+		"c.user=u.id", "user"), "region"))
+	for seed := int64(1); seed <= 20; seed++ {
+		if _, err := sys.Run(q, RunOptions{Seed: seed, Param: float64(seed%5) + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+	return sys, q
+}
+
+// TestConcurrentParallelOptimize drives many concurrent learned
+// resource-aware Optimize calls through one System whose searches
+// themselves fan out internally (run under -race): the engine-level
+// concurrency contract of the parallel memo search.
+func TestConcurrentParallelOptimize(t *testing.T) {
+	sys, q := trainedParallelSystem(t, 4)
+	opts := RunOptions{
+		Seed: 7, Param: 2,
+		UseLearnedModels: true, ResourceAware: true, SkipLogging: true,
+		Models: sys.Models(),
+	}
+	want, _, err := sys.Optimize(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 12)
+	plans := make([]string, 12)
+	for i := range errs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, _, err := sys.Optimize(q, opts)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			plans[i] = p.String()
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plans[i] != want.String() {
+			t.Fatalf("concurrent optimize %d diverged:\n%s\nwant %s", i, plans[i], want)
+		}
+	}
+}
+
+// TestEngineParallelismDeterminism pins that the per-system parallelism
+// knob never changes plans or costs: the same trained models planning the
+// same query at parallelism 1 and 8 must agree bit for bit.
+func TestEngineParallelismDeterminism(t *testing.T) {
+	seqSys, q := trainedParallelSystem(t, 1)
+	parSys, _ := trainedParallelSystem(t, 8)
+	// Same seed → same catalog and telemetry → same trained models; pin
+	// each system's own models so cache/version handling stays out of the
+	// comparison.
+	for _, learnedModels := range []bool{false, true} {
+		opts := RunOptions{
+			Seed: 9, Param: 3,
+			UseLearnedModels: learnedModels, ResourceAware: learnedModels,
+			SkipLogging: true,
+		}
+		seqPlan, seqCost, err := seqSys.Optimize(q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parPlan, parCost, err := parSys.Optimize(q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seqPlan.String() != parPlan.String() {
+			t.Fatalf("learned=%v: plans differ:\nseq: %s\npar: %s", learnedModels, seqPlan, parPlan)
+		}
+		if seqCost != parCost {
+			t.Fatalf("learned=%v: costs differ: %v vs %v", learnedModels, seqCost, parCost)
+		}
+	}
+}
+
+// TestParallelismAccessor pins knob resolution.
+func TestParallelismAccessor(t *testing.T) {
+	if got := NewSystem(SystemConfig{Seed: 1, Parallelism: 6}).Parallelism(); got != 6 {
+		t.Fatalf("Parallelism() = %d, want 6", got)
+	}
+	if got := NewSystem(SystemConfig{Seed: 1}).Parallelism(); got < 1 {
+		t.Fatalf("default Parallelism() = %d, want >= 1", got)
+	}
+}

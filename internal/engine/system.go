@@ -7,6 +7,7 @@ package engine
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -32,6 +33,10 @@ type SystemConfig struct {
 	// NoiseSigma is the cloud latency noise (default 0.18; 0 keeps the
 	// default, use Exec to disable noise entirely).
 	NoiseSigma float64
+	// Parallelism bounds the worker goroutines one optimizer search fans
+	// group-optimization tasks across (0 = GOMAXPROCS). Parallel searches
+	// return plans cost-identical to sequential ones.
+	Parallelism int
 	// Exec, when non-nil, overrides the full cluster configuration.
 	Exec *exec.Config
 }
@@ -46,6 +51,7 @@ type System struct {
 	catalog *stats.Catalog
 	cluster *exec.Cluster
 	maxP    int
+	par     int
 
 	mu  sync.Mutex // guards log
 	log []telemetry.Record
@@ -69,7 +75,18 @@ func NewSystem(cfg SystemConfig) *System {
 		catalog: stats.NewCatalog(cfg.Seed),
 		cluster: exec.NewCluster(ec),
 		maxP:    ec.MaxPartitions,
+		par:     cfg.Parallelism,
 	}
+}
+
+// Parallelism reports the effective optimizer search parallelism (the
+// configured knob, or GOMAXPROCS when unset). The serving layer surfaces
+// it per tenant in /v1/stats.
+func (s *System) Parallelism() int {
+	if s.par > 0 {
+		return s.par
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // defaultParam applies the job-parameter default: the PM feature is 1 when
@@ -161,6 +178,7 @@ func (s *System) Optimize(q *plan.Logical, opts RunOptions) (*plan.Physical, flo
 		ResourceAware: opts.ResourceAware,
 		Chooser:       chooser,
 		JobSeed:       opts.Seed,
+		Parallelism:   s.par,
 	}
 	res, err := opt.Optimize(q)
 	if err != nil {

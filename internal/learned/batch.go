@@ -17,6 +17,13 @@ import (
 // it), and runs the combined FastTree ensemble tree-major over the whole
 // matrix in a single pass.
 
+// The whole pipeline is safe for concurrent callers — the parallel memo
+// search prices candidates from many worker goroutines through one shared
+// Coster: scratches and variant buffers are pooled (never shared between
+// in-flight calls), the prediction cache is sharded, feature fill writes
+// only into the caller's scratch rows, and the trained Predictor is
+// immutable after construction.
+
 // batchScratch is the reusable working set of one batched pricing call.
 // A sync.Pool recycles them so steady-state batches allocate nothing.
 type batchScratch struct {

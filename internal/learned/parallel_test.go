@@ -1,0 +1,57 @@
+package learned
+
+// Concurrency audit of the batched costing pipeline (run under -race):
+// the parallel memo search prices candidates from many goroutines through
+// one shared Coster, so the pooled batch scratch (scratchPool/variantPool),
+// the sharded prediction cache and the per-row feature fill must all be
+// safe — and value-identical — under concurrent callers.
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentCostBatchMatchesScalar drives CostBatch, OperatorCost and
+// IndividualCostBatch from many goroutines against one Coster with a
+// shared prediction cache, each checking its batch against scalar results
+// computed on a cache-free twin of the same predictor.
+func TestConcurrentCostBatchMatchesScalar(t *testing.T) {
+	cached := trainedBatchCoster(t, NewPredictionCache())
+	plain := &Coster{Predictor: cached.Predictor, Param: cached.Param, Fallback: cached.Fallback}
+
+	counts := []int{1, 2, 4, 8, 16, 64, 256}
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for w := range errs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Per-goroutine operators: candidate nodes are private to one
+			// search task in the real optimizer too.
+			ops := variantsOf(buildStage(8+w%3), counts)
+			got := make([]float64, len(ops))
+			ind := make([]float64, len(ops))
+			for iter := 0; iter < 10; iter++ {
+				cached.CostBatch(ops, got)
+				cached.IndividualCostBatch(ops, ind)
+				for i, op := range ops {
+					if want := plain.OperatorCost(op); math.Abs(got[i]-want) > 1e-9 {
+						t.Errorf("worker %d row %d: concurrent batch %v != scalar %v", w, i, got[i], want)
+						return
+					}
+					if want := plain.IndividualCost(op); math.Abs(ind[i]-want) > 1e-9 {
+						t.Errorf("worker %d row %d: concurrent individual %v != scalar %v", w, i, ind[i], want)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := cached.Cache.Stats()
+	if st.Lookups == 0 || st.Hits == 0 {
+		t.Fatalf("concurrent batches never exercised the shared cache: %+v", st)
+	}
+}

@@ -1,7 +1,9 @@
 package linalg
 
 import (
+	"fmt"
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -14,6 +16,73 @@ func TestDot(t *testing.T) {
 	}
 	if got := Dot(nil, nil); got != 0 {
 		t.Fatalf("Dot(nil) = %v, want 0", got)
+	}
+}
+
+// dotScalar is the straightforward sequential reference loop the unrolled
+// kernel is checked against.
+func dotScalar(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// TestDotMatchesScalarLoop checks the 4-way unrolled kernel against the
+// scalar reference across every tail length and randomized magnitudes. The
+// unrolled reduction associates differently, so equality is relative, not
+// bitwise.
+func TestDotMatchesScalarLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for n := 0; n <= 67; n++ {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(7)-3))
+			b[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(7)-3))
+		}
+		got := Dot(a, b)
+		want := dotScalar(a, b)
+		tol := 1e-12 * (math.Abs(want) + 1)
+		if !almostEq(got, want, tol) {
+			t.Fatalf("n=%d: Dot = %v, scalar = %v", n, got, want)
+		}
+	}
+}
+
+func BenchmarkDot(b *testing.B) {
+	for _, n := range []int{14, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			x := make([]float64, n)
+			y := make([]float64, n)
+			for i := range x {
+				x[i] = float64(i%7) * 0.5
+				y[i] = float64(i%5) * 1.5
+			}
+			b.ResetTimer()
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				sink += Dot(x, y)
+			}
+			_ = sink
+		})
+	}
+}
+
+func BenchmarkMulVecInto(b *testing.B) {
+	m := NewMatrix(30, 14)
+	for i := range m.Data {
+		m.Data[i] = float64(i%9) * 0.25
+	}
+	x := make([]float64, 14)
+	for i := range x {
+		x[i] = float64(i) * 0.1
+	}
+	out := make([]float64, 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVecInto(x, out)
 	}
 }
 

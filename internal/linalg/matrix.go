@@ -62,7 +62,7 @@ func (m *Matrix) MulVec(x []float64) []float64 {
 
 // MulVecInto computes m · x into out without allocating. out must have
 // length m.Rows; the batched prediction kernels reuse one buffer across
-// many calls.
+// many calls. Each row product goes through the unrolled Dot kernel.
 func (m *Matrix) MulVecInto(x, out []float64) {
 	if len(x) != m.Cols {
 		panic(fmt.Sprintf("linalg: MulVec dims %dx%d with vec %d", m.Rows, m.Cols, len(x)))

@@ -73,14 +73,13 @@ func (m *Model) PredictBatch(x [][]float64, out []float64) {
 }
 
 func (m *Model) predictRow(features []float64) float64 {
-	z := m.Intercept
+	// Rows may carry more features than the model has weights (shared
+	// extended feature rows); extra columns read as zero weight.
 	w := m.Weights
 	if len(features) < len(w) {
 		w = w[:len(features)]
 	}
-	for j, wj := range w {
-		z += wj * features[j]
-	}
+	z := m.Intercept + linalg.Dot(w, features[:len(w)])
 	out := m.Loss.InverseTarget(z)
 	if m.ClampHi > 0 {
 		if out < m.ClampLo {

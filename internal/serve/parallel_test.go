@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"cleo/internal/engine"
+	"cleo/internal/plan"
+	"cleo/internal/stats"
+)
+
+// TestTenantParallelismKnob pins the per-tenant parallelism plumbing: the
+// service config reaches new tenants' systems and surfaces in stats and in
+// the /v1/stats JSON.
+func TestTenantParallelismKnob(t *testing.T) {
+	svc := NewService(Config{Parallelism: 3})
+	defer svc.Close()
+	tn := svc.Tenant("knob")
+	if got := tn.Stats().Parallelism; got != 3 {
+		t.Fatalf("tenant parallelism = %d, want 3", got)
+	}
+
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/v1/stats?tenant=knob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st TenantStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Parallelism != 3 {
+		t.Fatalf("/v1/stats parallelism = %d, want 3", st.Parallelism)
+	}
+}
+
+// TestConcurrentOptimizeParallelSearch hammers one tenant with concurrent
+// learned resource-aware Optimize calls while each search fans out over
+// its own worker pool (run under -race), and checks all callers see the
+// same plan.
+func TestConcurrentOptimizeParallelSearch(t *testing.T) {
+	svc := NewService(Config{Parallelism: 4})
+	defer svc.Close()
+	tn := svc.Tenant("par")
+	tn.System().RegisterTable("clicks_2026_06_12", stats.TableStats{Rows: 2e7, RowLength: 120})
+	q := plan.NewOutput(plan.NewAggregate(plan.NewSelect(
+		plan.NewGet("clicks_2026_06_12", "clicks_"), "market=us"), "user"))
+	for seed := int64(1); seed <= 20; seed++ {
+		if _, err := tn.Run(q, engine.RunOptions{Seed: seed, Param: float64(seed%5) + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tn.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := engine.RunOptions{
+		Seed: 7, Param: 2,
+		UseLearnedModels: true, ResourceAware: true,
+	}
+	want, _, err := tn.Optimize(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	plans := make([]string, 16)
+	errs := make([]error, 16)
+	for i := range plans {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, _, err := tn.Optimize(q, opts)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			plans[i] = p.String()
+		}()
+	}
+	wg.Wait()
+	for i := range plans {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if plans[i] != want.String() {
+			t.Fatalf("concurrent plan %d diverged", i)
+		}
+	}
+	if !strings.Contains(want.String(), "Aggregate") {
+		t.Fatalf("unexpected plan %s", want)
+	}
+}

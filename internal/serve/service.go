@@ -24,6 +24,15 @@ type Config struct {
 	// IngestBuffer is the per-tenant telemetry channel capacity in
 	// batches (default 128).
 	IngestBuffer int
+	// Parallelism bounds each tenant's optimizer search parallelism
+	// (cascades worker-pool width). The serving default is 1 — the service
+	// already parallelizes across concurrent requests, and per-request
+	// pools of GOMAXPROCS width would oversubscribe the machine by the
+	// in-flight request count; raise it deliberately for tenants whose
+	// single-query latency matters more than aggregate throughput.
+	// Ignored when NewSystem overrides construction — configure the
+	// System directly there.
+	Parallelism int
 }
 
 // sessionShards sizes the sharded session map; tenants hash across shards
@@ -95,7 +104,11 @@ func (s *Service) newSystem(name string) *engine.System {
 			return h.Sum64()
 		}
 	}
-	return engine.NewSystem(engine.SystemConfig{Seed: seedOf(name)})
+	par := s.cfg.Parallelism
+	if par <= 0 {
+		par = 1 // request-level concurrency is the serving default
+	}
+	return engine.NewSystem(engine.SystemConfig{Seed: seedOf(name), Parallelism: par})
 }
 
 // Lookup returns the named tenant without creating it.

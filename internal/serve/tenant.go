@@ -274,13 +274,16 @@ func (t *Tenant) retrain() (ModelVersionInfo, error) {
 
 // TenantStats snapshots one tenant's serving counters.
 type TenantStats struct {
-	Tenant       string             `json:"tenant"`
-	Queries      uint64             `json:"queries"`
-	Runs         uint64             `json:"runs"`
-	Optimizes    uint64             `json:"optimizes"`
-	Errors       uint64             `json:"errors"`
-	Retrains     uint64             `json:"retrains"`
-	LogSize      int                `json:"log_size"`
+	Tenant    string `json:"tenant"`
+	Queries   uint64 `json:"queries"`
+	Runs      uint64 `json:"runs"`
+	Optimizes uint64 `json:"optimizes"`
+	Errors    uint64 `json:"errors"`
+	Retrains  uint64 `json:"retrains"`
+	LogSize   int    `json:"log_size"`
+	// Parallelism is the tenant's effective optimizer search parallelism
+	// (worker-pool width of the concurrent Cascades search).
+	Parallelism  int                `json:"parallelism"`
 	ModelVersion int64              `json:"model_version"` // 0 = none live
 	NumModels    int                `json:"num_models"`
 	Cache        learned.CacheStats `json:"cache"`
@@ -289,13 +292,14 @@ type TenantStats struct {
 // Stats snapshots the tenant's counters and the live version's cache.
 func (t *Tenant) Stats() TenantStats {
 	s := TenantStats{
-		Tenant:    t.Name,
-		Queries:   t.queries.Load(),
-		Runs:      t.runs.Load(),
-		Optimizes: t.optimizes.Load(),
-		Errors:    t.errors.Load(),
-		Retrains:  t.retrains.Load(),
-		LogSize:   t.sys.LogSize(),
+		Tenant:      t.Name,
+		Queries:     t.queries.Load(),
+		Runs:        t.runs.Load(),
+		Optimizes:   t.optimizes.Load(),
+		Errors:      t.errors.Load(),
+		Retrains:    t.retrains.Load(),
+		LogSize:     t.sys.LogSize(),
+		Parallelism: t.sys.Parallelism(),
 	}
 	if v := t.reg.Current(); v != nil {
 		s.ModelVersion = v.Info.ID

@@ -1,0 +1,124 @@
+package cleo
+
+// End-to-end pinning of the concurrent Cascades search: parallel and
+// sequential searches must return bit-identical plans and costs across the
+// TPC-H-style example workload, under both the hand-crafted and the
+// learned cost models.
+
+import (
+	"fmt"
+	"testing"
+
+	"cleo/internal/cascades"
+	"cleo/internal/costmodel"
+	"cleo/internal/exec"
+	"cleo/internal/learned"
+)
+
+// TestParallelOptimizeMatchesSequentialTPCH plans all 22 TPC-H queries
+// with the sequential search (Parallelism 1) and the parallel search
+// (Parallelism 8) and requires bit-identical plans, costs, look-up counts
+// and memo sizes, resource-aware and not.
+func TestParallelOptimizeMatchesSequentialTPCH(t *testing.T) {
+	sys := NewSystem(SystemConfig{Seed: 3})
+	sys.RegisterTPCH(1)
+	mk := func(par int, ra bool) *cascades.Optimizer {
+		o := &cascades.Optimizer{
+			Catalog:       sys.Catalog(),
+			Cost:          costmodel.Tuned{},
+			MaxPartitions: exec.DefaultConfig(3).MaxPartitions,
+			JobSeed:       11,
+			Parallelism:   par,
+		}
+		if ra {
+			o.ResourceAware = true
+			o.Chooser = &cascades.SamplingChooser{Cost: o.Cost, Strategy: cascades.Geometric, SkipCoefficient: 2}
+		}
+		return o
+	}
+	for n := 1; n <= 22; n++ {
+		q, err := TPCHQuery(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ra := range []bool{false, true} {
+			t.Run(fmt.Sprintf("Q%d/ra=%v", n, ra), func(t *testing.T) {
+				seq, err := mk(1, ra).Optimize(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				par, err := mk(8, ra).Optimize(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if seq.Plan.String() != par.Plan.String() {
+					t.Fatalf("plans differ:\nseq: %s\npar: %s", seq.Plan, par.Plan)
+				}
+				if seq.Cost != par.Cost {
+					t.Fatalf("costs differ: seq %v, par %v", seq.Cost, par.Cost)
+				}
+				if seq.ModelLookups != par.ModelLookups || seq.MemoGroups != par.MemoGroups {
+					t.Fatalf("diagnostics differ: lookups %d/%d, groups %d/%d",
+						seq.ModelLookups, par.ModelLookups, seq.MemoGroups, par.MemoGroups)
+				}
+			})
+		}
+	}
+}
+
+// TestParallelOptimizeLearnedMatchesSequential repeats the equivalence
+// check under the trained learned coster (the batched in-search costing
+// path) and additionally pins OptimizeAll against per-query Optimize.
+func TestParallelOptimizeLearnedMatchesSequential(t *testing.T) {
+	sys := NewSystem(SystemConfig{Seed: 5})
+	sys.RegisterTable("clicks_2026_06_12", TableStats{Rows: 2e7, RowLength: 120})
+	q := benchQuery()
+	for seed := int64(1); seed <= 30; seed++ {
+		if _, err := sys.Run(q, RunOptions{Seed: seed, Param: float64(seed%5) + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+	coster := &learned.Coster{
+		Predictor: sys.Models(),
+		Param:     2,
+		Fallback:  costmodel.Default{},
+	}
+	mk := func(par int) *cascades.Optimizer {
+		return &cascades.Optimizer{
+			Catalog:       sys.Catalog(),
+			Cost:          coster,
+			MaxPartitions: exec.DefaultConfig(5).MaxPartitions,
+			ResourceAware: true,
+			Chooser:       &learned.AnalyticalChooser{Cost: coster},
+			JobSeed:       7,
+			Parallelism:   par,
+		}
+	}
+	queries := benchParallelQueries()
+	seqBatch, err := mk(1).OptimizeAll(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parBatch, err := mk(4).OptimizeAll(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, query := range queries {
+		single, err := mk(4).Optimize(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seqBatch[i].Plan.String() != parBatch[i].Plan.String() {
+			t.Fatalf("query %d: plans differ:\nseq: %s\npar: %s", i, seqBatch[i].Plan, parBatch[i].Plan)
+		}
+		if seqBatch[i].Cost != parBatch[i].Cost {
+			t.Fatalf("query %d: costs differ: %v vs %v", i, seqBatch[i].Cost, parBatch[i].Cost)
+		}
+		if single.Plan.String() != seqBatch[i].Plan.String() || single.Cost != seqBatch[i].Cost {
+			t.Fatalf("query %d: OptimizeAll diverges from Optimize", i)
+		}
+	}
+}
