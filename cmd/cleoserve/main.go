@@ -6,11 +6,19 @@
 // Usage:
 //
 //	cleoserve [-addr :8080] [-retrain-threshold 500] [-ingest-buffer 128] [-parallelism 0]
+//	          [-state-dir ""] [-fsync] [-retain-snapshots 0]
+//
+// With -state-dir, tenant state is durable: every published model version
+// is snapshotted and ingested telemetry is journaled, and a restart
+// against the same directory resumes warm — latest models live under
+// their original version ids, pending telemetry replayed into the
+// retraining pipeline.
 //
 // Endpoints:
 //
 //	POST /v1/query    {"tenant":"ads","mode":"run","plan":{...},"tables":{...}}
 //	POST /v1/retrain  {"tenant":"ads"}
+//	POST /v1/tenants/{name}/snapshot
 //	GET  /v1/models?tenant=ads
 //	GET  /v1/stats[?tenant=ads]
 //	GET  /healthz
@@ -46,13 +54,33 @@ func main() {
 	ingestBuffer := flag.Int("ingest-buffer", 128, "per-tenant telemetry channel capacity")
 	parallelism := flag.Int("parallelism", 0,
 		"per-tenant optimizer search parallelism (0 = 1: rely on request-level concurrency)")
+	stateDir := flag.String("state-dir", "",
+		"durable tenant state directory: snapshots + telemetry journal (empty = in-memory only)")
+	fsync := flag.Bool("fsync", false, "fsync the telemetry journal on every append")
+	retainSnapshots := flag.Int("retain-snapshots", 0, "snapshots kept per tenant (0 = all)")
 	flag.Parse()
 
+	if *stateDir != "" {
+		// Fail fast on an unusable state directory rather than silently
+		// serving without durability.
+		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "cleoserve: state dir:", err)
+			os.Exit(1)
+		}
+	}
 	svc := serve.NewService(serve.Config{
 		RetrainThreshold: *retrainThreshold,
 		IngestBuffer:     *ingestBuffer,
 		Parallelism:      *parallelism,
+		StateDir:         *stateDir,
+		Fsync:            *fsync,
+		RetainSnapshots:  *retainSnapshots,
 	})
+	if *stateDir != "" {
+		if names := svc.TenantNames(); len(names) > 0 {
+			fmt.Printf("cleoserve: recovered %d tenant(s) from %s: %v\n", len(names), *stateDir, names)
+		}
+	}
 	server := &http.Server{Addr: *addr, Handler: serve.NewHandler(svc)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

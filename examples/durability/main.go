@@ -1,0 +1,96 @@
+// Durability demo: runs the serving layer against a state directory,
+// trains two model versions, then "crashes" (closes) the service and
+// starts a fresh one over the same directory — the restarted service
+// plans with the latest learned model on its very first query, under its
+// original version id, and the telemetry that had not been trained on yet
+// is replayed into the feedback loop.
+//
+//	go run ./examples/durability
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"cleo"
+)
+
+func demoPlan() *cleo.Query {
+	return cleo.NewOutput(cleo.NewAggregate(cleo.NewSelect(
+		cleo.NewGet("clicks_2026_06_12", "clicks_"), "market=us"), "user"))
+}
+
+func register(t *cleo.Tenant) {
+	t.System().RegisterTable("clicks_2026_06_12", cleo.TableStats{Rows: 2e7, RowLength: 120})
+}
+
+func traffic(t *cleo.Tenant, from, n int) {
+	q := demoPlan()
+	for seed := from; seed < from+n; seed++ {
+		if _, err := t.Run(q, cleo.RunOptions{Seed: int64(seed), Param: float64(seed%5) + 1}); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func main() {
+	stateDir, err := os.MkdirTemp("", "cleo-state-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(stateDir)
+	cfg := cleo.ServeConfig{StateDir: stateDir, Logf: func(string, ...any) {}}
+
+	// Life 1: telemetry traffic, two published versions, pending tail.
+	fmt.Println("» life 1: train two model versions against", stateDir)
+	svc := cleo.NewService(cfg)
+	ads := svc.Tenant("ads")
+	register(ads)
+	traffic(ads, 1, 40)
+	v1, err := ads.Retrain()
+	if err != nil {
+		log.Fatal(err)
+	}
+	traffic(ads, 41, 40)
+	v2, err := ads.Retrain()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  published v%d (%d records) then v%d (%d records)\n",
+		v1.ID, v1.TrainRecords, v2.ID, v2.TrainRecords)
+	traffic(ads, 81, 10) // journaled, not yet trained
+	svc.Close()          // flushes the journal and the async snapshots
+	fmt.Printf("  stopped; log had %d records, %d of them not yet trained\n",
+		ads.System().LogSize(), ads.System().LogSize()-v2.TrainRecords)
+
+	// Life 2: a fresh process over the same directory resumes warm.
+	fmt.Println("» life 2: restart against the same state directory")
+	svc2 := cleo.NewService(cfg)
+	defer svc2.Close()
+	ads2, ok := svc2.Lookup("ads")
+	if !ok {
+		log.Fatal("tenant not recovered")
+	}
+	register(ads2)
+	st := ads2.Stats()
+	fmt.Printf("  recovered model v%d (%d models), replayed %d journal records\n",
+		st.ModelVersion, st.NumModels, st.Persist.RecoveredRecords)
+
+	// The FIRST query plans with the learned models — no retrain happened.
+	res, version, err := ads2.RunWithVersion(demoPlan(),
+		cleo.RunOptions{Seed: 999, Param: 2, UseLearnedModels: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  first query served with model v%d (latency %.3fs, %d containers), retrains so far: %d\n",
+		version, res.Latency, res.Containers, ads2.Stats().Retrains)
+
+	// The replayed records count toward the next retrain: v3 resumes the
+	// id sequence.
+	v3, err := ads2.Retrain()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  next retrain publishes v%d on %d replayed+new records\n", v3.ID, v3.TrainRecords)
+}

@@ -136,6 +136,13 @@ type RunOptions struct {
 	// the feedback log (or sent to LogSink), and the run is treated as an
 	// evaluation run (no partition jitter).
 	SkipLogging bool
+	// Parallelism, when positive, overrides the system's configured
+	// optimizer search parallelism for this one run — the serving layer's
+	// per-request knob, letting a latency-critical query borrow more
+	// search width than its tenant default (or a bulk query take less).
+	// Parallel searches return plans cost-identical to sequential ones,
+	// so the override never changes the chosen plan.
+	Parallelism int
 	// LogSink, when non-nil, receives the run's telemetry records instead
 	// of the system's internal log — the serving layer batches them
 	// through its ingestion channel. Unlike SkipLogging, the run still
@@ -171,6 +178,10 @@ func (s *System) Optimize(q *plan.Logical, opts RunOptions) (*plan.Physical, flo
 	if err != nil {
 		return nil, 0, err
 	}
+	par := s.par
+	if opts.Parallelism > 0 {
+		par = opts.Parallelism
+	}
 	opt := &cascades.Optimizer{
 		Catalog:       s.catalog,
 		Cost:          coster,
@@ -178,7 +189,7 @@ func (s *System) Optimize(q *plan.Logical, opts RunOptions) (*plan.Physical, flo
 		ResourceAware: opts.ResourceAware,
 		Chooser:       chooser,
 		JobSeed:       opts.Seed,
-		Parallelism:   s.par,
+		Parallelism:   par,
 	}
 	res, err := opt.Optimize(q)
 	if err != nil {
@@ -221,7 +232,13 @@ func (s *System) costing(opts RunOptions) (cascades.Coster, cascades.PartitionCh
 	}
 	var chooser cascades.PartitionChooser
 	if opts.ResourceAware {
-		chooser = &learned.AnalyticalChooser{Cost: coster}
+		ac := &learned.AnalyticalChooser{Cost: coster, Param: defaultParam(opts.Param)}
+		if lc, ok := coster.(*learned.Coster); ok {
+			// The stage-fit memo shares the pinned version's prediction
+			// cache, so a model hot-swap invalidates both together.
+			ac.Fits = lc.Cache
+		}
+		chooser = ac
 	}
 	return coster, chooser, nil
 }

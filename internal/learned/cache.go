@@ -41,6 +41,27 @@ type PredictionCache struct {
 	hits       atomic.Uint64
 	misses     atomic.Uint64
 	batchFills atomic.Uint64
+
+	// The stage-fit memo rides in the same per-version cache: the
+	// analytical partition chooser's 5-point probe fit re-extracts
+	// features and prices numProbes variants for every operator of every
+	// stage, but recurring stages ask for the same fit over and over. The
+	// fitted per-stage coefficient sums are memoized here, keyed by the
+	// stage signature (every operator's subgraph signature and statistics,
+	// the param bucket, and the partition cap). Living inside the
+	// per-version PredictionCache gives the memo the same lifecycle as the
+	// cost cache: a model hot-swap publishes a fresh cache, so stale fits
+	// can never outlive their predictor.
+	fitMu     sync.RWMutex
+	fits      map[uint64]fitSums
+	fitHits   atomic.Uint64
+	fitMisses atomic.Uint64
+}
+
+// fitSums is one memoized stage fit: the summed θP/θC coefficients and
+// the mean probed cost that scales the chooser's noise threshold.
+type fitSums struct {
+	thetaP, thetaC, scale float64
 }
 
 const (
@@ -48,6 +69,9 @@ const (
 	// cacheShardLimit bounds per-shard entries (~128k entries total);
 	// beyond it the shard resets.
 	cacheShardLimit = 4096
+	// fitCacheLimit bounds the stage-fit memo; beyond it the memo resets
+	// wholesale (recurring workloads refill it within one optimization).
+	fitCacheLimit = 4096
 )
 
 type cacheKey struct {
@@ -62,7 +86,7 @@ type cacheShard struct {
 
 // NewPredictionCache builds an empty cache.
 func NewPredictionCache() *PredictionCache {
-	c := &PredictionCache{seed: maphash.MakeSeed()}
+	c := &PredictionCache{seed: maphash.MakeSeed(), fits: make(map[uint64]fitSums)}
 	for i := range c.shards {
 		c.shards[i].m = make(map[cacheKey]float64)
 	}
@@ -135,6 +159,57 @@ func (c *PredictionCache) store(k cacheKey, v float64) {
 	sh.mu.Unlock()
 }
 
+// stageFitKey hashes everything the analytical chooser's probe fit reads:
+// per operator the subgraph signature (pinning the physical operator tree
+// and its subtree-derived features) plus the same per-instance statistics
+// keyForSig hashes — except the live partition count, which the fit
+// sweeps over the probe grid — and stage-wide the param bucket and the
+// partition cap the probe points derive from.
+func (c *PredictionCache) stageFitKey(ops []*plan.Physical, param float64, maxPartitions int) uint64 {
+	var h maphash.Hash
+	h.SetSeed(c.seed)
+	write := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	write(uint64(maxPartitions))
+	write(uint64(ParamBucket(param)))
+	write(uint64(len(ops)))
+	for _, n := range ops {
+		write(uint64(plan.SubgraphSignature(n)))
+		write(math.Float64bits(n.BaseCardinality()))
+		write(math.Float64bits(n.Stats.EstCard))
+		write(math.Float64bits(n.Stats.RowLength))
+		write(uint64(len(n.Children)))
+		for _, ch := range n.Children {
+			write(math.Float64bits(ch.Stats.EstCard))
+		}
+	}
+	return h.Sum64()
+}
+
+func (c *PredictionCache) fitLookup(k uint64) (fitSums, bool) {
+	c.fitMu.RLock()
+	v, ok := c.fits[k]
+	c.fitMu.RUnlock()
+	if ok {
+		c.fitHits.Add(1)
+	} else {
+		c.fitMisses.Add(1)
+	}
+	return v, ok
+}
+
+func (c *PredictionCache) fitStore(k uint64, v fitSums) {
+	c.fitMu.Lock()
+	if len(c.fits) >= fitCacheLimit {
+		c.fits = make(map[uint64]fitSums, fitCacheLimit)
+	}
+	c.fits[k] = v
+	c.fitMu.Unlock()
+}
+
 // CacheStats snapshots the cache counters.
 type CacheStats struct {
 	Hits   uint64 `json:"hits"`
@@ -147,11 +222,17 @@ type CacheStats struct {
 	// rather than a scalar model walk.
 	BatchFills uint64 `json:"batch_fills"`
 	Entries    int    `json:"entries"`
+	// FitHits / FitMisses count the analytical chooser's stage-fit memo:
+	// a hit answers a whole stage's partition exploration from the
+	// memoized coefficient sums with zero model look-ups.
+	FitHits   uint64 `json:"fit_hits"`
+	FitMisses uint64 `json:"fit_misses"`
 }
 
 // Stats reports hit/miss counters and the current entry count.
 func (c *PredictionCache) Stats() CacheStats {
-	s := CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), BatchFills: c.batchFills.Load()}
+	s := CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), BatchFills: c.batchFills.Load(),
+		FitHits: c.fitHits.Load(), FitMisses: c.fitMisses.Load()}
 	s.Lookups = s.Hits + s.Misses
 	for i := range c.shards {
 		sh := &c.shards[i]

@@ -25,6 +25,16 @@ type AnalyticalChooser struct {
 	Cost interface {
 		OperatorCost(n *plan.Physical) float64
 	}
+	// Param is the job parameter the coster prices with; it is part of
+	// the stage-fit memo key (costs depend on it through the PM feature).
+	Param float64
+	// Fits, when non-nil, memoizes the per-stage probe-fit coefficient
+	// sums by stage signature, so recurring stages answer partition
+	// exploration without re-extracting features or touching the models.
+	// Pair it with the predictor that prices Cost — the serving layer
+	// passes each model version's own PredictionCache, which makes a
+	// version hot-swap invalidate the memo automatically.
+	Fits *PredictionCache
 }
 
 // numProbes is the per-operator probe budget (5, matching the paper's
@@ -49,6 +59,16 @@ func (a *AnalyticalChooser) ChooseStagePartitions(ops []*plan.Physical, maxParti
 	if len(ops) == 0 {
 		return 1, 0
 	}
+	// Recurring stages answer from the memoized fit: zero probes, zero
+	// feature extraction. The key pins everything the fit below reads, so
+	// the cached sums are bit-identical to recomputing them.
+	var fitKey uint64
+	if a.Fits != nil {
+		fitKey = a.Fits.stageFitKey(ops, a.Param, maxPartitions)
+		if sums, ok := a.Fits.fitLookup(fitKey); ok {
+			return a.reduce(ops, sums, maxPartitions, 0)
+		}
+	}
 	var sumP, sumC, scale, lookups float64
 	if buf, ok := a.probeBatch(ops, maxPartitions); ok {
 		points := probePoints(maxPartitions)
@@ -69,6 +89,18 @@ func (a *AnalyticalChooser) ChooseStagePartitions(ops []*plan.Physical, maxParti
 			lookups += numProbes
 		}
 	}
+	sums := fitSums{thetaP: sumP, thetaC: sumC, scale: scale}
+	if a.Fits != nil {
+		a.Fits.fitStore(fitKey, sums)
+	}
+	return a.reduce(ops, sums, maxPartitions, int(lookups))
+}
+
+// reduce turns the (possibly memoized) stage coefficient sums into the
+// chosen partition count — identical arithmetic whether the sums were
+// just fitted or answered from the memo.
+func (a *AnalyticalChooser) reduce(ops []*plan.Physical, sums fitSums, maxPartitions, lookups int) (int, int) {
+	sumP, sumC, scale := sums.thetaP, sums.thetaC, sums.scale
 	// Coefficients whose contribution is negligible at a mid-range count
 	// are noise from the least-squares fit; zero them so flat curves hit
 	// the degenerate branch instead of an arbitrary extreme.
@@ -89,11 +121,11 @@ func (a *AnalyticalChooser) ChooseStagePartitions(ops []*plan.Physical, maxParti
 		best = 1
 	case sumP <= 0 && sumC <= 0:
 		// Degenerate: cost insensitive to P; keep the current count.
-		return clampInt(ops[0].Partitions, 1, maxPartitions), int(lookups)
+		return clampInt(ops[0].Partitions, 1, maxPartitions), lookups
 	default:
 		best = math.Sqrt(sumP / sumC)
 	}
-	return clampInt(int(math.Round(best)), 1, maxPartitions), int(lookups)
+	return clampInt(int(math.Round(best)), 1, maxPartitions), lookups
 }
 
 // individualCoster is implemented by cost models that can price an

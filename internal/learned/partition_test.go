@@ -90,6 +90,60 @@ func TestAnalyticalChooserConstantCost(t *testing.T) {
 	}
 }
 
+func TestAnalyticalChooserFitMemo(t *testing.T) {
+	cache := NewPredictionCache()
+	c := &AnalyticalChooser{Cost: quadraticCoster{A: 1000, B: 0.1}, Param: 2, Fits: cache}
+	ops := []*plan.Physical{mkOp(10)}
+	p1, l1 := c.ChooseStagePartitions(ops, 3000)
+	if l1 != numProbes {
+		t.Fatalf("first call lookups = %d, want %d", l1, numProbes)
+	}
+	// The recurring stage answers from the memo: same choice, zero probes.
+	p2, l2 := c.ChooseStagePartitions(ops, 3000)
+	if l2 != 0 {
+		t.Fatalf("memoized call spent %d lookups", l2)
+	}
+	if p1 != p2 {
+		t.Fatalf("memoized choice %d != fresh choice %d", p2, p1)
+	}
+	if st := cache.Stats(); st.FitHits != 1 || st.FitMisses != 1 {
+		t.Fatalf("fit counters = %d hits / %d misses", st.FitHits, st.FitMisses)
+	}
+	// Any cost input in the key forces a recompute: statistics...
+	ops[0].Stats.EstCard *= 2
+	if _, l := c.ChooseStagePartitions(ops, 3000); l != numProbes {
+		t.Fatalf("changed stats answered from memo (%d lookups)", l)
+	}
+	// ...and the partition cap (probe points derive from it).
+	if _, l := c.ChooseStagePartitions(ops, 500); l != numProbes {
+		t.Fatalf("changed cap answered from memo (%d lookups)", l)
+	}
+	// A model hot-swap publishes a fresh cache: the memo starts empty.
+	c.Fits = NewPredictionCache()
+	if _, l := c.ChooseStagePartitions(ops, 500); l != numProbes {
+		t.Fatalf("fresh cache answered from memo (%d lookups)", l)
+	}
+}
+
+func TestAnalyticalChooserFitMemoDegenerateKeepsCurrent(t *testing.T) {
+	// The flat-curve branch keeps the operator's CURRENT count, which is
+	// deliberately outside the memo key: a memo hit must still honor it.
+	cache := NewPredictionCache()
+	c := &AnalyticalChooser{Cost: quadraticCoster{C: 7}, Fits: cache}
+	op := mkOp(42)
+	if p, _ := c.ChooseStagePartitions([]*plan.Physical{op}, 500); p != 42 {
+		t.Fatalf("fresh degenerate choice = %d, want 42", p)
+	}
+	op.Partitions = 7
+	p, lookups := c.ChooseStagePartitions([]*plan.Physical{op}, 500)
+	if lookups != 0 {
+		t.Fatalf("expected memo hit, spent %d lookups", lookups)
+	}
+	if p != 7 {
+		t.Fatalf("memoized degenerate choice = %d, want the live count 7", p)
+	}
+}
+
 func TestAnalyticalChooserEmptyStage(t *testing.T) {
 	c := &AnalyticalChooser{Cost: quadraticCoster{}}
 	p, lookups := c.ChooseStagePartitions(nil, 500)

@@ -1,0 +1,383 @@
+package persist
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cleo/internal/learned"
+	"cleo/internal/plan"
+	"cleo/internal/telemetry"
+)
+
+func mkRecords(start, n int) []telemetry.Record {
+	out := make([]telemetry.Record, n)
+	for i := range out {
+		out[i] = telemetry.Record{
+			JobID:         "job",
+			Op:            plan.PHashJoin,
+			InCard:        float64(start + i),
+			ActualLatency: 1.5,
+			Param:         2,
+		}
+	}
+	return out
+}
+
+func openJournalT(t *testing.T, path string) (*Journal, *JournalRecovery) {
+	t.Helper()
+	j, rec, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, rec
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), journalName)
+	j, rec := openJournalT(t, path)
+	if len(rec.Records) != 0 || rec.DroppedBytes != 0 {
+		t.Fatalf("fresh journal recovery: %+v", rec)
+	}
+	if err := j.Append(mkRecords(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(mkRecords(3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if j.Records() != 5 {
+		t.Fatalf("records = %d", j.Records())
+	}
+	j.Close()
+
+	j2, rec2 := openJournalT(t, path)
+	defer j2.Close()
+	if len(rec2.Records) != 5 || rec2.DroppedBytes != 0 {
+		t.Fatalf("reopen recovery: %d records, %d dropped", len(rec2.Records), rec2.DroppedBytes)
+	}
+	for i, r := range rec2.Records {
+		if r.InCard != float64(i) {
+			t.Fatalf("record %d out of order: %v", i, r.InCard)
+		}
+	}
+}
+
+func TestJournalTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), journalName)
+	j, _ := openJournalT(t, path)
+	if err := j.Append(mkRecords(0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	goodSize := j.SizeBytes()
+	if err := j.Append(mkRecords(4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Cut the second frame mid-payload — the crash window.
+	if err := os.Truncate(path, goodSize+11); err != nil {
+		t.Fatal(err)
+	}
+	j2, rec := openJournalT(t, path)
+	if len(rec.Records) != 4 {
+		t.Fatalf("recovered %d records, want the 4 before the torn frame", len(rec.Records))
+	}
+	if rec.DroppedBytes != 11 || rec.Reason == "" {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	// The torn tail is gone from disk and appends work again.
+	if j2.SizeBytes() != goodSize {
+		t.Fatalf("size after recovery = %d, want %d", j2.SizeBytes(), goodSize)
+	}
+	if err := j2.Append(mkRecords(100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	_, rec3 := openJournalT(t, path)
+	if len(rec3.Records) != 5 || rec3.DroppedBytes != 0 {
+		t.Fatalf("post-recovery reopen: %d records, %d dropped", len(rec3.Records), rec3.DroppedBytes)
+	}
+}
+
+func TestJournalChecksumCorruptionDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), journalName)
+	j, _ := openJournalT(t, path)
+	if err := j.Append(mkRecords(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	firstFrame := j.SizeBytes()
+	if err := j.Append(mkRecords(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Flip a payload byte in the second frame.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[firstFrame+frameHeaderBytes+3] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, rec := openJournalT(t, path)
+	defer j2.Close()
+	if len(rec.Records) != 2 || rec.DroppedBytes == 0 {
+		t.Fatalf("checksum corruption: %d records, %d dropped", len(rec.Records), rec.DroppedBytes)
+	}
+}
+
+func TestJournalMarkTrained(t *testing.T) {
+	path := filepath.Join(t.TempDir(), journalName)
+	j, _ := openJournalT(t, path)
+	for i := 0; i < 4; i++ {
+		if err := j.Append(mkRecords(i*3, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Train on the first 6 records (two whole frames).
+	if err := j.MarkTrained(6); err != nil {
+		t.Fatal(err)
+	}
+	if j.Records() != 6 {
+		t.Fatalf("after cut: %d records", j.Records())
+	}
+	j.Close()
+	j2, rec := openJournalT(t, path)
+	if len(rec.Records) != 6 || rec.Records[0].InCard != 6 {
+		t.Fatalf("reopen after cut: %d records, first InCard %v", len(rec.Records), rec.Records[0].InCard)
+	}
+	// A cut inside a frame keeps the whole frame (frames never straddle
+	// the barrier in serving; over-retention is the safe direction).
+	// Post-reopen the journal is rebased: records 6.. are now log 0..5.
+	if err := j2.MarkTrained(4); err != nil {
+		t.Fatal(err)
+	}
+	if j2.Records() != 3 {
+		t.Fatalf("mid-frame cut: %d records, want the intact second frame", j2.Records())
+	}
+	// Train everything: journal empties in place.
+	if err := j2.MarkTrained(6); err != nil {
+		t.Fatal(err)
+	}
+	if j2.Records() != 0 || j2.SizeBytes() != 0 {
+		t.Fatalf("full cut left %d records, %d bytes", j2.Records(), j2.SizeBytes())
+	}
+	if err := j2.Append(mkRecords(50, 2)); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	_, rec3 := openJournalT(t, path)
+	if len(rec3.Records) != 2 {
+		t.Fatalf("append after full cut lost records: %d", len(rec3.Records))
+	}
+}
+
+func TestJournalSkippedAppendKeepsAlignment(t *testing.T) {
+	// A failed append leaves records in the caller's in-memory log but not
+	// in the journal. NoteSkipped records the gap so MarkTrained — which
+	// speaks log indices — can never cut a frame holding untrained records.
+	path := filepath.Join(t.TempDir(), journalName)
+	j, _ := openJournalT(t, path)
+	defer j.Close()
+	if err := j.Append(mkRecords(0, 3)); err != nil { // log [0,3)
+		t.Fatal(err)
+	}
+	j.NoteSkipped(2)                                  // log [3,5) reached memory only
+	if err := j.Append(mkRecords(5, 3)); err != nil { // log [5,8)
+		t.Fatal(err)
+	}
+	// Training covered log [0,5): only the first frame may be cut — the
+	// second frame's records [5,8) were NOT trained, despite the journal
+	// holding just 6 records.
+	if err := j.MarkTrained(5); err != nil {
+		t.Fatal(err)
+	}
+	if j.Records() != 3 {
+		t.Fatalf("after gap-aware cut: %d records, want the untrained frame intact", j.Records())
+	}
+	if err := j.MarkTrained(8); err != nil {
+		t.Fatal(err)
+	}
+	if j.Records() != 0 {
+		t.Fatalf("full cut across a gap left %d records", j.Records())
+	}
+}
+
+func TestJournalOversizedBatchSplits(t *testing.T) {
+	// A merged batch whose payload would exceed the frame cap must land
+	// as several frames — scan() rejects oversized frames as corruption,
+	// so a single big write reporting success would poison recovery.
+	saved := maxFrameBytes
+	maxFrameBytes = 512
+	defer func() { maxFrameBytes = saved }()
+
+	path := filepath.Join(t.TempDir(), journalName)
+	j, _ := openJournalT(t, path)
+	if err := j.Append(mkRecords(0, 40)); err != nil {
+		t.Fatal(err)
+	}
+	if j.Records() != 40 {
+		t.Fatalf("records = %d", j.Records())
+	}
+	j.Close()
+	j2, rec := openJournalT(t, path)
+	defer j2.Close()
+	if len(rec.Records) != 40 || rec.DroppedBytes != 0 {
+		t.Fatalf("reopen after split: %d records, %d dropped (%s)", len(rec.Records), rec.DroppedBytes, rec.Reason)
+	}
+	for i, r := range rec.Records {
+		if r.InCard != float64(i) {
+			t.Fatalf("record %d out of order after split: %v", i, r.InCard)
+		}
+	}
+	// Split frames cut independently: train half, keep the rest.
+	if err := j2.MarkTrained(20); err != nil {
+		t.Fatal(err)
+	}
+	if left := j2.Records(); left >= 40 || left < 20 {
+		t.Fatalf("after cutting 20 of 40 split records: %d left", left)
+	}
+}
+
+func trainedPredictor(t *testing.T) *learned.Predictor {
+	t.Helper()
+	recs := make([]telemetry.Record, 0, 120)
+	for i := 0; i < 120; i++ {
+		r := telemetry.Record{
+			JobID:         "t",
+			Op:            plan.PHashJoin,
+			Sigs:          plan.Signatures{Subgraph: 1, Approx: 2, Input: 3, Operator: 4},
+			InCard:        float64(1000 + i*10),
+			BaseCard:      float64(2000 + i*10),
+			OutCard:       float64(500 + i*5),
+			RowLength:     100,
+			Partitions:    1 + i%8,
+			Param:         float64(i%4) + 1,
+			ActualLatency: 0.5 + float64(i%7)*0.1,
+		}
+		recs = append(recs, r)
+	}
+	pr, err := learned.TrainSplit(recs, learned.DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+func TestSnapshotLatestAndCorruptionFallback(t *testing.T) {
+	dir := t.TempDir()
+	pr := trainedPredictor(t)
+	warn := func(string, ...any) {}
+	for id := int64(1); id <= 3; id++ {
+		if err := writeSnapshot(dir, Manifest{ID: id, TrainRecords: int(id) * 10, NumModels: pr.NumModels()}, pr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	man, _, ok := loadLatest(dir, warn)
+	if !ok || man.ID != 3 {
+		t.Fatalf("latest = %+v, ok=%v", man, ok)
+	}
+	// Corrupt v3's model: recovery must fall back to v2.
+	if err := os.WriteFile(modelPath(dir, 3), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	man, p2, ok := loadLatest(dir, warn)
+	if !ok || man.ID != 2 || p2 == nil {
+		t.Fatalf("fallback = %+v, ok=%v", man, ok)
+	}
+	// Corrupt every manifest: cold start (ok=false), never an error.
+	for id := int64(1); id <= 3; id++ {
+		if err := os.WriteFile(manifestPath(dir, id), []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, ok := loadLatest(dir, warn); ok {
+		t.Fatal("corrupt manifests should cold start")
+	}
+}
+
+func TestSnapshotPruneRetention(t *testing.T) {
+	dir := t.TempDir()
+	pr := trainedPredictor(t)
+	warn := func(string, ...any) {}
+	for id := int64(1); id <= 5; id++ {
+		if err := writeSnapshot(dir, Manifest{ID: id}, pr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pruneSnapshots(dir, 2, warn)
+	mans := listManifests(dir, warn)
+	if len(mans) != 2 || mans[0].ID != 4 || mans[1].ID != 5 {
+		t.Fatalf("after prune: %+v", mans)
+	}
+	if _, err := os.Stat(modelPath(dir, 1)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("pruned model still on disk")
+	}
+}
+
+func TestManagerTenantLifecycleAndStaleSnapshots(t *testing.T) {
+	mgr, err := NewManager(Config{Dir: t.TempDir(), Retain: 0, Logf: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := mgr.Tenant("ads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := trainedPredictor(t)
+	if err := ts.SaveSnapshot(Manifest{ID: 2, TrainRecords: 20}, pr); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.SaveSnapshot(Manifest{ID: 1, TrainRecords: 10}, pr); !errors.Is(err, ErrStale) {
+		t.Fatalf("stale snapshot err = %v", err)
+	}
+	if err := ts.AppendJournal(mkRecords(0, 5)); err != nil {
+		t.Fatal(err)
+	}
+	st := ts.Stats()
+	if st.Snapshots != 1 || st.JournalAppends != 1 || st.JournalRecords != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+	ts.Close()
+
+	names, err := mgr.TenantNames()
+	if err != nil || len(names) != 1 || names[0] != "ads" {
+		t.Fatalf("tenant names = %v, %v", names, err)
+	}
+	ts2, err := mgr.Tenant("ads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts2.Close()
+	man, _, ok := ts2.LoadLatest()
+	if !ok || man.ID != 2 {
+		t.Fatalf("reloaded latest = %+v, ok=%v", man, ok)
+	}
+	if recs := ts2.Replay(); len(recs) != 5 {
+		t.Fatalf("replayed %d records", len(recs))
+	}
+	if recs := ts2.Replay(); recs != nil {
+		t.Fatal("replay must hand records over exactly once")
+	}
+}
+
+func TestTenantDirNameEncoding(t *testing.T) {
+	cases := []string{"ads", "search-01", "a/b", "../evil", "enc-41", ".hidden", "ünïcode", ""}
+	seen := map[string]bool{}
+	for _, name := range cases {
+		dir := tenantDirName(name)
+		if filepath.Base(dir) != dir || dir == "." || dir == ".." {
+			t.Fatalf("%q: unsafe directory name %q", name, dir)
+		}
+		if seen[dir] {
+			t.Fatalf("%q: directory collision on %q", name, dir)
+		}
+		seen[dir] = true
+		back, ok := tenantNameFromDir(dir)
+		if !ok || back != name {
+			t.Fatalf("%q: round trip via %q gave %q (%v)", name, dir, back, ok)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"cleo/internal/learned"
+	"cleo/internal/ml"
+)
+
+// The snapshot store persists each published model version as a pair of
+// files inside the tenant's state directory:
+//
+//	v00000003.model.json     the serialized predictor (learned.Predictor.Save)
+//	v00000003.manifest.json  Manifest — metadata, written last as the commit marker
+//
+// Both are written to a temp file, fsynced and atomically renamed, and
+// the manifest only lands after the model: a snapshot without a readable
+// manifest+model pair is simply skipped at recovery, so a crash mid-write
+// can cost at most the newest snapshot, never correctness.
+
+// Manifest is one snapshot's metadata — the durable form of the serving
+// registry's ModelVersionInfo.
+type Manifest struct {
+	// ID is the registry version id; recovery resumes the id sequence here.
+	ID int64 `json:"id"`
+	// TrainedAt is the version's publish wall-clock time.
+	TrainedAt time.Time `json:"trained_at"`
+	// TrainRecords is the telemetry log size the version was trained on.
+	TrainRecords int `json:"train_records"`
+	// NumModels counts the individual learned models in the version.
+	NumModels int `json:"num_models"`
+	// Accuracy snapshots prediction quality at training time.
+	Accuracy ml.Accuracy `json:"accuracy"`
+	// SavedAt is when the snapshot reached disk.
+	SavedAt time.Time `json:"saved_at"`
+}
+
+func manifestPath(dir string, id int64) string {
+	return filepath.Join(dir, fmt.Sprintf("v%08d.manifest.json", id))
+}
+
+func modelPath(dir string, id int64) string {
+	return filepath.Join(dir, fmt.Sprintf("v%08d.model.json", id))
+}
+
+// writeFileAtomic writes via a temp file, fsyncs, and renames into place.
+func writeFileAtomic(path string, write func(w io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := write(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// The rename itself must survive power loss before callers may act on
+	// the write (the serving layer truncates the telemetry journal as soon
+	// as a snapshot reports success).
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory, making preceding renames in it durable —
+// the completion step of the write-temp-then-rename pattern.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeSnapshot persists one version: model first, manifest last (commit).
+func writeSnapshot(dir string, man Manifest, pr *learned.Predictor) error {
+	if err := writeFileAtomic(modelPath(dir, man.ID), pr.Save); err != nil {
+		return fmt.Errorf("persist: write model v%d: %w", man.ID, err)
+	}
+	err := writeFileAtomic(manifestPath(dir, man.ID), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(&man)
+	})
+	if err != nil {
+		return fmt.Errorf("persist: write manifest v%d: %w", man.ID, err)
+	}
+	return nil
+}
+
+// readManifest loads and validates one manifest file.
+func readManifest(path string) (Manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Manifest{}, err
+	}
+	var man Manifest
+	if err := json.Unmarshal(b, &man); err != nil {
+		return Manifest{}, fmt.Errorf("persist: decode manifest %s: %w", filepath.Base(path), err)
+	}
+	if man.ID <= 0 {
+		return Manifest{}, fmt.Errorf("persist: manifest %s: bad id %d", filepath.Base(path), man.ID)
+	}
+	return man, nil
+}
+
+// listManifests returns every readable manifest in dir, ascending by id.
+// Unreadable or malformed manifests are reported to warn and skipped.
+func listManifests(dir string, warn func(format string, args ...any)) []Manifest {
+	paths, _ := filepath.Glob(filepath.Join(dir, "v*.manifest.json"))
+	sort.Strings(paths)
+	out := make([]Manifest, 0, len(paths))
+	for _, p := range paths {
+		man, err := readManifest(p)
+		if err != nil {
+			warn("persist: skipping snapshot manifest %s: %v", p, err)
+			continue
+		}
+		out = append(out, man)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// loadLatest walks the manifests newest-first and returns the first
+// snapshot whose model also loads; corrupt snapshots degrade to the next
+// older one (and ultimately to a cold start), never to an error.
+func loadLatest(dir string, warn func(format string, args ...any)) (Manifest, *learned.Predictor, bool) {
+	mans := listManifests(dir, warn)
+	for i := len(mans) - 1; i >= 0; i-- {
+		man := mans[i]
+		pr, err := learned.LoadFile(modelPath(dir, man.ID))
+		if err != nil {
+			warn("persist: skipping snapshot v%d in %s: %v", man.ID, dir, err)
+			continue
+		}
+		return man, pr, true
+	}
+	return Manifest{}, nil, false
+}
+
+// pruneSnapshots removes the oldest snapshots beyond retain (0 keeps all).
+func pruneSnapshots(dir string, retain int, warn func(format string, args ...any)) {
+	if retain <= 0 {
+		return
+	}
+	mans := listManifests(dir, func(string, ...any) {})
+	for len(mans) > retain {
+		man := mans[0]
+		mans = mans[1:]
+		// Manifest first: a model without a manifest is invisible to
+		// recovery, so the pair disappears atomically from its view.
+		if err := os.Remove(manifestPath(dir, man.ID)); err != nil {
+			warn("persist: prune manifest v%d: %v", man.ID, err)
+			continue
+		}
+		if err := os.Remove(modelPath(dir, man.ID)); err != nil {
+			warn("persist: prune model v%d: %v", man.ID, err)
+		}
+	}
+}

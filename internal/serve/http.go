@@ -13,11 +13,12 @@ import (
 
 // HTTP/JSON API (stdlib net/http only):
 //
-//	POST /v1/query    optimize or run a JSON-encoded logical plan
-//	POST /v1/retrain  train + hot-swap a new model version for a tenant
-//	GET  /v1/models   list a tenant's model versions
-//	GET  /v1/stats    serving counters (all tenants, or ?tenant=)
-//	GET  /healthz     liveness probe
+//	POST /v1/query                     optimize or run a JSON-encoded logical plan
+//	POST /v1/retrain                   train + hot-swap a new model version for a tenant
+//	POST /v1/tenants/{name}/snapshot   force a durable snapshot of the live version
+//	GET  /v1/models                    list a tenant's model versions
+//	GET  /v1/stats                     serving counters (all tenants, or ?tenant=)
+//	GET  /healthz                      liveness probe
 //
 // Errors are returned as {"error": "..."} with a 4xx/5xx status.
 
@@ -42,6 +43,11 @@ type QueryRequest struct {
 	Safe bool `json:"safe,omitempty"`
 	// SkipLogging keeps the run out of the telemetry feedback loop.
 	SkipLogging bool `json:"skip_logging,omitempty"`
+	// Parallelism, when positive, overrides the tenant's optimizer search
+	// parallelism for this one request (capped at maxRequestParallelism);
+	// 0 keeps the tenant default. The effective width is echoed in the
+	// response.
+	Parallelism int `json:"parallelism,omitempty"`
 	// Tables registers stored-input statistics before planning
 	// (idempotent; later requests may omit already-registered tables).
 	Tables map[string]stats.TableStats `json:"tables,omitempty"`
@@ -55,6 +61,7 @@ type QueryResponse struct {
 	Mode                string           `json:"mode"`
 	UsedLearned         bool             `json:"used_learned"`
 	ModelVersion        int64            `json:"model_version,omitempty"`
+	Parallelism         int              `json:"parallelism"`
 	Plan                string           `json:"plan"`
 	Summary             plan.PlanSummary `json:"summary"`
 	PredictedCost       float64          `json:"predicted_cost"`
@@ -89,6 +96,9 @@ func NewHandler(svc *Service) http.Handler {
 	mux.HandleFunc("POST /v1/retrain", func(w http.ResponseWriter, r *http.Request) {
 		handleRetrain(svc, w, r)
 	})
+	mux.HandleFunc("POST /v1/tenants/{name}/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		handleSnapshot(svc, w, r)
+	})
 	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, r *http.Request) {
 		handleModels(svc, w, r)
 	})
@@ -114,6 +124,11 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 // maxBodyBytes bounds request bodies (plans are small; telemetry never
 // flows inbound).
 const maxBodyBytes = 1 << 20
+
+// maxRequestParallelism caps the per-request search-width override: wide
+// enough for any real machine, small enough that one request cannot ask
+// the worker pool for an absurd goroutine count.
+const maxRequestParallelism = 256
 
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
@@ -146,6 +161,11 @@ func handleQuery(svc *Service, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad mode %q (want run or optimize)", mode)
 		return
 	}
+	if req.Parallelism < 0 || req.Parallelism > maxRequestParallelism {
+		writeError(w, http.StatusBadRequest, "bad parallelism %d (want 0..%d)",
+			req.Parallelism, maxRequestParallelism)
+		return
+	}
 
 	t := svc.Tenant(req.Tenant)
 	for name, ts := range req.Tables {
@@ -163,8 +183,14 @@ func handleQuery(svc *Service, w http.ResponseWriter, r *http.Request) {
 		ResourceAware:     req.ResourceAware,
 		SafePlanSelection: req.Safe,
 		SkipLogging:       req.SkipLogging,
+		Parallelism:       req.Parallelism,
 	}
-	resp := QueryResponse{Tenant: req.Tenant, Mode: mode, UsedLearned: opts.UseLearnedModels}
+	effectivePar := req.Parallelism
+	if effectivePar == 0 {
+		effectivePar = t.System().Parallelism()
+	}
+	resp := QueryResponse{Tenant: req.Tenant, Mode: mode, UsedLearned: opts.UseLearnedModels,
+		Parallelism: effectivePar}
 
 	switch mode {
 	case "optimize":
@@ -217,6 +243,29 @@ func handleRetrain(svc *Service, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, "retrain: %v", err)
 	default:
 		writeJSON(w, http.StatusOK, map[string]ModelVersionInfo{"version": info})
+	}
+}
+
+// handleSnapshot forces a durable snapshot of the tenant's live model
+// version — the admin lever for "persist now" (e.g. before a planned
+// restart), independent of the automatic snapshot-on-publish.
+func handleSnapshot(svc *Service, w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	t, ok := svc.Lookup(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown tenant %q", name)
+		return
+	}
+	info, err := t.Snapshot()
+	switch {
+	case errors.Is(err, ErrPersistenceDisabled):
+		writeError(w, http.StatusNotImplemented, "%v", err)
+	case errors.Is(err, ErrNoModelVersion):
+		writeError(w, http.StatusConflict, "%v", err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "snapshot: %v", err)
+	default:
+		writeJSON(w, http.StatusOK, map[string]ModelVersionInfo{"snapshot": info})
 	}
 }
 

@@ -204,6 +204,9 @@ func TestHTTPErrors(t *testing.T) {
 		{"learned sans models", "POST", "/v1/query", queryBody("x", 1, `,"use_learned":true`), http.StatusUnprocessableEntity},
 		{"retrain unknown tenant", "POST", "/v1/retrain", `{"tenant":"ghost"}`, http.StatusNotFound},
 		{"retrain missing tenant", "POST", "/v1/retrain", `{}`, http.StatusBadRequest},
+		{"negative parallelism", "POST", "/v1/query", queryBody("x", 1, `,"parallelism":-1`), http.StatusBadRequest},
+		{"huge parallelism", "POST", "/v1/query", queryBody("x", 1, `,"parallelism":100000`), http.StatusBadRequest},
+		{"snapshot unknown tenant", "POST", "/v1/tenants/ghost/snapshot", `{}`, http.StatusNotFound},
 		{"models missing tenant", "GET", "/v1/models", "", http.StatusBadRequest},
 		{"models unknown tenant", "GET", "/v1/models?tenant=ghost", "", http.StatusNotFound},
 		{"stats unknown tenant", "GET", "/v1/stats?tenant=ghost", "", http.StatusNotFound},
@@ -220,5 +223,87 @@ func TestHTTPErrors(t *testing.T) {
 		if status != tc.want {
 			t.Errorf("%s: status %d, want %d (%s)", tc.name, status, tc.want, body)
 		}
+	}
+
+	// Snapshot of a live tenant without a state directory: not
+	// implemented (tenant "x" exists — the query cases above created it).
+	status, body := postJSON(t, srv.URL+"/v1/tenants/x/snapshot", `{}`)
+	if status != http.StatusNotImplemented {
+		t.Errorf("snapshot without state dir: status %d (%s)", status, body)
+	}
+}
+
+// TestHTTPParallelismOverrideAndSnapshot covers the per-request search
+// width knob and the snapshot admin endpoint end to end.
+func TestHTTPParallelismOverrideAndSnapshot(t *testing.T) {
+	svc := NewService(Config{StateDir: t.TempDir(), Logf: quiet})
+	defer svc.Close()
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+
+	// Tenant default is 1 (request-level concurrency); the override
+	// borrows width for one request and is echoed back.
+	status, body := postJSON(t, srv.URL+"/v1/query", queryBody("ads", 1, `,"parallelism":3`))
+	if status != http.StatusOK {
+		t.Fatalf("override query: %d: %s", status, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Parallelism != 3 {
+		t.Fatalf("override echoed %d, want 3", qr.Parallelism)
+	}
+	status, body = postJSON(t, srv.URL+"/v1/query", queryBody("ads", 2, ""))
+	if status != http.StatusOK {
+		t.Fatalf("default query: %d: %s", status, body)
+	}
+	qr = QueryResponse{}
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Parallelism != 1 {
+		t.Fatalf("default parallelism echoed %d, want the tenant default 1", qr.Parallelism)
+	}
+
+	// Snapshot before any publish: conflict.
+	if status, body := postJSON(t, srv.URL+"/v1/tenants/ads/snapshot", `{}`); status != http.StatusConflict {
+		t.Fatalf("premature snapshot: %d (%s)", status, body)
+	}
+
+	// Train a version, snapshot it explicitly, and check the stats
+	// surface the persistence counters.
+	tn, _ := svc.Lookup("ads")
+	for seed := int64(3); seed <= 30; seed++ {
+		status, _ := postJSON(t, srv.URL+"/v1/query", queryBody("ads", seed, `,"param":2`))
+		if status != http.StatusOK {
+			t.Fatalf("seed query %d failed", seed)
+		}
+	}
+	waitForLog(t, tn, 25)
+	if status, body := postJSON(t, srv.URL+"/v1/retrain", `{"tenant":"ads"}`); status != http.StatusOK {
+		t.Fatalf("retrain: %d (%s)", status, body)
+	}
+	status, body = postJSON(t, srv.URL+"/v1/tenants/ads/snapshot", `{}`)
+	if status != http.StatusOK {
+		t.Fatalf("snapshot: %d (%s)", status, body)
+	}
+	var sr map[string]ModelVersionInfo
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr["snapshot"].ID != 1 {
+		t.Fatalf("snapshot response: %+v", sr)
+	}
+	status, body = getJSON(t, srv.URL+"/v1/stats?tenant=ads")
+	if status != http.StatusOK {
+		t.Fatalf("stats: %d", status)
+	}
+	var st TenantStats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Persist == nil || st.Persist.Snapshots == 0 || st.Persist.JournalAppends == 0 {
+		t.Fatalf("persist counters missing from stats: %+v", st.Persist)
 	}
 }

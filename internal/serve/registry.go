@@ -39,6 +39,13 @@ type ModelVersion struct {
 	Info      ModelVersionInfo
 	Predictor *learned.Predictor
 	Cache     *learned.PredictionCache
+
+	// trainedLocal is how many records of the CURRENT process's telemetry
+	// log this version was trained on — the journal-truncation cursor.
+	// Versions restored from a snapshot carry 0: their TrainRecords count
+	// a previous process's log, so nothing in this life's journal is
+	// covered by them.
+	trainedLocal int
 }
 
 // Registry versions a tenant's learned models. Publish atomically swaps
@@ -72,10 +79,32 @@ func (r *Registry) Publish(pr *learned.Predictor, trainRecords int, acc ml.Accur
 		},
 		Predictor: pr,
 		Cache:     learned.NewPredictionCache(),
+
+		trainedLocal: trainRecords,
 	}
 	r.mu.Lock()
 	r.history = append(r.history, v.Info)
 	r.mu.Unlock()
+	r.cur.Store(v)
+	return v
+}
+
+// Restore installs a recovered snapshot as the current version without
+// re-publishing: the metadata history and the version-id sequence resume
+// exactly where the previous process stopped, so ids stay stable across
+// restarts. history must be ascending and end with cur.
+func (r *Registry) Restore(history []ModelVersionInfo, cur ModelVersionInfo, pr *learned.Predictor) *ModelVersion {
+	v := &ModelVersion{
+		Info:      cur,
+		Predictor: pr,
+		Cache:     learned.NewPredictionCache(),
+	}
+	r.mu.Lock()
+	r.history = append(r.history, history...)
+	r.mu.Unlock()
+	// Restore runs during tenant construction, before the tenant is
+	// published to the session map — nothing can race it.
+	r.seq.Store(cur.ID)
 	r.cur.Store(v)
 	return v
 }

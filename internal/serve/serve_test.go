@@ -161,11 +161,14 @@ func TestCachedCostsMatchUncached(t *testing.T) {
 	v := tn.Registry().Current()
 	q := demoPlan()
 	// Two passes over the same (seed, param) grid: the second prices every
-	// operator from the cache and must still match the uncached coster.
+	// operator from the cache — and, on the resource-aware half, answers
+	// partition exploration from the stage-fit memo — and must still match
+	// the uncached coster.
 	for pass := 0; pass < 2; pass++ {
 		for seed := int64(1); seed <= 5; seed++ {
 			for _, param := range []float64{1, 2, 3} {
-				opts := engine.RunOptions{Seed: seed, Param: param, UseLearnedModels: true, SkipLogging: true}
+				opts := engine.RunOptions{Seed: seed, Param: param, UseLearnedModels: true,
+					ResourceAware: seed%2 == 0, SkipLogging: true}
 				uncached := opts
 				uncached.Models = v.Predictor // pin version, no cache
 				pPlain, cPlain, err := tn.System().Optimize(q, uncached)
@@ -187,6 +190,8 @@ func TestCachedCostsMatchUncached(t *testing.T) {
 	}
 	if st := v.Cache.Stats(); st.Hits == 0 {
 		t.Fatalf("cache never hit: %+v", st)
+	} else if st.FitHits == 0 {
+		t.Fatalf("recurring resource-aware optimization never hit the stage-fit memo: %+v", st)
 	}
 }
 

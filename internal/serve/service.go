@@ -2,10 +2,12 @@ package serve
 
 import (
 	"hash/fnv"
+	"log"
 	"sort"
 	"sync"
 
 	"cleo/internal/engine"
+	"cleo/internal/persist"
 )
 
 // Config configures a Service.
@@ -33,6 +35,22 @@ type Config struct {
 	// Ignored when NewSystem overrides construction — configure the
 	// System directly there.
 	Parallelism int
+	// StateDir, when set, makes tenant state durable: published model
+	// versions are snapshotted there and ingested telemetry is journaled
+	// before it reaches the in-memory log, and NewService recovers every
+	// tenant found under the directory — latest model version live (same
+	// id), pending telemetry replayed — so a restarted server serves
+	// learned-cost plans on its first request. Empty disables persistence.
+	StateDir string
+	// Fsync syncs the telemetry journal on every append (model snapshots
+	// always sync). Off by default: journal-tail durability is traded for
+	// ingestion throughput, exactly like a database WAL without fsync.
+	Fsync bool
+	// RetainSnapshots caps the snapshots kept per tenant (0 = keep all).
+	RetainSnapshots int
+	// Logf receives persistence warnings and recovery notices
+	// (default log.Printf).
+	Logf func(format string, args ...any)
 }
 
 // sessionShards sizes the sharded session map; tenants hash across shards
@@ -48,20 +66,59 @@ type tenantShard struct {
 // named Tenants, each a System plus model registry plus ingestion
 // pipeline. All methods are safe for concurrent use.
 type Service struct {
-	cfg    Config
-	shards [sessionShards]tenantShard
+	cfg     Config
+	logf    func(format string, args ...any)
+	persist *persist.Manager // nil without a state directory
+	shards  [sessionShards]tenantShard
 
 	closeOnce sync.Once
 }
 
-// NewService builds a Service.
+// NewService builds a Service. With Config.StateDir set it also runs
+// crash recovery: every tenant with state on disk is brought up warm
+// before the first request can reach it.
 func NewService(cfg Config) *Service {
-	s := &Service{cfg: cfg}
+	s := &Service{cfg: cfg, logf: cfg.Logf}
+	if s.logf == nil {
+		s.logf = log.Printf
+	}
 	for i := range s.shards {
 		s.shards[i].m = make(map[string]*Tenant)
 	}
+	if cfg.StateDir != "" {
+		mgr, err := persist.NewManager(persist.Config{
+			Dir:    cfg.StateDir,
+			Fsync:  cfg.Fsync,
+			Retain: cfg.RetainSnapshots,
+			Logf:   s.logf,
+		})
+		if err != nil {
+			// Degrade, never crash: the service still serves, just cold.
+			s.logf("serve: persistence disabled: %v", err)
+		} else {
+			s.persist = mgr
+			s.recoverTenants()
+		}
+	}
 	return s
 }
+
+// recoverTenants warms up every tenant with durable state: Tenant()
+// attaches the on-disk state during construction, which restores the
+// latest snapshot and replays the journal.
+func (s *Service) recoverTenants() {
+	names, err := s.persist.TenantNames()
+	if err != nil {
+		s.logf("serve: enumerating tenant state: %v", err)
+		return
+	}
+	for _, name := range names {
+		s.Tenant(name)
+	}
+}
+
+// PersistEnabled reports whether the service runs with a state directory.
+func (s *Service) PersistEnabled() bool { return s.persist != nil }
 
 // shard picks the session shard by an inline FNV-1a over the name (no
 // allocation on the per-request lookup path).
@@ -87,7 +144,22 @@ func (s *Service) Tenant(name string) *Tenant {
 	if t := sh.m[name]; t != nil {
 		return t
 	}
-	t = newTenant(name, s.newSystem(name), s.cfg.RetrainThreshold, s.cfg.IngestBuffer)
+	// Opening durable state (and recovering from it, inside newTenant)
+	// does disk I/O under the shard lock. That is deliberate: creation
+	// must be atomic per name, startup recovery already warms every
+	// on-disk tenant before traffic arrives, so a first-touch creation
+	// here only ever touches an empty state directory (mkdir + empty
+	// journal) — there is no large journal to scan while others wait.
+	var state *persist.TenantState
+	if s.persist != nil {
+		var err error
+		if state, err = s.persist.Tenant(name); err != nil {
+			// The tenant still serves, just without durability.
+			s.logf("serve: tenant %q: persistence disabled: %v", name, err)
+			state = nil
+		}
+	}
+	t = newTenant(name, s.newSystem(name), s.cfg.RetrainThreshold, s.cfg.IngestBuffer, state, s.logf)
 	sh.m[name] = t
 	return t
 }

@@ -7,6 +7,7 @@ import (
 
 	"cleo/internal/engine"
 	"cleo/internal/learned"
+	"cleo/internal/persist"
 	"cleo/internal/plan"
 	"cleo/internal/telemetry"
 )
@@ -14,6 +15,13 @@ import (
 // ErrRetrainInProgress is returned when a retrain is requested while one
 // is already running for the tenant.
 var ErrRetrainInProgress = errors.New("serve: retrain already in progress")
+
+// ErrPersistenceDisabled is returned by Snapshot when the service has no
+// state directory.
+var ErrPersistenceDisabled = errors.New("serve: persistence not configured (no state directory)")
+
+// ErrNoModelVersion is returned by Snapshot before the first publish.
+var ErrNoModelVersion = errors.New("serve: no model version to snapshot")
 
 // Tenant is one named optimizer session: a System, its model registry,
 // and the telemetry ingestion pipeline. All methods are safe for
@@ -25,6 +33,13 @@ type Tenant struct {
 
 	sys *engine.System
 	reg *Registry
+
+	// state is the tenant's durable state (nil when the service runs
+	// without a state directory): the flusher journals every batch there
+	// before the in-memory append, and each publish snapshots the new
+	// version asynchronously. logf receives persistence warnings.
+	state *persist.TenantState
+	logf  func(format string, args ...any)
 
 	// Telemetry batches flow from Run through ingest to one flusher
 	// goroutine, which appends them to the system log in merged batches
@@ -48,7 +63,8 @@ type Tenant struct {
 	retrains  atomic.Uint64
 }
 
-func newTenant(name string, sys *engine.System, retrainThreshold, ingestBuffer int) *Tenant {
+func newTenant(name string, sys *engine.System, retrainThreshold, ingestBuffer int,
+	state *persist.TenantState, logf func(format string, args ...any)) *Tenant {
 	if ingestBuffer <= 0 {
 		ingestBuffer = 128
 	}
@@ -56,14 +72,79 @@ func newTenant(name string, sys *engine.System, retrainThreshold, ingestBuffer i
 		Name:             name,
 		sys:              sys,
 		reg:              &Registry{},
+		state:            state,
+		logf:             logf,
 		ingest:           make(chan []telemetry.Record, ingestBuffer),
 		flushReq:         make(chan chan struct{}),
 		done:             make(chan struct{}),
 		retrainThreshold: retrainThreshold,
 	}
+	t.recover()
 	t.wg.Add(1)
 	go t.flusher()
 	return t
+}
+
+// recover restores the tenant's durable state before it serves anything:
+// the latest loadable snapshot becomes the current model version (same
+// id, metadata history resumed), and the journal's not-yet-trained
+// records are replayed into the telemetry log so the next retrain — and
+// the background threshold — see them. Corruption was already degraded to
+// warnings by the persist layer; a tenant with nothing readable simply
+// cold starts.
+func (t *Tenant) recover() {
+	if t.state == nil {
+		return
+	}
+	mans := t.state.Manifests()
+	for i := len(mans) - 1; i >= 0; i-- {
+		man := mans[i]
+		pr, err := t.state.LoadModel(man.ID)
+		if err != nil {
+			// Fall back to the next older snapshot; newer-but-unloadable
+			// manifests stay out of the restored history too.
+			t.logf("serve: tenant %q: skipping snapshot v%d: %v", t.Name, man.ID, err)
+			continue
+		}
+		history := make([]ModelVersionInfo, 0, i+1)
+		for _, m := range mans[:i+1] {
+			history = append(history, versionInfoOf(m))
+		}
+		t.reg.Restore(history, versionInfoOf(man), pr)
+		t.sys.SetModels(pr)
+		t.state.NoteRecoveredVersion(man.ID)
+		t.logf("serve: tenant %q: restored model version %d (%d models, trained on %d records)",
+			t.Name, man.ID, man.NumModels, man.TrainRecords)
+		break
+	}
+	if recs := t.state.Replay(); len(recs) > 0 {
+		t.sys.AppendTelemetry(recs)
+		t.logf("serve: tenant %q: replayed %d journaled telemetry records", t.Name, len(recs))
+		t.maybeRetrain()
+	}
+}
+
+// versionInfoOf converts a durable snapshot manifest back to registry
+// metadata.
+func versionInfoOf(m persist.Manifest) ModelVersionInfo {
+	return ModelVersionInfo{
+		ID:           m.ID,
+		TrainedAt:    m.TrainedAt,
+		TrainRecords: m.TrainRecords,
+		NumModels:    m.NumModels,
+		Accuracy:     m.Accuracy,
+	}
+}
+
+// manifestOf is the inverse of versionInfoOf.
+func manifestOf(info ModelVersionInfo) persist.Manifest {
+	return persist.Manifest{
+		ID:           info.ID,
+		TrainedAt:    info.TrainedAt,
+		TrainRecords: info.TrainRecords,
+		NumModels:    info.NumModels,
+		Accuracy:     info.Accuracy,
+	}
 }
 
 // System exposes the underlying engine (catalog access, model save/load).
@@ -175,7 +256,7 @@ func (t *Tenant) flusher() {
 					break merge
 				}
 			}
-			t.sys.AppendTelemetry(batch)
+			t.journalThenAppend(batch)
 			t.maybeRetrain()
 		case ack := <-t.flushReq:
 			t.drain()
@@ -192,11 +273,25 @@ func (t *Tenant) drain() {
 	for {
 		select {
 		case recs := <-t.ingest:
-			t.sys.AppendTelemetry(recs)
+			t.journalThenAppend(recs)
 		default:
 			return
 		}
 	}
+}
+
+// journalThenAppend durably journals one merged batch, then makes it
+// visible to the in-memory log (and so to training). The journal write
+// happens on the flusher goroutine — never on a request's path — and a
+// failed write degrades to a warning: the records still serve the
+// in-process feedback loop, they just will not survive a crash.
+func (t *Tenant) journalThenAppend(recs []telemetry.Record) {
+	if t.state != nil {
+		if err := t.state.AppendJournal(recs); err != nil {
+			t.logf("serve: tenant %q: telemetry journal append failed: %v", t.Name, err)
+		}
+	}
+	t.sys.AppendTelemetry(recs)
 }
 
 // flush blocks until every telemetry batch enqueued before the call has
@@ -269,6 +364,60 @@ func (t *Tenant) retrain() (ModelVersionInfo, error) {
 	v := t.reg.Publish(pr, len(recs), acc)
 	t.lastTrain.Store(int64(len(recs)))
 	t.retrains.Add(1)
+	t.snapshotAsync(v)
+	return v.Info, nil
+}
+
+// snapshotAsync persists the freshly published version off the serving
+// and retraining paths. The write is tracked by the tenant's WaitGroup so
+// close() never abandons an in-flight snapshot, and persist serializes
+// concurrent writes while dropping stale (superseded) ones.
+func (t *Tenant) snapshotAsync(v *ModelVersion) {
+	if t.state == nil {
+		return
+	}
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		_ = t.writeSnapshot(v)
+	}()
+}
+
+// writeSnapshot persists one version and, once the snapshot is safely on
+// disk, cuts the version's trained records from the telemetry journal —
+// in that order, so a crash between the two can only over-retain journal
+// records, never lose ones no snapshot has learned from.
+func (t *Tenant) writeSnapshot(v *ModelVersion) error {
+	err := t.state.SaveSnapshot(manifestOf(v.Info), v.Predictor)
+	if errors.Is(err, persist.ErrStale) {
+		return nil // a newer version's snapshot already covers this one
+	}
+	if err != nil {
+		t.logf("serve: tenant %q: snapshot of version %d failed: %v", t.Name, v.Info.ID, err)
+		return err
+	}
+	if err := t.state.MarkTrained(v.trainedLocal); err != nil {
+		t.logf("serve: tenant %q: journal truncation after snapshot %d failed: %v", t.Name, v.Info.ID, err)
+	}
+	return nil
+}
+
+// Snapshot synchronously persists the current model version (the
+// POST /v1/tenants/{name}/snapshot admin operation). Returns
+// ErrPersistenceDisabled without a state directory and ErrNoModelVersion
+// before the first publish; an already-persisted version is a no-op
+// success.
+func (t *Tenant) Snapshot() (ModelVersionInfo, error) {
+	if t.state == nil {
+		return ModelVersionInfo{}, ErrPersistenceDisabled
+	}
+	v := t.reg.Current()
+	if v == nil {
+		return ModelVersionInfo{}, ErrNoModelVersion
+	}
+	if err := t.writeSnapshot(v); err != nil {
+		return ModelVersionInfo{}, err
+	}
 	return v.Info, nil
 }
 
@@ -287,6 +436,9 @@ type TenantStats struct {
 	ModelVersion int64              `json:"model_version"` // 0 = none live
 	NumModels    int                `json:"num_models"`
 	Cache        learned.CacheStats `json:"cache"`
+	// Persist carries the durable-state counters (nil when the service
+	// runs without a state directory).
+	Persist *persist.Stats `json:"persist,omitempty"`
 }
 
 // Stats snapshots the tenant's counters and the live version's cache.
@@ -306,12 +458,22 @@ func (t *Tenant) Stats() TenantStats {
 		s.NumModels = v.Info.NumModels
 		s.Cache = v.Cache.Stats()
 	}
+	if t.state != nil {
+		ps := t.state.Stats()
+		s.Persist = &ps
+	}
 	return s
 }
 
-// close stops the flusher after draining queued telemetry and waits for
-// any in-flight background retrain.
+// close stops the flusher after draining queued telemetry, waits for any
+// in-flight background retrain or snapshot write, then releases the
+// durable state.
 func (t *Tenant) close() {
 	close(t.done)
 	t.wg.Wait()
+	if t.state != nil {
+		if err := t.state.Close(); err != nil {
+			t.logf("serve: tenant %q: closing durable state: %v", t.Name, err)
+		}
+	}
 }
