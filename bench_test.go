@@ -305,6 +305,51 @@ func BenchmarkOptimizeParallelJobs(b *testing.B) {
 	}
 }
 
+// BenchmarkOptimizeRecurringTemplate measures repeated optimization of one
+// recurring job template, fresh (template cache disabled — every instance
+// rebuilds and re-explores its memo) versus cached (instances after the
+// first reuse the memo snapshot and re-run only costing/arbitration). The
+// fresh/cached ns/op gap is the template cache's win; sub-benchmarks cover
+// both coster kinds. Template-cached plans are equivalence-pinned against
+// fresh ones in TestGoldenPlans and cascades' TestTemplateHitMatchesFresh.
+func BenchmarkOptimizeRecurringTemplate(b *testing.B) {
+	for _, mode := range []string{"fresh", "cached"} {
+		for _, learned := range []bool{false, true} {
+			coster := "default"
+			if learned {
+				coster = "learned"
+			}
+			b.Run(fmt.Sprintf("%s/%s", coster, mode), func(b *testing.B) {
+				size := 0 // cached: default capacity
+				if mode == "fresh" {
+					size = -1 // disabled: every instance is a cold template
+				}
+				sys := NewSystem(SystemConfig{Seed: 5, TemplateCacheSize: size})
+				sys.RegisterTable("clicks_2026_06_12", TableStats{Rows: 2e7, RowLength: 120})
+				q := benchQuery()
+				opts := RunOptions{Seed: 7, Param: 2, SkipLogging: true}
+				if learned {
+					ls := benchTrainedSystem(b)
+					sys.SetModels(ls.Models())
+					opts.UseLearnedModels = true
+					opts.ResourceAware = true
+					opts.Models = sys.Models()
+				}
+				// Each iteration is one recurring instance with its own seed
+				// (fresh statistics drift), as production traffic would be.
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					opts.Seed = int64(i % 16)
+					if _, _, err := sys.Optimize(q, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(sys.TemplateStats().TemplateHits)/float64(b.N), "template-hit-ratio")
+			})
+		}
+	}
+}
+
 // benchServeTenant builds a single-tenant service with a published model
 // version (so the registry's cache is on the hot path).
 func benchServeTenant(b *testing.B) (*Service, *Tenant) {

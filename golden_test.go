@@ -1,0 +1,206 @@
+package cleo
+
+// Golden-plan regression corpus: the expected physical plans and exact
+// costs for TPC-H 1–22 under the analytical (default) cost model and under
+// the default learned models live in testdata/golden/*.json. The tests
+// regenerate the corpus in-process and diff it byte-for-byte against the
+// committed files, so any change to statistics, costing, exploration,
+// enforcement, partition arbitration — or the recurring-job template cache
+// — that moves a single plan or cost bit fails loudly. Regenerate with:
+//
+//	go test -run TestGoldenPlans -update
+//
+// Costs are recorded as hex float64 literals (strconv 'x'), which
+// round-trip bit-exactly; the decimal cost rides along for readability.
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden expected files")
+
+// goldenEntry is one (query, resource-awareness) optimization outcome.
+type goldenEntry struct {
+	Query string `json:"query"`
+	// ResourceAware records whether partition exploration ran.
+	ResourceAware bool `json:"resource_aware"`
+	// Plan is the chosen physical plan with partition counts.
+	Plan string `json:"plan"`
+	// Cost is the total predicted cost (informational; CostHex is exact).
+	Cost float64 `json:"cost"`
+	// CostHex is the bit-exact total cost (strconv FormatFloat 'x').
+	CostHex string `json:"cost_hex"`
+	// OpCostsHex are the bit-exact per-operator costs in post-order.
+	OpCostsHex []string `json:"op_costs_hex"`
+}
+
+// goldenSystem builds the deterministic TPC-H system the corpus is
+// recorded against. With learned=true it additionally collects two
+// instances of telemetry per query and trains the default learned models
+// (fixed seeds end to end, so the trained predictor is reproducible
+// across runs and processes).
+func goldenSystem(t testing.TB, learned bool) *System {
+	t.Helper()
+	sys := NewSystem(SystemConfig{Seed: 3})
+	sys.RegisterTPCH(1)
+	if !learned {
+		return sys
+	}
+	for n := 1; n <= 22; n++ {
+		q, err := TPCHQuery(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(1); seed <= 2; seed++ {
+			if _, err := sys.Run(q, RunOptions{Seed: seed*100 + int64(n), Param: float64(seed)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := sys.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// goldenOpts returns the optimization options one corpus entry pins.
+func goldenOpts(learned, ra bool) RunOptions {
+	return RunOptions{
+		Seed: 11, Param: 2,
+		UseLearnedModels: learned,
+		ResourceAware:    ra,
+		SkipLogging:      true,
+	}
+}
+
+// goldenOptimize renders one corpus entry.
+func goldenOptimize(t testing.TB, sys *System, n int, learned, ra bool) goldenEntry {
+	t.Helper()
+	q, err := TPCHQuery(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, cost, err := sys.Optimize(q, goldenOpts(learned, ra))
+	if err != nil {
+		t.Fatalf("Q%d (learned=%v ra=%v): %v", n, learned, ra, err)
+	}
+	e := goldenEntry{
+		Query:         fmt.Sprintf("Q%d", n),
+		ResourceAware: ra,
+		Plan:          p.String(),
+		Cost:          cost,
+		CostHex:       strconv.FormatFloat(cost, 'x', -1, 64),
+	}
+	p.Walk(func(op *PhysicalPlan) {
+		e.OpCostsHex = append(e.OpCostsHex, strconv.FormatFloat(op.ExclusiveCostEst, 'x', -1, 64))
+	})
+	return e
+}
+
+// renderGolden produces the canonical corpus bytes for one coster kind.
+func renderGolden(t testing.TB, sys *System, learned bool) []byte {
+	t.Helper()
+	var entries []goldenEntry
+	for n := 1; n <= 22; n++ {
+		for _, ra := range []bool{false, true} {
+			entries = append(entries, goldenOptimize(t, sys, n, learned, ra))
+		}
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(data, '\n')
+}
+
+func goldenPath(learned bool) string {
+	name := "tpch_analytical.json"
+	if learned {
+		name = "tpch_learned.json"
+	}
+	return filepath.Join("testdata", "golden", name)
+}
+
+// TestGoldenPlans regenerates the corpus for both coster kinds and
+// requires byte-for-byte equality with the committed files. The fresh
+// system warms its template cache during the first render pass, so the
+// second render pass runs entirely on template hits — and must produce
+// the exact same bytes, pinning the cached-equals-fresh contract over all
+// 22 queries and both costers. A third pass on a cache-disabled system
+// closes the loop from the other side.
+func TestGoldenPlans(t *testing.T) {
+	for _, learned := range []bool{false, true} {
+		name := "analytical"
+		if learned {
+			name = "learned"
+		}
+		t.Run(name, func(t *testing.T) {
+			sys := goldenSystem(t, learned)
+			fresh := renderGolden(t, sys, learned)
+
+			if *updateGolden {
+				path := goldenPath(learned)
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, fresh, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s (%d bytes)", path, len(fresh))
+			}
+
+			want, err := os.ReadFile(goldenPath(learned))
+			if err != nil {
+				t.Fatalf("%v (run `go test -run TestGoldenPlans -update` to record)", err)
+			}
+			if !bytes.Equal(fresh, want) {
+				t.Fatalf("fresh optimization diverged from %s; run with -update if the change is intended\n%s",
+					goldenPath(learned), goldenDiff(want, fresh))
+			}
+
+			// Second pass: every optimization reuses the memo templates the
+			// first pass published (one per query × resource-awareness).
+			before := sys.TemplateStats()
+			cached := renderGolden(t, sys, learned)
+			after := sys.TemplateStats()
+			if !bytes.Equal(cached, want) {
+				t.Fatalf("template-cached optimization diverged from %s\n%s",
+					goldenPath(learned), goldenDiff(want, cached))
+			}
+			if gotHits := after.TemplateHits - before.TemplateHits; gotHits != 44 {
+				t.Fatalf("cached pass recorded %d template hits, want 44", gotHits)
+			}
+
+			// Cache-disabled control: the corpus does not depend on the
+			// template machinery being present at all.
+			plain := NewSystem(SystemConfig{Seed: 3, TemplateCacheSize: -1})
+			plain.RegisterTPCH(1)
+			if learned {
+				plain.SetModels(sys.Models())
+			}
+			if disabled := renderGolden(t, plain, learned); !bytes.Equal(disabled, want) {
+				t.Fatalf("cache-disabled optimization diverged from %s\n%s",
+					goldenPath(learned), goldenDiff(want, disabled))
+			}
+		})
+	}
+}
+
+// goldenDiff reports the first line where two corpus renderings differ.
+func goldenDiff(want, got []byte) string {
+	w := bytes.Split(want, []byte("\n"))
+	g := bytes.Split(got, []byte("\n"))
+	for i := 0; i < len(w) && i < len(g); i++ {
+		if !bytes.Equal(w[i], g[i]) {
+			return fmt.Sprintf("first difference at line %d:\nwant: %s\ngot:  %s", i+1, w[i], g[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: want %d, got %d", len(w), len(g))
+}

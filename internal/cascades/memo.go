@@ -159,5 +159,10 @@ func (m *Memo) Explore(id GroupID) {
 				m.addExpr(g, swapped)
 			}
 		}
+		// Fixpoint: nothing inserts into this group again (copy-in is long
+		// done, and this Once was the only other addExpr caller), so the
+		// duplicate-detection map is dead weight — significant for memos
+		// that live on as cached templates.
+		g.seen = nil
 	})
 }

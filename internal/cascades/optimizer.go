@@ -85,6 +85,12 @@ type Optimizer struct {
 	// channels — and parallel runs produce plans cost-identical to that
 	// sequential search (deterministic tie-breaking).
 	Parallelism int
+	// Templates, when non-nil, reuses memo snapshots across recurring
+	// instances of the same logical plan: a hit skips copy-in and logical
+	// exploration and re-runs only the costed half of the search, so the
+	// chosen plan is bit-identical to an uncached optimization. A miss
+	// publishes the finished search's memo for later instances.
+	Templates *TemplateCache
 }
 
 // Result reports one optimization run.
@@ -99,6 +105,17 @@ type Result struct {
 	// ModelLookups counts cost-model invocations during partition
 	// exploration (0 when not resource-aware).
 	ModelLookups int
+	// TemplateHit reports whether this run reused a cached memo template
+	// (always false without Optimizer.Templates).
+	TemplateHit bool
+}
+
+// parallelism resolves the effective worker-pool width.
+func (o *Optimizer) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // newSem builds the shared worker-pool semaphore for one search (or one
@@ -106,10 +123,7 @@ type Result struct {
 // semaphore holds Parallelism-1 extra slots; nil means "run everything
 // inline".
 func (o *Optimizer) newSem() chan struct{} {
-	par := o.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
+	par := o.parallelism()
 	if par <= 1 {
 		return nil
 	}
@@ -132,7 +146,51 @@ func (o *Optimizer) Optimize(root *plan.Logical) (*Result, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	return o.newSearch(o.newSem()).run(root)
+	return o.optimizeOne(o.newSem(), root, false)
+}
+
+// templateKey derives the template-cache slot for one optimization of root.
+func (o *Optimizer) templateKey(root *plan.Logical) TemplateKey {
+	return TemplateKey{
+		Sig:           plan.LogicalSignature(root),
+		CatalogEpoch:  o.Catalog.Epoch(),
+		MaxPartitions: o.maxPartitions(),
+		Parallelism:   o.parallelism(),
+		ResourceAware: o.ResourceAware,
+		Model:         costerIdentity(o.Cost),
+	}
+}
+
+// optimizeOne runs one query's search, reusing a memo template when the
+// cache holds one for this (plan, configuration, model, stats-epoch) key
+// and publishing the finished memo otherwise. The snapshot only ever
+// short-circuits copy-in and logical exploration — both pure functions of
+// the logical plan — so cached and fresh searches visit identical
+// expression sets in identical order and return bit-identical plans.
+// held reports whether the calling goroutine occupies a pool slot (an
+// OptimizeAll query spawned onto the shared pool does).
+func (o *Optimizer) optimizeOne(sem chan struct{}, root *plan.Logical, held bool) (*Result, error) {
+	s := o.newSearch(sem)
+	var key TemplateKey
+	if o.Templates != nil {
+		key = o.templateKey(root)
+		if tmpl, ok := o.Templates.Get(key, root); ok {
+			s.memo = tmpl.memo
+			s.templateHit = true
+		}
+	}
+	res, err := s.run(root, held)
+	if err != nil {
+		return nil, err
+	}
+	if o.Templates != nil && !s.templateHit {
+		// The search explored every group reachable from the root (the
+		// root task's exploration recurses the whole DAG), so the memo is
+		// at fixpoint and immutable from here on. The root is cloned so a
+		// caller mutating its query afterwards cannot skew verification.
+		o.Templates.Put(key, &Template{memo: s.memo, root: root.Clone()})
+	}
+	return res, nil
 }
 
 // OptimizeAll plans several independent queries through one shared worker
@@ -148,10 +206,10 @@ func (o *Optimizer) OptimizeAll(queries []*plan.Logical) ([]*Result, error) {
 	}
 	sem := o.newSem()
 	results := make([]*Result, len(queries))
-	fns := make([]func() error, len(queries))
+	fns := make([]func(bool) error, len(queries))
 	for i, q := range queries {
-		fns[i] = func() error {
-			res, err := o.newSearch(sem).run(q)
+		fns[i] = func(spawned bool) error {
+			res, err := o.optimizeOne(sem, q, spawned)
 			if err != nil {
 				return err
 			}
@@ -177,7 +235,11 @@ type search struct {
 	maxPartitions int
 	jobSeed       int64
 
-	memo *Memo
+	// memo is built by run, unless a template hit pre-seeded a shared,
+	// fully explored snapshot (templateHit). A shared memo is read-only:
+	// every Explore on it is a no-op and Exprs reads need no ordering.
+	memo        *Memo
+	templateHit bool
 
 	// table memoizes (group, required-props) tasks as futures: the first
 	// goroutine to claim a key computes it, duplicates wait on the
@@ -191,26 +253,32 @@ type search struct {
 	lookups atomic.Int64
 }
 
-func (o *Optimizer) newSearch(sem chan struct{}) *search {
-	maxP := o.MaxPartitions
-	if maxP <= 0 {
-		maxP = 3000
+// maxPartitions resolves the effective per-stage parallelism cap.
+func (o *Optimizer) maxPartitions() int {
+	if o.MaxPartitions > 0 {
+		return o.MaxPartitions
 	}
+	return 3000
+}
+
+func (o *Optimizer) newSearch(sem chan struct{}) *search {
 	return &search{
 		catalog:       o.Catalog,
 		cost:          o.Cost,
 		chooser:       o.Chooser,
 		resourceAware: o.ResourceAware,
-		maxPartitions: maxP,
+		maxPartitions: o.maxPartitions(),
 		jobSeed:       o.JobSeed,
 		table:         map[taskKey]*future{},
 		sem:           sem,
 	}
 }
 
-func (s *search) run(root *plan.Logical) (*Result, error) {
-	s.memo = NewMemo(root)
-	res, err := s.optimizeGroup(s.memo.Root(), Props{})
+func (s *search) run(root *plan.Logical, held bool) (*Result, error) {
+	if s.memo == nil {
+		s.memo = NewMemo(root)
+	}
+	res, err := s.optimizeGroup(s.memo.Root(), Props{}, held)
 	if err != nil {
 		return nil, err
 	}
@@ -223,6 +291,7 @@ func (s *search) run(root *plan.Logical) (*Result, error) {
 		Cost:         cost,
 		MemoGroups:   s.memo.NumGroups(),
 		ModelLookups: int(s.lookups.Load()),
+		TemplateHit:  s.templateHit,
 	}, nil
 }
 
@@ -255,18 +324,26 @@ type future struct {
 // execution instead of deadlocking, even though tasks recursively fan out.
 // It returns the first error in argument order.
 //
+// Each fn is told how it runs: spawned fns execute on a pool goroutine
+// that occupies a semaphore slot for the duration of the call, inline fns
+// (spawned == false) run on the caller's goroutine and hold no slot of
+// their own. The flag flows down the search so a task that parks on an
+// in-flight future can lend its slot back to the pool while it waits
+// (see optimizeGroup); an inline fn must instead inherit the caller's
+// slot-holding state, which the call sites capture in their closures.
+//
 // A panic in a spawned worker is captured and re-raised on the caller's
 // goroutine after every worker finishes — exactly where inline execution
 // would have panicked — so a panicking cost model unwinds the request that
 // triggered it (where net/http's per-connection recover can contain it)
 // instead of crashing the whole process from a bare goroutine.
-func fanOut(sem chan struct{}, fns ...func() error) error {
+func fanOut(sem chan struct{}, fns ...func(spawned bool) error) error {
 	if len(fns) == 0 {
 		return nil
 	}
 	if sem == nil {
 		for _, fn := range fns {
-			if err := fn(); err != nil {
+			if err := fn(false); err != nil {
 				return err
 			}
 		}
@@ -298,18 +375,18 @@ func fanOut(sem chan struct{}, fns ...func() error) error {
 							failed.Store(true)
 						}
 					}()
-					if errs[i] = fn(); errs[i] != nil {
+					if errs[i] = fn(true); errs[i] != nil {
 						failed.Store(true)
 					}
 				}()
 			default:
-				if errs[i] = fn(); errs[i] != nil {
+				if errs[i] = fn(false); errs[i] != nil {
 					failed.Store(true)
 				}
 			}
 		}
 		if !failed.Load() {
-			errs[len(fns)-1] = fns[len(fns)-1]()
+			errs[len(fns)-1] = fns[len(fns)-1](false)
 		}
 	}()
 	for _, p := range panics {
@@ -336,23 +413,24 @@ type childTask struct {
 // optimizeChildren runs a rule's independent child optimizations. With a
 // worker pool they fan out through fanOut; inline mode (sem == nil — the
 // sequential default) runs them directly with no closures or goroutine
-// scaffolding, keeping the hot path allocation-lean.
-func (s *search) optimizeChildren(tasks []childTask) error {
+// scaffolding, keeping the hot path allocation-lean. held is the calling
+// goroutine's slot-holding state, inherited by inline-executed tasks.
+func (s *search) optimizeChildren(tasks []childTask, held bool) error {
 	if s.sem == nil {
 		for i := range tasks {
 			var err error
-			if *tasks[i].dst, err = s.optimizeGroup(tasks[i].id, tasks[i].req); err != nil {
+			if *tasks[i].dst, err = s.optimizeGroup(tasks[i].id, tasks[i].req, false); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	fns := make([]func() error, len(tasks))
+	fns := make([]func(bool) error, len(tasks))
 	for i := range tasks {
 		t := &tasks[i]
-		fns[i] = func() error {
+		fns[i] = func(spawned bool) error {
 			var err error
-			*t.dst, err = s.optimizeGroup(t.id, t.req)
+			*t.dst, err = s.optimizeGroup(t.id, t.req, spawned || held)
 			return err
 		}
 	}
@@ -364,7 +442,18 @@ func (s *search) optimizeChildren(tasks []childTask) error {
 // properties, memoized per (group, props). Concurrent requests for the same
 // key dedupe by waiting on the in-flight future; group dependencies follow
 // the memo DAG, so future waits cannot cycle.
-func (s *search) optimizeGroup(id GroupID, req Props) (*searchResult, error) {
+//
+// held reports whether the calling goroutine occupies a pool slot (it runs
+// a spawned fanOut task somewhere up its stack). A held waiter parked on an
+// in-flight future lends its slot back to the pool for the duration of the
+// wait — otherwise dedup-heavy shapes at small Parallelism idle pool
+// capacity on goroutines that are doing nothing but waiting — and
+// re-acquires before continuing. Inline callers hold no slot and wait as
+// before. Re-acquisition cannot deadlock: a goroutine blocked here holds no
+// slot, so a full semaphore means some worker is actively running, and
+// every running worker eventually releases (it finishes, or parks and lends
+// in turn).
+func (s *search) optimizeGroup(id GroupID, req Props, held bool) (*searchResult, error) {
 	key := taskKey{group: id, props: req.key()}
 	if s.sem == nil {
 		// Inline mode: the whole search runs on one goroutine, so the
@@ -373,14 +462,28 @@ func (s *search) optimizeGroup(id GroupID, req Props) (*searchResult, error) {
 			return f.res, f.err
 		}
 		f := &future{}
-		f.res, f.err = s.searchGroup(id, req)
+		f.res, f.err = s.searchGroup(id, req, false)
 		s.table[key] = f
 		return f.res, f.err
 	}
 	s.mu.Lock()
 	if f, ok := s.table[key]; ok {
 		s.mu.Unlock()
-		<-f.done
+		if held {
+			// Lend only if the task is genuinely in flight: a resolved
+			// future is a free memo hit, and giving the slot up just to
+			// re-queue for it behind a saturated pool would turn that hit
+			// into a stall.
+			select {
+			case <-f.done:
+			default:
+				<-s.sem // lend the slot while parked
+				<-f.done
+				s.sem <- struct{}{} // re-acquire before resuming work
+			}
+		} else {
+			<-f.done
+		}
 		return f.res, f.err
 	}
 	f := &future{done: make(chan struct{})}
@@ -396,7 +499,7 @@ func (s *search) optimizeGroup(id GroupID, req Props) (*searchResult, error) {
 			panic(r)
 		}
 	}()
-	f.res, f.err = s.searchGroup(id, req)
+	f.res, f.err = s.searchGroup(id, req, held)
 	close(f.done)
 	return f.res, f.err
 }
@@ -408,7 +511,7 @@ func (s *search) optimizeGroup(id GroupID, req Props) (*searchResult, error) {
 // exploration is the costly part — fan out across the worker pool; the
 // final reduction scans candidates in expression/candidate order with a
 // strict < comparison, so ties break identically to the sequential search.
-func (s *search) searchGroup(id GroupID, req Props) (*searchResult, error) {
+func (s *search) searchGroup(id GroupID, req Props, held bool) (*searchResult, error) {
 	s.memo.Explore(id)
 	g := s.memo.Group(id)
 	if len(g.Exprs) == 0 {
@@ -419,13 +522,13 @@ func (s *search) searchGroup(id GroupID, req Props) (*searchResult, error) {
 	switch {
 	case len(g.Exprs) == 1: // the common case: no alternatives to fan out
 		var err error
-		cands, err = s.implement(g.Exprs[0], req)
+		cands, err = s.implement(g.Exprs[0], req, held)
 		if err != nil {
 			return nil, err
 		}
 	case s.sem == nil: // inline mode: no fan-out scaffolding
 		for _, e := range g.Exprs {
-			cs, err := s.implement(e, req)
+			cs, err := s.implement(e, req, false)
 			if err != nil {
 				return nil, err
 			}
@@ -433,11 +536,11 @@ func (s *search) searchGroup(id GroupID, req Props) (*searchResult, error) {
 		}
 	default:
 		candsByExpr := make([][]candidate, len(g.Exprs))
-		fns := make([]func() error, len(g.Exprs))
+		fns := make([]func(bool) error, len(g.Exprs))
 		for i, e := range g.Exprs {
-			fns[i] = func() error {
+			fns[i] = func(spawned bool) error {
 				var err error
-				candsByExpr[i], err = s.implement(e, req)
+				candsByExpr[i], err = s.implement(e, req, spawned || held)
 				return err
 			}
 		}
@@ -474,9 +577,9 @@ func (s *search) searchGroup(id GroupID, req Props) (*searchResult, error) {
 		cost      float64
 	}
 	outs := make([]enforced, len(cands))
-	efns := make([]func() error, len(cands))
+	efns := make([]func(bool) error, len(cands))
 	for i, cand := range cands {
-		efns[i] = func() error {
+		efns[i] = func(bool) error { // enforcement never recurses into groups
 			final, delivered, err := s.enforce(cand.root, cand.delivered, req)
 			if err != nil {
 				return err
@@ -505,29 +608,30 @@ type candidate struct {
 }
 
 // implement applies the implementation rules for one logical expression,
-// producing costed physical candidates.
-func (s *search) implement(e *Expr, req Props) ([]candidate, error) {
+// producing costed physical candidates. held is the calling goroutine's
+// slot-holding state, threaded through to child group optimizations.
+func (s *search) implement(e *Expr, req Props, held bool) ([]candidate, error) {
 	switch e.Op {
 	case plan.LGet:
 		return s.implementGet(e)
 	case plan.LSelect:
-		return s.implementPassThrough(e, plan.PFilter, req, true)
+		return s.implementPassThrough(e, plan.PFilter, req, true, held)
 	case plan.LProject:
-		return s.implementPassThrough(e, plan.PProject, req, true)
+		return s.implementPassThrough(e, plan.PProject, req, true, held)
 	case plan.LProcess:
-		return s.implementPassThrough(e, plan.PProcess, req, false)
+		return s.implementPassThrough(e, plan.PProcess, req, false, held)
 	case plan.LOutput:
-		return s.implementPassThrough(e, plan.POutput, req, true)
+		return s.implementPassThrough(e, plan.POutput, req, true, held)
 	case plan.LUnion:
-		return s.implementUnion(e)
+		return s.implementUnion(e, held)
 	case plan.LSort:
-		return s.implementSort(e, req)
+		return s.implementSort(e, req, held)
 	case plan.LTopN:
-		return s.implementTopN(e, req)
+		return s.implementTopN(e, req, held)
 	case plan.LAggregate:
-		return s.implementAggregate(e)
+		return s.implementAggregate(e, held)
 	case plan.LJoin:
-		return s.implementJoin(e)
+		return s.implementJoin(e, held)
 	default:
 		return nil, fmt.Errorf("cascades: no implementation rule for %v", e.Op)
 	}
@@ -612,12 +716,12 @@ func (s *search) implementGet(e *Expr) ([]candidate, error) {
 // (and, when keepOrder, ordering): Filter, Project, Process, Output. The
 // parent's requirement is forwarded to the child so enforcers land as low
 // as possible.
-func (s *search) implementPassThrough(e *Expr, op plan.PhysicalOp, req Props, keepOrder bool) ([]candidate, error) {
+func (s *search) implementPassThrough(e *Expr, op plan.PhysicalOp, req Props, keepOrder, held bool) ([]candidate, error) {
 	childReq := Props{Part: req.Part}
 	if keepOrder {
 		childReq.Order = req.Order
 	}
-	child, err := s.optimizeGroup(e.Child[0], childReq)
+	child, err := s.optimizeGroup(e.Child[0], childReq, held)
 	if err != nil {
 		return nil, err
 	}
@@ -635,7 +739,7 @@ func (s *search) implementPassThrough(e *Expr, op plan.PhysicalOp, req Props, ke
 	return []candidate{{root: n, delivered: delivered}}, nil
 }
 
-func (s *search) implementUnion(e *Expr) ([]candidate, error) {
+func (s *search) implementUnion(e *Expr, held bool) ([]candidate, error) {
 	// Union branches are independent subtrees: fan their optimizations
 	// across the worker pool.
 	results := make([]*searchResult, len(e.Child))
@@ -643,7 +747,7 @@ func (s *search) implementUnion(e *Expr) ([]candidate, error) {
 	for i, cg := range e.Child {
 		tasks[i] = childTask{dst: &results[i], id: cg, req: Props{}}
 	}
-	if err := s.optimizeChildren(tasks); err != nil {
+	if err := s.optimizeChildren(tasks, held); err != nil {
 		return nil, err
 	}
 	children := make([]*plan.Physical, len(results))
@@ -664,8 +768,8 @@ func (s *search) implementUnion(e *Expr) ([]candidate, error) {
 	return []candidate{{root: n, delivered: Props{}}}, nil
 }
 
-func (s *search) implementSort(e *Expr, req Props) ([]candidate, error) {
-	child, err := s.optimizeGroup(e.Child[0], Props{Part: req.Part})
+func (s *search) implementSort(e *Expr, req Props, held bool) ([]candidate, error) {
+	child, err := s.optimizeGroup(e.Child[0], Props{Part: req.Part}, held)
 	if err != nil {
 		return nil, err
 	}
@@ -680,9 +784,9 @@ func (s *search) implementSort(e *Expr, req Props) ([]candidate, error) {
 	return []candidate{{root: n, delivered: delivered}}, nil
 }
 
-func (s *search) implementTopN(e *Expr, req Props) ([]candidate, error) {
+func (s *search) implementTopN(e *Expr, req Props, held bool) ([]candidate, error) {
 	// Top-N consumes sorted input; the sort requirement is pushed down.
-	child, err := s.optimizeGroup(e.Child[0], Props{Part: req.Part, Order: Ordering(e.Keys)})
+	child, err := s.optimizeGroup(e.Child[0], Props{Part: req.Part, Order: Ordering(e.Keys)}, held)
 	if err != nil {
 		return nil, err
 	}
@@ -706,7 +810,7 @@ func aggPartitioning(keys []plan.Column) Partitioning {
 	return Partitioning{Kind: HashPartition, Keys: keys}
 }
 
-func (s *search) implementAggregate(e *Expr) ([]candidate, error) {
+func (s *search) implementAggregate(e *Expr, held bool) ([]candidate, error) {
 	part := aggPartitioning(e.Keys)
 
 	// The three aggregation alternatives need three independent child
@@ -721,7 +825,7 @@ func (s *search) implementAggregate(e *Expr) ([]candidate, error) {
 	if len(e.Keys) > 0 {
 		tasks = append(tasks, childTask{dst: &streamChild, id: e.Child[0], req: Props{Part: part, Order: Ordering(e.Keys)}})
 	}
-	if err := s.optimizeChildren(tasks); err != nil {
+	if err := s.optimizeChildren(tasks, held); err != nil {
 		return nil, err
 	}
 
@@ -770,7 +874,7 @@ func (s *search) implementAggregate(e *Expr) ([]candidate, error) {
 	return cands, nil
 }
 
-func (s *search) implementJoin(e *Expr) ([]candidate, error) {
+func (s *search) implementJoin(e *Expr, held bool) ([]candidate, error) {
 	part := Partitioning{Kind: HashPartition, Keys: e.Keys}
 	ord := Ordering(e.Keys)
 
@@ -784,7 +888,7 @@ func (s *search) implementJoin(e *Expr) ([]candidate, error) {
 		{dst: &lm, id: e.Child[0], req: Props{Part: part, Order: ord}},
 		{dst: &rm, id: e.Child[1], req: Props{Part: part, Order: ord}},
 	}
-	if err := s.optimizeChildren(tasks); err != nil {
+	if err := s.optimizeChildren(tasks, held); err != nil {
 		return nil, err
 	}
 

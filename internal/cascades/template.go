@@ -1,0 +1,198 @@
+package cascades
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"cleo/internal/plan"
+)
+
+// Recurring-job template reuse (the memo-sharing optimization the paper's
+// workload motivates): production traffic is dominated by recurring jobs
+// whose logical plan repeats with varying parameters, yet a stock search
+// rebuilds an identical memo — copy-in plus logical exploration — for every
+// instance. A Template freezes that parameter-independent part of one
+// finished search: the memo's group structure and the exploration results
+// (every group's expression set after the transformation rules ran to
+// fixpoint, join commutes included). Copy-in and exploration read only the
+// logical plan — never the catalog, statistics, parameters or cost model —
+// so the snapshot is shared read-only by later instances, which re-run just
+// the instance-dependent half of the search: implementation, costing,
+// enforcement and partition arbitration with their own statistics, job
+// seed, parameters and model version.
+
+// Template is an immutable snapshot of one logical plan's fully explored
+// memo. It is safe to share across concurrent searches: after exploration
+// reaches fixpoint nothing writes the memo (group registration and
+// expression insertion happen only during copy-in and under each group's
+// explore Once, both of which have completed).
+type Template struct {
+	memo *Memo
+	// root is the logical plan the memo was built from (a private deep
+	// copy). A cache hit verifies the query against it structurally: the
+	// 64-bit signature in the key is a fast filter, not proof of identity,
+	// and a collision must degrade to a miss — never to serving another
+	// plan's search space.
+	root *plan.Logical
+}
+
+// Groups reports the snapshot's memo size, for diagnostics.
+func (t *Template) Groups() int { return t.memo.NumGroups() }
+
+// TemplateKey identifies one cache slot. The logical-plan signature names
+// the template; every other field is an invalidation fence — the snapshot
+// itself depends on none of them, but folding them into the key guarantees
+// a configuration or model change can never serve search state from before
+// it (and makes the cache observably miss, which the serving layer's
+// counters surface):
+//
+//   - CatalogEpoch advances on every RegisterTable / selectivity override,
+//     so statistics updates re-explore from scratch.
+//   - Model carries the cost model's identity (the learned predictor
+//     pointer, hot-swapped per version; the model name for the analytical
+//     costers), so a published model version starts from a fresh template.
+//   - MaxPartitions / Parallelism / ResourceAware pin the search
+//     configuration, so a per-request parallelism override or a
+//     partition-cap change misses rather than reusing.
+type TemplateKey struct {
+	Sig           plan.Signature
+	CatalogEpoch  uint64
+	MaxPartitions int
+	Parallelism   int
+	ResourceAware bool
+	Model         any
+}
+
+// TemplateIdentifier is an optional Coster upgrade: implementations report
+// a comparable identity of the underlying model (the learned coster returns
+// its predictor pointer, so a hot-swap changes the identity). Costers
+// without it key by Name().
+type TemplateIdentifier interface {
+	TemplateIdentity() any
+}
+
+// costerIdentity derives the template-key model component from a coster.
+func costerIdentity(c Coster) any {
+	if ti, ok := c.(TemplateIdentifier); ok {
+		return ti.TemplateIdentity()
+	}
+	return c.Name()
+}
+
+// DefaultTemplateCacheSize is the per-cache entry bound used when a
+// capacity of 0 is requested. Snapshots are small (one group per logical
+// node plus commuted join expressions), so this comfortably covers a
+// tenant's recurring templates.
+const DefaultTemplateCacheSize = 128
+
+// TemplateCacheStats snapshots the cache counters. The JSON names carry the
+// template_ prefix so the struct embeds flat into the serving layer's
+// per-tenant stats.
+type TemplateCacheStats struct {
+	// TemplateHits counts optimizations that reused a snapshot.
+	TemplateHits uint64 `json:"template_hits"`
+	// TemplateMisses counts optimizations that built (and published) a
+	// fresh snapshot.
+	TemplateMisses uint64 `json:"template_misses"`
+	// TemplateEntries is the current snapshot count.
+	TemplateEntries int `json:"template_entries"`
+	// TemplateInvalidations counts wholesale purges (model hot-swaps).
+	TemplateInvalidations uint64 `json:"template_invalidations"`
+}
+
+// TemplateCache is a bounded LRU of memo templates, keyed by TemplateKey.
+// All methods are safe for concurrent use; one cache serves every
+// optimization of a tenant, so capacity bounds the tenant's snapshot
+// memory.
+type TemplateCache struct {
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	invalidations atomic.Uint64
+
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used *templateEntry
+	m        map[TemplateKey]*list.Element
+}
+
+type templateEntry struct {
+	key  TemplateKey
+	tmpl *Template
+}
+
+// NewTemplateCache builds a cache bounded to capacity entries
+// (0 = DefaultTemplateCacheSize).
+func NewTemplateCache(capacity int) *TemplateCache {
+	if capacity <= 0 {
+		capacity = DefaultTemplateCacheSize
+	}
+	return &TemplateCache{
+		capacity: capacity,
+		ll:       list.New(),
+		m:        make(map[TemplateKey]*list.Element, capacity),
+	}
+}
+
+// Get returns the snapshot for k whose plan structurally equals root,
+// marking it most recently used. A key present with a different plan — a
+// signature collision — counts as a miss; the subsequent Put replaces it.
+func (c *TemplateCache) Get(k TemplateKey, root *plan.Logical) (*Template, bool) {
+	c.mu.Lock()
+	var tmpl *Template
+	if el, ok := c.m[k]; ok {
+		c.ll.MoveToFront(el)
+		tmpl = el.Value.(*templateEntry).tmpl
+	}
+	c.mu.Unlock()
+	if tmpl == nil || !tmpl.root.Equal(root) {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return tmpl, true
+}
+
+// Put installs (or refreshes) the snapshot for k, evicting the least
+// recently used entries beyond capacity. Concurrent misses for the same
+// template may Put twice; the snapshots are interchangeable, so last wins.
+func (c *TemplateCache) Put(k TemplateKey, t *Template) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[k]; ok {
+		el.Value.(*templateEntry).tmpl = t
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[k] = c.ll.PushFront(&templateEntry{key: k, tmpl: t})
+	for c.ll.Len() > c.capacity {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.m, back.Value.(*templateEntry).key)
+	}
+}
+
+// Invalidate drops every snapshot. The key fences already prevent a new
+// model version or statistics epoch from ever hitting an old entry; the
+// purge on top reclaims the dead entries immediately instead of waiting
+// for LRU eviction.
+func (c *TemplateCache) Invalidate() {
+	c.mu.Lock()
+	c.ll.Init()
+	c.m = make(map[TemplateKey]*list.Element, c.capacity)
+	c.mu.Unlock()
+	c.invalidations.Add(1)
+}
+
+// Stats snapshots the counters.
+func (c *TemplateCache) Stats() TemplateCacheStats {
+	c.mu.Lock()
+	entries := c.ll.Len()
+	c.mu.Unlock()
+	return TemplateCacheStats{
+		TemplateHits:          c.hits.Load(),
+		TemplateMisses:        c.misses.Load(),
+		TemplateEntries:       entries,
+		TemplateInvalidations: c.invalidations.Load(),
+	}
+}

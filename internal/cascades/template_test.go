@@ -1,0 +1,265 @@
+package cascades
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cleo/internal/plan"
+	"cleo/internal/stats"
+)
+
+// templateQueries covers every implementation rule: scans, filters,
+// aggregates, joins (with commuted exploration), unions, sorts, top-n and
+// UDF processors.
+func templateQueries() []*plan.Logical {
+	clicks := func() *plan.Logical { return plan.NewGet("clicks_d1", "clicks_") }
+	return []*plan.Logical{
+		simpleQuery(),
+		joinQuery(),
+		plan.NewOutput(plan.NewUnion(
+			plan.NewAggregate(plan.NewSelect(clicks(), "market=us"), "user"),
+			plan.NewAggregate(plan.NewSelect(clicks(), "market=eu"), "user"))),
+		plan.NewOutput(plan.NewTopN(plan.NewAggregate(plan.NewProcess(clicks(), "extract"), "user"), 10, "score")),
+	}
+}
+
+// TestTemplateHitMatchesFresh pins the core contract: a template-cached
+// optimization returns bit-identical plans, costs and diagnostics to a
+// fresh one, for the plain and resource-aware configurations and for
+// sequential and parallel searches.
+func TestTemplateHitMatchesFresh(t *testing.T) {
+	cat := testCatalog()
+	for _, ra := range []bool{false, true} {
+		for _, par := range []int{1, 4} {
+			t.Run(fmt.Sprintf("ra=%v/par=%d", ra, par), func(t *testing.T) {
+				fresh := defaultOptimizer(cat)
+				cached := defaultOptimizer(cat)
+				cached.Templates = NewTemplateCache(0)
+				if ra {
+					for _, o := range []*Optimizer{fresh, cached} {
+						o.ResourceAware = true
+						o.Chooser = &SamplingChooser{Cost: o.Cost, Strategy: Geometric, SkipCoefficient: 2}
+					}
+				}
+				fresh.Parallelism = par
+				cached.Parallelism = par
+				for qi, q := range templateQueries() {
+					want, err := fresh.Optimize(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					miss, err := cached.Optimize(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if miss.TemplateHit {
+						t.Fatalf("query %d: first optimization reported a template hit", qi)
+					}
+					hit, err := cached.Optimize(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !hit.TemplateHit {
+						t.Fatalf("query %d: second optimization missed the template cache", qi)
+					}
+					for name, got := range map[string]*Result{"miss": miss, "hit": hit} {
+						if got.Plan.String() != want.Plan.String() {
+							t.Fatalf("query %d (%s): plans differ:\nfresh:  %s\ncached: %s",
+								qi, name, want.Plan, got.Plan)
+						}
+						if got.Cost != want.Cost {
+							t.Fatalf("query %d (%s): costs differ: %v vs %v", qi, name, want.Cost, got.Cost)
+						}
+						if got.MemoGroups != want.MemoGroups || got.ModelLookups != want.ModelLookups {
+							t.Fatalf("query %d (%s): diagnostics differ: groups %d/%d lookups %d/%d",
+								qi, name, want.MemoGroups, got.MemoGroups, want.ModelLookups, got.ModelLookups)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestTemplateHitVariesInstanceParameters proves the snapshot is truly
+// parameter-independent: instances with different job seeds share the
+// template, and each still matches its own fresh optimization (statistics
+// drift is re-annotated per instance, never cached).
+func TestTemplateHitVariesInstanceParameters(t *testing.T) {
+	cat := testCatalog()
+	cached := defaultOptimizer(cat)
+	cached.Templates = NewTemplateCache(0)
+	q := joinQuery()
+	for i, seed := range []int64{1, 2, 99} {
+		fresh := defaultOptimizer(cat)
+		fresh.JobSeed = seed
+		cached.JobSeed = seed
+		want, err := fresh.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cached.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && !got.TemplateHit {
+			t.Fatalf("seed %d: expected a template hit", seed)
+		}
+		if got.Plan.String() != want.Plan.String() || got.Cost != want.Cost {
+			t.Fatalf("seed %d: cached instance diverged from fresh:\nfresh:  %s (%v)\ncached: %s (%v)",
+				seed, want.Plan, want.Cost, got.Plan, got.Cost)
+		}
+	}
+	// JobSeed is not part of the key: three instances, one entry.
+	if st := cached.Templates.Stats(); st.TemplateEntries != 1 || st.TemplateHits != 2 || st.TemplateMisses != 1 {
+		t.Fatalf("stats = %+v, want 1 entry, 2 hits, 1 miss", st)
+	}
+}
+
+// TestTemplateKeyFences pins the invalidation semantics that live in the
+// cache key: a statistics update, a model change, a partition-cap change
+// or a parallelism change must miss (and re-explore) rather than reuse.
+func TestTemplateKeyFences(t *testing.T) {
+	q := simpleQuery()
+	steps := []struct {
+		name   string
+		mutate func(o *Optimizer)
+	}{
+		{"stats update", func(o *Optimizer) {
+			ts := mustTable(o, "clicks_d1")
+			ts.Rows *= 2
+			o.Catalog.PutTable("clicks_d1", ts)
+		}},
+		{"max partitions", func(o *Optimizer) { o.MaxPartitions = 500 }},
+		{"parallelism", func(o *Optimizer) { o.Parallelism = 2 }},
+	}
+	for _, step := range steps {
+		t.Run(step.name, func(t *testing.T) {
+			o := defaultOptimizer(testCatalog())
+			o.Parallelism = 1 // pin so the parallelism mutation below differs
+			o.Templates = NewTemplateCache(0)
+			for i := 0; i < 2; i++ {
+				if _, err := o.Optimize(q); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if st := o.Templates.Stats(); st.TemplateHits != 1 {
+				t.Fatalf("warmup: stats = %+v, want 1 hit", st)
+			}
+			step.mutate(o)
+			res, err := o.Optimize(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.TemplateHit {
+				t.Fatalf("optimization after %s reused a stale template", step.name)
+			}
+			if st := o.Templates.Stats(); st.TemplateMisses != 2 {
+				t.Fatalf("after %s: stats = %+v, want 2 misses", step.name, st)
+			}
+		})
+	}
+}
+
+// mustTable re-reads a table's stats so a test can re-register them
+// unchanged (the epoch advances regardless of the value).
+func mustTable(o *Optimizer, name string) stats.TableStats {
+	v, ok := o.Catalog.Table(name)
+	if !ok {
+		panic("missing table " + name)
+	}
+	return v
+}
+
+// TestTemplateCacheLRUAndInvalidate exercises capacity eviction and the
+// wholesale purge.
+func TestTemplateCacheLRUAndInvalidate(t *testing.T) {
+	c := NewTemplateCache(2)
+	q := simpleQuery()
+	keys := []TemplateKey{{Sig: 1}, {Sig: 2}, {Sig: 3}}
+	for _, k := range keys {
+		c.Put(k, &Template{memo: NewMemo(q), root: q.Clone()})
+	}
+	if _, ok := c.Get(keys[0], q); ok {
+		t.Fatal("oldest entry survived past capacity")
+	}
+	if _, ok := c.Get(keys[2], q); !ok {
+		t.Fatal("newest entry evicted")
+	}
+	// Get(keys[2]) made it most recent; inserting a fourth key must evict
+	// keys[1], the least recently used survivor.
+	c.Put(TemplateKey{Sig: 4}, &Template{memo: NewMemo(q), root: q.Clone()})
+	if _, ok := c.Get(keys[1], q); ok {
+		t.Fatal("LRU evicted the recently used entry instead of the stale one")
+	}
+	c.Invalidate()
+	st := c.Stats()
+	if st.TemplateEntries != 0 || st.TemplateInvalidations != 1 {
+		t.Fatalf("after Invalidate: stats = %+v", st)
+	}
+}
+
+// TestTemplateSignatureCollisionDegradesToMiss pins the collision defense:
+// a cache slot holding a *different* logical plan under the same key (a
+// 64-bit signature collision) must read as a miss, never serve the other
+// plan's memo.
+func TestTemplateSignatureCollisionDegradesToMiss(t *testing.T) {
+	c := NewTemplateCache(4)
+	a, b := simpleQuery(), joinQuery()
+	k := TemplateKey{Sig: 42} // pretend a and b collide on this key
+	c.Put(k, &Template{memo: NewMemo(a), root: a.Clone()})
+	if _, ok := c.Get(k, b); ok {
+		t.Fatal("colliding plan was served another template's memo")
+	}
+	if tmpl, ok := c.Get(k, a); !ok || tmpl == nil {
+		t.Fatal("the plan that owns the slot no longer hits")
+	}
+	st := c.Stats()
+	if st.TemplateHits != 1 || st.TemplateMisses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit (owner) and 1 miss (collider)", st)
+	}
+}
+
+// TestTemplateConcurrentUse hammers one shared cache from many goroutines
+// (run under -race): all results must match the sequential fresh answer.
+func TestTemplateConcurrentUse(t *testing.T) {
+	cat := testCatalog()
+	queries := templateQueries()
+	want := make([]*Result, len(queries))
+	fresh := defaultOptimizer(cat)
+	for i, q := range queries {
+		r, err := fresh.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+	shared := defaultOptimizer(cat)
+	shared.Parallelism = 4
+	shared.Templates = NewTemplateCache(0)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, q := range queries {
+				res, err := shared.Optimize(q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Plan.String() != want[i].Plan.String() || res.Cost != want[i].Cost {
+					errs <- fmt.Errorf("query %d: concurrent cached result diverged", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -37,6 +37,16 @@ type SystemConfig struct {
 	// group-optimization tasks across (0 = GOMAXPROCS). Parallel searches
 	// return plans cost-identical to sequential ones.
 	Parallelism int
+	// TemplateCacheSize bounds the recurring-job memo-template cache: the
+	// optimizer snapshots each logical plan's explored memo and later
+	// instances of the same template reuse it, re-running only costing and
+	// arbitration. 0 selects the default capacity
+	// (cascades.DefaultTemplateCacheSize); negative disables template
+	// reuse entirely. Cached and fresh optimizations return bit-identical
+	// plans; stale reuse is fenced by the catalog epoch, the model
+	// identity and the search configuration in the cache key, plus a full
+	// purge on every model hot-swap.
+	TemplateCacheSize int
 	// Exec, when non-nil, overrides the full cluster configuration.
 	Exec *exec.Config
 }
@@ -52,6 +62,10 @@ type System struct {
 	cluster *exec.Cluster
 	maxP    int
 	par     int
+
+	// templates caches explored memo snapshots across recurring instances
+	// (nil when disabled). SetModels purges it on every hot-swap.
+	templates *cascades.TemplateCache
 
 	mu  sync.Mutex // guards log
 	log []telemetry.Record
@@ -71,12 +85,16 @@ func NewSystem(cfg SystemConfig) *System {
 	if cfg.MaxPartitions > 0 {
 		ec.MaxPartitions = cfg.MaxPartitions
 	}
-	return &System{
+	s := &System{
 		catalog: stats.NewCatalog(cfg.Seed),
 		cluster: exec.NewCluster(ec),
 		maxP:    ec.MaxPartitions,
 		par:     cfg.Parallelism,
 	}
+	if cfg.TemplateCacheSize >= 0 {
+		s.templates = cascades.NewTemplateCache(cfg.TemplateCacheSize)
+	}
+	return s
 }
 
 // Parallelism reports the effective optimizer search parallelism (the
@@ -190,6 +208,7 @@ func (s *System) Optimize(q *plan.Logical, opts RunOptions) (*plan.Physical, flo
 		Chooser:       chooser,
 		JobSeed:       opts.Seed,
 		Parallelism:   par,
+		Templates:     s.templates,
 	}
 	res, err := opt.Optimize(q)
 	if err != nil {
@@ -363,7 +382,7 @@ func (s *System) Retrain() error {
 	if err != nil {
 		return err
 	}
-	s.models.Store(pr)
+	s.SetModels(pr)
 	return nil
 }
 
@@ -373,8 +392,23 @@ func (s *System) Models() *learned.Predictor {
 }
 
 // SetModels installs an externally trained predictor with an atomic swap.
+// The hot-swap also purges the memo-template cache: the cache key already
+// fences on the predictor identity, so the purge reclaims entries priced
+// under superseded versions rather than leaving them to age out of the LRU.
 func (s *System) SetModels(pr *learned.Predictor) {
 	s.models.Store(pr)
+	if s.templates != nil {
+		s.templates.Invalidate()
+	}
+}
+
+// TemplateStats snapshots the recurring-job template cache counters (the
+// zero value when template reuse is disabled).
+func (s *System) TemplateStats() cascades.TemplateCacheStats {
+	if s.templates == nil {
+		return cascades.TemplateCacheStats{}
+	}
+	return s.templates.Stats()
 }
 
 // SaveModels serializes the trained models to a file.

@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"testing"
+
+	"cleo/internal/cascades"
+	"cleo/internal/plan"
+	"cleo/internal/stats"
+)
+
+func templateTestQuery() *plan.Logical {
+	return plan.NewOutput(plan.NewAggregate(plan.NewSelect(
+		plan.NewGet("clicks_2026_06_12", "clicks_"), "market=us"), "user"))
+}
+
+// trainedTemplateSystem builds a System with telemetry collected and a
+// first model version published.
+func trainedTemplateSystem(t *testing.T) *System {
+	t.Helper()
+	sys := NewSystem(SystemConfig{Seed: 5})
+	sys.RegisterTable("clicks_2026_06_12", stats.TableStats{Rows: 2e7, RowLength: 120})
+	q := templateTestQuery()
+	for seed := int64(1); seed <= 30; seed++ {
+		if _, err := sys.Run(q, RunOptions{Seed: seed, Param: float64(seed%5) + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestTemplateInvalidation is the table-driven invalidation contract at
+// the engine layer: after a model hot-swap, a statistics update or a
+// per-request parallelism override, the next optimization must miss the
+// template cache (and re-explore) instead of reusing a stale snapshot.
+func TestTemplateInvalidation(t *testing.T) {
+	steps := []struct {
+		name   string
+		mutate func(t *testing.T, sys *System)
+	}{
+		{"model hot-swap", func(t *testing.T, sys *System) {
+			// Retrain publishes a new *Predictor: the key's model identity
+			// changes and SetModels purges the cache outright.
+			if err := sys.Retrain(); err != nil {
+				t.Fatal(err)
+			}
+			if st := sys.TemplateStats(); st.TemplateEntries != 0 || st.TemplateInvalidations == 0 {
+				t.Fatalf("hot-swap did not purge the template cache: %+v", st)
+			}
+		}},
+		{"stats update", func(t *testing.T, sys *System) {
+			sys.RegisterTable("clicks_2026_06_12", stats.TableStats{Rows: 3e7, RowLength: 120})
+		}},
+	}
+	for _, step := range steps {
+		t.Run(step.name, func(t *testing.T) {
+			sys := trainedTemplateSystem(t)
+			q := templateTestQuery()
+			opts := RunOptions{Seed: 7, Param: 2, UseLearnedModels: true, SkipLogging: true,
+				Models: sys.Models()}
+			base := sys.TemplateStats()
+			for i := 0; i < 2; i++ {
+				if _, _, err := sys.Optimize(q, opts); err != nil {
+					t.Fatal(err)
+				}
+			}
+			st := sys.TemplateStats()
+			if st.TemplateHits != base.TemplateHits+1 {
+				t.Fatalf("warmup: stats went %+v -> %+v, want one hit", base, st)
+			}
+			step.mutate(t, sys)
+			opts.Models = sys.Models() // re-pin whatever is live now
+			if _, _, err := sys.Optimize(q, opts); err != nil {
+				t.Fatal(err)
+			}
+			after := sys.TemplateStats()
+			if after.TemplateHits != st.TemplateHits {
+				t.Fatalf("optimization after %s hit a stale template: %+v -> %+v", step.name, st, after)
+			}
+			if after.TemplateMisses <= st.TemplateMisses {
+				t.Fatalf("optimization after %s did not re-explore: %+v -> %+v", step.name, st, after)
+			}
+		})
+	}
+}
+
+// TestTemplateParallelismOverrideMisses pins the per-request knob: a run
+// with RunOptions.Parallelism different from the system default keys its
+// own template slot.
+func TestTemplateParallelismOverrideMisses(t *testing.T) {
+	sys := NewSystem(SystemConfig{Seed: 5, Parallelism: 1})
+	sys.RegisterTable("clicks_2026_06_12", stats.TableStats{Rows: 2e7, RowLength: 120})
+	q := templateTestQuery()
+	for i := 0; i < 2; i++ {
+		if _, _, err := sys.Optimize(q, RunOptions{Seed: 7, SkipLogging: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := sys.TemplateStats()
+	if st.TemplateHits != 1 || st.TemplateMisses != 1 {
+		t.Fatalf("warmup stats = %+v", st)
+	}
+	if _, _, err := sys.Optimize(q, RunOptions{Seed: 7, SkipLogging: true, Parallelism: 2}); err != nil {
+		t.Fatal(err)
+	}
+	after := sys.TemplateStats()
+	if after.TemplateHits != st.TemplateHits || after.TemplateMisses != st.TemplateMisses+1 {
+		t.Fatalf("parallelism override stats = %+v, want a fresh miss", after)
+	}
+}
+
+// TestTemplateCacheDisabled pins the negative-capacity escape hatch.
+func TestTemplateCacheDisabled(t *testing.T) {
+	sys := NewSystem(SystemConfig{Seed: 5, TemplateCacheSize: -1})
+	sys.RegisterTable("clicks_2026_06_12", stats.TableStats{Rows: 2e7, RowLength: 120})
+	q := templateTestQuery()
+	for i := 0; i < 2; i++ {
+		if _, _, err := sys.Optimize(q, RunOptions{Seed: 7, SkipLogging: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := sys.TemplateStats(); st != (cascades.TemplateCacheStats{}) {
+		t.Fatalf("disabled cache reported activity: %+v", st)
+	}
+}

@@ -30,6 +30,12 @@ type Coster struct {
 // Name implements cascades.Coster.
 func (c *Coster) Name() string { return "CLEO" }
 
+// TemplateIdentity implements cascades.TemplateIdentifier: the recurring-job
+// template cache keys on the predictor pointer, so a model hot-swap (which
+// installs a new *Predictor) can never hit a template cached under the old
+// version, even though Costers themselves are rebuilt per optimization.
+func (c *Coster) TemplateIdentity() any { return c.Predictor }
+
 // OperatorCost implements cascades.Coster.
 func (c *Coster) OperatorCost(n *plan.Physical) float64 {
 	if c.Cache == nil {

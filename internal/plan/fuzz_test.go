@@ -1,0 +1,70 @@
+package plan
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzLogicalCodecRoundTrip feeds arbitrary bytes to the logical-plan JSON
+// decoder. Invalid input must be rejected with an error (never a panic, and
+// never a silently half-decoded plan); every accepted input must survive a
+// full round-trip: the decoded plan re-validates, re-encodes, decodes back
+// to the same structure, and the second encoding is byte-identical to the
+// first (the codec is its own canonical form).
+func FuzzLogicalCodecRoundTrip(f *testing.F) {
+	// Seed from the codec test corpus: the all-operators plan, minimal
+	// plans per operator, and near-miss invalid shapes.
+	if data, err := json.Marshal(allOpsPlan()); err == nil {
+		f.Add(data)
+	}
+	for _, seed := range []string{
+		`{"op":"Get","table":"clicks_2026_06_12","template":"clicks_"}`,
+		`{"op":"Output","children":[{"op":"Aggregate","keys":["user"],"children":[{"op":"Select","pred":"market=us","children":[{"op":"Get","table":"t","template":"t_"}]}]}]}`,
+		`{"op":"TopN","n":10,"keys":["score"],"children":[{"op":"Get","table":"t"}]}`,
+		`{"op":"Join","pred":"p","keys":["k"],"children":[{"op":"Get","table":"a"},{"op":"Get","table":"b"}]}`,
+		`{"op":"Union","children":[{"op":"Get","table":"a"}]}`,
+		`{"op":"Process","udf":"u","children":[{"op":"Get","table":"a"}]}`,
+		`{"op":"Get"}`,                      // missing table
+		`{"op":"TopN","n":0,"children":[]}`, // bad arity and limit
+		`{"op":"Join","children":[{"op":"Get","table":"a"}]}`,
+		`{"op":"Nope"}`,
+		`{"op":"Select","children":[null]}`,
+		`{"op":"Select","pred":"p","extra":1,"children":[{"op":"Get","table":"a"}]}`,
+		`[]`, `{}`, `nul`, "\x00", `{"op":"Output","children":`,
+	} {
+		f.Add([]byte(seed))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var l Logical
+		if err := json.Unmarshal(data, &l); err != nil {
+			return // rejected input is fine; panics are what we hunt
+		}
+		// Accepted plans must be structurally valid...
+		if err := l.Validate(); err != nil {
+			t.Fatalf("decoder accepted a plan that fails Validate: %v\ninput: %q", err, data)
+		}
+		// ...and round-trip through the canonical encoding.
+		enc1, err := json.Marshal(&l)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v\ninput: %q", err, data)
+		}
+		var back Logical
+		if err := json.Unmarshal(enc1, &back); err != nil {
+			t.Fatalf("decode of own encoding failed: %v\nencoding: %s", err, enc1)
+		}
+		if back.String() != l.String() {
+			t.Fatalf("round-trip changed the plan:\nbefore: %s\nafter:  %s", l.String(), back.String())
+		}
+		if LogicalSignature(&back) != LogicalSignature(&l) {
+			t.Fatalf("round-trip changed the logical signature for %s", l.String())
+		}
+		enc2, err := json.Marshal(&back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(enc1) != string(enc2) {
+			t.Fatalf("encoding is not canonical:\nfirst:  %s\nsecond: %s", enc1, enc2)
+		}
+	})
+}

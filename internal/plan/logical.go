@@ -154,6 +154,36 @@ func (l *Logical) format(b *strings.Builder) {
 	}
 }
 
+// Equal reports structural equality of two logical plans: same operators,
+// operator identity (table, template, predicate, keys in order, UDF,
+// limit) and children throughout. The template cache verifies a candidate
+// snapshot against the query with this — a 64-bit signature match alone
+// must never be trusted to serve another plan's search state.
+func (l *Logical) Equal(o *Logical) bool {
+	if l == o {
+		return true
+	}
+	if l == nil || o == nil {
+		return false
+	}
+	if l.Op != o.Op || l.Table != o.Table || l.InputTemplate != o.InputTemplate ||
+		l.Pred != o.Pred || l.UDF != o.UDF || l.N != o.N ||
+		len(l.Keys) != len(o.Keys) || len(l.Children) != len(o.Children) {
+		return false
+	}
+	for i := range l.Keys {
+		if l.Keys[i] != o.Keys[i] {
+			return false
+		}
+	}
+	for i := range l.Children {
+		if !l.Children[i].Equal(o.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // Clone deep-copies the subtree.
 func (l *Logical) Clone() *Logical {
 	out := *l

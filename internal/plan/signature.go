@@ -81,6 +81,35 @@ func u64bytes(v uint64) []byte {
 	return b[:]
 }
 
+// LogicalSignature hashes a logical plan tree bottom-up with the streaming
+// FNV-1a hasher: operator kind, every piece of operator identity (table,
+// input template, predicate, keys, UDF, limit) and the child signatures in
+// order, with explicit list lengths so adjacent variable-length fields
+// cannot alias. Two logical plans collide only if they are structurally
+// identical — the property the recurring-job template cache keys on: every
+// instance of a recurring template submits the same logical tree (only its
+// statistics, parameters and model version differ), so one signature names
+// one memo template.
+func LogicalSignature(l *Logical) Signature {
+	h := newHasher()
+	h.chunkString("log")
+	h.chunkString(l.Op.String())
+	h.chunkString(l.Table)
+	h.chunkString(l.InputTemplate)
+	h.chunkString(l.Pred)
+	h.chunkString(l.UDF)
+	h.chunkU64(uint64(l.N))
+	h.chunkU64(uint64(len(l.Keys)))
+	for _, k := range l.Keys {
+		h.chunkString(string(k))
+	}
+	h.chunkU64(uint64(len(l.Children)))
+	for _, c := range l.Children {
+		h.chunkU64(uint64(LogicalSignature(c)))
+	}
+	return Signature(h)
+}
+
 // OperatorSignature returns the signature of the bare physical operator.
 func OperatorSignature(op PhysicalOp) Signature {
 	h := newHasher()

@@ -95,3 +95,40 @@ func refApprox(p *Physical) Signature {
 	}
 	return hash64(chunks...)
 }
+
+// TestLogicalSignatureIdentity pins the template-cache key's contract:
+// structurally identical logical plans (clones, re-decoded copies) share a
+// signature, and every structural difference — operator, table, template,
+// predicate, keys, key order, limit, shape — separates them.
+func TestLogicalSignatureIdentity(t *testing.T) {
+	base := func() *Logical {
+		return NewOutput(NewAggregate(NewSelect(
+			NewGet("clicks_2026_06_12", "clicks_"), "market=us"), "user"))
+	}
+	sig := LogicalSignature(base())
+	if got := LogicalSignature(base().Clone()); got != sig {
+		t.Fatalf("clone signature differs: %x vs %x", got, sig)
+	}
+	variants := map[string]*Logical{
+		"table":    NewOutput(NewAggregate(NewSelect(NewGet("clicks_2026_06_13", "clicks_"), "market=us"), "user")),
+		"template": NewOutput(NewAggregate(NewSelect(NewGet("clicks_2026_06_12", "views_"), "market=us"), "user")),
+		"pred":     NewOutput(NewAggregate(NewSelect(NewGet("clicks_2026_06_12", "clicks_"), "market=eu"), "user")),
+		"keys":     NewOutput(NewAggregate(NewSelect(NewGet("clicks_2026_06_12", "clicks_"), "market=us"), "region")),
+		"shape":    NewOutput(NewSelect(NewGet("clicks_2026_06_12", "clicks_"), "market=us")),
+	}
+	seen := map[Signature]string{sig: "base"}
+	for name, v := range variants {
+		s := LogicalSignature(v)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("variant %q collides with %q", name, prev)
+		}
+		seen[s] = name
+	}
+	// Key order matters (sort/group-by semantics), and adjacent
+	// variable-length fields must not alias.
+	a := NewSort(NewGet("t", "t_"), "x", "y")
+	b := NewSort(NewGet("t", "t_"), "y", "x")
+	if LogicalSignature(a) == LogicalSignature(b) {
+		t.Fatal("key order ignored")
+	}
+}

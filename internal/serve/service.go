@@ -35,6 +35,13 @@ type Config struct {
 	// Ignored when NewSystem overrides construction — configure the
 	// System directly there.
 	Parallelism int
+	// TemplateCacheSize bounds each tenant's recurring-job memo-template
+	// cache (0 = default capacity, negative disables; see
+	// engine.SystemConfig.TemplateCacheSize). Recurring instances of the
+	// same logical plan reuse the explored memo and re-run only costing,
+	// with hits/misses surfaced per tenant in /v1/stats. Ignored when
+	// NewSystem overrides construction.
+	TemplateCacheSize int
 	// StateDir, when set, makes tenant state durable: published model
 	// versions are snapshotted there and ingested telemetry is journaled
 	// before it reaches the in-memory log, and NewService recovers every
@@ -180,7 +187,11 @@ func (s *Service) newSystem(name string) *engine.System {
 	if par <= 0 {
 		par = 1 // request-level concurrency is the serving default
 	}
-	return engine.NewSystem(engine.SystemConfig{Seed: seedOf(name), Parallelism: par})
+	return engine.NewSystem(engine.SystemConfig{
+		Seed:              seedOf(name),
+		Parallelism:       par,
+		TemplateCacheSize: s.cfg.TemplateCacheSize,
+	})
 }
 
 // Lookup returns the named tenant without creating it.

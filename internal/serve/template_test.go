@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cleo/internal/engine"
+	"cleo/internal/stats"
+)
+
+// TestTenantTemplateCounters pins the serving surface of the memo-template
+// cache: repeated optimizations of a recurring plan hit, the counters show
+// up in TenantStats (and so in /v1/stats), and a retrain hot-swap forces
+// the next optimization to re-explore.
+func TestTenantTemplateCounters(t *testing.T) {
+	svc := NewService(Config{})
+	defer svc.Close()
+	tn := newTestTenant(svc, "templates")
+	q := demoPlan()
+
+	for i := 0; i < 3; i++ {
+		if _, _, err := tn.Optimize(q, engine.RunOptions{Seed: 7, Param: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := tn.Stats()
+	if st.TemplateMisses != 1 || st.TemplateHits != 2 {
+		t.Fatalf("default-model warmup: hits=%d misses=%d, want 2/1",
+			st.TemplateHits, st.TemplateMisses)
+	}
+
+	seedTelemetry(t, tn, 30)
+	if _, err := tn.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+	// The publish hot-swapped models: the cache was purged, so the next
+	// optimization (now learned) must miss, the one after must hit.
+	afterSwap := tn.Stats()
+	if afterSwap.TemplateEntries != 0 || afterSwap.TemplateInvalidations == 0 {
+		t.Fatalf("hot-swap left the template cache populated: %+v", afterSwap.TemplateCacheStats)
+	}
+	for i := 0; i < 2; i++ {
+		if _, _, err := tn.Optimize(q, engine.RunOptions{Seed: 7, Param: 2, UseLearnedModels: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st2 := tn.Stats()
+	if st2.TemplateMisses != afterSwap.TemplateMisses+1 || st2.TemplateHits != afterSwap.TemplateHits+1 {
+		t.Fatalf("post-swap: %+v -> %+v, want exactly one fresh miss and one hit",
+			afterSwap.TemplateCacheStats, st2.TemplateCacheStats)
+	}
+
+	// A stats update on the live tenant (the /v1/query tables field) fences
+	// the next optimization into a miss.
+	tn.System().RegisterTable("clicks_2026_06_12", stats.TableStats{Rows: 4e7, RowLength: 120})
+	if _, _, err := tn.Optimize(q, engine.RunOptions{Seed: 7, Param: 2, UseLearnedModels: true}); err != nil {
+		t.Fatal(err)
+	}
+	st3 := tn.Stats()
+	if st3.TemplateMisses != st2.TemplateMisses+1 || st3.TemplateHits != st2.TemplateHits {
+		t.Fatalf("stats update did not force a re-explore: %+v -> %+v",
+			st2.TemplateCacheStats, st3.TemplateCacheStats)
+	}
+}
+
+// TestTemplateConcurrentQueryPublish races template-cached optimizations
+// against model publishes under -race and checks, per request, that the
+// served plan is exactly what a template-free System pinned to the same
+// model version would have produced — i.e. a hot-swap can never leak a
+// plan derived from a stale template.
+func TestTemplateConcurrentQueryPublish(t *testing.T) {
+	svc := NewService(Config{})
+	defer svc.Close()
+	tn := newTestTenant(svc, "racing")
+	seedTelemetry(t, tn, 30)
+	if _, err := tn.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference system: identical seed and tables, template reuse disabled.
+	// Pinning the same predictor makes its optimization the ground truth
+	// for any model version the tenant serves.
+	h := fnv.New64a()
+	h.Write([]byte("racing")) // the service's default per-tenant seed
+	ref := engine.NewSystem(engine.SystemConfig{
+		Seed:              h.Sum64(),
+		Parallelism:       1,
+		TemplateCacheSize: -1,
+	})
+	ref.RegisterTable("clicks_2026_06_12", stats.TableStats{Rows: 2e7, RowLength: 120})
+
+	q := demoPlan()
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	fail := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+
+	// Publisher: keep retraining (each publish installs a fresh *Predictor
+	// and purges the template cache).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4; i++ {
+			if _, err := tn.Retrain(); err != nil {
+				fail(err)
+				return
+			}
+		}
+		stop.Store(true)
+	}()
+
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				v := tn.Registry().Current()
+				p, cost, version, err := tn.OptimizeWithVersion(q,
+					engine.RunOptions{Seed: 7, Param: 2, UseLearnedModels: true})
+				if err != nil {
+					fail(err)
+					return
+				}
+				if version != v.Info.ID {
+					continue // a publish landed between the reads; no ground truth
+				}
+				wantP, wantCost, err := ref.Optimize(q, engine.RunOptions{Seed: 7, Param: 2,
+					UseLearnedModels: true, SkipLogging: true, Models: v.Predictor})
+				if err != nil {
+					fail(err)
+					return
+				}
+				if p.String() != wantP.String() || cost != wantCost {
+					fail(fmt.Errorf("template-cached plan diverged from the pinned-version ground truth (version %d):\nwant: %s\ngot:  %s",
+						version, wantP, p))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

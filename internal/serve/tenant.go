@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"cleo/internal/cascades"
 	"cleo/internal/engine"
 	"cleo/internal/learned"
 	"cleo/internal/persist"
@@ -436,6 +437,9 @@ type TenantStats struct {
 	ModelVersion int64              `json:"model_version"` // 0 = none live
 	NumModels    int                `json:"num_models"`
 	Cache        learned.CacheStats `json:"cache"`
+	// TemplateCacheStats embeds the recurring-job memo-template counters
+	// flat (template_hits, template_misses, …).
+	cascades.TemplateCacheStats
 	// Persist carries the durable-state counters (nil when the service
 	// runs without a state directory).
 	Persist *persist.Stats `json:"persist,omitempty"`
@@ -444,14 +448,15 @@ type TenantStats struct {
 // Stats snapshots the tenant's counters and the live version's cache.
 func (t *Tenant) Stats() TenantStats {
 	s := TenantStats{
-		Tenant:      t.Name,
-		Queries:     t.queries.Load(),
-		Runs:        t.runs.Load(),
-		Optimizes:   t.optimizes.Load(),
-		Errors:      t.errors.Load(),
-		Retrains:    t.retrains.Load(),
-		LogSize:     t.sys.LogSize(),
-		Parallelism: t.sys.Parallelism(),
+		Tenant:             t.Name,
+		Queries:            t.queries.Load(),
+		Runs:               t.runs.Load(),
+		Optimizes:          t.optimizes.Load(),
+		Errors:             t.errors.Load(),
+		Retrains:           t.retrains.Load(),
+		LogSize:            t.sys.LogSize(),
+		Parallelism:        t.sys.Parallelism(),
+		TemplateCacheStats: t.sys.TemplateStats(),
 	}
 	if v := t.reg.Current(); v != nil {
 		s.ModelVersion = v.Info.ID

@@ -39,6 +39,12 @@ type TableStats struct {
 type Catalog struct {
 	mu     sync.RWMutex // guards tables and the override maps
 	tables map[string]TableStats
+	// epoch counts statistics mutations (table registrations and
+	// selectivity overrides). Caches keyed on optimizer inputs — the
+	// recurring-job template cache above all — fold it into their keys, so
+	// a stats update automatically misses instead of serving state derived
+	// from the old catalog.
+	epoch uint64
 	// seed perturbs the deterministic selectivity functions so different
 	// simulated clusters have different data distributions.
 	seed uint64
@@ -64,28 +70,55 @@ func NewCatalog(seed uint64) *Catalog {
 func (c *Catalog) OverrideFilter(pred string, trueSel, estSel float64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.filterOv[pred] = [2]float64{trueSel, estSel}
+	v := [2]float64{trueSel, estSel}
+	if old, ok := c.filterOv[pred]; !ok || old != v {
+		c.epoch++
+	}
+	c.filterOv[pred] = v
 }
 
 // OverrideJoinFanout pins a join predicate's true and estimated fanout.
 func (c *Catalog) OverrideJoinFanout(pred string, trueFan, estFan float64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.joinOv[pred] = [2]float64{trueFan, estFan}
+	v := [2]float64{trueFan, estFan}
+	if old, ok := c.joinOv[pred]; !ok || old != v {
+		c.epoch++
+	}
+	c.joinOv[pred] = v
 }
 
 // OverrideAggReduction pins a group-by key's true and estimated reduction.
 func (c *Catalog) OverrideAggReduction(key string, trueRed, estRed float64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.aggOv[key] = [2]float64{trueRed, estRed}
+	v := [2]float64{trueRed, estRed}
+	if old, ok := c.aggOv[key]; !ok || old != v {
+		c.epoch++
+	}
+	c.aggOv[key] = v
 }
 
 // PutTable registers (or updates) the statistics of a stored input.
 func (c *Catalog) PutTable(name string, ts TableStats) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if old, ok := c.tables[name]; !ok || old != ts {
+		c.epoch++
+	}
 	c.tables[name] = ts
+}
+
+// Epoch reports the current statistics epoch: it advances on every
+// statistics *change* — a new table or override, or an existing one
+// re-registered with different values — and never backwards. Idempotent
+// re-registration (the serving pattern: every recurring request re-sends
+// its `tables` stats) leaves it unchanged, so stats-epoch-keyed caches
+// keep hitting across identical instances.
+func (c *Catalog) Epoch() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.epoch
 }
 
 // Table returns the statistics for the named input and whether it exists.

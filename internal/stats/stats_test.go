@@ -243,3 +243,44 @@ func TestCardLearnerApply(t *testing.T) {
 		t.Fatalf("CardLearner made root estimate worse: %v -> %v", before, after)
 	}
 }
+
+// TestCatalogEpoch pins the statistics-epoch contract the template cache
+// keys on: every real change advances it, idempotent re-registration (the
+// serving layer re-sends `tables` with every recurring request) does not.
+func TestCatalogEpoch(t *testing.T) {
+	c := NewCatalog(1)
+	if c.Epoch() != 0 {
+		t.Fatalf("fresh catalog epoch = %d", c.Epoch())
+	}
+	ts := TableStats{Rows: 100, RowLength: 10}
+	c.PutTable("t", ts)
+	e1 := c.Epoch()
+	if e1 == 0 {
+		t.Fatal("new table did not advance the epoch")
+	}
+	c.PutTable("t", ts) // identical: must NOT advance
+	if c.Epoch() != e1 {
+		t.Fatal("idempotent table re-registration advanced the epoch")
+	}
+	c.OverrideFilter("p", 0.5, 0.4)
+	e2 := c.Epoch()
+	c.OverrideFilter("p", 0.5, 0.4) // identical override: must NOT advance
+	if c.Epoch() != e2 {
+		t.Fatal("idempotent override advanced the epoch")
+	}
+	if e2 == e1 {
+		t.Fatal("new override did not advance the epoch")
+	}
+	c.PutTable("t", TableStats{Rows: 200, RowLength: 10})
+	if c.Epoch() == e2 {
+		t.Fatal("changed table stats did not advance the epoch")
+	}
+	c.OverrideJoinFanout("j", 1, 0.8)
+	c.OverrideAggReduction("g", 0.1, 0.2)
+	e3 := c.Epoch()
+	c.OverrideJoinFanout("j", 1, 0.8)
+	c.OverrideAggReduction("g", 0.1, 0.2)
+	if c.Epoch() != e3 {
+		t.Fatal("idempotent join/agg overrides advanced the epoch")
+	}
+}

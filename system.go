@@ -1,6 +1,7 @@
 package cleo
 
 import (
+	"cleo/internal/cascades"
 	"cleo/internal/engine"
 	"cleo/internal/plan"
 )
@@ -21,6 +22,9 @@ type (
 	RunOptions = engine.RunOptions
 	// RunResult is one executed query.
 	RunResult = engine.RunResult
+	// TemplateCacheStats snapshots the recurring-job memo-template cache
+	// counters (System.TemplateStats, and per tenant in /v1/stats).
+	TemplateCacheStats = cascades.TemplateCacheStats
 )
 
 // NewSystem builds a System.
