@@ -15,6 +15,7 @@ import (
 	"cleo/internal/exec"
 	"cleo/internal/experiments"
 	"cleo/internal/learned"
+	"cleo/internal/obs"
 	"cleo/internal/plan"
 	"cleo/internal/stats"
 	"cleo/internal/telemetry"
@@ -156,8 +157,12 @@ func benchQuery() *Query {
 // benchTrainedSystem returns a System with telemetry collected and models
 // trained, ready for learned optimization.
 func benchTrainedSystem(b *testing.B) *System {
+	return benchTrainedSystemCfg(b, SystemConfig{Seed: 5})
+}
+
+func benchTrainedSystemCfg(b *testing.B, cfg SystemConfig) *System {
 	b.Helper()
-	sys := NewSystem(SystemConfig{Seed: 5})
+	sys := NewSystem(cfg)
 	sys.RegisterTable("clicks_2026_06_12", TableStats{Rows: 2e7, RowLength: 120})
 	q := benchQuery()
 	for seed := int64(1); seed <= 30; seed++ {
@@ -178,7 +183,10 @@ func benchTrainedSystem(b *testing.B) *System {
 //
 //	go test -bench 'OptimizeLearned' -benchtime 2s
 func benchOptimizeLearned(b *testing.B, cache *PredictionCache) {
-	sys := benchTrainedSystem(b)
+	benchOptimizeLearnedSys(b, benchTrainedSystem(b), cache)
+}
+
+func benchOptimizeLearnedSys(b *testing.B, sys *System, cache *PredictionCache) {
 	q := benchQuery()
 	opts := RunOptions{
 		Seed: 7, Param: 2,
@@ -207,6 +215,16 @@ func BenchmarkOptimizeLearnedResourceAware(b *testing.B) { benchOptimizeLearned(
 // signature-keyed prediction cache on top of the batched path.
 func BenchmarkOptimizeLearnedResourceAwareCached(b *testing.B) {
 	benchOptimizeLearned(b, NewPredictionCache())
+}
+
+// BenchmarkOptimizeLearnedResourceAwareInstrumented is the identical
+// workload on a metrics-backed System: the always-on observability tier
+// (optimize wall histogram, template counters, arbitration timers, batch
+// costing timers) live on the hot path. CI gates the ratio of this to
+// BenchmarkOptimizeLearnedResourceAware at <2% via benchjson -ratio.
+func BenchmarkOptimizeLearnedResourceAwareInstrumented(b *testing.B) {
+	sys := benchTrainedSystemCfg(b, SystemConfig{Seed: 5, Metrics: obs.NewRegistry()})
+	benchOptimizeLearnedSys(b, sys, nil)
 }
 
 // scalarCoster hides the learned coster's batch methods while preserving

@@ -16,6 +16,15 @@
 // written in this mode):
 //
 //	go run ./cmd/benchjson -compare BENCH_baseline.json -threshold 0.2
+//
+// Ratio mode gates one benchmark against another measured in the same
+// run — e.g. asserting the instrumented optimizer stays within 2% of the
+// uninstrumented one (nothing is written when -ratio is given without
+// -compare; with -compare both gates apply):
+//
+//	go run ./cmd/benchjson -bench 'OptimizeLearnedResourceAware' -pkgs ./internal/engine \
+//	  -ratio 'BenchmarkOptimizeLearnedResourceAwareInstrumented:BenchmarkOptimizeLearnedResourceAware' \
+//	  -ratio-max 0.02
 package main
 
 import (
@@ -64,6 +73,9 @@ func main() {
 	benchmem := flag.Bool("benchmem", true, "pass -benchmem")
 	compare := flag.String("compare", "", "baseline JSON to diff against instead of writing; exit 1 on regression")
 	threshold := flag.Float64("threshold", 0.20, "allowed fractional ns/op regression in -compare mode (0.20 = 20%)")
+	ratio := flag.String("ratio", "",
+		"comma-separated 'NumBench:DenBench' pairs measured this run; exit 1 when num/den-1 exceeds -ratio-max")
+	ratioMax := flag.Float64("ratio-max", 0.02, "allowed fractional overhead per -ratio pair (0.02 = 2%)")
 	flag.Parse()
 
 	args := []string{"test", "-run", "^$", "-bench", *bench,
@@ -118,8 +130,18 @@ func main() {
 		os.Exit(1)
 	}
 
+	ratioRC := 0
+	if *ratio != "" {
+		ratioRC = checkRatios(*ratio, sums, *ratioMax)
+	}
 	if *compare != "" {
-		os.Exit(compareBaseline(*compare, sums, *threshold))
+		if rc := compareBaseline(*compare, sums, *threshold); rc != 0 {
+			ratioRC = rc
+		}
+		os.Exit(ratioRC)
+	}
+	if *ratio != "" {
+		os.Exit(ratioRC)
 	}
 
 	b := Baseline{
@@ -213,6 +235,49 @@ func compareBaseline(path string, sums map[string]*Result, threshold float64) in
 		return 1
 	}
 	fmt.Printf("no regression beyond %.0f%% across %d benchmark(s)\n", threshold*100, compared)
+	return 0
+}
+
+// checkRatios gates benchmark pairs measured in the same run: for each
+// "NumBench:DenBench" pair, num's mean ns/op must stay within max of
+// den's. Both benchmarks must have been measured — a typo'd name fails
+// the gate instead of silently passing it.
+func checkRatios(spec string, sums map[string]*Result, max float64) int {
+	mean := func(name string) (float64, bool) {
+		r, ok := sums[name]
+		if !ok || r.Runs == 0 {
+			return 0, false
+		}
+		return r.NsPerOp / float64(r.Runs), true
+	}
+	failed := 0
+	for _, pair := range strings.Split(spec, ",") {
+		num, den, ok := strings.Cut(strings.TrimSpace(pair), ":")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -ratio pair %q (want Num:Den)\n", pair)
+			failed++
+			continue
+		}
+		a, okA := mean(num)
+		b, okB := mean(den)
+		if !okA || !okB {
+			fmt.Fprintf(os.Stderr, "benchjson: -ratio pair %q: benchmark not measured (num=%v den=%v)\n",
+				pair, okA, okB)
+			failed++
+			continue
+		}
+		overhead := a/b - 1
+		verdict := "ok"
+		if overhead > max {
+			verdict = "EXCEEDED"
+			failed++
+		}
+		fmt.Printf("ratio %s / %s: %.0f / %.0f ns/op = %+.2f%% (max %+.0f%%)  %s\n",
+			num, den, a, b, overhead*100, max*100, verdict)
+	}
+	if failed > 0 {
+		return 1
+	}
 	return 0
 }
 

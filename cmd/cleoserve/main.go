@@ -7,12 +7,20 @@
 //
 //	cleoserve [-addr :8080] [-retrain-threshold 500] [-ingest-buffer 128] [-parallelism 0]
 //	          [-state-dir ""] [-fsync] [-retain-snapshots 0]
+//	          [-debug-addr ""] [-slow-query 0]
 //
 // With -state-dir, tenant state is durable: every published model version
 // is snapshotted and ingested telemetry is journaled, and a restart
 // against the same directory resumes warm — latest models live under
 // their original version ids, pending telemetry replayed into the
 // retraining pipeline.
+//
+// Observability: GET /metrics serves the full metric registry in
+// Prometheus text format; -debug-addr starts a second listener with
+// net/http/pprof (/debug/pprof/) plus the same /metrics, kept off the
+// public address; -slow-query logs requests slower than the threshold
+// with tenant and trace id; and `"trace": true` on /v1/query returns an
+// EXPLAIN ANALYZE-style span tree in the response.
 //
 // Endpoints:
 //
@@ -21,6 +29,7 @@
 //	POST /v1/tenants/{name}/snapshot
 //	GET  /v1/models?tenant=ads
 //	GET  /v1/stats[?tenant=ads]
+//	GET  /metrics
 //	GET  /healthz
 //
 // Example:
@@ -39,11 +48,13 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"cleo/internal/obs"
 	"cleo/internal/serve"
 )
 
@@ -58,6 +69,10 @@ func main() {
 		"durable tenant state directory: snapshots + telemetry journal (empty = in-memory only)")
 	fsync := flag.Bool("fsync", false, "fsync the telemetry journal on every append")
 	retainSnapshots := flag.Int("retain-snapshots", 0, "snapshots kept per tenant (0 = all)")
+	debugAddr := flag.String("debug-addr", "",
+		"debug listen address serving net/http/pprof under /debug/pprof/ plus /metrics (empty = disabled)")
+	slowQuery := flag.Duration("slow-query", 0,
+		"log /v1/query requests slower than this threshold, with tenant and trace id (0 disables)")
 	flag.Parse()
 
 	if *stateDir != "" {
@@ -68,6 +83,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	reg := obs.NewRegistry()
 	svc := serve.NewService(serve.Config{
 		RetrainThreshold: *retrainThreshold,
 		IngestBuffer:     *ingestBuffer,
@@ -75,7 +91,26 @@ func main() {
 		StateDir:         *stateDir,
 		Fsync:            *fsync,
 		RetainSnapshots:  *retainSnapshots,
+		Metrics:          reg,
+		SlowQuery:        *slowQuery,
 	})
+	if *debugAddr != "" {
+		// The debug listener stays separate so pprof and raw metrics can
+		// bind to localhost while the API serves publicly.
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dbg.Handle("/metrics", reg.Handler())
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, dbg); err != nil {
+				fmt.Fprintln(os.Stderr, "cleoserve: debug listener:", err)
+			}
+		}()
+		fmt.Printf("cleoserve debug (pprof, metrics) on %s\n", *debugAddr)
+	}
 	if *stateDir != "" {
 		if names := svc.TenantNames(); len(names) > 0 {
 			fmt.Printf("cleoserve: recovered %d tenant(s) from %s: %v\n", len(names), *stateDir, names)

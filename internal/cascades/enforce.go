@@ -1,6 +1,8 @@
 package cascades
 
 import (
+	"time"
+
 	"cleo/internal/costmodel"
 	"cleo/internal/plan"
 )
@@ -21,6 +23,10 @@ func (s *search) enforce(root *plan.Physical, delivered, req Props) (*plan.Physi
 		delivered.Order = nil // hash shuffles destroy ordering
 	}
 	if !delivered.Order.Satisfies(req.Order) {
+		var t0 time.Time
+		if fine := s.obs.fine(); fine {
+			t0 = time.Now()
+		}
 		sort := plan.NewPhysical(plan.PSort, root)
 		sort.Keys = append([]plan.Column(nil), req.Order...)
 		sort.Partitions = root.Partitions
@@ -28,6 +34,9 @@ func (s *search) enforce(root *plan.Physical, delivered, req Props) (*plan.Physi
 			return nil, Props{}, err
 		}
 		s.recost(sort)
+		if !t0.IsZero() {
+			s.obs.add(phaseEnforce, time.Since(t0))
+		}
 		root = sort
 		delivered.Order = req.Order
 	}
@@ -41,6 +50,13 @@ func (s *search) enforce(root *plan.Physical, delivered, req Props) (*plan.Physi
 func (s *search) addExchange(child *plan.Physical, part Partitioning) (*plan.Physical, error) {
 	if s.resourceAware {
 		s.optimizeTopStage(child)
+	}
+	// Exchange construction below (annotate, derive, recost) is the
+	// enforcement phase proper; the arbitration above times itself, so the
+	// two stay disjoint on traces.
+	var t0 time.Time
+	if fine := s.obs.fine(); fine {
+		t0 = time.Now()
 	}
 	x := plan.NewPhysical(plan.PExchange, child)
 	if part.Kind == HashPartition {
@@ -56,6 +72,9 @@ func (s *search) addExchange(child *plan.Physical, part Partitioning) (*plan.Phy
 		x.Partitions = costmodel.DerivePartitions(x, s.maxPartitions)
 	}
 	s.recost(x)
+	if !t0.IsZero() {
+		s.obs.add(phaseEnforce, time.Since(t0))
+	}
 	return x, nil
 }
 
@@ -69,6 +88,21 @@ func (s *search) optimizeTopStage(root *plan.Physical) {
 	if !s.resourceAware {
 		return
 	}
+	if so := s.obs; so != nil {
+		// Arbitration is coarse enough (a handful of calls per search, each
+		// spanning chooser exploration and batched re-costing) that the
+		// always-on tier can afford to time it.
+		t0 := time.Now()
+		s.arbitrateStage(root)
+		so.add(phaseArbitrate, time.Since(t0))
+		return
+	}
+	s.arbitrateStage(root)
+}
+
+// arbitrateStage is optimizeTopStage's body: the paper's partition
+// optimization plus the anchored final arbitration.
+func (s *search) arbitrateStage(root *plan.Physical) {
 	stageOf := plan.StageOf(root)
 	stage := stageOf[root]
 	if stage == nil || len(stage.Ops) == 0 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"cleo/internal/plan"
 )
@@ -55,8 +56,12 @@ type Group struct {
 	seen map[string]bool
 	// explore fires the exploration rules exactly once per group;
 	// concurrent callers of Memo.Explore block until it completes, which
-	// orders their Exprs reads after the writes.
-	explore sync.Once
+	// orders their Exprs reads after the writes. explored flips once the
+	// Once body finishes, letting callers skip a completed exploration
+	// without touching the Once (and letting the search time only the
+	// outermost, work-performing Explore call).
+	explore  sync.Once
+	explored atomic.Bool
 }
 
 // Memo is the Cascades search space: groups of equivalent expressions.
@@ -164,5 +169,13 @@ func (m *Memo) Explore(id GroupID) {
 		// duplicate-detection map is dead weight — significant for memos
 		// that live on as cached templates.
 		g.seen = nil
+		g.explored.Store(true)
 	})
+}
+
+// Explored reports whether the group's exploration has completed — true
+// for every group of a memo that reached fixpoint, including template
+// snapshots reused across runs.
+func (m *Memo) Explored(id GroupID) bool {
+	return m.Group(id).explored.Load()
 }

@@ -1,0 +1,144 @@
+package cascades
+
+import (
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"cleo/internal/obs"
+)
+
+// Phase indices for the per-search accumulators. The phases are disjoint
+// leaf intervals of the search — copy-in, outermost logical exploration,
+// implementation-rule candidate costing, enforcer construction, and
+// partition arbitration — so their sum approaches the search's wall time
+// (the residual is surfaced as an explicit "other" span on traces).
+const (
+	phaseCopyIn = iota
+	phaseExplore
+	phaseCosting
+	phaseEnforce
+	phaseArbitrate
+	numPhases
+)
+
+var phaseNames = [numPhases]string{"copy_in", "explore", "costing", "enforce", "arbitrate"}
+
+// SearchMetrics holds the optimizer's registered instruments. One value is
+// shared by every search of a System; obtain it once via NewSearchMetrics
+// and reuse it — instrument handles resolve at registration, never per run.
+//
+// Always-on recording is deliberately coarse to protect the hot path:
+// whole-search latency, copy-in/explore (template misses only — hits skip
+// both phases entirely), arbitration, and template hit/miss counters. The
+// finer costing and enforcement phases are stamped only on traced runs and
+// fed into the same histograms, so /metrics shows them as a sample of
+// traced traffic rather than taxing every optimization with extra clock
+// reads.
+type SearchMetrics struct {
+	OptimizeSeconds *obs.Histogram
+	PhaseSeconds    [numPhases]*obs.Histogram
+	TemplateHits    *obs.Counter
+	TemplateMisses  *obs.Counter
+}
+
+// NewSearchMetrics registers the optimizer's instruments on r (nil r → nil
+// metrics, which disables recording).
+func NewSearchMetrics(r *obs.Registry) *SearchMetrics {
+	if r == nil {
+		return nil
+	}
+	const phaseHelp = "Per-search time spent in each optimizer phase (costing and enforce are recorded from traced runs only)."
+	m := &SearchMetrics{
+		OptimizeSeconds: r.Histogram("cleo_optimize_seconds",
+			"End-to-end Cascades search latency per optimization."),
+		TemplateHits: r.Counter("cleo_template_requests_total",
+			"Memo-template cache lookups by result.", "result", "hit"),
+		TemplateMisses: r.Counter("cleo_template_requests_total",
+			"Memo-template cache lookups by result.", "result", "miss"),
+	}
+	for p := 0; p < numPhases; p++ {
+		m.PhaseSeconds[p] = r.Histogram("cleo_optimize_phase_seconds", phaseHelp, "phase", phaseNames[p])
+	}
+	return m
+}
+
+// searchObs is one search's observability state: phase accumulators plus
+// the destinations (metrics and/or trace) resolved once at search start.
+// It is nil when the run is neither metered nor traced, so every hot-path
+// hook is a single pointer check. Accumulators are atomic because a
+// parallel search stamps phases from worker goroutines.
+type searchObs struct {
+	metrics *SearchMetrics
+	trace   *obs.Trace
+	parent  obs.SpanID
+	start   time.Time
+	startNs int64 // trace-relative start, for span placement
+	phases  [numPhases]atomic.Int64
+}
+
+// fine reports whether fine-grained (per-rule costing, enforcer build)
+// stamping is on — only for traced runs, keeping the always-on overhead
+// inside the benchmark guard's budget.
+func (so *searchObs) fine() bool { return so != nil && so.trace != nil }
+
+// add accumulates d into phase p (nil-safe).
+func (so *searchObs) add(p int, d time.Duration) {
+	if so != nil {
+		so.phases[p].Add(int64(d))
+	}
+}
+
+// finish records the completed search into the histograms and, when
+// traced, emits the span tree: one "optimize" span with aggregate phase
+// children tiled across it plus an explicit "other" residual, so the
+// children sum exactly to the parent. With Parallelism > 1 phases overlap
+// in wall time and their sum may exceed the total; the residual is then
+// omitted rather than clamped into a lie.
+func (so *searchObs) finish(res *Result) {
+	total := time.Since(so.start)
+	if m := so.metrics; m != nil {
+		m.OptimizeSeconds.Record(total)
+		if res.TemplateHit {
+			m.TemplateHits.Inc()
+		} else {
+			m.TemplateMisses.Inc()
+			m.PhaseSeconds[phaseCopyIn].Record(time.Duration(so.phases[phaseCopyIn].Load()))
+			m.PhaseSeconds[phaseExplore].Record(time.Duration(so.phases[phaseExplore].Load()))
+		}
+		m.PhaseSeconds[phaseArbitrate].Record(time.Duration(so.phases[phaseArbitrate].Load()))
+		if so.fine() {
+			m.PhaseSeconds[phaseCosting].Record(time.Duration(so.phases[phaseCosting].Load()))
+			m.PhaseSeconds[phaseEnforce].Record(time.Duration(so.phases[phaseEnforce].Load()))
+		}
+	}
+	tr := so.trace
+	if tr == nil {
+		return
+	}
+	totalNs := int64(total)
+	hit := "miss"
+	if res.TemplateHit {
+		hit = "hit"
+	}
+	sp := tr.Add(so.parent, "optimize", so.startNs, totalNs,
+		"template", hit,
+		"memo_groups", strconv.Itoa(res.MemoGroups),
+		"model_lookups", strconv.Itoa(res.ModelLookups),
+		"cost", strconv.FormatFloat(res.Cost, 'g', 6, 64),
+	)
+	off := so.startNs
+	var sum int64
+	for p := 0; p < numPhases; p++ {
+		ns := so.phases[p].Load()
+		if ns <= 0 {
+			continue
+		}
+		tr.Add(sp, phaseNames[p], off, ns)
+		off += ns
+		sum += ns
+	}
+	if rest := totalNs - sum; rest > 0 {
+		tr.Add(sp, "other", off, rest)
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cleo/internal/costmodel"
+	"cleo/internal/obs"
 	"cleo/internal/plan"
 	"cleo/internal/stats"
 )
@@ -91,6 +93,16 @@ type Optimizer struct {
 	// chosen plan is bit-identical to an uncached optimization. A miss
 	// publishes the finished search's memo for later instances.
 	Templates *TemplateCache
+	// Metrics, when non-nil, records per-search latency and phase timings
+	// into shared instruments (see NewSearchMetrics). Nil disables every
+	// observability hook down to a single pointer check per site.
+	Metrics *SearchMetrics
+	// Trace, when non-nil, makes this run emit an EXPLAIN ANALYZE-style
+	// span tree (and turns on fine-grained phase stamping). Per-run state:
+	// set it on a per-request Optimizer value, not a shared one.
+	Trace *obs.Trace
+	// TraceParent is the parent span for this run's spans (0 = root).
+	TraceParent obs.SpanID
 }
 
 // Result reports one optimization run.
@@ -250,6 +262,10 @@ type search struct {
 	// sem is the shared bounded worker pool (nil = fully inline).
 	sem chan struct{}
 
+	// obs is the run's observability state; nil when the run is neither
+	// metered nor traced, so hooks cost one pointer check.
+	obs *searchObs
+
 	lookups atomic.Int64
 }
 
@@ -262,7 +278,7 @@ func (o *Optimizer) maxPartitions() int {
 }
 
 func (o *Optimizer) newSearch(sem chan struct{}) *search {
-	return &search{
+	s := &search{
 		catalog:       o.Catalog,
 		cost:          o.Cost,
 		chooser:       o.Chooser,
@@ -272,11 +288,25 @@ func (o *Optimizer) newSearch(sem chan struct{}) *search {
 		table:         map[taskKey]*future{},
 		sem:           sem,
 	}
+	if o.Metrics != nil || o.Trace != nil {
+		s.obs = &searchObs{metrics: o.Metrics, trace: o.Trace, parent: o.TraceParent}
+	}
+	return s
 }
 
 func (s *search) run(root *plan.Logical, held bool) (*Result, error) {
+	if so := s.obs; so != nil {
+		so.start = time.Now()
+		so.startNs = so.trace.Now()
+	}
 	if s.memo == nil {
-		s.memo = NewMemo(root)
+		if so := s.obs; so != nil {
+			t0 := time.Now()
+			s.memo = NewMemo(root)
+			so.add(phaseCopyIn, time.Since(t0))
+		} else {
+			s.memo = NewMemo(root)
+		}
 	}
 	res, err := s.optimizeGroup(s.memo.Root(), Props{}, held)
 	if err != nil {
@@ -286,13 +316,17 @@ func (s *search) run(root *plan.Logical, held bool) (*Result, error) {
 	// The topmost stage never saw a boundary above it; finalize it.
 	s.optimizeTopStage(best)
 	cost := best.TotalCostEst()
-	return &Result{
+	result := &Result{
 		Plan:         best,
 		Cost:         cost,
 		MemoGroups:   s.memo.NumGroups(),
 		ModelLookups: int(s.lookups.Load()),
 		TemplateHit:  s.templateHit,
-	}, nil
+	}
+	if s.obs != nil {
+		s.obs.finish(result)
+	}
+	return result, nil
 }
 
 type taskKey struct {
@@ -512,7 +546,19 @@ func (s *search) optimizeGroup(id GroupID, req Props, held bool) (*searchResult,
 // final reduction scans candidates in expression/candidate order with a
 // strict < comparison, so ties break identically to the sequential search.
 func (s *search) searchGroup(id GroupID, req Props, held bool) (*searchResult, error) {
-	s.memo.Explore(id)
+	// Exploration recurses the whole reachable DAG inside the outermost
+	// group's Once, so timing only unexplored entries captures the full
+	// phase exactly once per search: later per-group calls see Explored
+	// and skip both the stamp and the no-op Once. (Concurrent tasks racing
+	// into the same unexplored group may both time the wait; the overlap
+	// is wait time, which is what a trace should show.)
+	if so := s.obs; so != nil && !s.memo.Explored(id) {
+		t0 := time.Now()
+		s.memo.Explore(id)
+		so.add(phaseExplore, time.Since(t0))
+	} else {
+		s.memo.Explore(id)
+	}
 	g := s.memo.Group(id)
 	if len(g.Exprs) == 0 {
 		return nil, fmt.Errorf("cascades: empty group %d", id)
@@ -692,6 +738,20 @@ func (s *search) recostAll(ops []*plan.Physical) {
 	gridPool.Put(g)
 }
 
+// recostPending prices an implementation rule's freshly built candidate
+// set, attributing the time to the costing phase on traced runs (the
+// always-on tier leaves this leaf unstamped — it fires once per rule, and
+// per-rule clock reads would eat the instrumentation overhead budget).
+func (s *search) recostPending(ops []*plan.Physical) {
+	if so := s.obs; so.fine() {
+		t0 := time.Now()
+		s.recostAll(ops)
+		so.add(phaseCosting, time.Since(t0))
+		return
+	}
+	s.recostAll(ops)
+}
+
 func (s *search) implementGet(e *Expr) ([]candidate, error) {
 	pending := make([]*plan.Physical, 0, 4)
 	n, err := s.newNode(&pending, plan.PExtract, e, 1)
@@ -708,7 +768,7 @@ func (s *search) implementGet(e *Expr) ([]candidate, error) {
 	} else {
 		n.Partitions = costmodel.DerivePartitions(n, s.maxPartitions)
 	}
-	s.recostAll(pending)
+	s.recostPending(pending)
 	return []candidate{{root: n, delivered: delivered}}, nil
 }
 
@@ -731,7 +791,7 @@ func (s *search) implementPassThrough(e *Expr, op plan.PhysicalOp, req Props, ke
 	if err != nil {
 		return nil, err
 	}
-	s.recostAll(pending)
+	s.recostPending(pending)
 	delivered := child.delivered
 	if !keepOrder {
 		delivered.Order = nil
@@ -764,7 +824,7 @@ func (s *search) implementUnion(e *Expr, held bool) ([]candidate, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.recostAll(pending)
+	s.recostPending(pending)
 	return []candidate{{root: n, delivered: Props{}}}, nil
 }
 
@@ -779,7 +839,7 @@ func (s *search) implementSort(e *Expr, req Props, held bool) ([]candidate, erro
 	if err != nil {
 		return nil, err
 	}
-	s.recostAll(pending)
+	s.recostPending(pending)
 	delivered := Props{Part: child.delivered.Part, Order: Ordering(e.Keys)}
 	return []candidate{{root: n, delivered: delivered}}, nil
 }
@@ -796,7 +856,7 @@ func (s *search) implementTopN(e *Expr, req Props, held bool) ([]candidate, erro
 	if err != nil {
 		return nil, err
 	}
-	s.recostAll(pending)
+	s.recostPending(pending)
 	delivered := Props{Part: child.delivered.Part, Order: Ordering(e.Keys)}
 	return []candidate{{root: n, delivered: delivered}}, nil
 }
@@ -870,7 +930,7 @@ func (s *search) implementAggregate(e *Expr, held bool) ([]candidate, error) {
 		}
 		cands = append(cands, candidate{root: final, delivered: Props{Part: part}})
 	}
-	s.recostAll(pending)
+	s.recostPending(pending)
 	return cands, nil
 }
 
@@ -905,7 +965,7 @@ func (s *search) implementJoin(e *Expr, held bool) ([]candidate, error) {
 	}
 	mj.delivered.Order = ord
 	cands = append(cands, mj)
-	s.recostAll(pending)
+	s.recostPending(pending)
 	return cands, nil
 }
 

@@ -8,14 +8,17 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cleo/internal/cascades"
 	"cleo/internal/costmodel"
 	"cleo/internal/exec"
 	"cleo/internal/learned"
 	"cleo/internal/ml"
+	"cleo/internal/obs"
 	"cleo/internal/plan"
 	"cleo/internal/stats"
 	"cleo/internal/telemetry"
@@ -49,6 +52,13 @@ type SystemConfig struct {
 	TemplateCacheSize int
 	// Exec, when non-nil, overrides the full cluster configuration.
 	Exec *exec.Config
+	// Metrics, when non-nil, threads observability through the system:
+	// search phase timings, batched-costing latency, execution and retrain
+	// durations all record into instruments registered here. Instruments
+	// are keyed by name, so Systems sharing one registry (the multi-tenant
+	// serving layer) aggregate into the same series. Nil costs nothing on
+	// any hot path.
+	Metrics *obs.Registry
 }
 
 // System bundles a statistics catalog, a simulated cluster, the optimizer
@@ -66,6 +76,13 @@ type System struct {
 	// templates caches explored memo snapshots across recurring instances
 	// (nil when disabled). SetModels purges it on every hot-swap.
 	templates *cascades.TemplateCache
+
+	// Observability instruments, all nil without SystemConfig.Metrics.
+	// Handles resolve once here; hot paths never touch the registry.
+	searchMetrics  *cascades.SearchMetrics
+	costerMetrics  *learned.CosterMetrics
+	executeSeconds *obs.Histogram
+	retrainSeconds *obs.Histogram
 
 	mu  sync.Mutex // guards log
 	log []telemetry.Record
@@ -93,6 +110,14 @@ func NewSystem(cfg SystemConfig) *System {
 	}
 	if cfg.TemplateCacheSize >= 0 {
 		s.templates = cascades.NewTemplateCache(cfg.TemplateCacheSize)
+	}
+	if cfg.Metrics != nil {
+		s.searchMetrics = cascades.NewSearchMetrics(cfg.Metrics)
+		s.costerMetrics = learned.NewCosterMetrics(cfg.Metrics)
+		s.executeSeconds = cfg.Metrics.Histogram("cleo_execute_seconds",
+			"Simulated-cluster query execution latency per run.")
+		s.retrainSeconds = cfg.Metrics.Histogram("cleo_retrain_seconds",
+			"Model training duration per retrain (telemetry to published predictor).")
 	}
 	return s
 }
@@ -178,6 +203,13 @@ type RunOptions struct {
 	// Models pins that predictor — otherwise it is ignored, ensuring a
 	// Retrain hot-swap can never serve another version's cached costs.
 	Cache *learned.PredictionCache
+	// Trace, when non-nil, records this run's phases (search phases,
+	// execution) as an EXPLAIN ANALYZE-style span tree — the serving
+	// layer's opt-in "trace": true. Tracing also turns on fine-grained
+	// phase stamping that the always-on metrics tier skips.
+	Trace *obs.Trace
+	// TraceParent parents this run's spans (0 = trace root).
+	TraceParent obs.SpanID
 }
 
 // RunResult is one executed query.
@@ -209,6 +241,9 @@ func (s *System) Optimize(q *plan.Logical, opts RunOptions) (*plan.Physical, flo
 		JobSeed:       opts.Seed,
 		Parallelism:   par,
 		Templates:     s.templates,
+		Metrics:       s.searchMetrics,
+		Trace:         opts.Trace,
+		TraceParent:   opts.TraceParent,
 	}
 	res, err := opt.Optimize(q)
 	if err != nil {
@@ -247,6 +282,7 @@ func (s *System) costing(opts RunOptions) (cascades.Coster, cascades.PartitionCh
 			Param:     defaultParam(opts.Param),
 			Fallback:  costmodel.Default{},
 			Cache:     cache,
+			Metrics:   s.costerMetrics,
 		}
 	}
 	var chooser cascades.PartitionChooser
@@ -276,9 +312,23 @@ func (s *System) Run(q *plan.Logical, opts RunOptions) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	var t0 time.Time
+	if s.executeSeconds != nil || opts.Trace != nil {
+		t0 = time.Now()
+	}
 	execRes, err := s.cluster.Run(p, rand.New(rand.NewSource(opts.Seed)))
 	if err != nil {
 		return nil, err
+	}
+	if !t0.IsZero() {
+		el := time.Since(t0)
+		s.executeSeconds.Record(el) // nil-safe
+		if tr := opts.Trace; tr != nil {
+			tr.Add(opts.TraceParent, "execute", tr.Now()-int64(el), int64(el),
+				"latency", strconv.FormatFloat(execRes.Latency, 'g', 6, 64),
+				"containers", strconv.Itoa(execRes.Containers),
+			)
+		}
 	}
 	job := &workload.Job{
 		ID:    fmt.Sprintf("run-%d", opts.Seed),
@@ -378,9 +428,16 @@ func (s *System) AppendTelemetry(recs []telemetry.Record) {
 // safe to call while Run traffic is in flight.
 func (s *System) Retrain() error {
 	recs := s.TelemetryLog()
+	var t0 time.Time
+	if s.retrainSeconds != nil {
+		t0 = time.Now()
+	}
 	pr, err := learned.TrainSplit(recs, learned.DefaultTrainConfig())
 	if err != nil {
 		return err
+	}
+	if !t0.IsZero() {
+		s.retrainSeconds.Record(time.Since(t0))
 	}
 	s.SetModels(pr)
 	return nil

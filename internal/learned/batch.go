@@ -2,6 +2,7 @@ package learned
 
 import (
 	"sync"
+	"time"
 
 	"cleo/internal/plan"
 	"cleo/internal/telemetry"
@@ -253,6 +254,14 @@ func (c *Coster) CostBatch(ops []*plan.Physical, out []float64) {
 		return
 	}
 	n := len(ops)
+	if m := c.Metrics; m != nil {
+		m.Batches.Inc()
+		m.BatchRows.Add(uint64(n))
+		if n >= batchTimingMinRows {
+			t0 := time.Now()
+			defer func() { m.BatchSeconds.Record(time.Since(t0)) }()
+		}
+	}
 	out = out[:n]
 	s := scratchPool.Get().(*batchScratch)
 	defer scratchPool.Put(s)
@@ -324,6 +333,14 @@ func (c *Coster) IndividualCostBatch(ops []*plan.Physical, out []float64) {
 		return
 	}
 	n := len(ops)
+	if m := c.Metrics; m != nil {
+		m.Batches.Inc()
+		m.BatchRows.Add(uint64(n))
+		if n >= batchTimingMinRows {
+			t0 := time.Now()
+			defer func() { m.ExploreSeconds.Record(time.Since(t0)) }()
+		}
+	}
 	out = out[:n]
 	s := scratchPool.Get().(*batchScratch)
 	defer scratchPool.Put(s)

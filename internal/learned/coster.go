@@ -25,6 +25,9 @@ type Coster struct {
 	// must have been filled by this same Predictor (pair one cache with
 	// each published model version).
 	Cache *PredictionCache
+	// Metrics, when non-nil, records batched-costing throughput and
+	// latency (see NewCosterMetrics).
+	Metrics *CosterMetrics
 }
 
 // Name implements cascades.Coster.

@@ -1,0 +1,46 @@
+package learned
+
+import (
+	"cleo/internal/obs"
+)
+
+// batchTimingMinRows gates batch-latency stamping: batches below this size
+// finish in well under a microsecond, where two clock reads would be a
+// measurable tax and the histogram's lowest bucket would say nothing.
+// Small batches still count toward the batch/row counters (atomic adds),
+// so throughput totals stay exact — only the latency sample is gated.
+const batchTimingMinRows = 8
+
+// CosterMetrics holds the learned costing layer's instruments. One value
+// is shared across every Coster a System builds (Costers themselves are
+// rebuilt per optimization).
+type CosterMetrics struct {
+	// BatchSeconds times CostBatch calls of batchTimingMinRows+ operators
+	// (combined-model inference incl. prediction-cache probes).
+	BatchSeconds *obs.Histogram
+	// ExploreSeconds times IndividualCostBatch calls of the same size —
+	// the partition-exploration probe batches.
+	ExploreSeconds *obs.Histogram
+	// Batches and BatchRows count every batched costing call and the
+	// operators priced through them, all sizes.
+	Batches   *obs.Counter
+	BatchRows *obs.Counter
+}
+
+// NewCosterMetrics registers the costing instruments on r (nil r → nil
+// metrics, which disables recording).
+func NewCosterMetrics(r *obs.Registry) *CosterMetrics {
+	if r == nil {
+		return nil
+	}
+	return &CosterMetrics{
+		BatchSeconds: r.Histogram("cleo_costing_batch_seconds",
+			"Batched combined-model costing latency (batches of 8+ operators; smaller batches are counted, not timed)."),
+		ExploreSeconds: r.Histogram("cleo_costing_explore_batch_seconds",
+			"Batched individual-model partition-exploration probe latency (batches of 8+ probes)."),
+		Batches: r.Counter("cleo_costing_batches_total",
+			"Batched costing calls, all batch sizes."),
+		BatchRows: r.Counter("cleo_costing_batch_rows_total",
+			"Operators priced through batched costing."),
+	}
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumHistogramBuckets is the fixed bucket count of every Histogram:
+// buckets 0..NumHistogramBuckets-2 have upper bounds of 2^i microseconds
+// (1µs, 2µs, 4µs, ... ~9min), the last bucket is +Inf. Log-scaled powers
+// of two cover the whole latency range the system sees — sub-microsecond
+// cache probes to multi-second retrains — with constant memory and an
+// allocation-free, loop-free record path.
+const NumHistogramBuckets = 31
+
+// Histogram is a fixed-bucket log-scaled latency histogram. Record is
+// safe for concurrent use and allocation-free: one bit-scan to find the
+// bucket, then three atomic adds. The zero value is ready to use.
+type Histogram struct {
+	buckets [NumHistogramBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sumNs   atomic.Int64
+}
+
+// bucketIndex maps a duration to its bucket: the smallest i with
+// d <= 2^i µs (values at a boundary land in the bucket it bounds).
+func bucketIndex(d time.Duration) int {
+	us := uint64(d) / 1000 // durations under 1µs land in bucket 0
+	if us <= 1 {
+		return 0
+	}
+	i := bits.Len64(us - 1) // ceil(log2(us)) for us >= 2
+	if i >= NumHistogramBuckets {
+		return NumHistogramBuckets - 1
+	}
+	return i
+}
+
+// BucketUpperBound returns bucket i's inclusive upper bound in seconds
+// (+Inf for the last bucket).
+func BucketUpperBound(i int) float64 {
+	if i >= NumHistogramBuckets-1 {
+		return math.Inf(1)
+	}
+	return float64(uint64(1)<<uint(i)) / 1e6
+}
+
+// Record adds one observation. Negative durations are clamped to zero
+// (monotonic clock misuse should never corrupt the sum).
+func (h *Histogram) Record(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// Count returns the number of observations (0 for a nil histogram).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// HistogramSnapshot is a consistent-enough copy of a histogram for
+// exposition and aggregation. Buckets hold per-bucket (non-cumulative)
+// counts; exposition renders them cumulatively.
+type HistogramSnapshot struct {
+	Buckets [NumHistogramBuckets]uint64
+	Count   uint64
+	SumNs   int64
+}
+
+// Snapshot copies the current state. Concurrent Records may land between
+// the bucket and count reads; the skew is at most the records in flight
+// during the scrape, which Prometheus semantics tolerate.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.SumNs = h.sumNs.Load()
+	return s
+}
+
+// Merge adds other into s — the aggregation used when summing the same
+// metric across shards or instances. Bucket widths are fixed package-wide,
+// so merging is exact per-bucket addition.
+func (s *HistogramSnapshot) Merge(other HistogramSnapshot) {
+	for i := range s.Buckets {
+		s.Buckets[i] += other.Buckets[i]
+	}
+	s.Count += other.Count
+	s.SumNs += other.SumNs
+}
+
+// Quantile estimates the q-quantile (0..1) in seconds from the bucket
+// counts, attributing each bucket's mass to its upper bound — the same
+// conservative estimate Prometheus's histogram_quantile makes at bucket
+// resolution. Returns 0 for an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var seen uint64
+	for i, b := range s.Buckets {
+		seen += b
+		if seen > rank {
+			return BucketUpperBound(i)
+		}
+	}
+	return BucketUpperBound(NumHistogramBuckets - 1)
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries pins the log-scaled bucket math: bucket i covers
+// (2^(i-1), 2^i] microseconds, bucket 0 covers (0, 1µs], and everything
+// past the last finite bound lands in the +Inf bucket.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Nanosecond, 0},
+		{time.Microsecond, 0},
+		{time.Microsecond + time.Nanosecond, 0}, // sub-µs remainder truncates
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 2},
+		{5 * time.Microsecond, 3},
+		{1024 * time.Microsecond, 10},
+		{1025 * time.Microsecond, 11},
+		{time.Second, 20},                    // 2^20 µs ≈ 1.05 s
+		{time.Hour, NumHistogramBuckets - 1}, // overflow bucket
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.d); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// Every recorded duration must fall at or under its bucket's upper
+	// bound — the invariant Prometheus quantile math relies on.
+	for _, d := range []time.Duration{time.Microsecond, 3 * time.Microsecond,
+		777 * time.Microsecond, time.Second, 90 * time.Second} {
+		ub := BucketUpperBound(bucketIndex(d))
+		if d.Seconds() > ub {
+			t.Errorf("duration %v exceeds its bucket upper bound %v", d, ub)
+		}
+	}
+	if !math.IsInf(BucketUpperBound(NumHistogramBuckets-1), 1) {
+		t.Errorf("last bucket upper bound = %v, want +Inf", BucketUpperBound(NumHistogramBuckets-1))
+	}
+	if got := BucketUpperBound(0); got != 1e-6 {
+		t.Errorf("first bucket upper bound = %v, want 1e-6", got)
+	}
+}
+
+func TestHistogramRecordAndSnapshot(t *testing.T) {
+	var h Histogram
+	// Negative durations clamp to zero (first bucket, no sum corruption).
+	h.Record(-time.Second)
+	h.Record(time.Microsecond)
+	h.Record(2 * time.Microsecond)
+	h.Record(2 * time.Microsecond)
+	h.Record(time.Second)
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if s.Buckets[0] != 2 || s.Buckets[1] != 2 || s.Buckets[20] != 1 {
+		t.Fatalf("bucket counts = %v", s.Buckets)
+	}
+	wantSum := int64(time.Microsecond + 2*time.Microsecond + 2*time.Microsecond + time.Second)
+	if s.SumNs != wantSum {
+		t.Fatalf("sum = %d ns, want %d", s.SumNs, wantSum)
+	}
+	// nil receiver is a no-op, not a panic — instrumentation must never
+	// require a nil check at the call site.
+	var nilH *Histogram
+	nilH.Record(time.Second)
+	if nilH.Count() != 0 {
+		t.Fatal("nil histogram recorded")
+	}
+}
+
+// TestHistogramMerge checks merge math is exact per-bucket addition.
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Record(time.Microsecond)
+	a.Record(time.Millisecond)
+	b.Record(time.Millisecond)
+	b.Record(time.Second)
+
+	m := a.Snapshot()
+	m.Merge(b.Snapshot())
+	if m.Count != 4 {
+		t.Fatalf("merged count = %d, want 4", m.Count)
+	}
+	wantSum := int64(time.Microsecond + 2*time.Millisecond + time.Second)
+	if m.SumNs != wantSum {
+		t.Fatalf("merged sum = %d, want %d", m.SumNs, wantSum)
+	}
+	for i := range m.Buckets {
+		want := a.Snapshot().Buckets[i] + b.Snapshot().Buckets[i]
+		if m.Buckets[i] != want {
+			t.Fatalf("bucket %d = %d, want %d", i, m.Buckets[i], want)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Record(time.Microsecond) // bucket 0, ub 1µs
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(time.Millisecond) // bucket 10, ub 1024µs
+	}
+	if q := h.Snapshot().Quantile(0.5); q != 1e-6 {
+		t.Errorf("p50 = %v, want 1e-6", q)
+	}
+	if q := h.Snapshot().Quantile(0.99); q != 1024e-6 {
+		t.Errorf("p99 = %v, want 1024e-6", q)
+	}
+	var empty HistogramSnapshot
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %v, want 0", q)
+	}
+}

@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry hands out shared metric instruments and renders them in
+// Prometheus text exposition format. Instruments are keyed by metric name
+// plus rendered label pairs: two packages asking for the same name+labels
+// get the same underlying instrument, which is how e.g. retrain duration
+// is recorded by both the engine and the serving layer into one series.
+//
+// Get-or-create happens once per instrument (callers hold on to the
+// returned handle); the hot path never touches the registry lock.
+type Registry struct {
+	mu      sync.Mutex
+	help    map[string]string // metric name -> help text (first registration wins)
+	typ     map[string]string // metric name -> counter|gauge|histogram
+	series  map[string]*series
+	ordered []*series // registration order; sorted at exposition
+}
+
+type series struct {
+	name      string
+	labels    string // rendered {k="v",...} or ""
+	counter   *Counter
+	gauge     *Gauge
+	gaugeFn   func() float64
+	histogram *Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		help:   make(map[string]string),
+		typ:    make(map[string]string),
+		series: make(map[string]*series),
+	}
+}
+
+// renderLabels turns alternating key/value pairs into a deterministic
+// `{k="v",...}` string (keys sorted). Panics on an odd pair count —
+// instrument registration is programmer-controlled, not data-driven.
+func renderLabels(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	if len(pairs)%2 != 0 {
+		panic("obs: odd label key/value count")
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		kvs = append(kvs, kv{pairs[i], pairs[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range kvs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func (r *Registry) get(name, help, typ string, labels []string) *series {
+	lbl := renderLabels(labels)
+	key := name + lbl
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.series[key]; ok {
+		return s
+	}
+	if have, ok := r.typ[name]; ok && have != typ {
+		panic("obs: metric " + name + " registered as both " + have + " and " + typ)
+	}
+	if _, ok := r.help[name]; !ok {
+		r.help[name] = help
+		r.typ[name] = typ
+	}
+	s := &series{name: name, labels: lbl}
+	r.series[key] = s
+	r.ordered = append(r.ordered, s)
+	return s
+}
+
+// Counter returns the counter for name+labels, creating it on first use.
+// Labels are alternating key/value pairs.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	s := r.get(name, help, "counter", labels)
+	if s.counter == nil {
+		s.counter = &Counter{}
+	}
+	return s.counter
+}
+
+// Gauge returns the gauge for name+labels, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	s := r.get(name, help, "gauge", labels)
+	if s.gauge == nil {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// GaugeFunc registers a derived gauge evaluated at scrape time (cache hit
+// ratios, live entry counts). Re-registering the same name+labels replaces
+// the function — recovery and hot-swap paths may rebind freely.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	if r == nil {
+		return
+	}
+	s := r.get(name, help, "gauge", labels)
+	r.mu.Lock()
+	s.gaugeFn = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the histogram for name+labels, creating it on first
+// use. Conventionally name ends in _seconds; exposition renders buckets in
+// seconds.
+func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	s := r.get(name, help, "histogram", labels)
+	if s.histogram == nil {
+		s.histogram = &Histogram{}
+	}
+	return s.histogram
+}
+
+// WritePrometheus renders every registered series in Prometheus text
+// exposition format (version 0.0.4), grouped by metric name with HELP and
+// TYPE headers, deterministically ordered.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	all := make([]*series, len(r.ordered))
+	copy(all, r.ordered)
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	typ := make(map[string]string, len(r.typ))
+	for k, v := range r.typ {
+		typ[k] = v
+	}
+	r.mu.Unlock()
+
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].name != all[j].name {
+			return all[i].name < all[j].name
+		}
+		return all[i].labels < all[j].labels
+	})
+
+	var b strings.Builder
+	lastName := ""
+	for _, s := range all {
+		if s.name != lastName {
+			if h := help[s.name]; h != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", s.name, h)
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", s.name, typ[s.name])
+			lastName = s.name
+		}
+		switch {
+		case s.counter != nil:
+			fmt.Fprintf(&b, "%s%s %d\n", s.name, s.labels, s.counter.Load())
+		case s.gaugeFn != nil:
+			fmt.Fprintf(&b, "%s%s %s\n", s.name, s.labels, formatFloat(s.gaugeFn()))
+		case s.gauge != nil:
+			fmt.Fprintf(&b, "%s%s %d\n", s.name, s.labels, s.gauge.Load())
+		case s.histogram != nil:
+			writeHistogram(&b, s.name, s.labels, s.histogram.Snapshot())
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders cumulative le-labelled buckets plus _sum/_count.
+func writeHistogram(b *strings.Builder, name, labels string, snap HistogramSnapshot) {
+	var cum uint64
+	for i := 0; i < NumHistogramBuckets; i++ {
+		cum += snap.Buckets[i]
+		le := "+Inf"
+		if i < NumHistogramBuckets-1 {
+			le = formatFloat(BucketUpperBound(i))
+		}
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLabel(labels, "le", le), cum)
+	}
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, labels, formatFloat(float64(snap.SumNs)/1e9))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labels, snap.Count)
+}
+
+// withLabel splices one more label into an already-rendered label set.
+func withLabel(labels, k, v string) string {
+	pair := k + `="` + v + `"`
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the Prometheus exposition —
+// mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"flag"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestWritePrometheusGolden pins the exposition format byte-for-byte:
+// HELP/TYPE headers once per metric, series sorted by name then labels,
+// cumulative le-labelled histogram buckets, _sum in seconds.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_requests_total", "Requests by route and class.",
+		"route", "query", "class", "2xx").Add(3)
+	r.Counter("test_requests_total", "", "route", "query", "class", "5xx").Inc()
+	r.Gauge("test_inflight", "In-flight requests.").Set(2)
+	r.GaugeFunc("test_ratio", "Cache hit ratio.",
+		func() float64 { return 0.25 }, "cache", "prediction")
+	h := r.Histogram("test_latency_seconds", "Request latency.")
+	h.Record(time.Microsecond)
+	h.Record(3 * time.Microsecond)
+	h.Record(time.Second)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition mismatch (run with -update to regenerate):\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestRegistrySharedInstrument checks that the same name+labels from two
+// registration sites share one instrument — the property that merges the
+// engine's and the serving layer's retrain timers into one series.
+func TestRegistrySharedInstrument(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_shared_total", "Shared.")
+	b := r.Counter("test_shared_total", "ignored (first help wins)")
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	a.Inc()
+	b.Inc()
+	if a.Load() != 2 {
+		t.Fatalf("shared counter = %d, want 2", a.Load())
+	}
+	if r.Counter("test_shared_total", "", "tenant", "x") == a {
+		t.Fatal("different labels returned the same counter")
+	}
+	// A nil registry hands out nil instruments, and nil instruments are
+	// no-ops — the whole layer disappears when metrics are off.
+	var nilReg *Registry
+	nilReg.Counter("x", "").Inc()
+	nilReg.Gauge("x", "").Set(1)
+	nilReg.Histogram("x", "").Record(time.Second)
+}
+
+// TestRegistryConcurrentRecordAndScrape races recorders against scrapers;
+// run with -race. Scrapes must always render parseable, complete output.
+func TestRegistryConcurrentRecordAndScrape(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_conc_seconds", "concurrency test")
+	c := r.Counter("test_conc_total", "concurrency test")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Record(time.Microsecond)
+					c.Inc()
+					// Late registration must not corrupt in-flight scrapes.
+					r.Gauge("test_conc_gauge", "late registration").Set(1)
+				}
+			}
+		}()
+	}
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	for i := 0; i < 15; i++ {
+		resp, err := srv.Client().Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+			t.Fatalf("content type %q", ct)
+		}
+		body := string(raw)
+		if !strings.Contains(body, "test_conc_seconds_count") ||
+			!strings.Contains(body, "test_conc_total") {
+			t.Fatalf("scrape missing series:\n%s", body)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if h.Count() != c.Load() {
+		t.Fatalf("histogram count %d != counter %d", h.Count(), c.Load())
+	}
+}

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// SpanID identifies a span within one Trace. 0 means "no span" — every
+// operation is nil-safe against both a nil Trace and a zero SpanID, so
+// instrumented code never branches on whether tracing is on.
+type SpanID int
+
+// Trace is a lightweight bounded per-request tracer: one trace ID, a flat
+// span list with parent links and monotonic timestamps, capped at a fixed
+// span count so a pathological plan cannot balloon a response. It is safe
+// for concurrent use (the parallel search records from worker goroutines).
+type Trace struct {
+	id    string
+	start time.Time
+	limit int
+
+	mu      sync.Mutex
+	spans   []span
+	dropped int
+}
+
+type span struct {
+	name    string
+	parent  SpanID
+	startNs int64
+	durNs   int64
+	attrs   []string // alternating key/value
+}
+
+// DefaultSpanLimit bounds spans per trace unless NewTrace is told otherwise.
+const DefaultSpanLimit = 256
+
+// NewTrace starts a trace with a fresh random ID. limit <= 0 uses
+// DefaultSpanLimit.
+func NewTrace(limit int) *Trace {
+	if limit <= 0 {
+		limit = DefaultSpanLimit
+	}
+	var b [8]byte
+	rand.Read(b[:])
+	return &Trace{
+		id:    hex.EncodeToString(b[:]),
+		start: time.Now(),
+		limit: limit,
+	}
+}
+
+// ID returns the trace ID (empty for a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// now returns nanoseconds since the trace started (monotonic).
+func (t *Trace) now() int64 { return int64(time.Since(t.start)) }
+
+// Now returns nanoseconds since the trace started (monotonic clock),
+// 0 for a nil trace — the timestamp base for Add'ing pre-measured spans.
+func (t *Trace) Now() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.now()
+}
+
+// Begin opens a span under parent (0 = root) and returns its ID, or 0 if
+// the trace is nil or full.
+func (t *Trace) Begin(parent SpanID, name string) SpanID {
+	if t == nil {
+		return 0
+	}
+	start := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) >= t.limit {
+		t.dropped++
+		return 0
+	}
+	t.spans = append(t.spans, span{name: name, parent: parent, startNs: start, durNs: -1})
+	return SpanID(len(t.spans))
+}
+
+// End closes the span (no-op for 0 or a nil trace).
+func (t *Trace) End(id SpanID) {
+	if t == nil || id == 0 {
+		return
+	}
+	end := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &t.spans[id-1]
+	s.durNs = end - s.startNs
+}
+
+// Add records an already-measured interval as a complete span — how the
+// search's phase accumulators report aggregate per-phase time without
+// holding spans open across the hot path. startNs is relative to the trace
+// start; pass -1 to stamp "now" with the given duration ending now.
+func (t *Trace) Add(parent SpanID, name string, startNs, durNs int64, attrs ...string) SpanID {
+	if t == nil {
+		return 0
+	}
+	if startNs < 0 {
+		startNs = t.now() - durNs
+		if startNs < 0 {
+			startNs = 0
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) >= t.limit {
+		t.dropped++
+		return 0
+	}
+	t.spans = append(t.spans, span{name: name, parent: parent, startNs: startNs, durNs: durNs, attrs: attrs})
+	return SpanID(len(t.spans))
+}
+
+// SetAttr attaches a key/value attribute to an open or closed span.
+func (t *Trace) SetAttr(id SpanID, key, value string) {
+	if t == nil || id == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &t.spans[id-1]
+	s.attrs = append(s.attrs, key, value)
+}
+
+// SpanJSON is one node of the rendered span tree.
+type SpanJSON struct {
+	Name       string            `json:"name"`
+	StartNs    int64             `json:"start_ns"`
+	DurationNs int64             `json:"duration_ns"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Children   []*SpanJSON       `json:"children,omitempty"`
+}
+
+// TraceJSON is the EXPLAIN ANALYZE-style tree returned on traced queries.
+type TraceJSON struct {
+	TraceID      string      `json:"trace_id"`
+	TotalNs      int64       `json:"total_ns"`
+	DroppedSpans int         `json:"dropped_spans,omitempty"`
+	Spans        []*SpanJSON `json:"spans"`
+}
+
+// Tree renders the span tree. Spans still open are stamped with a
+// duration up to now; children keep recording order.
+func (t *Trace) Tree() *TraceJSON {
+	if t == nil {
+		return nil
+	}
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := &TraceJSON{TraceID: t.id, TotalNs: now, DroppedSpans: t.dropped}
+	nodes := make([]*SpanJSON, len(t.spans))
+	for i, s := range t.spans {
+		dur := s.durNs
+		if dur < 0 {
+			dur = now - s.startNs
+		}
+		n := &SpanJSON{Name: s.name, StartNs: s.startNs, DurationNs: dur}
+		if len(s.attrs) > 0 {
+			n.Attrs = make(map[string]string, len(s.attrs)/2)
+			for j := 0; j+1 < len(s.attrs); j += 2 {
+				n.Attrs[s.attrs[j]] = s.attrs[j+1]
+			}
+		}
+		nodes[i] = n
+	}
+	for i, s := range t.spans {
+		if s.parent > 0 && int(s.parent) <= len(nodes) {
+			p := nodes[s.parent-1]
+			p.Children = append(p.Children, nodes[i])
+		} else {
+			out.Spans = append(out.Spans, nodes[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestTraceTreeRoundTrip builds a span tree, renders it, and round-trips
+// it through JSON — the exact path a traced /v1/query response takes.
+func TestTraceTreeRoundTrip(t *testing.T) {
+	tr := NewTrace(0)
+	if len(tr.ID()) != 16 {
+		t.Fatalf("trace id %q, want 16 hex chars", tr.ID())
+	}
+	root := tr.Begin(0, "optimize")
+	tr.SetAttr(root, "template", "hit")
+	child := tr.Add(root, "costing", 0, int64(2*time.Millisecond), "rows", "64")
+	if child == 0 {
+		t.Fatal("Add returned 0")
+	}
+	tr.Add(child, "batch", 0, int64(time.Millisecond))
+	tr.End(root)
+	tr.Add(0, "execute", -1, int64(3*time.Millisecond))
+
+	tree := tr.Tree()
+	if tree.TraceID != tr.ID() {
+		t.Fatalf("tree id %q != trace id %q", tree.TraceID, tr.ID())
+	}
+	if len(tree.Spans) != 2 {
+		t.Fatalf("got %d roots, want 2 (optimize, execute)", len(tree.Spans))
+	}
+	opt := tree.Spans[0]
+	if opt.Name != "optimize" || opt.Attrs["template"] != "hit" {
+		t.Fatalf("root span = %+v", opt)
+	}
+	if opt.DurationNs < 0 {
+		t.Fatalf("ended root has negative duration %d", opt.DurationNs)
+	}
+	if len(opt.Children) != 1 || opt.Children[0].Name != "costing" {
+		t.Fatalf("optimize children = %+v", opt.Children)
+	}
+	costing := opt.Children[0]
+	if costing.Attrs["rows"] != "64" || costing.DurationNs != int64(2*time.Millisecond) {
+		t.Fatalf("costing span = %+v", costing)
+	}
+	if len(costing.Children) != 1 || costing.Children[0].Name != "batch" {
+		t.Fatalf("costing children = %+v", costing.Children)
+	}
+
+	data, err := json.Marshal(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TraceJSON
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rt) != string(data) {
+		t.Fatalf("JSON round trip changed:\n%s\nvs\n%s", data, rt)
+	}
+}
+
+// TestTraceSpanLimit checks the bound: past the limit spans are dropped
+// and counted, never appended.
+func TestTraceSpanLimit(t *testing.T) {
+	tr := NewTrace(2)
+	a := tr.Begin(0, "a")
+	b := tr.Begin(a, "b")
+	if a == 0 || b == 0 {
+		t.Fatal("spans under the limit were rejected")
+	}
+	if got := tr.Begin(b, "c"); got != 0 {
+		t.Fatalf("span over the limit got id %d", got)
+	}
+	tr.Add(0, "d", 0, 1)
+	tree := tr.Tree()
+	if tree.DroppedSpans != 2 {
+		t.Fatalf("dropped = %d, want 2", tree.DroppedSpans)
+	}
+	if len(tree.Spans) != 1 || len(tree.Spans[0].Children) != 1 {
+		t.Fatalf("tree shape wrong: %+v", tree.Spans)
+	}
+}
+
+// TestTraceNilSafety: every operation must be a no-op on a nil trace so
+// instrumented code never branches.
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	if tr.ID() != "" {
+		t.Fatal("nil trace has an ID")
+	}
+	if tr.Now() != 0 {
+		t.Fatal("nil trace Now != 0")
+	}
+	id := tr.Begin(0, "x")
+	if id != 0 {
+		t.Fatal("nil trace began a span")
+	}
+	tr.End(id)
+	tr.SetAttr(id, "k", "v")
+	if tr.Add(0, "y", 0, 1) != 0 {
+		t.Fatal("nil trace added a span")
+	}
+	if tr.Tree() != nil {
+		t.Fatal("nil trace rendered a tree")
+	}
+}

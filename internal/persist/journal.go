@@ -9,7 +9,9 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
+	"cleo/internal/obs"
 	"cleo/internal/telemetry"
 )
 
@@ -63,6 +65,10 @@ type Journal struct {
 	// it, through Append on success or NoteSkipped on failure.
 	nextIdx int64
 	records int64 // records currently in the journal
+
+	// fsyncSeconds, when non-nil, times each append-path fsync (set by
+	// the Manager when observability is configured).
+	fsyncSeconds *obs.Histogram
 
 	buf bytes.Buffer // reusable frame-encoding buffer
 }
@@ -225,8 +231,15 @@ func (j *Journal) appendLocked(recs []telemetry.Record) error {
 		return rollback(err)
 	}
 	if j.fsync {
+		var t0 time.Time
+		if j.fsyncSeconds != nil {
+			t0 = time.Now()
+		}
 		if err := j.f.Sync(); err != nil {
 			return rollback(err)
+		}
+		if !t0.IsZero() {
+			j.fsyncSeconds.Record(time.Since(t0))
 		}
 	}
 	j.frames = append(j.frames, frameMeta{bytes: int64(frameHeaderBytes + len(payload)), records: len(recs), start: j.nextIdx})

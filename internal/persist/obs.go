@@ -1,0 +1,35 @@
+package persist
+
+import (
+	"cleo/internal/obs"
+)
+
+// metrics holds the durable-state instruments, shared by every tenant
+// state a Manager hands out. All fields are nil without Config.Metrics;
+// recording sites gate on the struct pointer so the unmetered path pays
+// one nil check.
+type metrics struct {
+	// snapshotSeconds times SaveSnapshot's disk write (serialize + write +
+	// sync + manifest commit).
+	snapshotSeconds *obs.Histogram
+	// appendSeconds times one journal append frame (encode + write +
+	// optional fsync).
+	appendSeconds *obs.Histogram
+	// fsyncSeconds isolates the fsync inside an append — the part that
+	// dominates with Config.Fsync on and vanishes without it.
+	fsyncSeconds *obs.Histogram
+}
+
+func newMetrics(r *obs.Registry) *metrics {
+	if r == nil {
+		return nil
+	}
+	return &metrics{
+		snapshotSeconds: r.Histogram("cleo_persist_snapshot_seconds",
+			"Model snapshot write latency (serialize, write, sync, manifest commit)."),
+		appendSeconds: r.Histogram("cleo_persist_journal_append_seconds",
+			"Telemetry journal append latency per batch (encode, write, optional fsync)."),
+		fsyncSeconds: r.Histogram("cleo_persist_fsync_seconds",
+			"fsync latency inside journal appends (only recorded with fsync enabled)."),
+	}
+}

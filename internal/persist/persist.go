@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"cleo/internal/learned"
+	"cleo/internal/obs"
 	"cleo/internal/telemetry"
 )
 
@@ -56,12 +57,16 @@ type Config struct {
 	// Logf receives corruption warnings and recovery notices
 	// (default log.Printf).
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, records snapshot-write, journal-append and
+	// fsync latencies into instruments registered here.
+	Metrics *obs.Registry
 }
 
 // Manager owns one state directory and hands out per-tenant states.
 type Manager struct {
-	cfg  Config
-	logf func(format string, args ...any)
+	cfg     Config
+	logf    func(format string, args ...any)
+	metrics *metrics // nil without Config.Metrics
 }
 
 // NewManager creates the state directory (if needed) and returns a
@@ -77,7 +82,7 @@ func NewManager(cfg Config) (*Manager, error) {
 	if logf == nil {
 		logf = log.Printf
 	}
-	return &Manager{cfg: cfg, logf: logf}, nil
+	return &Manager{cfg: cfg, logf: logf, metrics: newMetrics(cfg.Metrics)}, nil
 }
 
 // tenantDirName encodes a tenant name as a safe directory name. Names in
@@ -159,6 +164,10 @@ func (m *Manager) Tenant(name string) (*TenantState, error) {
 		logf:    m.logf,
 		journal: j,
 		replay:  rec.Records,
+		metrics: m.metrics,
+	}
+	if m.metrics != nil {
+		j.fsyncSeconds = m.metrics.fsyncSeconds
 	}
 	ts.droppedBytes.Store(rec.DroppedBytes)
 	return ts, nil
@@ -172,6 +181,7 @@ type TenantState struct {
 	retain  int
 	logf    func(format string, args ...any)
 	journal *Journal
+	metrics *metrics // nil without observability
 
 	mu       sync.Mutex // serializes snapshot writes; guards lastSnap
 	lastSnap int64
@@ -204,9 +214,16 @@ func (ts *TenantState) Replay() []telemetry.Record {
 // truthful log-index ranges and MarkTrained can never cut records the
 // training snapshot did not cover.
 func (ts *TenantState) AppendJournal(recs []telemetry.Record) error {
+	var t0 time.Time
+	if ts.metrics != nil {
+		t0 = time.Now()
+	}
 	if err := ts.journal.Append(recs); err != nil {
 		ts.journalErrors.Add(1)
 		return err
+	}
+	if !t0.IsZero() {
+		ts.metrics.appendSeconds.Record(time.Since(t0))
 	}
 	ts.journalAppends.Add(1)
 	return nil
@@ -228,9 +245,16 @@ func (ts *TenantState) SaveSnapshot(man Manifest, pr *learned.Predictor) error {
 		return ErrStale
 	}
 	man.SavedAt = time.Now().UTC()
+	var t0 time.Time
+	if ts.metrics != nil {
+		t0 = time.Now()
+	}
 	if err := writeSnapshot(ts.dir, man, pr); err != nil {
 		ts.snapshotErrors.Add(1)
 		return err
+	}
+	if !t0.IsZero() {
+		ts.metrics.snapshotSeconds.Record(time.Since(t0))
 	}
 	ts.lastSnap = man.ID
 	ts.snapshots.Add(1)

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"cleo/internal/engine"
+	"cleo/internal/obs"
 	"cleo/internal/plan"
 	"cleo/internal/stats"
 )
@@ -48,6 +50,10 @@ type QueryRequest struct {
 	// 0 keeps the tenant default. The effective width is echoed in the
 	// response.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Trace opts this one request into query tracing: the response carries
+	// an EXPLAIN ANALYZE-style span tree (optimizer phases, and execution
+	// when mode is "run") with per-span durations.
+	Trace bool `json:"trace,omitempty"`
 	// Tables registers stored-input statistics before planning
 	// (idempotent; later requests may omit already-registered tables).
 	Tables map[string]stats.TableStats `json:"tables,omitempty"`
@@ -69,6 +75,9 @@ type QueryResponse struct {
 	TotalProcessingTime float64          `json:"total_processing_time,omitempty"`
 	Containers          int              `json:"containers,omitempty"`
 	Records             int              `json:"records,omitempty"`
+	// Trace is the span tree recorded for this request (only with
+	// "trace": true in the request).
+	Trace *obs.TraceJSON `json:"trace,omitempty"`
 }
 
 // RetrainRequest is the POST /v1/retrain body.
@@ -87,27 +96,38 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// NewHandler builds the service's HTTP handler.
+// NewHandler builds the service's HTTP handler. With Config.Metrics set,
+// every route is wrapped in the observability middleware (per-route
+// latency histogram, status-class counters, in-flight gauge) and
+// GET /metrics serves the registry in Prometheus text format.
 func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
-		handleQuery(svc, w, r)
-	})
-	mux.HandleFunc("POST /v1/retrain", func(w http.ResponseWriter, r *http.Request) {
-		handleRetrain(svc, w, r)
-	})
-	mux.HandleFunc("POST /v1/tenants/{name}/snapshot", func(w http.ResponseWriter, r *http.Request) {
-		handleSnapshot(svc, w, r)
-	})
-	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, r *http.Request) {
-		handleModels(svc, w, r)
-	})
-	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		handleStats(svc, w, r)
-	})
+	mux.HandleFunc("POST /v1/query", svc.obs.instrument("query",
+		func(w http.ResponseWriter, r *http.Request) {
+			handleQuery(svc, w, r)
+		}))
+	mux.HandleFunc("POST /v1/retrain", svc.obs.instrument("retrain",
+		func(w http.ResponseWriter, r *http.Request) {
+			handleRetrain(svc, w, r)
+		}))
+	mux.HandleFunc("POST /v1/tenants/{name}/snapshot", svc.obs.instrument("snapshot",
+		func(w http.ResponseWriter, r *http.Request) {
+			handleSnapshot(svc, w, r)
+		}))
+	mux.HandleFunc("GET /v1/models", svc.obs.instrument("models",
+		func(w http.ResponseWriter, r *http.Request) {
+			handleModels(svc, w, r)
+		}))
+	mux.HandleFunc("GET /v1/stats", svc.obs.instrument("stats",
+		func(w http.ResponseWriter, r *http.Request) {
+			handleStats(svc, w, r)
+		}))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	if svc.obs != nil {
+		mux.Handle("GET /metrics", svc.obs.reg.Handler())
+	}
 	return mux
 }
 
@@ -176,6 +196,10 @@ func handleQuery(svc *Service, w http.ResponseWriter, r *http.Request) {
 	if req.UseLearned != nil {
 		useLearned = *req.UseLearned
 	}
+	var tr *obs.Trace
+	if req.Trace {
+		tr = obs.NewTrace(0)
+	}
 	opts := engine.RunOptions{
 		Seed:              req.Seed,
 		Param:             req.Param,
@@ -184,6 +208,7 @@ func handleQuery(svc *Service, w http.ResponseWriter, r *http.Request) {
 		SafePlanSelection: req.Safe,
 		SkipLogging:       req.SkipLogging,
 		Parallelism:       req.Parallelism,
+		Trace:             tr,
 	}
 	effectivePar := req.Parallelism
 	if effectivePar == 0 {
@@ -192,6 +217,7 @@ func handleQuery(svc *Service, w http.ResponseWriter, r *http.Request) {
 	resp := QueryResponse{Tenant: req.Tenant, Mode: mode, UsedLearned: opts.UseLearnedModels,
 		Parallelism: effectivePar}
 
+	t0 := time.Now()
 	switch mode {
 	case "optimize":
 		p, cost, version, err := t.OptimizeWithVersion(req.Plan, opts)
@@ -218,6 +244,12 @@ func handleQuery(svc *Service, w http.ResponseWriter, r *http.Request) {
 		resp.Containers = res.Containers
 		resp.Records = len(res.Records)
 	}
+	if dur := time.Since(t0); svc.cfg.SlowQuery > 0 && dur >= svc.cfg.SlowQuery {
+		svc.log.Warn("serve: slow query",
+			"tenant", req.Tenant, "route", "query", "mode", mode,
+			"duration", dur, "trace_id", tr.ID())
+	}
+	resp.Trace = tr.Tree()
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strings"
+	"time"
+
+	"cleo/internal/obs"
+)
+
+// serviceObs bundles the serving layer's observability state: the shared
+// registry plus the service-wide instruments resolved once at startup.
+// A nil *serviceObs (no Config.Metrics) disables every hook.
+type serviceObs struct {
+	reg              *obs.Registry
+	inflight         *obs.Gauge
+	recoveredTenants *obs.Counter
+	retrainSeconds   *obs.Histogram
+}
+
+func newServiceObs(r *obs.Registry) *serviceObs {
+	if r == nil {
+		return nil
+	}
+	return &serviceObs{
+		reg: r,
+		inflight: r.Gauge("cleo_http_inflight_requests",
+			"HTTP requests currently being served."),
+		recoveredTenants: r.Counter("cleo_recovered_tenants_total",
+			"Tenants restored from durable state (snapshot or journal) at startup."),
+		// Same metric name as the engine's Retrain timer: tenant retrains
+		// go through the serving pipeline, not engine.Retrain, but both
+		// paths should land in one series.
+		retrainSeconds: r.Histogram("cleo_retrain_seconds",
+			"Model training duration per retrain (telemetry to published predictor)."),
+	}
+}
+
+// statusWriter captures the response status for the status-class counters.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps one route's handler with the HTTP middleware: per-route
+// latency histogram, status-class counters and the in-flight gauge. Routes
+// are named explicitly at registration (labels must be low-cardinality and
+// known up front — request paths are not).
+func (so *serviceObs) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	if so == nil {
+		return h
+	}
+	hist := so.reg.Histogram("cleo_http_request_seconds",
+		"HTTP request latency by route.", "route", route)
+	var classes [5]*obs.Counter
+	for i := range classes {
+		classes[i] = so.reg.Counter("cleo_http_requests_total",
+			"HTTP requests by route and status class.",
+			"route", route, "class", fmt.Sprintf("%dxx", i+1))
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		so.inflight.Add(1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		so.inflight.Add(-1)
+		hist.Record(time.Since(t0))
+		if c := sw.status / 100; c >= 1 && c <= 5 {
+			classes[c-1].Inc()
+		}
+	}
+}
+
+// registerTenantGauges binds the per-tenant derived gauges — cache hit
+// ratios evaluated at scrape time, and the recovery counters CI asserts
+// on after a restart. Re-registration (tenant re-created after a restart)
+// rebinds the functions in place.
+func (so *serviceObs) registerTenantGauges(t *Tenant) {
+	if so == nil {
+		return
+	}
+	const help = "Derived cache hit ratio by cache kind and tenant (0..1; 0 when idle)."
+	so.reg.GaugeFunc("cleo_cache_hit_ratio", help, func() float64 {
+		if v := t.reg.Current(); v != nil {
+			return v.Cache.Stats().HitRatio()
+		}
+		return 0
+	}, "cache", "prediction", "tenant", t.Name)
+	so.reg.GaugeFunc("cleo_cache_hit_ratio", help, func() float64 {
+		if v := t.reg.Current(); v != nil {
+			cs := v.Cache.Stats()
+			if tot := cs.FitHits + cs.FitMisses; tot > 0 {
+				return float64(cs.FitHits) / float64(tot)
+			}
+		}
+		return 0
+	}, "cache", "stage_fit", "tenant", t.Name)
+	so.reg.GaugeFunc("cleo_cache_hit_ratio", help, func() float64 {
+		ts := t.sys.TemplateStats()
+		if tot := ts.TemplateHits + ts.TemplateMisses; tot > 0 {
+			return float64(ts.TemplateHits) / float64(tot)
+		}
+		return 0
+	}, "cache", "template", "tenant", t.Name)
+	if t.state != nil {
+		ps := t.state.Stats()
+		so.reg.Gauge("cleo_recovered_model_version",
+			"Model version restored from durable state at startup (0 = cold start).",
+			"tenant", t.Name).Set(ps.RecoveredVersion)
+		so.reg.Gauge("cleo_recovered_records",
+			"Journaled telemetry records replayed at startup.",
+			"tenant", t.Name).Set(ps.RecoveredRecords)
+		if ps.RecoveredVersion > 0 || ps.RecoveredRecords > 0 {
+			so.recoveredTenants.Inc()
+		}
+	}
+}
+
+// logfHandler adapts slog records onto a legacy printf-style sink, so a
+// caller-supplied Config.Logf keeps receiving every log line (rendered as
+// "msg key=val ...") — the compatibility bridge that keeps pre-slog
+// callers and tests working unchanged.
+type logfHandler struct {
+	logf  func(format string, args ...any)
+	attrs []slog.Attr
+}
+
+func (h *logfHandler) Enabled(context.Context, slog.Level) bool { return true }
+
+func (h *logfHandler) Handle(_ context.Context, r slog.Record) error {
+	var b strings.Builder
+	b.WriteString(r.Message)
+	emit := func(a slog.Attr) bool {
+		fmt.Fprintf(&b, " %s=%v", a.Key, a.Value)
+		return true
+	}
+	for _, a := range h.attrs {
+		emit(a)
+	}
+	r.Attrs(emit)
+	h.logf("%s", b.String())
+	return nil
+}
+
+func (h *logfHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	merged := make([]slog.Attr, 0, len(h.attrs)+len(attrs))
+	merged = append(merged, h.attrs...)
+	merged = append(merged, attrs...)
+	return &logfHandler{logf: h.logf, attrs: merged}
+}
+
+// WithGroup flattens groups — the printf sink has no structure to nest.
+func (h *logfHandler) WithGroup(string) slog.Handler { return h }
+
+// resolveLogger picks the service's structured logger: an explicit Logger
+// wins, a legacy Logf is bridged, otherwise slog's process default (which
+// writes through the log package, matching the old log.Printf behavior).
+func resolveLogger(cfg Config) *slog.Logger {
+	if cfg.Logger != nil {
+		return cfg.Logger
+	}
+	if cfg.Logf != nil {
+		return slog.New(&logfHandler{logf: cfg.Logf})
+	}
+	return slog.Default()
+}

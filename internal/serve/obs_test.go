@@ -1,0 +1,264 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cleo/internal/obs"
+)
+
+// scrape fetches and returns the /metrics exposition.
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	status, body := getJSON(t, url+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics: status %d", status)
+	}
+	return string(body)
+}
+
+// seriesValues parses an exposition into series -> value (last sample
+// wins; series is the full name{labels} key).
+func seriesValues(body string) map[string]string {
+	out := map[string]string{}
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if name, val, ok := strings.Cut(line, " "); ok {
+			out[name] = val
+		}
+	}
+	return out
+}
+
+// TestMetricsEndpoint drives real traffic through the handler and then
+// asserts the Prometheus exposition is live end to end: HTTP middleware,
+// optimizer search metrics, learned batch costing, retrain timing, and
+// the per-tenant derived gauges.
+func TestMetricsEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	svc := NewService(Config{Metrics: reg, Logf: quiet})
+	defer svc.Close()
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+
+	for seed := int64(1); seed <= 30; seed++ {
+		status, body := postJSON(t, srv.URL+"/v1/query", queryBody("ads", seed, `,"param":2`))
+		if status != http.StatusOK {
+			t.Fatalf("query %d: %d: %s", seed, status, body)
+		}
+	}
+	tn, _ := svc.Lookup("ads")
+	waitForLog(t, tn, 30)
+	if status, body := postJSON(t, srv.URL+"/v1/retrain", `{"tenant":"ads"}`); status != http.StatusOK {
+		t.Fatalf("retrain: %d (%s)", status, body)
+	}
+	// A learned resource-aware query after the publish exercises batch
+	// costing and the prediction cache.
+	for seed := int64(40); seed <= 42; seed++ {
+		status, _ := postJSON(t, srv.URL+"/v1/query",
+			queryBody("ads", seed, `,"param":2,"resource_aware":true`))
+		if status != http.StatusOK {
+			t.Fatalf("learned query %d failed", seed)
+		}
+	}
+
+	body := scrape(t, srv.URL)
+	vals := seriesValues(body)
+	if len(vals) < 12 {
+		t.Fatalf("only %d series exposed, want >= 12:\n%s", len(vals), body)
+	}
+	nonzero := []string{
+		`cleo_http_requests_total{class="2xx",route="query"}`,
+		`cleo_http_request_seconds_count{route="query"}`,
+		`cleo_http_requests_total{class="2xx",route="retrain"}`,
+		`cleo_optimize_seconds_count`,
+		`cleo_execute_seconds_count`,
+		`cleo_retrain_seconds_count`,
+		`cleo_costing_batches_total`,
+		`cleo_template_requests_total{result="miss"}`,
+	}
+	for _, s := range nonzero {
+		v, ok := vals[s]
+		if !ok {
+			t.Errorf("series %s missing from exposition", s)
+			continue
+		}
+		if v == "0" {
+			t.Errorf("series %s = 0, want nonzero", s)
+		}
+	}
+	for _, s := range []string{
+		`cleo_cache_hit_ratio{cache="prediction",tenant="ads"}`,
+		`cleo_cache_hit_ratio{cache="stage_fit",tenant="ads"}`,
+		`cleo_cache_hit_ratio{cache="template",tenant="ads"}`,
+		`cleo_http_inflight_requests`,
+	} {
+		if _, ok := vals[s]; !ok {
+			t.Errorf("series %s missing from exposition", s)
+		}
+	}
+	// The optimizer phase histogram must expose every phase label.
+	for _, phase := range []string{"copy_in", "explore", "costing", "enforce", "arbitrate"} {
+		key := fmt.Sprintf("cleo_optimize_phase_seconds_count{phase=%q}", phase)
+		if _, ok := vals[key]; !ok {
+			t.Errorf("series %s missing from exposition", key)
+		}
+	}
+}
+
+// TestQueryTrace opts a request into tracing and checks the span tree:
+// ids present, optimize and execute roots, and phase children summing
+// exactly to the optimize span (serving parallelism is 1, so phases are
+// disjoint and the explicit "other" residual closes the gap).
+func TestQueryTrace(t *testing.T) {
+	svc := NewService(Config{})
+	defer svc.Close()
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+
+	status, body := postJSON(t, srv.URL+"/v1/query",
+		queryBody("ads", 1, `,"trace":true,"resource_aware":true`))
+	if status != http.StatusOK {
+		t.Fatalf("traced query: %d: %s", status, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	tr := qr.Trace
+	if tr == nil {
+		t.Fatal("traced query returned no trace")
+	}
+	if len(tr.TraceID) != 16 || tr.TotalNs <= 0 {
+		t.Fatalf("trace header: %+v", tr)
+	}
+	var optimize, execute *obs.SpanJSON
+	for _, s := range tr.Spans {
+		switch s.Name {
+		case "optimize":
+			optimize = s
+		case "execute":
+			execute = s
+		}
+	}
+	if optimize == nil || execute == nil {
+		t.Fatalf("missing root spans: %+v", tr.Spans)
+	}
+	if optimize.Attrs["template"] != "miss" || optimize.Attrs["memo_groups"] == "" {
+		t.Fatalf("optimize attrs: %+v", optimize.Attrs)
+	}
+	if len(optimize.Children) == 0 {
+		t.Fatal("optimize span has no phase children")
+	}
+	var sum int64
+	for _, c := range optimize.Children {
+		if c.DurationNs < 0 {
+			t.Fatalf("child %s has negative duration", c.Name)
+		}
+		sum += c.DurationNs
+	}
+	if sum != optimize.DurationNs {
+		t.Fatalf("phase children sum %d != optimize duration %d", sum, optimize.DurationNs)
+	}
+	if execute.DurationNs <= 0 || execute.Attrs["containers"] == "" {
+		t.Fatalf("execute span: %+v", execute)
+	}
+
+	// Untraced requests must not carry a tree.
+	status, body = postJSON(t, srv.URL+"/v1/query", queryBody("ads", 2, ""))
+	if status != http.StatusOK {
+		t.Fatalf("untraced query: %d", status)
+	}
+	qr = QueryResponse{}
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Trace != nil {
+		t.Fatal("untraced query returned a trace")
+	}
+}
+
+// syncBuf is a goroutine-safe log sink (background retrains and request
+// handlers may log concurrently).
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestSlowQueryLog sets a zero-distance threshold so every query is
+// "slow" and checks the structured record carries tenant, mode and the
+// trace id of the traced request.
+func TestSlowQueryLog(t *testing.T) {
+	var buf syncBuf
+	svc := NewService(Config{
+		Logger:    slog.New(slog.NewTextHandler(&buf, nil)),
+		SlowQuery: time.Nanosecond,
+	})
+	defer svc.Close()
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+
+	status, body := postJSON(t, srv.URL+"/v1/query", queryBody("ads", 1, `,"trace":true`))
+	if status != http.StatusOK {
+		t.Fatalf("query: %d: %s", status, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "slow query") {
+		t.Fatalf("no slow-query record logged:\n%s", out)
+	}
+	for _, want := range []string{"tenant=ads", "mode=run", "route=query",
+		"trace_id=" + qr.Trace.TraceID} {
+		if !strings.Contains(out, want) {
+			t.Errorf("slow-query record missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLogfBridge checks the legacy printf hook still receives structured
+// records rendered as lines.
+func TestLogfBridge(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	logf := func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	logger := slog.New(&logfHandler{logf: logf}).With("tenant", "ads")
+	logger.Warn("serve: snapshot failed", "version", 3, "err", "boom")
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) != 1 {
+		t.Fatalf("got %d lines, want 1", len(lines))
+	}
+	want := "serve: snapshot failed tenant=ads version=3 err=boom"
+	if lines[0] != want {
+		t.Fatalf("bridged line %q, want %q", lines[0], want)
+	}
+}

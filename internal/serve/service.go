@@ -1,12 +1,15 @@
 package serve
 
 import (
+	"fmt"
 	"hash/fnv"
-	"log"
+	"log/slog"
 	"sort"
 	"sync"
+	"time"
 
 	"cleo/internal/engine"
+	"cleo/internal/obs"
 	"cleo/internal/persist"
 )
 
@@ -55,9 +58,23 @@ type Config struct {
 	Fsync bool
 	// RetainSnapshots caps the snapshots kept per tenant (0 = keep all).
 	RetainSnapshots int
-	// Logf receives persistence warnings and recovery notices
-	// (default log.Printf).
+	// Logf receives persistence warnings and recovery notices rendered as
+	// plain lines — the legacy printf-style hook, kept so existing callers
+	// and tests work unchanged. Ignored when Logger is set.
 	Logf func(format string, args ...any)
+	// Logger is the service's structured logger. Every record carries the
+	// tenant (and, on request paths, route and trace id) as attributes.
+	// Defaults to Logf bridged into slog, else slog.Default().
+	Logger *slog.Logger
+	// Metrics, when non-nil, turns on the observability layer: HTTP
+	// middleware, per-tenant derived gauges, and the engine / persistence
+	// instruments all register here, and NewHandler mounts GET /metrics.
+	// One registry is shared across tenants (metrics aggregate; per-tenant
+	// series carry a tenant label).
+	Metrics *obs.Registry
+	// SlowQuery, when positive, logs any /v1/query request slower than the
+	// threshold at Warn level with tenant, mode, duration and trace id.
+	SlowQuery time.Duration
 }
 
 // sessionShards sizes the sharded session map; tenants hash across shards
@@ -74,7 +91,8 @@ type tenantShard struct {
 // pipeline. All methods are safe for concurrent use.
 type Service struct {
 	cfg     Config
-	logf    func(format string, args ...any)
+	log     *slog.Logger
+	obs     *serviceObs      // nil without Config.Metrics
 	persist *persist.Manager // nil without a state directory
 	shards  [sessionShards]tenantShard
 
@@ -85,23 +103,21 @@ type Service struct {
 // crash recovery: every tenant with state on disk is brought up warm
 // before the first request can reach it.
 func NewService(cfg Config) *Service {
-	s := &Service{cfg: cfg, logf: cfg.Logf}
-	if s.logf == nil {
-		s.logf = log.Printf
-	}
+	s := &Service{cfg: cfg, log: resolveLogger(cfg), obs: newServiceObs(cfg.Metrics)}
 	for i := range s.shards {
 		s.shards[i].m = make(map[string]*Tenant)
 	}
 	if cfg.StateDir != "" {
 		mgr, err := persist.NewManager(persist.Config{
-			Dir:    cfg.StateDir,
-			Fsync:  cfg.Fsync,
-			Retain: cfg.RetainSnapshots,
-			Logf:   s.logf,
+			Dir:     cfg.StateDir,
+			Fsync:   cfg.Fsync,
+			Retain:  cfg.RetainSnapshots,
+			Logf:    s.warnf,
+			Metrics: cfg.Metrics,
 		})
 		if err != nil {
 			// Degrade, never crash: the service still serves, just cold.
-			s.logf("serve: persistence disabled: %v", err)
+			s.log.Warn("serve: persistence disabled", "err", err)
 		} else {
 			s.persist = mgr
 			s.recoverTenants()
@@ -110,13 +126,19 @@ func NewService(cfg Config) *Service {
 	return s
 }
 
+// warnf adapts the persist layer's printf-style warning hook onto the
+// service's structured logger.
+func (s *Service) warnf(format string, args ...any) {
+	s.log.Warn(fmt.Sprintf(format, args...))
+}
+
 // recoverTenants warms up every tenant with durable state: Tenant()
 // attaches the on-disk state during construction, which restores the
 // latest snapshot and replays the journal.
 func (s *Service) recoverTenants() {
 	names, err := s.persist.TenantNames()
 	if err != nil {
-		s.logf("serve: enumerating tenant state: %v", err)
+		s.log.Warn("serve: enumerating tenant state", "err", err)
 		return
 	}
 	for _, name := range names {
@@ -162,11 +184,12 @@ func (s *Service) Tenant(name string) *Tenant {
 		var err error
 		if state, err = s.persist.Tenant(name); err != nil {
 			// The tenant still serves, just without durability.
-			s.logf("serve: tenant %q: persistence disabled: %v", name, err)
+			s.log.Warn("serve: tenant persistence disabled", "tenant", name, "err", err)
 			state = nil
 		}
 	}
-	t = newTenant(name, s.newSystem(name), s.cfg.RetrainThreshold, s.cfg.IngestBuffer, state, s.logf)
+	t = newTenant(name, s.newSystem(name), s.cfg.RetrainThreshold, s.cfg.IngestBuffer, state, s.log, s.obs)
+	s.obs.registerTenantGauges(t)
 	sh.m[name] = t
 	return t
 }
@@ -191,6 +214,7 @@ func (s *Service) newSystem(name string) *engine.System {
 		Seed:              seedOf(name),
 		Parallelism:       par,
 		TemplateCacheSize: s.cfg.TemplateCacheSize,
+		Metrics:           s.cfg.Metrics,
 	})
 }
 

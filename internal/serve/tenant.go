@@ -2,8 +2,10 @@ package serve
 
 import (
 	"errors"
+	"log/slog"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cleo/internal/cascades"
 	"cleo/internal/engine"
@@ -38,9 +40,14 @@ type Tenant struct {
 	// state is the tenant's durable state (nil when the service runs
 	// without a state directory): the flusher journals every batch there
 	// before the in-memory append, and each publish snapshots the new
-	// version asynchronously. logf receives persistence warnings.
+	// version asynchronously. log carries persistence warnings and
+	// recovery notices, with the tenant name pre-bound as an attribute.
 	state *persist.TenantState
-	logf  func(format string, args ...any)
+	log   *slog.Logger
+
+	// obs is the service's observability state (nil without metrics);
+	// the tenant records its retrain durations there.
+	obs *serviceObs
 
 	// Telemetry batches flow from Run through ingest to one flusher
 	// goroutine, which appends them to the system log in merged batches
@@ -65,16 +72,20 @@ type Tenant struct {
 }
 
 func newTenant(name string, sys *engine.System, retrainThreshold, ingestBuffer int,
-	state *persist.TenantState, logf func(format string, args ...any)) *Tenant {
+	state *persist.TenantState, logger *slog.Logger, so *serviceObs) *Tenant {
 	if ingestBuffer <= 0 {
 		ingestBuffer = 128
+	}
+	if logger == nil {
+		logger = slog.Default()
 	}
 	t := &Tenant{
 		Name:             name,
 		sys:              sys,
 		reg:              &Registry{},
 		state:            state,
-		logf:             logf,
+		log:              logger.With("tenant", name),
+		obs:              so,
 		ingest:           make(chan []telemetry.Record, ingestBuffer),
 		flushReq:         make(chan chan struct{}),
 		done:             make(chan struct{}),
@@ -104,7 +115,7 @@ func (t *Tenant) recover() {
 		if err != nil {
 			// Fall back to the next older snapshot; newer-but-unloadable
 			// manifests stay out of the restored history too.
-			t.logf("serve: tenant %q: skipping snapshot v%d: %v", t.Name, man.ID, err)
+			t.log.Warn("serve: skipping snapshot", "version", man.ID, "err", err)
 			continue
 		}
 		history := make([]ModelVersionInfo, 0, i+1)
@@ -114,13 +125,13 @@ func (t *Tenant) recover() {
 		t.reg.Restore(history, versionInfoOf(man), pr)
 		t.sys.SetModels(pr)
 		t.state.NoteRecoveredVersion(man.ID)
-		t.logf("serve: tenant %q: restored model version %d (%d models, trained on %d records)",
-			t.Name, man.ID, man.NumModels, man.TrainRecords)
+		t.log.Info("serve: restored model version",
+			"version", man.ID, "models", man.NumModels, "train_records", man.TrainRecords)
 		break
 	}
 	if recs := t.state.Replay(); len(recs) > 0 {
 		t.sys.AppendTelemetry(recs)
-		t.logf("serve: tenant %q: replayed %d journaled telemetry records", t.Name, len(recs))
+		t.log.Info("serve: replayed journaled telemetry", "records", len(recs))
 		t.maybeRetrain()
 	}
 }
@@ -289,7 +300,7 @@ func (t *Tenant) drain() {
 func (t *Tenant) journalThenAppend(recs []telemetry.Record) {
 	if t.state != nil {
 		if err := t.state.AppendJournal(recs); err != nil {
-			t.logf("serve: tenant %q: telemetry journal append failed: %v", t.Name, err)
+			t.log.Warn("serve: telemetry journal append failed", "err", err)
 		}
 	}
 	t.sys.AppendTelemetry(recs)
@@ -352,9 +363,16 @@ func (t *Tenant) retrain() (ModelVersionInfo, error) {
 	// everything already offered, not on whatever the flusher got to.
 	t.flush()
 	recs := t.sys.TelemetryLog()
+	var t0 time.Time
+	if t.obs != nil {
+		t0 = time.Now()
+	}
 	pr, err := learned.TrainSplit(recs, learned.DefaultTrainConfig())
 	if err != nil {
 		return ModelVersionInfo{}, err
+	}
+	if !t0.IsZero() {
+		t.obs.retrainSeconds.Record(time.Since(t0))
 	}
 	eval := recs
 	if len(eval) > accuracySnapshotCap {
@@ -394,11 +412,11 @@ func (t *Tenant) writeSnapshot(v *ModelVersion) error {
 		return nil // a newer version's snapshot already covers this one
 	}
 	if err != nil {
-		t.logf("serve: tenant %q: snapshot of version %d failed: %v", t.Name, v.Info.ID, err)
+		t.log.Warn("serve: snapshot failed", "version", v.Info.ID, "err", err)
 		return err
 	}
 	if err := t.state.MarkTrained(v.trainedLocal); err != nil {
-		t.logf("serve: tenant %q: journal truncation after snapshot %d failed: %v", t.Name, v.Info.ID, err)
+		t.log.Warn("serve: journal truncation after snapshot failed", "version", v.Info.ID, "err", err)
 	}
 	return nil
 }
@@ -478,7 +496,7 @@ func (t *Tenant) close() {
 	t.wg.Wait()
 	if t.state != nil {
 		if err := t.state.Close(); err != nil {
-			t.logf("serve: tenant %q: closing durable state: %v", t.Name, err)
+			t.log.Warn("serve: closing durable state", "err", err)
 		}
 	}
 }
