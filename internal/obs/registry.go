@@ -99,6 +99,16 @@ func (r *Registry) get(name, help, typ string, labels []string) *series {
 		r.typ[name] = typ
 	}
 	s := &series{name: name, labels: lbl}
+	// Allocate the instrument here, while r.mu is held: concurrent first-use
+	// registrations of the same name+labels must agree on one instrument.
+	switch typ {
+	case "counter":
+		s.counter = &Counter{}
+	case "gauge":
+		s.gauge = &Gauge{}
+	case "histogram":
+		s.histogram = &Histogram{}
+	}
 	r.series[key] = s
 	r.ordered = append(r.ordered, s)
 	return s
@@ -110,11 +120,7 @@ func (r *Registry) Counter(name, help string, labels ...string) *Counter {
 	if r == nil {
 		return nil
 	}
-	s := r.get(name, help, "counter", labels)
-	if s.counter == nil {
-		s.counter = &Counter{}
-	}
-	return s.counter
+	return r.get(name, help, "counter", labels).counter
 }
 
 // Gauge returns the gauge for name+labels, creating it on first use.
@@ -122,11 +128,7 @@ func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
 	if r == nil {
 		return nil
 	}
-	s := r.get(name, help, "gauge", labels)
-	if s.gauge == nil {
-		s.gauge = &Gauge{}
-	}
-	return s.gauge
+	return r.get(name, help, "gauge", labels).gauge
 }
 
 // GaugeFunc registers a derived gauge evaluated at scrape time (cache hit
@@ -149,11 +151,7 @@ func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
 	if r == nil {
 		return nil
 	}
-	s := r.get(name, help, "histogram", labels)
-	if s.histogram == nil {
-		s.histogram = &Histogram{}
-	}
-	return s.histogram
+	return r.get(name, help, "histogram", labels).histogram
 }
 
 // WritePrometheus renders every registered series in Prometheus text
@@ -164,8 +162,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		return nil
 	}
 	r.mu.Lock()
-	all := make([]*series, len(r.ordered))
-	copy(all, r.ordered)
+	// Snapshot series by value while holding the lock: gaugeFn may be
+	// rebound concurrently by GaugeFunc, and instrument pointers must not
+	// be read unsynchronized. The instruments themselves are atomic.
+	all := make([]series, len(r.ordered))
+	for i, s := range r.ordered {
+		all[i] = *s
+	}
 	help := make(map[string]string, len(r.help))
 	for k, v := range r.help {
 		help[k] = v

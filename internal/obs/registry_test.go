@@ -80,6 +80,47 @@ func TestRegistrySharedInstrument(t *testing.T) {
 	nilReg.Histogram("x", "").Record(time.Second)
 }
 
+// TestRegistryConcurrentFirstUse races first-use registration of the same
+// name+labels from many goroutines (concurrent tenant creation registers
+// the same unlabeled series); run with -race. Every caller must get the
+// one shared instrument — a loser keeping an orphaned handle would record
+// into a series that never appears in /metrics.
+func TestRegistryConcurrentFirstUse(t *testing.T) {
+	r := NewRegistry()
+	const n = 8
+	var start, wg sync.WaitGroup
+	start.Add(1)
+	counters := make([]*Counter, n)
+	hists := make([]*Histogram, n)
+	gauges := make([]*Gauge, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start.Wait()
+			counters[i] = r.Counter("test_first_use_total", "first-use race")
+			hists[i] = r.Histogram("test_first_use_seconds", "first-use race")
+			gauges[i] = r.Gauge("test_first_use_gauge", "first-use race")
+			counters[i].Inc()
+			hists[i].Record(time.Microsecond)
+			r.GaugeFunc("test_first_use_fn", "first-use race", func() float64 { return 1 })
+		}(i)
+	}
+	start.Done()
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if counters[i] != counters[0] || hists[i] != hists[0] || gauges[i] != gauges[0] {
+			t.Fatalf("goroutine %d got a distinct instrument", i)
+		}
+	}
+	if got := counters[0].Load(); got != n {
+		t.Fatalf("shared counter = %d, want %d (orphaned handle lost increments)", got, n)
+	}
+	if got := hists[0].Count(); got != n {
+		t.Fatalf("shared histogram count = %d, want %d", got, n)
+	}
+}
+
 // TestRegistryConcurrentRecordAndScrape races recorders against scrapers;
 // run with -race. Scrapes must always render parseable, complete output.
 func TestRegistryConcurrentRecordAndScrape(t *testing.T) {
@@ -101,6 +142,9 @@ func TestRegistryConcurrentRecordAndScrape(t *testing.T) {
 					c.Inc()
 					// Late registration must not corrupt in-flight scrapes.
 					r.Gauge("test_conc_gauge", "late registration").Set(1)
+					// Rebinding a derived gauge races against scrapes
+					// reading gaugeFn — both must stay synchronized.
+					r.GaugeFunc("test_conc_fn", "rebind race", func() float64 { return 1 })
 				}
 			}
 		}()

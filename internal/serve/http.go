@@ -218,6 +218,15 @@ func handleQuery(svc *Service, w http.ResponseWriter, r *http.Request) {
 		Parallelism: effectivePar}
 
 	t0 := time.Now()
+	// Deferred so slow queries are logged on the error returns below too,
+	// not only on the success path.
+	defer func() {
+		if dur := time.Since(t0); svc.cfg.SlowQuery > 0 && dur >= svc.cfg.SlowQuery {
+			svc.log.Warn("serve: slow query",
+				"tenant", req.Tenant, "route", "query", "mode", mode,
+				"duration", dur, "trace_id", tr.ID())
+		}
+	}()
 	switch mode {
 	case "optimize":
 		p, cost, version, err := t.OptimizeWithVersion(req.Plan, opts)
@@ -243,11 +252,6 @@ func handleQuery(svc *Service, w http.ResponseWriter, r *http.Request) {
 		resp.TotalProcessingTime = res.TotalProcessingTime
 		resp.Containers = res.Containers
 		resp.Records = len(res.Records)
-	}
-	if dur := time.Since(t0); svc.cfg.SlowQuery > 0 && dur >= svc.cfg.SlowQuery {
-		svc.log.Warn("serve: slow query",
-			"tenant", req.Tenant, "route", "query", "mode", mode,
-			"duration", dur, "trace_id", tr.ID())
 	}
 	resp.Trace = tr.Tree()
 	writeJSON(w, http.StatusOK, resp)

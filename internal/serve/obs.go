@@ -70,12 +70,16 @@ func (so *serviceObs) instrument(route string, h http.HandlerFunc) http.HandlerF
 		t0 := time.Now()
 		so.inflight.Add(1)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		// Deferred so a panicking handler still balances the inflight gauge
+		// and records the request.
+		defer func() {
+			so.inflight.Add(-1)
+			hist.Record(time.Since(t0))
+			if c := sw.status / 100; c >= 1 && c <= 5 {
+				classes[c-1].Inc()
+			}
+		}()
 		h(sw, r)
-		so.inflight.Add(-1)
-		hist.Record(time.Since(t0))
-		if c := sw.status / 100; c >= 1 && c <= 5 {
-			classes[c-1].Inc()
-		}
 	}
 }
 
