@@ -20,6 +20,7 @@ import (
 	"cleo/internal/stats"
 	"cleo/internal/telemetry"
 	"cleo/internal/workload"
+	"cleo/internal/workload/tpch"
 )
 
 // benchExperiment runs one registered experiment per iteration at small
@@ -450,4 +451,60 @@ func BenchmarkCardinalityAnnotation(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Streaming executor benchmarks (internal/exec) ---
+
+// benchExecPlan optimizes a join+aggregate-heavy TPC-H query once, for
+// executing repeatedly on either backend.
+func benchExecPlan(b *testing.B, q int) *PhysicalPlan {
+	b.Helper()
+	cat := stats.NewCatalog(1)
+	tpch.Register(cat, 1)
+	o := &cascades.Optimizer{Catalog: cat, Cost: costmodel.Default{},
+		MaxPartitions: 3000, JobSeed: int64(q)}
+	res, err := o.Optimize(tpch.Queries()[q]())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Plan
+}
+
+var benchExecCfg = exec.StreamConfig{MaxTableRows: 50000, BatchSize: 2048}
+
+// benchExecBackend re-executes the plan per iteration. A warm-up run first
+// writes observed cardinalities back into the plan, so both backends size
+// their scans identically and iterations are steady-state.
+func benchExecBackend(b *testing.B, backend exec.Backend, q int) {
+	b.Helper()
+	p := benchExecPlan(b, q)
+	if _, err := backend.Run(p, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := backend.Run(p, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.OutputRows == 0 {
+			b.Fatal("benchmark query produced no rows")
+		}
+	}
+}
+
+// BenchmarkExecStreaming and BenchmarkExecMaterialized execute the same
+// optimized TPC-H Q21 (supplier ⋈ lineitem ⋈ orders ⋈ nation feeding an
+// aggregate and top-100) on the streaming batch executor and on the
+// materialize-every-operator reference — the pipelining + buffer-reuse
+// payoff in one pair of numbers: the reference writes every join's output
+// to memory before the next operator reads it back, the streaming engine
+// keeps one cache-resident batch moving through the whole pipeline.
+func BenchmarkExecStreaming(b *testing.B) {
+	benchExecBackend(b, exec.NewEngine(benchExecCfg), 21)
+}
+
+func BenchmarkExecMaterialized(b *testing.B) {
+	benchExecBackend(b, exec.NewReference(benchExecCfg), 21)
 }

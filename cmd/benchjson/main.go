@@ -51,9 +51,14 @@ type Result struct {
 
 // Baseline is the file format: environment plus per-benchmark results.
 type Baseline struct {
-	GoVersion  string            `json:"go_version"`
-	GOOS       string            `json:"goos"`
-	GOARCH     string            `json:"goarch"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// GOMAXPROCS records the recording machine's parallelism. Comparing
+	// ns/op across different widths is meaningless for parallel
+	// benchmarks, so -compare refuses to gate when it differs (0 in old
+	// baselines = unknown, compared anyway).
+	GOMAXPROCS int               `json:"gomaxprocs,omitempty"`
 	Bench      string            `json:"bench"`
 	BenchTime  string            `json:"benchtime"`
 	Note       string            `json:"note,omitempty"`
@@ -148,6 +153,7 @@ func main() {
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Bench:      *bench,
 		BenchTime:  *benchtime,
 		Note:       *note,
@@ -199,6 +205,11 @@ func compareBaseline(path string, sums map[string]*Result, threshold float64) in
 	if err := json.Unmarshal(data, &base); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: parse %s: %v\n", path, err)
 		return 1
+	}
+	if base.GOMAXPROCS != 0 && base.GOMAXPROCS != runtime.GOMAXPROCS(0) {
+		fmt.Printf("benchjson: baseline %s was recorded at GOMAXPROCS=%d, this machine runs %d — skipping comparison (re-record the baseline to gate here)\n",
+			path, base.GOMAXPROCS, runtime.GOMAXPROCS(0))
+		return 0
 	}
 
 	var names []string

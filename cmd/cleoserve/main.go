@@ -5,9 +5,15 @@
 //
 // Usage:
 //
-//	cleoserve [-addr :8080] [-retrain-threshold 500] [-ingest-buffer 128] [-parallelism 0]
+//	cleoserve [-addr :8080] [-exec-backend simulate] [-retrain-threshold 500]
+//	          [-ingest-buffer 128] [-parallelism 0]
 //	          [-state-dir ""] [-fsync] [-retain-snapshots 0]
 //	          [-debug-addr ""] [-slow-query 0]
+//
+// -exec-backend selects how queries execute: "simulate" (default) models
+// latencies on the simulated cluster; "stream" runs them on the in-process
+// streaming vectorized executor, so responses carry real result rows and
+// the feedback loop trains on measured wall-clock operator times.
 //
 // With -state-dir, tenant state is durable: every published model version
 // is snapshotted and ingested telemetry is journaled, and a restart
@@ -60,6 +66,8 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	execBackend := flag.String("exec-backend", "simulate",
+		`query execution backend: "simulate" (modeled latencies) or "stream" (in-process streaming executor, measured latencies)`)
 	retrainThreshold := flag.Int("retrain-threshold", 500,
 		"new telemetry records that trigger a background retrain (0 disables)")
 	ingestBuffer := flag.Int("ingest-buffer", 128, "per-tenant telemetry channel capacity")
@@ -75,6 +83,10 @@ func main() {
 		"log /v1/query requests slower than this threshold, with tenant and trace id (0 disables)")
 	flag.Parse()
 
+	if *execBackend != "simulate" && *execBackend != "stream" {
+		fmt.Fprintf(os.Stderr, "cleoserve: unknown -exec-backend %q (want simulate or stream)\n", *execBackend)
+		os.Exit(1)
+	}
 	if *stateDir != "" {
 		// Fail fast on an unusable state directory rather than silently
 		// serving without durability.
@@ -85,6 +97,7 @@ func main() {
 	}
 	reg := obs.NewRegistry()
 	svc := serve.NewService(serve.Config{
+		StreamingExec:    *execBackend == "stream",
 		RetrainThreshold: *retrainThreshold,
 		IngestBuffer:     *ingestBuffer,
 		Parallelism:      *parallelism,
@@ -129,7 +142,8 @@ func main() {
 		_ = server.Shutdown(shutdownCtx)
 	}()
 
-	fmt.Printf("cleoserve listening on %s (retrain threshold %d)\n", *addr, *retrainThreshold)
+	fmt.Printf("cleoserve listening on %s (backend %s, retrain threshold %d)\n",
+		*addr, *execBackend, *retrainThreshold)
 	if err := server.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "cleoserve:", err)
 		os.Exit(1)

@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"testing"
+
+	"cleo/internal/exec"
+	"cleo/internal/plan"
+	"cleo/internal/workload/tpch"
+)
+
+// TestStreamingBackendFeedbackLoop pins the measured-telemetry loop end to
+// end: the streaming executor runs real queries, its wall-clock operator
+// timings land in the telemetry log, the existing retrain pipeline fits
+// models from them, and the engine serves learned-model runs — no
+// simulated latencies anywhere.
+func TestStreamingBackendFeedbackLoop(t *testing.T) {
+	sys := NewSystem(SystemConfig{
+		Seed:          7,
+		StreamingExec: true,
+		Stream:        &exec.StreamConfig{MaxTableRows: 4000},
+	})
+	sys.RegisterTPCH(1)
+
+	queries := []*plan.Logical{
+		tpch.Queries()[1](),
+		tpch.Queries()[3](),
+		tpch.Queries()[6](),
+	}
+	runs := 0
+	for seed := int64(1); seed <= 10; seed++ {
+		for qi, q := range queries {
+			res, err := sys.Run(q, RunOptions{Seed: seed*10 + int64(qi), Param: float64(seed%4) + 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			runs++
+			if res.Latency <= 0 {
+				t.Fatalf("run %d: no measured latency: %+v", runs, res.Latency)
+			}
+			if res.OutputChecksum == 0 || res.OutputRows == 0 {
+				t.Fatalf("run %d: streaming backend produced no result rows", runs)
+			}
+			var positive int
+			for _, rec := range res.Records {
+				// Simulated exclusive latencies for these shapes are tens of
+				// seconds; measured ones are sub-millisecond. Anything at or
+				// above half a second would mean a synthetic latency leaked in.
+				if rec.ActualLatency < 0 || rec.ActualLatency >= 0.5 {
+					t.Fatalf("run %d: %v latency %v is not a measured wall-clock time",
+						runs, rec.Op, rec.ActualLatency)
+				}
+				if rec.ActualLatency > 0 {
+					positive++
+				}
+				if rec.ActOutCard <= 0 {
+					t.Fatalf("run %d: %v missing observed cardinality", runs, rec.Op)
+				}
+			}
+			if positive == 0 {
+				t.Fatalf("run %d: no operator recorded nonzero measured time", runs)
+			}
+		}
+	}
+	if n := sys.LogSize(); n == 0 {
+		t.Fatal("no telemetry logged")
+	}
+
+	// The unchanged retrain pipeline must fit models from the measured
+	// telemetry, and the engine must serve them.
+	if err := sys.Retrain(); err != nil {
+		t.Fatalf("retrain on measured telemetry: %v", err)
+	}
+	if sys.Models() == nil {
+		t.Fatal("no models after retrain")
+	}
+	res, err := sys.Run(queries[0], RunOptions{Seed: 999, UseLearnedModels: true, SkipLogging: true})
+	if err != nil {
+		t.Fatalf("learned run on streaming backend: %v", err)
+	}
+	if res.OutputRows == 0 || res.PredictedCost <= 0 {
+		t.Fatalf("learned run produced no result: rows=%d cost=%v", res.OutputRows, res.PredictedCost)
+	}
+}
+
+// TestStreamingBackendDeterministicResults pins that the streaming backend
+// is a function of the plan alone: re-running the same query yields the
+// same output rows and checksum (the simulator's noise rng is ignored).
+func TestStreamingBackendDeterministicResults(t *testing.T) {
+	sys := NewSystem(SystemConfig{
+		Seed:          11,
+		StreamingExec: true,
+		Stream:        &exec.StreamConfig{MaxTableRows: 1500},
+	})
+	sys.RegisterTPCH(1)
+	q := tpch.Queries()[3]
+	var rows, chk uint64
+	for i := 0; i < 3; i++ {
+		res, err := sys.Run(q(), RunOptions{Seed: 42, SkipLogging: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			rows, chk = res.OutputRows, res.OutputChecksum
+			continue
+		}
+		if res.OutputRows != rows || res.OutputChecksum != chk {
+			t.Fatalf("run %d: result drifted: rows %d→%d checksum %x→%x",
+				i, rows, res.OutputRows, chk, res.OutputChecksum)
+		}
+	}
+}

@@ -52,6 +52,15 @@ type SystemConfig struct {
 	TemplateCacheSize int
 	// Exec, when non-nil, overrides the full cluster configuration.
 	Exec *exec.Config
+	// StreamingExec executes plans on the in-process streaming vectorized
+	// executor instead of the simulated cluster. Per-operator latencies are
+	// then measured wall-clock times, so the learned feedback loop trains
+	// on real runtimes. NoiseSigma and Exec only apply to the simulator.
+	StreamingExec bool
+	// Stream tunes the streaming executor (nil = defaults); ignored unless
+	// StreamingExec is set. When Metrics is configured, the executor's
+	// per-operator instruments register there automatically.
+	Stream *exec.StreamConfig
 	// Metrics, when non-nil, threads observability through the system:
 	// search phase timings, batched-costing latency, execution and retrain
 	// durations all record into instruments registered here. Instruments
@@ -69,7 +78,7 @@ type SystemConfig struct {
 // started with and later calls observe the new version.
 type System struct {
 	catalog *stats.Catalog
-	cluster *exec.Cluster
+	backend exec.Backend
 	maxP    int
 	par     int
 
@@ -104,9 +113,20 @@ func NewSystem(cfg SystemConfig) *System {
 	}
 	s := &System{
 		catalog: stats.NewCatalog(cfg.Seed),
-		cluster: exec.NewCluster(ec),
 		maxP:    ec.MaxPartitions,
 		par:     cfg.Parallelism,
+	}
+	if cfg.StreamingExec {
+		sc := exec.StreamConfig{}
+		if cfg.Stream != nil {
+			sc = *cfg.Stream
+		}
+		if sc.Metrics == nil {
+			sc.Metrics = exec.NewMetrics(cfg.Metrics) // nil registry → nil metrics, free
+		}
+		s.backend = exec.NewEngine(sc)
+	} else {
+		s.backend = exec.NewCluster(ec)
 	}
 	if cfg.TemplateCacheSize >= 0 {
 		s.templates = cascades.NewTemplateCache(cfg.TemplateCacheSize)
@@ -219,7 +239,12 @@ type RunResult struct {
 	Latency             float64
 	TotalProcessingTime float64
 	Containers          int
-	Records             []telemetry.Record
+	// OutputRows and OutputChecksum describe the query result when the
+	// backend actually produces rows (the streaming executor); the
+	// simulator leaves them zero.
+	OutputRows     uint64
+	OutputChecksum uint64
+	Records        []telemetry.Record
 }
 
 // Optimize plans the query without executing it.
@@ -316,14 +341,30 @@ func (s *System) Run(q *plan.Logical, opts RunOptions) (*RunResult, error) {
 	if s.executeSeconds != nil || opts.Trace != nil {
 		t0 = time.Now()
 	}
-	execRes, err := s.cluster.Run(p, rand.New(rand.NewSource(opts.Seed)))
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var execRes exec.Result
+	tb, tracedRun := s.backend.(exec.TracedBackend)
+	tracedRun = tracedRun && opts.Trace != nil
+	if tracedRun {
+		// Backends that can attribute time per operator hang their spans
+		// under the execute span, so the trace shows the full operator tree.
+		span := opts.Trace.Begin(opts.TraceParent, "execute")
+		execRes, err = tb.RunTraced(p, rng, opts.Trace, span)
+		if err == nil {
+			opts.Trace.SetAttr(span, "latency", strconv.FormatFloat(execRes.Latency, 'g', 6, 64))
+			opts.Trace.SetAttr(span, "containers", strconv.Itoa(execRes.Containers))
+		}
+		opts.Trace.End(span)
+	} else {
+		execRes, err = s.backend.Run(p, rng)
+	}
 	if err != nil {
 		return nil, err
 	}
 	if !t0.IsZero() {
 		el := time.Since(t0)
 		s.executeSeconds.Record(el) // nil-safe
-		if tr := opts.Trace; tr != nil {
+		if tr := opts.Trace; tr != nil && !tracedRun {
 			tr.Add(opts.TraceParent, "execute", tr.Now()-int64(el), int64(el),
 				"latency", strconv.FormatFloat(execRes.Latency, 'g', 6, 64),
 				"containers", strconv.Itoa(execRes.Containers),
@@ -351,6 +392,8 @@ func (s *System) Run(q *plan.Logical, opts RunOptions) (*RunResult, error) {
 		Latency:             execRes.Latency,
 		TotalProcessingTime: execRes.TotalProcessingTime,
 		Containers:          execRes.Containers,
+		OutputRows:          execRes.OutputRows,
+		OutputChecksum:      execRes.OutputChecksum,
 		Records:             records,
 	}, nil
 }

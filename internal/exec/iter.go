@@ -1,0 +1,460 @@
+package exec
+
+// iterator is the pull-based operator interface: Open prepares state (a
+// blocking operator drains its inputs here), Next returns the next batch
+// or nil at end-of-stream, Close releases buffers. The returned batch is
+// owned by the producer and valid until its next Next call; consumers
+// must treat it as read-only (scans alias the shared table cache, so a
+// batch may point into immutable storage).
+type iterator interface {
+	Open() error
+	Next() (*Batch, error)
+	Close()
+}
+
+// scanIter streams a generated table batch by batch. Each batch aliases
+// the shared materialization (see materializeTable) — zero copies; the
+// read-only batch contract keeps the cache safe.
+type scanIter struct {
+	table     string
+	sch       schema
+	rows      int64
+	pos       int64
+	src       *colStore
+	batchSize int
+	out       Batch
+}
+
+func newScanIter(table string, rows int64, sch schema, batchSize int) *scanIter {
+	return &scanIter{table: table, sch: sch, rows: rows, batchSize: batchSize}
+}
+
+func (s *scanIter) Open() error {
+	s.pos = 0
+	s.src = materializeTable(s.table, s.sch, s.rows)
+	s.out.Cols = make([][]int64, len(s.sch))
+	return nil
+}
+
+func (s *scanIter) Next() (*Batch, error) {
+	if s.pos >= s.rows {
+		return nil, nil
+	}
+	n := s.batchSize
+	if rem := s.rows - s.pos; int64(n) > rem {
+		n = int(rem)
+	}
+	for c := range s.out.Cols {
+		s.out.Cols[c] = s.src.cols[c][s.pos : s.pos+int64(n)]
+	}
+	s.out.N = n
+	s.pos += int64(n)
+	return &s.out, nil
+}
+
+func (s *scanIter) Close() {
+	s.src = nil
+}
+
+// filterIter gathers surviving rows into its own batch through a
+// selection vector: the predicate runs row-wise, the copy runs
+// column-wise. The child's batch is never written (it may alias the
+// table cache).
+type filterIter struct {
+	child iterator
+	pred  *BoundPred
+	sel   []int32
+	out   *Batch
+}
+
+func (f *filterIter) Open() error {
+	f.out = nil
+	return f.child.Open()
+}
+
+func (f *filterIter) Next() (*Batch, error) {
+	for {
+		b, err := f.child.Next()
+		if b == nil || err != nil {
+			return nil, err
+		}
+		f.sel = f.sel[:0]
+		for i := 0; i < b.N; i++ {
+			if f.pred.Eval(b.Cols, i) {
+				f.sel = append(f.sel, int32(i))
+			}
+		}
+		if len(f.sel) == 0 {
+			continue // fully filtered batch; pull the next one
+		}
+		f.out = ensureShape(f.out, len(b.Cols), b.N)
+		for c := range b.Cols {
+			src, dst := b.Cols[c], f.out.Cols[c]
+			for k, i := range f.sel {
+				dst[k] = src[i]
+			}
+		}
+		f.out.N = len(f.sel)
+		return f.out, nil
+	}
+}
+
+func (f *filterIter) Close() {
+	putBatch(f.out)
+	f.out = nil
+	f.child.Close()
+}
+
+// projectIter narrows batches to a column subset by re-pointing column
+// slices — zero copies. Its out batch aliases the child's storage, so it
+// is not pooled.
+type projectIter struct {
+	child iterator
+	idxs  []int
+	out   Batch
+}
+
+func newProjectIter(child iterator, in, out schema) *projectIter {
+	p := &projectIter{child: child, idxs: make([]int, len(out))}
+	for i, c := range out {
+		p.idxs[i] = in.index(c)
+	}
+	return p
+}
+
+func (p *projectIter) Open() error {
+	p.out.Cols = make([][]int64, len(p.idxs))
+	return p.child.Open()
+}
+
+func (p *projectIter) Next() (*Batch, error) {
+	b, err := p.child.Next()
+	if b == nil || err != nil {
+		return nil, err
+	}
+	for i, idx := range p.idxs {
+		p.out.Cols[i] = b.Cols[idx][:b.N]
+	}
+	p.out.N = b.N
+	return &p.out, nil
+}
+
+func (p *projectIter) Close() { p.child.Close() }
+
+// passIter forwards its child untouched — exchanges and outputs are
+// pipeline no-ops in a single-process engine; their cost shows up as the
+// per-operator accounting wrapper's overhead, not as data movement.
+type passIter struct {
+	child iterator
+}
+
+func (p *passIter) Open() error           { return p.child.Open() }
+func (p *passIter) Next() (*Batch, error) { return p.child.Next() }
+func (p *passIter) Close()                { p.child.Close() }
+
+// adaptIter reshapes a child's schema onto a target schema by name:
+// matching columns alias through, missing ones read zero. Used under
+// union-all when a branch's schema differs from the union's output.
+type adaptIter struct {
+	child iterator
+	idxs  []int // -1 = zero-fill
+	zero  []int64
+	out   Batch
+}
+
+func newAdaptIter(child iterator, in, out schema) *adaptIter {
+	a := &adaptIter{child: child, idxs: make([]int, len(out))}
+	for i, c := range out {
+		a.idxs[i] = in.index(c)
+	}
+	return a
+}
+
+func (a *adaptIter) Open() error {
+	a.out.Cols = make([][]int64, len(a.idxs))
+	return a.child.Open()
+}
+
+func (a *adaptIter) Next() (*Batch, error) {
+	b, err := a.child.Next()
+	if b == nil || err != nil {
+		return nil, err
+	}
+	if cap(a.zero) < b.N {
+		a.zero = make([]int64, b.N)
+	}
+	for i, idx := range a.idxs {
+		if idx >= 0 {
+			a.out.Cols[i] = b.Cols[idx][:b.N]
+		} else {
+			a.out.Cols[i] = a.zero[:b.N]
+		}
+	}
+	a.out.N = b.N
+	return &a.out, nil
+}
+
+func (a *adaptIter) Close() { a.child.Close() }
+
+// unionIter concatenates its children in order.
+type unionIter struct {
+	children []iterator
+	cur      int
+}
+
+func (u *unionIter) Open() error {
+	u.cur = 0
+	for _, c := range u.children {
+		if err := c.Open(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (u *unionIter) Next() (*Batch, error) {
+	for u.cur < len(u.children) {
+		b, err := u.children[u.cur].Next()
+		if err != nil {
+			return nil, err
+		}
+		if b != nil {
+			return b, nil
+		}
+		u.cur++
+	}
+	return nil, nil
+}
+
+func (u *unionIter) Close() {
+	for _, c := range u.children {
+		c.Close()
+	}
+}
+
+// processIter models a black-box UDF processor: each input row yields a
+// deterministic, UDF-dependent number of output copies (fanout in
+// [0.25, 2)), each with a rewritten payload.
+type processIter struct {
+	child iterator
+	udfH  uint64
+	valIx int
+	size  int
+
+	out    *Batch
+	pend   *Batch // current child batch being expanded
+	pendI  int    // next input row
+	pendC  int    // copies already emitted for row pendI
+	copies int    // total copies for row pendI
+}
+
+func newProcessIter(child iterator, udf string, sch schema, batchSize int) *processIter {
+	return &processIter{child: child, udfH: mix64(strHash(udf)), valIx: sch.valIndex(), size: batchSize}
+}
+
+// rowCopies decides how many output rows one input row produces: the
+// integer part of the fanout plus a hash-Bernoulli fractional part.
+func (p *processIter) rowCopies(rh uint64) int {
+	f := 0.25 + 1.75*unitFromHash(p.udfH)
+	n := int(f)
+	frac := f - float64(n)
+	if unitFromHash(mix64(p.udfH^rh)) < frac {
+		n++
+	}
+	return n
+}
+
+func (p *processIter) Open() error {
+	p.out = getBatch(0, 0)
+	p.pend, p.pendI, p.pendC, p.copies = nil, 0, 0, 0
+	return p.child.Open()
+}
+
+func (p *processIter) Next() (*Batch, error) {
+	var nCols int
+	filled := 0
+	for {
+		if p.pend == nil {
+			b, err := p.child.Next()
+			if b == nil || err != nil {
+				if filled > 0 {
+					p.out.N = filled
+					return p.out, err
+				}
+				return nil, err
+			}
+			if b.N == 0 {
+				continue
+			}
+			p.pend, p.pendI, p.pendC = b, 0, 0
+			p.copies = p.rowCopies(rowHash(b.Cols, 0))
+		}
+		if filled == 0 {
+			nCols = len(p.pend.Cols)
+			p.out = ensureShape(p.out, nCols, p.size)
+		}
+		for p.pendI < p.pend.N && filled < p.size {
+			if p.pendC >= p.copies {
+				p.pendI++
+				p.pendC = 0
+				if p.pendI < p.pend.N {
+					p.copies = p.rowCopies(rowHash(p.pend.Cols, p.pendI))
+				}
+				continue
+			}
+			for c := 0; c < nCols; c++ {
+				p.out.Cols[c][filled] = p.pend.Cols[c][p.pendI]
+			}
+			if p.valIx >= 0 {
+				v := p.pend.Cols[p.valIx][p.pendI]
+				p.out.Cols[p.valIx][filled] = int64(mix64(uint64(v) ^ p.udfH ^ uint64(p.pendC)))
+			}
+			p.pendC++
+			filled++
+		}
+		if p.pendI >= p.pend.N {
+			p.pend = nil // exhausted; child batch becomes invalid on next pull
+		}
+		if filled >= p.size {
+			p.out.N = filled
+			return p.out, nil
+		}
+	}
+}
+
+func (p *processIter) Close() {
+	putBatch(p.out)
+	p.out = nil
+	p.child.Close()
+}
+
+// ensureShape grows a pooled batch to the requested shape, preserving the
+// pooling contract.
+func ensureShape(b *Batch, nCols, capRows int) *Batch {
+	if b == nil {
+		return getBatch(nCols, capRows)
+	}
+	if len(b.Cols) != nCols || (nCols > 0 && cap(b.Cols[0]) < capRows) {
+		putBatch(b)
+		return getBatch(nCols, capRows)
+	}
+	for i := range b.Cols {
+		b.Cols[i] = b.Cols[i][:capRows]
+	}
+	return b
+}
+
+// exceptIter emits left rows after cancelling one-for-one against the
+// right multiset (EXCEPT ALL semantics). Rows are matched by full-row
+// hash; both inputs must share a schema. Survivors gather into the
+// iterator's own batch — the left child's batch is never written.
+type exceptIter struct {
+	left, right iterator
+	counts      map[uint64]int64
+	sel         []int32
+	out         *Batch
+	size        int
+}
+
+func newExceptIter(left, right iterator, batchSize int) *exceptIter {
+	return &exceptIter{left: left, right: right, size: batchSize}
+}
+
+func (e *exceptIter) Open() error {
+	if err := e.left.Open(); err != nil {
+		return err
+	}
+	if err := e.right.Open(); err != nil {
+		return err
+	}
+	e.counts = make(map[uint64]int64)
+	for {
+		b, err := e.right.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.N; i++ {
+			e.counts[rowHash(b.Cols, i)]++
+		}
+	}
+	return nil
+}
+
+func (e *exceptIter) Next() (*Batch, error) {
+	for {
+		b, err := e.left.Next()
+		if b == nil || err != nil {
+			return nil, err
+		}
+		e.sel = e.sel[:0]
+		for i := 0; i < b.N; i++ {
+			h := rowHash(b.Cols, i)
+			if c := e.counts[h]; c > 0 {
+				e.counts[h] = c - 1
+				continue
+			}
+			e.sel = append(e.sel, int32(i))
+		}
+		if len(e.sel) == 0 {
+			continue
+		}
+		return e.gather(b), nil
+	}
+}
+
+// gather copies the selected left rows into the iterator's own batch.
+func (e *exceptIter) gather(b *Batch) *Batch {
+	e.out = ensureShape(e.out, len(b.Cols), b.N)
+	for c := range b.Cols {
+		src, dst := b.Cols[c], e.out.Cols[c]
+		for k, i := range e.sel {
+			dst[k] = src[i]
+		}
+	}
+	e.out.N = len(e.sel)
+	return e.out
+}
+
+func (e *exceptIter) Close() {
+	putBatch(e.out)
+	e.out = nil
+	e.left.Close()
+	e.right.Close()
+	e.counts = nil
+}
+
+// intersectIter emits left rows that find an unconsumed partner in the
+// right multiset (INTERSECT ALL semantics).
+type intersectIter struct {
+	exceptIter
+}
+
+func newIntersectIter(left, right iterator, batchSize int) *intersectIter {
+	return &intersectIter{exceptIter{left: left, right: right, size: batchSize}}
+}
+
+func (e *intersectIter) Next() (*Batch, error) {
+	for {
+		b, err := e.left.Next()
+		if b == nil || err != nil {
+			return nil, err
+		}
+		e.sel = e.sel[:0]
+		for i := 0; i < b.N; i++ {
+			h := rowHash(b.Cols, i)
+			c := e.counts[h]
+			if c <= 0 {
+				continue
+			}
+			e.counts[h] = c - 1
+			e.sel = append(e.sel, int32(i))
+		}
+		if len(e.sel) == 0 {
+			continue
+		}
+		return e.gather(b), nil
+	}
+}

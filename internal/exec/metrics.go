@@ -1,0 +1,49 @@
+package exec
+
+import (
+	"time"
+
+	"cleo/internal/obs"
+	"cleo/internal/plan"
+)
+
+// Metrics holds the streaming executor's per-operator instruments,
+// resolved once at construction so the execution hot path never touches
+// the registry. All handles are nil-safe.
+type Metrics struct {
+	opSeconds [plan.NumPhysicalOps]*obs.Histogram
+	rows      [plan.NumPhysicalOps]*obs.Counter
+	batches   [plan.NumPhysicalOps]*obs.Counter
+}
+
+// NewMetrics registers the executor instruments in r (nil r yields nil,
+// which every record path tolerates).
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	m := &Metrics{}
+	for _, op := range plan.AllPhysicalOps() {
+		lbl := op.String()
+		m.opSeconds[op] = r.Histogram("cleo_exec_operator_seconds",
+			"Measured exclusive wall-clock time per operator execution, by physical operator.",
+			"op", lbl)
+		m.rows[op] = r.Counter("cleo_exec_rows_total",
+			"Rows emitted by streaming-executor operators, by physical operator.",
+			"op", lbl)
+		m.batches[op] = r.Counter("cleo_exec_batches_total",
+			"Batches emitted by streaming-executor operators, by physical operator.",
+			"op", lbl)
+	}
+	return m
+}
+
+// record logs one operator execution.
+func (m *Metrics) record(op plan.PhysicalOp, exclusive time.Duration, rows, batches int64) {
+	if m == nil {
+		return
+	}
+	m.opSeconds[op].Record(exclusive)
+	m.rows[op].Add(uint64(rows))
+	m.batches[op].Add(uint64(batches))
+}

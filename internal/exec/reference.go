@@ -1,0 +1,440 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cleo/internal/plan"
+)
+
+// Reference is the materialize-all evaluator: every operator consumes a
+// fully materialized input table and allocates a fully materialized
+// output, with none of the streaming engine's batching, buffer reuse or
+// pipelining. It exists for two reasons: it is the correctness oracle the
+// streaming engine is diffed against (bit-identical output multisets over
+// the golden corpus), and it is the perf baseline that shows what
+// iterator composition buys.
+//
+// Its operator semantics — generated data, predicate evaluation, join
+// matching and emission order, aggregate grouping — are exactly the
+// streaming engine's, with one deliberate exception: joins always use the
+// classic build-then-probe algorithm, never the symmetric variant, so its
+// output order is canonical. All comparisons against the streaming engine
+// therefore use order-insensitive multiset checksums.
+type Reference struct {
+	cfg StreamConfig
+}
+
+// NewReference builds the reference evaluator (same config defaults as
+// the streaming engine; Metrics is ignored).
+func NewReference(cfg StreamConfig) *Reference {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultBatchSize
+	}
+	if cfg.MaxTableRows <= 0 {
+		cfg.MaxTableRows = DefaultMaxTableRows
+	}
+	return &Reference{cfg: cfg}
+}
+
+// refTable is one fully materialized intermediate result.
+type refTable struct {
+	sch schema
+	cs  *colStore
+}
+
+func newRefTable(sch schema, capRows int) *refTable {
+	return &refTable{sch: sch, cs: newColStore(len(sch), capRows)}
+}
+
+// Run implements Backend: evaluate bottom-up, materializing every
+// intermediate, and fill the measured actuals exactly like the streaming
+// engine does.
+func (r *Reference) Run(root *plan.Physical, rng *rand.Rand) (Result, error) {
+	t0 := time.Now()
+	preds := compilePreds(root)
+	sch := scanSchema(root, preds)
+	var res Result
+	out, err := r.eval(root, sch, preds, &res)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Latency = time.Since(t0).Seconds()
+	res.OutputRows = uint64(out.cs.n)
+	for i := 0; i < out.cs.n; i++ {
+		res.OutputChecksum += mix64(rowHash(out.cs.cols, i))
+	}
+	for _, st := range plan.Stages(root) {
+		res.Containers += st.Partitions
+	}
+	return res, nil
+}
+
+func (r *Reference) eval(n *plan.Physical, sch schema, preds map[*plan.Physical]*Pred, res *Result) (*refTable, error) {
+	kids := make([]*refTable, len(n.Children))
+	for i, c := range n.Children {
+		k, err := r.eval(c, sch, preds, res)
+		if err != nil {
+			return nil, err
+		}
+		kids[i] = k
+	}
+
+	t0 := time.Now()
+	out, err := r.apply(n, sch, preds, kids)
+	if err != nil {
+		return nil, err
+	}
+	excl := time.Since(t0).Seconds()
+	n.ExclusiveActual = excl
+	n.Stats.ActCard = float64(out.cs.n)
+	res.TotalProcessingTime += excl
+	return out, nil
+}
+
+func (r *Reference) apply(n *plan.Physical, sch schema, preds map[*plan.Physical]*Pred, kids []*refTable) (*refTable, error) {
+	if len(kids) == 0 {
+		rows := scanRows(n, r.cfg.MaxTableRows)
+		out := newRefTable(sch, int(rows))
+		src := materializeTable(n.Table, sch, rows)
+		for c := range sch {
+			out.cs.cols[c] = append(out.cs.cols[c], src.cols[c]...)
+		}
+		out.cs.n = int(rows)
+		return out, nil
+	}
+
+	in := kids[0]
+	switch n.Op {
+	case plan.PFilter:
+		p := preds[n]
+		if p == nil {
+			p = CompilePred(n.Pred)
+		}
+		bp := p.Bind(in.sch)
+		out := newRefTable(in.sch, in.cs.n)
+		for i := 0; i < in.cs.n; i++ {
+			if bp.Eval(in.cs.cols, i) {
+				out.cs.appendRow(in.cs.cols, i)
+			}
+		}
+		return out, nil
+
+	case plan.PProject:
+		osch := projectSchema(n.Keys, in.sch)
+		out := newRefTable(osch, in.cs.n)
+		for c, col := range osch {
+			src := in.sch.index(col)
+			out.cs.cols[c] = append(out.cs.cols[c], in.cs.cols[src][:in.cs.n]...)
+		}
+		out.cs.n = in.cs.n
+		return out, nil
+
+	case plan.PHashJoin, plan.PMergeJoin:
+		if len(kids) < 2 {
+			return copyTable(in), nil
+		}
+		if n.Op == plan.PMergeJoin {
+			return r.mergeJoin(n, kids[0], kids[1])
+		}
+		return r.hashJoin(n, kids[0], kids[1])
+
+	case plan.PHashAggregate, plan.PPartialAggregate:
+		extra := int64(0)
+		if n.Op == plan.PPartialAggregate {
+			extra = partialBuckets
+		}
+		return r.hashAgg(n, in, extra), nil
+
+	case plan.PStreamAggregate:
+		return r.streamAgg(n, in), nil
+
+	case plan.PSort:
+		idx := sortedIndex(in.cs, sortKeyIdx(n.Keys, in.sch))
+		out := newRefTable(in.sch, in.cs.n)
+		for _, i := range idx {
+			out.cs.appendRow(in.cs.cols, int(i))
+		}
+		return out, nil
+
+	case plan.PTopN:
+		limit := n.N
+		if limit <= 0 {
+			limit = 100
+		}
+		idx := sortedIndex(in.cs, sortKeyIdx(n.Keys, in.sch))
+		if len(idx) > limit {
+			idx = idx[:limit]
+		}
+		out := newRefTable(in.sch, len(idx))
+		for _, i := range idx {
+			out.cs.appendRow(in.cs.cols, int(i))
+		}
+		return out, nil
+
+	case plan.PUnionAll:
+		out := newRefTable(in.sch, in.cs.n)
+		for _, k := range kids {
+			if k.sch.equal(in.sch) {
+				for i := 0; i < k.cs.n; i++ {
+					out.cs.appendRow(k.cs.cols, i)
+				}
+				continue
+			}
+			// Adapt by column name; missing columns read zero.
+			idxs := make([]int, len(in.sch))
+			for c, col := range in.sch {
+				idxs[c] = k.sch.index(col)
+			}
+			for i := 0; i < k.cs.n; i++ {
+				for c, src := range idxs {
+					var v int64
+					if src >= 0 {
+						v = k.cs.cols[src][i]
+					}
+					out.cs.cols[c] = append(out.cs.cols[c], v)
+				}
+				out.cs.n++
+			}
+		}
+		return out, nil
+
+	case plan.PProcess:
+		return r.process(n, in), nil
+
+	case plan.PExchange, plan.POutput:
+		// Stage boundaries materialize in a real distributed engine; the
+		// reference copies to model that.
+		return copyTable(in), nil
+
+	default:
+		return nil, fmt.Errorf("exec: reference evaluator cannot execute operator %v", n.Op)
+	}
+}
+
+func copyTable(in *refTable) *refTable {
+	out := newRefTable(in.sch, in.cs.n)
+	for c := range in.cs.cols {
+		out.cs.cols[c] = append(out.cs.cols[c], in.cs.cols[c]...)
+	}
+	out.cs.n = in.cs.n
+	return out
+}
+
+// hashJoin mirrors hashJoinIter: build on the right child, probe the left
+// in order, emit left-shaped rows with combined payload, matches per
+// probe row in build-insertion order.
+func (r *Reference) hashJoin(n *plan.Physical, left, right *refTable) (*refTable, error) {
+	lKey := sortKeyIdx(n.Keys, left.sch)
+	rKey := sortKeyIdx(n.Keys, right.sch)
+	lVal, rVal := left.sch.valIndex(), right.sch.valIndex()
+	build := newBuildTable(len(rKey), right.cs.n)
+	for i := 0; i < right.cs.n; i++ {
+		build.add(right.cs.cols, rKey, rVal, i)
+	}
+	out := newRefTable(left.sch, left.cs.n)
+	var cand []int32
+	for i := 0; i < left.cs.n; i++ {
+		cand = build.matches(left.cs.cols, lKey, i, cand[:0])
+		for _, m := range cand {
+			out.cs.appendRow(left.cs.cols, i)
+			if lVal >= 0 {
+				out.cs.cols[lVal][out.cs.n-1] = left.cs.cols[lVal][i] + build.val[m]
+			}
+		}
+	}
+	return out, nil
+}
+
+// mergeJoin mirrors mergeJoinIter: canonical sort both sides, merge
+// equal-key runs left-major.
+func (r *Reference) mergeJoin(n *plan.Physical, left, right *refTable) (*refTable, error) {
+	lKey := sortKeyIdx(n.Keys, left.sch)
+	rKey := sortKeyIdx(n.Keys, right.sch)
+	lVal, rVal := left.sch.valIndex(), right.sch.valIndex()
+	lIdx := sortedIndex(left.cs, lKey)
+	rIdx := sortedIndex(right.cs, rKey)
+	out := newRefTable(left.sch, left.cs.n)
+	li, ri := 0, 0
+	for li < len(lIdx) && ri < len(rIdx) {
+		c := compareKeys(left.cs, int(lIdx[li]), lKey, right.cs, int(rIdx[ri]), rKey)
+		if c < 0 {
+			li++
+			continue
+		}
+		if c > 0 {
+			ri++
+			continue
+		}
+		l1 := li + 1
+		for l1 < len(lIdx) && compareKeys(left.cs, int(lIdx[l1]), lKey, right.cs, int(rIdx[ri]), rKey) == 0 {
+			l1++
+		}
+		r1 := ri + 1
+		for r1 < len(rIdx) && compareKeys(left.cs, int(lIdx[li]), lKey, right.cs, int(rIdx[r1]), rKey) == 0 {
+			r1++
+		}
+		for a := li; a < l1; a++ {
+			l := int(lIdx[a])
+			for b := ri; b < r1; b++ {
+				out.cs.appendRow(left.cs.cols, l)
+				if lVal >= 0 {
+					var rv int64
+					if rVal >= 0 {
+						rv = right.cs.cols[rVal][int(rIdx[b])]
+					}
+					out.cs.cols[lVal][out.cs.n-1] = left.cs.cols[lVal][l] + rv
+				}
+			}
+		}
+		li, ri = l1, r1
+	}
+	return out, nil
+}
+
+// hashAgg mirrors hashAggIter, including the partial aggregate's
+// row-hash sub-bucketing and insertion-order emission.
+func (r *Reference) hashAgg(n *plan.Physical, in *refTable, extraBuckets int64) *refTable {
+	osch := aggSchema(n)
+	keyIdx := sortKeyIdx(osch[:len(osch)-2], in.sch)
+	valIdx := in.sch.valIndex()
+	nk := len(keyIdx)
+
+	gKeys := make([][]int64, nk)
+	var buckets, cnt, sum []int64
+	index := map[uint64][]int32{}
+	for i := 0; i < in.cs.n; i++ {
+		var bucket int64
+		h := keyHash(in.cs.cols, keyIdx, i)
+		if extraBuckets > 0 {
+			bucket = int64(rowHash(in.cs.cols, i) % uint64(extraBuckets))
+			h = mix64(h ^ uint64(bucket))
+		}
+		g := int32(-1)
+	next:
+		for _, c := range index[h] {
+			for k, ix := range keyIdx {
+				var v int64
+				if ix >= 0 {
+					v = in.cs.cols[ix][i]
+				}
+				if gKeys[k][c] != v {
+					continue next
+				}
+			}
+			if extraBuckets > 0 && buckets[c] != bucket {
+				continue next
+			}
+			g = c
+			break
+		}
+		if g < 0 {
+			g = int32(len(cnt))
+			for k, ix := range keyIdx {
+				var v int64
+				if ix >= 0 {
+					v = in.cs.cols[ix][i]
+				}
+				gKeys[k] = append(gKeys[k], v)
+			}
+			if extraBuckets > 0 {
+				buckets = append(buckets, bucket)
+			}
+			cnt = append(cnt, 0)
+			sum = append(sum, 0)
+			index[h] = append(index[h], g)
+		}
+		cnt[g]++
+		if valIdx >= 0 {
+			sum[g] += in.cs.cols[valIdx][i]
+		}
+	}
+
+	out := newRefTable(osch, len(cnt))
+	for k := 0; k < nk; k++ {
+		out.cs.cols[k] = append(out.cs.cols[k], gKeys[k]...)
+	}
+	out.cs.cols[nk] = append(out.cs.cols[nk], cnt...)
+	out.cs.cols[nk+1] = append(out.cs.cols[nk+1], sum...)
+	out.cs.n = len(cnt)
+	return out
+}
+
+// streamAgg mirrors streamAggIter: runs of consecutive equal keys.
+func (r *Reference) streamAgg(n *plan.Physical, in *refTable) *refTable {
+	osch := aggSchema(n)
+	keyIdx := sortKeyIdx(osch[:len(osch)-2], in.sch)
+	valIdx := in.sch.valIndex()
+	nk := len(keyIdx)
+	out := newRefTable(osch, 64)
+
+	cur := make([]int64, nk)
+	var cnt, sum int64
+	started := false
+	emit := func() {
+		for k := 0; k < nk; k++ {
+			out.cs.cols[k] = append(out.cs.cols[k], cur[k])
+		}
+		out.cs.cols[nk] = append(out.cs.cols[nk], cnt)
+		out.cs.cols[nk+1] = append(out.cs.cols[nk+1], sum)
+		out.cs.n++
+	}
+	for i := 0; i < in.cs.n; i++ {
+		same := started
+		for k, ix := range keyIdx {
+			var v int64
+			if ix >= 0 {
+				v = in.cs.cols[ix][i]
+			}
+			if same && cur[k] != v {
+				same = false
+			}
+		}
+		if !same {
+			if started {
+				emit()
+			}
+			for k, ix := range keyIdx {
+				var v int64
+				if ix >= 0 {
+					v = in.cs.cols[ix][i]
+				}
+				cur[k] = v
+			}
+			cnt, sum = 0, 0
+			started = true
+		}
+		cnt++
+		if valIdx >= 0 {
+			sum += in.cs.cols[valIdx][i]
+		}
+	}
+	if started {
+		emit()
+	}
+	return out
+}
+
+// process mirrors processIter's fanout and payload rewrite.
+func (r *Reference) process(n *plan.Physical, in *refTable) *refTable {
+	udfH := mix64(strHash(n.UDF))
+	valIx := in.sch.valIndex()
+	fan := 0.25 + 1.75*unitFromHash(udfH)
+	out := newRefTable(in.sch, in.cs.n)
+	for i := 0; i < in.cs.n; i++ {
+		rh := rowHash(in.cs.cols, i)
+		copies := int(fan)
+		if unitFromHash(mix64(udfH^rh)) < fan-float64(int(fan)) {
+			copies++
+		}
+		for j := 0; j < copies; j++ {
+			out.cs.appendRow(in.cs.cols, i)
+			if valIx >= 0 {
+				v := in.cs.cols[valIx][i]
+				out.cs.cols[valIx][out.cs.n-1] = int64(mix64(uint64(v) ^ udfH ^ uint64(j)))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,393 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"time"
+
+	"cleo/internal/obs"
+	"cleo/internal/plan"
+)
+
+// StreamConfig tunes the streaming Engine.
+type StreamConfig struct {
+	// BatchSize is the target rows per batch (default DefaultBatchSize).
+	BatchSize int
+	// MaxTableRows caps the generated row count per scanned table
+	// (default 50000): plans are annotated with production-scale
+	// cardinalities, and the cap keeps single-process execution bounded
+	// while preserving plan shape.
+	MaxTableRows int
+	// SymmetricJoin lets the planner pick the non-blocking symmetric hash
+	// join when both inputs are fully pipelined and no order-sensitive
+	// operator consumes the output. Off by default: the classic
+	// build-then-probe join builds only one side and is faster whenever
+	// the build input is finite — the symmetric variant exists for
+	// stream-to-stream shapes where blocking on either input is the
+	// greater evil.
+	SymmetricJoin bool
+	// Metrics, when non-nil, records per-operator timings and row/batch
+	// counters (see NewMetrics).
+	Metrics *Metrics
+}
+
+// DefaultMaxTableRows bounds generated scans when StreamConfig leaves
+// MaxTableRows zero.
+const DefaultMaxTableRows = 50000
+
+// Engine is the real executor: it compiles a physical plan into a tree of
+// pull-based, batch-at-a-time iterators over deterministic generated
+// tables and runs it to exhaustion in-process. Per-operator exclusive
+// wall-clock time lands in ExclusiveActual and observed row counts in
+// Stats.ActCard — the measured telemetry the learned cost models train
+// on, closing the feedback loop the simulator only imitates.
+//
+// An Engine is stateless and safe for concurrent use; every Run builds a
+// fresh iterator tree.
+type Engine struct {
+	cfg StreamConfig
+}
+
+// NewEngine builds a streaming engine, applying config defaults.
+func NewEngine(cfg StreamConfig) *Engine {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultBatchSize
+	}
+	if cfg.MaxTableRows <= 0 {
+		cfg.MaxTableRows = DefaultMaxTableRows
+	}
+	return &Engine{cfg: cfg}
+}
+
+// Run implements Backend. rng is unused: real execution has no synthetic
+// noise — run-to-run variance is whatever the hardware provides.
+func (e *Engine) Run(root *plan.Physical, rng *rand.Rand) (Result, error) {
+	return e.run(root, nil, 0)
+}
+
+// RunTraced implements TracedBackend: per-operator spans (exclusive time,
+// rows, batches) attach under parent, mirroring the plan tree.
+func (e *Engine) RunTraced(root *plan.Physical, rng *rand.Rand, tr *obs.Trace, parent obs.SpanID) (Result, error) {
+	return e.run(root, tr, parent)
+}
+
+// opIter wraps an operator's iterator with inclusive wall-clock and
+// output accounting. Children are wrapped too, so a parent's inclusive
+// time minus its children's inclusive time is the operator's exclusive
+// time — the quantity telemetry records.
+type opIter struct {
+	node    *plan.Physical
+	inner   iterator
+	kids    []*opIter
+	tNs     int64
+	rows    int64
+	batches int64
+}
+
+func (o *opIter) Open() error {
+	t0 := time.Now()
+	err := o.inner.Open()
+	o.tNs += int64(time.Since(t0))
+	return err
+}
+
+func (o *opIter) Next() (*Batch, error) {
+	t0 := time.Now()
+	b, err := o.inner.Next()
+	o.tNs += int64(time.Since(t0))
+	if b != nil {
+		o.rows += int64(b.N)
+		o.batches++
+	}
+	return b, err
+}
+
+func (o *opIter) Close() {
+	t0 := time.Now()
+	o.inner.Close()
+	o.tNs += int64(time.Since(t0))
+}
+
+func (e *Engine) run(root *plan.Physical, tr *obs.Trace, parent obs.SpanID) (Result, error) {
+	t0 := time.Now()
+	preds := compilePreds(root)
+	sch := scanSchema(root, preds)
+	top, _, err := e.build(root, sch, preds, false)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := top.Open(); err != nil {
+		top.Close()
+		return Result{}, err
+	}
+	var rows, chk uint64
+	for {
+		b, err := top.Next()
+		if err != nil {
+			top.Close()
+			return Result{}, err
+		}
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.N; i++ {
+			chk += mix64(rowHash(b.Cols, i))
+		}
+		rows += uint64(b.N)
+	}
+	top.Close()
+
+	res := Result{
+		Latency:        time.Since(t0).Seconds(),
+		OutputRows:     rows,
+		OutputChecksum: chk,
+	}
+	e.finish(top, tr, parent, &res)
+	for _, st := range plan.Stages(root) {
+		res.Containers += st.Partitions
+	}
+	return res, nil
+}
+
+// finish walks the wrapper tree bottom-up: it computes each operator's
+// exclusive time, writes the measured actuals back onto the plan (the
+// telemetry extractor reads ExclusiveActual and Stats.ActCard), records
+// metrics, and emits trace spans nested like the plan.
+func (e *Engine) finish(o *opIter, tr *obs.Trace, parent obs.SpanID, res *Result) {
+	var kidNs int64
+	for _, k := range o.kids {
+		kidNs += k.tNs
+	}
+	exclNs := o.tNs - kidNs
+	if exclNs < 0 {
+		exclNs = 0 // clock granularity can round a cheap wrapper below its children
+	}
+	o.node.ExclusiveActual = float64(exclNs) / 1e9
+	o.node.Stats.ActCard = float64(o.rows)
+	res.TotalProcessingTime += o.node.ExclusiveActual
+	e.cfg.Metrics.record(o.node.Op, time.Duration(exclNs), o.rows, o.batches)
+	span := parent
+	if tr != nil {
+		span = tr.Add(parent, "exec:"+o.node.Op.String(), -1, exclNs,
+			"rows", strconv.FormatInt(o.rows, 10),
+			"batches", strconv.FormatInt(o.batches, 10),
+		)
+	}
+	for _, k := range o.kids {
+		e.finish(k, tr, span, res)
+	}
+}
+
+// compilePreds compiles every predicate in the plan once; the result maps
+// feed both schema derivation and iterator construction.
+func compilePreds(root *plan.Physical) map[*plan.Physical]*Pred {
+	preds := map[*plan.Physical]*Pred{}
+	root.Walk(func(n *plan.Physical) {
+		if n.Pred != "" {
+			preds[n] = CompilePred(n.Pred)
+		}
+	})
+	return preds
+}
+
+// scanRows sizes a generated scan: the annotated actual cardinality
+// (falling back to the estimate), capped by MaxTableRows. The engine
+// writes the capped count back as ActCard, so re-running a plan is
+// idempotent.
+func scanRows(n *plan.Physical, maxRows int) int64 {
+	r := n.Stats.ActCard
+	if r <= 0 {
+		r = n.Stats.EstCard
+	}
+	if r <= 0 {
+		r = 1024
+	}
+	if r > float64(maxRows) {
+		r = float64(maxRows)
+	}
+	return int64(r)
+}
+
+// projectSchema narrows in to the projected keys, preserving input column
+// order and always retaining derived payload columns; an empty key list
+// is the identity projection.
+func projectSchema(keys []plan.Column, in schema) schema {
+	if len(keys) == 0 {
+		return in
+	}
+	want := make(map[plan.Column]bool, len(keys))
+	for _, k := range keys {
+		want[k] = true
+	}
+	out := make(schema, 0, len(in))
+	for _, c := range in {
+		if c == valCol || c == cntCol || c == sumCol || want[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// streamsOnly reports whether the subtree is fully pipelined (contains no
+// blocking operator) — the precondition for feeding a symmetric hash
+// join's input directly from a live stream.
+func streamsOnly(n *plan.Physical) bool {
+	ok := true
+	n.Walk(func(m *plan.Physical) {
+		if m.Op.Blocking() {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// joinSizeHint estimates the build-side row count for pre-sizing.
+func joinSizeHint(n *plan.Physical, maxRows int) int {
+	r := n.Stats.ActCard
+	if r <= 0 {
+		r = n.Stats.EstCard
+	}
+	if r <= 0 || r > float64(maxRows) {
+		r = float64(maxRows)
+	}
+	return int(r)
+}
+
+// build compiles the plan subtree into a wrapped iterator tree and
+// returns it with its output schema. orderSensitive tracks whether any
+// ancestor between here and the nearest order-canonicalizing operator
+// (sort, top-n, merge join) depends on row order — under such an
+// ancestor the symmetric hash join (whose emission order depends on
+// arrival interleaving) is not eligible and the classic hash join runs
+// instead.
+func (e *Engine) build(n *plan.Physical, sch schema, preds map[*plan.Physical]*Pred, orderSensitive bool) (*opIter, schema, error) {
+	bs := e.cfg.BatchSize
+	childSensitive := orderSensitive
+	switch n.Op {
+	case plan.PSort, plan.PTopN, plan.PMergeJoin:
+		childSensitive = false
+	case plan.PStreamAggregate:
+		childSensitive = true
+	}
+	kids := make([]*opIter, len(n.Children))
+	kidSch := make([]schema, len(n.Children))
+	for i, c := range n.Children {
+		k, ks, err := e.build(c, sch, preds, childSensitive)
+		if err != nil {
+			return nil, nil, err
+		}
+		kids[i], kidSch[i] = k, ks
+	}
+
+	if len(kids) == 0 {
+		// Any leaf scans its generated table, whatever the operator kind.
+		inner := newScanIter(n.Table, scanRows(n, e.cfg.MaxTableRows), sch, bs)
+		return &opIter{node: n, inner: inner}, sch, nil
+	}
+
+	var inner iterator
+	out := kidSch[0]
+	switch n.Op {
+	case plan.PFilter:
+		p := preds[n]
+		if p == nil {
+			p = CompilePred(n.Pred)
+		}
+		inner = &filterIter{child: kids[0], pred: p.Bind(kidSch[0])}
+
+	case plan.PProject:
+		out = projectSchema(n.Keys, kidSch[0])
+		if out.equal(kidSch[0]) {
+			inner = &passIter{child: kids[0]}
+		} else {
+			inner = newProjectIter(kids[0], kidSch[0], out)
+		}
+
+	case plan.PHashJoin, plan.PMergeJoin:
+		if len(kids) < 2 {
+			inner = &passIter{child: kids[0]}
+			break
+		}
+		lKey := sortKeyIdx(n.Keys, kidSch[0])
+		rKey := sortKeyIdx(n.Keys, kidSch[1])
+		lVal, rVal := kidSch[0].valIndex(), kidSch[1].valIndex()
+		nCols := len(kidSch[0])
+		if n.Op == plan.PMergeJoin {
+			inner = &mergeJoinIter{
+				left: kids[0], right: kids[1],
+				lKey: lKey, rKey: rKey, lVal: lVal, rVal: rVal,
+				nCols: nCols, size: bs,
+			}
+			break
+		}
+		hint := joinSizeHint(n.Children[1], e.cfg.MaxTableRows)
+		if e.cfg.SymmetricJoin && !orderSensitive &&
+			streamsOnly(n.Children[0]) && streamsOnly(n.Children[1]) {
+			inner = &symmetricHashJoinIter{
+				left: kids[0], right: kids[1],
+				lKey: lKey, rKey: rKey, lVal: lVal, rVal: rVal,
+				nCols: nCols, sizeHint: hint, size: bs,
+			}
+		} else {
+			inner = &hashJoinIter{
+				left: kids[0], right: kids[1],
+				lKey: lKey, rKey: rKey, lVal: lVal, rVal: rVal,
+				nCols: nCols, sizeHint: hint, size: bs,
+			}
+		}
+
+	case plan.PHashAggregate, plan.PPartialAggregate:
+		out = aggSchema(n)
+		extra := int64(0)
+		if n.Op == plan.PPartialAggregate {
+			extra = partialBuckets
+		}
+		inner = &hashAggIter{
+			child:  kids[0],
+			keyIdx: sortKeyIdx(out[:len(out)-2], kidSch[0]),
+			valIdx: kidSch[0].valIndex(),
+			size:   bs, extraBuckets: extra,
+		}
+
+	case plan.PStreamAggregate:
+		out = aggSchema(n)
+		inner = &streamAggIter{
+			child:  kids[0],
+			keyIdx: sortKeyIdx(out[:len(out)-2], kidSch[0]),
+			valIdx: kidSch[0].valIndex(),
+			size:   bs,
+		}
+
+	case plan.PSort:
+		inner = &sortIter{child: kids[0], keyIdx: sortKeyIdx(n.Keys, kidSch[0]), size: bs}
+
+	case plan.PTopN:
+		limit := n.N
+		if limit <= 0 {
+			limit = 100
+		}
+		inner = &topNIter{child: kids[0], keyIdx: sortKeyIdx(n.Keys, kidSch[0]), n: limit, size: bs}
+
+	case plan.PUnionAll:
+		children := make([]iterator, len(kids))
+		for i, k := range kids {
+			if kidSch[i].equal(out) {
+				children[i] = k
+			} else {
+				children[i] = newAdaptIter(k, kidSch[i], out)
+			}
+		}
+		inner = &unionIter{children: children}
+
+	case plan.PProcess:
+		inner = newProcessIter(kids[0], n.UDF, kidSch[0], bs)
+
+	case plan.PExchange, plan.POutput:
+		inner = &passIter{child: kids[0]}
+
+	default:
+		return nil, nil, fmt.Errorf("exec: streaming engine cannot execute operator %v", n.Op)
+	}
+	return &opIter{node: n, inner: inner, kids: kids}, out, nil
+}

@@ -1,0 +1,359 @@
+package exec
+
+import (
+	"testing"
+
+	"cleo/internal/plan"
+)
+
+// drain pulls an iterator to exhaustion and returns the row count plus an
+// order-insensitive multiset checksum.
+func drain(t *testing.T, it iterator) (rows int64, chk uint64) {
+	t.Helper()
+	if err := it.Open(); err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer it.Close()
+	for {
+		b, err := it.Next()
+		if err != nil {
+			t.Fatalf("next: %v", err)
+		}
+		if b == nil {
+			return rows, chk
+		}
+		for i := 0; i < b.N; i++ {
+			chk += mix64(rowHash(b.Cols, i))
+		}
+		rows += int64(b.N)
+	}
+}
+
+var testSchema = schema{plan.Column("k"), plan.Column("u"), valCol}
+
+func testScan(table string, rows int64, batch int) *scanIter {
+	return newScanIter(table, rows, testSchema, batch)
+}
+
+func TestScanDeterministicAndSized(t *testing.T) {
+	r1, c1 := drain(t, testScan("clicks", 5000, 256))
+	r2, c2 := drain(t, testScan("clicks", 5000, 97)) // different batching
+	if r1 != 5000 || r2 != 5000 {
+		t.Fatalf("rows = %d, %d; want 5000", r1, r2)
+	}
+	if c1 != c2 {
+		t.Fatalf("scan checksum depends on batch size: %x vs %x", c1, c2)
+	}
+	_, c3 := drain(t, testScan("views", 5000, 256))
+	if c1 == c3 {
+		t.Fatal("different tables produced identical data")
+	}
+}
+
+func TestFilterSelectsDeterministically(t *testing.T) {
+	mk := func() *filterIter {
+		return &filterIter{
+			child: testScan("clicks", 4000, 128),
+			pred:  CompilePred("q1.shipdate").Bind(testSchema),
+		}
+	}
+	r1, c1 := drain(t, mk())
+	r2, c2 := drain(t, mk())
+	if r1 != r2 || c1 != c2 {
+		t.Fatalf("filter not deterministic: (%d,%x) vs (%d,%x)", r1, c1, r2, c2)
+	}
+	if r1 == 0 || r1 == 4000 {
+		t.Fatalf("bare-ident filter should be partial: kept %d of 4000", r1)
+	}
+}
+
+func TestPredicateComparisonSemantics(t *testing.T) {
+	sch := testSchema
+	// k < 1000 over k's domain must keep exactly the rows with k < 1000.
+	it := &filterIter{child: testScan("clicks", 3000, 128), pred: CompilePred("k<1000").Bind(sch)}
+	if err := it.Open(); err != nil {
+		t.Fatal(err)
+	}
+	kept := 0
+	for {
+		b, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.N; i++ {
+			if b.Cols[0][i] >= 1000 {
+				t.Fatalf("k<1000 kept k=%d", b.Cols[0][i])
+			}
+			kept++
+		}
+	}
+	it.Close()
+	if kept == 0 {
+		t.Fatal("k<1000 kept nothing")
+	}
+
+	// Column-to-column: k=u keeps only rows with equal columns.
+	it2 := &filterIter{child: testScan("clicks", 3000, 128), pred: CompilePred("k=u").Bind(sch)}
+	if err := it2.Open(); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		b, err := it2.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.N; i++ {
+			if b.Cols[0][i] != b.Cols[1][i] {
+				t.Fatal("k=u kept a row with k != u")
+			}
+		}
+	}
+	it2.Close()
+
+	// String-constant equality behaves like a hash bucket: selectivity
+	// strictly between 0 and 1, and = / != partition the input.
+	eq, _ := drain(t, &filterIter{child: testScan("clicks", 4000, 128), pred: CompilePred("k=us").Bind(sch)})
+	ne, _ := drain(t, &filterIter{child: testScan("clicks", 4000, 128), pred: CompilePred("k!=us").Bind(sch)})
+	if eq == 0 || ne == 0 || eq+ne != 4000 {
+		t.Fatalf("=/!= must partition: eq=%d ne=%d", eq, ne)
+	}
+}
+
+func joinInputs(batch int) (l, r iterator) {
+	return testScan("left_t", 3000, batch), testScan("right_t", 2000, batch)
+}
+
+func joinIdx() (lKey, rKey []int, lVal, rVal int) {
+	k := []int{0} // join on column k
+	return k, k, testSchema.valIndex(), testSchema.valIndex()
+}
+
+func TestSymmetricJoinMatchesClassic(t *testing.T) {
+	lKey, rKey, lVal, rVal := joinIdx()
+	l1, r1 := joinInputs(128)
+	classic := &hashJoinIter{left: l1, right: r1, lKey: lKey, rKey: rKey,
+		lVal: lVal, rVal: rVal, nCols: len(testSchema), sizeHint: 2000, size: 128}
+	l2, r2 := joinInputs(128)
+	symmetric := &symmetricHashJoinIter{left: l2, right: r2, lKey: lKey, rKey: rKey,
+		lVal: lVal, rVal: rVal, nCols: len(testSchema), sizeHint: 2000, size: 128}
+
+	cr, cc := drain(t, classic)
+	sr, sc := drain(t, symmetric)
+	if cr == 0 {
+		t.Fatal("join produced no rows; key domains should overlap")
+	}
+	if cr != sr || cc != sc {
+		t.Fatalf("symmetric join multiset differs from classic: (%d,%x) vs (%d,%x)", cr, cc, sr, sc)
+	}
+}
+
+func TestMergeJoinMatchesClassic(t *testing.T) {
+	lKey, rKey, lVal, rVal := joinIdx()
+	l1, r1 := joinInputs(128)
+	classic := &hashJoinIter{left: l1, right: r1, lKey: lKey, rKey: rKey,
+		lVal: lVal, rVal: rVal, nCols: len(testSchema), sizeHint: 2000, size: 128}
+	l2, r2 := joinInputs(128)
+	merge := &mergeJoinIter{left: l2, right: r2, lKey: lKey, rKey: rKey,
+		lVal: lVal, rVal: rVal, nCols: len(testSchema), size: 128}
+
+	cr, cc := drain(t, classic)
+	mr, mc := drain(t, merge)
+	if cr != mr || cc != mc {
+		t.Fatalf("merge join multiset differs from classic: (%d,%x) vs (%d,%x)", cr, cc, mr, mc)
+	}
+}
+
+func TestExceptIntersectInvariants(t *testing.T) {
+	// A \ A is empty; A ∩ A is A.
+	r, _ := drain(t, newExceptIter(testScan("a", 2000, 128), testScan("a", 2000, 97), 128))
+	if r != 0 {
+		t.Fatalf("A except A = %d rows, want 0", r)
+	}
+	ri, ci := drain(t, newIntersectIter(testScan("a", 2000, 128), testScan("a", 2000, 97), 128))
+	_, ca := drain(t, testScan("a", 2000, 128))
+	if ri != 2000 || ci != ca {
+		t.Fatalf("A intersect A: rows=%d chk=%x, want 2000 rows chk=%x", ri, ci, ca)
+	}
+	// |A\B| + |A∩B| = |A| for disjoint-or-not B.
+	re, _ := drain(t, newExceptIter(testScan("a", 2000, 128), testScan("b", 1500, 128), 128))
+	rx, _ := drain(t, newIntersectIter(testScan("a", 2000, 128), testScan("b", 1500, 128), 128))
+	if re+rx != 2000 {
+		t.Fatalf("|A\\B| + |A∩B| = %d + %d, want 2000", re, rx)
+	}
+}
+
+func TestSortEmitsCanonicalOrder(t *testing.T) {
+	s := &sortIter{child: testScan("a", 3000, 128), keyIdx: []int{0}, size: 100}
+	if err := s.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var prev []int64
+	for {
+		b, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.N; i++ {
+			row := make([]int64, len(b.Cols))
+			for c := range b.Cols {
+				row[c] = b.Cols[c][i]
+			}
+			if prev != nil {
+				for c := range row {
+					if prev[c] != row[c] {
+						if prev[c] > row[c] {
+							t.Fatalf("sort order violated at col %d: %d > %d", c, prev[c], row[c])
+						}
+						break
+					}
+				}
+			}
+			prev = row
+		}
+	}
+}
+
+func TestTopNIsSortPrefix(t *testing.T) {
+	const n = 37
+	top := &topNIter{child: testScan("a", 3000, 128), keyIdx: []int{0}, n: n, size: 100}
+	tr, tc := drain(t, top)
+	if tr != n {
+		t.Fatalf("top-n emitted %d rows, want %d", tr, n)
+	}
+	// The heap's result must equal the first n rows of a full sort.
+	s := &sortIter{child: testScan("a", 3000, 128), keyIdx: []int{0}, size: 100}
+	if err := s.Open(); err != nil {
+		t.Fatal(err)
+	}
+	var rows int64
+	var chk uint64
+	for rows < n {
+		b, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.N && rows < n; i++ {
+			chk += mix64(rowHash(b.Cols, i))
+			rows++
+		}
+	}
+	s.Close()
+	if chk != tc {
+		t.Fatalf("top-n != sort prefix: %x vs %x", tc, chk)
+	}
+}
+
+func TestStreamAggOverSortedMatchesHashAgg(t *testing.T) {
+	sorted := &sortIter{child: testScan("a", 4000, 128), keyIdx: []int{0}, size: 128}
+	stream := &streamAggIter{child: sorted, keyIdx: []int{0}, valIdx: 2, size: 128}
+	sr, sc := drain(t, stream)
+
+	hash := &hashAggIter{child: testScan("a", 4000, 128), keyIdx: []int{0}, valIdx: 2, size: 128}
+	hr, hc := drain(t, hash)
+	if sr != hr || sc != hc {
+		t.Fatalf("stream agg over sorted input differs from hash agg: (%d,%x) vs (%d,%x)", sr, sc, hr, hc)
+	}
+	if sr == 4000 || sr == 0 {
+		t.Fatalf("aggregate did not reduce: %d groups from 4000 rows", sr)
+	}
+}
+
+func TestProcessFanoutDeterministic(t *testing.T) {
+	mk := func() iterator {
+		return newProcessIter(testScan("a", 2000, 128), "udf_extract", testSchema, 128)
+	}
+	r1, c1 := drain(t, mk())
+	r2, c2 := drain(t, mk())
+	if r1 != r2 || c1 != c2 {
+		t.Fatalf("process not deterministic: (%d,%x) vs (%d,%x)", r1, c1, r2, c2)
+	}
+	if r1 == 0 {
+		t.Fatal("process emitted nothing")
+	}
+}
+
+// testPlanStreaming builds a small annotated physical plan by hand:
+// Output(HashAgg(HashJoin(Filter(Scan(big)), Scan(dim)))).
+func testPlanStreaming() *plan.Physical {
+	big := &plan.Physical{Op: plan.PExtract, Table: "events", Partitions: 8,
+		Stats: plan.NodeStats{ActCard: 4000, EstCard: 4000, RowLength: 100}}
+	flt := &plan.Physical{Op: plan.PFilter, Pred: "q1.shipdate", Children: []*plan.Physical{big},
+		Partitions: 8, Stats: plan.NodeStats{ActCard: 2000, EstCard: 2000, RowLength: 100}}
+	dim := &plan.Physical{Op: plan.PExtract, Table: "dim_user", Partitions: 8,
+		Stats: plan.NodeStats{ActCard: 4000, EstCard: 4000, RowLength: 40}}
+	join := &plan.Physical{Op: plan.PHashJoin, Keys: []plan.Column{"user"},
+		Children: []*plan.Physical{flt, dim}, Partitions: 8,
+		Stats: plan.NodeStats{ActCard: 2000, EstCard: 2000, RowLength: 120}}
+	agg := &plan.Physical{Op: plan.PHashAggregate, Keys: []plan.Column{"user"},
+		Children: []*plan.Physical{join}, Partitions: 8,
+		Stats: plan.NodeStats{ActCard: 500, EstCard: 500, RowLength: 60}}
+	return &plan.Physical{Op: plan.POutput, Children: []*plan.Physical{agg},
+		Partitions: 1, Stats: plan.NodeStats{ActCard: 500, EstCard: 500, RowLength: 60}}
+}
+
+func TestEngineFillsMeasuredActuals(t *testing.T) {
+	eng := NewEngine(StreamConfig{MaxTableRows: 4000})
+	p := testPlanStreaming()
+	res, err := eng.Run(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutputRows == 0 || res.OutputChecksum == 0 {
+		t.Fatalf("no output: %+v", res)
+	}
+	if res.Latency <= 0 || res.TotalProcessingTime <= 0 {
+		t.Fatalf("no measured time: %+v", res)
+	}
+	p.Walk(func(n *plan.Physical) {
+		if n.ExclusiveActual < 0 {
+			t.Fatalf("%v: negative exclusive time", n.Op)
+		}
+		if n.Stats.ActCard <= 0 {
+			t.Fatalf("%v: no observed rows", n.Op)
+		}
+	})
+	// Scans must report the rows they actually generated.
+	for _, leaf := range p.Leaves() {
+		if leaf.Stats.ActCard > 4000 {
+			t.Fatalf("leaf ActCard %v exceeds generated rows", leaf.Stats.ActCard)
+		}
+	}
+	// Determinism: a second run over a fresh clone produces the same result.
+	p2 := testPlanStreaming()
+	res2, err := eng.Run(p2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.OutputRows != res.OutputRows || res2.OutputChecksum != res.OutputChecksum {
+		t.Fatalf("engine not deterministic: %+v vs %+v", res, res2)
+	}
+}
+
+func TestEngineMatchesReferenceOnHandPlan(t *testing.T) {
+	cfg := StreamConfig{MaxTableRows: 4000}
+	re, err := NewEngine(cfg).Run(testPlanStreaming(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := NewReference(cfg).Run(testPlanStreaming(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.OutputRows != rr.OutputRows || re.OutputChecksum != rr.OutputChecksum {
+		t.Fatalf("streaming %d/%x != reference %d/%x",
+			re.OutputRows, re.OutputChecksum, rr.OutputRows, rr.OutputChecksum)
+	}
+}

@@ -1,0 +1,264 @@
+package exec
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"cleo/internal/plan"
+)
+
+// The streaming executor runs plans against deterministic generated
+// tables: every cell is a pure function of (table name, row index, column
+// name), so any two backends — and any two runs — see bit-identical data
+// without materializing anything up front. Join columns share their value
+// domain across tables (the domain derives from the column name alone),
+// so equi-joins on a common key actually match, and key domains are small
+// enough that aggregates genuinely reduce.
+
+// Reserved derived columns. Every scan carries a full-range payload column
+// __val; aggregates emit __cnt/__sum from it.
+const (
+	valCol = plan.Column("__val")
+	cntCol = plan.Column("__cnt")
+	sumCol = plan.Column("__sum")
+)
+
+// mix64 is the splitmix64 finalizer: a cheap, high-quality bijective hash.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// strHash is FNV-1a over the string bytes.
+func strHash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// unitFromHash maps a hash to [0, 1).
+func unitFromHash(h uint64) float64 {
+	return float64(h>>11) / (1 << 53)
+}
+
+// colDomain is the value domain of a named column: [4096, 65536), derived
+// from the column name alone so the same key column in two tables shares a
+// domain and equi-joins match. The payload column is full-range.
+func colDomain(c plan.Column) int64 {
+	if c == valCol {
+		return 0 // full range
+	}
+	return 4096 + int64(strHash(string(c))%61440)
+}
+
+// tableSeed derives the per-table generation seed.
+func tableSeed(name string) uint64 {
+	return mix64(strHash(name) ^ 0xc1e0c1e0c1e0c1e0)
+}
+
+// colValue generates the cell at (seed, row) for a column with hash colH
+// and domain dom (0 = full range).
+func colValue(seed uint64, row int64, colH uint64, dom int64) int64 {
+	v := mix64(seed ^ mix64(uint64(row)) ^ colH)
+	if dom <= 0 {
+		return int64(v)
+	}
+	return int64(v % uint64(dom))
+}
+
+// A generated table is a pure function of (table name, schema, row count),
+// so one materialization can back every scan of it — across runs, backends
+// and goroutines. The cache stands in for stored data: real executors read
+// tables, they don't recompute them, and without it every scan would pay
+// the mix64 generation chain per cell per run. Entries are immutable;
+// scans copy cells out and never write. The cell budget bounds resident
+// memory; once exhausted, further tables generate uncached.
+var (
+	tableCache      sync.Map // tableCacheKey -> *colStore
+	tableCacheCells atomic.Int64
+)
+
+const tableCacheBudget = 16 << 20 // cells (128 MiB of int64s)
+
+type tableCacheKey struct {
+	seed    uint64
+	schemaH uint64
+	rows    int64
+}
+
+// materializeTable returns the generated table's columns. The result is
+// shared and immutable — callers must copy cells out, never write them.
+func materializeTable(table string, sch schema, rows int64) *colStore {
+	seed := tableSeed(table)
+	schemaH := uint64(len(sch))
+	for _, c := range sch {
+		schemaH = mix64(schemaH ^ strHash(string(c)))
+	}
+	key := tableCacheKey{seed: seed, schemaH: schemaH, rows: rows}
+	if v, ok := tableCache.Load(key); ok {
+		return v.(*colStore)
+	}
+	cs := newColStore(len(sch), int(rows))
+	for c, col := range sch {
+		colH, dom := strHash(string(col)), colDomain(col)
+		dst := cs.cols[c][:rows]
+		for i := int64(0); i < rows; i++ {
+			dst[i] = colValue(seed, i, colH, dom)
+		}
+		cs.cols[c] = dst
+	}
+	cs.n = int(rows)
+	cells := rows * int64(len(sch))
+	if tableCacheCells.Add(cells) <= tableCacheBudget {
+		if prev, loaded := tableCache.LoadOrStore(key, cs); loaded {
+			tableCacheCells.Add(-cells)
+			return prev.(*colStore)
+		}
+	} else {
+		tableCacheCells.Add(-cells)
+	}
+	return cs
+}
+
+// schema is an ordered column list; every iterator knows the schema of the
+// batches it emits.
+type schema []plan.Column
+
+// index returns the position of c, or -1.
+func (s schema) index(c plan.Column) int {
+	for i, x := range s {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// valIndex locates the payload column an operator should combine or sum:
+// __val when present, else an upstream aggregate's __sum, else __cnt.
+func (s schema) valIndex() int {
+	if i := s.index(valCol); i >= 0 {
+		return i
+	}
+	if i := s.index(sumCol); i >= 0 {
+		return i
+	}
+	return s.index(cntCol)
+}
+
+// equal reports whether two schemas are identical.
+func (s schema) equal(o schema) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// maxScanColumns caps the generated scan width; plans referencing more
+// distinct columns read 0 for the overflow (consistently in every backend).
+const maxScanColumns = 24
+
+// scanSchema derives the one global scan schema for a plan: the sorted,
+// de-duplicated union of every operator's keys and every compiled
+// predicate's referenced identifiers, plus the payload column __val.
+// A single global schema keeps joins and unions trivially schema-compatible.
+func scanSchema(root *plan.Physical, preds map[*plan.Physical]*Pred) schema {
+	set := map[plan.Column]bool{}
+	root.Walk(func(n *plan.Physical) {
+		for _, k := range n.Keys {
+			set[k] = true
+		}
+		if p := preds[n]; p != nil {
+			for _, c := range p.Idents() {
+				set[c] = true
+			}
+		}
+	})
+	delete(set, valCol)
+	delete(set, cntCol)
+	delete(set, sumCol)
+	cols := make([]plan.Column, 0, len(set)+1)
+	for c := range set {
+		cols = append(cols, c)
+	}
+	sort.Slice(cols, func(i, j int) bool { return cols[i] < cols[j] })
+	if len(cols) > maxScanColumns {
+		cols = cols[:maxScanColumns]
+	}
+	return append(cols, valCol)
+}
+
+// rowHash hashes row i of a batch (a mix64 chain over the column values,
+// in schema order) — the basis of multiset checksums and of pseudo-random
+// per-row decisions (UDF fanout, unbound predicates).
+func rowHash(cols [][]int64, i int) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range cols {
+		h = mix64(h ^ uint64(c[i]))
+	}
+	return h
+}
+
+// colStore is a materialized column-major row store used by blocking
+// operators (sort, merge join, top-n, the reference side of joins).
+type colStore struct {
+	cols [][]int64
+	n    int
+}
+
+func newColStore(nCols, capRows int) *colStore {
+	cs := &colStore{cols: make([][]int64, nCols)}
+	for i := range cs.cols {
+		cs.cols[i] = make([]int64, 0, capRows)
+	}
+	return cs
+}
+
+// appendRow copies row i of b.
+func (cs *colStore) appendRow(cols [][]int64, i int) {
+	for c := range cs.cols {
+		cs.cols[c] = append(cs.cols[c], cols[c][i])
+	}
+	cs.n++
+}
+
+// compareRows orders two stored rows by the key columns (keyIdxs, -1
+// entries compare equal) and then by every column in schema order — a
+// total order, so canonical sorts are deterministic regardless of input
+// order.
+func (cs *colStore) compareRows(i, j int, keyIdxs []int) int {
+	for _, k := range keyIdxs {
+		if k < 0 {
+			continue
+		}
+		if a, b := cs.cols[k][i], cs.cols[k][j]; a != b {
+			if a < b {
+				return -1
+			}
+			return 1
+		}
+	}
+	for c := range cs.cols {
+		if a, b := cs.cols[c][i], cs.cols[c][j]; a != b {
+			if a < b {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}

@@ -74,7 +74,12 @@ type QueryResponse struct {
 	Latency             float64          `json:"latency,omitempty"`
 	TotalProcessingTime float64          `json:"total_processing_time,omitempty"`
 	Containers          int              `json:"containers,omitempty"`
-	Records             int              `json:"records,omitempty"`
+	// OutputRows and OutputChecksum describe the actual query result when
+	// the service executes on the streaming backend (zero on the
+	// simulator, which models time but produces no rows).
+	OutputRows     uint64 `json:"output_rows,omitempty"`
+	OutputChecksum uint64 `json:"output_checksum,omitempty"`
+	Records        int    `json:"records,omitempty"`
 	// Trace is the span tree recorded for this request (only with
 	// "trace": true in the request).
 	Trace *obs.TraceJSON `json:"trace,omitempty"`
@@ -251,6 +256,8 @@ func handleQuery(svc *Service, w http.ResponseWriter, r *http.Request) {
 		resp.Latency = res.Latency
 		resp.TotalProcessingTime = res.TotalProcessingTime
 		resp.Containers = res.Containers
+		resp.OutputRows = res.OutputRows
+		resp.OutputChecksum = res.OutputChecksum
 		resp.Records = len(res.Records)
 	}
 	resp.Trace = tr.Tree()

@@ -45,6 +45,11 @@ type Config struct {
 	// with hits/misses surfaced per tenant in /v1/stats. Ignored when
 	// NewSystem overrides construction.
 	TemplateCacheSize int
+	// StreamingExec runs every tenant's queries on the in-process
+	// streaming vectorized executor instead of the simulated cluster, so
+	// telemetry (and thus retrained models) reflects measured wall-clock
+	// operator times. Ignored when NewSystem overrides construction.
+	StreamingExec bool
 	// StateDir, when set, makes tenant state durable: published model
 	// versions are snapshotted there and ingested telemetry is journaled
 	// before it reaches the in-memory log, and NewService recovers every
@@ -214,6 +219,7 @@ func (s *Service) newSystem(name string) *engine.System {
 		Seed:              seedOf(name),
 		Parallelism:       par,
 		TemplateCacheSize: s.cfg.TemplateCacheSize,
+		StreamingExec:     s.cfg.StreamingExec,
 		Metrics:           s.cfg.Metrics,
 	})
 }

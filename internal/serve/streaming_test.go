@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cleo/internal/obs"
+)
+
+// TestStreamingBackendServing runs the service on the streaming executor:
+// queries return real result rows, the trace carries per-operator exec
+// spans under execute, the executor's operator instruments land in
+// /metrics, and retrain-on-measured-telemetry serves learned plans.
+func TestStreamingBackendServing(t *testing.T) {
+	reg := obs.NewRegistry()
+	svc := NewService(Config{StreamingExec: true, Metrics: reg, Logf: quiet})
+	defer svc.Close()
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+
+	status, body := postJSON(t, srv.URL+"/v1/query", queryBody("ads", 1, `,"trace":true`))
+	if status != 200 {
+		t.Fatalf("traced query: %d: %s", status, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.OutputRows == 0 || qr.OutputChecksum == 0 {
+		t.Fatalf("streaming run returned no result rows: %s", body)
+	}
+	if qr.Latency <= 0 || qr.TotalProcessingTime <= 0 {
+		t.Fatalf("no measured latency: %+v", qr)
+	}
+	if qr.Trace == nil {
+		t.Fatal("no trace")
+	}
+	var execute *obs.SpanJSON
+	for _, s := range qr.Trace.Spans {
+		if s.Name == "execute" {
+			execute = s
+		}
+	}
+	if execute == nil || execute.DurationNs <= 0 || execute.Attrs["containers"] == "" {
+		t.Fatalf("execute span: %+v", execute)
+	}
+	if len(execute.Children) == 0 {
+		t.Fatal("execute span has no operator children")
+	}
+	var sawRows bool
+	var walk func(s *obs.SpanJSON)
+	walk = func(s *obs.SpanJSON) {
+		if !strings.HasPrefix(s.Name, "exec:") {
+			t.Fatalf("unexpected child span under execute: %q", s.Name)
+		}
+		if s.Attrs["rows"] != "" && s.Attrs["rows"] != "0" {
+			sawRows = true
+		}
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	for _, c := range execute.Children {
+		walk(c)
+	}
+	if !sawRows {
+		t.Fatal("no operator span carries observed rows")
+	}
+
+	// Determinism across requests: same plan, same result.
+	status, body = postJSON(t, srv.URL+"/v1/query", queryBody("ads", 2, ""))
+	if status != 200 {
+		t.Fatalf("second query: %d: %s", status, body)
+	}
+	var qr2 QueryResponse
+	if err := json.Unmarshal(body, &qr2); err != nil {
+		t.Fatal(err)
+	}
+	if qr2.OutputRows != qr.OutputRows || qr2.OutputChecksum != qr.OutputChecksum {
+		t.Fatalf("streaming result drifted across requests: %+v vs %+v", qr, qr2)
+	}
+
+	// The executor's operator instruments are live in the exposition.
+	expo := scrape(t, srv.URL)
+	for _, series := range []string{
+		"cleo_exec_operator_seconds", "cleo_exec_rows_total", "cleo_exec_batches_total",
+	} {
+		if !strings.Contains(expo, series) {
+			t.Fatalf("exposition missing %s", series)
+		}
+	}
+
+	// Feedback loop through the service: enough runs to train, then a
+	// learned run still executes on the streaming backend.
+	for seed := int64(3); seed <= 30; seed++ {
+		if status, body := postJSON(t, srv.URL+"/v1/query", queryBody("ads", seed, "")); status != 200 {
+			t.Fatalf("query %d: %d: %s", seed, status, body)
+		}
+	}
+	if status, body := postJSON(t, srv.URL+"/v1/retrain", `{"tenant":"ads"}`); status != 200 {
+		t.Fatalf("retrain: %d: %s", status, body)
+	}
+	status, body = postJSON(t, srv.URL+"/v1/query",
+		queryBody("ads", 99, `,"use_learned":true,"skip_logging":true`))
+	if status != 200 {
+		t.Fatalf("learned query: %d: %s", status, body)
+	}
+	qr = QueryResponse{}
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if !qr.UsedLearned || qr.OutputRows == 0 {
+		t.Fatalf("learned streaming run: %+v", qr)
+	}
+}
