@@ -81,6 +81,8 @@ func main() {
 	ratio := flag.String("ratio", "",
 		"comma-separated 'NumBench:DenBench' pairs measured this run; exit 1 when num/den-1 exceeds -ratio-max")
 	ratioMax := flag.Float64("ratio-max", 0.02, "allowed fractional overhead per -ratio pair (0.02 = 2%)")
+	strictProcs := flag.Bool("strict-procs", false,
+		"in -compare mode, fail (exit 1) on a GOMAXPROCS mismatch with the baseline instead of skipping the comparison")
 	flag.Parse()
 
 	args := []string{"test", "-run", "^$", "-bench", *bench,
@@ -140,7 +142,7 @@ func main() {
 		ratioRC = checkRatios(*ratio, sums, *ratioMax)
 	}
 	if *compare != "" {
-		if rc := compareBaseline(*compare, sums, *threshold); rc != 0 {
+		if rc := compareBaseline(*compare, sums, *threshold, *strictProcs); rc != 0 {
 			ratioRC = rc
 		}
 		os.Exit(ratioRC)
@@ -194,8 +196,11 @@ func main() {
 // and returns the process exit code: 1 when any benchmark present in both
 // regresses its ns/op beyond the threshold, 0 otherwise. Benchmarks only
 // on one side are reported but never gate — a fresh benchmark has no
-// history and a retired one no measurement.
-func compareBaseline(path string, sums map[string]*Result, threshold float64) int {
+// history and a retired one no measurement. A GOMAXPROCS mismatch with
+// the baseline skips the comparison (ns/op across widths is meaningless
+// for parallel benchmarks) unless strictProcs makes it a hard failure —
+// CI pins GOMAXPROCS and must never skip silently.
+func compareBaseline(path string, sums map[string]*Result, threshold float64, strictProcs bool) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -207,6 +212,11 @@ func compareBaseline(path string, sums map[string]*Result, threshold float64) in
 		return 1
 	}
 	if base.GOMAXPROCS != 0 && base.GOMAXPROCS != runtime.GOMAXPROCS(0) {
+		if strictProcs {
+			fmt.Fprintf(os.Stderr, "benchjson: baseline %s was recorded at GOMAXPROCS=%d, this machine runs %d — failing (-strict-procs): set GOMAXPROCS=%d or re-record the baseline\n",
+				path, base.GOMAXPROCS, runtime.GOMAXPROCS(0), base.GOMAXPROCS)
+			return 1
+		}
 		fmt.Printf("benchjson: baseline %s was recorded at GOMAXPROCS=%d, this machine runs %d — skipping comparison (re-record the baseline to gate here)\n",
 			path, base.GOMAXPROCS, runtime.GOMAXPROCS(0))
 		return 0

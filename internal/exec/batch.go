@@ -14,8 +14,10 @@ const DefaultBatchSize = 1024
 //
 // Ownership contract: a batch returned by an iterator's Next belongs to
 // that iterator and is valid only until its next Next (or Close) call.
-// Consumers may mutate it in place — the filter iterator compacts its
-// child's batch rather than copying survivors.
+// Consumers must treat it as read-only — scan batches alias the immutable
+// shared table cache, so writing through a consumed batch would corrupt
+// cached tables across queries. Iterators that reshape rows (filter,
+// project, except, …) gather into their own output batch instead.
 type Batch struct {
 	Cols [][]int64
 	N    int

@@ -329,18 +329,27 @@ func (p *processIter) Close() {
 }
 
 // ensureShape grows a pooled batch to the requested shape, preserving the
-// pooling contract.
+// pooling contract. Pooled batches can carry columns of unequal capacity
+// (getBatch keeps any column whose cap suffices and allocates the rest at
+// exactly capRows), so each column is checked and grown individually —
+// judging the whole batch by Cols[0] would reslice a smaller sibling past
+// its capacity and panic.
 func ensureShape(b *Batch, nCols, capRows int) *Batch {
 	if b == nil {
 		return getBatch(nCols, capRows)
 	}
-	if len(b.Cols) != nCols || (nCols > 0 && cap(b.Cols[0]) < capRows) {
+	if len(b.Cols) != nCols {
 		putBatch(b)
 		return getBatch(nCols, capRows)
 	}
 	for i := range b.Cols {
-		b.Cols[i] = b.Cols[i][:capRows]
+		if cap(b.Cols[i]) < capRows {
+			b.Cols[i] = make([]int64, capRows)
+		} else {
+			b.Cols[i] = b.Cols[i][:capRows]
+		}
 	}
+	b.N = 0
 	return b
 }
 

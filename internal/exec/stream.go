@@ -231,15 +231,27 @@ func projectSchema(keys []plan.Column, in schema) schema {
 
 // streamsOnly reports whether the subtree is fully pipelined (contains no
 // blocking operator) — the precondition for feeding a symmetric hash
-// join's input directly from a live stream.
+// join's input directly from a live stream. It consults blocksStreaming
+// rather than plan.PhysicalOp.Blocking: the simulator's classification
+// keeps merge joins and partial aggregates pipelined, but this engine's
+// mergeJoinIter drains both inputs in Open and the partial aggregate runs
+// through the (blocking) hashAggIter, so above either of them a symmetric
+// join buys nothing over the cheaper classic hash join.
 func streamsOnly(n *plan.Physical) bool {
 	ok := true
 	n.Walk(func(m *plan.Physical) {
-		if m.Op.Blocking() {
+		if blocksStreaming(m.Op) {
 			ok = false
 		}
 	})
 	return ok
+}
+
+// blocksStreaming reports whether this executor's implementation of op
+// consumes its whole input before emitting (regardless of how the latency
+// simulator classifies it).
+func blocksStreaming(op plan.PhysicalOp) bool {
+	return op.Blocking() || op == plan.PMergeJoin || op == plan.PPartialAggregate
 }
 
 // joinSizeHint estimates the build-side row count for pre-sizing.

@@ -357,3 +357,48 @@ func TestEngineMatchesReferenceOnHandPlan(t *testing.T) {
 			re.OutputRows, re.OutputChecksum, rr.OutputRows, rr.OutputChecksum)
 	}
 }
+
+func TestEnsureShapeUnequalColumnCaps(t *testing.T) {
+	// Pooled batches can carry columns of unequal capacity; growing must
+	// check every column, not just Cols[0] (which used to panic when a
+	// smaller sibling was resliced past its cap).
+	b := &Batch{Cols: [][]int64{make([]int64, 0, 2048), make([]int64, 0, 500)}, N: 7}
+	b = ensureShape(b, 2, 1024)
+	for i, col := range b.Cols {
+		if len(col) != 1024 {
+			t.Fatalf("col %d: len=%d, want 1024", i, len(col))
+		}
+	}
+	if b.N != 0 {
+		t.Fatalf("N=%d, want 0 after reshape", b.N)
+	}
+	b.Cols[0][1023], b.Cols[1][1023] = 1, 2 // writable to the full shape
+	if got := ensureShape(b, 3, 16); len(got.Cols) != 3 {
+		t.Fatalf("cols=%d, want 3 after column-count change", len(got.Cols))
+	}
+}
+
+func TestStreamsOnlyTreatsDrainingOpsAsBlocking(t *testing.T) {
+	// The streaming implementations of merge join and partial aggregate
+	// drain their inputs in Open, so symmetric-join eligibility must treat
+	// them as blocking even though the simulator's Blocking() does not.
+	for _, op := range []plan.PhysicalOp{plan.PMergeJoin, plan.PPartialAggregate, plan.PSort, plan.PHashJoin} {
+		if !blocksStreaming(op) {
+			t.Fatalf("%v should block streaming", op)
+		}
+	}
+	for _, op := range []plan.PhysicalOp{plan.PFilter, plan.PProject, plan.PStreamAggregate} {
+		if blocksStreaming(op) {
+			t.Fatalf("%v should stream", op)
+		}
+	}
+	blocked := &plan.Physical{Op: plan.PMergeJoin, Children: []*plan.Physical{
+		{Op: plan.PExtract}, {Op: plan.PExtract},
+	}}
+	if streamsOnly(blocked) {
+		t.Fatal("subtree rooted at a merge join must not count as streaming")
+	}
+	if !streamsOnly(&plan.Physical{Op: plan.PFilter, Children: []*plan.Physical{{Op: plan.PExtract}}}) {
+		t.Fatal("filter over scan should stream")
+	}
+}
