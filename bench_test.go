@@ -470,7 +470,11 @@ func benchExecPlan(b *testing.B, q int) *PhysicalPlan {
 	return res.Plan
 }
 
-var benchExecCfg = exec.StreamConfig{MaxTableRows: 50000, BatchSize: 2048}
+// benchExecCfg pins MaxWorkers to 1: BenchmarkExecStreaming measures the
+// single-pipeline engine (comparable across baseline records regardless of
+// the runner's GOMAXPROCS); BenchmarkExecStreamingParallel below owns the
+// width axis explicitly.
+var benchExecCfg = exec.StreamConfig{MaxTableRows: 50000, BatchSize: 2048, MaxWorkers: 1}
 
 // benchExecBackend re-executes the plan per iteration. A warm-up run first
 // writes observed cardinalities back into the plan, so both backends size
@@ -507,4 +511,75 @@ func BenchmarkExecStreaming(b *testing.B) {
 
 func BenchmarkExecMaterialized(b *testing.B) {
 	benchExecBackend(b, exec.NewReference(benchExecCfg), 21)
+}
+
+// BenchmarkExecStreamingParallel runs the same Q21 pipeline at exchange
+// width 1 and 4 — the intra-query parallelism payoff (morsel-driven scans,
+// partitioned join builds and aggregates) isolated from everything else.
+// On a multi-core runner w4 should beat w1 by well over the CI gate's
+// 1.5×; on a single-core machine it degrades to roughly w1 plus exchange
+// overhead, which is itself worth watching.
+func BenchmarkExecStreamingParallel(b *testing.B) {
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			cfg := benchExecCfg
+			cfg.MaxWorkers = w
+			benchExecBackend(b, exec.NewEngine(cfg), 21)
+		})
+	}
+}
+
+// BenchmarkExecStreamingMixedTenants drives concurrent queries from two
+// tenants (distinct scale factors, so distinct cached materializations)
+// through one engine with intra-query parallelism on top — the worst case
+// for the executor's process-wide shared state: the singleflight table
+// cache, the batch pool and the metrics counters all under simultaneous
+// load from every direction.
+func BenchmarkExecStreamingMixedTenants(b *testing.B) {
+	var plans []*PhysicalPlan
+	for _, scale := range []float64{1, 2} {
+		cat := stats.NewCatalog(uint64(scale))
+		tpch.Register(cat, scale)
+		for _, q := range []int{3, 18, 21} {
+			o := &cascades.Optimizer{Catalog: cat, Cost: costmodel.Default{},
+				MaxPartitions: 3000, JobSeed: int64(q)}
+			res, err := o.Optimize(tpch.Queries()[q]())
+			if err != nil {
+				b.Fatal(err)
+			}
+			plans = append(plans, res.Plan)
+		}
+	}
+	cfg := benchExecCfg
+	cfg.MaxWorkers = 2
+	eng := exec.NewEngine(cfg)
+	kept := plans[:0]
+	for _, p := range plans {
+		res, err := eng.Run(p, nil) // warm caches, write ActCards back
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.OutputRows > 0 { // some tenants' queries are empty at this scale
+			kept = append(kept, p)
+		}
+	}
+	plans = kept
+	if len(plans) < 2 {
+		b.Fatal("mixed-tenant corpus collapsed to fewer than two plans")
+	}
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			p := plans[next.Add(1)%int64(len(plans))]
+			res, err := eng.Run(p.Clone(), nil) // clone: Run writes telemetry into the plan
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.OutputRows == 0 {
+				b.Fatal("benchmark query produced no rows")
+			}
+		}
+	})
 }

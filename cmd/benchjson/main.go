@@ -10,6 +10,12 @@
 // ns/op, B/op and allocs/op of repeated runs of the same benchmark are
 // averaged; custom metrics are snapshotted from the first run.
 //
+// Results are keyed "BenchmarkName@GOMAXPROCS", and writing merges with an
+// existing baseline instead of replacing it: entries recorded at other
+// widths are kept, so one file can hold the 1-proc and 4-proc gates for
+// parallel benchmarks side by side (legacy un-keyed entries are migrated
+// to the file's recorded width on the next write).
+//
 // Compare mode turns the committed baseline into a regression gate: run
 // the benchmarks, diff ns/op against the baseline, and exit 1 when any
 // benchmark tracked by both regresses beyond the threshold (nothing is
@@ -54,10 +60,10 @@ type Baseline struct {
 	GoVersion string `json:"go_version"`
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
-	// GOMAXPROCS records the recording machine's parallelism. Comparing
-	// ns/op across different widths is meaningless for parallel
-	// benchmarks, so -compare refuses to gate when it differs (0 in old
-	// baselines = unknown, compared anyway).
+	// GOMAXPROCS records the width of the most recent recording. Entries
+	// are width-keyed ("Name@procs") so one file holds baselines from
+	// several widths; this field only disambiguates legacy un-keyed
+	// entries (0 in old baselines = unknown, compared anyway).
 	GOMAXPROCS int               `json:"gomaxprocs,omitempty"`
 	Bench      string            `json:"bench"`
 	BenchTime  string            `json:"benchtime"`
@@ -151,19 +157,39 @@ func main() {
 		os.Exit(ratioRC)
 	}
 
+	procs := runtime.GOMAXPROCS(0)
 	b := Baseline{
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GOMAXPROCS: procs,
 		Bench:      *bench,
 		BenchTime:  *benchtime,
 		Note:       *note,
 		Benchmarks: map[string]Result{},
 	}
+	// Merge: keep existing entries recorded at other widths (migrating
+	// legacy un-keyed entries to the old file's recorded width); entries
+	// at this width are superseded by this run.
+	if data, err := os.ReadFile(*out); err == nil {
+		var old Baseline
+		if json.Unmarshal(data, &old) == nil {
+			for key, r := range old.Benchmarks {
+				if _, _, keyed := splitProcsKey(key); !keyed {
+					if old.GOMAXPROCS == 0 {
+						continue // unknown width: no meaningful gate
+					}
+					key = procsKey(key, old.GOMAXPROCS)
+				}
+				if _, w, _ := splitProcsKey(key); w != procs {
+					b.Benchmarks[key] = r
+				}
+			}
+		}
+	}
 	for name, r := range sums {
 		n := float64(r.Runs)
-		b.Benchmarks[name] = Result{
+		b.Benchmarks[procsKey(name, procs)] = Result{
 			NsPerOp:      round1(r.NsPerOp / n),
 			AllocsPerOp:  round1(r.AllocsPerOp / n),
 			BytesPerOp:   round1(r.BytesPerOp / n),
@@ -196,10 +222,12 @@ func main() {
 // and returns the process exit code: 1 when any benchmark present in both
 // regresses its ns/op beyond the threshold, 0 otherwise. Benchmarks only
 // on one side are reported but never gate — a fresh benchmark has no
-// history and a retired one no measurement. A GOMAXPROCS mismatch with
-// the baseline skips the comparison (ns/op across widths is meaningless
-// for parallel benchmarks) unless strictProcs makes it a hard failure —
-// CI pins GOMAXPROCS and must never skip silently.
+// history and a retired one no measurement. Lookup is by width-qualified
+// key ("Name@procs") first; a legacy un-keyed entry gates only when the
+// file's recorded GOMAXPROCS matches this machine (ns/op across widths is
+// meaningless for parallel benchmarks) — on a mismatch the legacy entry
+// is skipped, or fails the gate under strictProcs: CI pins GOMAXPROCS and
+// must never skip silently.
 func compareBaseline(path string, sums map[string]*Result, threshold float64, strictProcs bool) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -211,16 +239,8 @@ func compareBaseline(path string, sums map[string]*Result, threshold float64, st
 		fmt.Fprintf(os.Stderr, "benchjson: parse %s: %v\n", path, err)
 		return 1
 	}
-	if base.GOMAXPROCS != 0 && base.GOMAXPROCS != runtime.GOMAXPROCS(0) {
-		if strictProcs {
-			fmt.Fprintf(os.Stderr, "benchjson: baseline %s was recorded at GOMAXPROCS=%d, this machine runs %d — failing (-strict-procs): set GOMAXPROCS=%d or re-record the baseline\n",
-				path, base.GOMAXPROCS, runtime.GOMAXPROCS(0), base.GOMAXPROCS)
-			return 1
-		}
-		fmt.Printf("benchjson: baseline %s was recorded at GOMAXPROCS=%d, this machine runs %d — skipping comparison (re-record the baseline to gate here)\n",
-			path, base.GOMAXPROCS, runtime.GOMAXPROCS(0))
-		return 0
-	}
+	procs := runtime.GOMAXPROCS(0)
+	mismatch := base.GOMAXPROCS != 0 && base.GOMAXPROCS != procs
 
 	var names []string
 	for n := range sums {
@@ -229,9 +249,26 @@ func compareBaseline(path string, sums map[string]*Result, threshold float64, st
 	sort.Strings(names)
 	regressed := 0
 	compared := 0
+	skippedWidth := 0
 	for _, name := range names {
 		got := sums[name].NsPerOp / float64(sums[name].Runs)
-		want, ok := base.Benchmarks[name]
+		want, ok := base.Benchmarks[procsKey(name, procs)]
+		if !ok {
+			if legacy, legacyOK := base.Benchmarks[name]; legacyOK {
+				if mismatch {
+					if strictProcs {
+						fmt.Fprintf(os.Stderr, "benchjson: %s in %s was recorded at GOMAXPROCS=%d, this machine runs %d — failing (-strict-procs): set GOMAXPROCS=%d or re-record the baseline\n",
+							name, path, base.GOMAXPROCS, procs, base.GOMAXPROCS)
+						return 1
+					}
+					fmt.Printf("%-55s %12.0f ns/op  (baseline width %d != %d, skipped)\n",
+						name, got, base.GOMAXPROCS, procs)
+					skippedWidth++
+					continue
+				}
+				want, ok = legacy, true
+			}
+		}
 		if !ok || want.NsPerOp <= 0 {
 			fmt.Printf("%-55s %12.0f ns/op  (not in baseline, skipped)\n", name, got)
 			continue
@@ -247,6 +284,11 @@ func compareBaseline(path string, sums map[string]*Result, threshold float64, st
 			name, got, want.NsPerOp, ratio*100, verdict)
 	}
 	if compared == 0 {
+		if skippedWidth > 0 {
+			fmt.Printf("benchjson: every matching entry in %s was recorded at GOMAXPROCS=%d, this machine runs %d — nothing gated (re-record at this width to gate here)\n",
+				path, base.GOMAXPROCS, procs)
+			return 0
+		}
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmarks matched the baseline")
 		return 1
 	}
@@ -300,6 +342,26 @@ func checkRatios(spec string, sums map[string]*Result, max float64) int {
 		return 1
 	}
 	return 0
+}
+
+// procsKey is the width-qualified baseline key for a benchmark: ns/op is
+// only comparable between runs at the same GOMAXPROCS.
+func procsKey(name string, procs int) string {
+	return fmt.Sprintf("%s@%d", name, procs)
+}
+
+// splitProcsKey splits a "Name@procs" key; keyed is false for legacy
+// un-keyed entries.
+func splitProcsKey(key string) (name string, procs int, keyed bool) {
+	i := strings.LastIndex(key, "@")
+	if i < 0 {
+		return key, 0, false
+	}
+	p, err := strconv.Atoi(key[i+1:])
+	if err != nil || p <= 0 {
+		return key, 0, false
+	}
+	return key[:i], p, true
 }
 
 // splitMetrics splits the tail of a benchmark line ("8 B/op\t3 allocs/op")

@@ -73,6 +73,8 @@ func main() {
 	ingestBuffer := flag.Int("ingest-buffer", 128, "per-tenant telemetry channel capacity")
 	parallelism := flag.Int("parallelism", 0,
 		"per-tenant optimizer search parallelism (0 = 1: rely on request-level concurrency)")
+	execWorkers := flag.Int("exec-workers", 0,
+		"streaming executor pipeline width per stage (0 = follow -parallelism; only with -exec-backend stream)")
 	stateDir := flag.String("state-dir", "",
 		"durable tenant state directory: snapshots + telemetry journal (empty = in-memory only)")
 	fsync := flag.Bool("fsync", false, "fsync the telemetry journal on every append")
@@ -101,6 +103,7 @@ func main() {
 		RetrainThreshold: *retrainThreshold,
 		IngestBuffer:     *ingestBuffer,
 		Parallelism:      *parallelism,
+		ExecWorkers:      *execWorkers,
 		StateDir:         *stateDir,
 		Fsync:            *fsync,
 		RetainSnapshots:  *retainSnapshots,

@@ -124,6 +124,11 @@ func NewSystem(cfg SystemConfig) *System {
 		if sc.Metrics == nil {
 			sc.Metrics = exec.NewMetrics(cfg.Metrics) // nil registry → nil metrics, free
 		}
+		if sc.MaxWorkers == 0 && cfg.Parallelism > 0 {
+			// One parallelism knob governs both optimizer search fan-out
+			// and execution pipeline width, unless Stream sets its own.
+			sc.MaxWorkers = cfg.Parallelism
+		}
 		s.backend = exec.NewEngine(sc)
 	} else {
 		s.backend = exec.NewCluster(ec)
@@ -150,6 +155,20 @@ func (s *System) Parallelism() int {
 		return s.par
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// ExecWorkers reports the streaming backend's per-stage pipeline-width
+// clamp, after any per-run override in opts. It is 0 when execution runs
+// on the simulated cluster, which has no pipeline width to report.
+func (s *System) ExecWorkers(opts RunOptions) int {
+	eng, ok := s.backend.(*exec.Engine)
+	if !ok {
+		return 0
+	}
+	if opts.Parallelism > 0 {
+		return eng.WithMaxWorkers(opts.Parallelism).MaxWorkers()
+	}
+	return eng.MaxWorkers()
 }
 
 // defaultParam applies the job-parameter default: the PM feature is 1 when
@@ -343,7 +362,13 @@ func (s *System) Run(q *plan.Logical, opts RunOptions) (*RunResult, error) {
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	var execRes exec.Result
-	tb, tracedRun := s.backend.(exec.TracedBackend)
+	backend := s.backend
+	if eng, ok := backend.(*exec.Engine); ok && opts.Parallelism > 0 {
+		// The per-run parallelism override governs execution pipeline
+		// width exactly as it governs optimizer search width above.
+		backend = eng.WithMaxWorkers(opts.Parallelism)
+	}
+	tb, tracedRun := backend.(exec.TracedBackend)
 	tracedRun = tracedRun && opts.Trace != nil
 	if tracedRun {
 		// Backends that can attribute time per operator hang their spans
@@ -356,7 +381,7 @@ func (s *System) Run(q *plan.Logical, opts RunOptions) (*RunResult, error) {
 		}
 		opts.Trace.End(span)
 	} else {
-		execRes, err = s.backend.Run(p, rng)
+		execRes, err = backend.Run(p, rng)
 	}
 	if err != nil {
 		return nil, err

@@ -2,8 +2,9 @@
 // reference evaluator must produce bit-identical results — output row
 // count, order-insensitive output checksum, and per-operator observed
 // cardinalities — over every optimized TPC-H query and a generated
-// workload sample. The CI race job runs this file under -race, which also
-// exercises the executor's batch pool under the race detector.
+// workload sample, at pipeline widths 1, 2 and 4. The CI race job runs
+// this file under -race, which also exercises the exchange operators,
+// morsel scans and the executor's batch pool under the race detector.
 package exec_test
 
 import (
@@ -19,70 +20,85 @@ import (
 	"cleo/internal/workload/tpch"
 )
 
-var equivCfg = exec.StreamConfig{MaxTableRows: 2500}
+var equivCfg = exec.StreamConfig{MaxTableRows: 2500, MaxWorkers: 1}
 
-// runBoth executes the plan on both backends (each on its own clone) and
-// diffs everything observable.
+// equivWidths are the pipeline widths the whole corpus runs at: the
+// sequential baseline plus two parallel widths (including one above this
+// machine's core count — goroutine interleaving, not core count, is what
+// correctness depends on).
+var equivWidths = []int{1, 2, 4}
+
+// runBoth executes the plan on the reference backend and on the streaming
+// engine at every equivalence width (each run on its own clone) and diffs
+// everything observable.
 func runBoth(t *testing.T, name string, p *plan.Physical) {
 	t.Helper()
-	ps := p.Clone()
 	pr := p.Clone()
-	rs, err := exec.NewEngine(equivCfg).Run(ps, nil)
-	if err != nil {
-		t.Fatalf("%s: streaming: %v", name, err)
-	}
 	rr, err := exec.NewReference(equivCfg).Run(pr, nil)
 	if err != nil {
 		t.Fatalf("%s: reference: %v", name, err)
 	}
-	if rs.OutputRows != rr.OutputRows {
-		t.Fatalf("%s: output rows differ: streaming %d, reference %d", name, rs.OutputRows, rr.OutputRows)
-	}
-	if rs.OutputChecksum != rr.OutputChecksum {
-		t.Fatalf("%s: output checksums differ: %x vs %x", name, rs.OutputChecksum, rr.OutputChecksum)
-	}
-	if rs.OutputRows > 0 && rs.OutputChecksum == 0 {
-		t.Fatalf("%s: rows with zero checksum", name)
-	}
-
-	// Per-operator observed cardinalities must match node for node.
-	var sn, rn []*plan.Physical
-	ps.Walk(func(n *plan.Physical) { sn = append(sn, n) })
+	var rn []*plan.Physical
 	pr.Walk(func(n *plan.Physical) { rn = append(rn, n) })
-	if len(sn) != len(rn) {
-		t.Fatalf("%s: clone shape mismatch", name)
-	}
-	for i := range sn {
-		if sn[i].Stats.ActCard != rn[i].Stats.ActCard {
-			t.Fatalf("%s: %v rows differ: streaming %v, reference %v",
-				name, sn[i].Op, sn[i].Stats.ActCard, rn[i].Stats.ActCard)
-		}
-		if sn[i].ExclusiveActual < 0 {
-			t.Fatalf("%s: %v negative exclusive time", name, sn[i].Op)
-		}
-	}
 
-	// Both backends are themselves deterministic: a re-run of the
-	// streaming engine reproduces the result bit for bit.
-	rs2, err := exec.NewEngine(equivCfg).Run(p.Clone(), nil)
-	if err != nil {
-		t.Fatalf("%s: streaming rerun: %v", name, err)
-	}
-	if rs2.OutputRows != rs.OutputRows || rs2.OutputChecksum != rs.OutputChecksum {
-		t.Fatalf("%s: streaming engine not deterministic", name)
-	}
+	for _, w := range equivWidths {
+		cfg := equivCfg
+		cfg.MaxWorkers = w
+		ps := p.Clone()
+		rs, err := exec.NewEngine(cfg).Run(ps, nil)
+		if err != nil {
+			t.Fatalf("%s/w%d: streaming: %v", name, w, err)
+		}
+		if rs.OutputRows != rr.OutputRows {
+			t.Fatalf("%s/w%d: output rows differ: streaming %d, reference %d", name, w, rs.OutputRows, rr.OutputRows)
+		}
+		if rs.OutputChecksum != rr.OutputChecksum {
+			t.Fatalf("%s/w%d: output checksums differ: %x vs %x", name, w, rs.OutputChecksum, rr.OutputChecksum)
+		}
+		if rs.OutputRows > 0 && rs.OutputChecksum == 0 {
+			t.Fatalf("%s/w%d: rows with zero checksum", name, w)
+		}
 
-	// The symmetric-join engine reorders emissions but must preserve the
-	// output multiset: same rows, same order-insensitive checksum.
-	symCfg := equivCfg
-	symCfg.SymmetricJoin = true
-	rsym, err := exec.NewEngine(symCfg).Run(p.Clone(), nil)
-	if err != nil {
-		t.Fatalf("%s: symmetric-join engine: %v", name, err)
-	}
-	if rsym.OutputRows != rs.OutputRows || rsym.OutputChecksum != rs.OutputChecksum {
-		t.Fatalf("%s: symmetric-join engine diverged: rows %d vs %d, checksum %x vs %x",
-			name, rsym.OutputRows, rs.OutputRows, rsym.OutputChecksum, rs.OutputChecksum)
+		// Per-operator observed cardinalities must match node for node:
+		// partitioned execution may never create, drop or double-count a
+		// row anywhere in the plan.
+		var sn []*plan.Physical
+		ps.Walk(func(n *plan.Physical) { sn = append(sn, n) })
+		if len(sn) != len(rn) {
+			t.Fatalf("%s/w%d: clone shape mismatch", name, w)
+		}
+		for i := range sn {
+			if sn[i].Stats.ActCard != rn[i].Stats.ActCard {
+				t.Fatalf("%s/w%d: %v rows differ: streaming %v, reference %v",
+					name, w, sn[i].Op, sn[i].Stats.ActCard, rn[i].Stats.ActCard)
+			}
+			if sn[i].ExclusiveActual < 0 {
+				t.Fatalf("%s/w%d: %v negative exclusive time", name, w, sn[i].Op)
+			}
+		}
+
+		// Each width is itself deterministic: a re-run reproduces the
+		// result bit for bit regardless of goroutine interleaving.
+		rs2, err := exec.NewEngine(cfg).Run(p.Clone(), nil)
+		if err != nil {
+			t.Fatalf("%s/w%d: streaming rerun: %v", name, w, err)
+		}
+		if rs2.OutputRows != rs.OutputRows || rs2.OutputChecksum != rs.OutputChecksum {
+			t.Fatalf("%s/w%d: streaming engine not deterministic", name, w)
+		}
+
+		// The symmetric-join engine reorders emissions but must preserve
+		// the output multiset: same rows, same order-insensitive checksum.
+		symCfg := cfg
+		symCfg.SymmetricJoin = true
+		rsym, err := exec.NewEngine(symCfg).Run(p.Clone(), nil)
+		if err != nil {
+			t.Fatalf("%s/w%d: symmetric-join engine: %v", name, w, err)
+		}
+		if rsym.OutputRows != rr.OutputRows || rsym.OutputChecksum != rr.OutputChecksum {
+			t.Fatalf("%s/w%d: symmetric-join engine diverged: rows %d vs %d, checksum %x vs %x",
+				name, w, rsym.OutputRows, rr.OutputRows, rsym.OutputChecksum, rr.OutputChecksum)
+		}
 	}
 }
 

@@ -1,0 +1,475 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Exchange operators connect the pipeline instances of adjacent parallel
+// stages through bounded batch channels. An exchange owns one producer
+// goroutine per upstream instance (launched lazily by the first consumer
+// Open) and hands consumers plain iterators, so the rest of the engine
+// stays pull-based and single-threaded per instance. Batches crossing an
+// exchange are copied into pooled buffers first: an upstream iterator's
+// batch is only valid until its next Next call, and the copy is what makes
+// it safe to hand to another goroutine.
+//
+// Kinds:
+//
+//   - xGather: N producers funnel into one consumer stream, arrival order.
+//   - xRoundRobin: batches rotate across consumers — multiset-preserving
+//     redistribution for elementwise consumers that don't care which rows
+//     they get.
+//   - xPartition: rows are routed by a key hash so every row group a
+//     downstream hash join or aggregate cares about lands wholly in one
+//     consumer instance.
+//   - xMerge: order-preserving gather — a k-way merge of per-producer
+//     streams that are each canonically sorted, reconstructing exactly the
+//     sequence a single-threaded sort would emit.
+type xKind int
+
+const (
+	xGather xKind = iota
+	xRoundRobin
+	xPartition
+	xMerge
+)
+
+func (k xKind) String() string {
+	switch k {
+	case xGather:
+		return "gather"
+	case xRoundRobin:
+		return "roundrobin"
+	case xPartition:
+		return "partition"
+	default:
+		return "merge"
+	}
+}
+
+// exchangeChanCap bounds each consumer channel: deep enough to decouple
+// producer and consumer scheduling hiccups, shallow enough that
+// backpressure keeps memory bounded to O(instances) batches.
+const exchangeChanCap = 4
+
+// routeFn maps a row to a consumer instance index.
+type routeFn func(cols [][]int64, i int) int
+
+type exchange struct {
+	kind    xKind
+	sources []iterator    // one producer goroutine each
+	chs     []chan *Batch // per consumer (per producer for xMerge)
+	route   routeFn       // xPartition only
+	size    int           // batch size for staging buffers
+	metrics *Metrics
+
+	start    sync.Once
+	launched atomic.Bool
+	done     chan struct{}
+	wg       sync.WaitGroup
+
+	errMu sync.Mutex
+	err   error
+
+	consumers atomic.Int32
+	rows      atomic.Int64
+	batches   atomic.Int64
+}
+
+// newExchange wires an exchange moving data from sources into nConsumers
+// downstream instances (for xMerge, channels are per producer and
+// nConsumers must be 1).
+func newExchange(kind xKind, sources []iterator, nConsumers, batchSize int, route routeFn, m *Metrics) *exchange {
+	nch := nConsumers
+	if kind == xMerge {
+		nch = len(sources)
+	}
+	x := &exchange{
+		kind:    kind,
+		sources: sources,
+		chs:     make([]chan *Batch, nch),
+		route:   route,
+		size:    batchSize,
+		metrics: m,
+		done:    make(chan struct{}),
+	}
+	chCap := exchangeChanCap
+	if kind == xMerge {
+		chCap = 2 // the merge consumer holds one batch per producer already
+	}
+	for i := range x.chs {
+		x.chs[i] = make(chan *Batch, chCap)
+	}
+	x.consumers.Store(int32(nConsumers))
+	return x
+}
+
+// launch starts the producer goroutines plus a closer that shuts every
+// channel once all producers drain — consumers detect end-of-stream as a
+// channel close, which is safe with multiple senders per channel.
+func (x *exchange) launch() {
+	x.start.Do(func() {
+		x.launched.Store(true)
+		x.wg.Add(len(x.sources))
+		for p := range x.sources {
+			go x.produce(p)
+		}
+		go func() {
+			x.wg.Wait()
+			if x.kind == xMerge {
+				return // producers closed their own channels on exit
+			}
+			for _, ch := range x.chs {
+				close(ch)
+			}
+		}()
+	})
+}
+
+func (x *exchange) fail(err error) {
+	x.errMu.Lock()
+	if x.err == nil {
+		x.err = err
+	}
+	x.errMu.Unlock()
+}
+
+// failure returns the first producer error. Callers only read it after a
+// consumer channel closed, which happens-after every producer finished.
+func (x *exchange) failure() error {
+	x.errMu.Lock()
+	defer x.errMu.Unlock()
+	return x.err
+}
+
+// send delivers a batch unless the exchange is shutting down; it reports
+// whether the producer should keep running.
+func (x *exchange) send(ch chan *Batch, b *Batch) bool {
+	n := int64(b.N) // the consumer owns b the instant the send lands
+	select {
+	case ch <- b:
+		x.rows.Add(n)
+		x.batches.Add(1)
+		return true
+	case <-x.done:
+		putBatch(b)
+		return false
+	}
+}
+
+// release is called by every consumer Close; the last one tears the
+// exchange down: wake blocked producers, wait them out (their Close
+// cascades into the upstream subtree), drain leftover batches, and flush
+// the data-movement counters.
+func (x *exchange) release() {
+	if x.consumers.Add(-1) != 0 {
+		return
+	}
+	if !x.launched.Load() {
+		// Never opened (an error unwound the tree before Open reached us):
+		// close sources synchronously so the cascade still happens.
+		for _, s := range x.sources {
+			s.Close()
+		}
+		return
+	}
+	close(x.done)
+	x.wg.Wait()
+	for _, ch := range x.chs {
+		for b := range ch {
+			putBatch(b)
+		}
+	}
+	x.metrics.recordExchange(x.kind, x.rows.Load(), x.batches.Load())
+}
+
+// produce runs one upstream instance to exhaustion, copying its batches
+// toward the consumers. The source iterator is owned by this goroutine:
+// opened, pulled and closed here, so per-instance operator state needs no
+// locking.
+func (x *exchange) produce(p int) {
+	defer x.wg.Done()
+	src := x.sources[p]
+	defer src.Close()
+	if err := src.Open(); err != nil {
+		x.fail(err)
+		return
+	}
+	switch x.kind {
+	case xPartition:
+		x.producePartition(src)
+	case xRoundRobin:
+		x.produceRoundRobin(src, p)
+	default: // xGather sends to the single channel; xMerge to its own
+		ch := x.chs[0]
+		if x.kind == xMerge {
+			// A merge channel has exactly one sender, so this producer
+			// can close it the moment its stream ends — the consumer
+			// must see per-producer end-of-stream without waiting on the
+			// other producers, or an empty stream here would deadlock a
+			// merge Open blocked behind a sibling's full channel.
+			ch = x.chs[p]
+			defer close(ch)
+		}
+		for {
+			b, err := src.Next()
+			if err != nil {
+				x.fail(err)
+				return
+			}
+			if b == nil {
+				return
+			}
+			if b.N == 0 {
+				continue
+			}
+			if !x.send(ch, copyBatch(b)) {
+				return
+			}
+		}
+	}
+}
+
+// produceRoundRobin rotates whole batches across consumers, starting at
+// the producer's own index so producers don't convoy on one channel.
+func (x *exchange) produceRoundRobin(src iterator, p int) {
+	d := p % len(x.chs)
+	for {
+		b, err := src.Next()
+		if err != nil {
+			x.fail(err)
+			return
+		}
+		if b == nil {
+			return
+		}
+		if b.N == 0 {
+			continue
+		}
+		if !x.send(x.chs[d], copyBatch(b)) {
+			return
+		}
+		d = (d + 1) % len(x.chs)
+	}
+}
+
+// producePartition routes rows by the exchange's route function, staging
+// them in one pooled batch per consumer and shipping each as it fills.
+func (x *exchange) producePartition(src iterator) {
+	nd := len(x.chs)
+	stage := make([]*Batch, nd)
+	sels := make([][]int32, nd)
+	defer func() {
+		for _, st := range stage {
+			putBatch(st)
+		}
+	}()
+	for {
+		b, err := src.Next()
+		if err != nil {
+			x.fail(err)
+			return
+		}
+		if b == nil {
+			break
+		}
+		for d := range sels {
+			sels[d] = sels[d][:0]
+		}
+		for i := 0; i < b.N; i++ {
+			d := x.route(b.Cols, i)
+			sels[d] = append(sels[d], int32(i))
+		}
+		for d, sel := range sels {
+			for len(sel) > 0 {
+				if stage[d] == nil {
+					stage[d] = getBatch(len(b.Cols), x.size)
+				}
+				st := stage[d]
+				space := x.size - st.N
+				k := len(sel)
+				if k > space {
+					k = space
+				}
+				for c := range b.Cols {
+					srcCol, dstCol := b.Cols[c], st.Cols[c]
+					for j := 0; j < k; j++ {
+						dstCol[st.N+j] = srcCol[sel[j]]
+					}
+				}
+				st.N += k
+				sel = sel[k:]
+				if st.N == x.size {
+					stage[d] = nil
+					if !x.send(x.chs[d], st) {
+						return
+					}
+				}
+			}
+		}
+	}
+	for d, st := range stage {
+		if st == nil || st.N == 0 {
+			continue
+		}
+		stage[d] = nil
+		if !x.send(x.chs[d], st) {
+			return
+		}
+	}
+}
+
+// copyBatch clones a producer-owned batch into a pooled one so it can
+// outlive the producer's next Next call.
+func copyBatch(b *Batch) *Batch {
+	out := getBatch(len(b.Cols), b.N)
+	for c := range b.Cols {
+		copy(out.Cols[c][:b.N], b.Cols[c][:b.N])
+	}
+	out.N = b.N
+	return out
+}
+
+// xRecv is the consumer-side iterator for gather, round-robin and
+// partition exchanges: instance idx of the downstream operator pulls its
+// channel until close. The previous batch recycles on each Next (the
+// standard producer-owns-until-next-Next contract, with this iterator as
+// the producer).
+type xRecv struct {
+	x   *exchange
+	idx int
+	cur *Batch
+}
+
+func (r *xRecv) Open() error {
+	r.x.launch()
+	return nil
+}
+
+func (r *xRecv) Next() (*Batch, error) {
+	putBatch(r.cur)
+	r.cur = nil
+	b, ok := <-r.x.chs[r.idx]
+	if !ok {
+		return nil, r.x.failure()
+	}
+	r.cur = b
+	return b, nil
+}
+
+func (r *xRecv) Close() {
+	putBatch(r.cur)
+	r.cur = nil
+	r.x.release()
+}
+
+// xMergeRecv is the order-preserving gather: producers each deliver a
+// canonically sorted stream on their own channel and the single consumer
+// k-way-merges them row by row. Because the comparator is the same total
+// order the sorts used (keys first, then every column), the merged
+// sequence is exactly what one big sort would have produced; ties across
+// producers are broken by producer index, which is immaterial because
+// tied rows are bit-identical under a total order.
+type xMergeRecv struct {
+	x      *exchange
+	keyIdx []int
+
+	cur []*Batch
+	pos []int
+	out *Batch
+	eof bool
+}
+
+func (r *xMergeRecv) Open() error {
+	r.x.launch()
+	n := len(r.x.chs)
+	r.cur = make([]*Batch, n)
+	r.pos = make([]int, n)
+	r.eof = false
+	for p := 0; p < n; p++ {
+		r.cur[p] = <-r.x.chs[p] // nil once closed
+	}
+	return nil
+}
+
+// advance refills producer p's head batch after its rows are consumed.
+func (r *xMergeRecv) advance(p int) {
+	putBatch(r.cur[p])
+	r.cur[p] = <-r.x.chs[p]
+	r.pos[p] = 0
+}
+
+func (r *xMergeRecv) Next() (*Batch, error) {
+	if r.eof {
+		return nil, nil
+	}
+	filled := 0
+	for {
+		best := -1
+		for p := range r.cur {
+			if r.cur[p] == nil {
+				continue
+			}
+			if best == -1 || rowLess(r.cur[p].Cols, r.pos[p], r.cur[best].Cols, r.pos[best], r.keyIdx) {
+				best = p
+			}
+		}
+		if best == -1 {
+			r.eof = true
+			if err := r.x.failure(); err != nil {
+				return nil, err
+			}
+			if filled > 0 {
+				r.out.N = filled
+				return r.out, nil
+			}
+			return nil, nil
+		}
+		b := r.cur[best]
+		if r.out == nil {
+			r.out = getBatch(len(b.Cols), r.x.size)
+		}
+		for c := range b.Cols {
+			r.out.Cols[c][filled] = b.Cols[c][r.pos[best]]
+		}
+		filled++
+		if r.pos[best]++; r.pos[best] >= b.N {
+			r.advance(best)
+		}
+		if filled == r.x.size {
+			r.out.N = filled
+			return r.out, nil
+		}
+	}
+}
+
+func (r *xMergeRecv) Close() {
+	for p := range r.cur {
+		putBatch(r.cur[p])
+		r.cur[p] = nil
+	}
+	putBatch(r.out)
+	r.out = nil
+	r.x.release()
+}
+
+// rowLess is the canonical strict order over rows from two batches: the
+// sort keys first (-1 entries compare equal), then every column in schema
+// order — mirroring colStore.compareRows so merges and sorts agree.
+func rowLess(a [][]int64, ai int, b [][]int64, bi int, keyIdx []int) bool {
+	for _, k := range keyIdx {
+		if k < 0 {
+			continue
+		}
+		if av, bv := a[k][ai], b[k][bi]; av != bv {
+			return av < bv
+		}
+	}
+	for c := range a {
+		if av, bv := a[c][ai], b[c][bi]; av != bv {
+			return av < bv
+		}
+	}
+	return false
+}

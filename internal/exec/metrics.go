@@ -14,6 +14,14 @@ type Metrics struct {
 	opSeconds [plan.NumPhysicalOps]*obs.Histogram
 	rows      [plan.NumPhysicalOps]*obs.Counter
 	batches   [plan.NumPhysicalOps]*obs.Counter
+
+	// Data movement through exchange operators, by exchange kind
+	// (gather, roundrobin, partition, merge).
+	xRows    [4]*obs.Counter
+	xBatches [4]*obs.Counter
+	// Pipeline instances launched, total across operators — the measured
+	// degree of parallelism (1 instance per operator when running width 1).
+	instances *obs.Counter
 }
 
 // NewMetrics registers the executor instruments in r (nil r yields nil,
@@ -35,7 +43,35 @@ func NewMetrics(r *obs.Registry) *Metrics {
 			"Batches emitted by streaming-executor operators, by physical operator.",
 			"op", lbl)
 	}
+	for k := xGather; k <= xMerge; k++ {
+		lbl := k.String()
+		m.xRows[k] = r.Counter("cleo_exec_exchange_rows_total",
+			"Rows moved between pipeline instances by exchange operators, by exchange kind.",
+			"kind", lbl)
+		m.xBatches[k] = r.Counter("cleo_exec_exchange_batches_total",
+			"Batches moved between pipeline instances by exchange operators, by exchange kind.",
+			"kind", lbl)
+	}
+	m.instances = r.Counter("cleo_exec_pipeline_instances_total",
+		"Pipeline instances launched by the streaming executor (one per operator per partition).")
 	return m
+}
+
+// recordExchange logs one exchange's total data movement.
+func (m *Metrics) recordExchange(kind xKind, rows, batches int64) {
+	if m == nil {
+		return
+	}
+	m.xRows[kind].Add(uint64(rows))
+	m.xBatches[kind].Add(uint64(batches))
+}
+
+// recordInstances logs pipeline instances launched for one run.
+func (m *Metrics) recordInstances(n int64) {
+	if m == nil {
+		return
+	}
+	m.instances.Add(uint64(n))
 }
 
 // record logs one operator execution.

@@ -1,0 +1,99 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// morselRows is the fixed morsel size: the unit of work a parallel scan
+// instance claims per atomic cursor bump. A morsel spans several batches so
+// the cursor is touched far less often than once per batch, while staying
+// small enough that instances load-balance even when downstream operators
+// consume at different rates.
+const morselRows = 8192
+
+// morselSource is the shared side of a parallel scan: the materialized
+// table plus an atomic claim cursor. All instances of one scan node share
+// a single source, so the table materializes once per run and rows are
+// claimed exactly once across instances — total scanned rows (and
+// therefore the scan node's ActCard) are identical to a sequential scan,
+// whatever the claim interleaving.
+type morselSource struct {
+	table string
+	sch   schema
+	rows  int64
+
+	once   sync.Once
+	src    *colStore
+	cursor atomic.Int64
+}
+
+func newMorselSource(table string, sch schema, rows int64) *morselSource {
+	return &morselSource{table: table, sch: sch, rows: rows}
+}
+
+// materialize resolves the shared table on first use. Instances open
+// concurrently from different producer goroutines; the first one in
+// materializes, the rest wait.
+func (m *morselSource) materialize() *colStore {
+	m.once.Do(func() { m.src = materializeTable(m.table, m.sch, m.rows) })
+	return m.src
+}
+
+// claim returns the next unclaimed [start, end) morsel, or start >= end
+// when the table is exhausted.
+func (m *morselSource) claim() (start, end int64) {
+	start = m.cursor.Add(morselRows) - morselRows
+	end = start + morselRows
+	if end > m.rows {
+		end = m.rows
+	}
+	return start, end
+}
+
+// morselScanIter is one instance of a parallel scan: it claims morsels
+// from the shared source and emits them batch by batch, each batch
+// aliasing the immutable materialization (zero copies, same read-only
+// contract as scanIter).
+type morselScanIter struct {
+	src       *morselSource
+	batchSize int
+
+	cs       *colStore
+	pos, end int64
+	out      Batch
+}
+
+func newMorselScanIter(src *morselSource, batchSize int) *morselScanIter {
+	return &morselScanIter{src: src, batchSize: batchSize}
+}
+
+func (s *morselScanIter) Open() error {
+	s.cs = s.src.materialize()
+	s.out.Cols = make([][]int64, len(s.src.sch))
+	s.pos, s.end = 0, 0
+	return nil
+}
+
+func (s *morselScanIter) Next() (*Batch, error) {
+	if s.pos >= s.end {
+		s.pos, s.end = s.src.claim()
+		if s.pos >= s.end {
+			return nil, nil
+		}
+	}
+	n := int64(s.batchSize)
+	if rem := s.end - s.pos; n > rem {
+		n = rem
+	}
+	for c := range s.out.Cols {
+		s.out.Cols[c] = s.cs.cols[c][s.pos : s.pos+n]
+	}
+	s.out.N = int(n)
+	s.pos += n
+	return &s.out, nil
+}
+
+func (s *morselScanIter) Close() {
+	s.cs = nil
+}

@@ -3,7 +3,9 @@ package exec
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strconv"
+	"sync"
 	"time"
 
 	"cleo/internal/obs"
@@ -19,6 +21,13 @@ type StreamConfig struct {
 	// cardinalities, and the cap keeps single-process execution bounded
 	// while preserving plan shape.
 	MaxTableRows int
+	// MaxWorkers caps the pipeline instances per stage (default
+	// GOMAXPROCS): each stage runs min(stage partitions, MaxWorkers)
+	// concurrent instances connected by exchange operators. 1 disables
+	// intra-query parallelism entirely — plans compile to a single
+	// iterator tree on the calling goroutine, with no channels and no
+	// extra goroutines.
+	MaxWorkers int
 	// SymmetricJoin lets the planner pick the non-blocking symmetric hash
 	// join when both inputs are fully pipelined and no order-sensitive
 	// operator consumes the output. Off by default: the classic
@@ -36,12 +45,20 @@ type StreamConfig struct {
 // MaxTableRows zero.
 const DefaultMaxTableRows = 50000
 
-// Engine is the real executor: it compiles a physical plan into a tree of
-// pull-based, batch-at-a-time iterators over deterministic generated
-// tables and runs it to exhaustion in-process. Per-operator exclusive
-// wall-clock time lands in ExclusiveActual and observed row counts in
-// Stats.ActCard — the measured telemetry the learned cost models train
-// on, closing the feedback loop the simulator only imitates.
+// maxWorkersCap is the hard ceiling on per-request worker overrides; a
+// single process gains nothing from more pipeline instances than this.
+const maxWorkersCap = 256
+
+// Engine is the real executor: it compiles a physical plan into pipeline
+// instances of pull-based, batch-at-a-time iterators over deterministic
+// generated tables and runs them to exhaustion in-process. Each stage of
+// the plan runs as up to MaxWorkers concurrent instances — morsel-driven
+// parallel scans at the leaves, hash-partitioned joins and aggregates
+// above them — connected by exchange operators over bounded channels.
+// Per-operator exclusive wall-clock time lands in ExclusiveActual and
+// observed row counts in Stats.ActCard — the measured telemetry the
+// learned cost models train on, closing the feedback loop the simulator
+// only imitates.
 //
 // An Engine is stateless and safe for concurrent use; every Run builds a
 // fresh iterator tree.
@@ -57,7 +74,29 @@ func NewEngine(cfg StreamConfig) *Engine {
 	if cfg.MaxTableRows <= 0 {
 		cfg.MaxTableRows = DefaultMaxTableRows
 	}
+	if cfg.MaxWorkers <= 0 {
+		cfg.MaxWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxWorkers > maxWorkersCap {
+		cfg.MaxWorkers = maxWorkersCap
+	}
 	return &Engine{cfg: cfg}
+}
+
+// MaxWorkers reports the engine's effective per-stage worker clamp.
+func (e *Engine) MaxWorkers() int { return e.cfg.MaxWorkers }
+
+// WithMaxWorkers returns an engine sharing this one's configuration with
+// the worker clamp overridden — the per-request parallelism knob. n <= 0
+// falls back to GOMAXPROCS. The receiver is unchanged (engines are
+// stateless, so the copy is cheap and safe).
+func (e *Engine) WithMaxWorkers(n int) *Engine {
+	cfg := e.cfg
+	cfg.MaxWorkers = 0
+	if n > 0 {
+		cfg.MaxWorkers = n
+	}
+	return NewEngine(cfg)
 }
 
 // Run implements Backend. rng is unused: real execution has no synthetic
@@ -67,32 +106,50 @@ func (e *Engine) Run(root *plan.Physical, rng *rand.Rand) (Result, error) {
 }
 
 // RunTraced implements TracedBackend: per-operator spans (exclusive time,
-// rows, batches) attach under parent, mirroring the plan tree.
+// rows, batches, instances) attach under parent, mirroring the plan tree.
 func (e *Engine) RunTraced(root *plan.Physical, rng *rand.Rand, tr *obs.Trace, parent obs.SpanID) (Result, error) {
 	return e.run(root, tr, parent)
 }
 
-// opIter wraps an operator's iterator with inclusive wall-clock and
-// output accounting. Children are wrapped too, so a parent's inclusive
-// time minus its children's inclusive time is the operator's exclusive
-// time — the quantity telemetry records.
-type opIter struct {
-	node    *plan.Physical
+// nodeAcct accumulates the measured actuals of one plan operator across
+// all of its pipeline instances. Instances flush their local counters
+// exactly once, at Close, under the mutex; by the time finalize reads an
+// acct every producer goroutine has exited (exchange teardown waits for
+// them), so the totals are complete and race-free.
+type nodeAcct struct {
+	mu        sync.Mutex
+	rows      int64
+	batches   int64
+	sumExclNs int64 // total operator-seconds across instances
+	maxExclNs int64 // slowest instance — the critical-path time
+	instances int64
+}
+
+// instIter wraps one pipeline instance of an operator with inclusive
+// wall-clock and output accounting. kids are the same-goroutine child
+// wrappers feeding it (exchange receivers for a stage input, operator
+// instances within a fused pipeline): subtracting their inclusive time
+// yields this instance's exclusive time. Counters are plain fields — each
+// instance is pulled by exactly one goroutine — and flush to the shared
+// acct once, at Close.
+type instIter struct {
+	acct    *nodeAcct // nil: timed (so parents subtract) but unattributed
 	inner   iterator
-	kids    []*opIter
+	kids    []*instIter
 	tNs     int64
 	rows    int64
 	batches int64
+	flushed bool
 }
 
-func (o *opIter) Open() error {
+func (o *instIter) Open() error {
 	t0 := time.Now()
 	err := o.inner.Open()
 	o.tNs += int64(time.Since(t0))
 	return err
 }
 
-func (o *opIter) Next() (*Batch, error) {
+func (o *instIter) Next() (*Batch, error) {
 	t0 := time.Now()
 	b, err := o.inner.Next()
 	o.tNs += int64(time.Since(t0))
@@ -103,17 +160,49 @@ func (o *opIter) Next() (*Batch, error) {
 	return b, err
 }
 
-func (o *opIter) Close() {
+func (o *instIter) Close() {
 	t0 := time.Now()
 	o.inner.Close()
 	o.tNs += int64(time.Since(t0))
+	if o.flushed {
+		return
+	}
+	o.flushed = true
+	// inner.Close has closed the kids, so their inclusive times are final.
+	var kidNs int64
+	for _, k := range o.kids {
+		kidNs += k.tNs
+	}
+	exclNs := o.tNs - kidNs
+	if exclNs < 0 {
+		exclNs = 0 // clock granularity can round a cheap wrapper below its children
+	}
+	if o.acct == nil {
+		return
+	}
+	a := o.acct
+	a.mu.Lock()
+	a.rows += o.rows
+	a.batches += o.batches
+	a.sumExclNs += exclNs
+	if exclNs > a.maxExclNs {
+		a.maxExclNs = exclNs
+	}
+	a.instances++
+	a.mu.Unlock()
 }
 
 func (e *Engine) run(root *plan.Physical, tr *obs.Trace, parent obs.SpanID) (Result, error) {
 	t0 := time.Now()
 	preds := compilePreds(root)
-	sch := scanSchema(root, preds)
-	top, _, err := e.build(root, sch, preds, false)
+	c := &compiler{
+		cfg:    &e.cfg,
+		preds:  preds,
+		sch:    scanSchema(root, preds),
+		widths: plan.PipelineWidths(root, e.cfg.MaxWorkers),
+		accts:  map[*plan.Physical]*nodeAcct{},
+	}
+	top, _, err := c.compileOne(root, false)
 	if err != nil {
 		return Result{}, err
 	}
@@ -136,6 +225,9 @@ func (e *Engine) run(root *plan.Physical, tr *obs.Trace, parent obs.SpanID) (Res
 		}
 		rows += uint64(b.N)
 	}
+	// Closing the top cascades through every exchange: producers are woken
+	// and waited out, so all instance accounting has flushed when Close
+	// returns.
 	top.Close()
 
 	res := Result{
@@ -143,39 +235,41 @@ func (e *Engine) run(root *plan.Physical, tr *obs.Trace, parent obs.SpanID) (Res
 		OutputRows:     rows,
 		OutputChecksum: chk,
 	}
-	e.finish(top, tr, parent, &res)
+	c.finalize(root, tr, parent, &res)
+	e.cfg.Metrics.recordInstances(c.nInstances)
 	for _, st := range plan.Stages(root) {
 		res.Containers += st.Partitions
 	}
 	return res, nil
 }
 
-// finish walks the wrapper tree bottom-up: it computes each operator's
-// exclusive time, writes the measured actuals back onto the plan (the
-// telemetry extractor reads ExclusiveActual and Stats.ActCard), records
-// metrics, and emits trace spans nested like the plan.
-func (e *Engine) finish(o *opIter, tr *obs.Trace, parent obs.SpanID, res *Result) {
-	var kidNs int64
-	for _, k := range o.kids {
-		kidNs += k.tNs
+// finalize walks the plan tree writing the measured actuals back onto it:
+// ActCard is the row total across an operator's instances (bit-identical
+// to a sequential run — partitioning never creates or drops rows),
+// ExclusiveActual is the slowest instance's exclusive time (the
+// critical-path cost a learned model should predict for a parallel
+// stage), and TotalProcessingTime accumulates operator-seconds across all
+// instances (the container-time a cluster would bill). Trace spans nest
+// like the plan.
+func (c *compiler) finalize(n *plan.Physical, tr *obs.Trace, parent obs.SpanID, res *Result) {
+	a := c.accts[n]
+	if a == nil {
+		a = &nodeAcct{}
 	}
-	exclNs := o.tNs - kidNs
-	if exclNs < 0 {
-		exclNs = 0 // clock granularity can round a cheap wrapper below its children
-	}
-	o.node.ExclusiveActual = float64(exclNs) / 1e9
-	o.node.Stats.ActCard = float64(o.rows)
-	res.TotalProcessingTime += o.node.ExclusiveActual
-	e.cfg.Metrics.record(o.node.Op, time.Duration(exclNs), o.rows, o.batches)
+	n.ExclusiveActual = float64(a.maxExclNs) / 1e9
+	n.Stats.ActCard = float64(a.rows)
+	res.TotalProcessingTime += float64(a.sumExclNs) / 1e9
+	c.cfg.Metrics.record(n.Op, time.Duration(a.sumExclNs), a.rows, a.batches)
 	span := parent
 	if tr != nil {
-		span = tr.Add(parent, "exec:"+o.node.Op.String(), -1, exclNs,
-			"rows", strconv.FormatInt(o.rows, 10),
-			"batches", strconv.FormatInt(o.batches, 10),
+		span = tr.Add(parent, "exec:"+n.Op.String(), -1, a.maxExclNs,
+			"rows", strconv.FormatInt(a.rows, 10),
+			"batches", strconv.FormatInt(a.batches, 10),
+			"instances", strconv.FormatInt(a.instances, 10),
 		)
 	}
-	for _, k := range o.kids {
-		e.finish(k, tr, span, res)
+	for _, k := range n.Children {
+		c.finalize(k, tr, span, res)
 	}
 }
 
@@ -266,140 +360,528 @@ func joinSizeHint(n *plan.Physical, maxRows int) int {
 	return int(r)
 }
 
-// build compiles the plan subtree into a wrapped iterator tree and
-// returns it with its output schema. orderSensitive tracks whether any
-// ancestor between here and the nearest order-canonicalizing operator
-// (sort, top-n, merge join) depends on row order — under such an
+// canonicalOrdered reports whether the subtree's compiled output arrives
+// in the exact order a sequential run would produce, even at width > 1:
+// true when it is topped (through order-preserving unary operators) by an
+// operator whose parallel form emits a canonically ordered single stream
+// — a sort (merge-gathered), top-n or merge join (single-instance). A
+// stream aggregate may only consume such input; anything else compiles
+// its subtree sequentially.
+func canonicalOrdered(n *plan.Physical) bool {
+	switch n.Op {
+	case plan.PSort, plan.PTopN, plan.PMergeJoin:
+		return true
+	case plan.PFilter, plan.PProject, plan.PProcess, plan.PStreamAggregate,
+		plan.PExchange, plan.POutput:
+		return len(n.Children) == 1 && canonicalOrdered(n.Children[0])
+	default:
+		return false
+	}
+}
+
+// Route salts decorrelate exchange routing from the hashes the receiving
+// operators use internally, so partition skew in one doesn't echo in the
+// other.
+const (
+	joinRouteSalt = 0xd1b54a32d192ed03
+	aggRouteSalt  = 0x8bb84b93962eacc9
+)
+
+// pset is a compiled subtree: one iterator per pipeline instance, all
+// emitting the same schema. Instance multiplicity is the stage's width;
+// parents either map over instances 1:1 (elementwise operators) or merge
+// and redistribute them through exchanges (stage boundaries).
+type pset struct {
+	its []*instIter
+	sch schema
+}
+
+// compiler turns a physical plan into pipeline instances. It carries the
+// per-run state: the global scan schema, compiled predicates, per-stage
+// widths, and the accounting ledger. seq forces sequential (width-1)
+// compilation for subtrees whose row order must match a sequential run.
+type compiler struct {
+	cfg        *StreamConfig
+	preds      map[*plan.Physical]*Pred
+	sch        schema
+	widths     map[*plan.Physical]int
+	accts      map[*plan.Physical]*nodeAcct
+	seq        bool
+	nInstances int64
+}
+
+// width resolves an operator's pipeline width: its stage's clamped
+// partition count, or 1 under sequential compilation.
+func (c *compiler) width(n *plan.Physical) int {
+	if c.seq {
+		return 1
+	}
+	if w := c.widths[n]; w > 1 {
+		return w
+	}
+	return 1
+}
+
+// wrap ties an iterator instance to its operator's accounting (n == nil
+// leaves it unattributed: timed so parents can subtract it, recorded
+// nowhere).
+func (c *compiler) wrap(n *plan.Physical, inner iterator, kids []*instIter) *instIter {
+	var a *nodeAcct
+	if n != nil {
+		a = c.accts[n]
+		if a == nil {
+			a = &nodeAcct{}
+			c.accts[n] = a
+		}
+	}
+	c.nInstances++
+	return &instIter{acct: a, inner: inner, kids: kids}
+}
+
+func iterators(its []*instIter) []iterator {
+	out := make([]iterator, len(its))
+	for i, it := range its {
+		out[i] = it
+	}
+	return out
+}
+
+// gatherTo funnels a multi-instance subtree into one stream, attributing
+// the movement to node n (an in-plan exchange) when given.
+func (c *compiler) gatherTo(p pset, n *plan.Physical) *instIter {
+	x := newExchange(xGather, iterators(p.its), 1, c.cfg.BatchSize, nil, c.cfg.Metrics)
+	return c.wrap(n, &xRecv{x: x, idx: 0}, nil)
+}
+
+// one collapses a compiled subtree to a single stream: a width-1 subtree
+// passes through (via an attributed pass when it sat under an in-plan
+// exchange), anything wider gathers.
+func (c *compiler) one(p pset, n *plan.Physical) *instIter {
+	if len(p.its) == 1 {
+		if n != nil {
+			return c.wrap(n, &passIter{child: p.its[0]}, p.its[:1])
+		}
+		return p.its[0]
+	}
+	return c.gatherTo(p, n)
+}
+
+// partitionTo hash-repartitions a subtree's rows onto w consumer streams,
+// all rows with equal routing hash landing in the same stream. Receivers
+// are attributed to node n (nil for implicit repartitions the plan has no
+// exchange operator for).
+func (c *compiler) partitionTo(p pset, w int, route routeFn, n *plan.Physical) []*instIter {
+	x := newExchange(xPartition, iterators(p.its), w, c.cfg.BatchSize, route, c.cfg.Metrics)
+	recvs := make([]*instIter, w)
+	for i := range recvs {
+		recvs[i] = c.wrap(n, &xRecv{x: x, idx: i}, nil)
+	}
+	return recvs
+}
+
+// lookThrough resolves a hash operator's input: when the child is an
+// in-plan exchange the operator repartitions anyway, so the exchange's
+// own subtree is compiled directly and the node is returned for the
+// repartition to be attributed to (its receivers then count exactly the
+// rows the reference evaluator attributes to the exchange).
+func (c *compiler) lookThrough(n *plan.Physical, os bool) (pset, *plan.Physical, error) {
+	if n.Op == plan.PExchange && len(n.Children) == 1 {
+		p, err := c.compile(n.Children[0], os)
+		return p, n, err
+	}
+	p, err := c.compile(n, os)
+	return p, nil, err
+}
+
+// compileOne compiles a subtree and collapses it to a single stream.
+func (c *compiler) compileOne(n *plan.Physical, os bool) (*instIter, schema, error) {
+	p, x, err := c.lookThrough(n, os)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c.one(p, x), p.sch, nil
+}
+
+// compile builds the pipeline instances for a subtree. orderSensitive
+// (os) tracks whether any ancestor between here and the nearest
+// order-canonicalizing operator depends on row order — under such an
 // ancestor the symmetric hash join (whose emission order depends on
 // arrival interleaving) is not eligible and the classic hash join runs
 // instead.
-func (e *Engine) build(n *plan.Physical, sch schema, preds map[*plan.Physical]*Pred, orderSensitive bool) (*opIter, schema, error) {
-	bs := e.cfg.BatchSize
-	childSensitive := orderSensitive
+func (c *compiler) compile(n *plan.Physical, os bool) (pset, error) {
+	bs := c.cfg.BatchSize
+	childOS := os
 	switch n.Op {
 	case plan.PSort, plan.PTopN, plan.PMergeJoin:
-		childSensitive = false
+		childOS = false
 	case plan.PStreamAggregate:
-		childSensitive = true
-	}
-	kids := make([]*opIter, len(n.Children))
-	kidSch := make([]schema, len(n.Children))
-	for i, c := range n.Children {
-		k, ks, err := e.build(c, sch, preds, childSensitive)
-		if err != nil {
-			return nil, nil, err
-		}
-		kids[i], kidSch[i] = k, ks
+		childOS = true
 	}
 
-	if len(kids) == 0 {
+	if len(n.Children) == 0 {
 		// Any leaf scans its generated table, whatever the operator kind.
-		inner := newScanIter(n.Table, scanRows(n, e.cfg.MaxTableRows), sch, bs)
-		return &opIter{node: n, inner: inner}, sch, nil
+		// Parallel scans share one morsel source: the materialized table
+		// carved into fixed-size row ranges claimed via an atomic cursor,
+		// so instances load-balance instead of pre-splitting.
+		w := c.width(n)
+		rows := scanRows(n, c.cfg.MaxTableRows)
+		if w == 1 {
+			return pset{its: []*instIter{c.wrap(n, newScanIter(n.Table, rows, c.sch, bs), nil)}, sch: c.sch}, nil
+		}
+		src := newMorselSource(n.Table, c.sch, rows)
+		its := make([]*instIter, w)
+		for i := range its {
+			its[i] = c.wrap(n, newMorselScanIter(src, bs), nil)
+		}
+		return pset{its: its, sch: c.sch}, nil
 	}
 
-	var inner iterator
-	out := kidSch[0]
 	switch n.Op {
 	case plan.PFilter:
-		p := preds[n]
-		if p == nil {
-			p = CompilePred(n.Pred)
+		p, err := c.compile(n.Children[0], childOS)
+		if err != nil {
+			return pset{}, err
 		}
-		inner = &filterIter{child: kids[0], pred: p.Bind(kidSch[0])}
+		pr := c.preds[n]
+		if pr == nil {
+			pr = CompilePred(n.Pred)
+		}
+		return c.elementwise(n, p, func(kid *instIter) iterator {
+			return &filterIter{child: kid, pred: pr.Bind(p.sch)}
+		}), nil
 
 	case plan.PProject:
-		out = projectSchema(n.Keys, kidSch[0])
-		if out.equal(kidSch[0]) {
-			inner = &passIter{child: kids[0]}
-		} else {
-			inner = newProjectIter(kids[0], kidSch[0], out)
+		p, err := c.compile(n.Children[0], childOS)
+		if err != nil {
+			return pset{}, err
 		}
+		out := projectSchema(n.Keys, p.sch)
+		if out.equal(p.sch) {
+			return c.elementwise(n, p, func(kid *instIter) iterator {
+				return &passIter{child: kid}
+			}), nil
+		}
+		res := c.elementwise(n, p, func(kid *instIter) iterator {
+			return newProjectIter(kid, p.sch, out)
+		})
+		res.sch = out
+		return res, nil
+
+	case plan.PProcess:
+		p, err := c.compile(n.Children[0], childOS)
+		if err != nil {
+			return pset{}, err
+		}
+		return c.elementwise(n, p, func(kid *instIter) iterator {
+			return newProcessIter(kid, n.UDF, p.sch, bs)
+		}), nil
 
 	case plan.PHashJoin, plan.PMergeJoin:
-		if len(kids) < 2 {
-			inner = &passIter{child: kids[0]}
-			break
-		}
-		lKey := sortKeyIdx(n.Keys, kidSch[0])
-		rKey := sortKeyIdx(n.Keys, kidSch[1])
-		lVal, rVal := kidSch[0].valIndex(), kidSch[1].valIndex()
-		nCols := len(kidSch[0])
-		if n.Op == plan.PMergeJoin {
-			inner = &mergeJoinIter{
-				left: kids[0], right: kids[1],
-				lKey: lKey, rKey: rKey, lVal: lVal, rVal: rVal,
-				nCols: nCols, size: bs,
-			}
-			break
-		}
-		hint := joinSizeHint(n.Children[1], e.cfg.MaxTableRows)
-		if e.cfg.SymmetricJoin && !orderSensitive &&
-			streamsOnly(n.Children[0]) && streamsOnly(n.Children[1]) {
-			inner = &symmetricHashJoinIter{
-				left: kids[0], right: kids[1],
-				lKey: lKey, rKey: rKey, lVal: lVal, rVal: rVal,
-				nCols: nCols, sizeHint: hint, size: bs,
-			}
-		} else {
-			inner = &hashJoinIter{
-				left: kids[0], right: kids[1],
-				lKey: lKey, rKey: rKey, lVal: lVal, rVal: rVal,
-				nCols: nCols, sizeHint: hint, size: bs,
-			}
-		}
+		return c.compileJoin(n, os, childOS)
 
 	case plan.PHashAggregate, plan.PPartialAggregate:
-		out = aggSchema(n)
-		extra := int64(0)
-		if n.Op == plan.PPartialAggregate {
-			extra = partialBuckets
-		}
-		inner = &hashAggIter{
-			child:  kids[0],
-			keyIdx: sortKeyIdx(out[:len(out)-2], kidSch[0]),
-			valIdx: kidSch[0].valIndex(),
-			size:   bs, extraBuckets: extra,
-		}
+		return c.compileHashAgg(n, childOS)
 
 	case plan.PStreamAggregate:
-		out = aggSchema(n)
-		inner = &streamAggIter{
-			child:  kids[0],
-			keyIdx: sortKeyIdx(out[:len(out)-2], kidSch[0]),
-			valIdx: kidSch[0].valIndex(),
-			size:   bs,
-		}
+		return c.compileStreamAgg(n, childOS)
 
 	case plan.PSort:
-		inner = &sortIter{child: kids[0], keyIdx: sortKeyIdx(n.Keys, kidSch[0]), size: bs}
+		p, err := c.compile(n.Children[0], childOS)
+		if err != nil {
+			return pset{}, err
+		}
+		keyIdx := sortKeyIdx(n.Keys, p.sch)
+		insts := make([]*instIter, len(p.its))
+		for i, kid := range p.its {
+			insts[i] = c.wrap(n, &sortIter{child: kid, keyIdx: keyIdx, size: bs}, []*instIter{kid})
+		}
+		if len(insts) == 1 {
+			return pset{its: insts, sch: p.sch}, nil
+		}
+		// Per-instance canonical sorts merge-gather into the exact global
+		// order a single sort would emit (the comparator is the same total
+		// order), so consumers cannot tell parallel and sequential apart.
+		x := newExchange(xMerge, iterators(insts), 1, bs, nil, c.cfg.Metrics)
+		merged := c.wrap(nil, &xMergeRecv{x: x, keyIdx: keyIdx}, nil)
+		return pset{its: []*instIter{merged}, sch: p.sch}, nil
 
 	case plan.PTopN:
+		kid, sch, err := c.compileOne(n.Children[0], childOS)
+		if err != nil {
+			return pset{}, err
+		}
 		limit := n.N
 		if limit <= 0 {
 			limit = 100
 		}
-		inner = &topNIter{child: kids[0], keyIdx: sortKeyIdx(n.Keys, kidSch[0]), n: limit, size: bs}
+		it := c.wrap(n, &topNIter{child: kid, keyIdx: sortKeyIdx(n.Keys, sch), n: limit, size: bs}, []*instIter{kid})
+		return pset{its: []*instIter{it}, sch: sch}, nil
 
 	case plan.PUnionAll:
-		children := make([]iterator, len(kids))
-		for i, k := range kids {
-			if kidSch[i].equal(out) {
-				children[i] = k
-			} else {
-				children[i] = newAdaptIter(k, kidSch[i], out)
-			}
+		return c.compileUnion(n, childOS)
+
+	case plan.PExchange:
+		return c.compileExchange(n, childOS)
+
+	case plan.POutput:
+		p, err := c.compile(n.Children[0], childOS)
+		if err != nil {
+			return pset{}, err
 		}
-		inner = &unionIter{children: children}
-
-	case plan.PProcess:
-		inner = newProcessIter(kids[0], n.UDF, kidSch[0], bs)
-
-	case plan.PExchange, plan.POutput:
-		inner = &passIter{child: kids[0]}
+		return c.elementwise(n, p, func(kid *instIter) iterator {
+			return &passIter{child: kid}
+		}), nil
 
 	default:
-		return nil, nil, fmt.Errorf("exec: streaming engine cannot execute operator %v", n.Op)
+		return pset{}, fmt.Errorf("exec: streaming engine cannot execute operator %v", n.Op)
 	}
-	return &opIter{node: n, inner: inner, kids: kids}, out, nil
+}
+
+// elementwise maps an operator over its child's instances 1:1 — no data
+// movement, each instance fused into its child's pipeline.
+func (c *compiler) elementwise(n *plan.Physical, p pset, mk func(kid *instIter) iterator) pset {
+	its := make([]*instIter, len(p.its))
+	for i, kid := range p.its {
+		its[i] = c.wrap(n, mk(kid), []*instIter{kid})
+	}
+	return pset{its: its, sch: p.sch}
+}
+
+// compileExchange handles an exchange consumed by an operator with no
+// repartitioning needs of its own. A width-1 input passes through
+// (redistributing one shrunken stream isn't worth the copies, and it
+// preserves canonical order above sorts); otherwise rows gather to one
+// stream or rotate round-robin onto the exchange's width.
+func (c *compiler) compileExchange(n *plan.Physical, os bool) (pset, error) {
+	p, err := c.compile(n.Children[0], os)
+	if err != nil {
+		return pset{}, err
+	}
+	w := c.width(n)
+	wc := len(p.its)
+	switch {
+	case wc == 1:
+		return pset{its: []*instIter{c.wrap(n, &passIter{child: p.its[0]}, p.its[:1])}, sch: p.sch}, nil
+	case w == 1:
+		return pset{its: []*instIter{c.gatherTo(p, n)}, sch: p.sch}, nil
+	case w == wc:
+		// Same width on both sides: fuse into the producing pipelines.
+		return c.elementwise(n, p, func(kid *instIter) iterator {
+			return &passIter{child: kid}
+		}), nil
+	default:
+		x := newExchange(xRoundRobin, iterators(p.its), w, c.cfg.BatchSize, nil, c.cfg.Metrics)
+		recvs := make([]*instIter, w)
+		for i := range recvs {
+			recvs[i] = c.wrap(n, &xRecv{x: x, idx: i}, nil)
+		}
+		return pset{its: recvs, sch: p.sch}, nil
+	}
+}
+
+func (c *compiler) compileUnion(n *plan.Physical, childOS bool) (pset, error) {
+	kids := make([]pset, len(n.Children))
+	allOne := true
+	for i, ch := range n.Children {
+		p, err := c.compile(ch, childOS)
+		if err != nil {
+			return pset{}, err
+		}
+		kids[i] = p
+		if len(p.its) != 1 {
+			allOne = false
+		}
+	}
+	out := kids[0].sch
+	if allOne {
+		// Sequential concatenation, exactly like a width-1 run.
+		children := make([]iterator, len(kids))
+		tops := make([]*instIter, len(kids))
+		for i, p := range kids {
+			tops[i] = p.its[0]
+			if p.sch.equal(out) {
+				children[i] = p.its[0]
+			} else {
+				children[i] = newAdaptIter(p.its[0], p.sch, out)
+			}
+		}
+		return pset{its: []*instIter{c.wrap(n, &unionIter{children: children}, tops)}, sch: out}, nil
+	}
+	// Parallel branches just pool their instances: union-all has no
+	// ordering or matching obligations, so no data movement is needed.
+	var its []*instIter
+	for _, p := range kids {
+		for _, kid := range p.its {
+			var inner iterator = &passIter{child: kid}
+			if !p.sch.equal(out) {
+				inner = newAdaptIter(kid, p.sch, out)
+			}
+			its = append(its, c.wrap(n, inner, []*instIter{kid}))
+		}
+	}
+	return pset{its: its, sch: out}, nil
+}
+
+func (c *compiler) compileJoin(n *plan.Physical, os, childOS bool) (pset, error) {
+	if len(n.Children) < 2 {
+		p, err := c.compile(n.Children[0], childOS)
+		if err != nil {
+			return pset{}, err
+		}
+		return c.elementwise(n, p, func(kid *instIter) iterator {
+			return &passIter{child: kid}
+		}), nil
+	}
+	lp, lx, err := c.lookThrough(n.Children[0], childOS)
+	if err != nil {
+		return pset{}, err
+	}
+	rp, rx, err := c.lookThrough(n.Children[1], childOS)
+	if err != nil {
+		return pset{}, err
+	}
+	lKey := sortKeyIdx(n.Keys, lp.sch)
+	rKey := sortKeyIdx(n.Keys, rp.sch)
+	lVal, rVal := lp.sch.valIndex(), rp.sch.valIndex()
+	nCols := len(lp.sch)
+
+	if n.Op == plan.PMergeJoin {
+		// Merge joins drain and canonically sort both inputs; they run as
+		// one instance so their output is a single canonical stream.
+		l, r := c.one(lp, lx), c.one(rp, rx)
+		it := c.wrap(n, &mergeJoinIter{
+			left: l, right: r,
+			lKey: lKey, rKey: rKey, lVal: lVal, rVal: rVal,
+			nCols: nCols, size: c.cfg.BatchSize,
+		}, []*instIter{l, r})
+		return pset{its: []*instIter{it}, sch: lp.sch}, nil
+	}
+
+	hint := joinSizeHint(n.Children[1], c.cfg.MaxTableRows)
+	if c.cfg.SymmetricJoin && !os &&
+		streamsOnly(n.Children[0]) && streamsOnly(n.Children[1]) {
+		// The symmetric join's whole point is reacting to either input as
+		// it arrives; splitting it would interleave per-instance, so it
+		// stays single-instance over live gathered streams.
+		l, r := c.one(lp, lx), c.one(rp, rx)
+		it := c.wrap(n, &symmetricHashJoinIter{
+			left: l, right: r,
+			lKey: lKey, rKey: rKey, lVal: lVal, rVal: rVal,
+			nCols: nCols, sizeHint: hint, size: c.cfg.BatchSize,
+		}, []*instIter{l, r})
+		return pset{its: []*instIter{it}, sch: lp.sch}, nil
+	}
+
+	w := c.width(n)
+	if w == 1 {
+		l, r := c.one(lp, lx), c.one(rp, rx)
+		it := c.wrap(n, &hashJoinIter{
+			left: l, right: r,
+			lKey: lKey, rKey: rKey, lVal: lVal, rVal: rVal,
+			nCols: nCols, sizeHint: hint, size: c.cfg.BatchSize,
+		}, []*instIter{l, r})
+		return pset{its: []*instIter{it}, sch: lp.sch}, nil
+	}
+
+	// Partitioned parallel join: both inputs repartition by the same
+	// join-key hash, so every key's rows meet in exactly one instance and
+	// the union of instance outputs is exactly the sequential join's
+	// output multiset. The movement is attributed to the in-plan exchange
+	// children when present — the same rows the reference evaluator counts
+	// through them.
+	lRecv := c.partitionTo(lp, w, keyRoute(lKey, joinRouteSalt, w), lx)
+	rRecv := c.partitionTo(rp, w, keyRoute(rKey, joinRouteSalt, w), rx)
+	perHint := hint/w + 16
+	its := make([]*instIter, w)
+	for i := 0; i < w; i++ {
+		its[i] = c.wrap(n, &hashJoinIter{
+			left: lRecv[i], right: rRecv[i],
+			lKey: lKey, rKey: rKey, lVal: lVal, rVal: rVal,
+			nCols: nCols, sizeHint: perHint, size: c.cfg.BatchSize,
+		}, []*instIter{lRecv[i], rRecv[i]})
+	}
+	return pset{its: its, sch: lp.sch}, nil
+}
+
+func (c *compiler) compileHashAgg(n *plan.Physical, childOS bool) (pset, error) {
+	p, x, err := c.lookThrough(n.Children[0], childOS)
+	if err != nil {
+		return pset{}, err
+	}
+	out := aggSchema(n)
+	keyIdx := sortKeyIdx(out[:len(out)-2], p.sch)
+	valIdx := p.sch.valIndex()
+	extra := int64(0)
+	if n.Op == plan.PPartialAggregate {
+		extra = partialBuckets
+	}
+	mk := func(kid *instIter) *instIter {
+		return c.wrap(n, &hashAggIter{
+			child:  kid,
+			keyIdx: keyIdx,
+			valIdx: valIdx,
+			size:   c.cfg.BatchSize, extraBuckets: extra,
+		}, []*instIter{kid})
+	}
+	w := c.width(n)
+	if w == 1 {
+		return pset{its: []*instIter{mk(c.one(p, x))}, sch: out}, nil
+	}
+	// Parallel aggregation repartitions on the grouping hash — including
+	// the partial aggregate's sub-group bucket — so each group lives
+	// wholly in one instance and the concatenated group sets are exactly
+	// the sequential run's.
+	recvs := c.partitionTo(p, w, aggRoute(keyIdx, extra, w), x)
+	its := make([]*instIter, w)
+	for i, r := range recvs {
+		its[i] = mk(r)
+	}
+	return pset{its: its, sch: out}, nil
+}
+
+func (c *compiler) compileStreamAgg(n *plan.Physical, childOS bool) (pset, error) {
+	// A stream aggregate groups runs of consecutive equal keys, so its
+	// input order must be exactly the sequential run's. Canonically
+	// ordered subtrees provide that at any width (sorts merge-gather);
+	// anything else compiles sequentially.
+	child := n.Children[0]
+	prevSeq := c.seq
+	if !canonicalOrdered(child) {
+		c.seq = true
+	}
+	kid, sch, err := c.compileOne(child, childOS)
+	c.seq = prevSeq
+	if err != nil {
+		return pset{}, err
+	}
+	out := aggSchema(n)
+	it := c.wrap(n, &streamAggIter{
+		child:  kid,
+		keyIdx: sortKeyIdx(out[:len(out)-2], sch),
+		valIdx: sch.valIndex(),
+		size:   c.cfg.BatchSize,
+	}, []*instIter{kid})
+	return pset{its: []*instIter{it}, sch: out}, nil
+}
+
+// keyRoute routes rows by the hash of their key tuple: equal keys — on
+// either side of a join — always land in the same destination.
+func keyRoute(keyIdx []int, salt uint64, w int) routeFn {
+	return func(cols [][]int64, i int) int {
+		return int(mix64(keyHash(cols, keyIdx, i)^salt) % uint64(w))
+	}
+}
+
+// aggRoute routes rows by their grouping identity: the key hash, mixed
+// with the partial aggregate's sub-group bucket when present (the same
+// combination hashAggIter groups by), so an instance owns whole groups.
+func aggRoute(keyIdx []int, extraBuckets int64, w int) routeFn {
+	if extraBuckets <= 0 {
+		return keyRoute(keyIdx, aggRouteSalt, w)
+	}
+	return func(cols [][]int64, i int) int {
+		h := keyHash(cols, keyIdx, i)
+		bucket := rowHash(cols, i) % uint64(extraBuckets)
+		return int(mix64(mix64(h^bucket)^aggRouteSalt) % uint64(w))
+	}
 }

@@ -83,7 +83,7 @@ func colValue(seed uint64, row int64, colH uint64, dom int64) int64 {
 // scans copy cells out and never write. The cell budget bounds resident
 // memory; once exhausted, further tables generate uncached.
 var (
-	tableCache      sync.Map // tableCacheKey -> *colStore
+	tableCache      sync.Map // tableCacheKey -> *tableEntry
 	tableCacheCells atomic.Int64
 )
 
@@ -95,6 +95,17 @@ type tableCacheKey struct {
 	rows    int64
 }
 
+// tableEntry is a singleflight cache slot: whichever caller wins the
+// LoadOrStore generates the table inside once; concurrent callers for the
+// same key block on the same once instead of each generating a private
+// copy and racing to publish it. Under parallel execution every instance
+// of every scan hits this path at Open, so duplicate generation was the
+// dominant shared-state contention on the parallel hot path.
+type tableEntry struct {
+	once sync.Once
+	cs   *colStore
+}
+
 // materializeTable returns the generated table's columns. The result is
 // shared and immutable — callers must copy cells out, never write them.
 func materializeTable(table string, sch schema, rows int64) *colStore {
@@ -104,29 +115,28 @@ func materializeTable(table string, sch schema, rows int64) *colStore {
 		schemaH = mix64(schemaH ^ strHash(string(c)))
 	}
 	key := tableCacheKey{seed: seed, schemaH: schemaH, rows: rows}
-	if v, ok := tableCache.Load(key); ok {
-		return v.(*colStore)
-	}
-	cs := newColStore(len(sch), int(rows))
-	for c, col := range sch {
-		colH, dom := strHash(string(col)), colDomain(col)
-		dst := cs.cols[c][:rows]
-		for i := int64(0); i < rows; i++ {
-			dst[i] = colValue(seed, i, colH, dom)
+	v, _ := tableCache.LoadOrStore(key, &tableEntry{})
+	e := v.(*tableEntry)
+	e.once.Do(func() {
+		cs := newColStore(len(sch), int(rows))
+		for c, col := range sch {
+			colH, dom := strHash(string(col)), colDomain(col)
+			dst := cs.cols[c][:rows]
+			for i := int64(0); i < rows; i++ {
+				dst[i] = colValue(seed, i, colH, dom)
+			}
+			cs.cols[c] = dst
 		}
-		cs.cols[c] = dst
-	}
-	cs.n = int(rows)
-	cells := rows * int64(len(sch))
-	if tableCacheCells.Add(cells) <= tableCacheBudget {
-		if prev, loaded := tableCache.LoadOrStore(key, cs); loaded {
+		cs.n = int(rows)
+		e.cs = cs
+		if cells := rows * int64(len(sch)); tableCacheCells.Add(cells) > tableCacheBudget {
+			// Over budget: hand the table to current waiters but drop the
+			// slot so it doesn't stay resident; later runs regenerate.
 			tableCacheCells.Add(-cells)
-			return prev.(*colStore)
+			tableCache.Delete(key)
 		}
-	} else {
-		tableCacheCells.Add(-cells)
-	}
-	return cs
+	})
+	return e.cs
 }
 
 // schema is an ordered column list; every iterator knows the schema of the

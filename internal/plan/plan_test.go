@@ -133,6 +133,44 @@ func TestSetStagePartitions(t *testing.T) {
 	}
 }
 
+func TestPipelineWidths(t *testing.T) {
+	p := buildPhysical()
+	widths := PipelineWidths(p, 4)
+	p.Walk(func(n *Physical) {
+		want := 4 // Extract stage has 8 partitions, Exchange stage 16: both clamp to 4
+		if got := widths[n]; got != want {
+			t.Fatalf("width(%v) = %d, want %d", n.Op, got, want)
+		}
+	})
+	// Uncapped (max <= 0) widths are the raw stage partition counts.
+	raw := PipelineWidths(p, 0)
+	p.Walk(func(n *Physical) {
+		st := StageOf(p)[n]
+		if got := raw[n]; got != st.Partitions {
+			t.Fatalf("uncapped width(%v) = %d, want %d", n.Op, got, st.Partitions)
+		}
+	})
+}
+
+func TestStageWidthClamps(t *testing.T) {
+	cases := []struct {
+		partitions, max, want int
+	}{
+		{16, 4, 4},
+		{2, 4, 2},
+		{0, 4, 1},  // hand-built plans without partition counts run sequentially
+		{-3, 8, 1}, // negative counts are treated as unset
+		{16, 0, 16},
+		{1, 1, 1},
+	}
+	for _, c := range cases {
+		st := &Stage{Partitions: c.partitions}
+		if got := st.Width(c.max); got != c.want {
+			t.Fatalf("Width(p=%d, max=%d) = %d, want %d", c.partitions, c.max, got, c.want)
+		}
+	}
+}
+
 func TestStagesOfJoinPlan(t *testing.T) {
 	l := NewPhysical(PExtract)
 	l.Partitions = 4

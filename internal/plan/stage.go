@@ -72,6 +72,40 @@ func StageOf(root *Physical) map[*Physical]*Stage {
 	return out
 }
 
+// Width is the stage's effective pipeline width: its partition count
+// clamped to [1, max]. The optimizer picks partition counts for
+// production-scale clusters (hundreds of containers); a single-process
+// executor folds them onto at most max concurrent pipeline instances.
+func (s *Stage) Width(max int) int {
+	return clampWidth(s.Partitions, max)
+}
+
+// PipelineWidths maps every operator of the plan to the pipeline width of
+// its stage, clamped to [1, max] — the degree of parallelism the streaming
+// executor instantiates for it. Operators whose stage carries no positive
+// partition count (hand-built plans) map to 1.
+func PipelineWidths(root *Physical, max int) map[*Physical]int {
+	out := map[*Physical]int{}
+	for _, st := range Stages(root) {
+		w := st.Width(max)
+		for _, op := range st.Ops {
+			out[op] = w
+		}
+	}
+	return out
+}
+
+// clampWidth folds a partition count into [1, max]; max <= 0 means no cap.
+func clampWidth(p, max int) int {
+	if p < 1 {
+		p = 1
+	}
+	if max > 0 && p > max {
+		p = max
+	}
+	return p
+}
+
 // SetStagePartitions assigns the partition count of every operator to its
 // stage's partitioning operator's count, mirroring SCOPE's partition-count
 // derivation (Section 5.2).

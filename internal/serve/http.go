@@ -63,11 +63,15 @@ type QueryRequest struct {
 
 // QueryResponse is the POST /v1/query response.
 type QueryResponse struct {
-	Tenant              string           `json:"tenant"`
-	Mode                string           `json:"mode"`
-	UsedLearned         bool             `json:"used_learned"`
-	ModelVersion        int64            `json:"model_version,omitempty"`
-	Parallelism         int              `json:"parallelism"`
+	Tenant       string `json:"tenant"`
+	Mode         string `json:"mode"`
+	UsedLearned  bool   `json:"used_learned"`
+	ModelVersion int64  `json:"model_version,omitempty"`
+	Parallelism  int    `json:"parallelism"`
+	// ExecWorkers is the effective execution pipeline width for this
+	// request (per-stage exchange fan-out on the streaming backend;
+	// omitted on the simulator, which has no pipeline width).
+	ExecWorkers         int              `json:"exec_workers,omitempty"`
 	Plan                string           `json:"plan"`
 	Summary             plan.PlanSummary `json:"summary"`
 	PredictedCost       float64          `json:"predicted_cost"`
@@ -220,7 +224,7 @@ func handleQuery(svc *Service, w http.ResponseWriter, r *http.Request) {
 		effectivePar = t.System().Parallelism()
 	}
 	resp := QueryResponse{Tenant: req.Tenant, Mode: mode, UsedLearned: opts.UseLearnedModels,
-		Parallelism: effectivePar}
+		Parallelism: effectivePar, ExecWorkers: t.System().ExecWorkers(opts)}
 
 	t0 := time.Now()
 	// Deferred so slow queries are logged on the error returns below too,

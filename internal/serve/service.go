@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"cleo/internal/engine"
+	"cleo/internal/exec"
 	"cleo/internal/obs"
 	"cleo/internal/persist"
 )
@@ -50,6 +51,13 @@ type Config struct {
 	// telemetry (and thus retrained models) reflects measured wall-clock
 	// operator times. Ignored when NewSystem overrides construction.
 	StreamingExec bool
+	// ExecWorkers caps the streaming executor's per-stage pipeline width
+	// (exchange fan-out and morsel-scan instances) for every tenant.
+	// 0 follows Parallelism — one knob then governs search and execution
+	// width together; set it to give queries intra-query parallelism
+	// without widening optimizer search (or vice versa). Meaningful only
+	// with StreamingExec; ignored when NewSystem overrides construction.
+	ExecWorkers int
 	// StateDir, when set, makes tenant state durable: published model
 	// versions are snapshotted there and ingested telemetry is journaled
 	// before it reaches the in-memory log, and NewService recovers every
@@ -215,13 +223,17 @@ func (s *Service) newSystem(name string) *engine.System {
 	if par <= 0 {
 		par = 1 // request-level concurrency is the serving default
 	}
-	return engine.NewSystem(engine.SystemConfig{
+	sysCfg := engine.SystemConfig{
 		Seed:              seedOf(name),
 		Parallelism:       par,
 		TemplateCacheSize: s.cfg.TemplateCacheSize,
 		StreamingExec:     s.cfg.StreamingExec,
 		Metrics:           s.cfg.Metrics,
-	})
+	}
+	if s.cfg.ExecWorkers > 0 {
+		sysCfg.Stream = &exec.StreamConfig{MaxWorkers: s.cfg.ExecWorkers}
+	}
+	return engine.NewSystem(sysCfg)
 }
 
 // Lookup returns the named tenant without creating it.

@@ -451,7 +451,10 @@ type TenantStats struct {
 	LogSize   int    `json:"log_size"`
 	// Parallelism is the tenant's effective optimizer search parallelism
 	// (worker-pool width of the concurrent Cascades search).
-	Parallelism  int                `json:"parallelism"`
+	Parallelism int `json:"parallelism"`
+	// ExecWorkers is the tenant's default execution pipeline width on the
+	// streaming backend (0 on the simulator, which has no pipeline width).
+	ExecWorkers  int                `json:"exec_workers,omitempty"`
 	ModelVersion int64              `json:"model_version"` // 0 = none live
 	NumModels    int                `json:"num_models"`
 	Cache        learned.CacheStats `json:"cache"`
@@ -474,6 +477,7 @@ func (t *Tenant) Stats() TenantStats {
 		Retrains:           t.retrains.Load(),
 		LogSize:            t.sys.LogSize(),
 		Parallelism:        t.sys.Parallelism(),
+		ExecWorkers:        t.sys.ExecWorkers(engine.RunOptions{}),
 		TemplateCacheStats: t.sys.TemplateStats(),
 	}
 	if v := t.reg.Current(); v != nil {
