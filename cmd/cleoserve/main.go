@@ -8,6 +8,7 @@
 //	cleoserve [-addr :8080] [-exec-backend simulate] [-retrain-threshold 500]
 //	          [-ingest-buffer 128] [-parallelism 0]
 //	          [-state-dir ""] [-fsync] [-retain-snapshots 0]
+//	          [-node-id ""] [-peers ""] [-replication-factor 2] [-coalesce]
 //	          [-debug-addr ""] [-slow-query 0]
 //
 // -exec-backend selects how queries execute: "simulate" (default) models
@@ -20,6 +21,18 @@
 // against the same directory resumes warm — latest models live under
 // their original version ids, pending telemetry replayed into the
 // retraining pipeline.
+//
+// Cluster mode (-node-id + -peers) shards tenants across nodes on a
+// consistent-hash ring: each tenant has an owner plus replication-factor-1
+// followers, model publishes replicate snapshot artifacts to the
+// followers, requests landing on a non-owner node are forwarded to the
+// owner (failing over down the replica list when it is unreachable), and
+// identical in-flight optimize requests coalesce into one search
+// (-coalesce, on by default). -peers lists every member as id=baseURL
+// pairs, comma-separated, and must include this node's own id:
+//
+//	cleoserve -addr :8081 -node-id n1 -state-dir /var/lib/cleo/n1 \
+//	  -peers n1=http://h1:8081,n2=http://h2:8082,n3=http://h3:8083
 //
 // Observability: GET /metrics serves the full metric registry in
 // Prometheus text format; -debug-addr starts a second listener with
@@ -57,12 +70,34 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"cleo/internal/cluster"
 	"cleo/internal/obs"
 	"cleo/internal/serve"
 )
+
+// parsePeers parses the -peers flag: comma-separated id=baseURL pairs.
+func parsePeers(s string) (map[string]string, error) {
+	peers := map[string]string{}
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		id, base, found := strings.Cut(pair, "=")
+		if !found || id == "" || base == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=baseURL)", pair)
+		}
+		peers[id] = strings.TrimRight(base, "/")
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("-peers is empty")
+	}
+	return peers, nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -79,6 +114,14 @@ func main() {
 		"durable tenant state directory: snapshots + telemetry journal (empty = in-memory only)")
 	fsync := flag.Bool("fsync", false, "fsync the telemetry journal on every append")
 	retainSnapshots := flag.Int("retain-snapshots", 0, "snapshots kept per tenant (0 = all)")
+	nodeID := flag.String("node-id", "",
+		"this node's id in cluster mode (must be a key of -peers; empty = single-node)")
+	peersFlag := flag.String("peers", "",
+		"cluster membership as comma-separated id=baseURL pairs, including this node")
+	replicationFactor := flag.Int("replication-factor", 2,
+		"nodes holding each tenant (owner + followers; clamped to the cluster size)")
+	coalesce := flag.Bool("coalesce", true,
+		"coalesce identical in-flight optimize requests into one search per tenant")
 	debugAddr := flag.String("debug-addr", "",
 		"debug listen address serving net/http/pprof under /debug/pprof/ plus /metrics (empty = disabled)")
 	slowQuery := flag.Duration("slow-query", 0,
@@ -97,6 +140,10 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if (*nodeID == "") != (*peersFlag == "") {
+		fmt.Fprintln(os.Stderr, "cleoserve: -node-id and -peers must be set together")
+		os.Exit(1)
+	}
 	reg := obs.NewRegistry()
 	svc := serve.NewService(serve.Config{
 		StreamingExec:    *execBackend == "stream",
@@ -104,12 +151,33 @@ func main() {
 		IngestBuffer:     *ingestBuffer,
 		Parallelism:      *parallelism,
 		ExecWorkers:      *execWorkers,
+		Coalesce:         *coalesce,
 		StateDir:         *stateDir,
 		Fsync:            *fsync,
 		RetainSnapshots:  *retainSnapshots,
 		Metrics:          reg,
 		SlowQuery:        *slowQuery,
 	})
+	var clu *cluster.Cluster
+	if *nodeID != "" {
+		peers, err := parsePeers(*peersFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cleoserve:", err)
+			os.Exit(1)
+		}
+		clu, err = cluster.New(cluster.Config{
+			NodeID:            *nodeID,
+			Peers:             peers,
+			ReplicationFactor: *replicationFactor,
+			Metrics:           reg,
+		}, svc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cleoserve:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("cleoserve cluster mode: node %s of %d (replication factor %d)\n",
+			*nodeID, len(peers), clu.ReplicationFactor())
+	}
 	if *debugAddr != "" {
 		// The debug listener stays separate so pprof and raw metrics can
 		// bind to localhost while the API serves publicly.
@@ -132,7 +200,13 @@ func main() {
 			fmt.Printf("cleoserve: recovered %d tenant(s) from %s: %v\n", len(names), *stateDir, names)
 		}
 	}
-	server := &http.Server{Addr: *addr, Handler: serve.NewHandler(svc)}
+	handler := serve.NewHandler(svc)
+	if clu != nil {
+		// The cluster layer wraps the API: tenant requests route to their
+		// owner, and the internal replication endpoints come live.
+		handler = clu.Handler(handler)
+	}
+	server := &http.Server{Addr: *addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -153,8 +227,15 @@ func main() {
 	}
 	// ListenAndServe returns as soon as Shutdown *starts*; wait for
 	// in-flight requests to drain before closing the service, so no
-	// request's telemetry is dropped by a closed ingestion pipeline.
+	// request's telemetry is dropped by a closed ingestion pipeline. Then
+	// the cluster layer finishes in-flight replication pushes, and finally
+	// the service drains its ingestion queues and syncs every tenant's
+	// telemetry journal to disk — the graceful-shutdown contract: a
+	// SIGTERM loses neither acknowledged requests nor their telemetry.
 	<-shutdownDone
+	if clu != nil {
+		clu.Close()
+	}
 	svc.Close()
-	fmt.Println("cleoserve: drained and stopped")
+	fmt.Println("cleoserve: drained, journals flushed, stopped")
 }

@@ -1,0 +1,256 @@
+package cluster
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cleo/internal/obs"
+	"cleo/internal/serve"
+)
+
+// Config configures one cluster node.
+type Config struct {
+	// NodeID is this node's id; it must be a key of Peers.
+	NodeID string
+	// Peers maps every member node id (including this one) to its base
+	// URL, e.g. {"n1": "http://10.0.0.1:8080", ...}. Membership is static
+	// for the life of the process; every node must be configured with the
+	// same set so the rings agree.
+	Peers map[string]string
+	// ReplicationFactor is the number of nodes holding each tenant —
+	// owner plus followers (default 2, clamped to the cluster size).
+	// Followers receive the owner's snapshot artifacts after every
+	// publish, so losing the owner fails over warm.
+	ReplicationFactor int
+	// ForwardTimeout bounds each forwarding hop (default 2s): a dead or
+	// hung peer costs at most this before the next candidate is tried.
+	ForwardTimeout time.Duration
+	// ReplicateTimeout bounds each replication push (default 10s; model
+	// snapshots are larger than queries).
+	ReplicateTimeout time.Duration
+	// ReplicateRetries is how many times a failed replication push is
+	// retried per follower (default 2) before it is dropped — the next
+	// publish ships a strictly newer version anyway.
+	ReplicateRetries int
+	// PeerDownTTL is how long a peer that failed a forward is skipped
+	// before being probed again (default 1s), so a dead owner does not
+	// cost every request a connect timeout.
+	PeerDownTTL time.Duration
+	// Metrics, when non-nil, registers the cleo_cluster_* instruments.
+	Metrics *obs.Registry
+	// Logger receives forwarding and replication notices (default
+	// slog.Default).
+	Logger *slog.Logger
+}
+
+// Cluster is one node's view of the peer group: the shared ring, the
+// forwarding proxy state, and the replication pipeline. Create with New,
+// mount via Handler, stop with Close.
+type Cluster struct {
+	self  string
+	peers map[string]string // id -> base URL
+	ring  *Ring
+	rf    int
+	svc   *serve.Service
+	log   *slog.Logger
+
+	fwdClient *http.Client // per-hop forward timeout
+	repClient *http.Client // replication pushes
+
+	replicateRetries int
+	peerDownTTL      time.Duration
+
+	// down memoizes recent forward failures per peer (unix nanos of the
+	// failure) so follow-up requests skip a known-dead peer fast.
+	down sync.Map // node id -> int64
+
+	wg      sync.WaitGroup
+	closing atomic.Bool
+
+	// Counters mirror the cleo_cluster_* metrics for /v1/stats.
+	forwards          atomic.Uint64
+	forwardErrors     atomic.Uint64
+	localFallbacks    atomic.Uint64
+	loopRejects       atomic.Uint64
+	replicationsSent  atomic.Uint64
+	replicationErrors atomic.Uint64
+	replicaInstalls   atomic.Uint64
+
+	obs *clusterObs // nil without Config.Metrics
+}
+
+// New builds the node, registers the replication publish hook and the
+// /v1/stats cluster section on svc, and returns it. The HTTP side only
+// goes live when Handler's result is mounted.
+func New(cfg Config, svc *serve.Service) (*Cluster, error) {
+	if cfg.NodeID == "" {
+		return nil, fmt.Errorf("cluster: empty node id")
+	}
+	if _, ok := cfg.Peers[cfg.NodeID]; !ok {
+		return nil, fmt.Errorf("cluster: node id %q not in peers", cfg.NodeID)
+	}
+	nodes := make([]string, 0, len(cfg.Peers))
+	for id, base := range cfg.Peers {
+		if _, err := url.Parse(base); err != nil || base == "" {
+			return nil, fmt.Errorf("cluster: peer %q: bad base URL %q", id, base)
+		}
+		nodes = append(nodes, id)
+	}
+	rf := cfg.ReplicationFactor
+	if rf <= 0 {
+		rf = 2
+	}
+	if rf > len(nodes) {
+		rf = len(nodes)
+	}
+	fwdTimeout := cfg.ForwardTimeout
+	if fwdTimeout <= 0 {
+		fwdTimeout = 2 * time.Second
+	}
+	repTimeout := cfg.ReplicateTimeout
+	if repTimeout <= 0 {
+		repTimeout = 10 * time.Second
+	}
+	retries := cfg.ReplicateRetries
+	if retries < 0 {
+		retries = 0
+	} else if retries == 0 {
+		retries = 2
+	}
+	downTTL := cfg.PeerDownTTL
+	if downTTL <= 0 {
+		downTTL = time.Second
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	c := &Cluster{
+		self:             cfg.NodeID,
+		peers:            cfg.Peers,
+		ring:             NewRing(nodes),
+		rf:               rf,
+		svc:              svc,
+		log:              logger.With("node", cfg.NodeID),
+		fwdClient:        &http.Client{Timeout: fwdTimeout},
+		repClient:        &http.Client{Timeout: repTimeout},
+		replicateRetries: retries,
+		peerDownTTL:      downTTL,
+		obs:              newClusterObs(cfg.Metrics),
+	}
+	c.obs.setRingNodes(len(nodes))
+	svc.OnPublish(c.onPublish)
+	svc.SetClusterInfo(func() any { return c.Stats() })
+	return c, nil
+}
+
+// Self returns this node's id.
+func (c *Cluster) Self() string { return c.self }
+
+// ReplicationFactor returns the effective (clamped) replication factor.
+func (c *Cluster) ReplicationFactor() int { return c.rf }
+
+// Replicas returns a tenant's replica preference list, owner first.
+func (c *Cluster) Replicas(tenant string) []string {
+	return c.ring.Lookup(tenant, c.rf)
+}
+
+// Owner returns a tenant's owning node id.
+func (c *Cluster) Owner(tenant string) string { return c.ring.Owner(tenant) }
+
+// markDown memoizes a failed peer so the next requests skip it until the
+// TTL expires.
+func (c *Cluster) markDown(node string) {
+	c.down.Store(node, time.Now().UnixNano())
+}
+
+// isDown reports whether a peer failed within the TTL.
+func (c *Cluster) isDown(node string) bool {
+	v, ok := c.down.Load(node)
+	if !ok {
+		return false
+	}
+	if time.Since(time.Unix(0, v.(int64))) > c.peerDownTTL {
+		c.down.Delete(node)
+		return false
+	}
+	return true
+}
+
+// Stats snapshots the node's cluster state for /v1/stats.
+type Stats struct {
+	// Node is this node's id; Nodes is the ring membership (sorted).
+	Node  string   `json:"node"`
+	Nodes []string `json:"nodes"`
+	// ReplicationFactor is the effective copies-per-tenant count.
+	ReplicationFactor int `json:"replication_factor"`
+	// Forwards counts requests proxied to a peer; ForwardErrors counts
+	// hops that failed (timeout, refused) before the next candidate was
+	// tried; LocalFallbacks counts requests a non-owner replica served
+	// itself after the nodes ahead of it were unreachable.
+	Forwards       uint64 `json:"forwards"`
+	ForwardErrors  uint64 `json:"forward_errors,omitempty"`
+	LocalFallbacks uint64 `json:"local_fallbacks,omitempty"`
+	// LoopRejects counts forwarded requests refused because this node is
+	// not a replica of the tenant — a ring-view disagreement guard.
+	LoopRejects uint64 `json:"loop_rejects,omitempty"`
+	// ReplicationsSent / ReplicationErrors count snapshot pushes to
+	// followers; ReplicaInstalls counts pushes received and installed.
+	ReplicationsSent  uint64 `json:"replications_sent"`
+	ReplicationErrors uint64 `json:"replication_errors,omitempty"`
+	ReplicaInstalls   uint64 `json:"replica_installs"`
+}
+
+// Stats snapshots the node's cluster counters.
+func (c *Cluster) Stats() Stats {
+	return Stats{
+		Node:              c.self,
+		Nodes:             c.ring.Nodes(),
+		ReplicationFactor: c.rf,
+		Forwards:          c.forwards.Load(),
+		ForwardErrors:     c.forwardErrors.Load(),
+		LocalFallbacks:    c.localFallbacks.Load(),
+		LoopRejects:       c.loopRejects.Load(),
+		ReplicationsSent:  c.replicationsSent.Load(),
+		ReplicationErrors: c.replicationErrors.Load(),
+		ReplicaInstalls:   c.replicaInstalls.Load(),
+	}
+}
+
+// Close stops accepting replication work and waits for in-flight pushes.
+// The service itself is closed by its owner.
+func (c *Cluster) Close() {
+	c.closing.Store(true)
+	c.wg.Wait()
+}
+
+// infoResponse is the GET /internal/cluster/info body — node identity,
+// membership and (optionally) one tenant's placement, used by operators
+// and the multi-node smoke test to locate a tenant's owner.
+type infoResponse struct {
+	Node              string   `json:"node"`
+	Nodes             []string `json:"nodes"`
+	ReplicationFactor int      `json:"replication_factor"`
+	Tenant            string   `json:"tenant,omitempty"`
+	Owner             string   `json:"owner,omitempty"`
+	Replicas          []string `json:"replicas,omitempty"`
+}
+
+func (c *Cluster) handleInfo(w http.ResponseWriter, r *http.Request) {
+	resp := infoResponse{
+		Node:              c.self,
+		Nodes:             c.ring.Nodes(),
+		ReplicationFactor: c.rf,
+	}
+	if tenant := r.URL.Query().Get("tenant"); tenant != "" {
+		resp.Tenant = tenant
+		resp.Replicas = c.Replicas(tenant)
+		resp.Owner = resp.Replicas[0]
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,494 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cleo/internal/obs"
+	"cleo/internal/serve"
+)
+
+// The in-process multi-node harness: every node gets its own listener
+// (bound before the ring is built, so peer URLs are known up front), its
+// own serve.Service with a private state directory, and its own Cluster
+// wrapping the API handler — a faithful miniature of N cleoserve
+// processes, minus the processes.
+
+const demoPlanJSON = `{"op":"Output","children":[{"op":"Aggregate","keys":["user"],"children":[
+  {"op":"Select","pred":"market=us","children":[
+    {"op":"Get","table":"clicks_2026_06_12","template":"clicks_"}]}]}]}`
+
+const demoTablesJSON = `{"clicks_2026_06_12": {"Rows": 2e7, "RowLength": 120}}`
+
+func queryBody(tenant string, mode string, seed int64) string {
+	return fmt.Sprintf(`{"tenant":%q,"mode":%q,"seed":%d,"tables":%s,"plan":%s}`,
+		tenant, mode, seed, demoTablesJSON, demoPlanJSON)
+}
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+type testNode struct {
+	id  string
+	url string
+	ln  net.Listener
+	svc *serve.Service
+	clu *Cluster
+	srv *http.Server
+
+	stopOnce sync.Once
+}
+
+// stop kills the node's HTTP side abruptly (listener closed, in-flight
+// connections dropped) — the crash the failover path exists for. The
+// service stays allocated; the test cleanup closes it.
+func (n *testNode) stop() {
+	n.stopOnce.Do(func() { _ = n.srv.Close() })
+}
+
+// startTestCluster boots n nodes with the given replication factor. Node
+// ids are n1..nN. hang, when non-empty, names one node whose listener is
+// bound but never served: connections are accepted by the kernel and then
+// starve — the hung-owner case, as distinct from a closed listener.
+func startTestCluster(t *testing.T, n, rf int, hang string) []*testNode {
+	t.Helper()
+	nodes := make([]*testNode, n)
+	peers := map[string]string{}
+	for i := range nodes {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := fmt.Sprintf("n%d", i+1)
+		nodes[i] = &testNode{id: id, ln: ln, url: "http://" + ln.Addr().String()}
+		peers[id] = nodes[i].url
+	}
+	for _, node := range nodes {
+		node := node
+		reg := obs.NewRegistry()
+		node.svc = serve.NewService(serve.Config{
+			Coalesce: true,
+			StateDir: t.TempDir(),
+			Metrics:  reg,
+			Logger:   quietLogger(),
+		})
+		clu, err := New(Config{
+			NodeID:            node.id,
+			Peers:             peers,
+			ReplicationFactor: rf,
+			ForwardTimeout:    300 * time.Millisecond,
+			PeerDownTTL:       100 * time.Millisecond,
+			ReplicateRetries:  1,
+			Metrics:           reg,
+			Logger:            quietLogger(),
+		}, node.svc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.clu = clu
+		node.srv = &http.Server{Handler: clu.Handler(serve.NewHandler(node.svc))}
+		if node.id != hang {
+			go func() { _ = node.srv.Serve(node.ln) }()
+		}
+		t.Cleanup(func() {
+			node.stop()
+			_ = node.ln.Close()
+			node.clu.Close()
+			node.svc.Close()
+		})
+	}
+	return nodes
+}
+
+// byID indexes the harness nodes.
+func byID(nodes []*testNode, id string) *testNode {
+	for _, n := range nodes {
+		if n.id == id {
+			return n
+		}
+	}
+	return nil
+}
+
+// tenantPlacedAt searches tenant names until one's replica list matches
+// the wanted owner (and, when nonReplica != "", excludes that node) — so
+// tests control placement without touching the hash.
+func tenantPlacedAt(t *testing.T, c *Cluster, owner, nonReplica string) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		name := fmt.Sprintf("tenant-%d", i)
+		replicas := c.Replicas(name)
+		if replicas[0] != owner {
+			continue
+		}
+		if nonReplica != "" && indexOf(replicas, nonReplica) >= 0 {
+			continue
+		}
+		return name
+	}
+	t.Fatal("no tenant with the wanted placement in 10000 candidates")
+	return ""
+}
+
+func post(t *testing.T, url, body string, hdr map[string]string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// trainTenant drives enough run-mode traffic through the given entry URL
+// to make training viable, then retrains until a version publishes
+// (telemetry ingestion is asynchronous, so the first attempts may see too
+// few records).
+func trainTenant(t *testing.T, entryURL, tenant string) int64 {
+	t.Helper()
+	for seed := int64(1); seed <= 30; seed++ {
+		code, body := post(t, entryURL+"/v1/query", queryBody(tenant, "run", seed), nil)
+		if code != http.StatusOK {
+			t.Fatalf("seeding query: %d %s", code, body)
+		}
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		code, body := post(t, entryURL+"/v1/retrain", fmt.Sprintf(`{"tenant":%q}`, tenant), nil)
+		if code == http.StatusOK {
+			var resp struct {
+				Version struct {
+					ID int64 `json:"id"`
+				} `json:"version"`
+			}
+			if err := json.Unmarshal(body, &resp); err != nil || resp.Version.ID == 0 {
+				t.Fatalf("retrain response: %s (%v)", body, err)
+			}
+			return resp.Version.ID
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("retrain never succeeded: %d %s", code, body)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// clusterStats fetches a node's own /v1/stats cluster section (the
+// all-tenants form is never forwarded, so this reads local state even
+// while peers are alive).
+func clusterStats(t *testing.T, nodeURL string) Stats {
+	t.Helper()
+	code, body := get(t, nodeURL+"/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d %s", code, body)
+	}
+	var resp struct {
+		Cluster Stats `json:"cluster"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("stats body %s: %v", body, err)
+	}
+	return resp.Cluster
+}
+
+// tenantStats fetches tenant-scoped stats through a node (forwarded to
+// the tenant's serving replica like any other tenant request).
+func tenantStats(t *testing.T, nodeURL, tenant string) serve.TenantStats {
+	t.Helper()
+	code, body := get(t, nodeURL+"/v1/stats?tenant="+tenant)
+	if code != http.StatusOK {
+		t.Fatalf("tenant stats: %d %s", code, body)
+	}
+	var st serve.TenantStats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("tenant stats body %s: %v", body, err)
+	}
+	return st
+}
+
+// TestClusterFailoverWarm is the acceptance pin for the scale-out layer:
+// a tenant trained on its owner replicates to its follower; when the
+// owner dies, the next query through any surviving node is served by the
+// follower with the latest model version live — no retrain, no cold
+// start — and table statistics survived the hop too (the failover query
+// sends none).
+func TestClusterFailoverWarm(t *testing.T) {
+	nodes := startTestCluster(t, 3, 2, "")
+	ring := nodes[0].clu
+	tenant := tenantPlacedAt(t, ring, "n1", "")
+	replicas := ring.Replicas(tenant)
+	owner, follower := byID(nodes, replicas[0]), byID(nodes, replicas[1])
+	var nonReplica *testNode
+	for _, n := range nodes {
+		if indexOf(replicas, n.id) < 0 {
+			nonReplica = n
+		}
+	}
+
+	// Train through the non-replica node: every request must forward.
+	version := trainTenant(t, nonReplica.url, tenant)
+	if fs := clusterStats(t, nonReplica.url); fs.Forwards == 0 {
+		t.Fatalf("non-replica node never forwarded: %+v", fs)
+	}
+
+	// Replication is asynchronous; wait for the follower's warm install.
+	deadline := time.Now().Add(10 * time.Second)
+	for clusterStats(t, follower.url).ReplicaInstalls == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower %s never installed the replica", follower.id)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	owner.stop()
+
+	// A tables-free query through the non-replica node: the owner hop
+	// fails, the follower serves from replicated state — learned model,
+	// original version id, catalog restored from the replicated stats.
+	body := fmt.Sprintf(`{"tenant":%q,"mode":"optimize","seed":99,"plan":%s}`, tenant, demoPlanJSON)
+	code, respBody := post(t, nonReplica.url+"/v1/query", body, nil)
+	if code != http.StatusOK {
+		t.Fatalf("failover query: %d %s", code, respBody)
+	}
+	var qr serve.QueryResponse
+	if err := json.Unmarshal(respBody, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if !qr.UsedLearned || qr.ModelVersion != version {
+		t.Fatalf("failover query not warm: used_learned=%v version=%d (want %d)",
+			qr.UsedLearned, qr.ModelVersion, version)
+	}
+
+	// Tenant-scoped stats fail over the same way and prove no retrain ran
+	// on the follower: the version is live but locally trained zero times.
+	st := tenantStats(t, follower.url, tenant)
+	if st.Retrains != 0 || st.ModelVersion != version || st.ReplicaInstalls == 0 {
+		t.Fatalf("follower stats after failover: %+v", st)
+	}
+	if fb := clusterStats(t, follower.url); fb.LocalFallbacks == 0 {
+		t.Fatalf("follower never served as fallback: %+v", fb)
+	}
+}
+
+// TestClusterCoalescingBurst drives concurrent identical optimize-mode
+// requests at a tenant's owner until the singleflight layer reports a
+// coalesced request — and checks the result plans are bit-identical and
+// the cleo_cluster_coalesced_total metric moved.
+func TestClusterCoalescingBurst(t *testing.T) {
+	nodes := startTestCluster(t, 3, 2, "")
+	tenant := tenantPlacedAt(t, nodes[0].clu, "n1", "")
+	owner := byID(nodes, "n1")
+
+	// A wide join tree with partition exploration and a parallel search
+	// (whose worker pool yields at channel operations — overlap needs
+	// that on a single-CPU runner) keeps the optimization in flight long
+	// enough for concurrent identical HTTP requests to meet it.
+	join := `{"op":"Join","pred":"a.k=b.k","keys":["k"],"children":[
+	  {"op":"Join","pred":"b.k=c.k","keys":["k"],"children":[
+	    {"op":"Join","pred":"c.k=d.k","keys":["k"],"children":[
+	      {"op":"Get","table":"t_a"},{"op":"Get","table":"t_b"}]},
+	    {"op":"Get","table":"t_c"}]},
+	  {"op":"Get","table":"t_d"}]}`
+	tables := `{"t_a":{"Rows":2e7,"RowLength":100},"t_b":{"Rows":1e7,"RowLength":80},
+	  "t_c":{"Rows":5e6,"RowLength":60},"t_d":{"Rows":1e6,"RowLength":40}}`
+	body := fmt.Sprintf(`{"tenant":%q,"mode":"optimize","seed":7,"resource_aware":true,`+
+		`"parallelism":2,"tables":%s,"plan":{"op":"Output","children":[%s]}}`, tenant, tables, join)
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		const burst = 16
+		var (
+			wg    sync.WaitGroup
+			mu    sync.Mutex
+			plans = map[string]bool{}
+		)
+		for i := 0; i < burst; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				code, respBody := post(t, owner.url+"/v1/query", body, nil)
+				if code != http.StatusOK {
+					t.Errorf("burst query: %d %s", code, respBody)
+					return
+				}
+				var qr serve.QueryResponse
+				if err := json.Unmarshal(respBody, &qr); err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				plans[qr.Plan] = true
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		if t.Failed() {
+			t.FailNow()
+		}
+		if len(plans) != 1 {
+			t.Fatalf("identical requests returned %d distinct plans", len(plans))
+		}
+		if st := tenantStats(t, owner.url, tenant); st.Coalesced > 0 {
+			if st.CoalesceLeaders == 0 {
+				t.Fatalf("coalesced without a leader: %+v", st)
+			}
+			code, metrics := get(t, owner.url+"/metrics")
+			if code != http.StatusOK {
+				t.Fatalf("metrics: %d", code)
+			}
+			if !bytes.Contains(metrics, []byte("cleo_cluster_coalesced_total")) {
+				t.Fatal("cleo_cluster_coalesced_total missing from /metrics")
+			}
+			for _, line := range strings.Split(string(metrics), "\n") {
+				if strings.HasPrefix(line, "cleo_cluster_coalesced_total") &&
+					strings.HasSuffix(strings.TrimSpace(line), " 0") {
+					t.Fatalf("metric did not move: %s", line)
+				}
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no request coalesced across repeated identical bursts")
+		}
+	}
+}
+
+// TestClusterLoopGuardReject pins the no-cycles invariant: a request
+// already carrying the forward header lands on a node that is not a
+// replica of its tenant and is refused with 508, never re-forwarded.
+func TestClusterLoopGuardReject(t *testing.T) {
+	nodes := startTestCluster(t, 3, 2, "")
+	outsider := byID(nodes, "n3")
+	tenant := tenantPlacedAt(t, outsider.clu, "n1", "n3")
+
+	code, body := post(t, outsider.url+"/v1/query", queryBody(tenant, "optimize", 1),
+		map[string]string{ForwardHeader: "n1"})
+	if code != http.StatusLoopDetected {
+		t.Fatalf("loop guard: %d %s (want 508)", code, body)
+	}
+	if st := clusterStats(t, outsider.url); st.LoopRejects != 1 {
+		t.Fatalf("loop rejects = %d, want 1", st.LoopRejects)
+	}
+
+	// The same forwarded request at an actual replica is served, not
+	// bounced — a follower holding the tenant answers it locally.
+	follower := byID(nodes, outsider.clu.Replicas(tenant)[1])
+	code, body = post(t, follower.url+"/v1/query", queryBody(tenant, "optimize", 1),
+		map[string]string{ForwardHeader: "n1"})
+	if code != http.StatusOK {
+		t.Fatalf("forwarded request at replica: %d %s", code, body)
+	}
+}
+
+// TestClusterOwnerCrashMidForward covers the hung-owner case: the owner's
+// listener accepts connections (kernel backlog) but nothing ever answers,
+// so a forward to it stalls until the per-hop timeout — and the request
+// still succeeds on the next replica within bounded time.
+func TestClusterOwnerCrashMidForward(t *testing.T) {
+	nodes := startTestCluster(t, 3, 2, "n1")
+	tenant := tenantPlacedAt(t, nodes[1].clu, "n1", "")
+	replicas := nodes[1].clu.Replicas(tenant)
+	var entry *testNode
+	for _, n := range nodes {
+		if n.id != "n1" && indexOf(replicas, n.id) < 0 {
+			entry = n
+		}
+	}
+	if entry == nil {
+		// rf=2 of 3 nodes: the non-replica exists unless it is the hung
+		// node itself; then drive through the follower instead.
+		entry = byID(nodes, replicas[1])
+	}
+
+	t0 := time.Now()
+	code, body := post(t, entry.url+"/v1/query", queryBody(tenant, "run", 1), nil)
+	elapsed := time.Since(t0)
+	if code != http.StatusOK {
+		t.Fatalf("query with hung owner: %d %s", code, body)
+	}
+	// One hop timed out (300ms per hop), then the next replica answered.
+	if elapsed > 5*time.Second {
+		t.Fatalf("failover took %v — hop timeout not bounding the hung peer", elapsed)
+	}
+	st := clusterStats(t, entry.url)
+	if st.ForwardErrors == 0 {
+		t.Fatalf("hung owner produced no forward error: %+v", st)
+	}
+	if st.Forwards == 0 && st.LocalFallbacks == 0 {
+		t.Fatalf("request served by nobody? %+v", st)
+	}
+
+	// Follow-up requests skip the known-dead owner fast (down memo).
+	t0 = time.Now()
+	code, _ = post(t, entry.url+"/v1/query", queryBody(tenant, "run", 2), nil)
+	if code != http.StatusOK {
+		t.Fatal("second query failed")
+	}
+	if time.Since(t0) > 2*time.Second {
+		t.Fatalf("down memo not skipping hung owner: %v", time.Since(t0))
+	}
+}
+
+// TestClusterInfoEndpoint sanity-checks the operator/smoke-test endpoint:
+// membership and placement agree across every node.
+func TestClusterInfoEndpoint(t *testing.T) {
+	nodes := startTestCluster(t, 3, 2, "")
+	tenant := tenantPlacedAt(t, nodes[0].clu, "n2", "")
+	want := nodes[0].clu.Replicas(tenant)
+	for _, n := range nodes {
+		code, body := get(t, n.url+"/internal/cluster/info?tenant="+tenant)
+		if code != http.StatusOK {
+			t.Fatalf("info on %s: %d %s", n.id, code, body)
+		}
+		var info struct {
+			Node     string   `json:"node"`
+			Nodes    []string `json:"nodes"`
+			Owner    string   `json:"owner"`
+			Replicas []string `json:"replicas"`
+		}
+		if err := json.Unmarshal(body, &info); err != nil {
+			t.Fatal(err)
+		}
+		if info.Node != n.id || len(info.Nodes) != 3 {
+			t.Fatalf("info identity on %s: %+v", n.id, info)
+		}
+		if info.Owner != want[0] || len(info.Replicas) != len(want) {
+			t.Fatalf("placement disagrees on %s: %+v want %v", n.id, info, want)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Request routing: every tenant-scoped /v1/* request is owned by the
+// tenant's ring owner. A request landing elsewhere is forwarded down the
+// replica preference list — owner first, then followers — with one
+// attempt and a per-hop timeout per candidate; when the walk reaches this
+// node itself (it is a follower), the request is served locally from the
+// replicated state, which is the warm-failover path. Forwarded requests
+// carry a loop-guard header and are never re-forwarded: a node receiving
+// one either is a replica (serves) or rejects with 508, so disagreeing
+// ring views degrade to one extra hop, never a cycle.
+
+// ForwardHeader marks a request as already forwarded once; its value is
+// the sending node's id.
+const ForwardHeader = "X-Cleo-Forwarded-By"
+
+// maxForwardBody bounds the request body buffered for tenant extraction
+// and forwarding — matches the serving layer's request-body cap.
+const maxForwardBody = 1 << 20
+
+// retryableStatus reports response codes that mean "this replica cannot
+// serve the tenant, try the next": a loop reject (ring disagreement) or a
+// proxy-level unavailability. Application errors (4xx, 5xx from the
+// handler itself) are returned to the client as-is.
+func retryableStatus(code int) bool {
+	return code == http.StatusLoopDetected || code == http.StatusBadGateway ||
+		code == http.StatusServiceUnavailable
+}
+
+// Handler wraps the serving API with the cluster routing layer and mounts
+// the internal peer endpoints:
+//
+//	POST /internal/cluster/replicate   snapshot push from a tenant's owner
+//	GET  /internal/cluster/info        node identity, membership, placement
+func (c *Cluster) Handler(api http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /internal/cluster/replicate", c.handleReplicate)
+	mux.HandleFunc("GET /internal/cluster/info", c.handleInfo)
+	mux.Handle("/", c.route(api))
+	return mux
+}
+
+// route is the forwarding middleware around the serving API.
+func (c *Cluster) route(api http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tenant, body, ok := extractTenant(w, r)
+		if !ok {
+			return // extractTenant already wrote the error
+		}
+		if tenant == "" {
+			api.ServeHTTP(w, r) // not tenant-scoped: always local
+			return
+		}
+		replicas := c.Replicas(tenant)
+		selfAt := indexOf(replicas, c.self)
+
+		if from := r.Header.Get(ForwardHeader); from != "" {
+			// Already forwarded once: serve if we are a replica, reject
+			// otherwise. Never forward again.
+			if selfAt >= 0 {
+				api.ServeHTTP(w, r)
+				return
+			}
+			c.loopRejects.Add(1)
+			c.obs.noteLoopReject()
+			c.log.Warn("cluster: loop guard rejected forwarded request",
+				"tenant", tenant, "from", from, "owner", replicas[0])
+			writeJSONError(w, http.StatusLoopDetected,
+				"node %s is not a replica of tenant %q (forwarded by %s; ring views disagree?)",
+				c.self, tenant, from)
+			return
+		}
+		if selfAt == 0 {
+			api.ServeHTTP(w, r) // we own the tenant
+			return
+		}
+
+		// Walk the preference list: peers ahead of us get one forwarding
+		// attempt each; reaching ourselves means every preferred replica
+		// was down, and we serve from local (replicated) state.
+		for i, node := range replicas {
+			if node == c.self {
+				c.localFallbacks.Add(1)
+				c.obs.noteLocalFallback()
+				c.log.Info("cluster: serving as fallback replica",
+					"tenant", tenant, "owner", replicas[0])
+				api.ServeHTTP(w, r)
+				return
+			}
+			if c.isDown(node) && anyReachableAfter(replicas[i+1:], c, true) {
+				continue // skip a known-dead peer when a candidate remains
+			}
+			if c.forwardTo(node, w, r, body) {
+				return
+			}
+			c.markDown(node)
+		}
+		writeJSONError(w, http.StatusServiceUnavailable,
+			"tenant %q: no reachable replica (owner %s)", tenant, replicas[0])
+	})
+}
+
+// anyReachableAfter reports whether any of rest could still take the
+// request: a peer not marked down, or this node itself (includeSelf).
+func anyReachableAfter(rest []string, c *Cluster, includeSelf bool) bool {
+	for _, n := range rest {
+		if n == c.self {
+			if includeSelf {
+				return true
+			}
+			continue
+		}
+		if !c.isDown(n) {
+			return true
+		}
+	}
+	return false
+}
+
+// forwardTo proxies the request to one peer. It reports true when a
+// response was relayed to the client (success or a non-retryable error)
+// and false when the hop failed and the caller should try the next
+// candidate.
+func (c *Cluster) forwardTo(node string, w http.ResponseWriter, r *http.Request, body []byte) bool {
+	base := c.peers[node]
+	u := base + r.URL.RequestURI()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u, rd)
+	if err != nil {
+		c.forwardErrors.Add(1)
+		return false
+	}
+	req.Header = r.Header.Clone()
+	req.Header.Set(ForwardHeader, c.self)
+	t0 := time.Now()
+	resp, err := c.fwdClient.Do(req)
+	if err != nil {
+		c.forwardErrors.Add(1)
+		c.obs.noteForward(time.Since(t0), true)
+		c.log.Warn("cluster: forward failed", "peer", node, "err", err)
+		return false
+	}
+	defer resp.Body.Close()
+	if retryableStatus(resp.StatusCode) {
+		c.forwardErrors.Add(1)
+		c.obs.noteForward(time.Since(t0), true)
+		return false
+	}
+	c.forwards.Add(1)
+	c.obs.noteForward(time.Since(t0), false)
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+	return true
+}
+
+// extractTenant pulls the tenant name a request is scoped to, buffering
+// (and restoring) the body for POST routes whose tenant lives in the JSON.
+// Non-tenant-scoped routes return "". A false return means the request was
+// already answered (unreadable body).
+func extractTenant(w http.ResponseWriter, r *http.Request) (tenant string, body []byte, ok bool) {
+	switch {
+	case r.Method == http.MethodPost && (r.URL.Path == "/v1/query" || r.URL.Path == "/v1/retrain"):
+		b, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxForwardBody))
+		if err != nil {
+			writeJSONError(w, http.StatusBadRequest, "reading request body: %v", err)
+			return "", nil, false
+		}
+		r.Body = io.NopCloser(bytes.NewReader(b))
+		// A partial probe only; the handler re-decodes strictly, so a
+		// malformed body routes locally and fails there with a real error.
+		var probe struct {
+			Tenant string `json:"tenant"`
+		}
+		_ = json.Unmarshal(b, &probe)
+		return probe.Tenant, b, true
+	case r.Method == http.MethodPost && strings.HasPrefix(r.URL.Path, "/v1/tenants/"):
+		rest := strings.TrimPrefix(r.URL.Path, "/v1/tenants/")
+		if name, _, found := strings.Cut(rest, "/"); found && name != "" {
+			return name, nil, true
+		}
+		return "", nil, true
+	case r.URL.Path == "/v1/models" || r.URL.Path == "/v1/stats":
+		return r.URL.Query().Get("tenant"), nil, true
+	default:
+		return "", nil, true
+	}
+}
+
+func indexOf(list []string, s string) int {
+	for i, v := range list {
+		if v == s {
+			return i
+		}
+	}
+	return -1
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeJSONError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"time"
+
+	"cleo/internal/obs"
+)
+
+// clusterObs bundles the cleo_cluster_* instruments. A nil receiver (no
+// Config.Metrics) disables every hook, matching the layer-off convention
+// of the other subsystems.
+type clusterObs struct {
+	ringNodes          *obs.Gauge
+	forwards           *obs.Counter
+	forwardErrors      *obs.Counter
+	localFallbacks     *obs.Counter
+	loopRejects        *obs.Counter
+	forwardSeconds     *obs.Histogram
+	replicationsSent   *obs.Counter
+	replicationErrors  *obs.Counter
+	replicaInstalls    *obs.Counter
+	replicationSeconds *obs.Histogram
+}
+
+func newClusterObs(r *obs.Registry) *clusterObs {
+	if r == nil {
+		return nil
+	}
+	return &clusterObs{
+		ringNodes: r.Gauge("cleo_cluster_ring_nodes",
+			"Nodes in the consistent-hash ring (static membership)."),
+		forwards: r.Counter("cleo_cluster_forwards_total",
+			"Tenant requests forwarded to a peer node."),
+		forwardErrors: r.Counter("cleo_cluster_forward_errors_total",
+			"Forward hops that failed (timeout or connection error) before the next replica was tried."),
+		localFallbacks: r.Counter("cleo_cluster_local_fallbacks_total",
+			"Requests a non-owner replica served locally after the nodes ahead of it were unreachable."),
+		loopRejects: r.Counter("cleo_cluster_loop_rejects_total",
+			"Forwarded requests rejected by the loop guard (receiving node not a replica of the tenant)."),
+		forwardSeconds: r.Histogram("cleo_cluster_forward_seconds",
+			"Latency of forwarded hops, successful or not."),
+		replicationsSent: r.Counter("cleo_cluster_replications_total",
+			"Snapshot replication pushes acknowledged by followers."),
+		replicationErrors: r.Counter("cleo_cluster_replication_errors_total",
+			"Snapshot replication pushes that exhausted their retries."),
+		replicaInstalls: r.Counter("cleo_cluster_replica_installs_total",
+			"Replicated model versions received and installed warm."),
+		replicationSeconds: r.Histogram("cleo_cluster_replication_seconds",
+			"Replication lag: time from model publish to follower acknowledgement."),
+	}
+}
+
+func (o *clusterObs) setRingNodes(n int) {
+	if o != nil {
+		o.ringNodes.Set(int64(n))
+	}
+}
+
+func (o *clusterObs) noteForward(d time.Duration, err bool) {
+	if o == nil {
+		return
+	}
+	o.forwardSeconds.Record(d)
+	if err {
+		o.forwardErrors.Inc()
+	} else {
+		o.forwards.Inc()
+	}
+}
+
+func (o *clusterObs) noteLocalFallback() {
+	if o != nil {
+		o.localFallbacks.Inc()
+	}
+}
+
+func (o *clusterObs) noteLoopReject() {
+	if o != nil {
+		o.loopRejects.Inc()
+	}
+}
+
+func (o *clusterObs) noteReplication(lag time.Duration, err bool) {
+	if o == nil {
+		return
+	}
+	if err {
+		o.replicationErrors.Inc()
+		return
+	}
+	o.replicationsSent.Inc()
+	o.replicationSeconds.Record(lag)
+}
+
+func (o *clusterObs) noteReplicaInstall() {
+	if o != nil {
+		o.replicaInstalls.Inc()
+	}
+}

@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"time"
+
+	"cleo/internal/learned"
+	"cleo/internal/persist"
+	"cleo/internal/serve"
+	"cleo/internal/stats"
+)
+
+// Snapshot replication: after every local model publish, the publishing
+// node ships the version's artifacts — the manifest, the serialized
+// predictor exactly as the snapshot store writes it, and the tenant's
+// table-statistics catalog — to every other replica of the tenant. The
+// follower installs the version warm (live in its registry under the
+// origin id) and persists the same bytes to its own state directory, so
+// both a failover and a follower restart serve the latest learned model
+// with no retrain and no client-supplied stats.
+
+// maxReplicateBody bounds a replication push body. Model stores are a few
+// hundred KB per family at realistic workload sizes; 64 MiB leaves room
+// for very large ensembles without letting a peer exhaust memory.
+const maxReplicateBody = 64 << 20
+
+// replicatePayload is the POST /internal/cluster/replicate body.
+type replicatePayload struct {
+	Tenant   string           `json:"tenant"`
+	Manifest persist.Manifest `json:"manifest"`
+	// Model is the serialized predictor (learned.Predictor.Save output),
+	// embedded raw so followers persist bit-identical artifacts.
+	Model json.RawMessage `json:"model"`
+	// Tables is the owner's table-statistics catalog at publish time.
+	Tables map[string]stats.TableStats `json:"tables,omitempty"`
+}
+
+// manifestFromInfo converts registry metadata to the durable manifest
+// form shipped to followers.
+func manifestFromInfo(info serve.ModelVersionInfo) persist.Manifest {
+	return persist.Manifest{
+		ID:           info.ID,
+		TrainedAt:    info.TrainedAt,
+		TrainRecords: info.TrainRecords,
+		NumModels:    info.NumModels,
+		Accuracy:     info.Accuracy,
+	}
+}
+
+// infoFromManifest is the inverse of manifestFromInfo.
+func infoFromManifest(man persist.Manifest) serve.ModelVersionInfo {
+	return serve.ModelVersionInfo{
+		ID:           man.ID,
+		TrainedAt:    man.TrainedAt,
+		TrainRecords: man.TrainRecords,
+		NumModels:    man.NumModels,
+		Accuracy:     man.Accuracy,
+	}
+}
+
+// onPublish is the serving layer's publish hook: serialize the fresh
+// version once and push it to every other replica of the tenant
+// asynchronously — replication must never sit on the retraining path.
+func (c *Cluster) onPublish(t *serve.Tenant, v *serve.ModelVersion) {
+	if c.closing.Load() {
+		return
+	}
+	followers := make([]string, 0, c.rf-1)
+	for _, node := range c.Replicas(t.Name) {
+		if node != c.self {
+			followers = append(followers, node)
+		}
+	}
+	if len(followers) == 0 {
+		return
+	}
+	var buf bytes.Buffer
+	if err := v.Predictor.Save(&buf); err != nil {
+		c.replicationErrors.Add(1)
+		c.obs.noteReplication(0, true)
+		c.log.Warn("cluster: serializing model for replication failed",
+			"tenant", t.Name, "version", v.Info.ID, "err", err)
+		return
+	}
+	payload, err := json.Marshal(replicatePayload{
+		Tenant:   t.Name,
+		Manifest: manifestFromInfo(v.Info),
+		Model:    json.RawMessage(buf.Bytes()),
+		Tables:   t.System().Catalog().Tables(),
+	})
+	if err != nil {
+		c.replicationErrors.Add(1)
+		c.obs.noteReplication(0, true)
+		return
+	}
+	for _, node := range followers {
+		node := node
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.pushReplica(node, t.Name, v.Info.ID, v.Info.TrainedAt, payload)
+		}()
+	}
+}
+
+// pushReplica delivers one replication payload to one follower, retrying
+// a bounded number of times. A version that never lands is dropped — the
+// next publish ships a strictly newer one, and the follower's ImportSnapshot
+// ignores stale arrivals anyway.
+func (c *Cluster) pushReplica(node, tenant string, version int64, trainedAt time.Time, payload []byte) {
+	u := c.peers[node] + "/internal/cluster/replicate"
+	for attempt := 0; attempt <= c.replicateRetries; attempt++ {
+		if c.closing.Load() && attempt > 0 {
+			return // finish the first try during shutdown, skip retries
+		}
+		resp, err := c.repClient.Post(u, "application/json", bytes.NewReader(payload))
+		if err == nil {
+			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				c.replicationsSent.Add(1)
+				c.obs.noteReplication(time.Since(trainedAt), false)
+				return
+			}
+			c.log.Warn("cluster: replication push rejected",
+				"peer", node, "tenant", tenant, "version", version, "status", resp.StatusCode)
+		} else {
+			c.log.Warn("cluster: replication push failed",
+				"peer", node, "tenant", tenant, "version", version,
+				"attempt", attempt+1, "err", err)
+		}
+		time.Sleep(time.Duration(attempt+1) * 100 * time.Millisecond)
+	}
+	c.replicationErrors.Add(1)
+	c.obs.noteReplication(0, true)
+}
+
+// handleReplicate is the follower side: validate the model bytes parse,
+// then hand everything to the serving layer for the warm install and the
+// local durable copy.
+func (c *Cluster) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	var p replicatePayload
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxReplicateBody))
+	if err := dec.Decode(&p); err != nil {
+		writeJSONError(w, http.StatusBadRequest, "bad replication payload: %v", err)
+		return
+	}
+	if p.Tenant == "" || p.Manifest.ID <= 0 || len(p.Model) == 0 {
+		writeJSONError(w, http.StatusBadRequest, "bad replication payload: missing tenant, id or model")
+		return
+	}
+	pr, err := learned.Load(bytes.NewReader(p.Model))
+	if err != nil {
+		writeJSONError(w, http.StatusUnprocessableEntity, "replicated model does not parse: %v", err)
+		return
+	}
+	installed := c.svc.Tenant(p.Tenant).InstallReplica(infoFromManifest(p.Manifest), pr, p.Model, p.Tables)
+	if installed {
+		c.replicaInstalls.Add(1)
+		c.obs.noteReplicaInstall()
+		c.log.Info("cluster: installed replicated model",
+			"tenant", p.Tenant, "version", p.Manifest.ID)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"node": c.self, "tenant": p.Tenant, "version": p.Manifest.ID, "installed": installed,
+	})
+}

@@ -1,0 +1,130 @@
+// Package cluster is cleoserve's scale-out layer: a static-membership
+// peer group that consistent-hashes tenants across nodes with a
+// configurable replication factor, replicates model snapshot artifacts
+// from each tenant's owner to its followers on every publish (so a node
+// loss fails over warm), and transparently forwards tenant-scoped /v1/*
+// requests that land on a non-owner node — with a per-hop timeout, a
+// bounded walk down the replica preference list, and a loop-guard header
+// so disagreeing ring views can never bounce a request forever. It layers
+// entirely on the serving and persistence subsystems: the artifacts it
+// ships are internal/persist's atomic, versioned snapshot files, and the
+// warm failover it provides is internal/serve's registry install.
+package cluster
+
+import (
+	"sort"
+)
+
+// ringVnodes is the number of virtual nodes each physical node projects
+// onto the ring. 64 keeps per-node load within a few percent of fair for
+// small clusters while the ring stays tiny (N*64 entries).
+const ringVnodes = 64
+
+// vnode is one virtual point on the ring.
+type vnode struct {
+	hash uint64
+	node int // index into Ring.nodes
+}
+
+// Ring is an immutable consistent-hash ring over a fixed node set.
+// Lookup walks clockwise from the key's position collecting distinct
+// nodes, so adding or removing one node only moves the tenants whose arcs
+// it owned — the property that makes failover and (future) membership
+// changes cheap.
+type Ring struct {
+	nodes  []string
+	vnodes []vnode // sorted by hash
+}
+
+// NewRing builds a ring over the given node ids (order-insensitive; the
+// ids are sorted internally so every node derives the identical ring).
+func NewRing(nodes []string) *Ring {
+	sorted := append([]string(nil), nodes...)
+	sort.Strings(sorted)
+	r := &Ring{nodes: sorted}
+	r.vnodes = make([]vnode, 0, len(sorted)*ringVnodes)
+	for i, n := range sorted {
+		for v := 0; v < ringVnodes; v++ {
+			r.vnodes = append(r.vnodes, vnode{hash: ringHash(n, v), node: i})
+		}
+	}
+	sort.Slice(r.vnodes, func(i, k int) bool { return r.vnodes[i].hash < r.vnodes[k].hash })
+	return r
+}
+
+// Nodes returns the ring's member ids, sorted.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Size reports the number of physical nodes.
+func (r *Ring) Size() int { return len(r.nodes) }
+
+// Lookup returns the key's replica preference list: the owner first, then
+// the next n-1 distinct nodes clockwise. n is clamped to the node count.
+func (r *Ring) Lookup(key string, n int) []string {
+	if len(r.nodes) == 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	if n < 1 {
+		n = 1
+	}
+	h := keyHash(key)
+	// First vnode clockwise of the key's position (wrapping).
+	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[int]struct{}, n)
+	for k := 0; k < len(r.vnodes) && len(out) < n; k++ {
+		vn := r.vnodes[(i+k)%len(r.vnodes)]
+		if _, dup := seen[vn.node]; dup {
+			continue
+		}
+		seen[vn.node] = struct{}{}
+		out = append(out, r.nodes[vn.node])
+	}
+	return out
+}
+
+// Owner returns the key's owning node.
+func (r *Ring) Owner(key string) string {
+	l := r.Lookup(key, 1)
+	if len(l) == 0 {
+		return ""
+	}
+	return l[0]
+}
+
+// ringHash positions one virtual node. FNV-1a over "node#i", finalized
+// with a splitmix64-style mix: FNV alone clusters short sequential inputs,
+// and clustered vnodes skew arc ownership.
+func ringHash(node string, v int) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(node); i++ {
+		h = (h ^ uint64(node[i])) * 1099511628211
+	}
+	h = (h ^ '#') * 1099511628211
+	h = (h ^ uint64(v&0xff)) * 1099511628211
+	h = (h ^ uint64((v>>8)&0xff)) * 1099511628211
+	return mix64(h)
+}
+
+// keyHash positions a tenant key on the ring.
+func keyHash(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * 1099511628211
+	}
+	return mix64(h)
+}
+
+// mix64 is the splitmix64 finalizer — full-avalanche so nearby inputs
+// land far apart on the ring.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

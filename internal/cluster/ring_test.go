@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRingLookupDeterministicAndDistinct(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4", "n5"}
+	r := NewRing(nodes)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("tenant-%d", i)
+		got := r.Lookup(key, 3)
+		if len(got) != 3 {
+			t.Fatalf("Lookup(%q, 3) = %v", key, got)
+		}
+		seen := map[string]bool{}
+		for _, n := range got {
+			if seen[n] {
+				t.Fatalf("Lookup(%q, 3) repeats node: %v", key, got)
+			}
+			seen[n] = true
+		}
+		// Same ring, same key, same answer — and a ring built from the
+		// same membership in a different order agrees (peers maps iterate
+		// randomly, so every node must sort before hashing).
+		if again := r.Lookup(key, 3); !reflect.DeepEqual(got, again) {
+			t.Fatalf("Lookup(%q) unstable: %v vs %v", key, got, again)
+		}
+		shuffled := NewRing([]string{"n4", "n2", "n5", "n1", "n3"})
+		if other := shuffled.Lookup(key, 3); !reflect.DeepEqual(got, other) {
+			t.Fatalf("ring order-sensitive for %q: %v vs %v", key, got, other)
+		}
+		if r.Owner(key) != got[0] {
+			t.Fatalf("Owner(%q) = %s, Lookup head = %s", key, r.Owner(key), got[0])
+		}
+	}
+}
+
+func TestRingLookupClampsReplicaCount(t *testing.T) {
+	r := NewRing([]string{"a", "b"})
+	if got := r.Lookup("x", 5); len(got) != 2 {
+		t.Fatalf("Lookup clamped = %v, want both nodes", got)
+	}
+	if got := r.Lookup("x", 0); len(got) != 1 {
+		t.Fatalf("Lookup(x, 0) = %v, want owner only", got)
+	}
+}
+
+// TestRingBalance pins the virtual-node count's job: ownership spread
+// across nodes stays within a loose factor of fair share, so one node
+// never absorbs a disproportionate slice of tenants.
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4", "n5"}
+	r := NewRing(nodes)
+	counts := map[string]int{}
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("tenant-%d", i))]++
+	}
+	fair := keys / len(nodes)
+	for _, n := range nodes {
+		if counts[n] < fair/2 || counts[n] > fair*2 {
+			t.Fatalf("unbalanced ring: %v (fair share %d)", counts, fair)
+		}
+	}
+}
+
+// TestRingStabilityUnderMembershipChange checks the consistent-hashing
+// property: removing one node from a 5-node ring may only move keys that
+// node owned — every other key keeps its owner.
+func TestRingStabilityUnderMembershipChange(t *testing.T) {
+	full := NewRing([]string{"n1", "n2", "n3", "n4", "n5"})
+	without := NewRing([]string{"n1", "n2", "n3", "n4"})
+	moved := 0
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("tenant-%d", i)
+		before := full.Owner(key)
+		after := without.Owner(key)
+		if before != "n5" && before != after {
+			t.Fatalf("key %q moved %s -> %s though its owner survived", key, before, after)
+		}
+		if before == "n5" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys owned by the removed node — balance test should have caught this")
+	}
+}

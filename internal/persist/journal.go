@@ -360,17 +360,17 @@ func (j *Journal) SizeBytes() int64 {
 	return j.size
 }
 
-// Close syncs (when enabled) and closes the journal file.
+// Close syncs and closes the journal file. The sync is unconditional —
+// even without per-append fsync, a graceful shutdown (SIGTERM drain) must
+// leave the whole journal durable rather than relying on the OS flushing
+// the page cache after exit.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.f == nil {
 		return nil
 	}
-	var err error
-	if j.fsync {
-		err = j.f.Sync()
-	}
+	err := j.f.Sync()
 	if cerr := j.f.Close(); err == nil {
 		err = cerr
 	}

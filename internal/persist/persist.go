@@ -24,8 +24,10 @@ package persist
 
 import (
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -186,6 +188,8 @@ type TenantState struct {
 	mu       sync.Mutex // serializes snapshot writes; guards lastSnap
 	lastSnap int64
 
+	tablesMu sync.Mutex // serializes tables.json writes
+
 	replayMu sync.Mutex
 	replay   []telemetry.Record
 
@@ -193,6 +197,8 @@ type TenantState struct {
 	snapshotErrors   atomic.Uint64
 	journalAppends   atomic.Uint64
 	journalErrors    atomic.Uint64
+	tableSaves       atomic.Uint64
+	tableErrors      atomic.Uint64
 	droppedBytes     atomic.Int64
 	recoveredVersion atomic.Int64
 	recoveredRecords atomic.Int64
@@ -262,6 +268,67 @@ func (ts *TenantState) SaveSnapshot(man Manifest, pr *learned.Predictor) error {
 	return nil
 }
 
+// ExportSnapshot reads one snapshot's raw artifacts — manifest plus the
+// serialized model exactly as it sits on disk — for shipping to a replica.
+// The bytes round-trip bit-identically through ImportSnapshot on the
+// receiving node.
+func (ts *TenantState) ExportSnapshot(id int64) (Manifest, []byte, error) {
+	man, err := readManifest(manifestPath(ts.dir, id))
+	if err != nil {
+		return Manifest{}, nil, err
+	}
+	model, err := os.ReadFile(modelPath(ts.dir, id))
+	if err != nil {
+		return Manifest{}, nil, err
+	}
+	return man, model, nil
+}
+
+// ImportSnapshot installs a snapshot received from another node, writing
+// the model bytes verbatim (replicas hold bit-identical artifacts) through
+// the same atomic temp+fsync+rename path as local snapshots. Monotonicity
+// matches SaveSnapshot: importing a version at or below the newest already
+// on disk returns ErrStale untouched.
+func (ts *TenantState) ImportSnapshot(man Manifest, model []byte) error {
+	if man.ID <= 0 {
+		return fmt.Errorf("persist: import snapshot: bad id %d", man.ID)
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if man.ID <= ts.lastSnap {
+		return ErrStale
+	}
+	if man.SavedAt.IsZero() {
+		man.SavedAt = time.Now().UTC()
+	}
+	var t0 time.Time
+	if ts.metrics != nil {
+		t0 = time.Now()
+	}
+	if err := writeFileAtomic(modelPath(ts.dir, man.ID), func(w io.Writer) error {
+		_, err := w.Write(model)
+		return err
+	}); err != nil {
+		ts.snapshotErrors.Add(1)
+		return fmt.Errorf("persist: import model v%d: %w", man.ID, err)
+	}
+	if err := writeFileAtomic(manifestPath(ts.dir, man.ID), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(&man)
+	}); err != nil {
+		ts.snapshotErrors.Add(1)
+		return fmt.Errorf("persist: import manifest v%d: %w", man.ID, err)
+	}
+	if !t0.IsZero() {
+		ts.metrics.snapshotSeconds.Record(time.Since(t0))
+	}
+	ts.lastSnap = man.ID
+	ts.snapshots.Add(1)
+	pruneSnapshots(ts.dir, ts.retain, ts.logf)
+	return nil
+}
+
 // LoadLatest returns the newest loadable snapshot, skipping corrupt ones.
 func (ts *TenantState) LoadLatest() (Manifest, *learned.Predictor, bool) {
 	man, pr, ok := loadLatest(ts.dir, ts.logf)
@@ -311,6 +378,10 @@ type Stats struct {
 	// JournalAppends / JournalErrors count journaled telemetry batches.
 	JournalAppends uint64 `json:"journal_appends"`
 	JournalErrors  uint64 `json:"journal_errors,omitempty"`
+	// TableSaves / TableErrors count table-statistics catalog writes
+	// (tables.json) this process.
+	TableSaves  uint64 `json:"table_saves,omitempty"`
+	TableErrors uint64 `json:"table_errors,omitempty"`
 	// JournalRecords / JournalBytes describe the journal's current
 	// (not-yet-trained) contents.
 	JournalRecords int64 `json:"journal_records"`
@@ -329,6 +400,8 @@ func (ts *TenantState) Stats() Stats {
 		SnapshotErrors:   ts.snapshotErrors.Load(),
 		JournalAppends:   ts.journalAppends.Load(),
 		JournalErrors:    ts.journalErrors.Load(),
+		TableSaves:       ts.tableSaves.Load(),
+		TableErrors:      ts.tableErrors.Load(),
 		JournalRecords:   ts.journal.Records(),
 		JournalBytes:     ts.journal.SizeBytes(),
 		RecoveredVersion: ts.recoveredVersion.Load(),

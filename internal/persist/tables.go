@@ -1,0 +1,67 @@
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"cleo/internal/stats"
+)
+
+// Durable table statistics: the serving layer registers stored-input
+// statistics per tenant (RegisterTable), and without persistence the first
+// post-restart request depends on the client re-sending them. SaveTables
+// snapshots the whole catalog into one atomically-written tables.json next
+// to the model snapshots; recovery (and replica installation) re-registers
+// it before traffic arrives.
+
+const tablesName = "tables.json"
+
+// storedTables is the tables.json schema, versioned like the model store.
+type storedTables struct {
+	Version int                         `json:"version"`
+	Tables  map[string]stats.TableStats `json:"tables"`
+}
+
+// SaveTables atomically persists the tenant's table-statistics catalog.
+// Writes are serialized per tenant; the newest call wins, which is safe
+// because callers always pass a full just-snapshotted catalog.
+func (ts *TenantState) SaveTables(tables map[string]stats.TableStats) error {
+	ts.tablesMu.Lock()
+	defer ts.tablesMu.Unlock()
+	err := writeFileAtomic(filepath.Join(ts.dir, tablesName), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(&storedTables{Version: 1, Tables: tables})
+	})
+	if err != nil {
+		ts.tableErrors.Add(1)
+		return fmt.Errorf("persist: write tables: %w", err)
+	}
+	ts.tableSaves.Add(1)
+	return nil
+}
+
+// LoadTables reads the persisted table-statistics catalog. A missing file
+// is a clean empty result; a corrupt one degrades to an error the caller
+// logs (the tenant still serves, statistics just arrive with requests
+// again).
+func (ts *TenantState) LoadTables() (map[string]stats.TableStats, error) {
+	b, err := os.ReadFile(filepath.Join(ts.dir, tablesName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var st storedTables
+	if err := json.Unmarshal(b, &st); err != nil {
+		return nil, fmt.Errorf("persist: decode tables: %w", err)
+	}
+	if st.Version != 1 {
+		return nil, fmt.Errorf("persist: unsupported tables version %d", st.Version)
+	}
+	return st.Tables, nil
+}

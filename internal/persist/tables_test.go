@@ -1,0 +1,147 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"cleo/internal/stats"
+)
+
+func testTenantState(t *testing.T) *TenantState {
+	t.Helper()
+	mgr, err := NewManager(Config{Dir: t.TempDir(), Logf: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := mgr.Tenant("ads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ts.Close() })
+	return ts
+}
+
+func TestTablesSaveLoadRoundTrip(t *testing.T) {
+	ts := testTenantState(t)
+	if tabs, err := ts.LoadTables(); err != nil || tabs != nil {
+		t.Fatalf("fresh state LoadTables = %v, %v (want empty, nil)", tabs, err)
+	}
+	want := map[string]stats.TableStats{
+		"clicks_2026_06_12": {Rows: 2e7, RowLength: 120},
+		"users":             {Rows: 5e5, RowLength: 64},
+	}
+	if err := ts.SaveTables(want); err != nil {
+		t.Fatal(err)
+	}
+	// Newest full catalog wins — overwrites, not merges.
+	want["impressions"] = stats.TableStats{Rows: 9e6, RowLength: 48}
+	if err := ts.SaveTables(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ts.LoadTables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip: got %+v want %+v", got, want)
+	}
+	st := ts.Stats()
+	if st.TableSaves != 2 || st.TableErrors != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestTablesCorruptFileDegrades(t *testing.T) {
+	ts := testTenantState(t)
+	if err := ts.SaveTables(map[string]stats.TableStats{"t": {Rows: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(ts.dir, tablesName)
+	if err := os.WriteFile(path, []byte(`{"version":1,"tables":{`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ts.LoadTables(); err == nil {
+		t.Fatal("corrupt tables.json must surface an error, not silent stats loss")
+	}
+	// An unsupported schema version is refused too, never misread.
+	if err := os.WriteFile(path, []byte(`{"version":2,"tables":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ts.LoadTables(); err == nil {
+		t.Fatal("future tables.json version must be refused")
+	}
+}
+
+// TestExportImportSnapshotRoundTrip pins the replication contract: the
+// exported artifacts land on another tenant state bit-identical, load as
+// the latest snapshot there, and stale re-imports are refused.
+func TestExportImportSnapshotRoundTrip(t *testing.T) {
+	src := testTenantState(t)
+	pr := trainedPredictor(t)
+	if err := src.SaveSnapshot(Manifest{ID: 3, TrainRecords: 120}, pr); err != nil {
+		t.Fatal(err)
+	}
+	man, model, err := src.ExportSnapshot(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.ID != 3 || man.TrainRecords != 120 || len(model) == 0 {
+		t.Fatalf("export: %+v, %d model bytes", man, len(model))
+	}
+	onDisk, err := os.ReadFile(modelPath(src.dir, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(model, onDisk) {
+		t.Fatal("export must return the exact on-disk artifact")
+	}
+
+	dst := testTenantState(t)
+	if err := dst.ImportSnapshot(man, model); err != nil {
+		t.Fatal(err)
+	}
+	imported, err := os.ReadFile(modelPath(dst.dir, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(imported, model) {
+		t.Fatal("imported model bytes differ from the shipped artifact")
+	}
+	gotMan, gotPr, ok := dst.LoadLatest()
+	if !ok || gotMan.ID != 3 || gotMan.TrainRecords != 120 || gotPr == nil {
+		t.Fatalf("follower LoadLatest: %+v ok=%v", gotMan, ok)
+	}
+
+	// Monotonicity: the same or an older version is stale on re-import.
+	if err := dst.ImportSnapshot(man, model); !errors.Is(err, ErrStale) {
+		t.Fatalf("re-import err = %v, want ErrStale", err)
+	}
+	if err := dst.ImportSnapshot(Manifest{ID: 2}, model); !errors.Is(err, ErrStale) {
+		t.Fatalf("older import err = %v, want ErrStale", err)
+	}
+	if err := dst.ImportSnapshot(Manifest{ID: 0}, model); err == nil || errors.Is(err, ErrStale) {
+		t.Fatalf("bad id err = %v, want validation error", err)
+	}
+	// And the local SaveSnapshot path honours imported ids the same way.
+	if err := dst.SaveSnapshot(Manifest{ID: 3}, pr); !errors.Is(err, ErrStale) {
+		t.Fatalf("local save at imported id err = %v, want ErrStale", err)
+	}
+
+	st := dst.Stats()
+	if st.Snapshots != 1 {
+		t.Fatalf("follower stats: %+v", st)
+	}
+}
+
+// TestExportSnapshotMissing covers the owner-side error path: exporting a
+// version that was never snapshotted fails cleanly.
+func TestExportSnapshotMissing(t *testing.T) {
+	ts := testTenantState(t)
+	if _, _, err := ts.ExportSnapshot(7); err == nil {
+		t.Fatal("exporting a missing snapshot must fail")
+	}
+}

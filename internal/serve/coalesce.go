@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"cleo/internal/engine"
+	"cleo/internal/plan"
+)
+
+// Request coalescing: a burst of identical in-flight recurring
+// optimizations collapses into one search. The first request with a given
+// key (the leader) runs the optimizer; concurrent duplicates park on its
+// done channel and share the result — bit-identical by construction, since
+// they would have produced the same plan anyway. The key pins everything a
+// plan depends on: the logical plan's signature, the job parameters, the
+// model identity (version id) and the statistics epoch, so a hot-swap or a
+// stats change can never serve a coalesced plan computed under the old
+// state. Only optimize-mode requests coalesce — runs execute per request —
+// and traced requests bypass the group (a trace is per-request output).
+
+// coalesceKey identifies one optimization's full input.
+type coalesceKey struct {
+	sig         plan.Signature
+	seed        int64
+	param       float64
+	parallelism int
+	version     int64 // pinned model version id (0 = default cost model)
+	epoch       uint64
+	flags       uint8 // useLearned | resourceAware<<1 | safe<<2
+}
+
+// coalesceCall is one in-flight leader computation.
+type coalesceCall struct {
+	done    chan struct{}
+	p       *plan.Physical
+	cost    float64
+	version int64
+	err     error
+}
+
+// coalescer is a singleflight group over optimization keys.
+type coalescer struct {
+	mu sync.Mutex
+	m  map[coalesceKey]*coalesceCall
+
+	leaders   atomic.Uint64 // calls that ran the optimizer
+	coalesced atomic.Uint64 // calls that piggybacked on a leader
+}
+
+func newCoalescer() *coalescer {
+	return &coalescer{m: make(map[coalesceKey]*coalesceCall)}
+}
+
+// do runs fn once per concurrent key: the leader executes it, duplicates
+// wait and share the result. The bool reports whether the call coalesced
+// (waited on another request's computation).
+func (g *coalescer) do(key coalesceKey, fn func() (*plan.Physical, float64, int64, error)) (*plan.Physical, float64, int64, bool, error) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		g.coalesced.Add(1)
+		return c.p, c.cost, c.version, true, c.err
+	}
+	c := &coalesceCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	g.leaders.Add(1)
+	c.p, c.cost, c.version, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.p, c.cost, c.version, false, c.err
+}
+
+// coalesceKeyFor builds the coalescing key for one prepared request.
+// version must be the model version id prepare pinned, so the key reflects
+// the exact model identity the optimization will use.
+func coalesceKeyFor(q *plan.Logical, opts engine.RunOptions, version int64, epoch uint64) coalesceKey {
+	var flags uint8
+	if opts.UseLearnedModels {
+		flags |= 1
+	}
+	if opts.ResourceAware {
+		flags |= 2
+	}
+	if opts.SafePlanSelection {
+		flags |= 4
+	}
+	return coalesceKey{
+		sig:         plan.LogicalSignature(q),
+		seed:        opts.Seed,
+		param:       opts.Param,
+		parallelism: opts.Parallelism,
+		version:     version,
+		epoch:       epoch,
+		flags:       flags,
+	}
+}

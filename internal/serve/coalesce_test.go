@@ -1,0 +1,311 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cleo/internal/engine"
+	"cleo/internal/obs"
+	"cleo/internal/plan"
+)
+
+// TestCoalescerSharesOneComputation is the deterministic singleflight
+// pin: a leader blocked inside fn, two duplicates arriving while it runs,
+// and exactly one execution shared by all three.
+func TestCoalescerSharesOneComputation(t *testing.T) {
+	g := newCoalescer()
+	key := coalesceKey{seed: 1}
+	sentinel := &plan.Physical{}
+
+	var started sync.Once
+	startedCh := make(chan struct{})
+	gate := make(chan struct{})
+	var runs int32
+	var wg sync.WaitGroup
+	results := make([]*plan.Physical, 3)
+	shared := make([]bool, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, cost, version, sh, err := g.do(key, func() (*plan.Physical, float64, int64, error) {
+				started.Do(func() { close(startedCh) })
+				<-gate
+				runs++
+				return sentinel, 42, 7, nil
+			})
+			if err != nil || cost != 42 || version != 7 {
+				t.Errorf("call %d: p=%v cost=%v version=%d err=%v", i, p, cost, version, err)
+			}
+			results[i], shared[i] = p, sh
+		}()
+		if i == 0 {
+			<-startedCh // leader is inside fn before the duplicates start
+		}
+	}
+	// The leader is gated inside fn, so the key stays claimed while the
+	// duplicates reach the group and park on its done channel.
+	time.Sleep(100 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	if runs != 1 {
+		t.Fatalf("fn ran %d times — duplicates did not share the leader's run", runs)
+	}
+	nShared := 0
+	for i := range results {
+		if results[i] != sentinel {
+			t.Fatalf("call %d did not share the sentinel plan", i)
+		}
+		if shared[i] {
+			nShared++
+		}
+	}
+	if g.leaders.Load() != 1 {
+		t.Fatalf("leaders = %d", g.leaders.Load())
+	}
+	if int(g.coalesced.Load()) != nShared {
+		t.Fatalf("coalesced counter %d, shared flags %d", g.coalesced.Load(), nShared)
+	}
+	// A later call with the same key is a fresh leader, not a stale share.
+	_, _, _, sh, _ := g.do(key, func() (*plan.Physical, float64, int64, error) {
+		return nil, 0, 0, nil
+	})
+	if sh {
+		t.Fatal("completed key still coalescing")
+	}
+}
+
+// TestCoalesceKeyDiscriminates pins every input the key must separate:
+// two requests differing in any of them must never share a plan.
+func TestCoalesceKeyDiscriminates(t *testing.T) {
+	q := demoPlan()
+	base := coalesceKeyFor(q, engine.RunOptions{Seed: 1, Param: 2}, 3, 4)
+	variants := map[string]coalesceKey{
+		"seed":        coalesceKeyFor(q, engine.RunOptions{Seed: 9, Param: 2}, 3, 4),
+		"param":       coalesceKeyFor(q, engine.RunOptions{Seed: 1, Param: 9}, 3, 4),
+		"parallelism": coalesceKeyFor(q, engine.RunOptions{Seed: 1, Param: 2, Parallelism: 4}, 3, 4),
+		"version":     coalesceKeyFor(q, engine.RunOptions{Seed: 1, Param: 2}, 9, 4),
+		"epoch":       coalesceKeyFor(q, engine.RunOptions{Seed: 1, Param: 2}, 3, 9),
+		"learned":     coalesceKeyFor(q, engine.RunOptions{Seed: 1, Param: 2, UseLearnedModels: true}, 3, 4),
+		"resource":    coalesceKeyFor(q, engine.RunOptions{Seed: 1, Param: 2, ResourceAware: true}, 3, 4),
+		"safe":        coalesceKeyFor(q, engine.RunOptions{Seed: 1, Param: 2, SafePlanSelection: true}, 3, 4),
+		"plan": coalesceKeyFor(plan.NewOutput(plan.NewGet("clicks_2026_06_12", "clicks_")),
+			engine.RunOptions{Seed: 1, Param: 2}, 3, 4),
+	}
+	for name, k := range variants {
+		if k == base {
+			t.Errorf("key ignores %s", name)
+		}
+	}
+	if again := coalesceKeyFor(demoPlan(), engine.RunOptions{Seed: 1, Param: 2}, 3, 4); again != base {
+		t.Error("key not deterministic for identical inputs")
+	}
+}
+
+// TestCoalesceTraceBypasses: a traced request must run its own search
+// (the trace is per-request output) even while an identical computation
+// is in flight — if it joined the group it would deadlock here, since the
+// leader never finishes until the gate opens.
+func TestCoalesceTraceBypasses(t *testing.T) {
+	svc := NewService(Config{Coalesce: true})
+	defer svc.Close()
+	tn := newTestTenant(svc, "ads")
+	q := demoPlan()
+
+	opts := engine.RunOptions{Seed: 5, Param: 2}
+	probe := opts
+	version := tn.prepare(&probe)
+	key := coalesceKeyFor(q, opts, version, tn.sys.Catalog().Epoch())
+
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tn.coalesce.do(key, func() (*plan.Physical, float64, int64, error) {
+			<-gate
+			return nil, 0, 0, nil
+		})
+	}()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		traced := opts
+		traced.Trace = obs.NewTrace(0)
+		_, _, _, shared, err := tn.OptimizeCoalesced(q, traced)
+		if err != nil {
+			t.Errorf("traced optimize: %v", err)
+		}
+		if shared {
+			t.Error("traced request coalesced")
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("traced request joined the in-flight group (deadlock)")
+	}
+	close(gate)
+	wg.Wait()
+}
+
+// TestCoalesceHTTPSharedResponse pins the acceptance behaviour end to
+// end and deterministically: while an identical optimization is in
+// flight (a gated synthetic leader holding the exact key the request
+// hashes to), a /v1/query optimize request parks on it, reports
+// "coalesced": true with the leader's bit-identical plan, and
+// cleo_cluster_coalesced_total moves.
+func TestCoalesceHTTPSharedResponse(t *testing.T) {
+	svc := NewService(Config{Coalesce: true, Metrics: obs.NewRegistry()})
+	defer svc.Close()
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+
+	tn := newTestTenant(svc, "ads")
+	q := demoPlan()
+	opts := engine.RunOptions{Seed: 5, Param: 2}
+
+	// The plan the group will hand out — computed outside the group.
+	searchOpts := opts
+	tn.prepare(&searchOpts)
+	searchOpts.SkipLogging = true
+	wantPlan, wantCost, err := tn.sys.Optimize(q, searchOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	probe := opts
+	version := tn.prepare(&probe)
+	key := coalesceKeyFor(q, opts, version, tn.sys.Catalog().Epoch())
+
+	for attempt := 0; attempt < 20; attempt++ {
+		gate := make(chan struct{})
+		var leader sync.WaitGroup
+		leader.Add(1)
+		go func() {
+			defer leader.Done()
+			tn.coalesce.do(key, func() (*plan.Physical, float64, int64, error) {
+				<-gate
+				return wantPlan, wantCost, version, nil
+			})
+		}()
+
+		type httpResult struct {
+			code int
+			body []byte
+		}
+		resCh := make(chan httpResult, 1)
+		go func() {
+			code, body := postJSON(t, srv.URL+"/v1/query",
+				queryBody("ads", 5, `,"mode":"optimize","param":2`))
+			resCh <- httpResult{code, body}
+		}()
+		// Wait for the request to enter the optimize path, then give it a
+		// beat to reach the group; the gated leader holds the key the
+		// whole time, so "too early" only risks a retry, never a flake.
+		for base := tn.optimizes.Load(); tn.optimizes.Load() == base; {
+			time.Sleep(time.Millisecond)
+		}
+		time.Sleep(20 * time.Millisecond)
+		close(gate)
+		leader.Wait()
+		res := <-resCh
+		if res.code != 200 {
+			t.Fatalf("optimize: %d %s", res.code, res.body)
+		}
+		var qr QueryResponse
+		if err := json.Unmarshal(res.body, &qr); err != nil {
+			t.Fatal(err)
+		}
+		if !qr.Coalesced {
+			continue // lost the tiny entry race; re-arm the leader
+		}
+		if qr.Plan != wantPlan.String() || qr.PredictedCost != wantCost {
+			t.Fatalf("shared response diverged: %+v", qr)
+		}
+		body := getMetrics(t, srv.URL)
+		for _, line := range strings.Split(body, "\n") {
+			if strings.HasPrefix(line, "cleo_cluster_coalesced_total ") {
+				if strings.TrimSpace(line) == "cleo_cluster_coalesced_total 0" {
+					t.Fatalf("metric did not move: %s", line)
+				}
+				return
+			}
+		}
+		t.Fatal("cleo_cluster_coalesced_total not exposed")
+	}
+	t.Fatal("request never coalesced despite a gated leader holding its key")
+}
+
+func getMetrics(t *testing.T, base string) string {
+	t.Helper()
+	code, body := getJSON(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("metrics: %d", code)
+	}
+	return string(body)
+}
+
+// TestCoalesceConcurrentIdenticalRequests is the -race pin: a pile of
+// identical optimize calls racing one tenant, every response carrying the
+// same bit-identical plan and cost, leaders + coalesced covering every
+// call, and at least one call actually sharing (the parallel search's
+// worker pool yields, so overlap happens even on one CPU).
+func TestCoalesceConcurrentIdenticalRequests(t *testing.T) {
+	svc := NewService(Config{Coalesce: true})
+	defer svc.Close()
+	tn := newTestTenant(svc, "ads")
+	q := demoPlan()
+
+	deadline := time.Now().Add(30 * time.Second)
+	total := uint64(0)
+	for tn.coalesce.coalesced.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no overlap across repeated identical bursts")
+		}
+		const burst = 16
+		var wg sync.WaitGroup
+		plans := make([]string, burst)
+		costs := make([]float64, burst)
+		for i := 0; i < burst; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				p, cost, _, _, err := tn.OptimizeCoalesced(q,
+					engine.RunOptions{Seed: 3, Param: 2, Parallelism: 2})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				plans[i], costs[i] = p.String(), cost
+			}()
+		}
+		wg.Wait()
+		if t.Failed() {
+			t.FailNow()
+		}
+		total += burst
+		for i := 1; i < burst; i++ {
+			if plans[i] != plans[0] || costs[i] != costs[0] {
+				t.Fatalf("result %d diverged: %q/%v vs %q/%v",
+					i, plans[i], costs[i], plans[0], costs[0])
+			}
+		}
+	}
+	leaders, coalesced := tn.coalesce.leaders.Load(), tn.coalesce.coalesced.Load()
+	if leaders+coalesced != total {
+		t.Fatalf("leaders %d + coalesced %d != calls %d", leaders, coalesced, total)
+	}
+	st := tn.Stats()
+	if st.Coalesced != coalesced || st.CoalesceLeaders != leaders {
+		t.Fatalf("stats %+v disagree with counters %d/%d", st, coalesced, leaders)
+	}
+}

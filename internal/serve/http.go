@@ -67,7 +67,10 @@ type QueryResponse struct {
 	Mode         string `json:"mode"`
 	UsedLearned  bool   `json:"used_learned"`
 	ModelVersion int64  `json:"model_version,omitempty"`
-	Parallelism  int    `json:"parallelism"`
+	// Coalesced reports that this optimize request piggybacked on an
+	// identical in-flight search and shares its (bit-identical) plan.
+	Coalesced   bool `json:"coalesced,omitempty"`
+	Parallelism int  `json:"parallelism"`
 	// ExecWorkers is the effective execution pipeline width for this
 	// request (per-stage exchange fan-out on the streaming backend;
 	// omitted on the simulator, which has no pipeline width).
@@ -197,9 +200,7 @@ func handleQuery(svc *Service, w http.ResponseWriter, r *http.Request) {
 	}
 
 	t := svc.Tenant(req.Tenant)
-	for name, ts := range req.Tables {
-		t.System().RegisterTable(name, ts)
-	}
+	t.RegisterTables(req.Tables)
 
 	useLearned := t.HasModels() // auto
 	if req.UseLearned != nil {
@@ -238,12 +239,13 @@ func handleQuery(svc *Service, w http.ResponseWriter, r *http.Request) {
 	}()
 	switch mode {
 	case "optimize":
-		p, cost, version, err := t.OptimizeWithVersion(req.Plan, opts)
+		p, cost, version, shared, err := t.OptimizeCoalesced(req.Plan, opts)
 		if err != nil {
 			writeError(w, http.StatusUnprocessableEntity, "optimize: %v", err)
 			return
 		}
 		resp.ModelVersion = version
+		resp.Coalesced = shared
 		resp.Plan = p.String()
 		resp.Summary = plan.Summarize(p)
 		resp.PredictedCost = cost
@@ -351,5 +353,19 @@ func handleStats(svc *Service, w http.ResponseWriter, r *http.Request) {
 	if stats == nil {
 		stats = []TenantStats{}
 	}
+	// In cluster mode the all-tenants response carries the node's cluster
+	// state alongside; single-node deployments keep the bare array shape.
+	if fn := svc.clusterInfo.Load(); fn != nil {
+		writeJSON(w, http.StatusOK, ClusterStatsResponse{Cluster: (*fn)(), Tenants: stats})
+		return
+	}
 	writeJSON(w, http.StatusOK, stats)
+}
+
+// ClusterStatsResponse is the GET /v1/stats response in cluster mode: the
+// node's cluster state (ring membership, forwarding and replication
+// counters — see internal/cluster) plus this node's tenant counters.
+type ClusterStatsResponse struct {
+	Cluster any           `json:"cluster"`
+	Tenants []TenantStats `json:"tenants"`
 }

@@ -19,6 +19,7 @@ type serviceObs struct {
 	inflight         *obs.Gauge
 	recoveredTenants *obs.Counter
 	retrainSeconds   *obs.Histogram
+	coalesced        *obs.Counter
 }
 
 func newServiceObs(r *obs.Registry) *serviceObs {
@@ -36,6 +37,18 @@ func newServiceObs(r *obs.Registry) *serviceObs {
 		// paths should land in one series.
 		retrainSeconds: r.Histogram("cleo_retrain_seconds",
 			"Model training duration per retrain (telemetry to published predictor)."),
+		// Named with the cluster prefix: request coalescing is part of the
+		// cluster-mode story (a burst of one recurring job across the fleet
+		// costs one search), though it works single-node too.
+		coalesced: r.Counter("cleo_cluster_coalesced_total",
+			"Optimize requests coalesced onto an identical in-flight search."),
+	}
+}
+
+// noteCoalesced counts one piggybacked optimize request (nil-safe).
+func (so *serviceObs) noteCoalesced() {
+	if so != nil {
+		so.coalesced.Inc()
 	}
 }
 

@@ -67,8 +67,13 @@ func (r *Registry) Current() *ModelVersion {
 }
 
 // Publish installs pr as the new current version with a fresh prediction
-// cache and records its metadata.
+// cache and records its metadata. The whole publish happens under the
+// registry mutex so it serializes against InstallReplica — a locally
+// trained version and a replicated one can race on a cluster follower, and
+// ids must stay monotonic either way.
 func (r *Registry) Publish(pr *learned.Predictor, trainRecords int, acc ml.Accuracy) *ModelVersion {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	v := &ModelVersion{
 		Info: ModelVersionInfo{
 			ID:           r.seq.Add(1),
@@ -82,11 +87,34 @@ func (r *Registry) Publish(pr *learned.Predictor, trainRecords int, acc ml.Accur
 
 		trainedLocal: trainRecords,
 	}
-	r.mu.Lock()
 	r.history = append(r.history, v.Info)
-	r.mu.Unlock()
 	r.cur.Store(v)
 	return v
+}
+
+// InstallReplica installs a model version replicated from another node as
+// the current version, keeping its origin id. Stale installs — a version
+// at or below the live one, e.g. a delayed replication push arriving after
+// a newer version already landed — are dropped (nil, false). trainedLocal
+// stays 0: the version was trained on the owner's telemetry log, so it
+// covers nothing in this process's journal.
+func (r *Registry) InstallReplica(info ModelVersionInfo, pr *learned.Predictor) (*ModelVersion, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cur := r.cur.Load(); cur != nil && cur.Info.ID >= info.ID {
+		return nil, false
+	}
+	v := &ModelVersion{
+		Info:      info,
+		Predictor: pr,
+		Cache:     learned.NewPredictionCache(),
+	}
+	r.history = append(r.history, info)
+	if r.seq.Load() < info.ID {
+		r.seq.Store(info.ID) // local retrains resume above the replica
+	}
+	r.cur.Store(v)
+	return v, true
 }
 
 // Restore installs a recovered snapshot as the current version without

@@ -6,6 +6,7 @@ import (
 	"log/slog"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cleo/internal/engine"
@@ -58,6 +59,13 @@ type Config struct {
 	// without widening optimizer search (or vice versa). Meaningful only
 	// with StreamingExec; ignored when NewSystem overrides construction.
 	ExecWorkers int
+	// Coalesce collapses identical in-flight optimize-mode requests into
+	// one search per tenant: concurrent duplicates (same plan signature,
+	// params, model version, stats epoch) wait for the first request's
+	// optimization and share its bit-identical result. Runs and traced
+	// requests never coalesce. Counted per tenant in /v1/stats
+	// (coalesced / coalesce_leaders) and in cleo_cluster_coalesced_total.
+	Coalesce bool
 	// StateDir, when set, makes tenant state durable: published model
 	// versions are snapshotted there and ingested telemetry is journaled
 	// before it reaches the in-memory log, and NewService recovers every
@@ -109,7 +117,37 @@ type Service struct {
 	persist *persist.Manager // nil without a state directory
 	shards  [sessionShards]tenantShard
 
+	// onPublish is the cluster layer's replication hook, fired after every
+	// locally trained publish; clusterInfo augments the /v1/stats response
+	// with cluster state. Both are registered after construction
+	// (OnPublish / SetClusterInfo) and read atomically on hot paths.
+	onPublish   atomic.Pointer[func(*Tenant, *ModelVersion)]
+	clusterInfo atomic.Pointer[func() any]
+
 	closeOnce sync.Once
+}
+
+// OnPublish registers fn to run after every locally trained model publish
+// (replica installs do not re-fire it). The cluster layer uses this as its
+// replication trigger; fn must not block — publish runs on the retraining
+// path.
+func (s *Service) OnPublish(fn func(t *Tenant, v *ModelVersion)) {
+	s.onPublish.Store(&fn)
+}
+
+// SetClusterInfo registers a provider of cluster-level state; when set,
+// the all-tenants /v1/stats response wraps the tenant array together with
+// this value.
+func (s *Service) SetClusterInfo(fn func() any) {
+	s.clusterInfo.Store(&fn)
+}
+
+// notifyPublish is handed to every tenant as its publish callback; it
+// forwards to whatever hook is currently registered.
+func (s *Service) notifyPublish(t *Tenant, v *ModelVersion) {
+	if fn := s.onPublish.Load(); fn != nil {
+		(*fn)(t, v)
+	}
 }
 
 // NewService builds a Service. With Config.StateDir set it also runs
@@ -201,7 +239,8 @@ func (s *Service) Tenant(name string) *Tenant {
 			state = nil
 		}
 	}
-	t = newTenant(name, s.newSystem(name), s.cfg.RetrainThreshold, s.cfg.IngestBuffer, state, s.log, s.obs)
+	t = newTenant(name, s.newSystem(name), s.cfg.RetrainThreshold, s.cfg.IngestBuffer,
+		state, s.log, s.obs, s.cfg.Coalesce, s.notifyPublish)
 	s.obs.registerTenantGauges(t)
 	sh.m[name] = t
 	return t

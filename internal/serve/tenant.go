@@ -12,6 +12,7 @@ import (
 	"cleo/internal/learned"
 	"cleo/internal/persist"
 	"cleo/internal/plan"
+	"cleo/internal/stats"
 	"cleo/internal/telemetry"
 )
 
@@ -49,6 +50,14 @@ type Tenant struct {
 	// the tenant records its retrain durations there.
 	obs *serviceObs
 
+	// coalesce, when non-nil, collapses identical in-flight optimize
+	// requests into one search (Config.Coalesce).
+	coalesce *coalescer
+
+	// notify, when non-nil, fires after every local publish (not after
+	// replica installs) — the cluster layer's replication trigger.
+	notify func(*Tenant, *ModelVersion)
+
 	// Telemetry batches flow from Run through ingest to one flusher
 	// goroutine, which appends them to the system log in merged batches
 	// and checks the retraining threshold — Runs never block on the log
@@ -64,15 +73,17 @@ type Tenant struct {
 	lastTrain        atomic.Int64 // log size at the last publish
 	training         atomic.Bool  // single-flight retrain guard
 
-	queries   atomic.Uint64
-	runs      atomic.Uint64
-	optimizes atomic.Uint64
-	errors    atomic.Uint64
-	retrains  atomic.Uint64
+	queries         atomic.Uint64
+	runs            atomic.Uint64
+	optimizes       atomic.Uint64
+	errors          atomic.Uint64
+	retrains        atomic.Uint64
+	replicaInstalls atomic.Uint64
 }
 
 func newTenant(name string, sys *engine.System, retrainThreshold, ingestBuffer int,
-	state *persist.TenantState, logger *slog.Logger, so *serviceObs) *Tenant {
+	state *persist.TenantState, logger *slog.Logger, so *serviceObs,
+	coalesce bool, notify func(*Tenant, *ModelVersion)) *Tenant {
 	if ingestBuffer <= 0 {
 		ingestBuffer = 128
 	}
@@ -86,10 +97,14 @@ func newTenant(name string, sys *engine.System, retrainThreshold, ingestBuffer i
 		state:            state,
 		log:              logger.With("tenant", name),
 		obs:              so,
+		notify:           notify,
 		ingest:           make(chan []telemetry.Record, ingestBuffer),
 		flushReq:         make(chan chan struct{}),
 		done:             make(chan struct{}),
 		retrainThreshold: retrainThreshold,
+	}
+	if coalesce {
+		t.coalesce = newCoalescer()
 	}
 	t.recover()
 	t.wg.Add(1)
@@ -107,6 +122,17 @@ func newTenant(name string, sys *engine.System, retrainThreshold, ingestBuffer i
 func (t *Tenant) recover() {
 	if t.state == nil {
 		return
+	}
+	// Table statistics first: replayed telemetry may trigger a retrain,
+	// and post-restart queries should plan against the full catalog
+	// without the client re-sending stats.
+	if tabs, err := t.state.LoadTables(); err != nil {
+		t.log.Warn("serve: skipping persisted table statistics", "err", err)
+	} else if len(tabs) > 0 {
+		for name, ts := range tabs {
+			t.sys.RegisterTable(name, ts)
+		}
+		t.log.Info("serve: restored table statistics", "tables", len(tabs))
 	}
 	mans := t.state.Manifests()
 	for i := len(mans) - 1; i >= 0; i-- {
@@ -170,6 +196,64 @@ func (t *Tenant) HasModels() bool {
 	return t.reg.Current() != nil || t.sys.Models() != nil
 }
 
+// RegisterTables registers stored-input statistics with the tenant's
+// catalog and, when persistence is on and the catalog actually changed
+// (idempotent re-sends leave the epoch untouched), snapshots the whole
+// catalog to disk asynchronously — so the first post-restart or
+// post-failover request no longer depends on the client re-sending stats.
+func (t *Tenant) RegisterTables(tables map[string]stats.TableStats) {
+	if len(tables) == 0 {
+		return
+	}
+	cat := t.sys.Catalog()
+	before := cat.Epoch()
+	for name, ts := range tables {
+		t.sys.RegisterTable(name, ts)
+	}
+	if t.state == nil || cat.Epoch() == before {
+		return
+	}
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		// Snapshot inside the goroutine: a racing later registration is
+		// then either already included here or will trigger its own save.
+		if err := t.state.SaveTables(cat.Tables()); err != nil {
+			t.log.Warn("serve: persisting table statistics failed", "err", err)
+		}
+	}()
+}
+
+// InstallReplica installs a model version replicated from the tenant's
+// owner node: tables registered (and persisted), the version live in the
+// registry under its origin id, and the snapshot artifacts written to this
+// node's own state directory — so a failover serves the latest learned
+// model warm, and a follower restart recovers it from local disk. model
+// holds the owner's serialized snapshot bytes, written verbatim. Stale
+// versions (at or below the live one) are dropped and reported false.
+func (t *Tenant) InstallReplica(info ModelVersionInfo, pr *learned.Predictor,
+	model []byte, tables map[string]stats.TableStats) bool {
+	t.RegisterTables(tables)
+	v, ok := t.reg.InstallReplica(info, pr)
+	if !ok {
+		return false
+	}
+	t.sys.SetModels(pr)
+	t.replicaInstalls.Add(1)
+	if t.state != nil && len(model) > 0 {
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			err := t.state.ImportSnapshot(manifestOf(v.Info), model)
+			if err != nil && !errors.Is(err, persist.ErrStale) {
+				t.log.Warn("serve: persisting replicated snapshot failed",
+					"version", v.Info.ID, "err", err)
+			}
+		}()
+	}
+	return true
+}
+
 // prepare pins the current model version's predictor and prediction cache
 // into opts so one optimization never mixes versions, and returns the
 // version id it pinned (0 when none).
@@ -227,15 +311,41 @@ func (t *Tenant) Optimize(q *plan.Logical, opts engine.RunOptions) (*plan.Physic
 // version id the plan was priced with (0 when the default cost model was
 // used).
 func (t *Tenant) OptimizeWithVersion(q *plan.Logical, opts engine.RunOptions) (*plan.Physical, float64, int64, error) {
+	p, cost, version, _, err := t.OptimizeCoalesced(q, opts)
+	return p, cost, version, err
+}
+
+// OptimizeCoalesced is OptimizeWithVersion under the request-coalescing
+// group: identical concurrent requests (same logical signature, params,
+// model version and stats epoch) share one search, and the bool reports
+// whether this call piggybacked on another request's computation. The
+// shared *plan.Physical is read-only by the serving contract. Traced
+// requests bypass the group — a trace is per-request output — as does a
+// tenant without coalescing enabled.
+func (t *Tenant) OptimizeCoalesced(q *plan.Logical, opts engine.RunOptions) (*plan.Physical, float64, int64, bool, error) {
 	t.queries.Add(1)
 	t.optimizes.Add(1)
 	version := t.prepare(&opts)
 	opts.SkipLogging = true // planning-only calls leave no telemetry
-	p, cost, err := t.sys.Optimize(q, opts)
-	if err != nil {
-		t.errors.Add(1)
+	if t.coalesce == nil || opts.Trace != nil {
+		p, cost, err := t.sys.Optimize(q, opts)
+		if err != nil {
+			t.errors.Add(1)
+		}
+		return p, cost, version, false, err
 	}
-	return p, cost, version, err
+	key := coalesceKeyFor(q, opts, version, t.sys.Catalog().Epoch())
+	p, cost, version, shared, err := t.coalesce.do(key, func() (*plan.Physical, float64, int64, error) {
+		p, cost, err := t.sys.Optimize(q, opts)
+		return p, cost, version, err
+	})
+	if shared {
+		t.obs.noteCoalesced()
+	}
+	if err != nil {
+		t.errors.Add(1) // each request that consumed the error counts it
+	}
+	return p, cost, version, shared, err
 }
 
 // offer hands a telemetry batch to the flusher, blocking only if the
@@ -384,6 +494,9 @@ func (t *Tenant) retrain() (ModelVersionInfo, error) {
 	t.lastTrain.Store(int64(len(recs)))
 	t.retrains.Add(1)
 	t.snapshotAsync(v)
+	if t.notify != nil {
+		t.notify(t, v) // replication trigger; must not block serving
+	}
 	return v.Info, nil
 }
 
@@ -448,7 +561,15 @@ type TenantStats struct {
 	Optimizes uint64 `json:"optimizes"`
 	Errors    uint64 `json:"errors"`
 	Retrains  uint64 `json:"retrains"`
-	LogSize   int    `json:"log_size"`
+	// Coalesced counts optimize requests that piggybacked on an identical
+	// in-flight search; CoalesceLeaders counts the searches actually run
+	// on behalf of the group (both 0 with coalescing disabled).
+	Coalesced       uint64 `json:"coalesced,omitempty"`
+	CoalesceLeaders uint64 `json:"coalesce_leaders,omitempty"`
+	// ReplicaInstalls counts model versions installed warm from another
+	// cluster node's replication push.
+	ReplicaInstalls uint64 `json:"replica_installs,omitempty"`
+	LogSize         int    `json:"log_size"`
 	// Parallelism is the tenant's effective optimizer search parallelism
 	// (worker-pool width of the concurrent Cascades search).
 	Parallelism int `json:"parallelism"`
@@ -475,10 +596,15 @@ func (t *Tenant) Stats() TenantStats {
 		Optimizes:          t.optimizes.Load(),
 		Errors:             t.errors.Load(),
 		Retrains:           t.retrains.Load(),
+		ReplicaInstalls:    t.replicaInstalls.Load(),
 		LogSize:            t.sys.LogSize(),
 		Parallelism:        t.sys.Parallelism(),
 		ExecWorkers:        t.sys.ExecWorkers(engine.RunOptions{}),
 		TemplateCacheStats: t.sys.TemplateStats(),
+	}
+	if t.coalesce != nil {
+		s.Coalesced = t.coalesce.coalesced.Load()
+		s.CoalesceLeaders = t.coalesce.leaders.Load()
 	}
 	if v := t.reg.Current(); v != nil {
 		s.ModelVersion = v.Info.ID

@@ -129,6 +129,19 @@ func (c *Catalog) Table(name string) (TableStats, bool) {
 	return ts, ok
 }
 
+// Tables snapshots every registered table's statistics — the durable-state
+// and replication layers persist/ship the whole catalog at once. The
+// returned map is the caller's to keep.
+func (c *Catalog) Tables() map[string]TableStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]TableStats, len(c.tables))
+	for name, ts := range c.tables {
+		out[name] = ts
+	}
+	return out
+}
+
 // override reads one override map entry under the read lock. Callers must
 // not hold the lock (reads are not nested, keeping RLock non-reentrant).
 func (c *Catalog) override(m map[string][2]float64, key string) ([2]float64, bool) {
