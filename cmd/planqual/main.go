@@ -1,0 +1,262 @@
+// Command planqual measures what the transformation rules actually buy,
+// by execution rather than by cost-model opinion. For every TPC-H query it
+// optimizes twice — with the full rule set and with rules disabled (the
+// plan as written) — executes both best plans on the streaming backend,
+// and reports the executed work (the sum of observed per-operator
+// cardinalities, which is deterministic) and measured wall time side by
+// side. Both runs must produce bit-identical answers; any divergence is an
+// equivalence violation and exits nonzero.
+//
+// Usage:
+//
+//	planqual [-rows 20000] [-out report.json]
+//	planqual -baseline testdata/planqual_baseline.json   # CI gate
+//	planqual -write-baseline testdata/planqual_baseline.json
+//
+// With -baseline, the deterministic work numbers are diffed against the
+// committed baseline: a changed rewrite or cost decision shows up as a
+// work delta, which fails the run until the baseline is regenerated. Wall
+// times are reported but never compared — they are machine noise. The run
+// also fails unless the rules improve executed work on at least one query
+// (the whole point of having them).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cleo/internal/cascades"
+	"cleo/internal/costmodel"
+	"cleo/internal/exec"
+	"cleo/internal/plan"
+	"cleo/internal/stats"
+	"cleo/internal/workload/tpch"
+)
+
+// QueryReport is one query's measured comparison.
+type QueryReport struct {
+	Query string `json:"query"`
+	// WorkWith/WorkWithout sum every operator's observed output
+	// cardinality across the executed plan — rows moved through the
+	// pipeline, the deterministic executed-cost metric.
+	WorkWith    uint64 `json:"work_with_rules"`
+	WorkWithout uint64 `json:"work_without_rules"`
+	// WorkDelta is (without-with)/without: positive means the rules
+	// removed work.
+	WorkDelta float64 `json:"work_delta"`
+	// Wall times are informational only (never compared against baselines).
+	SecondsWith    float64 `json:"seconds_with_rules"`
+	SecondsWithout float64 `json:"seconds_without_rules"`
+	// OutputRows/OutputChecksum are identical for both plans by
+	// construction — the run aborts otherwise.
+	OutputRows     uint64            `json:"output_rows"`
+	OutputChecksum string            `json:"output_checksum"`
+	RuleFires      map[string]uint64 `json:"rule_fires,omitempty"`
+	PlanChanged    bool              `json:"plan_changed"`
+}
+
+// Report is the tool's full output.
+type Report struct {
+	Rows     int           `json:"max_table_rows"`
+	RuleSet  string        `json:"rule_set"`
+	Queries  []QueryReport `json:"queries"`
+	Improved int           `json:"queries_improved"`
+}
+
+// Baseline is the committed subset: only the deterministic fields.
+type Baseline struct {
+	Rows    int    `json:"max_table_rows"`
+	RuleSet string `json:"rule_set"`
+	Work    []struct {
+		Query       string `json:"query"`
+		WorkWith    uint64 `json:"work_with_rules"`
+		WorkWithout uint64 `json:"work_without_rules"`
+	} `json:"work"`
+}
+
+func main() {
+	rows := flag.Int("rows", 20000, "streaming executor table-row cap (determines the deterministic dataset)")
+	out := flag.String("out", "", "write the full JSON report to this path")
+	baseline := flag.String("baseline", "", "compare deterministic work numbers against this committed baseline")
+	writeBaseline := flag.String("write-baseline", "", "write the deterministic baseline to this path")
+	flag.Parse()
+
+	rep, err := run(*rows)
+	if err != nil {
+		fatal(err)
+	}
+
+	for _, q := range rep.Queries {
+		marker := " "
+		if q.WorkDelta > 0 {
+			marker = "+"
+		} else if q.WorkDelta < 0 {
+			marker = "-"
+		}
+		fmt.Printf("%-4s %s work %9d -> %9d  (%+6.2f%%)  wall %7.2fms -> %7.2fms\n",
+			q.Query, marker, q.WorkWithout, q.WorkWith, 100*q.WorkDelta,
+			1e3*q.SecondsWithout, 1e3*q.SecondsWith)
+	}
+	fmt.Printf("rules improved executed work on %d/%d queries\n", rep.Improved, len(rep.Queries))
+
+	if rep.Improved == 0 {
+		fatal(fmt.Errorf("the rule set improved executed work on no query"))
+	}
+	if *out != "" {
+		if err := writeJSON(*out, rep); err != nil {
+			fatal(err)
+		}
+	}
+	if *writeBaseline != "" {
+		if err := writeJSON(*writeBaseline, toBaseline(rep)); err != nil {
+			fatal(err)
+		}
+	}
+	if *baseline != "" {
+		if err := compare(rep, *baseline); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("baseline %s: OK\n", *baseline)
+	}
+}
+
+func run(rows int) (*Report, error) {
+	cat := stats.NewCatalog(1)
+	tpch.Register(cat, 1)
+	cfg := exec.StreamConfig{MaxTableRows: rows, MaxWorkers: 2}
+	rep := &Report{Rows: rows, RuleSet: cascades.DefaultRules().Identity()}
+
+	for q := 1; q <= 22; q++ {
+		name := fmt.Sprintf("Q%d", q)
+		on, fires, err := optimize(cat, tpch.Queries()[q](), int64(q), cascades.DefaultRules())
+		if err != nil {
+			return nil, fmt.Errorf("%s: optimize with rules: %w", name, err)
+		}
+		off, _, err := optimize(cat, tpch.Queries()[q](), int64(q), cascades.EmptyRules())
+		if err != nil {
+			return nil, fmt.Errorf("%s: optimize without rules: %w", name, err)
+		}
+
+		onRes, onWork, onSec, err := execute(cfg, on)
+		if err != nil {
+			return nil, fmt.Errorf("%s: execute with rules: %w", name, err)
+		}
+		offRes, offWork, offSec, err := execute(cfg, off)
+		if err != nil {
+			return nil, fmt.Errorf("%s: execute without rules: %w", name, err)
+		}
+
+		// The hard gate: a rewrite that changes the answer is a bug, full
+		// stop — no report, nonzero exit.
+		if onRes.OutputRows != offRes.OutputRows || onRes.OutputChecksum != offRes.OutputChecksum {
+			return nil, fmt.Errorf(
+				"%s: OUTPUT EQUIVALENCE VIOLATION: with rules %d rows / %x, without %d rows / %x\nwith:    %s\nwithout: %s",
+				name, onRes.OutputRows, onRes.OutputChecksum,
+				offRes.OutputRows, offRes.OutputChecksum, on, off)
+		}
+
+		qr := QueryReport{
+			Query:          name,
+			WorkWith:       onWork,
+			WorkWithout:    offWork,
+			SecondsWith:    onSec,
+			SecondsWithout: offSec,
+			OutputRows:     onRes.OutputRows,
+			OutputChecksum: fmt.Sprintf("%016x", onRes.OutputChecksum),
+			RuleFires:      fires,
+			PlanChanged:    on.String() != off.String(),
+		}
+		if offWork > 0 {
+			qr.WorkDelta = (float64(offWork) - float64(onWork)) / float64(offWork)
+		}
+		if onWork < offWork {
+			rep.Improved++
+		}
+		rep.Queries = append(rep.Queries, qr)
+	}
+	return rep, nil
+}
+
+func optimize(cat *stats.Catalog, q *plan.Logical, seed int64, rules *cascades.RuleSet) (*plan.Physical, map[string]uint64, error) {
+	o := &cascades.Optimizer{Catalog: cat, Cost: costmodel.Default{},
+		MaxPartitions: 3000, JobSeed: seed, Rules: rules}
+	res, err := o.Optimize(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Plan, res.RuleFires, nil
+}
+
+// execute runs p on the streaming engine and reports the result, the
+// total observed cardinality across all operators, and the wall time.
+func execute(cfg exec.StreamConfig, p *plan.Physical) (exec.Result, uint64, float64, error) {
+	clone := p.Clone()
+	start := time.Now()
+	res, err := exec.NewEngine(cfg).Run(clone, nil)
+	if err != nil {
+		return exec.Result{}, 0, 0, err
+	}
+	sec := time.Since(start).Seconds()
+	var work uint64
+	clone.Walk(func(n *plan.Physical) { work += uint64(n.Stats.ActCard) })
+	return res, work, sec, nil
+}
+
+func toBaseline(rep *Report) *Baseline {
+	b := &Baseline{Rows: rep.Rows, RuleSet: rep.RuleSet}
+	for _, q := range rep.Queries {
+		b.Work = append(b.Work, struct {
+			Query       string `json:"query"`
+			WorkWith    uint64 `json:"work_with_rules"`
+			WorkWithout uint64 `json:"work_without_rules"`
+		}{q.Query, q.WorkWith, q.WorkWithout})
+	}
+	return b
+}
+
+func compare(rep *Report, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	if b.Rows != rep.Rows {
+		return fmt.Errorf("baseline recorded at -rows %d, run used %d", b.Rows, rep.Rows)
+	}
+	if b.RuleSet != rep.RuleSet {
+		return fmt.Errorf("baseline rule set %q differs from current %q — regenerate with -write-baseline", b.RuleSet, rep.RuleSet)
+	}
+	if len(b.Work) != len(rep.Queries) {
+		return fmt.Errorf("baseline has %d queries, run has %d", len(b.Work), len(rep.Queries))
+	}
+	for i, w := range b.Work {
+		got := rep.Queries[i]
+		if w.Query != got.Query {
+			return fmt.Errorf("baseline query %d is %s, run has %s", i, w.Query, got.Query)
+		}
+		if w.WorkWith != got.WorkWith || w.WorkWithout != got.WorkWithout {
+			return fmt.Errorf("%s: executed work diverged from baseline: with rules %d (baseline %d), without %d (baseline %d) — regenerate with -write-baseline if intended",
+				w.Query, got.WorkWith, w.WorkWith, got.WorkWithout, w.WorkWithout)
+		}
+	}
+	return nil
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "planqual:", err)
+	os.Exit(1)
+}

@@ -46,31 +46,28 @@ func (e *Expr) fingerprint() string {
 }
 
 // Group is a set of logically equivalent expressions. Exprs and seen are
-// written only during copy-in and under the group's explore Once, so
-// concurrent group-optimization tasks read Exprs freely after Explore
-// returns.
+// written only during copy-in and the sequential ExploreAll pre-pass, both
+// of which complete before the parallel search starts, so concurrent
+// group-optimization tasks read Exprs freely.
 type Group struct {
 	ID    GroupID
 	Exprs []*Expr
 
 	seen map[string]bool
-	// explore fires the exploration rules exactly once per group;
-	// concurrent callers of Memo.Explore block until it completes, which
-	// orders their Exprs reads after the writes. explored flips once the
-	// Once body finishes, letting callers skip a completed exploration
-	// without touching the Once (and letting the search time only the
-	// outermost, work-performing Explore call).
-	explore  sync.Once
-	explored atomic.Bool
 }
 
 // Memo is the Cascades search space: groups of equivalent expressions.
-// Group registration is guarded so exploration rules may create or extend
-// groups while a parallel search reads them.
+// Group registration is guarded so diagnostics may read group counts while
+// exploration grows the memo.
 type Memo struct {
 	mu     sync.RWMutex
 	groups []*Group
 	root   GroupID
+
+	// explored flips when ExploreAll completes (or is skipped); it makes
+	// exploration idempotent, so template snapshots — shared read-only
+	// across searches — can never be re-explored.
+	explored atomic.Bool
 }
 
 // NewMemo builds a memo from a logical plan tree: one group per node
@@ -138,44 +135,6 @@ func (m *Memo) copyIn(l *plan.Logical) GroupID {
 	return g.ID
 }
 
-// Explore applies transformation rules to the group until fixpoint. The
-// rule set mirrors the paper's setting: physical choices dominate, so
-// exploration is limited to join commutativity (SCOPE scripts pin join
-// order; the paper's plan changes are operator implementations, exchanges
-// and partition counts). Each group explores exactly once; concurrent
-// tasks arriving at the same group wait for the in-flight exploration.
-// Groups form a DAG (children strictly below their parents), so the nested
-// Once calls cannot cycle.
-func (m *Memo) Explore(id GroupID) {
-	g := m.Group(id)
-	g.explore.Do(func() {
-		for i := 0; i < len(g.Exprs); i++ { // Exprs may grow while iterating
-			e := g.Exprs[i]
-			for _, c := range e.Child {
-				m.Explore(c)
-			}
-			if e.Op == plan.LJoin && len(e.Child) == 2 {
-				swapped := &Expr{
-					Op:    plan.LJoin,
-					Child: []GroupID{e.Child[1], e.Child[0]},
-					Pred:  e.Pred,
-					Keys:  e.Keys,
-				}
-				m.addExpr(g, swapped)
-			}
-		}
-		// Fixpoint: nothing inserts into this group again (copy-in is long
-		// done, and this Once was the only other addExpr caller), so the
-		// duplicate-detection map is dead weight — significant for memos
-		// that live on as cached templates.
-		g.seen = nil
-		g.explored.Store(true)
-	})
-}
-
-// Explored reports whether the group's exploration has completed — true
-// for every group of a memo that reached fixpoint, including template
-// snapshots reused across runs.
-func (m *Memo) Explored(id GroupID) bool {
-	return m.Group(id).explored.Load()
-}
+// Exploration lives in rules.go: Memo.ExploreAll runs the transformation
+// rule set to fixpoint in one sequential pre-pass before the search fans
+// out.

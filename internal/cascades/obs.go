@@ -40,6 +40,10 @@ type SearchMetrics struct {
 	PhaseSeconds    [numPhases]*obs.Histogram
 	TemplateHits    *obs.Counter
 	TemplateMisses  *obs.Counter
+	// RuleFires counts inserted memo expressions per transformation rule
+	// (pre-registered for every DefaultRules rule; custom rules outside
+	// that set simply go unrecorded).
+	RuleFires map[string]*obs.Counter
 }
 
 // NewSearchMetrics registers the optimizer's instruments on r (nil r → nil
@@ -59,6 +63,12 @@ func NewSearchMetrics(r *obs.Registry) *SearchMetrics {
 	}
 	for p := 0; p < numPhases; p++ {
 		m.PhaseSeconds[p] = r.Histogram("cleo_optimize_phase_seconds", phaseHelp, "phase", phaseNames[p])
+	}
+	m.RuleFires = make(map[string]*obs.Counter)
+	for _, name := range RuleNames() {
+		m.RuleFires[name] = r.Counter("cleo_optimizer_rule_fires_total",
+			"Memo expressions inserted by each transformation rule during exploration.",
+			"rule", name)
 	}
 	return m
 }
@@ -121,10 +131,15 @@ func (so *searchObs) finish(res *Result) {
 	if res.TemplateHit {
 		hit = "hit"
 	}
+	var ruleFires uint64
+	for _, n := range res.RuleFires {
+		ruleFires += n
+	}
 	sp := tr.Add(so.parent, "optimize", so.startNs, totalNs,
 		"template", hit,
 		"memo_groups", strconv.Itoa(res.MemoGroups),
 		"model_lookups", strconv.Itoa(res.ModelLookups),
+		"rule_fires", strconv.FormatUint(ruleFires, 10),
 		"cost", strconv.FormatFloat(res.Cost, 'g', 6, 64),
 	)
 	off := so.startNs

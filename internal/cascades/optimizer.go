@@ -81,6 +81,13 @@ type Optimizer struct {
 	Chooser PartitionChooser
 	// JobSeed drives per-instance statistics drift during annotation.
 	JobSeed int64
+	// Rules is the transformation-rule set exploration applies before the
+	// costed search (nil = DefaultRules()). EmptyRules() disables
+	// exploration, pinning the search to the submitted plan shape.
+	Rules *RuleSet
+	// MemoBudget caps exploration growth in memo groups
+	// (0 = DefaultMemoBudget).
+	MemoBudget int
 	// Parallelism bounds the worker goroutines one search (or one
 	// OptimizeAll batch) fans group-optimization tasks across; 0 means
 	// GOMAXPROCS. At 1 the search runs fully inline — no goroutines, no
@@ -120,6 +127,10 @@ type Result struct {
 	// TemplateHit reports whether this run reused a cached memo template
 	// (always false without Optimizer.Templates).
 	TemplateHit bool
+	// RuleFires counts the memo expressions each transformation rule
+	// inserted during this run's exploration. It is nil on template hits:
+	// the reused snapshot was explored by the run that published it.
+	RuleFires map[string]uint64
 }
 
 // parallelism resolves the effective worker-pool width.
@@ -161,6 +172,22 @@ func (o *Optimizer) Optimize(root *plan.Logical) (*Result, error) {
 	return o.optimizeOne(o.newSem(), root, false)
 }
 
+// ruleSet resolves the effective transformation-rule set.
+func (o *Optimizer) ruleSet() *RuleSet {
+	if o.Rules != nil {
+		return o.Rules
+	}
+	return DefaultRules()
+}
+
+// memoBudget resolves the effective exploration budget.
+func (o *Optimizer) memoBudget() int {
+	if o.MemoBudget > 0 {
+		return o.MemoBudget
+	}
+	return DefaultMemoBudget
+}
+
 // templateKey derives the template-cache slot for one optimization of root.
 func (o *Optimizer) templateKey(root *plan.Logical) TemplateKey {
 	return TemplateKey{
@@ -170,6 +197,7 @@ func (o *Optimizer) templateKey(root *plan.Logical) TemplateKey {
 		Parallelism:   o.parallelism(),
 		ResourceAware: o.ResourceAware,
 		Model:         costerIdentity(o.Cost),
+		Rules:         fmt.Sprintf("%s@%d", o.ruleSet().Identity(), o.memoBudget()),
 	}
 }
 
@@ -196,10 +224,9 @@ func (o *Optimizer) optimizeOne(sem chan struct{}, root *plan.Logical, held bool
 		return nil, err
 	}
 	if o.Templates != nil && !s.templateHit {
-		// The search explored every group reachable from the root (the
-		// root task's exploration recurses the whole DAG), so the memo is
-		// at fixpoint and immutable from here on. The root is cloned so a
-		// caller mutating its query afterwards cannot skew verification.
+		// ExploreAll ran the rules to fixpoint before the search, so the
+		// memo is immutable from here on. The root is cloned so a caller
+		// mutating its query afterwards cannot skew verification.
 		o.Templates.Put(key, &Template{memo: s.memo, root: root.Clone()})
 	}
 	return res, nil
@@ -246,12 +273,16 @@ type search struct {
 	resourceAware bool
 	maxPartitions int
 	jobSeed       int64
+	rules         *RuleSet
+	memoBudget    int
 
-	// memo is built by run, unless a template hit pre-seeded a shared,
-	// fully explored snapshot (templateHit). A shared memo is read-only:
-	// every Explore on it is a no-op and Exprs reads need no ordering.
+	// memo is built and explored by run, unless a template hit pre-seeded
+	// a shared, fully explored snapshot (templateHit). A shared memo is
+	// read-only: ExploreAll on it is a no-op and Exprs reads need no
+	// ordering.
 	memo        *Memo
 	templateHit bool
+	ruleFires   map[string]uint64
 
 	// table memoizes (group, required-props) tasks as futures: the first
 	// goroutine to claim a key computes it, duplicates wait on the
@@ -285,6 +316,8 @@ func (o *Optimizer) newSearch(sem chan struct{}) *search {
 		resourceAware: o.ResourceAware,
 		maxPartitions: o.maxPartitions(),
 		jobSeed:       o.JobSeed,
+		rules:         o.ruleSet(),
+		memoBudget:    o.memoBudget(),
 		table:         map[taskKey]*future{},
 		sem:           sem,
 	}
@@ -304,8 +337,19 @@ func (s *search) run(root *plan.Logical, held bool) (*Result, error) {
 			t0 := time.Now()
 			s.memo = NewMemo(root)
 			so.add(phaseCopyIn, time.Since(t0))
+			t0 = time.Now()
+			s.ruleFires = s.memo.ExploreAll(s.rules, s.memoBudget)
+			so.add(phaseExplore, time.Since(t0))
 		} else {
 			s.memo = NewMemo(root)
+			s.ruleFires = s.memo.ExploreAll(s.rules, s.memoBudget)
+		}
+		if so := s.obs; so != nil && so.metrics != nil {
+			for name, n := range s.ruleFires {
+				if ctr := so.metrics.RuleFires[name]; ctr != nil {
+					ctr.Add(n)
+				}
+			}
 		}
 	}
 	res, err := s.optimizeGroup(s.memo.Root(), Props{}, held)
@@ -322,6 +366,7 @@ func (s *search) run(root *plan.Logical, held bool) (*Result, error) {
 		MemoGroups:   s.memo.NumGroups(),
 		ModelLookups: int(s.lookups.Load()),
 		TemplateHit:  s.templateHit,
+		RuleFires:    s.ruleFires,
 	}
 	if s.obs != nil {
 		s.obs.finish(result)
@@ -538,27 +583,16 @@ func (s *search) optimizeGroup(id GroupID, req Props, held bool) (*searchResult,
 	return f.res, f.err
 }
 
-// searchGroup does the actual work of one (group, props) task: explore the
-// group, implement every expression, enforce required properties on every
-// candidate, and keep the cheapest. Implementation rules (one per
-// expression) and candidate enforcement — whose resource-aware partition
-// exploration is the costly part — fan out across the worker pool; the
-// final reduction scans candidates in expression/candidate order with a
-// strict < comparison, so ties break identically to the sequential search.
+// searchGroup does the actual work of one (group, props) task: implement
+// every expression, enforce required properties on every candidate, and
+// keep the cheapest. (Exploration already ran to fixpoint in run's
+// sequential ExploreAll pre-pass, so the group's expression set is
+// frozen.) Implementation rules (one per expression) and candidate
+// enforcement — whose resource-aware partition exploration is the costly
+// part — fan out across the worker pool; the final reduction scans
+// candidates in expression/candidate order with a strict < comparison, so
+// ties break identically to the sequential search.
 func (s *search) searchGroup(id GroupID, req Props, held bool) (*searchResult, error) {
-	// Exploration recurses the whole reachable DAG inside the outermost
-	// group's Once, so timing only unexplored entries captures the full
-	// phase exactly once per search: later per-group calls see Explored
-	// and skip both the stamp and the no-op Once. (Concurrent tasks racing
-	// into the same unexplored group may both time the wait; the overlap
-	// is wait time, which is what a trace should show.)
-	if so := s.obs; so != nil && !s.memo.Explored(id) {
-		t0 := time.Now()
-		s.memo.Explore(id)
-		so.add(phaseExplore, time.Since(t0))
-	} else {
-		s.memo.Explore(id)
-	}
 	g := s.memo.Group(id)
 	if len(g.Exprs) == 0 {
 		return nil, fmt.Errorf("cascades: empty group %d", id)

@@ -205,24 +205,38 @@ func TestParallelSearchContainsPanics(t *testing.T) {
 	}
 }
 
-// TestMemoConcurrentExplore hammers Explore on one shared memo from many
-// goroutines; the per-group Once must yield exactly one exploration (the
-// commuted join appears once) with no races.
-func TestMemoConcurrentExplore(t *testing.T) {
+// TestMemoExploreIdempotent verifies ExploreAll is a run-once pre-pass:
+// the first call grows the memo, every later call (including concurrent
+// ones, as template snapshots are shared across searches) is a no-op that
+// leaves the expression sets untouched.
+func TestMemoExploreIdempotent(t *testing.T) {
 	m := NewMemo(multiJoinQuery())
+	fires := m.ExploreAll(DefaultRules(), 0)
+	if len(fires) == 0 {
+		t.Fatal("first ExploreAll fired no rules on a two-join plan")
+	}
+	groups := m.NumGroups()
+	counts := make([]int, groups)
+	for i := 0; i < groups; i++ {
+		counts[i] = len(m.Group(GroupID(i)).Exprs)
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			m.Explore(m.Root())
+			if again := m.ExploreAll(DefaultRules(), 0); again != nil {
+				t.Error("repeat ExploreAll reported rule fires")
+			}
 		}()
 	}
 	wg.Wait()
-	for i := 0; i < m.NumGroups(); i++ {
-		g := m.Group(GroupID(i))
-		if len(g.Exprs) > 0 && g.Exprs[0].Op == plan.LJoin && len(g.Exprs) != 2 {
-			t.Fatalf("join group %d has %d exprs, want 2", i, len(g.Exprs))
+	if m.NumGroups() != groups {
+		t.Fatalf("repeat ExploreAll grew the memo: %d -> %d groups", groups, m.NumGroups())
+	}
+	for i := 0; i < groups; i++ {
+		if got := len(m.Group(GroupID(i)).Exprs); got != counts[i] {
+			t.Fatalf("group %d expr count changed: %d -> %d", i, counts[i], got)
 		}
 	}
 }

@@ -1,0 +1,673 @@
+package cascades
+
+import (
+	"strings"
+
+	"cleo/internal/exec"
+	"cleo/internal/plan"
+)
+
+// Transformation rules. Every rule here is semantics-preserving with
+// respect to the streaming executor's actual operator semantics — not an
+// idealized relational algebra — and each guard below cites the executor
+// behavior it depends on:
+//
+//   - Joins emit LEFT rows: the output schema is exactly the left input's
+//     schema, and every output row is the left row verbatim except the
+//     payload column (schema.valIndex: __val, else __sum, else __cnt),
+//     which becomes leftPayload+rightPayload per match. Join predicates are
+//     carried as metadata and never evaluated.
+//   - Aggregates group by key columns resolved in the input schema (a
+//     missing key is a compile error), emit one row per group in
+//     first-arrival order, and derive __cnt/__sum from the payload column.
+//   - Predicates are conjunctions whose terms read columns when bound and
+//     fall back to the row-content hash otherwise (bare terms always, and
+//     comparison terms whose lhs column is absent from the schema). A
+//     row-hash-dependent term is pinned to its position: any operator that
+//     rewrites the payload column changes the hash.
+//   - The scan schema is one global set per plan — the sorted, de-duplicated,
+//     width-capped union of every key column and predicate identifier —
+//     and every rewrite below preserves that union (rules only move
+//     predicates and introduce projections over existing key columns), so
+//     the rewritten plan compiles against the same scan schema.
+//
+// Two classical transformations are deliberately absent:
+//
+//   - Join commutativity. Swapping inputs changes which side's rows are
+//     emitted — a different output schema and multiset, not an equivalent
+//     plan. (An earlier hard-coded commute produced silently wrong results
+//     on plans whose sides carried different derived columns.)
+//   - Eager aggregate pushdown below joins. The join multiplies each left
+//     row by its match count, so a pre-aggregated __cnt no longer counts
+//     source rows and there is no operator to re-scale it; the rewrite is
+//     not multiset-preserving in this engine.
+
+// Rule is one transformation. Apply inspects a single expression and
+// returns alternative expressions, equivalent to it, for insertion into
+// the same group. Implementations must be stateless: the fixpoint driver
+// calls Apply repeatedly and relies on expression-level deduplication for
+// termination, and a shared RuleSet is used by concurrent searches.
+type Rule interface {
+	Name() string
+	Apply(c *RuleContext, e *Expr) []*Expr
+}
+
+// RuleSet is an ordered list of rules. The order is part of the set's
+// identity: exploration is sequential and deterministic, so two searches
+// with the same rule set visit identical expression sets in identical
+// order.
+type RuleSet struct {
+	rules []Rule
+}
+
+// NewRuleSet builds a rule set applying rules in the given order.
+func NewRuleSet(rules ...Rule) *RuleSet { return &RuleSet{rules: rules} }
+
+// DefaultRules is the full transformation-rule set.
+func DefaultRules() *RuleSet {
+	return NewRuleSet(
+		joinExchange{},
+		joinAssoc{},
+		predPushdownJoin{},
+		predPushdownUnion{},
+		predPushdownAgg{},
+		projectPushdownJoin{},
+	)
+}
+
+// EmptyRules is the no-transformation set: the memo holds exactly the
+// copied-in plan. It is the baseline side of plan-quality comparisons.
+func EmptyRules() *RuleSet { return &RuleSet{} }
+
+// Names lists the set's rule names in application order.
+func (rs *RuleSet) Names() []string {
+	out := make([]string, len(rs.rules))
+	for i, r := range rs.rules {
+		out[i] = r.Name()
+	}
+	return out
+}
+
+// Identity renders the set for template-cache keying: two optimizer
+// configurations share memo snapshots only when their rule sets (and
+// order) match.
+func (rs *RuleSet) Identity() string {
+	if len(rs.rules) == 0 {
+		return "none"
+	}
+	return strings.Join(rs.Names(), ",")
+}
+
+// RuleNames lists every rule in DefaultRules, for metrics registration.
+func RuleNames() []string { return DefaultRules().Names() }
+
+// DefaultMemoBudget caps exploration growth: once the memo reaches this
+// many groups, rules stop creating new groups (existing groups may still
+// gain expressions over existing children). The cutoff is deterministic
+// because exploration is sequential.
+const DefaultMemoBudget = 256
+
+// maxGroupExprs bounds the alternatives per group, so pathological inputs
+// (long same-key join chains, whose reordering space is exponential) keep
+// both exploration and the per-expression search fan-out bounded.
+const maxGroupExprs = 64
+
+// maxExplorePasses bounds outer fixpoint sweeps over the whole memo. Each
+// sweep already chases intra-group growth, so a second sweep is only
+// needed when a rule fed an earlier group from a later one; in practice
+// the fixpoint lands well inside this cap.
+const maxExplorePasses = 8
+
+// availInfo describes the bindable (non-reserved) columns a group's output
+// schema carries. top means the subtree is a pure scan pipeline — its
+// schema is the plan's global scan schema.
+type availInfo struct {
+	top  bool
+	cols map[plan.Column]bool
+}
+
+// RuleContext threads one exploration's shared state through rule
+// applications: the memo, the global scan-column set, memoized per-group
+// schema analysis, and the interning table for rule-created subexpressions.
+type RuleContext struct {
+	memo   *Memo
+	scan   map[plan.Column]bool
+	avail  map[GroupID]availInfo
+	intern map[string]GroupID
+	budget int
+}
+
+// Group returns a memo group.
+func (c *RuleContext) Group(id GroupID) *Group { return c.memo.Group(id) }
+
+// Avail reports the bindable columns of a group's output schema, memoized.
+// All expressions of a group are equivalent (same output rows, same
+// schema), so the first expression is a safe representative.
+func (c *RuleContext) Avail(id GroupID) availInfo {
+	if a, ok := c.avail[id]; ok {
+		return a
+	}
+	e := c.memo.Group(id).Exprs[0]
+	var a availInfo
+	switch {
+	case len(e.Child) == 0: // Get
+		a = availInfo{top: true}
+	case e.Op == plan.LProject && len(e.Keys) > 0:
+		// projectSchema keeps the key columns present in the input (plus
+		// the reserved columns, which avail never tracks).
+		a = availInfo{cols: c.carried(e.Keys, c.Avail(e.Child[0]))}
+	case e.Op == plan.LAggregate && len(e.Keys) > 0:
+		a = availInfo{cols: c.carried(e.Keys, c.Avail(e.Child[0]))}
+	default:
+		// Select, Process, Sort, TopN, Output, keyless Project (a
+		// pass-through), global Aggregate (keys only), Join and Union
+		// (both emit the first child's schema).
+		a = c.Avail(e.Child[0])
+	}
+	c.avail[id] = a
+	return a
+}
+
+// carried filters keys to the non-reserved columns bound in the child.
+func (c *RuleContext) carried(keys []plan.Column, child availInfo) map[plan.Column]bool {
+	cols := make(map[plan.Column]bool, len(keys))
+	for _, k := range keys {
+		if !exec.IsReservedColumn(k) && c.Bound(child, k) {
+			cols[k] = true
+		}
+	}
+	return cols
+}
+
+// Bound reports whether col resolves to a real column at a position with
+// the given avail.
+func (c *RuleContext) Bound(a availInfo, col plan.Column) bool {
+	if a.top {
+		return c.scan[col]
+	}
+	return a.cols[col]
+}
+
+// boundAll reports whether every column resolves under a.
+func (c *RuleContext) boundAll(a availInfo, cols []plan.Column) bool {
+	for _, col := range cols {
+		if !c.Bound(a, col) {
+			return false
+		}
+	}
+	return true
+}
+
+// Subexpr returns a group holding exactly e, interning so repeated
+// constructions of the same subexpression share one group. It refuses
+// (ok=false) once the memo budget is exhausted. Rule-created groups are
+// never merged into pre-existing ones: reusing a group that might sit
+// above the rewrite site could make the memo cyclic, and a duplicate
+// group is merely redundant while a cycle is fatal.
+func (c *RuleContext) Subexpr(e *Expr) (GroupID, bool) {
+	fp := e.fingerprint()
+	if id, ok := c.intern[fp]; ok {
+		return id, true
+	}
+	if c.memo.NumGroups() >= c.budget {
+		return 0, false
+	}
+	g := c.memo.newGroup()
+	c.memo.addExpr(g, e)
+	c.intern[fp] = g.ID
+	return g.ID, true
+}
+
+// insert adds a rule-produced expression to g, enforcing the per-group cap
+// and the memo's acyclicity (an interned subexpression could otherwise
+// resolve to a group that transitively contains g).
+func (c *RuleContext) insert(g *Group, e *Expr) bool {
+	if len(g.Exprs) >= maxGroupExprs {
+		return false
+	}
+	if c.reaches(e.Child, g.ID) {
+		return false
+	}
+	return c.memo.addExpr(g, e)
+}
+
+// reaches reports whether target is reachable from any of the given groups.
+func (c *RuleContext) reaches(from []GroupID, target GroupID) bool {
+	seen := map[GroupID]bool{}
+	var walk func(GroupID) bool
+	walk = func(id GroupID) bool {
+		if id == target {
+			return true
+		}
+		if seen[id] {
+			return false
+		}
+		seen[id] = true
+		for _, e := range c.memo.Group(id).Exprs {
+			for _, ch := range e.Child {
+				if walk(ch) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, id := range from {
+		if walk(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// ExploreAll runs the rule set over the memo to fixpoint, sequentially and
+// deterministically: groups in ascending ID order (including groups created
+// mid-pass), expressions in insertion order, rules in set order. It returns
+// the number of inserted expressions per rule. Exploration happens once per
+// memo — before the parallel search fans out — so the search itself reads
+// a frozen expression set, and a memo published as a template is already at
+// fixpoint. budget <= 0 selects DefaultMemoBudget.
+func (m *Memo) ExploreAll(rules *RuleSet, budget int) map[string]uint64 {
+	if m.explored.Swap(true) {
+		return nil
+	}
+	defer m.finishExplore()
+	if rules == nil || len(rules.rules) == 0 {
+		return nil
+	}
+	if budget <= 0 {
+		budget = DefaultMemoBudget
+	}
+	ctx := &RuleContext{
+		memo:   m,
+		scan:   map[plan.Column]bool{},
+		avail:  map[GroupID]availInfo{},
+		intern: map[string]GroupID{},
+		budget: budget,
+	}
+	// The global scan schema is a pure function of the plan's key columns
+	// and predicates, both of which every rule preserves, so it can be
+	// derived once from the copied-in expressions.
+	var keys []plan.Column
+	var preds []string
+	for id := 0; id < m.NumGroups(); id++ {
+		for _, e := range m.Group(GroupID(id)).Exprs {
+			keys = append(keys, e.Keys...)
+			if e.Pred != "" {
+				preds = append(preds, e.Pred)
+			}
+		}
+	}
+	for _, col := range exec.ScanColumnSet(keys, preds) {
+		ctx.scan[col] = true
+	}
+
+	fires := map[string]uint64{}
+	for pass := 0; pass < maxExplorePasses; pass++ {
+		changed := false
+		for id := 0; id < m.NumGroups(); id++ { // NumGroups grows mid-pass
+			g := m.Group(GroupID(id))
+			for i := 0; i < len(g.Exprs); i++ { // Exprs grows mid-loop
+				e := g.Exprs[i]
+				for _, r := range rules.rules {
+					for _, ne := range r.Apply(ctx, e) {
+						if ctx.insert(g, ne) {
+							fires[r.Name()]++
+							changed = true
+						}
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return fires
+}
+
+// finishExplore releases the duplicate-detection maps: nothing inserts
+// into an explored memo again, and templates keep the memo alive.
+func (m *Memo) finishExplore() {
+	for id := 0; id < m.NumGroups(); id++ {
+		m.Group(GroupID(id)).seen = nil
+	}
+}
+
+// hasReservedCols reports whether any key is a derived payload column.
+// Rules that re-route key columns around a join must refuse them: the
+// payload column's value is rewritten per match, so it only compares
+// equal at its original position.
+func hasReservedCols(keys []plan.Column) bool {
+	for _, k := range keys {
+		if exec.IsReservedColumn(k) {
+			return true
+		}
+	}
+	return false
+}
+
+// subsetCols reports set(a) ⊆ set(b).
+func subsetCols(a, b []plan.Column) bool {
+	for _, x := range a {
+		found := false
+		for _, y := range b {
+			if x == y {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// unionCols merges two key lists into a sorted, de-duplicated list.
+func unionCols(a, b []plan.Column) []plan.Column {
+	set := make(map[plan.Column]bool, len(a)+len(b))
+	for _, x := range a {
+		set[x] = true
+	}
+	for _, x := range b {
+		set[x] = true
+	}
+	out := make([]plan.Column, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort: key lists are tiny
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// colSetEqual reports set equality of two key lists.
+func colSetEqual(a, b []plan.Column) bool {
+	return subsetCols(a, b) && subsetCols(b, a)
+}
+
+// joinTop matches a binary equi-join with usable (non-payload) keys.
+func joinTop(e *Expr) bool {
+	return e.Op == plan.LJoin && len(e.Child) == 2 && len(e.Keys) > 0 &&
+		!hasReservedCols(e.Keys)
+}
+
+// joinExchange rewrites (A ⋈k1 B) ⋈k2 C into (A ⋈k2 C) ⋈k1 B — the join
+// exchange that lets the search pick which join runs first. It is always
+// equivalence-preserving here: the left spine carries A's rows verbatim in
+// both shapes, both key lists read A's columns (each join's output schema
+// is its left input's schema, so k2 resolves in A exactly as it resolved
+// in A⋈B), the match set per A-row is the cartesian {k1-matches in B} ×
+// {k2-matches in C} either way, and the payload sum a+b+c is order-free.
+type joinExchange struct{}
+
+func (joinExchange) Name() string { return "join_exchange" }
+
+func (joinExchange) Apply(c *RuleContext, e *Expr) []*Expr {
+	if !joinTop(e) {
+		return nil
+	}
+	var out []*Expr
+	for _, le := range c.Group(e.Child[0]).Exprs {
+		if !joinTop(le) {
+			continue
+		}
+		ig, ok := c.Subexpr(&Expr{
+			Op:    plan.LJoin,
+			Child: []GroupID{le.Child[0], e.Child[1]},
+			Pred:  e.Pred,
+			Keys:  e.Keys,
+		})
+		if !ok {
+			continue
+		}
+		out = append(out, &Expr{
+			Op:    plan.LJoin,
+			Child: []GroupID{ig, le.Child[1]},
+			Pred:  le.Pred,
+			Keys:  le.Keys,
+		})
+	}
+	return out
+}
+
+// joinAssoc rewrites (A ⋈k1 B) ⋈k2 C into A ⋈k1 (B ⋈k2 C), building bushy
+// trees. It requires set(k2) ⊆ set(k1): inner-join matches equalize k1
+// between A and B, hence also k2, so matching C against B's k2 columns
+// selects exactly the C-rows the original matched against A — and k2 is
+// guaranteed present in B's schema because k1 resolved there. The payload
+// sum is associative, and both shapes emit A's rows.
+type joinAssoc struct{}
+
+func (joinAssoc) Name() string { return "join_assoc" }
+
+func (joinAssoc) Apply(c *RuleContext, e *Expr) []*Expr {
+	if !joinTop(e) {
+		return nil
+	}
+	var out []*Expr
+	for _, le := range c.Group(e.Child[0]).Exprs {
+		if !joinTop(le) || !subsetCols(e.Keys, le.Keys) {
+			continue
+		}
+		ig, ok := c.Subexpr(&Expr{
+			Op:    plan.LJoin,
+			Child: []GroupID{le.Child[1], e.Child[1]},
+			Pred:  e.Pred,
+			Keys:  e.Keys,
+		})
+		if !ok {
+			continue
+		}
+		out = append(out, &Expr{
+			Op:    plan.LJoin,
+			Child: []GroupID{le.Child[0], ig},
+			Pred:  le.Pred,
+			Keys:  le.Keys,
+		})
+	}
+	return out
+}
+
+// movablePred parses pred and reports whether its verdict depends only on
+// the given non-reserved bound columns — the precondition for evaluating
+// it at a different plan position. Bare (and unparseable) terms read the
+// row-content hash; reserved columns are rewritten by joins and
+// aggregates; an unbound comparison lhs also falls back to the row hash.
+func movablePred(pred string) (exec.PredShape, bool) {
+	sh := exec.AnalyzePred(pred)
+	if sh.HasBare || sh.Terms == 0 {
+		return sh, false
+	}
+	for _, col := range sh.Cols {
+		if exec.IsReservedColumn(col) {
+			return sh, false
+		}
+	}
+	return sh, true
+}
+
+// predPushdownJoin pushes a filter above a join into an input. Into the
+// left input it is exact whenever the predicate's columns are bound,
+// non-reserved left columns: the join carries left rows verbatim except
+// the (reserved) payload column, so the verdict per row is unchanged and
+// filtering before or after the match is the same cut. Into the right
+// (build) input it is exact in the narrower case where the predicate reads
+// join-key columns only — matched pairs agree on those, so discarding
+// failing build rows discards exactly the failing matches.
+type predPushdownJoin struct{}
+
+func (predPushdownJoin) Name() string { return "pred_pushdown_join" }
+
+func (predPushdownJoin) Apply(c *RuleContext, e *Expr) []*Expr {
+	if e.Op != plan.LSelect || len(e.Child) != 1 || e.Pred == "" {
+		return nil
+	}
+	sh, ok := movablePred(e.Pred)
+	if !ok {
+		return nil
+	}
+	var out []*Expr
+	for _, je := range c.Group(e.Child[0]).Exprs {
+		if je.Op != plan.LJoin || len(je.Child) != 2 || len(je.Keys) == 0 {
+			continue
+		}
+		if c.boundAll(c.Avail(je.Child[0]), sh.Cols) {
+			if ig, ok := c.Subexpr(&Expr{Op: plan.LSelect, Child: []GroupID{je.Child[0]}, Pred: e.Pred}); ok {
+				out = append(out, &Expr{
+					Op:    plan.LJoin,
+					Child: []GroupID{ig, je.Child[1]},
+					Pred:  je.Pred,
+					Keys:  je.Keys,
+				})
+			}
+		}
+		if subsetCols(sh.Cols, je.Keys) && !hasReservedCols(je.Keys) &&
+			c.boundAll(c.Avail(je.Child[1]), sh.Cols) {
+			if ig, ok := c.Subexpr(&Expr{Op: plan.LSelect, Child: []GroupID{je.Child[1]}, Pred: e.Pred}); ok {
+				out = append(out, &Expr{
+					Op:    plan.LJoin,
+					Child: []GroupID{je.Child[0], ig},
+					Pred:  je.Pred,
+					Keys:  je.Keys,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// predPushdownUnion distributes a filter over a union-all's branches. It
+// fires only when every branch is a pure scan pipeline: then all branches
+// share the one global scan schema, the union concatenates their rows
+// without adaptation, and filtering identical rows under an identical
+// schema before or after concatenation is the same multiset — for any
+// predicate, bare terms included.
+type predPushdownUnion struct{}
+
+func (predPushdownUnion) Name() string { return "pred_pushdown_union" }
+
+func (predPushdownUnion) Apply(c *RuleContext, e *Expr) []*Expr {
+	if e.Op != plan.LSelect || len(e.Child) != 1 || e.Pred == "" {
+		return nil
+	}
+	var out []*Expr
+	for _, ue := range c.Group(e.Child[0]).Exprs {
+		if ue.Op != plan.LUnion || len(ue.Child) == 0 {
+			continue
+		}
+		allTop := true
+		for _, b := range ue.Child {
+			if !c.Avail(b).top {
+				allTop = false
+				break
+			}
+		}
+		if !allTop {
+			continue
+		}
+		kids := make([]GroupID, 0, len(ue.Child))
+		ok := true
+		for _, b := range ue.Child {
+			ig, k := c.Subexpr(&Expr{Op: plan.LSelect, Child: []GroupID{b}, Pred: e.Pred})
+			if !k {
+				ok = false
+				break
+			}
+			kids = append(kids, ig)
+		}
+		if ok {
+			out = append(out, &Expr{Op: plan.LUnion, Child: kids})
+		}
+	}
+	return out
+}
+
+// predPushdownAgg rewrites σ(Agg_K(X)) into Agg_K(σ(X)) when the predicate
+// reads group-key columns only: every row of a group shares its key
+// values, so filtering rows below removes whole groups — exactly the
+// groups the filter above would remove — and the surviving groups keep
+// identical member rows, hence identical __cnt/__sum and first-arrival
+// order.
+type predPushdownAgg struct{}
+
+func (predPushdownAgg) Name() string { return "pred_pushdown_agg" }
+
+func (predPushdownAgg) Apply(c *RuleContext, e *Expr) []*Expr {
+	if e.Op != plan.LSelect || len(e.Child) != 1 || e.Pred == "" {
+		return nil
+	}
+	sh, ok := movablePred(e.Pred)
+	if !ok {
+		return nil
+	}
+	var out []*Expr
+	for _, ae := range c.Group(e.Child[0]).Exprs {
+		if ae.Op != plan.LAggregate || len(ae.Child) != 1 || len(ae.Keys) == 0 {
+			continue
+		}
+		if !subsetCols(sh.Cols, ae.Keys) {
+			continue
+		}
+		ig, k := c.Subexpr(&Expr{Op: plan.LSelect, Child: []GroupID{ae.Child[0]}, Pred: e.Pred})
+		if !k {
+			continue
+		}
+		out = append(out, &Expr{Op: plan.LAggregate, Child: []GroupID{ig}, Keys: ae.Keys})
+	}
+	return out
+}
+
+// projectPushdownJoin narrows a join's probe input early: Project_K(J ⋈ R)
+// becomes Project_K(Project_{K∪jk}(J) ⋈ R). The inner projection keeps the
+// join keys (so matching is unchanged) and every reserved column (the
+// executor's projection always retains them, so the payload column and its
+// combination are unchanged); the outer projection then restores the exact
+// original schema. The guard skips joins whose probe side already is that
+// projection, which is also the rule's termination argument: the key set
+// K∪jk only grows toward a fixed column universe.
+type projectPushdownJoin struct{}
+
+func (projectPushdownJoin) Name() string { return "project_pushdown_join" }
+
+func (projectPushdownJoin) Apply(c *RuleContext, e *Expr) []*Expr {
+	if e.Op != plan.LProject || len(e.Child) != 1 || len(e.Keys) == 0 {
+		return nil
+	}
+	var out []*Expr
+	for _, je := range c.Group(e.Child[0]).Exprs {
+		if je.Op != plan.LJoin || len(je.Child) != 2 || len(je.Keys) == 0 {
+			continue
+		}
+		newKeys := unionCols(e.Keys, je.Keys)
+		already := false
+		for _, pe := range c.Group(je.Child[0]).Exprs {
+			if pe.Op == plan.LProject && colSetEqual(pe.Keys, newKeys) {
+				already = true
+				break
+			}
+		}
+		if already {
+			continue
+		}
+		pg, ok := c.Subexpr(&Expr{Op: plan.LProject, Child: []GroupID{je.Child[0]}, Keys: newKeys})
+		if !ok {
+			continue
+		}
+		jg, ok := c.Subexpr(&Expr{
+			Op:    plan.LJoin,
+			Child: []GroupID{pg, je.Child[1]},
+			Pred:  je.Pred,
+			Keys:  je.Keys,
+		})
+		if !ok {
+			continue
+		}
+		out = append(out, &Expr{Op: plan.LProject, Child: []GroupID{jg}, Keys: e.Keys})
+	}
+	return out
+}

@@ -1,0 +1,456 @@
+package cascades
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"cleo/internal/plan"
+)
+
+// explore builds a memo from q and runs the default rules to fixpoint.
+func explore(t *testing.T, q *plan.Logical) (*Memo, map[string]uint64) {
+	t.Helper()
+	m := NewMemo(q)
+	fires := m.ExploreAll(DefaultRules(), 0)
+	return m, fires
+}
+
+func TestRuleSetIdentity(t *testing.T) {
+	want := "join_exchange,join_assoc,pred_pushdown_join,pred_pushdown_union,pred_pushdown_agg,project_pushdown_join"
+	if got := DefaultRules().Identity(); got != want {
+		t.Fatalf("DefaultRules identity = %q, want %q", got, want)
+	}
+	if got := EmptyRules().Identity(); got != "none" {
+		t.Fatalf("EmptyRules identity = %q, want none", got)
+	}
+	if names := RuleNames(); strings.Join(names, ",") != want {
+		t.Fatalf("RuleNames = %v", names)
+	}
+}
+
+func TestEmptyRulesLeaveMemoUntouched(t *testing.T) {
+	m := NewMemo(multiJoinQuery())
+	before := m.NumGroups()
+	if fires := m.ExploreAll(EmptyRules(), 0); fires != nil {
+		t.Fatalf("EmptyRules fired: %v", fires)
+	}
+	if m.NumGroups() != before {
+		t.Fatalf("EmptyRules grew the memo: %d -> %d", before, m.NumGroups())
+	}
+	for i := 0; i < m.NumGroups(); i++ {
+		if n := len(m.Group(GroupID(i)).Exprs); n != 1 {
+			t.Fatalf("group %d has %d exprs, want 1", i, n)
+		}
+	}
+}
+
+// TestJoinExchangeFires: multiJoinQuery is (clicks ⋈user users) ⋈pkey parts;
+// the exchange rewrites the outer join into (clicks ⋈pkey parts) ⋈user users,
+// so the outer join group gains a second join expression keyed "user".
+func TestJoinExchangeFires(t *testing.T) {
+	m, fires := explore(t, multiJoinQuery())
+	if fires["join_exchange"] == 0 {
+		t.Fatalf("join_exchange did not fire: %v", fires)
+	}
+	// join_assoc must NOT fire: pkey ⊄ {user}.
+	if fires["join_assoc"] != 0 {
+		t.Fatalf("join_assoc fired on non-subset keys: %v", fires)
+	}
+	found := false
+	for i := 0; i < m.NumGroups(); i++ {
+		g := m.Group(GroupID(i))
+		if g.Exprs[0].Op != plan.LJoin || len(g.Exprs) < 2 {
+			continue
+		}
+		// The original outer join is keyed pkey; the exchanged alternative
+		// must be keyed user with an inner join keyed pkey on its left.
+		for _, e := range g.Exprs[1:] {
+			if e.Op != plan.LJoin || len(e.Keys) != 1 || e.Keys[0] != "user" {
+				continue
+			}
+			inner := m.Group(e.Child[0]).Exprs[0]
+			if inner.Op == plan.LJoin && len(inner.Keys) == 1 && inner.Keys[0] == "pkey" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no exchanged join alternative (A ⋈pkey C) ⋈user B in the memo")
+	}
+}
+
+// TestJoinAssocFires: with both joins on the same key, associativity holds
+// (set(k2) ⊆ set(k1)) and the right-deep alternative A ⋈ (B ⋈ C) appears.
+func TestJoinAssocFires(t *testing.T) {
+	a := plan.NewGet("clicks_d1", "clicks_")
+	b := plan.NewGet("users_d1", "users_")
+	cc := plan.NewGet("parts_d1", "parts_")
+	j1 := plan.NewJoin(a, b, "a.user=b.user", "user")
+	j2 := plan.NewJoin(j1, cc, "a.user=c.user", "user")
+	q := plan.NewOutput(plan.NewAggregate(j2, "user"))
+	m, fires := explore(t, q)
+	if fires["join_assoc"] == 0 {
+		t.Fatalf("join_assoc did not fire on same-key joins: %v", fires)
+	}
+	found := false
+	for i := 0; i < m.NumGroups(); i++ {
+		g := m.Group(GroupID(i))
+		for _, e := range g.Exprs {
+			if e.Op != plan.LJoin || len(e.Child) != 2 {
+				continue
+			}
+			r := m.Group(e.Child[1]).Exprs[0]
+			if r.Op == plan.LJoin { // right child is itself a join: bushy/right-deep shape
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no right-deep join alternative in the memo")
+	}
+}
+
+// TestPredPushdownJoin: a pure comparison filter above a join is pushed to
+// the probe side always, and to the build side only when it reads join keys.
+func TestPredPushdownJoin(t *testing.T) {
+	l := plan.NewGet("clicks_d1", "clicks_")
+	r := plan.NewGet("users_d1", "users_")
+	j := plan.NewJoin(l, r, "l.user=r.user", "user")
+	s := plan.NewSelect(j, "user<9000") // reads the join key: both sides eligible
+	q := plan.NewOutput(plan.NewAggregate(s, "user"))
+	m, fires := explore(t, q)
+	if fires["pred_pushdown_join"] < 2 {
+		t.Fatalf("pred_pushdown_join fired %d times, want >=2 (probe and build): %v",
+			fires["pred_pushdown_join"], fires)
+	}
+	// The select's group must now also hold join alternatives whose inputs
+	// are filtered.
+	seenJoinAlt := false
+	for i := 0; i < m.NumGroups(); i++ {
+		g := m.Group(GroupID(i))
+		if g.Exprs[0].Op != plan.LSelect {
+			continue
+		}
+		for _, e := range g.Exprs[1:] {
+			if e.Op == plan.LJoin {
+				seenJoinAlt = true
+			}
+		}
+	}
+	if !seenJoinAlt {
+		t.Fatal("select group gained no pushed-down join alternative")
+	}
+}
+
+// TestPredPushdownJoinProbeOnly: a filter on a non-key column pushes into
+// the probe side only — matched build rows need not satisfy it.
+func TestPredPushdownJoinProbeOnly(t *testing.T) {
+	l := plan.NewGet("clicks_d1", "clicks_")
+	r := plan.NewGet("users_d1", "users_")
+	j := plan.NewJoin(l, r, "l.user=r.user", "user")
+	s := plan.NewSelect(j, "region<5") // region is scan-schema (this pred names it), not a join key
+	q := plan.NewOutput(plan.NewAggregate(s, "region"))
+	m, fires := explore(t, q)
+	if fires["pred_pushdown_join"] != 1 {
+		t.Fatalf("pred_pushdown_join fired %d times, want exactly 1 (probe side): %v",
+			fires["pred_pushdown_join"], fires)
+	}
+	for i := 0; i < m.NumGroups(); i++ {
+		g := m.Group(GroupID(i))
+		for _, e := range g.Exprs {
+			if e.Op != plan.LJoin || len(e.Child) != 2 {
+				continue
+			}
+			if re := m.Group(e.Child[1]).Exprs[0]; re.Op == plan.LSelect && re.Pred == "region<5" {
+				t.Fatal("non-key filter was pushed into the build side")
+			}
+		}
+	}
+}
+
+// TestPredPushdownJoinRefusesBareAndReserved: bare predicates read the
+// row-content hash and reserved columns are rewritten by the join, so
+// neither may move.
+func TestPredPushdownJoinRefusesBareAndReserved(t *testing.T) {
+	for _, pred := range []string{"recent", "__sum<5"} {
+		l := plan.NewGet("clicks_d1", "clicks_")
+		r := plan.NewGet("users_d1", "users_")
+		j := plan.NewJoin(l, r, "l.user=r.user", "user")
+		s := plan.NewSelect(j, pred)
+		q := plan.NewOutput(plan.NewAggregate(s, "user"))
+		_, fires := explore(t, q)
+		if fires["pred_pushdown_join"] != 0 {
+			t.Fatalf("pred %q moved below a join: %v", pred, fires)
+		}
+	}
+}
+
+// TestPredPushdownUnion: a filter above a union of scans distributes into
+// every branch (even a bare predicate — the branches share the one global
+// scan schema, so the row hash is position-independent there).
+func TestPredPushdownUnion(t *testing.T) {
+	u := plan.NewUnion(
+		plan.NewGet("clicks_d1", "clicks_"),
+		plan.NewGet("users_d1", "users_"),
+	)
+	s := plan.NewSelect(u, "recent")
+	q := plan.NewOutput(plan.NewAggregate(s, "user"))
+	m, fires := explore(t, q)
+	if fires["pred_pushdown_union"] == 0 {
+		t.Fatalf("pred_pushdown_union did not fire: %v", fires)
+	}
+	found := false
+	for i := 0; i < m.NumGroups(); i++ {
+		g := m.Group(GroupID(i))
+		if g.Exprs[0].Op != plan.LSelect {
+			continue
+		}
+		for _, e := range g.Exprs[1:] {
+			if e.Op != plan.LUnion {
+				continue
+			}
+			all := true
+			for _, b := range e.Child {
+				be := m.Group(b).Exprs[0]
+				if be.Op != plan.LSelect || be.Pred != "recent" {
+					all = false
+				}
+			}
+			if all {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no union-of-filtered-branches alternative in the memo")
+	}
+}
+
+// TestPredPushdownUnionRefusesNonScanBranches: unionQuery's branches are
+// aggregates, whose output rows differ from their scan inputs, so the
+// filter must stay above the union.
+func TestPredPushdownUnionRefusesNonScanBranches(t *testing.T) {
+	u := plan.NewUnion(
+		plan.NewAggregate(plan.NewGet("clicks_d1", "clicks_"), "user"),
+		plan.NewAggregate(plan.NewGet("users_d1", "users_"), "user"),
+	)
+	s := plan.NewSelect(u, "user<9000")
+	q := plan.NewOutput(s)
+	_, fires := explore(t, q)
+	if fires["pred_pushdown_union"] != 0 {
+		t.Fatalf("pred_pushdown_union fired over aggregate branches: %v", fires)
+	}
+}
+
+// TestPredPushdownAgg: a filter on group-key columns commutes below the
+// aggregate; one on other columns does not.
+func TestPredPushdownAgg(t *testing.T) {
+	agg := plan.NewAggregate(plan.NewGet("clicks_d1", "clicks_"), "user")
+	s := plan.NewSelect(agg, "user<9000")
+	q := plan.NewOutput(s)
+	m, fires := explore(t, q)
+	if fires["pred_pushdown_agg"] == 0 {
+		t.Fatalf("pred_pushdown_agg did not fire: %v", fires)
+	}
+	found := false
+	for i := 0; i < m.NumGroups(); i++ {
+		g := m.Group(GroupID(i))
+		for _, e := range g.Exprs {
+			if e.Op != plan.LAggregate {
+				continue
+			}
+			if ce := m.Group(e.Child[0]).Exprs[0]; ce.Op == plan.LSelect && ce.Pred == "user<9000" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no aggregate-over-filter alternative in the memo")
+	}
+
+	agg2 := plan.NewAggregate(plan.NewGet("clicks_d1", "clicks_"), "user")
+	s2 := plan.NewSelect(agg2, "region<5") // region is not a group key
+	_, fires2 := explore(t, plan.NewOutput(s2))
+	if fires2["pred_pushdown_agg"] != 0 {
+		t.Fatalf("pred_pushdown_agg fired on a non-key filter: %v", fires2)
+	}
+}
+
+// TestProjectPushdownJoin: Project_K above a join spawns the narrowed
+// probe-side projection keeping K ∪ join keys, exactly once (the
+// termination guard stops re-derivation).
+func TestProjectPushdownJoin(t *testing.T) {
+	l := plan.NewGet("clicks_d1", "clicks_")
+	r := plan.NewGet("users_d1", "users_")
+	j := plan.NewJoin(l, r, "l.user=r.user", "user")
+	p := plan.NewProject(j, "region")
+	q := plan.NewOutput(plan.NewAggregate(p, "region"))
+	m, fires := explore(t, q)
+	if fires["project_pushdown_join"] == 0 {
+		t.Fatalf("project_pushdown_join did not fire: %v", fires)
+	}
+	found := false
+	for i := 0; i < m.NumGroups(); i++ {
+		g := m.Group(GroupID(i))
+		for _, e := range g.Exprs {
+			if e.Op != plan.LProject || len(e.Keys) != 1 || e.Keys[0] != "region" {
+				continue
+			}
+			je := m.Group(e.Child[0]).Exprs[0]
+			if je.Op != plan.LJoin {
+				continue
+			}
+			pe := m.Group(je.Child[0]).Exprs[0]
+			if pe.Op == plan.LProject && colSetEqual(pe.Keys, []plan.Column{"region", "user"}) {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no Project(Project_{K∪jk} ⋈ R) alternative in the memo")
+	}
+}
+
+// TestExploreBudgetRefusesGrowth: with the budget already consumed by
+// copy-in, rules cannot intern subexpressions, so the memo cannot grow new
+// groups (and rules needing them do not fire at all).
+func TestExploreBudgetRefusesGrowth(t *testing.T) {
+	m := NewMemo(multiJoinQuery())
+	before := m.NumGroups()
+	m.ExploreAll(DefaultRules(), before)
+	if m.NumGroups() != before {
+		t.Fatalf("budget %d exceeded: %d groups", before, m.NumGroups())
+	}
+}
+
+// TestExploreTerminatesOnSameKeyChain: a same-key join chain has an
+// exponential reordering space; the budget, per-group expression cap and
+// pass cap must land exploration at a bounded fixpoint.
+func TestExploreTerminatesOnSameKeyChain(t *testing.T) {
+	q := plan.NewGet("clicks_d1", "t0_")
+	for i := 1; i < 8; i++ {
+		q = plan.NewJoin(q, plan.NewGet("users_d1", "t_"), "a=b", "user")
+	}
+	m, _ := explore(t, plan.NewOutput(plan.NewAggregate(q, "user")))
+	if m.NumGroups() > DefaultMemoBudget {
+		t.Fatalf("memo has %d groups, budget is %d", m.NumGroups(), DefaultMemoBudget)
+	}
+	for i := 0; i < m.NumGroups(); i++ {
+		if n := len(m.Group(GroupID(i)).Exprs); n > maxGroupExprs {
+			t.Fatalf("group %d has %d exprs, cap is %d", i, n, maxGroupExprs)
+		}
+	}
+}
+
+// TestExploreDeterministic: two explorations of the same plan produce
+// byte-identical memos (group-by-group expression fingerprints) and
+// identical fire counts — the property the template cache and the
+// parallel==sequential guarantee rest on.
+func TestExploreDeterministic(t *testing.T) {
+	dump := func(m *Memo) string {
+		var b strings.Builder
+		for i := 0; i < m.NumGroups(); i++ {
+			for _, e := range m.Group(GroupID(i)).Exprs {
+				b.WriteString(e.fingerprint())
+				b.WriteByte('\n')
+			}
+			b.WriteByte(';')
+		}
+		return b.String()
+	}
+	for name, q := range parallelTestQueries() {
+		m1, f1 := explore(t, q)
+		m2, f2 := explore(t, q)
+		if dump(m1) != dump(m2) {
+			t.Fatalf("%s: explorations diverged", name)
+		}
+		if len(f1) != len(f2) {
+			t.Fatalf("%s: fire maps differ: %v vs %v", name, f1, f2)
+		}
+		for k, v := range f1 {
+			if f2[k] != v {
+				t.Fatalf("%s: fire counts differ for %s: %d vs %d", name, k, v, f2[k])
+			}
+		}
+	}
+}
+
+// TestExploreKeepsMemoAcyclic: rule insertion must never create a cycle —
+// a cyclic memo would hang extraction. Walk every group's every child edge
+// and verify the reachability relation has no group reaching itself.
+func TestExploreKeepsMemoAcyclic(t *testing.T) {
+	queries := parallelTestQueries()
+	l := plan.NewGet("clicks_d1", "clicks_")
+	r := plan.NewGet("users_d1", "users_")
+	j := plan.NewJoin(l, r, "l.user=r.user", "user")
+	queries["filtered_join"] = plan.NewOutput(plan.NewAggregate(plan.NewSelect(j, "user<9000"), "user"))
+	for name, q := range queries {
+		m, _ := explore(t, q)
+		for i := 0; i < m.NumGroups(); i++ {
+			id := GroupID(i)
+			seen := map[GroupID]bool{}
+			stack := []GroupID{}
+			for _, e := range m.Group(id).Exprs {
+				stack = append(stack, e.Child...)
+			}
+			for len(stack) > 0 {
+				g := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if g == id {
+					t.Fatalf("%s: group %d reaches itself", name, id)
+				}
+				if seen[g] {
+					continue
+				}
+				seen[g] = true
+				for _, e := range m.Group(g).Exprs {
+					stack = append(stack, e.Child...)
+				}
+			}
+		}
+	}
+}
+
+// TestOptimizerReportsRuleFires: a full optimization surfaces the fire
+// counts on its Result, and rules change which plans exist to choose from.
+func TestOptimizerReportsRuleFires(t *testing.T) {
+	o := defaultOptimizer(testCatalog())
+	res, err := o.Optimize(multiJoinQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RuleFires["join_exchange"] == 0 {
+		t.Fatalf("Result.RuleFires = %v, want join_exchange fires", res.RuleFires)
+	}
+
+	off := defaultOptimizer(testCatalog())
+	off.Rules = EmptyRules()
+	res2, err := off.Optimize(multiJoinQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.RuleFires) != 0 {
+		t.Fatalf("EmptyRules optimization reported fires: %v", res2.RuleFires)
+	}
+	if res2.Plan == nil {
+		t.Fatal("EmptyRules optimization returned no plan")
+	}
+}
+
+// TestUnionColsSorted pins the helper the interning fingerprints depend on.
+func TestUnionColsSorted(t *testing.T) {
+	got := unionCols([]plan.Column{"b", "a"}, []plan.Column{"c", "a"})
+	want := []plan.Column{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("unionCols = %v, want %v", got, want)
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("unionCols not sorted: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("unionCols = %v, want %v", got, want)
+		}
+	}
+}

@@ -15,7 +15,8 @@ import (
 // instance. A Template freezes that parameter-independent part of one
 // finished search: the memo's group structure and the exploration results
 // (every group's expression set after the transformation rules ran to
-// fixpoint, join commutes included). Copy-in and exploration read only the
+// fixpoint — join reorderings, predicate and projection pushdowns).
+// Copy-in and exploration read only the
 // logical plan — never the catalog, statistics, parameters or cost model —
 // so the snapshot is shared read-only by later instances, which re-run just
 // the instance-dependent half of the search: implementation, costing,
@@ -55,6 +56,10 @@ func (t *Template) Groups() int { return t.memo.NumGroups() }
 //   - MaxPartitions / Parallelism / ResourceAware pin the search
 //     configuration, so a per-request parallelism override or a
 //     partition-cap change misses rather than reusing.
+//   - Rules carries the transformation-rule set's identity plus the memo
+//     budget. The snapshot IS the exploration result, so a changed rule
+//     set (or budget) must rebuild it — reusing a snapshot explored under
+//     different rules would silently search the wrong expression space.
 type TemplateKey struct {
 	Sig           plan.Signature
 	CatalogEpoch  uint64
@@ -62,6 +67,7 @@ type TemplateKey struct {
 	Parallelism   int
 	ResourceAware bool
 	Model         any
+	Rules         string
 }
 
 // TemplateIdentifier is an optional Coster upgrade: implementations report
@@ -82,8 +88,8 @@ func costerIdentity(c Coster) any {
 
 // DefaultTemplateCacheSize is the per-cache entry bound used when a
 // capacity of 0 is requested. Snapshots are small (one group per logical
-// node plus commuted join expressions), so this comfortably covers a
-// tenant's recurring templates.
+// node plus budget-capped rule-created expressions), so this comfortably
+// covers a tenant's recurring templates.
 const DefaultTemplateCacheSize = 128
 
 // TemplateCacheStats snapshots the cache counters. The JSON names carry the

@@ -133,6 +133,12 @@ func TestTemplateKeyFences(t *testing.T) {
 		}},
 		{"max partitions", func(o *Optimizer) { o.MaxPartitions = 500 }},
 		{"parallelism", func(o *Optimizer) { o.Parallelism = 2 }},
+		// The snapshot IS the exploration result: a template explored under
+		// one rule set (or memo budget) must never serve a search configured
+		// with another.
+		{"rule set", func(o *Optimizer) { o.Rules = EmptyRules() }},
+		{"rule order", func(o *Optimizer) { o.Rules = NewRuleSet(joinAssoc{}, joinExchange{}) }},
+		{"memo budget", func(o *Optimizer) { o.MemoBudget = 64 }},
 	}
 	for _, step := range steps {
 		t.Run(step.name, func(t *testing.T) {

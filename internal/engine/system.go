@@ -50,6 +50,16 @@ type SystemConfig struct {
 	// identity and the search configuration in the cache key, plus a full
 	// purge on every model hot-swap.
 	TemplateCacheSize int
+	// Rules selects the optimizer's transformation-rule set (nil = the
+	// default set; cascades.EmptyRules() disables logical exploration, so
+	// the search considers only the plan as written). The rule-set identity
+	// is part of the template-cache key, so changing it can never reuse a
+	// snapshot explored under different rules.
+	Rules *cascades.RuleSet
+	// MemoBudget caps the memo group count exploration may grow to
+	// (0 = cascades.DefaultMemoBudget). Like Rules, it fences the
+	// template cache.
+	MemoBudget int
 	// Exec, when non-nil, overrides the full cluster configuration.
 	Exec *exec.Config
 	// StreamingExec executes plans on the in-process streaming vectorized
@@ -77,10 +87,12 @@ type SystemConfig struct {
 // Run — in-flight optimizations keep pricing with the predictor they
 // started with and later calls observe the new version.
 type System struct {
-	catalog *stats.Catalog
-	backend exec.Backend
-	maxP    int
-	par     int
+	catalog    *stats.Catalog
+	backend    exec.Backend
+	maxP       int
+	par        int
+	rules      *cascades.RuleSet
+	memoBudget int
 
 	// templates caches explored memo snapshots across recurring instances
 	// (nil when disabled). SetModels purges it on every hot-swap.
@@ -112,9 +124,11 @@ func NewSystem(cfg SystemConfig) *System {
 		ec.MaxPartitions = cfg.MaxPartitions
 	}
 	s := &System{
-		catalog: stats.NewCatalog(cfg.Seed),
-		maxP:    ec.MaxPartitions,
-		par:     cfg.Parallelism,
+		catalog:    stats.NewCatalog(cfg.Seed),
+		maxP:       ec.MaxPartitions,
+		par:        cfg.Parallelism,
+		rules:      cfg.Rules,
+		memoBudget: cfg.MemoBudget,
 	}
 	if cfg.StreamingExec {
 		sc := exec.StreamConfig{}
@@ -284,6 +298,8 @@ func (s *System) Optimize(q *plan.Logical, opts RunOptions) (*plan.Physical, flo
 		Chooser:       chooser,
 		JobSeed:       opts.Seed,
 		Parallelism:   par,
+		Rules:         s.rules,
+		MemoBudget:    s.memoBudget,
 		Templates:     s.templates,
 		Metrics:       s.searchMetrics,
 		Trace:         opts.Trace,

@@ -1,6 +1,10 @@
 package exec
 
-import "cleo/internal/plan"
+import (
+	"fmt"
+
+	"cleo/internal/plan"
+)
 
 // Aggregates group by the operator's key columns and emit one row per
 // group shaped as keys + __cnt + __sum (count of input rows, wrapping sum
@@ -31,8 +35,9 @@ const partialBuckets = 16
 // streams the groups out in insertion order.
 type hashAggIter struct {
 	child        iterator
-	keyIdx       []int // into child schema; -1 reads 0
+	keyIdx       []int // into child schema (resolved, never -1)
 	valIdx       int
+	cntIdx       int // ≥0: sum this column as the count (final over partial)
 	size         int
 	extraBuckets int64
 
@@ -70,7 +75,15 @@ func (a *hashAggIter) Open() error {
 				h = mix64(h ^ uint64(bucket))
 			}
 			g := a.findGroup(b.Cols, i, h, bucket)
-			a.cnt[g]++
+			if a.cntIdx >= 0 {
+				// Final stage above a partial aggregate: the partial already
+				// counted raw rows into __cnt, so sum those counts instead of
+				// counting partial sub-groups — otherwise a two-phase plan's
+				// counts would depend on the physical choice.
+				a.cnt[g] += b.Cols[a.cntIdx][i]
+			} else {
+				a.cnt[g]++
+			}
 			if a.valIdx >= 0 {
 				a.sum[g] += b.Cols[a.valIdx][i]
 			}
@@ -468,12 +481,18 @@ func minInt(a, b int) int {
 	return b
 }
 
-// sortKeyIdx resolves a node's keys against its input schema for the
-// canonical comparators.
-func sortKeyIdx(keys []plan.Column, sch schema) []int {
+// resolveKeys resolves a node's key columns against its input schema for
+// the hashers and canonical comparators. A key column missing from the
+// schema is a compile error: it used to resolve to index −1, which keyHash
+// and the comparators silently read as the constant 0 — every row landed
+// in one hash group and the query returned wrong results with no
+// diagnostic.
+func resolveKeys(op plan.PhysicalOp, keys []plan.Column, sch schema) ([]int, error) {
 	idx := make([]int, len(keys))
 	for i, k := range keys {
-		idx[i] = sch.index(k)
+		if idx[i] = sch.index(k); idx[i] < 0 {
+			return nil, fmt.Errorf("exec: %v key column %q is not in its input schema %v", op, k, []plan.Column(sch))
+		}
 	}
-	return idx
+	return idx, nil
 }

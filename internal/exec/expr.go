@@ -171,6 +171,45 @@ func (p *Pred) Idents() []plan.Column {
 	return out
 }
 
+// PredShape describes the structure of a compiled predicate for rewrite
+// rules: whether the predicate can be moved across operators depends on
+// which columns its terms read and whether any term falls back to the
+// row-content hash.
+type PredShape struct {
+	// Cols are the columns the predicate's comparison terms read (lhs
+	// columns plus rhs identifiers that could bind to columns), sorted.
+	Cols []plan.Column
+	// HasBare reports whether any term is a bare identifier (or an
+	// unparseable clause degraded to one). Bare terms filter on the
+	// row-content hash, so they are only equivalent at one fixed position
+	// in the plan — never movable.
+	HasBare bool
+	// Terms is the number of parsed conjuncts.
+	Terms int
+}
+
+// AnalyzePred parses pred and reports its shape. Rewrite rules may move a
+// predicate only when HasBare is false and every column in Cols is both
+// available and identically bound at the target position; IsReservedColumn
+// names the derived columns that never qualify.
+func AnalyzePred(pred string) PredShape {
+	p := CompilePred(pred)
+	sh := PredShape{Cols: p.Idents(), Terms: len(p.terms)}
+	for _, t := range p.terms {
+		if t.op == opBare {
+			sh.HasBare = true
+		}
+	}
+	return sh
+}
+
+// IsReservedColumn reports whether c is one of the executor's derived
+// payload columns (__val/__cnt/__sum), whose values change across
+// operators and therefore pin any predicate that reads them.
+func IsReservedColumn(c plan.Column) bool {
+	return c == valCol || c == cntCol || c == sumCol
+}
+
 // boundTerm is a term resolved against a concrete schema.
 type boundTerm struct {
 	op       predOp

@@ -1,0 +1,137 @@
+// Key-resolution hardening: an operator whose key column is absent from
+// its input schema used to hash the zero column set silently — every row
+// in one bucket or one group, a wrong answer with no error. Compilation
+// must instead fail, naming the operator and the column, on both backends.
+package exec_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"cleo/internal/exec"
+	"cleo/internal/plan"
+)
+
+// narrowInput is an aggregate over k0: its output schema is exactly
+// [k0 __cnt __sum], so any other key above it cannot resolve — even though
+// the global scan schema (the union of every key in the plan) contains it.
+func narrowInput() *plan.Physical {
+	leaf := plan.NewPhysical(plan.PExtract)
+	leaf.Table = "facts"
+	leaf.InputTemplate = "facts_"
+	leaf.Partitions = 2
+	agg := plan.NewPhysical(plan.PHashAggregate, leaf)
+	agg.Keys = []plan.Column{"k0"}
+	return agg
+}
+
+func runOnBoth(p *plan.Physical) (streamErr, refErr error) {
+	_, streamErr = exec.NewEngine(equivCfg).Run(p.Clone(), nil)
+	_, refErr = exec.NewReference(equivCfg).Run(p.Clone(), nil)
+	return
+}
+
+func TestCompileRejectsUnknownKeyColumn(t *testing.T) {
+	withBadKey := func(op plan.PhysicalOp, build func() *plan.Physical) {
+		t.Run(op.String(), func(t *testing.T) {
+			root := plan.NewPhysical(plan.POutput, build())
+			se, re := runOnBoth(root)
+			for which, err := range map[string]error{"streaming": se, "reference": re} {
+				if err == nil {
+					t.Fatalf("%s: compiled a %v keyed on a column its input does not carry", which, op)
+				}
+				if !strings.Contains(err.Error(), `"k1"`) || !strings.Contains(err.Error(), op.String()) {
+					t.Fatalf("%s: error must name the operator and column, got: %v", which, err)
+				}
+			}
+		})
+	}
+
+	withBadKey(plan.PHashAggregate, func() *plan.Physical {
+		a := plan.NewPhysical(plan.PHashAggregate, narrowInput())
+		a.Keys = []plan.Column{"k1"}
+		return a
+	})
+	withBadKey(plan.PSort, func() *plan.Physical {
+		s := plan.NewPhysical(plan.PSort, narrowInput())
+		s.Keys = []plan.Column{"k1"}
+		return s
+	})
+	withBadKey(plan.PTopN, func() *plan.Physical {
+		n := plan.NewPhysical(plan.PTopN, narrowInput())
+		n.Keys = []plan.Column{"k1"}
+		n.N = 5
+		return n
+	})
+	withBadKey(plan.PHashJoin, func() *plan.Physical {
+		other := plan.NewPhysical(plan.PExtract)
+		other.Table = "dims"
+		other.InputTemplate = "dims_"
+		other.Partitions = 2
+		j := plan.NewPhysical(plan.PHashJoin, narrowInput(), other)
+		j.Keys = []plan.Column{"k1"} // resolves on the right scan, not the aggregated left
+		j.Pred = "f.k1=d.k1"
+		return j
+	})
+}
+
+// TestCompileRejectsKeylessJoin pins the executor-level backstop behind
+// plan.Validate: a join with no equi-join keys must not silently hash
+// every row into one bucket.
+func TestCompileRejectsKeylessJoin(t *testing.T) {
+	l := plan.NewPhysical(plan.PExtract)
+	l.Table = "facts"
+	l.InputTemplate = "facts_"
+	l.Partitions = 2
+	r := plan.NewPhysical(plan.PExtract)
+	r.Table = "dims"
+	r.InputTemplate = "dims_"
+	r.Partitions = 2
+	j := plan.NewPhysical(plan.PHashJoin, l, r)
+	j.Pred = "f.k=d.k"
+	root := plan.NewPhysical(plan.POutput, j)
+	se, re := runOnBoth(root)
+	for which, err := range map[string]error{"streaming": se, "reference": re} {
+		if err == nil {
+			t.Fatalf("%s: executed a keyless join", which)
+		}
+		if !strings.Contains(err.Error(), "equi-join key") {
+			t.Fatalf("%s: unexpected error: %v", which, err)
+		}
+	}
+}
+
+// FuzzCompileKeyResolution hunts silent key fallbacks: an arbitrary key
+// name above a schema-narrowing aggregate must either resolve (it is the
+// group key or a reserved payload column) or fail compilation with an
+// error naming it — never execute with a zero column set.
+func FuzzCompileKeyResolution(f *testing.F) {
+	for _, seed := range []string{"k0", "k1", "__cnt", "__sum", "__val", "", "nope", "k0 "} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, key string) {
+		s := plan.NewPhysical(plan.PSort, narrowInput())
+		s.Keys = []plan.Column{plan.Column(key)}
+		root := plan.NewPhysical(plan.POutput, s)
+		res, err := exec.NewEngine(equivCfg).Run(root, nil)
+		switch key {
+		case "k0", "__cnt", "__sum":
+			if err != nil {
+				t.Fatalf("key %q is in the aggregate's output schema but failed: %v", key, err)
+			}
+			if res.OutputRows == 0 {
+				t.Fatalf("key %q: no output rows", key)
+			}
+		default:
+			if err == nil {
+				t.Fatalf("unknown key %q compiled", key)
+			}
+			// The column is rendered with %q, so match the quoted form
+			// (it escapes arbitrary fuzzed bytes deterministically).
+			if !strings.Contains(err.Error(), fmt.Sprintf("%q", key)) {
+				t.Fatalf("error does not name the key %q: %v", key, err)
+			}
+		}
+	})
+}

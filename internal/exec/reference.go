@@ -145,13 +145,17 @@ func (r *Reference) apply(n *plan.Physical, sch schema, preds map[*plan.Physical
 		if n.Op == plan.PPartialAggregate {
 			extra = partialBuckets
 		}
-		return r.hashAgg(n, in, extra), nil
+		return r.hashAgg(n, in, extra)
 
 	case plan.PStreamAggregate:
-		return r.streamAgg(n, in), nil
+		return r.streamAgg(n, in)
 
 	case plan.PSort:
-		idx := sortedIndex(in.cs, sortKeyIdx(n.Keys, in.sch))
+		keyIdx, err := resolveKeys(n.Op, n.Keys, in.sch)
+		if err != nil {
+			return nil, err
+		}
+		idx := sortedIndex(in.cs, keyIdx)
 		out := newRefTable(in.sch, in.cs.n)
 		for _, i := range idx {
 			out.cs.appendRow(in.cs.cols, int(i))
@@ -163,7 +167,11 @@ func (r *Reference) apply(n *plan.Physical, sch schema, preds map[*plan.Physical
 		if limit <= 0 {
 			limit = 100
 		}
-		idx := sortedIndex(in.cs, sortKeyIdx(n.Keys, in.sch))
+		keyIdx, err := resolveKeys(n.Op, n.Keys, in.sch)
+		if err != nil {
+			return nil, err
+		}
+		idx := sortedIndex(in.cs, keyIdx)
 		if len(idx) > limit {
 			idx = idx[:limit]
 		}
@@ -226,8 +234,17 @@ func copyTable(in *refTable) *refTable {
 // in order, emit left-shaped rows with combined payload, matches per
 // probe row in build-insertion order.
 func (r *Reference) hashJoin(n *plan.Physical, left, right *refTable) (*refTable, error) {
-	lKey := sortKeyIdx(n.Keys, left.sch)
-	rKey := sortKeyIdx(n.Keys, right.sch)
+	if len(n.Keys) == 0 {
+		return nil, fmt.Errorf("exec: %v needs at least one equi-join key column", n.Op)
+	}
+	lKey, err := resolveKeys(n.Op, n.Keys, left.sch)
+	if err != nil {
+		return nil, err
+	}
+	rKey, err := resolveKeys(n.Op, n.Keys, right.sch)
+	if err != nil {
+		return nil, err
+	}
 	lVal, rVal := left.sch.valIndex(), right.sch.valIndex()
 	build := newBuildTable(len(rKey), right.cs.n)
 	for i := 0; i < right.cs.n; i++ {
@@ -250,8 +267,17 @@ func (r *Reference) hashJoin(n *plan.Physical, left, right *refTable) (*refTable
 // mergeJoin mirrors mergeJoinIter: canonical sort both sides, merge
 // equal-key runs left-major.
 func (r *Reference) mergeJoin(n *plan.Physical, left, right *refTable) (*refTable, error) {
-	lKey := sortKeyIdx(n.Keys, left.sch)
-	rKey := sortKeyIdx(n.Keys, right.sch)
+	if len(n.Keys) == 0 {
+		return nil, fmt.Errorf("exec: %v needs at least one equi-join key column", n.Op)
+	}
+	lKey, err := resolveKeys(n.Op, n.Keys, left.sch)
+	if err != nil {
+		return nil, err
+	}
+	rKey, err := resolveKeys(n.Op, n.Keys, right.sch)
+	if err != nil {
+		return nil, err
+	}
 	lVal, rVal := left.sch.valIndex(), right.sch.valIndex()
 	lIdx := sortedIndex(left.cs, lKey)
 	rIdx := sortedIndex(right.cs, rKey)
@@ -295,10 +321,17 @@ func (r *Reference) mergeJoin(n *plan.Physical, left, right *refTable) (*refTabl
 
 // hashAgg mirrors hashAggIter, including the partial aggregate's
 // row-hash sub-bucketing and insertion-order emission.
-func (r *Reference) hashAgg(n *plan.Physical, in *refTable, extraBuckets int64) *refTable {
+func (r *Reference) hashAgg(n *plan.Physical, in *refTable, extraBuckets int64) (*refTable, error) {
 	osch := aggSchema(n)
-	keyIdx := sortKeyIdx(osch[:len(osch)-2], in.sch)
+	keyIdx, err := resolveKeys(n.Op, osch[:len(osch)-2], in.sch)
+	if err != nil {
+		return nil, err
+	}
 	valIdx := in.sch.valIndex()
+	cntIdx := -1
+	if n.Op == plan.PHashAggregate && partialBelow(n.Children[0]) {
+		cntIdx = in.sch.index(cntCol)
+	}
 	nk := len(keyIdx)
 
 	gKeys := make([][]int64, nk)
@@ -345,7 +378,13 @@ func (r *Reference) hashAgg(n *plan.Physical, in *refTable, extraBuckets int64) 
 			sum = append(sum, 0)
 			index[h] = append(index[h], g)
 		}
-		cnt[g]++
+		if cntIdx >= 0 {
+			// Final stage above a partial aggregate: sum the partial counts
+			// (see hashAggIter).
+			cnt[g] += in.cs.cols[cntIdx][i]
+		} else {
+			cnt[g]++
+		}
 		if valIdx >= 0 {
 			sum[g] += in.cs.cols[valIdx][i]
 		}
@@ -358,13 +397,16 @@ func (r *Reference) hashAgg(n *plan.Physical, in *refTable, extraBuckets int64) 
 	out.cs.cols[nk] = append(out.cs.cols[nk], cnt...)
 	out.cs.cols[nk+1] = append(out.cs.cols[nk+1], sum...)
 	out.cs.n = len(cnt)
-	return out
+	return out, nil
 }
 
 // streamAgg mirrors streamAggIter: runs of consecutive equal keys.
-func (r *Reference) streamAgg(n *plan.Physical, in *refTable) *refTable {
+func (r *Reference) streamAgg(n *plan.Physical, in *refTable) (*refTable, error) {
 	osch := aggSchema(n)
-	keyIdx := sortKeyIdx(osch[:len(osch)-2], in.sch)
+	keyIdx, err := resolveKeys(n.Op, osch[:len(osch)-2], in.sch)
+	if err != nil {
+		return nil, err
+	}
 	valIdx := in.sch.valIndex()
 	nk := len(keyIdx)
 	out := newRefTable(osch, 64)
@@ -413,7 +455,7 @@ func (r *Reference) streamAgg(n *plan.Physical, in *refTable) *refTable {
 	if started {
 		emit()
 	}
-	return out
+	return out, nil
 }
 
 // process mirrors processIter's fanout and payload rewrite.

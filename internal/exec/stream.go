@@ -590,7 +590,10 @@ func (c *compiler) compile(n *plan.Physical, os bool) (pset, error) {
 		if err != nil {
 			return pset{}, err
 		}
-		keyIdx := sortKeyIdx(n.Keys, p.sch)
+		keyIdx, err := resolveKeys(n.Op, n.Keys, p.sch)
+		if err != nil {
+			return pset{}, err
+		}
 		insts := make([]*instIter, len(p.its))
 		for i, kid := range p.its {
 			insts[i] = c.wrap(n, &sortIter{child: kid, keyIdx: keyIdx, size: bs}, []*instIter{kid})
@@ -614,7 +617,11 @@ func (c *compiler) compile(n *plan.Physical, os bool) (pset, error) {
 		if limit <= 0 {
 			limit = 100
 		}
-		it := c.wrap(n, &topNIter{child: kid, keyIdx: sortKeyIdx(n.Keys, sch), n: limit, size: bs}, []*instIter{kid})
+		keyIdx, err := resolveKeys(n.Op, n.Keys, sch)
+		if err != nil {
+			return pset{}, err
+		}
+		it := c.wrap(n, &topNIter{child: kid, keyIdx: keyIdx, n: limit, size: bs}, []*instIter{kid})
 		return pset{its: []*instIter{it}, sch: sch}, nil
 
 	case plan.PUnionAll:
@@ -740,8 +747,20 @@ func (c *compiler) compileJoin(n *plan.Physical, os, childOS bool) (pset, error)
 	if err != nil {
 		return pset{}, err
 	}
-	lKey := sortKeyIdx(n.Keys, lp.sch)
-	rKey := sortKeyIdx(n.Keys, rp.sch)
+	if len(n.Keys) == 0 {
+		// Zero key columns hash every row to the seed constant: the join
+		// silently degenerates to an O(n²) cross join. plan.Validate rejects
+		// this too, but physical plans can be built directly.
+		return pset{}, fmt.Errorf("exec: %v needs at least one equi-join key column", n.Op)
+	}
+	lKey, err := resolveKeys(n.Op, n.Keys, lp.sch)
+	if err != nil {
+		return pset{}, err
+	}
+	rKey, err := resolveKeys(n.Op, n.Keys, rp.sch)
+	if err != nil {
+		return pset{}, err
+	}
 	lVal, rVal := lp.sch.valIndex(), rp.sch.valIndex()
 	nCols := len(lp.sch)
 
@@ -809,17 +828,25 @@ func (c *compiler) compileHashAgg(n *plan.Physical, childOS bool) (pset, error) 
 		return pset{}, err
 	}
 	out := aggSchema(n)
-	keyIdx := sortKeyIdx(out[:len(out)-2], p.sch)
+	keyIdx, err := resolveKeys(n.Op, out[:len(out)-2], p.sch)
+	if err != nil {
+		return pset{}, err
+	}
 	valIdx := p.sch.valIndex()
 	extra := int64(0)
 	if n.Op == plan.PPartialAggregate {
 		extra = partialBuckets
+	}
+	cntIdx := -1
+	if n.Op == plan.PHashAggregate && partialBelow(n.Children[0]) {
+		cntIdx = p.sch.index(cntCol)
 	}
 	mk := func(kid *instIter) *instIter {
 		return c.wrap(n, &hashAggIter{
 			child:  kid,
 			keyIdx: keyIdx,
 			valIdx: valIdx,
+			cntIdx: cntIdx,
 			size:   c.cfg.BatchSize, extraBuckets: extra,
 		}, []*instIter{kid})
 	}
@@ -839,6 +866,15 @@ func (c *compiler) compileHashAgg(n *plan.Physical, childOS bool) (pset, error) 
 	return pset{its: its, sch: out}, nil
 }
 
+// partialBelow reports whether the node's input is a partial aggregate,
+// looking through any exchange chain between the two stages.
+func partialBelow(n *plan.Physical) bool {
+	for n.Op == plan.PExchange && len(n.Children) == 1 {
+		n = n.Children[0]
+	}
+	return n.Op == plan.PPartialAggregate
+}
+
 func (c *compiler) compileStreamAgg(n *plan.Physical, childOS bool) (pset, error) {
 	// A stream aggregate groups runs of consecutive equal keys, so its
 	// input order must be exactly the sequential run's. Canonically
@@ -855,9 +891,13 @@ func (c *compiler) compileStreamAgg(n *plan.Physical, childOS bool) (pset, error
 		return pset{}, err
 	}
 	out := aggSchema(n)
+	keyIdx, err := resolveKeys(n.Op, out[:len(out)-2], sch)
+	if err != nil {
+		return pset{}, err
+	}
 	it := c.wrap(n, &streamAggIter{
 		child:  kid,
-		keyIdx: sortKeyIdx(out[:len(out)-2], sch),
+		keyIdx: keyIdx,
 		valIdx: sch.valIndex(),
 		size:   c.cfg.BatchSize,
 	}, []*instIter{kid})

@@ -261,7 +261,7 @@ func TestStreamAggOverSortedMatchesHashAgg(t *testing.T) {
 	stream := &streamAggIter{child: sorted, keyIdx: []int{0}, valIdx: 2, size: 128}
 	sr, sc := drain(t, stream)
 
-	hash := &hashAggIter{child: testScan("a", 4000, 128), keyIdx: []int{0}, valIdx: 2, size: 128}
+	hash := &hashAggIter{child: testScan("a", 4000, 128), keyIdx: []int{0}, valIdx: 2, cntIdx: -1, size: 128}
 	hr, hc := drain(t, hash)
 	if sr != hr || sc != hc {
 		t.Fatalf("stream agg over sorted input differs from hash agg: (%d,%x) vs (%d,%x)", sr, sc, hr, hc)

@@ -212,6 +212,37 @@ func scanSchema(root *plan.Physical, preds map[*plan.Physical]*Pred) schema {
 	return append(cols, valCol)
 }
 
+// ScanColumnSet derives the non-payload column set of the global scan
+// schema that every backend builds for a plan with the given key lists and
+// predicate strings: sorted, de-duplicated, reserved columns removed,
+// truncated at the scan-width cap. The optimizer's transformation rules use
+// it to decide whether a predicate column is bound at a scan-schema
+// position — the truncation means "referenced somewhere in the plan" is not
+// enough on extremely wide plans.
+func ScanColumnSet(keys []plan.Column, preds []string) []plan.Column {
+	set := map[plan.Column]bool{}
+	for _, k := range keys {
+		set[k] = true
+	}
+	for _, p := range preds {
+		for _, c := range CompilePred(p).Idents() {
+			set[c] = true
+		}
+	}
+	delete(set, valCol)
+	delete(set, cntCol)
+	delete(set, sumCol)
+	cols := make([]plan.Column, 0, len(set))
+	for c := range set {
+		cols = append(cols, c)
+	}
+	sort.Slice(cols, func(i, j int) bool { return cols[i] < cols[j] })
+	if len(cols) > maxScanColumns {
+		cols = cols[:maxScanColumns]
+	}
+	return cols
+}
+
 // rowHash hashes row i of a batch (a mix64 chain over the column values,
 // in schema order) — the basis of multiset checksums and of pseudo-random
 // per-row decisions (UDF fanout, unbound predicates).

@@ -88,9 +88,13 @@ type FamilyModels struct {
 // TrainFamily fits one model per signature over the records, in parallel.
 // Signatures with fewer than MinSamples records are skipped (they stay
 // uncovered, which is the coverage side of the accuracy–coverage
-// trade-off).
+// trade-off). The operator family is the exception: it sits at the coarse
+// end of the spectrum precisely so that every record has *some* model when
+// the specialized families abstain, so it trains on any group with at
+// least two observations — a heavily regularized fit from a rare operator
+// beats a coverage hole.
 func TrainFamily(family Family, records []telemetry.Record, cfg FamilyConfig) *FamilyModels {
-	if cfg.MinSamples < 2 {
+	if cfg.MinSamples < 2 || family == FamilyOperator {
 		cfg.MinSamples = 2
 	}
 	groups := map[plan.Signature][]int{}

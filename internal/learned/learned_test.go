@@ -6,6 +6,7 @@ import (
 
 	"cleo/internal/costmodel"
 	"cleo/internal/ml"
+	"cleo/internal/plan"
 	"cleo/internal/stats"
 	"cleo/internal/telemetry"
 	"cleo/internal/workload"
@@ -89,6 +90,44 @@ func TestTrainFamilyCoverageOrdering(t *testing.T) {
 	}
 	if cSub <= 0.2 {
 		t.Fatalf("subgraph coverage = %v, too low for a recurring workload", cSub)
+	}
+}
+
+// TestOperatorFamilyTrainsRareGroups pins the coverage-fallback exception
+// in TrainFamily: the operator family fits groups as small as two records
+// (it exists to guarantee coverage when the specialized families abstain),
+// while those specialized families keep the paper's MinSamples threshold
+// and leave rare groups uncovered.
+func TestOperatorFamilyTrainsRareGroups(t *testing.T) {
+	mk := func(sig plan.Signature, n int) []telemetry.Record {
+		recs := make([]telemetry.Record, n)
+		for i := range recs {
+			recs[i] = telemetry.Record{
+				Sigs:          plan.Signatures{Subgraph: sig, Approx: sig, Input: sig, Operator: sig},
+				InCard:        float64(100 * (i + 1)),
+				BaseCard:      float64(200 * (i + 1)),
+				OutCard:       float64(50 * (i + 1)),
+				RowLength:     8,
+				Partitions:    1 + i,
+				ActualLatency: 0.01 * float64(i+1),
+			}
+		}
+		return recs
+	}
+	common, rare := plan.Signature(1), plan.Signature(2)
+	recs := append(mk(common, 6), mk(rare, 3)...)
+
+	cfg := DefaultFamilyConfig() // MinSamples 5
+	op := TrainFamily(FamilyOperator, recs, cfg)
+	if _, ok := op.Models[rare]; !ok {
+		t.Fatal("operator family skipped a 3-record group; the coverage fallback must fit any group of >= 2")
+	}
+	sub := TrainFamily(FamilySubgraph, recs, cfg)
+	if _, ok := sub.Models[rare]; ok {
+		t.Fatalf("subgraph family fit a group below MinSamples=%d", cfg.MinSamples)
+	}
+	if _, ok := sub.Models[common]; !ok {
+		t.Fatal("subgraph family skipped a group above MinSamples")
 	}
 }
 

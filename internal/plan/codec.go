@@ -100,6 +100,12 @@ func (l *Logical) validateNode() error {
 		if len(l.Children) != 2 {
 			return arityErr("2")
 		}
+		if len(l.Keys) == 0 {
+			// A keyless equi-join hashes every row into one bucket and
+			// degenerates to an O(n²) cross join — silently, since the
+			// key hash of zero columns is the seed constant.
+			return fmt.Errorf("plan: Join needs at least one equi-join key column")
+		}
 	case LUnion:
 		if len(l.Children) < 1 {
 			return arityErr("≥1")

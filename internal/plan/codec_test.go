@@ -110,6 +110,7 @@ func TestJSONDecodeErrors(t *testing.T) {
 		"get with child":   `{"op":"Get","table":"t","children":[{"op":"Get","table":"u"}]}`,
 		"get sans table":   `{"op":"Get"}`,
 		"join arity":       `{"op":"Join","children":[{"op":"Get","table":"t"}]}`,
+		"join keyless":     `{"op":"Join","pred":"a.k=b.k","children":[{"op":"Get","table":"a"},{"op":"Get","table":"b"}]}`,
 		"select arity":     `{"op":"Select"}`,
 		"union empty":      `{"op":"Union"}`,
 		"topn zero":        `{"op":"TopN","children":[{"op":"Get","table":"t"}]}`,
@@ -150,5 +151,13 @@ func TestValidateProgrammaticPlan(t *testing.T) {
 	}
 	if err := (&Logical{Op: LJoin, Children: []*Logical{NewGet("t", "t_")}}).Validate(); err == nil {
 		t.Fatal("join arity must fail validation")
+	}
+	// A keyless equi-join degenerates to a silent O(n²) cross join (the
+	// zero-column key hash is the seed constant for every row), so it must
+	// be rejected at validation, not discovered at execution.
+	keyless := &Logical{Op: LJoin, Pred: "a.k=b.k",
+		Children: []*Logical{NewGet("a", "a_"), NewGet("b", "b_")}}
+	if err := keyless.Validate(); err == nil {
+		t.Fatal("keyless join must fail validation")
 	}
 }

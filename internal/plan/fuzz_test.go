@@ -27,6 +27,8 @@ func FuzzLogicalCodecRoundTrip(f *testing.F) {
 		`{"op":"Get"}`,                      // missing table
 		`{"op":"TopN","n":0,"children":[]}`, // bad arity and limit
 		`{"op":"Join","children":[{"op":"Get","table":"a"}]}`,
+		`{"op":"Join","pred":"a.k=b.k","children":[{"op":"Get","table":"a"},{"op":"Get","table":"b"}]}`, // keyless
+
 		`{"op":"Nope"}`,
 		`{"op":"Select","children":[null]}`,
 		`{"op":"Select","pred":"p","extra":1,"children":[{"op":"Get","table":"a"}]}`,

@@ -70,36 +70,109 @@ func (g *clusterGen) newShape(t *template, sharedFrom *template) planShape {
 	}
 	t.chains = chains
 
-	// Left-deep joins across chains.
+	// Left-deep joins across chains. Every key is drawn from the columns
+	// both sides actually carry, so generated plans are well-formed by
+	// construction — a key missing from its input schema is a compile error
+	// in the executor, not a silent hash-as-zero.
 	cur := chains[0]
 	for i := 1; i < len(chains); i++ {
-		key := joinKeys[rng.Intn(len(joinKeys))]
+		cand := commonCols(cur, chains[i])
+		if len(cand) == 0 {
+			// Disjoint projections: widen the fresh right chain by dropping
+			// its projection (the shared slot-0 chain is never mutated, so
+			// common-subexpression signatures stay intact).
+			if chains[i].op == plan.LProject {
+				chains[i] = chains[i].children[0]
+			}
+			cand = commonCols(cur, chains[i])
+		}
 		cur = &shapeNode{
 			op:       plan.LJoin,
 			children: []*shapeNode{cur, chains[i]},
 			pred:     fmt.Sprintf("%s.j%d", t.id, i),
-			keys:     []plan.Column{key},
+			keys:     []plan.Column{cand[rng.Intn(len(cand))]},
 		}
 	}
-	// Optional aggregate.
+	// Optional aggregate, grouped by a column the input carries.
 	if rng.Float64() < 0.75 {
-		key := joinKeys[rng.Intn(len(joinKeys))]
-		cur = &shapeNode{op: plan.LAggregate, children: []*shapeNode{cur}, keys: []plan.Column{key}}
-		// Occasionally a second-level rollup.
+		cand := availCols(cur)
+		cur = &shapeNode{op: plan.LAggregate, children: []*shapeNode{cur}, keys: []plan.Column{cand[rng.Intn(len(cand))]}}
+		// Occasionally a second-level global rollup (the aggregate's derived
+		// columns are not groupable, so the rollup reduces to one row).
 		if rng.Float64() < 0.2 {
-			key2 := joinKeys[rng.Intn(len(joinKeys))]
-			cur = &shapeNode{op: plan.LAggregate, children: []*shapeNode{cur}, keys: []plan.Column{key2}}
+			cur = &shapeNode{op: plan.LAggregate, children: []*shapeNode{cur}}
 		}
 	}
-	// Optional ordering.
+	// Optional ordering, over a carried column (aggregates additionally
+	// expose their derived count/sum columns).
 	switch r := rng.Float64(); {
 	case r < 0.2:
-		cur = &shapeNode{op: plan.LSort, children: []*shapeNode{cur}, keys: []plan.Column{joinKeys[rng.Intn(len(joinKeys))]}}
+		cand := sortCols(cur)
+		cur = &shapeNode{op: plan.LSort, children: []*shapeNode{cur}, keys: []plan.Column{cand[rng.Intn(len(cand))]}}
 	case r < 0.35:
-		cur = &shapeNode{op: plan.LTopN, children: []*shapeNode{cur}, keys: []plan.Column{joinKeys[rng.Intn(len(joinKeys))]}, n: 10 + rng.Intn(990)}
+		cand := sortCols(cur)
+		cur = &shapeNode{op: plan.LTopN, children: []*shapeNode{cur}, keys: []plan.Column{cand[rng.Intn(len(cand))]}, n: 10 + rng.Intn(990)}
 	}
 	root := &shapeNode{op: plan.LOutput, children: []*shapeNode{cur}}
 	return planShape{root: root}
+}
+
+// shapeAvail reports the key-pool columns a subtree's output carries; top
+// means "every referenced column" (pure scan subtrees, which compile to
+// the full scan schema).
+func shapeAvail(n *shapeNode) (cols []plan.Column, top bool) {
+	switch n.op {
+	case plan.LGet:
+		return nil, true
+	case plan.LProject:
+		cols, top := shapeAvail(n.children[0])
+		if top {
+			return n.keys, false
+		}
+		return intersectCols(n.keys, cols), false
+	case plan.LAggregate:
+		return n.keys, false
+	default: // Select, Process, Join (emits left rows), Sort, TopN, Output
+		return shapeAvail(n.children[0])
+	}
+}
+
+// availCols is shapeAvail with top expanded to the shared key pool.
+func availCols(n *shapeNode) []plan.Column {
+	cols, top := shapeAvail(n)
+	if top {
+		return joinKeys
+	}
+	return cols
+}
+
+// commonCols lists the columns both subtrees carry, in pool order.
+func commonCols(l, r *shapeNode) []plan.Column {
+	return intersectCols(availCols(l), availCols(r))
+}
+
+// sortCols lists the orderable columns at a subtree's output: the carried
+// key columns, plus the derived count/sum columns above an aggregate.
+func sortCols(n *shapeNode) []plan.Column {
+	cols := availCols(n)
+	if n.op == plan.LAggregate {
+		cols = append(append([]plan.Column(nil), cols...), "__cnt", "__sum")
+	}
+	return cols
+}
+
+// intersectCols intersects two column lists, preserving a's order.
+func intersectCols(a, b []plan.Column) []plan.Column {
+	var out []plan.Column
+	for _, c := range a {
+		for _, d := range b {
+			if c == d {
+				out = append(out, c)
+				break
+			}
+		}
+	}
+	return out
 }
 
 // newChain builds one input's scan chain: Get → 0–2 filters → optional UDF

